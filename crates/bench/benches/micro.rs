@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the MaCS building blocks: domain
+//! operations, store relocation, pool operations, propagation fixpoints,
+//! one-sided segment traffic, and end-to-end sequential solving.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use macs_domain::{bits, Store, StoreLayout};
+use macs_engine::seq::{solve_seq, SeqOptions};
+use macs_engine::{Engine, ScheduleSeed};
+use macs_gpi::{Interconnect, LatencyModel, Segment};
+use macs_pool::SplitPool;
+use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
+
+fn bench_domain_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domain");
+    let max = 127u32;
+    let mut dom = vec![0u64; bits::words_for(max)];
+    bits::fill_full(&mut dom, max);
+
+    g.bench_function("count_128", |b| b.iter(|| bits::count(black_box(&dom))));
+    g.bench_function("min_max_128", |b| {
+        b.iter(|| (bits::min(black_box(&dom)), bits::max(black_box(&dom))))
+    });
+    g.bench_function("remove_insert_128", |b| {
+        b.iter(|| {
+            bits::remove(black_box(&mut dom), 77);
+            bits::insert(black_box(&mut dom), 77);
+        })
+    });
+    let src = dom.clone();
+    let mut dst = vec![0u64; bits::words_for(max + 64)];
+    g.bench_function("shift_up_17", |b| {
+        b.iter(|| bits::shifted_up(black_box(&src), black_box(&mut dst), 17))
+    });
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    let layout = StoreLayout::new(17, 16); // the paper's queens-17 store
+    let store = Store::root(&layout);
+    g.throughput(Throughput::Bytes(layout.store_bytes() as u64));
+    g.bench_function("clone_queens17", |b| b.iter(|| black_box(&store).clone()));
+    let mut buf = vec![0u64; layout.store_words()];
+    g.bench_function("relocate_words_queens17", |b| {
+        b.iter(|| buf.copy_from_slice(black_box(store.as_words())))
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool");
+    let words = 21;
+    let item = vec![7u64; words];
+    let pool = SplitPool::new(1024, words);
+    let mut out = vec![0u64; words];
+    g.bench_function("push_pop", |b| {
+        b.iter(|| {
+            pool.push(black_box(&item));
+            pool.pop_private(black_box(&mut out));
+        })
+    });
+    g.bench_function("release_reacquire", |b| {
+        pool.push(&item);
+        pool.push(&item);
+        b.iter(|| {
+            pool.release(2);
+            pool.reacquire(2);
+        })
+    });
+    g.bench_function("steal_chain", |b| {
+        b.iter_batched(
+            || {
+                let p = SplitPool::new(64, words);
+                for _ in 0..16 {
+                    p.push(&item);
+                }
+                p.release(16);
+                p
+            },
+            |p| {
+                let mut n = 0;
+                p.steal(8, |s| n += s[0]);
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation");
+    let prob = queens(12, QueensModel::Pairwise);
+    let mut engine = Engine::new(&prob);
+    g.bench_function("queens12_root_fixpoint", |b| {
+        b.iter_batched(
+            || prob.root.clone(),
+            |mut s| engine.propagate(&prob, s.as_words_mut(), i64::MAX, ScheduleSeed::All),
+            BatchSize::SmallInput,
+        )
+    });
+    let inst = QapInstance::hypercube_like(10, 5);
+    let qap = qap_model(&inst);
+    let mut qe = Engine::new(&qap);
+    g.bench_function("qap10_root_fixpoint", |b| {
+        b.iter_batched(
+            || qap.root.clone(),
+            |mut s| qe.propagate(&qap, s.as_words_mut(), 1_000, ScheduleSeed::All),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_gpi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpi");
+    let seg = Segment::new(256);
+    let ic = Interconnect::new(LatencyModel::zero());
+    let src = vec![42u64; 17];
+    let mut dst = vec![0u64; 17];
+    g.throughput(Throughput::Bytes(17 * 8));
+    g.bench_function("one_sided_write_read_136B", |b| {
+        b.iter(|| {
+            seg.write_remote(&ic, 0, black_box(&src));
+            seg.read_remote(&ic, 0, black_box(&mut dst));
+        })
+    });
+    g.bench_function("remote_cas", |b| {
+        b.iter(|| {
+            let _ = seg.cas_remote(&ic, 100, 0, 1);
+            seg.store(100, 0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve");
+    g.sample_size(10);
+    let prob = queens(9, QueensModel::Pairwise);
+    g.bench_function("seq_queens9", |b| {
+        b.iter(|| solve_seq(black_box(&prob), &SeqOptions::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_domain_ops,
+    bench_store,
+    bench_pool,
+    bench_propagation,
+    bench_gpi,
+    bench_solve
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! §V — the dynamic polling strategy: fixed vs adaptive request-polling
+//! intervals, their poll counts and scaling cost.
+
+use macs_bench::{arg, sim_cp_macs, topo_for};
+use macs_problems::{queens, QueensModel};
+use macs_runtime::{PollPolicy, WorkerState};
+use macs_sim::{CostModel, SimConfig};
+
+fn main() {
+    let n: usize = arg("n", 12);
+    let cores: usize = arg("cores", 64);
+    let prob = queens(n, QueensModel::Pairwise);
+    println!("Polling-policy ablation, queens-{n} @ {cores} simulated cores\n");
+    println!(
+        "{:<18} {:>9} {:>8} {:>12} {:>12}",
+        "policy", "polls", "Poll%", "WaitRemote%", "makespan(s)"
+    );
+    for (label, policy) in [
+        ("fixed(4)", PollPolicy::Fixed(4)),
+        ("fixed(64)", PollPolicy::Fixed(64)),
+        ("fixed(1024)", PollPolicy::Fixed(1024)),
+        ("dynamic(2..64)", PollPolicy::Dynamic { min: 2, max: 64 }),
+        ("dynamic(4..1024)", PollPolicy::Dynamic { min: 4, max: 1024 }),
+    ] {
+        let mut cfg = SimConfig::new(topo_for(cores));
+        cfg.costs = CostModel::paper_queens();
+        cfg.poll = policy;
+        let r = sim_cp_macs(&prob, &cfg);
+        let polls: u64 = r.workers.iter().map(|w| w.polls).sum();
+        let fr = r.state_fractions();
+        println!(
+            "{label:<18} {polls:>9} {:>7.2}% {:>11.2}% {:>12.4}",
+            fr[WorkerState::Poll as usize] * 100.0,
+            fr[WorkerState::WaitRemote as usize] * 100.0,
+            r.makespan_ns as f64 / 1e9
+        );
+    }
+    println!("\nExpected: eager fixed polling wastes time in Poll; lazy fixed polling\n\
+              inflates WaitRemote (thieves starve); a dynamic interval with a sane\n\
+              ceiling (the shipped default) gets both ends right — and an\n\
+              over-generous ceiling shows why the ceiling matters.");
+}

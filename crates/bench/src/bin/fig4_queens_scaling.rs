@@ -1,0 +1,54 @@
+//! Figure 4 — N-Queens scalability: (a) speed-up, (b) parallel efficiency,
+//! (c) performance in Mnodes/s vs the ideal, for MaCS (default), MaCS
+//! (best: tuned release interval) and PaCCS.
+
+use macs_bench::{arg, core_series, print_scaling, scale_row, sim_cp_macs, sim_cp_paccs, topo_for};
+use macs_problems::{queens, QueensModel};
+use macs_runtime::ReleasePolicy;
+use macs_sim::{CostModel, SimConfig};
+
+fn main() {
+    let n: usize = arg("n", 12);
+    let prob = queens(n, QueensModel::Pairwise);
+    println!("Fig. 4 — queens-{n} scalability (simulated; paper: queens-17)\n");
+
+    // Per-system 1-core baselines (each system is normalised by its own
+    // sequential execution, as in the paper).
+    let mut base_cfg = SimConfig::new(topo_for(1));
+    base_cfg.costs = CostModel::paper_queens();
+    let base_m = sim_cp_macs(&prob, &base_cfg);
+    let base_m_s = base_m.makespan_ns as f64 / 1e9;
+    let _ = base_m_s;
+    let mut best_base_cfg = base_cfg.clone();
+    best_base_cfg.release = ReleasePolicy::tuned();
+    let base_b_s = sim_cp_macs(&prob, &best_base_cfg).makespan_ns as f64 / 1e9;
+    let base_p_s = sim_cp_paccs(&prob, &base_cfg).makespan_ns as f64 / 1e9;
+    let ideal = base_m.total_items() as f64 / base_m_s / 1e6;
+
+    let mut macs_default = Vec::new();
+    let mut macs_best = Vec::new();
+    let mut paccs = Vec::new();
+    for cores in core_series() {
+        let mut cfg = SimConfig::new(topo_for(cores));
+        cfg.costs = CostModel::paper_queens();
+        // Both MaCS variants are normalised by the release-free 1-core
+        // execution, so the default's extraneous-release cost shows up as
+        // an efficiency dip (paper: 91% at 8 cores, recovered by "best").
+        macs_default.push(scale_row(cores, base_b_s, &sim_cp_macs(&prob, &cfg)));
+        let mut best = cfg.clone();
+        best.release = ReleasePolicy::tuned();
+        macs_best.push(scale_row(cores, base_b_s, &sim_cp_macs(&prob, &best)));
+        paccs.push(scale_row(cores, base_p_s, &sim_cp_paccs(&prob, &cfg)));
+        eprintln!("  [{cores} cores done]");
+    }
+    print_scaling(
+        &[
+            ("MaCS", macs_default),
+            ("MaCS(best)", macs_best),
+            ("PaCCS", paccs),
+        ],
+        ideal,
+    );
+    println!("\nPaper shape: all three scale near-linearly; MaCS default efficiency dips\n\
+              (release overhead), MaCS(best) recovers to ~96%; PaCCS close behind.");
+}

@@ -1,0 +1,36 @@
+//! Figure 6 — QAP scalability: speed-up, efficiency, performance.
+
+use macs_bench::{arg, core_series, print_scaling, scale_row, sim_cp_macs, sim_cp_paccs, topo_for};
+use macs_problems::{qap::QapInstance, qap_model};
+use macs_sim::{CostModel, SimConfig};
+
+fn main() {
+    let n: usize = arg("n", 11);
+    let inst = QapInstance::hypercube_like(n, 5);
+    let prob = qap_model(&inst);
+    println!("Fig. 6 — {} scalability (simulated; paper: esc16e)\n", inst.name);
+
+    let mut base_cfg = SimConfig::new(topo_for(1));
+    base_cfg.costs = CostModel::paper_qap();
+    let base = sim_cp_macs(&prob, &base_cfg);
+    let base_s = base.makespan_ns as f64 / 1e9;
+    let base_p_s = sim_cp_paccs(&prob, &base_cfg).makespan_ns as f64 / 1e9;
+    let ideal = base.total_items() as f64 / base_s / 1e6;
+
+    let mut macs = Vec::new();
+    let mut paccs = Vec::new();
+    for cores in core_series() {
+        let mut cfg = SimConfig::new(topo_for(cores));
+        cfg.costs = CostModel::paper_qap();
+        let m = sim_cp_macs(&prob, &cfg);
+        let p = sim_cp_paccs(&prob, &cfg);
+        assert_eq!(m.incumbent, base.incumbent, "optimum must be invariant");
+        assert_eq!(p.incumbent, base.incumbent);
+        macs.push(scale_row(cores, base_s, &m));
+        paccs.push(scale_row(cores, base_p_s, &p));
+        eprintln!("  [{cores} cores done: MaCS {} nodes / PaCCS {} nodes]", m.total_items(), p.total_items());
+    }
+    print_scaling(&[("MaCS", macs), ("PaCCS", paccs)], ideal);
+    println!("\nPaper shape: near-linear speed-ups, efficiency above ~90%, MaCS a whisker\n\
+              ahead of PaCCS at the largest scale; node counts grow mildly with cores.");
+}

@@ -1,0 +1,40 @@
+//! §VI text — the solve-phase split: "propagation takes around 48%,
+//! splitting around 10% and restoring takes around 42%" for N-Queens, and
+//! "80% / 5% / 15%" for the QAP. Measured on the real threaded runtime.
+
+use macs_bench::arg;
+use macs_core::{Solver, SolverConfig};
+use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
+
+fn main() {
+    let n: usize = arg("n", 11);
+    let workers: usize = arg("workers", 2);
+    println!("Solve-phase split (threaded, {workers} workers); paper: 48/10/42 queens, 80/5/15 QAP\n");
+    println!("{:<16} {:>11} {:>9} {:>9}", "problem", "propagate", "split", "restore");
+
+    for (label, prob) in [
+        (format!("queens-{n}"), queens(n, QueensModel::Pairwise)),
+        ("qap-cube10".to_string(), qap_model(&QapInstance::hypercube_like(10, 5))),
+    ] {
+        let out = Solver::new(SolverConfig::with_workers(workers)).solve(&prob);
+        // propagate + split measured inside the processor; "restore" is the
+        // worker time spent obtaining stores (Searching/Stealing states).
+        let mut prop = 0.0;
+        let mut split = 0.0;
+        let mut restore = 0.0;
+        for w in &out.report.workers {
+            prop += w.phase.propagate.as_secs_f64();
+            split += w.phase.split.as_secs_f64();
+            restore += w.clock.totals[macs_runtime::WorkerState::Searching as usize].as_secs_f64()
+                + w.clock.totals[macs_runtime::WorkerState::Stealing as usize].as_secs_f64();
+        }
+        let total = prop + split + restore;
+        println!(
+            "{label:<16} {:>10.1}% {:>8.1}% {:>8.1}%   ({} nodes)",
+            100.0 * prop / total,
+            100.0 * split / total,
+            100.0 * restore / total,
+            out.nodes
+        );
+    }
+}

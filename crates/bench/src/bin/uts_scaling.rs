@@ -1,0 +1,52 @@
+//! Reference [1] — the UTS benchmark that the MaCS pool/load balancer was
+//! built on: scaling of pure tree search with no constraint work.
+
+use macs_bench::{arg, core_series, topo_for};
+use macs_sim::{simulate_macs, CostModel, SimConfig};
+use macs_uts::{uts_sequential, TreeShape, UtsProcessor, SLOT_WORDS};
+
+fn main() {
+    // Default: the near-critical binomial tree (the classic UTS stress
+    // shape); pass --geo with --b0/--depth for a geometric tree.
+    let seed: u32 = arg("seed", 3);
+    let shape = if std::env::args().any(|a| a == "--geo") {
+        TreeShape::Geometric {
+            b0: arg("b0", 4.0),
+            gen_mx: arg("depth", 14),
+        }
+    } else {
+        TreeShape::medium_bin(seed)
+    };
+    let reference = uts_sequential(shape, seed);
+    println!(
+        "UTS tree {shape:?}: {} nodes, {} leaves, depth {}\n",
+        reference.nodes, reference.leaves, reference.max_depth
+    );
+
+    let mut base_cfg = SimConfig::new(topo_for(1));
+    base_cfg.costs = CostModel::woodcrest_ib(1_500); // UTS nodes are cheap
+    let base = simulate_macs(&base_cfg, SLOT_WORDS, &[UtsProcessor::root_item(seed)], |_| {
+        UtsProcessor::new(shape)
+    });
+    let base_s = base.makespan_ns as f64 / 1e9;
+
+    println!(
+        "{:>6} {:>11} {:>11} {:>9} {:>9} {:>9}",
+        "cores", "speed-up", "efficiency", "l.steals", "r.steals", "failed"
+    );
+    for cores in core_series() {
+        let mut cfg = SimConfig::new(topo_for(cores));
+        cfg.costs = CostModel::woodcrest_ib(1_500);
+        let r = simulate_macs(&cfg, SLOT_WORDS, &[UtsProcessor::root_item(seed)], |_| {
+            UtsProcessor::new(shape)
+        });
+        assert_eq!(r.total_items(), reference.nodes, "tree conserved");
+        let (lo, lf, ro, rf) = r.steal_totals();
+        let s = base_s / (r.makespan_ns as f64 / 1e9);
+        println!(
+            "{cores:>6} {s:>11.2} {:>10.1}% {lo:>9} {ro:>9} {:>9}",
+            100.0 * s / cores as f64,
+            lf + rf
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Shared harness code for regenerating every table and figure of the
+//! paper's evaluation (§VI).
+//!
+//! Each `fig*`/`table*`/`ablation*` binary in `src/bin/` prints the same
+//! rows/series the paper reports, produced by the discrete-event simulator
+//! (for the 8–512-core series) or the threaded runtime (for host-scale
+//! measurements). See EXPERIMENTS.md for the experiment-by-experiment
+//! mapping and recorded outputs.
+
+use macs_core::{CpOutput, CpProcessor};
+use macs_engine::CompiledProblem;
+use macs_gpi::Topology;
+use macs_runtime::{WorkerState, NUM_STATES};
+use macs_sim::{simulate_macs, simulate_paccs, SimConfig, SimReport};
+
+/// The paper's cluster shape: 4 cores per node; fewer than 4 cores means a
+/// single node.
+pub fn topo_for(cores: usize) -> Topology {
+    if cores >= 4 && cores.is_multiple_of(4) {
+        Topology::clustered(cores, 4)
+    } else {
+        Topology::single_node(cores)
+    }
+}
+
+/// Simulate MaCS solving `prob` under `cfg`.
+pub fn sim_cp_macs(prob: &CompiledProblem, cfg: &SimConfig) -> SimReport<CpOutput> {
+    simulate_macs(
+        cfg,
+        prob.layout.store_words(),
+        &[prob.root.as_words().to_vec()],
+        |_| CpProcessor::new(prob, 0, false),
+    )
+}
+
+/// Simulate PaCCS solving `prob` under `cfg`.
+pub fn sim_cp_paccs(prob: &CompiledProblem, cfg: &SimConfig) -> SimReport<CpOutput> {
+    simulate_paccs(
+        cfg,
+        prob.layout.store_words(),
+        &[prob.root.as_words().to_vec()],
+        |_| CpProcessor::new(prob, 0, false),
+    )
+}
+
+/// Parse `--name value` from the process arguments.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == format!("--{name}") {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// `--full` switches the harnesses from quick (minutes) to paper-scale
+/// instances.
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// The core counts of the paper's x-axes (quick mode stops at 128).
+pub fn core_series() -> Vec<usize> {
+    if full_scale() {
+        vec![8, 16, 32, 64, 128, 256, 512]
+    } else {
+        vec![8, 16, 32, 64, 128]
+    }
+}
+
+/// Print the Fig. 3/5-style worker-state breakdown, one row per core
+/// count.
+pub fn print_state_table(rows: &[(usize, [f64; NUM_STATES], f64)]) {
+    print!("{:>6}", "cores");
+    for s in WorkerState::ALL {
+        print!("  {:>16}", s.name());
+    }
+    println!("  {:>9}", "Overhead");
+    for (cores, fr, overhead) in rows {
+        print!("{cores:>6}");
+        for f in fr {
+            print!("  {:>15.2}%", f * 100.0);
+        }
+        println!("  {:>8.2}%", overhead * 100.0);
+    }
+}
+
+/// One row of a paper-style work-stealing table (Tables I and II).
+pub struct StealRow {
+    pub cores: usize,
+    pub total_nodes: u64,
+    pub local_total: u64,
+    pub local_failed: u64,
+    pub remote_total: u64,
+    pub remote_failed: u64,
+}
+
+/// Print Tables I/II with the paper's columns: total, per-core, failed and
+/// failure rate for local and remote steals.
+pub fn print_steal_table(title: &str, rows: &[StealRow]) {
+    println!("{title}");
+    println!(
+        "{:>6} {:>12} | {:>9} {:>9} {:>7} {:>6} | {:>9} {:>9} {:>7} {:>6}",
+        "Cores",
+        "Total Nodes",
+        "L.Total",
+        "L.p/core",
+        "L.Fail",
+        "Rate",
+        "R.Total",
+        "R.p/core",
+        "R.Fail",
+        "Rate"
+    );
+    for r in rows {
+        let lrate = pct(r.local_failed, r.local_total + r.local_failed);
+        let rrate = pct(r.remote_failed, r.remote_total + r.remote_failed);
+        println!(
+            "{:>6} {:>12} | {:>9} {:>9.2} {:>7} {:>5.2}% | {:>9} {:>9.2} {:>7} {:>5.2}%",
+            r.cores,
+            r.total_nodes,
+            r.local_total,
+            r.local_total as f64 / r.cores as f64,
+            r.local_failed,
+            lrate,
+            r.remote_total,
+            r.remote_total as f64 / r.cores as f64,
+            r.remote_failed,
+            rrate,
+        );
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// One row of a Fig. 4/6-style scaling series.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleRow {
+    pub cores: usize,
+    pub seconds: f64,
+    pub speedup: f64,
+    pub efficiency: f64,
+    pub mnodes_per_sec: f64,
+}
+
+/// Build a scaling row from a simulation report and the 1-core baseline.
+pub fn scale_row<O>(cores: usize, base_s: f64, report: &SimReport<O>) -> ScaleRow {
+    let seconds = report.makespan_ns as f64 / 1e9;
+    let speedup = base_s / seconds;
+    ScaleRow {
+        cores,
+        seconds,
+        speedup,
+        efficiency: speedup / cores as f64,
+        mnodes_per_sec: report.total_items() as f64 / seconds / 1e6,
+    }
+}
+
+/// Print one or more named scaling series side by side (speed-up,
+/// efficiency and performance — the a/b/c panels of Fig. 4 and 6).
+pub fn print_scaling(series: &[(&str, Vec<ScaleRow>)], ideal_mnodes_1core: f64) {
+    println!("-- speed-up --");
+    print!("{:>6}", "cores");
+    for (name, _) in series {
+        print!(" {name:>14}");
+    }
+    println!();
+    for i in 0..series[0].1.len() {
+        print!("{:>6}", series[0].1[i].cores);
+        for (_, rows) in series {
+            print!(" {:>14.2}", rows[i].speedup);
+        }
+        println!();
+    }
+    println!("-- efficiency --");
+    for i in 0..series[0].1.len() {
+        print!("{:>6}", series[0].1[i].cores);
+        for (_, rows) in series {
+            print!(" {:>13.1}%", rows[i].efficiency * 100.0);
+        }
+        println!();
+    }
+    println!("-- performance (Mnodes/s, ideal = cores × 1-core rate) --");
+    for i in 0..series[0].1.len() {
+        let cores = series[0].1[i].cores;
+        print!("{:>6} {:>10.2} (ideal)", cores, ideal_mnodes_1core * cores as f64);
+        for (_, rows) in series {
+            print!(" {:>12.2}", rows[i].mnodes_per_sec);
+        }
+        println!();
+    }
+}

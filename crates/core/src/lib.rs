@@ -1,0 +1,37 @@
+//! **MaCS** — the parallel complete constraint solver (paper §IV).
+//!
+//! This crate plugs the CP kernel (`macs-engine`) into the hierarchical
+//! work-stealing runtime (`macs-runtime`): a [`CpProcessor`] executes the
+//! three-step solving procedure — **propagation** to fixpoint,
+//! **splitting** into child stores, and (in the runtime) **restoring** a
+//! new store — while the runtime moves stores between workers' pools to
+//! keep the computation balanced.
+//!
+//! The public entry point is [`solve_parallel`] (plus the [`Solver`]
+//! builder); the sequential reference solver is re-exported as
+//! [`solve_seq`] for baselines and oracles.
+//!
+//! ```
+//! use macs_core::{Solver, SolverConfig};
+//! use macs_engine::{Model, Propag};
+//!
+//! // x + y = 7, x ≠ y, two workers on one node.
+//! let mut m = Model::new("demo");
+//! let x = m.new_var(0, 9);
+//! let y = m.new_var(0, 9);
+//! m.post(Propag::LinearEq { terms: vec![(1, x), (1, y)], k: 7 });
+//! m.post(Propag::NeqOffset { x, y, c: 0 });
+//! let prob = m.compile();
+//! let out = Solver::new(SolverConfig::with_workers(2)).solve(&prob);
+//! assert_eq!(out.solutions, 8);
+//! ```
+
+pub mod processor;
+pub mod solve;
+
+pub use processor::{CpOutput, CpProcessor};
+pub use solve::{solve_parallel, SolveOutcome, Solver, SolverConfig};
+
+pub use macs_engine::seq::{solve_seq, SeqOptions, SeqResult};
+pub use macs_engine::{CompiledProblem, Model};
+pub use macs_runtime::{RunReport, RuntimeConfig};

@@ -1,0 +1,208 @@
+//! The CP work-item processor: one store in, zero or more child stores out.
+
+use macs_domain::{Store, StoreView, Val};
+use macs_engine::{CompiledProblem, Engine, PropOutcome, ScheduleSeed};
+use macs_runtime::stats::timed;
+use macs_runtime::{ProcCtx, Processor, Step};
+
+/// Per-worker results of a constraint solve.
+#[derive(Clone, Debug, Default)]
+pub struct CpOutput {
+    /// Solutions found by this worker (for optimisation: solutions that
+    /// improved the incumbent known to this worker at the time).
+    pub solutions: u64,
+    /// Stores processed by this worker.
+    pub nodes: u64,
+    /// Individual propagator executions.
+    pub prop_runs: u64,
+    /// Best (cost, assignment) this worker saw (optimisation).
+    pub best: Option<(i64, Vec<Val>)>,
+    /// Up to `keep_solutions` assignments (satisfaction).
+    pub kept: Vec<Vec<Val>>,
+}
+
+/// The MaCS worker's inner cycle as a runtime [`Processor`]: propagate the
+/// store, and either fail (leaf), emit a solution (leaf), or split —
+/// pushing all children but the first and continuing with the first in
+/// place.
+pub struct CpProcessor<'a> {
+    prob: &'a CompiledProblem,
+    engine: Engine,
+    /// Scratch buffer used by the brancher to build children.
+    scratch: Vec<u64>,
+    /// Children of the current split, in exploration order.
+    children: Vec<Vec<u64>>,
+    out: CpOutput,
+    keep_solutions: usize,
+    /// Stop after the first solution (satisfaction only): request global
+    /// cancellation once a solution is found.
+    first_only: bool,
+}
+
+impl<'a> CpProcessor<'a> {
+    pub fn new(prob: &'a CompiledProblem, keep_solutions: usize, first_only: bool) -> Self {
+        CpProcessor {
+            prob,
+            engine: Engine::new(prob),
+            scratch: vec![0u64; prob.layout.store_words()],
+            children: Vec::new(),
+            out: CpOutput::default(),
+            keep_solutions,
+            first_only,
+        }
+    }
+
+    /// The root work item for this problem (the compiled root store).
+    pub fn root_item(prob: &CompiledProblem) -> Vec<u64> {
+        prob.root.as_words().to_vec()
+    }
+}
+
+impl Processor for CpProcessor<'_> {
+    type Output = CpOutput;
+
+    fn process(&mut self, buf: &mut [u64], ctx: &mut ProcCtx<'_>) -> Step {
+        let prob = self.prob;
+        let layout = &prob.layout;
+        self.out.nodes += 1;
+
+        // The branch-and-bound bound in force for this store.
+        let incumbent = if prob.objective.is_some() {
+            ctx.incumbent.get()
+        } else {
+            i64::MAX
+        };
+
+        // Stores created by a split carry their branch variable in the
+        // header; anything else (root, stolen stores of unknown history)
+        // gets a full reschedule.
+        let seed = match Store::from_words(layout, buf).branch_var() {
+            Some(v) => ScheduleSeed::Var(v),
+            None => ScheduleSeed::All,
+        };
+
+        // --- step 1: propagation ------------------------------------------
+        let outcome = timed(&mut ctx.phase.propagate, || {
+            self.engine.propagate(prob, buf, incumbent, seed)
+        });
+        if outcome == PropOutcome::Failed {
+            return Step::Leaf;
+        }
+
+        // --- step 2: splitting (or a solution) -----------------------------
+        let var = timed(&mut ctx.phase.split, || {
+            prob.brancher.choose_var(layout, buf)
+        });
+        let Some(var) = var else {
+            // All variables assigned: a solution.
+            let view = StoreView::new(layout, buf);
+            let assignment = view.assignment().expect("complete assignment");
+            match prob.objective.cost(view) {
+                Some(cost) => {
+                    // Improving solutions only (the incumbent may have moved
+                    // since propagation; `submit` re-checks atomically).
+                    if ctx.incumbent.submit(cost) {
+                        self.out.solutions += 1;
+                        ctx.solution();
+                        self.out.best = Some((cost, assignment));
+                    }
+                }
+                None => {
+                    self.out.solutions += 1;
+                    ctx.solution();
+                    if self.out.kept.len() < self.keep_solutions {
+                        self.out.kept.push(assignment);
+                    }
+                    if self.first_only {
+                        ctx.cancel();
+                    }
+                }
+            }
+            return Step::Leaf;
+        };
+
+        let n = timed(&mut ctx.phase.split, || {
+            self.children.clear();
+            let children = &mut self.children;
+            let count = prob.brancher.split(
+                prob,
+                buf,
+                &mut self.scratch,
+                |c| children.push(c.to_vec()),
+                var,
+            );
+            // Stamp the bound in force into the children (diagnostics).
+            for c in children.iter_mut() {
+                c[1] = incumbent as u64;
+            }
+            count
+        });
+        debug_assert!(n >= 1);
+
+        // Continue depth-first with the first child; push the rest in
+        // reverse so the owner pops them in exploration order (thieves take
+        // from the opposite end — the oldest, largest sub-problems).
+        buf.copy_from_slice(&self.children[0]);
+        for c in self.children[1..].iter().rev() {
+            ctx.push(c);
+        }
+        Step::Continue
+    }
+
+    fn finish(mut self) -> CpOutput {
+        self.out.prop_runs = self.engine.runs;
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_engine::{Model, Propag};
+    use macs_runtime::{run_parallel, RuntimeConfig};
+
+    fn tiny_problem() -> CompiledProblem {
+        // x, y ∈ 0..=3, x ≠ y: 12 solutions.
+        let mut m = Model::new("tiny");
+        let x = m.new_var(0, 3);
+        let y = m.new_var(0, 3);
+        m.post(Propag::NeqOffset { x, y, c: 0 });
+        m.compile()
+    }
+
+    #[test]
+    fn processor_counts_solutions() {
+        let prob = tiny_problem();
+        let cfg = RuntimeConfig::single_node(1);
+        let report = run_parallel(
+            &cfg,
+            prob.layout.store_words(),
+            &[CpProcessor::root_item(&prob)],
+            |_| CpProcessor::new(&prob, 100, false),
+        );
+        let sols: u64 = report.outputs.iter().map(|o| o.solutions).sum();
+        assert_eq!(sols, 12);
+        let kept: usize = report.outputs.iter().map(|o| o.kept.len()).sum();
+        assert_eq!(kept, 12);
+        for o in &report.outputs {
+            for a in &o.kept {
+                assert!(prob.check_assignment(a));
+            }
+        }
+    }
+
+    #[test]
+    fn first_only_cancels_early() {
+        let prob = tiny_problem();
+        let cfg = RuntimeConfig::single_node(2);
+        let report = run_parallel(
+            &cfg,
+            prob.layout.store_words(),
+            &[CpProcessor::root_item(&prob)],
+            |_| CpProcessor::new(&prob, 4, true),
+        );
+        let sols: u64 = report.outputs.iter().map(|o| o.solutions).sum();
+        assert!(sols >= 1, "at least one solution before cancel");
+        assert!(sols < 12, "cancellation must cut the enumeration short");
+    }
+}

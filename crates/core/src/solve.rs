@@ -1,0 +1,254 @@
+//! High-level solving API.
+
+use macs_domain::Val;
+use macs_engine::CompiledProblem;
+use macs_runtime::{run_parallel, RunReport, RuntimeConfig};
+
+use crate::processor::{CpOutput, CpProcessor};
+
+/// Configuration of a parallel solve: the runtime (topology, stealing,
+/// polling, release, bound dissemination) plus solver-level options.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    pub runtime: RuntimeConfig,
+    /// Keep at most this many concrete solutions per worker (counting is
+    /// unaffected).
+    pub keep_solutions: usize,
+    /// Stop the whole run at the first solution (satisfaction problems).
+    pub first_only: bool,
+}
+
+impl SolverConfig {
+    /// `n` workers on a single shared-memory node.
+    pub fn with_workers(n: usize) -> Self {
+        SolverConfig {
+            runtime: RuntimeConfig::single_node(n),
+            keep_solutions: 16,
+            first_only: false,
+        }
+    }
+
+    /// The paper's cluster shape: `total` workers in nodes of
+    /// `cores_per_node`.
+    pub fn clustered(total: usize, cores_per_node: usize) -> Self {
+        SolverConfig {
+            runtime: RuntimeConfig::clustered(total, cores_per_node),
+            keep_solutions: 16,
+            first_only: false,
+        }
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig::with_workers(1)
+    }
+}
+
+/// Result of a parallel solve.
+#[derive(Debug)]
+pub struct SolveOutcome {
+    /// Solutions found. For optimisation problems this counts *improving*
+    /// solutions (each strictly better than the incumbent at the time).
+    pub solutions: u64,
+    /// Total stores processed across all workers (the paper's "Total
+    /// Nodes").
+    pub nodes: u64,
+    /// Optimal cost (optimisation problems; `None` if unsatisfiable or a
+    /// satisfaction problem).
+    pub best_cost: Option<i64>,
+    /// An optimal (or sample) assignment.
+    pub best_assignment: Option<Vec<Val>>,
+    /// Collected sample solutions.
+    pub kept: Vec<Vec<Val>>,
+    /// Full runtime report (worker states, steal statistics, traffic).
+    pub report: RunReport<CpOutput>,
+}
+
+/// Solve `prob` on the MaCS runtime according to `cfg`.
+pub fn solve_parallel(prob: &CompiledProblem, cfg: &SolverConfig) -> SolveOutcome {
+    let report = run_parallel(
+        &cfg.runtime,
+        prob.layout.store_words(),
+        &[CpProcessor::root_item(prob)],
+        |_worker| CpProcessor::new(prob, cfg.keep_solutions, cfg.first_only),
+    );
+
+    let solutions: u64 = report.outputs.iter().map(|o| o.solutions).sum();
+    let nodes: u64 = report.outputs.iter().map(|o| o.nodes).sum();
+
+    let mut best_cost = None;
+    let mut best_assignment = None;
+    if prob.objective.is_some() && report.incumbent != i64::MAX {
+        best_cost = Some(report.incumbent);
+        // The worker whose submission set the final incumbent recorded the
+        // matching assignment.
+        for o in &report.outputs {
+            if let Some((c, a)) = &o.best {
+                if *c == report.incumbent {
+                    best_assignment = Some(a.clone());
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut kept: Vec<Vec<Val>> = Vec::new();
+    for o in &report.outputs {
+        for a in &o.kept {
+            if kept.len() >= cfg.keep_solutions {
+                break;
+            }
+            kept.push(a.clone());
+        }
+    }
+    if best_assignment.is_none() {
+        best_assignment = kept.first().cloned();
+    }
+
+    SolveOutcome {
+        solutions,
+        nodes,
+        best_cost,
+        best_assignment,
+        kept,
+        report,
+    }
+}
+
+/// Builder-style front end over [`solve_parallel`].
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    cfg: SolverConfig,
+}
+
+impl Solver {
+    pub fn new(cfg: SolverConfig) -> Self {
+        Solver { cfg }
+    }
+
+    /// Access the configuration for tweaking.
+    pub fn config_mut(&mut self) -> &mut SolverConfig {
+        &mut self.cfg
+    }
+
+    pub fn solve(&self, prob: &CompiledProblem) -> SolveOutcome {
+        solve_parallel(prob, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_engine::seq::{solve_seq, SeqOptions};
+    use macs_engine::{Model, Propag, Val};
+
+    fn queens(n: usize) -> CompiledProblem {
+        let mut m = Model::new(format!("queens-{n}"));
+        let q = m.new_vars(n, 0, (n - 1) as Val);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = (j - i) as i64;
+                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: 0 });
+                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: d });
+                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: -d });
+            }
+        }
+        m.compile()
+    }
+
+    /// Minimise total "cost" x+2y subject to x+y ≥ 5, via a linear model.
+    fn small_opt() -> CompiledProblem {
+        let mut m = Model::new("opt");
+        let x = m.new_var(0, 9);
+        let y = m.new_var(0, 9);
+        let cost = m.new_var(0, 30);
+        m.post(Propag::LinearLe {
+            terms: vec![(-1, x), (-1, y)],
+            k: -5,
+        });
+        m.post(Propag::LinearEq {
+            terms: vec![(1, x), (2, y), (-1, cost)],
+            k: 0,
+        });
+        m.minimize_var(cost);
+        m.compile()
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential_across_topologies() {
+        for n in [6usize, 7, 8] {
+            let prob = queens(n);
+            let seq = solve_seq(&prob, &SeqOptions::default());
+            for cfg in [
+                SolverConfig::with_workers(1),
+                SolverConfig::with_workers(4),
+                SolverConfig::clustered(4, 2),
+                SolverConfig::clustered(6, 2),
+            ] {
+                let out = solve_parallel(&prob, &cfg);
+                assert_eq!(out.solutions, seq.solutions, "queens-{n} {:?}", cfg.runtime.topology);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_optimum_matches_sequential() {
+        let prob = small_opt();
+        let seq = solve_seq(&prob, &SeqOptions::default());
+        assert_eq!(seq.best_cost, Some(5)); // x=5, y=0
+        for workers in [1, 2, 4] {
+            let out = solve_parallel(&prob, &SolverConfig::with_workers(workers));
+            assert_eq!(out.best_cost, Some(5));
+            let a = out.best_assignment.as_ref().unwrap();
+            assert!(prob.check_assignment(a));
+            assert_eq!(a[2] as i64, 5);
+        }
+    }
+
+    #[test]
+    fn first_only_returns_a_valid_solution() {
+        let prob = queens(8);
+        let mut cfg = SolverConfig::with_workers(2);
+        cfg.first_only = true;
+        let out = solve_parallel(&prob, &cfg);
+        assert!(out.solutions >= 1);
+        let a = out.best_assignment.as_ref().expect("one solution kept");
+        assert!(prob.check_assignment(a));
+        // Early cut: far fewer nodes than the full 8-queens enumeration.
+        let full = solve_seq(&prob, &SeqOptions::default());
+        assert!(out.nodes < full.nodes);
+    }
+
+    #[test]
+    fn unsat_problem_reports_zero() {
+        let prob = queens(3);
+        let out = solve_parallel(&prob, &SolverConfig::with_workers(3));
+        assert_eq!(out.solutions, 0);
+        assert!(out.best_assignment.is_none());
+        assert_eq!(out.best_cost, None);
+    }
+
+    #[test]
+    fn hierarchical_solve_exercises_remote_path() {
+        let prob = queens(9);
+        let cfg = SolverConfig::clustered(4, 2);
+        let out = solve_parallel(&prob, &cfg);
+        let seq = solve_seq(&prob, &SeqOptions::default());
+        assert_eq!(out.solutions, seq.solutions);
+        // Not guaranteed every run steals remotely, but traffic must exist
+        // (metadata scans at minimum).
+        assert!(out.report.traffic.remote_reads > 0);
+    }
+
+    #[test]
+    fn phase_split_is_recorded() {
+        let prob = queens(8);
+        let out = solve_parallel(&prob, &SolverConfig::with_workers(2));
+        let phase = out.report.workers.iter().fold(
+            std::time::Duration::ZERO,
+            |acc, w| acc + w.phase.propagate + w.phase.split,
+        );
+        assert!(phase > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,459 @@
+//! Word-level bitmap operations on `[u64]` slices.
+//!
+//! A domain over values `0..=max` occupies `words_for(max)` 64-bit words;
+//! bit `v` of the bitmap is set iff value `v` is in the domain. All
+//! functions assume (and preserve) the invariant that bits above `max` are
+//! zero, which keeps population counts and min/max scans branch-light.
+
+use crate::Val;
+
+/// Number of 64-bit words needed for values `0..=max`.
+#[inline]
+pub const fn words_for(max: Val) -> usize {
+    (max as usize + 64) / 64
+}
+
+/// Mask of valid bits in the last word of a domain over `0..=max`.
+#[inline]
+pub const fn last_word_mask(max: Val) -> u64 {
+    let rem = (max as u64 + 1) % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// Set the domain to the full set `{0, …, max}`.
+#[inline]
+pub fn fill_full(dom: &mut [u64], max: Val) {
+    let n = words_for(max);
+    debug_assert!(dom.len() >= n);
+    for w in dom[..n - 1].iter_mut() {
+        *w = u64::MAX;
+    }
+    dom[n - 1] = last_word_mask(max);
+    for w in dom[n..].iter_mut() {
+        *w = 0;
+    }
+}
+
+/// Empty the domain.
+#[inline]
+pub fn clear(dom: &mut [u64]) {
+    for w in dom.iter_mut() {
+        *w = 0;
+    }
+}
+
+/// Does the domain contain `v`?
+#[inline]
+pub fn contains(dom: &[u64], v: Val) -> bool {
+    let (w, b) = (v as usize / 64, v as usize % 64);
+    w < dom.len() && dom[w] >> b & 1 == 1
+}
+
+/// Remove `v`; returns `true` if the domain changed.
+#[inline]
+pub fn remove(dom: &mut [u64], v: Val) -> bool {
+    let (w, b) = (v as usize / 64, v as usize % 64);
+    if w >= dom.len() {
+        return false;
+    }
+    let old = dom[w];
+    dom[w] = old & !(1u64 << b);
+    dom[w] != old
+}
+
+/// Insert `v` (used by tests and model construction, not by propagation).
+#[inline]
+pub fn insert(dom: &mut [u64], v: Val) {
+    let (w, b) = (v as usize / 64, v as usize % 64);
+    dom[w] |= 1u64 << b;
+}
+
+/// Reduce the domain to the singleton `{v}`; returns `true` if it changed.
+#[inline]
+pub fn keep_only(dom: &mut [u64], v: Val) -> bool {
+    let (w, b) = (v as usize / 64, v as usize % 64);
+    let mut changed = false;
+    for (i, word) in dom.iter_mut().enumerate() {
+        let want = if i == w { 1u64 << b } else { 0 };
+        let new = *word & want;
+        if new != *word {
+            changed = true;
+            *word = new;
+        }
+    }
+    changed
+}
+
+/// Number of values in the domain.
+#[inline]
+pub fn count(dom: &[u64]) -> u32 {
+    dom.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Is the domain empty?
+#[inline]
+pub fn is_empty(dom: &[u64]) -> bool {
+    dom.iter().all(|&w| w == 0)
+}
+
+/// Smallest value, if any.
+#[inline]
+pub fn min(dom: &[u64]) -> Option<Val> {
+    for (i, &w) in dom.iter().enumerate() {
+        if w != 0 {
+            return Some((i * 64 + w.trailing_zeros() as usize) as Val);
+        }
+    }
+    None
+}
+
+/// Largest value, if any.
+#[inline]
+pub fn max(dom: &[u64]) -> Option<Val> {
+    for (i, &w) in dom.iter().enumerate().rev() {
+        if w != 0 {
+            return Some((i * 64 + 63 - w.leading_zeros() as usize) as Val);
+        }
+    }
+    None
+}
+
+/// If the domain is a singleton `{v}`, return `v`.
+#[inline]
+pub fn singleton(dom: &[u64]) -> Option<Val> {
+    let mut found: Option<Val> = None;
+    for (i, &w) in dom.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        if found.is_some() || !w.is_power_of_two() {
+            return None;
+        }
+        found = Some((i * 64 + w.trailing_zeros() as usize) as Val);
+    }
+    found
+}
+
+/// Is the domain exactly one value?
+#[inline]
+pub fn is_singleton(dom: &[u64]) -> bool {
+    singleton(dom).is_some()
+}
+
+/// Smallest value strictly greater than `v`, if any.
+#[inline]
+pub fn next_above(dom: &[u64], v: Val) -> Option<Val> {
+    let start = v as usize + 1;
+    let (mut w, b) = (start / 64, start % 64);
+    if w >= dom.len() {
+        return None;
+    }
+    let masked = dom[w] & (u64::MAX << b);
+    if masked != 0 {
+        return Some((w * 64 + masked.trailing_zeros() as usize) as Val);
+    }
+    w += 1;
+    while w < dom.len() {
+        if dom[w] != 0 {
+            return Some((w * 64 + dom[w].trailing_zeros() as usize) as Val);
+        }
+        w += 1;
+    }
+    None
+}
+
+/// Remove every value `< v`; returns `true` if the domain changed.
+#[inline]
+pub fn remove_below(dom: &mut [u64], v: Val) -> bool {
+    let (w, b) = (v as usize / 64, v as usize % 64);
+    let mut changed = false;
+    for (i, word) in dom.iter_mut().enumerate() {
+        let keep = if i < w {
+            0
+        } else if i == w {
+            u64::MAX << b
+        } else {
+            u64::MAX
+        };
+        let new = *word & keep;
+        if new != *word {
+            changed = true;
+            *word = new;
+        }
+    }
+    changed
+}
+
+/// Remove every value `> v`; returns `true` if the domain changed.
+#[inline]
+pub fn remove_above(dom: &mut [u64], v: Val) -> bool {
+    let (w, b) = (v as usize / 64, v as usize % 64);
+    let mut changed = false;
+    for (i, word) in dom.iter_mut().enumerate() {
+        let keep = if i < w {
+            u64::MAX
+        } else if i == w {
+            if b == 63 {
+                u64::MAX
+            } else {
+                (1u64 << (b + 1)) - 1
+            }
+        } else {
+            0
+        };
+        let new = *word & keep;
+        if new != *word {
+            changed = true;
+            *word = new;
+        }
+    }
+    changed
+}
+
+/// Intersect `dom` with `other`; returns `true` if `dom` changed.
+#[inline]
+pub fn intersect(dom: &mut [u64], other: &[u64]) -> bool {
+    let mut changed = false;
+    for (d, &o) in dom.iter_mut().zip(other) {
+        let new = *d & o;
+        if new != *d {
+            changed = true;
+            *d = new;
+        }
+    }
+    changed
+}
+
+/// Remove from `dom` every value in `other`; returns `true` if it changed.
+#[inline]
+pub fn subtract(dom: &mut [u64], other: &[u64]) -> bool {
+    let mut changed = false;
+    for (d, &o) in dom.iter_mut().zip(other) {
+        let new = *d & !o;
+        if new != *d {
+            changed = true;
+            *d = new;
+        }
+    }
+    changed
+}
+
+/// Write into `dst` the set `{ v + shift | v ∈ src }` (left shift of the
+/// bitmap by `shift` bits), truncated to `dst`'s width. Used by
+/// offset-equality propagators: `x = y + c` intersects `dom(x)` with
+/// `dom(y) << c`.
+pub fn shifted_up(src: &[u64], dst: &mut [u64], shift: u32) {
+    clear(dst);
+    let (ws, bs) = (shift as usize / 64, shift as usize % 64);
+    for (i, &w) in src.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        let lo = i + ws;
+        if lo < dst.len() {
+            dst[lo] |= w << bs;
+        }
+        if bs != 0 && lo + 1 < dst.len() {
+            dst[lo + 1] |= w >> (64 - bs);
+        }
+    }
+}
+
+/// Write into `dst` the set `{ v - shift | v ∈ src, v ≥ shift }`.
+pub fn shifted_down(src: &[u64], dst: &mut [u64], shift: u32) {
+    clear(dst);
+    let (ws, bs) = (shift as usize / 64, shift as usize % 64);
+    for (i, d) in dst.iter_mut().enumerate() {
+        let lo = i + ws;
+        let mut w = 0u64;
+        if lo < src.len() {
+            w |= src[lo] >> bs;
+        }
+        if bs != 0 && lo + 1 < src.len() {
+            w |= src[lo + 1] << (64 - bs);
+        }
+        *d = w;
+    }
+}
+
+/// Iterator over the values of a domain, ascending.
+pub struct Iter<'a> {
+    dom: &'a [u64],
+    word: usize,
+    cur: u64,
+}
+
+impl<'a> Iter<'a> {
+    #[inline]
+    pub fn new(dom: &'a [u64]) -> Self {
+        let cur = if dom.is_empty() { 0 } else { dom[0] };
+        Iter { dom, word: 0, cur }
+    }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Val;
+
+    #[inline]
+    fn next(&mut self) -> Option<Val> {
+        loop {
+            if self.cur != 0 {
+                let b = self.cur.trailing_zeros();
+                self.cur &= self.cur - 1;
+                return Some((self.word * 64) as Val + b);
+            }
+            self.word += 1;
+            if self.word >= self.dom.len() {
+                return None;
+            }
+            self.cur = self.dom[self.word];
+        }
+    }
+}
+
+/// Convenience: iterate the values of a domain.
+#[inline]
+pub fn iter(dom: &[u64]) -> Iter<'_> {
+    Iter::new(dom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_vals(max: Val, vals: &[Val]) -> Vec<u64> {
+        let mut d = vec![0u64; words_for(max)];
+        for &v in vals {
+            insert(&mut d, v);
+        }
+        d
+    }
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 1);
+        assert_eq!(words_for(63), 1);
+        assert_eq!(words_for(64), 2);
+        assert_eq!(words_for(127), 2);
+        assert_eq!(words_for(128), 3);
+    }
+
+    #[test]
+    fn fill_full_sets_exactly_prefix() {
+        let mut d = vec![0u64; words_for(70)];
+        fill_full(&mut d, 70);
+        assert_eq!(count(&d), 71);
+        assert!(contains(&d, 0));
+        assert!(contains(&d, 70));
+        assert!(!contains(&d, 71));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut d = from_vals(100, &[3, 64, 100]);
+        assert!(remove(&mut d, 64));
+        assert!(!remove(&mut d, 64));
+        assert!(!contains(&d, 64));
+        assert_eq!(count(&d), 2);
+    }
+
+    #[test]
+    fn min_max_singleton() {
+        let d = from_vals(130, &[5, 77, 129]);
+        assert_eq!(min(&d), Some(5));
+        assert_eq!(max(&d), Some(129));
+        assert_eq!(singleton(&d), None);
+        let s = from_vals(130, &[77]);
+        assert_eq!(singleton(&s), Some(77));
+        assert!(is_singleton(&s));
+        let e = from_vals(130, &[]);
+        assert!(is_empty(&e));
+        assert_eq!(min(&e), None);
+        assert_eq!(max(&e), None);
+    }
+
+    #[test]
+    fn keep_only_works_across_words() {
+        let mut d = from_vals(200, &[1, 65, 130, 199]);
+        assert!(keep_only(&mut d, 130));
+        assert_eq!(singleton(&d), Some(130));
+        assert!(!keep_only(&mut d, 130));
+    }
+
+    #[test]
+    fn bounds_removal() {
+        let mut d = from_vals(128, &[0, 10, 64, 65, 128]);
+        assert!(remove_below(&mut d, 11));
+        assert_eq!(min(&d), Some(64));
+        assert!(remove_above(&mut d, 65));
+        assert_eq!(max(&d), Some(65));
+        assert_eq!(count(&d), 2);
+    }
+
+    #[test]
+    fn remove_above_bit63_edge() {
+        let mut d = from_vals(100, &[62, 63, 64]);
+        assert!(remove_above(&mut d, 63));
+        assert_eq!(count(&d), 2);
+        assert!(contains(&d, 63));
+        assert!(!contains(&d, 64));
+    }
+
+    #[test]
+    fn next_above_scans_words() {
+        let d = from_vals(200, &[3, 64, 190]);
+        assert_eq!(next_above(&d, 3), Some(64));
+        assert_eq!(next_above(&d, 64), Some(190));
+        assert_eq!(next_above(&d, 190), None);
+        assert_eq!(next_above(&d, 0), Some(3));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = from_vals(100, &[1, 2, 3, 64]);
+        let b = from_vals(100, &[2, 64, 99]);
+        assert!(intersect(&mut a, &b));
+        assert_eq!(count(&a), 2);
+        let mut c = from_vals(100, &[2, 64, 70]);
+        assert!(subtract(&mut c, &b));
+        assert_eq!(singleton(&c), Some(70));
+    }
+
+    #[test]
+    fn shifts_match_semantics() {
+        let src = from_vals(120, &[0, 5, 63, 64, 100]);
+        let mut dst = vec![0u64; words_for(130)];
+        shifted_up(&src, &mut dst, 7);
+        let got: Vec<Val> = iter(&dst).collect();
+        assert_eq!(got, vec![7, 12, 70, 71, 107]);
+        let mut down = vec![0u64; words_for(120)];
+        shifted_down(&src, &mut down, 7);
+        let got: Vec<Val> = iter(&down).collect();
+        // 0 and 5 fall below zero and vanish.
+        assert_eq!(got, vec![56, 57, 93]);
+    }
+
+    #[test]
+    fn shift_by_multiple_of_64() {
+        let src = from_vals(10, &[1, 9]);
+        let mut dst = vec![0u64; words_for(200)];
+        shifted_up(&src, &mut dst, 64);
+        let got: Vec<Val> = iter(&dst).collect();
+        assert_eq!(got, vec![65, 73]);
+        let mut back = vec![0u64; words_for(200)];
+        shifted_down(&dst, &mut back, 64);
+        let got: Vec<Val> = iter(&back).collect();
+        assert_eq!(got, vec![1, 9]);
+    }
+
+    #[test]
+    fn iterator_yields_ascending() {
+        let d = from_vals(190, &[190, 0, 64, 63, 127, 128]);
+        let got: Vec<Val> = iter(&d).collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 128, 190]);
+    }
+}

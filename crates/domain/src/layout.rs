@@ -1,0 +1,124 @@
+//! Fixed memory layout of a store for a given problem.
+
+use crate::{bits, Val, VarId};
+
+/// Number of 64-bit header words at the front of every store.
+///
+/// * word 0 — search depth (low 32 bits) and the variable branched on to
+///   create this store, plus one (high 32 bits; 0 = root / none);
+/// * word 1 — the objective bound known when the store was created
+///   (`i64::MAX` for satisfaction problems), as a two's-complement `u64`;
+/// * word 2 — node serial number (diagnostics / tracing only);
+/// * word 3 — reserved (must be zero).
+pub const HEADER_WORDS: usize = 4;
+
+/// The compile-time shape of every store of a problem: how many variables,
+/// how wide each bitmap cell is, and where each cell lives.
+///
+/// All stores of a problem share one layout, so a store is just
+/// `layout.store_words()` contiguous `u64`s — the fixed-size, relocatable
+/// unit of work the paper builds its pools and one-sided transfers around.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreLayout {
+    num_vars: usize,
+    max_value: Val,
+    words_per_var: usize,
+}
+
+impl StoreLayout {
+    /// Layout for `num_vars` variables over values `0..=max_value`.
+    ///
+    /// # Panics
+    /// Panics if `num_vars` is zero.
+    pub fn new(num_vars: usize, max_value: Val) -> Self {
+        assert!(num_vars > 0, "a problem needs at least one variable");
+        StoreLayout {
+            num_vars,
+            max_value,
+            words_per_var: bits::words_for(max_value),
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Largest representable value (domains are subsets of `0..=max_value`).
+    #[inline]
+    pub fn max_value(&self) -> Val {
+        self.max_value
+    }
+
+    /// Width of one domain cell in 64-bit words.
+    #[inline]
+    pub fn words_per_var(&self) -> usize {
+        self.words_per_var
+    }
+
+    /// Total store size in 64-bit words (header + all cells).
+    #[inline]
+    pub fn store_words(&self) -> usize {
+        HEADER_WORDS + self.num_vars * self.words_per_var
+    }
+
+    /// Total store size in bytes (the paper quotes stores in bytes, e.g.
+    /// 136 bytes for 17-queens domains).
+    #[inline]
+    pub fn store_bytes(&self) -> usize {
+        self.store_words() * 8
+    }
+
+    /// Size in bytes of the domain cells only (excluding our header); this
+    /// matches the paper's accounting of store size.
+    #[inline]
+    pub fn cells_bytes(&self) -> usize {
+        self.num_vars * self.words_per_var * 8
+    }
+
+    /// Word offset of variable `v`'s cell.
+    #[inline]
+    pub fn var_offset(&self, v: VarId) -> usize {
+        debug_assert!(v < self.num_vars);
+        HEADER_WORDS + v * self.words_per_var
+    }
+
+    /// Word range of variable `v`'s cell.
+    #[inline]
+    pub fn var_range(&self, v: VarId) -> core::ops::Range<usize> {
+        let o = self.var_offset(v);
+        o..o + self.words_per_var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_queens_store_is_136_bytes_of_cells() {
+        // The paper: "17 variables which represents a store size of 136
+        // bytes" — 17 cells of one 64-bit word each (values 0..16).
+        let l = StoreLayout::new(17, 16);
+        assert_eq!(l.words_per_var(), 1);
+        assert_eq!(l.cells_bytes(), 136);
+        assert_eq!(l.store_words(), HEADER_WORDS + 17);
+    }
+
+    #[test]
+    fn offsets_are_contiguous() {
+        let l = StoreLayout::new(5, 100);
+        assert_eq!(l.words_per_var(), 2);
+        assert_eq!(l.var_offset(0), HEADER_WORDS);
+        assert_eq!(l.var_offset(4), HEADER_WORDS + 8);
+        assert_eq!(l.var_range(1), HEADER_WORDS + 2..HEADER_WORDS + 4);
+        assert_eq!(l.store_words(), HEADER_WORDS + 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_vars_rejected() {
+        let _ = StoreLayout::new(0, 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Bitmap finite domains and the relocatable, self-contained *store*.
+//!
+//! This crate implements the data-representation layer of MaCS (Machado,
+//! Pedro & Abreu, ICPP 2013). The paper's §IV describes the store as the
+//! central element of the solver:
+//!
+//! > "Each variable's domain is implemented as a fixed-size bitmap. A store
+//! > is self-contained and implemented as a continuous region of memory
+//! > where each cell is the bitmap of the domain of each variable. This
+//! > turns a store into a relocatable object that can be moved or copied to
+//! > other memory regions."
+//!
+//! A [`Store`] here is exactly that: a flat `Box<[u64]>` holding a small
+//! header followed by one fixed-width bitmap per variable. Because its size
+//! is fixed for a given problem ([`StoreLayout`]), stores can be copied
+//! word-by-word into work-pool slots, written one-sided into a remote
+//! worker's pool, and reconstituted without any pointer fix-up — the
+//! property the paper calls "definitely a key point in MaCS' parallel
+//! performance".
+//!
+//! Domains are finite sets of small naturals `0..=max_value`, represented
+//! as bitmaps ([`bits`]). All domain operations work directly on `[u64]`
+//! slices so they apply equally to a domain inside a store, inside a pool
+//! slot, or inside a scratch buffer.
+
+pub mod bits;
+pub mod layout;
+pub mod store;
+
+pub use layout::{StoreLayout, HEADER_WORDS};
+pub use store::{Store, StoreView, StoreViewMut};
+
+/// Identifier of a decision variable (index into the store's cells).
+pub type VarId = usize;
+
+/// A domain value. Domains are finite prefixes of the naturals, as in the
+/// paper ("finite domains, encoded as a finite prefix of natural numbers").
+pub type Val = u32;

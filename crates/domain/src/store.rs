@@ -1,0 +1,356 @@
+//! The store: a self-contained, relocatable unit of work.
+
+use crate::{bits, StoreLayout, Val, VarId};
+
+/// Objective bound stored in satisfaction stores ("no bound yet").
+pub const NO_BOUND: i64 = i64::MAX;
+
+/// A store holds the complete solver state of one search-tree node: the
+/// domain of every variable plus a small header (depth, last branch
+/// variable, objective bound at creation).
+///
+/// It is a flat `Box<[u64]>` and carries no pointers, so it can be copied
+/// into a work-pool slot, written one-sided into a remote pool, or cloned,
+/// by a plain word copy. Interpretation of the words requires the problem's
+/// [`StoreLayout`], which every accessor takes by reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Store {
+    words: Box<[u64]>,
+}
+
+impl Store {
+    /// A root store: every variable gets the full domain `0..=max_value`,
+    /// depth 0, no branch variable, no bound.
+    pub fn root(layout: &StoreLayout) -> Self {
+        let mut words = vec![0u64; layout.store_words()].into_boxed_slice();
+        for v in 0..layout.num_vars() {
+            bits::fill_full(&mut words[layout.var_range(v)], layout.max_value());
+        }
+        let mut s = Store { words };
+        s.set_bound(NO_BOUND);
+        s
+    }
+
+    /// Reconstitute a store from raw words (e.g. a pool slot).
+    ///
+    /// # Panics
+    /// Panics if the slice length does not match the layout.
+    pub fn from_words(layout: &StoreLayout, words: &[u64]) -> Self {
+        assert_eq!(words.len(), layout.store_words(), "store size mismatch");
+        Store {
+            words: words.to_vec().into_boxed_slice(),
+        }
+    }
+
+    /// The raw words (header + cells), ready for a word copy into a slot.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw words.
+    #[inline]
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Overwrite this store from raw words of the same layout.
+    #[inline]
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        self.words.copy_from_slice(words);
+    }
+
+    // ----- header ---------------------------------------------------------
+
+    /// Search depth (number of branching decisions above this node).
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        (self.words[0] & 0xffff_ffff) as u32
+    }
+
+    #[inline]
+    pub fn set_depth(&mut self, d: u32) {
+        self.words[0] = (self.words[0] & !0xffff_ffff) | d as u64;
+    }
+
+    /// The variable branched on to create this store, if any.
+    #[inline]
+    pub fn branch_var(&self) -> Option<VarId> {
+        let hi = (self.words[0] >> 32) as u32;
+        if hi == 0 {
+            None
+        } else {
+            Some(hi as usize - 1)
+        }
+    }
+
+    #[inline]
+    pub fn set_branch_var(&mut self, v: Option<VarId>) {
+        let hi = v.map(|x| x as u64 + 1).unwrap_or(0);
+        self.words[0] = (self.words[0] & 0xffff_ffff) | (hi << 32);
+    }
+
+    /// Objective bound known when this store was created (`NO_BOUND` when
+    /// solving a satisfaction problem).
+    #[inline]
+    pub fn bound(&self) -> i64 {
+        self.words[1] as i64
+    }
+
+    #[inline]
+    pub fn set_bound(&mut self, b: i64) {
+        self.words[1] = b as u64;
+    }
+
+    /// Diagnostic serial number.
+    #[inline]
+    pub fn serial(&self) -> u64 {
+        self.words[2]
+    }
+
+    #[inline]
+    pub fn set_serial(&mut self, s: u64) {
+        self.words[2] = s;
+    }
+
+    // ----- cells ----------------------------------------------------------
+
+    /// Domain bitmap of variable `v`.
+    #[inline]
+    pub fn dom<'a>(&'a self, layout: &StoreLayout, v: VarId) -> &'a [u64] {
+        &self.words[layout.var_range(v)]
+    }
+
+    /// Mutable domain bitmap of variable `v`.
+    #[inline]
+    pub fn dom_mut<'a>(&'a mut self, layout: &StoreLayout, v: VarId) -> &'a mut [u64] {
+        &mut self.words[layout.var_range(v)]
+    }
+
+    /// Value of `v` if assigned (singleton domain).
+    #[inline]
+    pub fn value(&self, layout: &StoreLayout, v: VarId) -> Option<Val> {
+        bits::singleton(self.dom(layout, v))
+    }
+
+    /// Is every variable assigned?
+    pub fn all_assigned(&self, layout: &StoreLayout) -> bool {
+        (0..layout.num_vars()).all(|v| bits::is_singleton(self.dom(layout, v)))
+    }
+
+    /// Number of assigned variables.
+    pub fn assigned_count(&self, layout: &StoreLayout) -> usize {
+        (0..layout.num_vars())
+            .filter(|&v| bits::is_singleton(self.dom(layout, v)))
+            .count()
+    }
+
+    /// First variable (in index order) whose domain is not a singleton.
+    pub fn first_unassigned(&self, layout: &StoreLayout) -> Option<VarId> {
+        (0..layout.num_vars()).find(|&v| !bits::is_singleton(self.dom(layout, v)))
+    }
+
+    /// Is any domain empty (the store is failed)?
+    pub fn any_empty(&self, layout: &StoreLayout) -> bool {
+        (0..layout.num_vars()).any(|v| bits::is_empty(self.dom(layout, v)))
+    }
+
+    /// Extract the full assignment; `None` unless all variables are
+    /// assigned.
+    pub fn assignment(&self, layout: &StoreLayout) -> Option<Vec<Val>> {
+        let mut out = Vec::with_capacity(layout.num_vars());
+        for v in 0..layout.num_vars() {
+            out.push(self.value(layout, v)?);
+        }
+        Some(out)
+    }
+
+    /// Borrow as a read-only view that carries the layout.
+    #[inline]
+    pub fn view<'a>(&'a self, layout: &'a StoreLayout) -> StoreView<'a> {
+        StoreView {
+            layout,
+            words: &self.words,
+        }
+    }
+}
+
+/// A read-only view over raw store words together with their layout.
+///
+/// Useful for inspecting stores that live inside pool slots or scratch
+/// buffers without copying them out.
+#[derive(Clone, Copy)]
+pub struct StoreView<'a> {
+    pub layout: &'a StoreLayout,
+    pub words: &'a [u64],
+}
+
+impl<'a> StoreView<'a> {
+    pub fn new(layout: &'a StoreLayout, words: &'a [u64]) -> Self {
+        debug_assert_eq!(words.len(), layout.store_words());
+        StoreView { layout, words }
+    }
+
+    #[inline]
+    pub fn dom(&self, v: VarId) -> &'a [u64] {
+        &self.words[self.layout.var_range(v)]
+    }
+
+    #[inline]
+    pub fn value(&self, v: VarId) -> Option<Val> {
+        bits::singleton(self.dom(v))
+    }
+
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        (self.words[0] & 0xffff_ffff) as u32
+    }
+
+    #[inline]
+    pub fn bound(&self) -> i64 {
+        self.words[1] as i64
+    }
+
+    pub fn all_assigned(&self) -> bool {
+        (0..self.layout.num_vars()).all(|v| bits::is_singleton(self.dom(v)))
+    }
+
+    pub fn assignment(&self) -> Option<Vec<Val>> {
+        (0..self.layout.num_vars())
+            .map(|v| self.value(v))
+            .collect()
+    }
+}
+
+/// A mutable view over raw store words together with their layout.
+pub struct StoreViewMut<'a> {
+    pub layout: &'a StoreLayout,
+    pub words: &'a mut [u64],
+}
+
+impl<'a> StoreViewMut<'a> {
+    pub fn new(layout: &'a StoreLayout, words: &'a mut [u64]) -> Self {
+        debug_assert_eq!(words.len(), layout.store_words());
+        StoreViewMut { layout, words }
+    }
+
+    #[inline]
+    pub fn dom(&self, v: VarId) -> &[u64] {
+        &self.words[self.layout.var_range(v)]
+    }
+
+    #[inline]
+    pub fn dom_mut(&mut self, v: VarId) -> &mut [u64] {
+        &mut self.words[self.layout.var_range(v)]
+    }
+
+    #[inline]
+    pub fn value(&self, v: VarId) -> Option<Val> {
+        bits::singleton(self.dom(v))
+    }
+
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        (self.words[0] & 0xffff_ffff) as u32
+    }
+
+    #[inline]
+    pub fn set_depth(&mut self, d: u32) {
+        self.words[0] = (self.words[0] & !0xffff_ffff) | d as u64;
+    }
+
+    #[inline]
+    pub fn set_branch_var(&mut self, v: Option<VarId>) {
+        let hi = v.map(|x| x as u64 + 1).unwrap_or(0);
+        self.words[0] = (self.words[0] & 0xffff_ffff) | (hi << 32);
+    }
+
+    #[inline]
+    pub fn bound(&self) -> i64 {
+        self.words[1] as i64
+    }
+
+    #[inline]
+    pub fn set_bound(&mut self, b: i64) {
+        self.words[1] = b as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> StoreLayout {
+        StoreLayout::new(4, 9)
+    }
+
+    #[test]
+    fn root_store_full_domains() {
+        let l = layout();
+        let s = Store::root(&l);
+        for v in 0..4 {
+            assert_eq!(bits::count(s.dom(&l, v)), 10);
+        }
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.branch_var(), None);
+        assert_eq!(s.bound(), NO_BOUND);
+        assert!(!s.all_assigned(&l));
+        assert_eq!(s.first_unassigned(&l), Some(0));
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let l = layout();
+        let mut s = Store::root(&l);
+        s.set_depth(7);
+        s.set_branch_var(Some(3));
+        s.set_bound(-42);
+        s.set_serial(99);
+        assert_eq!(s.depth(), 7);
+        assert_eq!(s.branch_var(), Some(3));
+        assert_eq!(s.bound(), -42);
+        assert_eq!(s.serial(), 99);
+        s.set_branch_var(None);
+        assert_eq!(s.branch_var(), None);
+        assert_eq!(s.depth(), 7, "branch var must not clobber depth");
+    }
+
+    #[test]
+    fn relocation_is_exact() {
+        let l = layout();
+        let mut s = Store::root(&l);
+        bits::keep_only(s.dom_mut(&l, 2), 5);
+        s.set_depth(3);
+        let copy = Store::from_words(&l, s.as_words());
+        assert_eq!(copy, s);
+        assert_eq!(copy.value(&l, 2), Some(5));
+    }
+
+    #[test]
+    fn assignment_extraction() {
+        let l = layout();
+        let mut s = Store::root(&l);
+        for v in 0..4 {
+            bits::keep_only(s.dom_mut(&l, v), v as Val + 1);
+        }
+        assert!(s.all_assigned(&l));
+        assert_eq!(s.assignment(&l), Some(vec![1, 2, 3, 4]));
+        assert_eq!(s.assigned_count(&l), 4);
+    }
+
+    #[test]
+    fn views_agree_with_store() {
+        let l = layout();
+        let mut s = Store::root(&l);
+        bits::keep_only(s.dom_mut(&l, 1), 8);
+        let v = s.view(&l);
+        assert_eq!(v.value(1), Some(8));
+        assert!(!v.all_assigned());
+        let mut w = s.as_words().to_vec();
+        let mut mv = StoreViewMut::new(&l, &mut w);
+        bits::keep_only(mv.dom_mut(0), 1);
+        mv.set_depth(2);
+        assert_eq!(mv.value(0), Some(1));
+        assert_eq!(mv.depth(), 2);
+    }
+}

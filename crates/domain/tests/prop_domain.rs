@@ -1,0 +1,121 @@
+//! Property-based tests for bitmap domain operations: every operation is
+//! checked against a reference model built on `std::collections::BTreeSet`.
+
+use macs_domain::bits;
+use macs_domain::Val;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const MAX: Val = 170; // spans three words
+
+fn dom_from_set(s: &BTreeSet<Val>) -> Vec<u64> {
+    let mut d = vec![0u64; bits::words_for(MAX)];
+    for &v in s {
+        bits::insert(&mut d, v);
+    }
+    d
+}
+
+fn set_strategy() -> impl Strategy<Value = BTreeSet<Val>> {
+    prop::collection::btree_set(0..=MAX, 0..60)
+}
+
+proptest! {
+    #[test]
+    fn count_min_max_match_reference(s in set_strategy()) {
+        let d = dom_from_set(&s);
+        prop_assert_eq!(bits::count(&d) as usize, s.len());
+        prop_assert_eq!(bits::min(&d), s.iter().next().copied());
+        prop_assert_eq!(bits::max(&d), s.iter().next_back().copied());
+        prop_assert_eq!(bits::is_empty(&d), s.is_empty());
+        prop_assert_eq!(bits::is_singleton(&d), s.len() == 1);
+    }
+
+    #[test]
+    fn remove_matches_reference(mut s in set_strategy(), v in 0..=MAX) {
+        let mut d = dom_from_set(&s);
+        let changed = bits::remove(&mut d, v);
+        prop_assert_eq!(changed, s.remove(&v));
+        prop_assert_eq!(d, dom_from_set(&s));
+    }
+
+    #[test]
+    fn keep_only_matches_reference(s in set_strategy(), v in 0..=MAX) {
+        let mut d = dom_from_set(&s);
+        let changed = bits::keep_only(&mut d, v);
+        let expect: BTreeSet<Val> = s.iter().copied().filter(|&x| x == v).collect();
+        prop_assert_eq!(changed, expect != s);
+        prop_assert_eq!(d, dom_from_set(&expect));
+    }
+
+    #[test]
+    fn bound_removals_match_reference(s in set_strategy(), v in 0..=MAX) {
+        let mut below = dom_from_set(&s);
+        bits::remove_below(&mut below, v);
+        let expect: BTreeSet<Val> = s.iter().copied().filter(|&x| x >= v).collect();
+        prop_assert_eq!(below, dom_from_set(&expect));
+
+        let mut above = dom_from_set(&s);
+        bits::remove_above(&mut above, v);
+        let expect: BTreeSet<Val> = s.iter().copied().filter(|&x| x <= v).collect();
+        prop_assert_eq!(above, dom_from_set(&expect));
+    }
+
+    #[test]
+    fn intersect_subtract_match_reference(a in set_strategy(), b in set_strategy()) {
+        let mut d = dom_from_set(&a);
+        bits::intersect(&mut d, &dom_from_set(&b));
+        let expect: BTreeSet<Val> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(d, dom_from_set(&expect));
+
+        let mut d = dom_from_set(&a);
+        bits::subtract(&mut d, &dom_from_set(&b));
+        let expect: BTreeSet<Val> = a.difference(&b).copied().collect();
+        prop_assert_eq!(d, dom_from_set(&expect));
+    }
+
+    #[test]
+    fn iterator_matches_reference(s in set_strategy()) {
+        let d = dom_from_set(&s);
+        let got: Vec<Val> = bits::iter(&d).collect();
+        let expect: Vec<Val> = s.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn next_above_matches_reference(s in set_strategy(), v in 0..=MAX) {
+        let d = dom_from_set(&s);
+        let expect = s.range(v + 1..).next().copied();
+        prop_assert_eq!(bits::next_above(&d, v), expect);
+    }
+
+    #[test]
+    fn shift_up_matches_reference(s in set_strategy(), k in 0..80u32) {
+        let src = dom_from_set(&s);
+        let mut dst = vec![0u64; bits::words_for(MAX + 80)];
+        bits::shifted_up(&src, &mut dst, k);
+        let got: Vec<Val> = bits::iter(&dst).collect();
+        let expect: Vec<Val> = s.iter().map(|&x| x + k).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn shift_down_matches_reference(s in set_strategy(), k in 0..80u32) {
+        let src = dom_from_set(&s);
+        let mut dst = vec![0u64; bits::words_for(MAX)];
+        bits::shifted_down(&src, &mut dst, k);
+        let got: Vec<Val> = bits::iter(&dst).collect();
+        let expect: Vec<Val> = s.iter().filter(|&&x| x >= k).map(|&x| x - k).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn shift_round_trip(s in set_strategy(), k in 0..60u32) {
+        let src = dom_from_set(&s);
+        let mut up = vec![0u64; bits::words_for(MAX + 60)];
+        bits::shifted_up(&src, &mut up, k);
+        let mut back = vec![0u64; bits::words_for(MAX)];
+        bits::shifted_down(&up, &mut back, k);
+        prop_assert_eq!(back, src);
+    }
+}

@@ -1,0 +1,292 @@
+//! Variable/value selection and store splitting.
+//!
+//! Splitting is the paper's second solving step: "a problem is split into
+//! sub-problems which are solved recursively". In MaCS each child is a full
+//! store (copy of the parent with the branching variable narrowed), so a
+//! child can be pushed to the work pool and later executed by any worker —
+//! including a remote one — without context.
+
+use macs_domain::{bits, StoreLayout, StoreViewMut, Val, VarId};
+
+use crate::model::CompiledProblem;
+
+/// Variable selection heuristic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VarSelect {
+    /// First unassigned variable in index order.
+    InputOrder,
+    /// Smallest domain (> 1), ties by index — the classic first-fail rule.
+    #[default]
+    FirstFail,
+}
+
+/// Value selection heuristic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValSelect {
+    /// Ascending values.
+    #[default]
+    Min,
+    /// Descending values.
+    Max,
+}
+
+/// Shape of the split.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BranchKind {
+    /// One child per value of the chosen variable (eager splitting: every
+    /// child is an independent store, maximising pool parallelism).
+    #[default]
+    Eager,
+    /// Two children: `x = v` and `x ≠ v`.
+    Binary,
+    /// Two children: `x ≤ mid` and `x > mid`.
+    DomainSplit,
+}
+
+/// A complete branching strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Brancher {
+    pub var: VarSelect,
+    pub val: ValSelect,
+    pub kind: BranchKind,
+}
+
+impl Brancher {
+    pub fn new(var: VarSelect, val: ValSelect, kind: BranchKind) -> Self {
+        Brancher { var, val, kind }
+    }
+
+    /// Choose the branching variable; `None` when every variable is
+    /// assigned (the store is a solution).
+    pub fn choose_var(&self, layout: &StoreLayout, words: &[u64]) -> Option<VarId> {
+        match self.var {
+            VarSelect::InputOrder => (0..layout.num_vars())
+                .find(|&v| !bits::is_singleton(&words[layout.var_range(v)])),
+            VarSelect::FirstFail => {
+                let mut best: Option<(u32, VarId)> = None;
+                for v in 0..layout.num_vars() {
+                    let sz = bits::count(&words[layout.var_range(v)]);
+                    if sz > 1 && best.map(|(b, _)| sz < b).unwrap_or(true) {
+                        best = Some((sz, v));
+                        if sz == 2 {
+                            break; // cannot do better than a binary domain
+                        }
+                    }
+                }
+                best.map(|(_, v)| v)
+            }
+        }
+    }
+
+    /// Split the parent store on `var`, emitting each child in exploration
+    /// order through `emit`. `scratch` must be a buffer of
+    /// `layout.store_words()` words; its contents are overwritten.
+    ///
+    /// Returns the number of children emitted (≥ 1 for a non-singleton
+    /// domain).
+    pub fn split(
+        &self,
+        prob: &CompiledProblem,
+        parent: &[u64],
+        scratch: &mut [u64],
+        mut emit: impl FnMut(&[u64]),
+        var: VarId,
+    ) -> usize {
+        let layout = &prob.layout;
+        debug_assert_eq!(parent.len(), layout.store_words());
+        debug_assert_eq!(scratch.len(), layout.store_words());
+        let depth = (parent[0] & 0xffff_ffff) as u32 + 1;
+
+        let mut values: Vec<Val> = bits::iter(&parent[layout.var_range(var)]).collect();
+        debug_assert!(values.len() > 1, "splitting a singleton domain");
+        if self.val == ValSelect::Max {
+            values.reverse();
+        }
+
+        match self.kind {
+            BranchKind::Eager => {
+                for &v in &values {
+                    scratch.copy_from_slice(parent);
+                    let mut c = StoreViewMut::new(layout, scratch);
+                    bits::keep_only(c.dom_mut(var), v);
+                    c.set_depth(depth);
+                    c.set_branch_var(Some(var));
+                    emit(scratch);
+                }
+                values.len()
+            }
+            BranchKind::Binary => {
+                let v = values[0];
+                scratch.copy_from_slice(parent);
+                let mut left = StoreViewMut::new(layout, scratch);
+                bits::keep_only(left.dom_mut(var), v);
+                left.set_depth(depth);
+                left.set_branch_var(Some(var));
+                emit(scratch);
+
+                scratch.copy_from_slice(parent);
+                let mut right = StoreViewMut::new(layout, scratch);
+                bits::remove(right.dom_mut(var), v);
+                right.set_depth(depth);
+                right.set_branch_var(Some(var));
+                emit(scratch);
+                2
+            }
+            BranchKind::DomainSplit => {
+                // Median split on the (ascending) value list.
+                let mut asc = values;
+                if self.val == ValSelect::Max {
+                    asc.reverse();
+                }
+                let mid = asc[(asc.len() - 1) / 2];
+
+                scratch.copy_from_slice(parent);
+                let mut lo = StoreViewMut::new(layout, scratch);
+                bits::remove_above(lo.dom_mut(var), mid);
+                lo.set_depth(depth);
+                lo.set_branch_var(Some(var));
+                let lo_first = self.val != ValSelect::Max;
+                if lo_first {
+                    emit(scratch);
+                }
+                if !lo_first {
+                    // Defer the low half: emit the high half first.
+                    let mut hi_buf = parent.to_vec();
+                    let mut hi = StoreViewMut::new(layout, &mut hi_buf);
+                    bits::remove_below(hi.dom_mut(var), mid + 1);
+                    hi.set_depth(depth);
+                    hi.set_branch_var(Some(var));
+                    emit(&hi_buf);
+                    emit(scratch);
+                } else {
+                    scratch.copy_from_slice(parent);
+                    let mut hi = StoreViewMut::new(layout, scratch);
+                    bits::remove_below(hi.dom_mut(var), mid + 1);
+                    hi.set_depth(depth);
+                    hi.set_branch_var(Some(var));
+                    emit(scratch);
+                }
+                2
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::propag::Propag;
+    use macs_domain::StoreView;
+
+    fn problem() -> CompiledProblem {
+        let mut m = Model::new("t");
+        let _x = m.new_var(0, 4);
+        let _y = m.new_var(0, 4);
+        m.post(Propag::NeqOffset { x: 0, y: 1, c: 0 });
+        m.compile()
+    }
+
+    #[test]
+    fn input_order_picks_first_unassigned() {
+        let p = problem();
+        let mut s = p.root.clone();
+        bits::keep_only(s.dom_mut(&p.layout, 0), 2);
+        let b = Brancher::new(VarSelect::InputOrder, ValSelect::Min, BranchKind::Eager);
+        assert_eq!(b.choose_var(&p.layout, s.as_words()), Some(1));
+        bits::keep_only(s.dom_mut(&p.layout, 1), 3);
+        assert_eq!(b.choose_var(&p.layout, s.as_words()), None);
+    }
+
+    #[test]
+    fn first_fail_picks_smallest_domain() {
+        let p = problem();
+        let mut s = p.root.clone();
+        bits::remove(s.dom_mut(&p.layout, 1), 0);
+        bits::remove(s.dom_mut(&p.layout, 1), 1);
+        let b = Brancher::default();
+        assert_eq!(b.choose_var(&p.layout, s.as_words()), Some(1));
+    }
+
+    #[test]
+    fn eager_split_partitions_domain() {
+        let p = problem();
+        let s = p.root.clone();
+        let b = Brancher::default();
+        let mut scratch = vec![0u64; p.layout.store_words()];
+        let mut children: Vec<Vec<u64>> = vec![];
+        let n = b.split(
+            &p,
+            s.as_words(),
+            &mut scratch,
+            |c| children.push(c.to_vec()),
+            0,
+        );
+        assert_eq!(n, 5);
+        for (i, c) in children.iter().enumerate() {
+            let v = StoreView::new(&p.layout, c);
+            assert_eq!(v.value(0), Some(i as Val));
+            assert_eq!(v.depth(), 1);
+        }
+    }
+
+    #[test]
+    fn binary_split_is_complementary() {
+        let p = problem();
+        let s = p.root.clone();
+        let b = Brancher::new(VarSelect::InputOrder, ValSelect::Min, BranchKind::Binary);
+        let mut scratch = vec![0u64; p.layout.store_words()];
+        let mut children: Vec<Vec<u64>> = vec![];
+        b.split(
+            &p,
+            s.as_words(),
+            &mut scratch,
+            |c| children.push(c.to_vec()),
+            0,
+        );
+        assert_eq!(children.len(), 2);
+        let left = StoreView::new(&p.layout, &children[0]);
+        assert_eq!(left.value(0), Some(0));
+        let right = StoreView::new(&p.layout, &children[1]);
+        let vals: Vec<Val> = bits::iter(right.dom(0)).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn domain_split_halves() {
+        let p = problem();
+        let s = p.root.clone();
+        let b = Brancher::new(VarSelect::InputOrder, ValSelect::Min, BranchKind::DomainSplit);
+        let mut scratch = vec![0u64; p.layout.store_words()];
+        let mut children: Vec<Vec<u64>> = vec![];
+        b.split(
+            &p,
+            s.as_words(),
+            &mut scratch,
+            |c| children.push(c.to_vec()),
+            0,
+        );
+        assert_eq!(children.len(), 2);
+        let lo: Vec<Val> = bits::iter(StoreView::new(&p.layout, &children[0]).dom(0)).collect();
+        let hi: Vec<Val> = bits::iter(StoreView::new(&p.layout, &children[1]).dom(0)).collect();
+        assert_eq!(lo, vec![0, 1, 2]);
+        assert_eq!(hi, vec![3, 4]);
+    }
+
+    #[test]
+    fn max_value_order_reverses_children() {
+        let p = problem();
+        let s = p.root.clone();
+        let b = Brancher::new(VarSelect::InputOrder, ValSelect::Max, BranchKind::Eager);
+        let mut scratch = vec![0u64; p.layout.store_words()];
+        let mut first_vals: Vec<Val> = vec![];
+        b.split(
+            &p,
+            s.as_words(),
+            &mut scratch,
+            |c| first_vals.push(StoreView::new(&p.layout, c).value(0).unwrap()),
+            0,
+        );
+        assert_eq!(first_vals, vec![4, 3, 2, 1, 0]);
+    }
+}

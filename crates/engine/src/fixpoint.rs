@@ -1,0 +1,245 @@
+//! The propagation queue and fixpoint loop.
+//!
+//! One [`Engine`] per worker; it owns all the scratch memory propagation
+//! needs, so propagating a store allocates nothing. This is the
+//! "propagation" step of the paper's three-step solving procedure
+//! (propagation / splitting / restoring) whose cost split §VI reports.
+
+use std::collections::VecDeque;
+
+use macs_domain::VarId;
+
+use crate::model::CompiledProblem;
+use crate::propag::Scratch;
+use crate::state::{ChangeLog, PropState};
+
+/// Result of propagating a store to fixpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropOutcome {
+    /// A domain was wiped: the sub-problem is inconsistent.
+    Failed,
+    /// All propagators are at fixpoint; domains are consistent (so far).
+    Fixpoint,
+}
+
+/// Which propagators to seed into the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleSeed {
+    /// Schedule every propagator (used at the root, or for a store of
+    /// unknown provenance, e.g. one stolen from another worker).
+    All,
+    /// Schedule only the watchers of one just-pruned variable (used after a
+    /// branching decision on that variable).
+    Var(VarId),
+}
+
+/// Per-worker propagation engine: queue + scratch buffers.
+#[derive(Debug)]
+pub struct Engine {
+    queue: VecDeque<u32>,
+    queued: Vec<bool>,
+    log: ChangeLog,
+    scratch: Scratch,
+    /// Number of individual propagator executions (for statistics).
+    pub runs: u64,
+}
+
+impl Engine {
+    pub fn new(prob: &CompiledProblem) -> Self {
+        Engine {
+            queue: VecDeque::with_capacity(prob.props.len()),
+            queued: vec![false; prob.props.len()],
+            log: ChangeLog::new(prob.layout.num_vars()),
+            scratch: Scratch::for_words(prob.layout.words_per_var()),
+            runs: 0,
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, p: u32) {
+        if !self.queued[p as usize] {
+            self.queued[p as usize] = true;
+            self.queue.push_back(p);
+        }
+    }
+
+    fn reset(&mut self) {
+        for &p in &self.queue {
+            self.queued[p as usize] = false;
+        }
+        self.queue.clear();
+        self.log.clear();
+    }
+
+    /// Propagate `words` (a store of `prob`'s layout) to fixpoint.
+    ///
+    /// `incumbent` is the branch-and-bound exclusive upper bound in force
+    /// (`i64::MAX` for satisfaction problems). When the objective incumbent
+    /// may have improved since the store was created, callers should seed
+    /// with [`ScheduleSeed::All`] (the objective pruner is always seeded
+    /// when one exists).
+    pub fn propagate(
+        &mut self,
+        prob: &CompiledProblem,
+        words: &mut [u64],
+        incumbent: i64,
+        seed: ScheduleSeed,
+    ) -> PropOutcome {
+        self.reset();
+        match seed {
+            ScheduleSeed::All => {
+                for p in 0..prob.props.len() as u32 {
+                    self.enqueue(p);
+                }
+            }
+            ScheduleSeed::Var(v) => {
+                for i in 0..prob.watchers[v].len() {
+                    self.enqueue(prob.watchers[v][i]);
+                }
+                // The incumbent may have moved since this store was created:
+                // always re-run the objective pruner (it is the last
+                // propagator when present).
+                if prob.objective.is_some() {
+                    self.enqueue(prob.props.len() as u32 - 1);
+                }
+            }
+        }
+
+        while let Some(p) = self.queue.pop_front() {
+            self.queued[p as usize] = false;
+            self.runs += 1;
+            let mut st = PropState::new(&prob.layout, words, &mut self.log, incumbent);
+            let res = prob.props[p as usize].run(&mut st, &mut self.scratch, &prob.objective);
+            if res.is_err() {
+                return PropOutcome::Failed;
+            }
+            // Schedule watchers of every variable the run pruned; the
+            // running propagator itself is exempt (local-fixpoint contract).
+            let queue = &mut self.queue;
+            let queued = &mut self.queued;
+            self.log.drain(|v| {
+                for &w in &prob.watchers[v] {
+                    if w != p && !queued[w as usize] {
+                        queued[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            });
+        }
+        PropOutcome::Fixpoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::propag::Propag;
+    use macs_domain::bits;
+
+    #[test]
+    fn chain_of_equalities_propagates_transitively() {
+        // x0 = x1 + 1 = x2 + 2; assigning x2 fixes everything.
+        let mut m = Model::new("chain");
+        let x0 = m.new_var(0, 9);
+        let x1 = m.new_var(0, 9);
+        let x2 = m.new_var(0, 9);
+        m.post(Propag::EqOffset { x: x0, y: x1, c: 1 });
+        m.post(Propag::EqOffset { x: x1, y: x2, c: 1 });
+        let p = m.compile();
+        let mut s = p.root.clone();
+        bits::keep_only(s.dom_mut(&p.layout, x2), 3);
+        let mut e = Engine::new(&p);
+        let out = e.propagate(&p, s.as_words_mut(), i64::MAX, ScheduleSeed::Var(x2));
+        assert_eq!(out, PropOutcome::Fixpoint);
+        assert_eq!(s.value(&p.layout, x1), Some(4));
+        assert_eq!(s.value(&p.layout, x0), Some(5));
+    }
+
+    #[test]
+    fn root_propagation_narrows_bounds() {
+        let mut m = Model::new("le");
+        let x = m.new_var(0, 9);
+        let y = m.new_var(0, 9);
+        m.post(Propag::LinearLe {
+            terms: vec![(1, x), (1, y)],
+            k: 3,
+        });
+        let p = m.compile();
+        let mut s = p.root.clone();
+        let mut e = Engine::new(&p);
+        assert_eq!(
+            e.propagate(&p, s.as_words_mut(), i64::MAX, ScheduleSeed::All),
+            PropOutcome::Fixpoint
+        );
+        assert_eq!(bits::max(s.dom(&p.layout, x)), Some(3));
+        assert_eq!(bits::max(s.dom(&p.layout, y)), Some(3));
+    }
+
+    #[test]
+    fn failure_detected() {
+        let mut m = Model::new("fail");
+        let x = m.new_var(0, 4);
+        let y = m.new_var(0, 4);
+        m.post(Propag::EqOffset { x, y, c: 0 });
+        m.post(Propag::NeqOffset { x, y, c: 0 });
+        let p = m.compile();
+        let mut s = p.root.clone();
+        bits::keep_only(s.dom_mut(&p.layout, x), 2);
+        let mut e = Engine::new(&p);
+        assert_eq!(
+            e.propagate(&p, s.as_words_mut(), i64::MAX, ScheduleSeed::Var(x)),
+            PropOutcome::Failed
+        );
+    }
+
+    #[test]
+    fn incumbent_prunes_objective_var() {
+        let mut m = Model::new("opt");
+        let x = m.new_var(0, 9);
+        m.minimize_var(x);
+        let p = m.compile();
+        let mut s = p.root.clone();
+        let mut e = Engine::new(&p);
+        assert_eq!(
+            e.propagate(&p, s.as_words_mut(), 5, ScheduleSeed::All),
+            PropOutcome::Fixpoint
+        );
+        assert_eq!(bits::max(s.dom(&p.layout, x)), Some(4));
+        // Incumbent 0 ⇒ nothing can be better ⇒ failure.
+        let mut s2 = p.root.clone();
+        assert_eq!(
+            e.propagate(&p, s2.as_words_mut(), 0, ScheduleSeed::All),
+            PropOutcome::Failed
+        );
+    }
+
+    #[test]
+    fn engine_is_reusable_after_failure() {
+        let mut m = Model::new("reuse");
+        let x = m.new_var(0, 4);
+        let y = m.new_var(0, 4);
+        m.post(Propag::EqOffset { x, y, c: 0 });
+        m.post(Propag::NeqOffset { x, y, c: 0 });
+        let p = m.compile();
+        let mut e = Engine::new(&p);
+        let mut s = p.root.clone();
+        bits::keep_only(s.dom_mut(&p.layout, x), 2);
+        assert_eq!(
+            e.propagate(&p, s.as_words_mut(), i64::MAX, ScheduleSeed::Var(x)),
+            PropOutcome::Failed
+        );
+        // A fresh, unconstrained store must still propagate cleanly.
+        let mut m2 = Model::new("ok");
+        let a = m2.new_var(0, 4);
+        let b = m2.new_var(0, 4);
+        m2.post(Propag::EqOffset { x: a, y: b, c: 0 });
+        let p2 = m2.compile();
+        let mut e2 = Engine::new(&p2);
+        let mut s2 = p2.root.clone();
+        assert_eq!(
+            e2.propagate(&p2, s2.as_words_mut(), i64::MAX, ScheduleSeed::All),
+            PropOutcome::Fixpoint
+        );
+    }
+}

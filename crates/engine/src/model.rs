@@ -1,0 +1,283 @@
+//! Declarative model construction and compilation.
+//!
+//! Following the paper's two-step methodology (§II: "first a model is
+//! defined and then a solver is used to find solutions"), a [`Model`]
+//! collects variables, constraints, an optional objective and a branching
+//! specification, and [`Model::compile`] freezes it into an immutable
+//! [`CompiledProblem`] that every worker shares by reference.
+
+use std::sync::Arc;
+
+use macs_domain::{bits, Store, StoreLayout, StoreView, Val, VarId};
+
+use crate::branch::Brancher;
+use crate::propag::Propag;
+use crate::state::{Failed, PropState};
+
+/// Problem-specific objective evaluation for branch & bound when the cost is
+/// not a single decision variable (e.g. the QAP's quadratic objective).
+pub trait CostEval: Send + Sync + std::fmt::Debug {
+    /// A lower bound on the objective over every completion of the partial
+    /// assignment in `view`. Must be monotone: shrinking domains may only
+    /// raise the bound.
+    fn lower_bound(&self, view: StoreView<'_>) -> i64;
+
+    /// Exact objective value of a complete assignment.
+    fn eval(&self, assignment: &[Val]) -> i64;
+
+    /// Variables whose pruning should re-trigger bound checking.
+    fn vars(&self) -> Vec<VarId>;
+
+    /// Prune using `incumbent` (exclusive upper bound for minimisation).
+    /// The default fails the store when `lower_bound ≥ incumbent`;
+    /// problem-specific implementations may additionally prune values.
+    fn prune(&self, st: &mut PropState<'_>, incumbent: i64) -> Result<(), Failed> {
+        let view = StoreView::new(st.layout(), st.store_words());
+        if self.lower_bound(view) >= incumbent {
+            Err(Failed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// What the solver optimises. MaCS handles satisfaction and minimisation;
+/// maximisation is modelled by negating the cost.
+#[derive(Clone, Debug, Default)]
+pub enum Objective {
+    /// Pure satisfaction: enumerate or count solutions.
+    #[default]
+    None,
+    /// Minimise the value of one decision variable.
+    MinimizeVar(VarId),
+    /// Minimise a problem-defined cost function with a pruning lower bound.
+    MinimizeEval(Arc<dyn CostEval>),
+}
+
+impl Objective {
+    pub fn is_some(&self) -> bool {
+        !matches!(self, Objective::None)
+    }
+
+    /// Variables watched by the objective pruner.
+    pub fn watched(&self) -> Vec<VarId> {
+        match self {
+            Objective::None => vec![],
+            Objective::MinimizeVar(v) => vec![*v],
+            Objective::MinimizeEval(e) => e.vars(),
+        }
+    }
+
+    /// Prune against the incumbent (exclusive upper bound).
+    pub fn prune(&self, st: &mut PropState<'_>) -> Result<(), Failed> {
+        let ub = st.incumbent;
+        if ub == i64::MAX {
+            return Ok(());
+        }
+        match self {
+            Objective::None => Ok(()),
+            Objective::MinimizeVar(v) => {
+                st.remove_above(*v, ub - 1)?;
+                Ok(())
+            }
+            Objective::MinimizeEval(e) => e.prune(st, ub),
+        }
+    }
+
+    /// Cost of a complete assignment, if optimising.
+    pub fn cost(&self, view: StoreView<'_>) -> Option<i64> {
+        match self {
+            Objective::None => None,
+            Objective::MinimizeVar(v) => view.value(*v).map(|x| x as i64),
+            Objective::MinimizeEval(e) => {
+                let a = view.assignment()?;
+                Some(e.eval(&a))
+            }
+        }
+    }
+}
+
+/// A constraint-satisfaction (or optimisation) model under construction.
+#[derive(Debug, Default)]
+pub struct Model {
+    name: String,
+    domains: Vec<(Val, Val)>,
+    holes: Vec<(VarId, Val)>,
+    props: Vec<Propag>,
+    objective: Objective,
+    brancher: Brancher,
+}
+
+impl Model {
+    pub fn new(name: impl Into<String>) -> Self {
+        Model {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a variable with domain `lo..=hi`.
+    pub fn new_var(&mut self, lo: Val, hi: Val) -> VarId {
+        assert!(lo <= hi, "empty initial domain");
+        self.domains.push((lo, hi));
+        self.domains.len() - 1
+    }
+
+    /// Add `n` variables with domain `lo..=hi`.
+    pub fn new_vars(&mut self, n: usize, lo: Val, hi: Val) -> Vec<VarId> {
+        (0..n).map(|_| self.new_var(lo, hi)).collect()
+    }
+
+    /// Punch a hole: remove `val` from the initial domain of `v`.
+    pub fn remove_value(&mut self, v: VarId, val: Val) {
+        self.holes.push((v, val));
+    }
+
+    /// Post a constraint.
+    pub fn post(&mut self, p: Propag) {
+        self.props.push(p);
+    }
+
+    /// Minimise a decision variable.
+    pub fn minimize_var(&mut self, v: VarId) {
+        self.objective = Objective::MinimizeVar(v);
+    }
+
+    /// Minimise a problem-defined cost.
+    pub fn minimize(&mut self, eval: Arc<dyn CostEval>) {
+        self.objective = Objective::MinimizeEval(eval);
+    }
+
+    /// Set the branching strategy (defaults to first-fail / min value /
+    /// eager splitting).
+    pub fn branching(&mut self, b: Brancher) {
+        self.brancher = b;
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Freeze into an immutable, shareable problem.
+    pub fn compile(mut self) -> CompiledProblem {
+        assert!(!self.domains.is_empty(), "model has no variables");
+        let max_value = self.domains.iter().map(|&(_, hi)| hi).max().unwrap();
+        let layout = StoreLayout::new(self.domains.len(), max_value);
+
+        let mut root = Store::root(&layout);
+        for (v, &(lo, hi)) in self.domains.iter().enumerate() {
+            let d = root.dom_mut(&layout, v);
+            bits::remove_below(d, lo);
+            bits::remove_above(d, hi);
+        }
+        for &(v, val) in &self.holes {
+            bits::remove(root.dom_mut(&layout, v), val);
+        }
+
+        if self.objective.is_some() {
+            self.props.push(Propag::ObjectivePrune);
+        }
+
+        let mut watchers = vec![Vec::new(); layout.num_vars()];
+        for (i, p) in self.props.iter().enumerate() {
+            let mut ws = p.watched(&self.objective);
+            ws.sort_unstable();
+            ws.dedup();
+            for v in ws {
+                watchers[v].push(i as u32);
+            }
+        }
+
+        CompiledProblem {
+            name: self.name,
+            layout,
+            props: self.props,
+            watchers,
+            objective: self.objective,
+            brancher: self.brancher,
+            root,
+        }
+    }
+}
+
+/// An immutable, compiled problem: shared read-only by every worker.
+#[derive(Debug)]
+pub struct CompiledProblem {
+    pub name: String,
+    pub layout: StoreLayout,
+    pub props: Vec<Propag>,
+    /// `watchers[v]` = ids of propagators to reschedule when `v` is pruned.
+    pub watchers: Vec<Vec<u32>>,
+    pub objective: Objective,
+    pub brancher: Brancher,
+    /// The root store (initial domains applied, not yet propagated).
+    pub root: Store,
+}
+
+impl CompiledProblem {
+    /// Verify a complete assignment against every constraint (test oracle;
+    /// not used on the solving path).
+    pub fn check_assignment(&self, assignment: &[Val]) -> bool {
+        assert_eq!(assignment.len(), self.layout.num_vars());
+        // Re-run propagation on a store with everything assigned: any
+        // violated constraint wipes a domain.
+        let mut s = self.root.clone();
+        for (v, &val) in assignment.iter().enumerate() {
+            if !bits::contains(s.dom(&self.layout, v), val) {
+                return false;
+            }
+            bits::keep_only(s.dom_mut(&self.layout, v), val);
+        }
+        let mut engine = crate::fixpoint::Engine::new(self);
+        engine.propagate(self, s.as_words_mut(), i64::MAX, crate::fixpoint::ScheduleSeed::All)
+            == crate::fixpoint::PropOutcome::Fixpoint
+    }
+
+    /// The store size in bytes (the unit of work transferred between
+    /// workers).
+    pub fn store_bytes(&self) -> usize {
+        self.layout.store_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_applies_initial_domains_and_holes() {
+        let mut m = Model::new("t");
+        let x = m.new_var(2, 5);
+        let y = m.new_var(0, 9);
+        m.remove_value(y, 4);
+        m.post(Propag::NeqOffset { x, y, c: 0 });
+        let p = m.compile();
+        assert_eq!(p.layout.num_vars(), 2);
+        assert_eq!(p.layout.max_value(), 9);
+        let vals: Vec<Val> = bits::iter(p.root.dom(&p.layout, x)).collect();
+        assert_eq!(vals, vec![2, 3, 4, 5]);
+        assert!(!bits::contains(p.root.dom(&p.layout, y), 4));
+    }
+
+    #[test]
+    fn watchers_are_deduplicated() {
+        let mut m = Model::new("t");
+        let x = m.new_var(0, 3);
+        m.post(Propag::LinearEq {
+            terms: vec![(1, x), (2, x)],
+            k: 3,
+        });
+        let p = m.compile();
+        assert_eq!(p.watchers[x], vec![0]);
+    }
+
+    #[test]
+    fn objective_pruner_appended() {
+        let mut m = Model::new("t");
+        let x = m.new_var(0, 3);
+        m.minimize_var(x);
+        let p = m.compile();
+        assert!(matches!(p.props.last(), Some(Propag::ObjectivePrune)));
+        assert_eq!(p.watchers[x].len(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Sequential depth-first reference solver.
+//!
+//! This is the single-worker solving procedure of §II — propagate, split,
+//! restore from a local stack — without any parallel machinery. It serves
+//! as (a) the correctness oracle for the parallel solvers (identical
+//! solution counts / optima), and (b) the T(1) baseline for speed-up and
+//! efficiency figures.
+
+use macs_domain::{Store, StoreView, Val};
+
+use crate::fixpoint::{Engine, PropOutcome, ScheduleSeed};
+use crate::model::CompiledProblem;
+
+/// Options for a sequential solve.
+#[derive(Clone, Debug)]
+pub struct SeqOptions {
+    /// Stop after the first solution (satisfaction only).
+    pub first_only: bool,
+    /// Keep at most this many concrete solutions (counting is unaffected).
+    pub keep_solutions: usize,
+    /// Abort after this many processed stores (`None` = unbounded).
+    pub node_limit: Option<u64>,
+}
+
+impl Default for SeqOptions {
+    fn default() -> Self {
+        SeqOptions {
+            first_only: false,
+            keep_solutions: 16,
+            node_limit: None,
+        }
+    }
+}
+
+/// Result of a sequential solve.
+#[derive(Clone, Debug, Default)]
+pub struct SeqResult {
+    /// Number of solutions found (for optimisation: number of incumbent
+    /// improvements).
+    pub solutions: u64,
+    /// Stores processed (one per propagate+branch cycle, failed included) —
+    /// the paper's "nodes".
+    pub nodes: u64,
+    /// Individual propagator executions.
+    pub prop_runs: u64,
+    /// Best objective value (optimisation only).
+    pub best_cost: Option<i64>,
+    /// Best (or sample) assignment found.
+    pub best_assignment: Option<Vec<Val>>,
+    /// Up to `keep_solutions` assignments.
+    pub kept: Vec<Vec<Val>>,
+    /// True if the node limit stopped the search early.
+    pub truncated: bool,
+}
+
+/// Solve `prob` depth-first with a single worker.
+pub fn solve_seq(prob: &CompiledProblem, opts: &SeqOptions) -> SeqResult {
+    let mut engine = Engine::new(prob);
+    let layout = &prob.layout;
+    let words = layout.store_words();
+
+    let mut result = SeqResult::default();
+    let mut incumbent = i64::MAX;
+
+    // Depth-first stack of pending stores. Children are pushed in reverse
+    // exploration order so the pop order matches value order.
+    let mut stack: Vec<Box<[u64]>> = Vec::with_capacity(64);
+    stack.push(prob.root.as_words().to_vec().into_boxed_slice());
+
+    let mut scratch = vec![0u64; words];
+    let mut children: Vec<Box<[u64]>> = Vec::new();
+
+    while let Some(mut store) = stack.pop() {
+        result.nodes += 1;
+        if let Some(limit) = opts.node_limit {
+            if result.nodes > limit {
+                result.truncated = true;
+                break;
+            }
+        }
+
+        let seed = match Store::from_words(layout, &store).branch_var() {
+            Some(v) => ScheduleSeed::Var(v),
+            None => ScheduleSeed::All,
+        };
+        if engine.propagate(prob, &mut store, incumbent, seed) == PropOutcome::Failed {
+            continue;
+        }
+
+        let view = StoreView::new(layout, &store);
+        match prob.brancher.choose_var(layout, &store) {
+            None => {
+                // Solution.
+                result.solutions += 1;
+                let assignment = view.assignment().expect("all variables assigned");
+                if let Some(cost) = prob.objective.cost(view) {
+                    if cost < incumbent {
+                        incumbent = cost;
+                        result.best_cost = Some(cost);
+                        result.best_assignment = Some(assignment.clone());
+                    }
+                } else {
+                    result.best_assignment.get_or_insert(assignment.clone());
+                }
+                if result.kept.len() < opts.keep_solutions {
+                    result.kept.push(assignment);
+                }
+                if opts.first_only && !prob.objective.is_some() {
+                    break;
+                }
+            }
+            Some(var) => {
+                children.clear();
+                prob.brancher.split(
+                    prob,
+                    &store,
+                    &mut scratch,
+                    |c| children.push(c.to_vec().into_boxed_slice()),
+                    var,
+                );
+                for c in children.drain(..).rev() {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+
+    result.prop_runs = engine.runs;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::propag::Propag;
+
+    /// n-queens with pairwise disequalities (rows and both diagonals).
+    fn queens(n: usize) -> CompiledProblem {
+        let mut m = Model::new(format!("queens-{n}"));
+        let q = m.new_vars(n, 0, (n - 1) as Val);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = (j - i) as i64;
+                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: 0 });
+                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: d });
+                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: -d });
+            }
+        }
+        m.compile()
+    }
+
+    #[test]
+    fn queens_counts_match_known_values() {
+        // OEIS A000170.
+        for (n, expect) in [(4, 2u64), (5, 10), (6, 4), (7, 40), (8, 92)] {
+            let p = queens(n);
+            let r = solve_seq(&p, &SeqOptions::default());
+            assert_eq!(r.solutions, expect, "queens-{n}");
+        }
+    }
+
+    #[test]
+    fn queens_solutions_are_valid() {
+        let p = queens(6);
+        let r = solve_seq(&p, &SeqOptions::default());
+        assert_eq!(r.kept.len(), 4);
+        for sol in &r.kept {
+            assert!(p.check_assignment(sol));
+        }
+    }
+
+    #[test]
+    fn first_only_stops_early() {
+        let p = queens(8);
+        let r = solve_seq(
+            &p,
+            &SeqOptions {
+                first_only: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.solutions, 1);
+        assert!(r.nodes < 2000);
+        assert!(p.check_assignment(r.best_assignment.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn node_limit_truncates() {
+        let p = queens(10);
+        let r = solve_seq(
+            &p,
+            &SeqOptions {
+                node_limit: Some(100),
+                ..Default::default()
+            },
+        );
+        assert!(r.truncated);
+        assert!(r.nodes <= 101);
+    }
+
+    #[test]
+    fn optimisation_finds_minimum() {
+        // Minimise x subject to x + y = 10, x ≥ 3 via x ≠ 0..=2.
+        let mut m = Model::new("opt");
+        let x = m.new_var(0, 10);
+        let y = m.new_var(0, 10);
+        m.post(Propag::LinearEq {
+            terms: vec![(1, x), (1, y)],
+            k: 10,
+        });
+        m.post(Propag::NeqConst { x, v: 0 });
+        m.post(Propag::NeqConst { x, v: 1 });
+        m.post(Propag::NeqConst { x, v: 2 });
+        m.minimize_var(x);
+        let p = m.compile();
+        let r = solve_seq(&p, &SeqOptions::default());
+        assert_eq!(r.best_cost, Some(3));
+        let a = r.best_assignment.unwrap();
+        assert_eq!(a[x], 3);
+        assert_eq!(a[y], 7);
+    }
+
+    #[test]
+    fn unsatisfiable_has_zero_solutions() {
+        let p = queens(3);
+        let r = solve_seq(&p, &SeqOptions::default());
+        assert_eq!(r.solutions, 0);
+        assert!(r.best_assignment.is_none());
+    }
+
+    #[test]
+    fn binary_branching_agrees_with_eager() {
+        use crate::branch::{BranchKind, Brancher, ValSelect, VarSelect};
+        let mut p = queens(7);
+        p.brancher = Brancher::new(VarSelect::InputOrder, ValSelect::Min, BranchKind::Binary);
+        let r = solve_seq(&p, &SeqOptions::default());
+        assert_eq!(r.solutions, 40);
+        let mut p2 = queens(7);
+        p2.brancher = Brancher::new(VarSelect::FirstFail, ValSelect::Max, BranchKind::Eager);
+        let r2 = solve_seq(&p2, &SeqOptions::default());
+        assert_eq!(r2.solutions, 40);
+    }
+
+    #[test]
+    fn domain_split_branching_agrees() {
+        use crate::branch::{BranchKind, Brancher, ValSelect, VarSelect};
+        let mut p = queens(6);
+        p.brancher = Brancher::new(VarSelect::FirstFail, ValSelect::Min, BranchKind::DomainSplit);
+        let r = solve_seq(&p, &SeqOptions::default());
+        assert_eq!(r.solutions, 4);
+    }
+}

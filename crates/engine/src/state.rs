@@ -1,0 +1,292 @@
+//! Mutable propagation view over a store, with change logging.
+
+use macs_domain::{bits, StoreLayout, Val, VarId};
+
+/// Zero-sized "a domain became empty" error. Propagators return
+/// `Result<_, Failed>` so `?` short-circuits the fixpoint loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Failed;
+
+/// Records which variables were pruned during a propagator run, so the
+/// fixpoint engine can schedule exactly their watchers.
+#[derive(Debug, Default)]
+pub struct ChangeLog {
+    touched: Vec<VarId>,
+    dirty: Vec<bool>,
+}
+
+impl ChangeLog {
+    pub fn new(num_vars: usize) -> Self {
+        ChangeLog {
+            touched: Vec::with_capacity(num_vars),
+            dirty: vec![false; num_vars],
+        }
+    }
+
+    #[inline]
+    pub fn mark(&mut self, v: VarId) {
+        if !self.dirty[v] {
+            self.dirty[v] = true;
+            self.touched.push(v);
+        }
+    }
+
+    /// Drain the touched set, resetting the log.
+    #[inline]
+    pub fn drain(&mut self, mut f: impl FnMut(VarId)) {
+        for &v in &self.touched {
+            self.dirty[v] = false;
+        }
+        for v in self.touched.drain(..) {
+            f(v);
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        for &v in &self.touched {
+            self.dirty[v] = false;
+        }
+        self.touched.clear();
+    }
+}
+
+/// The state a propagator runs against: the store's words, the layout, the
+/// change log, and the objective incumbent in force for this propagation
+/// round (`i64::MAX` when there is none).
+///
+/// All mutating accessors detect wipe-out (`Err(Failed)`) and record the
+/// pruned variable in the change log, so individual propagators stay free
+/// of bookkeeping.
+pub struct PropState<'a> {
+    layout: &'a StoreLayout,
+    words: &'a mut [u64],
+    log: &'a mut ChangeLog,
+    /// Best objective value found so far (minimisation); `i64::MAX` if none.
+    pub incumbent: i64,
+}
+
+impl<'a> PropState<'a> {
+    pub fn new(
+        layout: &'a StoreLayout,
+        words: &'a mut [u64],
+        log: &'a mut ChangeLog,
+        incumbent: i64,
+    ) -> Self {
+        debug_assert_eq!(words.len(), layout.store_words());
+        PropState {
+            layout,
+            words,
+            log,
+            incumbent,
+        }
+    }
+
+    #[inline]
+    pub fn layout(&self) -> &StoreLayout {
+        self.layout
+    }
+
+    /// The whole store (header + cells), read-only — e.g. for cost
+    /// lower-bound evaluation over the partial assignment.
+    #[inline]
+    pub fn store_words(&self) -> &[u64] {
+        self.words
+    }
+
+    // ----- read access ----------------------------------------------------
+
+    #[inline]
+    pub fn dom(&self, v: VarId) -> &[u64] {
+        &self.words[self.layout.var_range(v)]
+    }
+
+    #[inline]
+    pub fn min(&self, v: VarId) -> Option<Val> {
+        bits::min(self.dom(v))
+    }
+
+    #[inline]
+    pub fn max(&self, v: VarId) -> Option<Val> {
+        bits::max(self.dom(v))
+    }
+
+    #[inline]
+    pub fn value(&self, v: VarId) -> Option<Val> {
+        bits::singleton(self.dom(v))
+    }
+
+    #[inline]
+    pub fn size(&self, v: VarId) -> u32 {
+        bits::count(self.dom(v))
+    }
+
+    #[inline]
+    pub fn contains(&self, v: VarId, val: Val) -> bool {
+        bits::contains(self.dom(v), val)
+    }
+
+    #[inline]
+    pub fn is_assigned(&self, v: VarId) -> bool {
+        bits::is_singleton(self.dom(v))
+    }
+
+    // ----- pruning --------------------------------------------------------
+
+    #[inline]
+    fn dom_mut(&mut self, v: VarId) -> &mut [u64] {
+        &mut self.words[self.layout.var_range(v)]
+    }
+
+    #[inline]
+    fn after_change(&mut self, v: VarId) -> Result<(), Failed> {
+        if bits::is_empty(self.dom(v)) {
+            return Err(Failed);
+        }
+        self.log.mark(v);
+        Ok(())
+    }
+
+    /// Remove one value. Ok(true) if the domain changed.
+    #[inline]
+    pub fn remove(&mut self, v: VarId, val: Val) -> Result<bool, Failed> {
+        if val > self.layout.max_value() {
+            return Ok(false);
+        }
+        if bits::remove(self.dom_mut(v), val) {
+            self.after_change(v)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Reduce to the singleton `{val}`.
+    #[inline]
+    pub fn assign(&mut self, v: VarId, val: Val) -> Result<bool, Failed> {
+        if val > self.layout.max_value() || !self.contains(v, val) {
+            return Err(Failed);
+        }
+        if bits::keep_only(self.dom_mut(v), val) {
+            self.after_change(v)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Remove all values `< lo` (signed: a negative bound is a no-op).
+    #[inline]
+    pub fn remove_below(&mut self, v: VarId, lo: i64) -> Result<bool, Failed> {
+        if lo <= 0 {
+            return Ok(false);
+        }
+        if lo > self.layout.max_value() as i64 {
+            return Err(Failed);
+        }
+        if bits::remove_below(self.dom_mut(v), lo as Val) {
+            self.after_change(v)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Remove all values `> hi` (signed: a negative bound fails).
+    #[inline]
+    pub fn remove_above(&mut self, v: VarId, hi: i64) -> Result<bool, Failed> {
+        if hi < 0 {
+            return Err(Failed);
+        }
+        if hi >= self.layout.max_value() as i64 {
+            return Ok(false);
+        }
+        if bits::remove_above(self.dom_mut(v), hi as Val) {
+            self.after_change(v)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Intersect `dom(v)` with an explicit bitmap.
+    #[inline]
+    pub fn intersect_with(&mut self, v: VarId, mask: &[u64]) -> Result<bool, Failed> {
+        if bits::intersect(self.dom_mut(v), mask) {
+            self.after_change(v)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Remove from `dom(v)` every value in an explicit bitmap.
+    #[inline]
+    pub fn subtract(&mut self, v: VarId, mask: &[u64]) -> Result<bool, Failed> {
+        if bits::subtract(self.dom_mut(v), mask) {
+            self.after_change(v)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_domain::Store;
+
+    fn setup() -> (StoreLayout, Store, ChangeLog) {
+        let l = StoreLayout::new(3, 9);
+        let s = Store::root(&l);
+        let log = ChangeLog::new(3);
+        (l, s, log)
+    }
+
+    #[test]
+    fn remove_logs_change_once() {
+        let (l, mut s, mut log) = setup();
+        let mut st = PropState::new(&l, s.as_words_mut(), &mut log, i64::MAX);
+        assert!(st.remove(0, 3).unwrap());
+        assert!(!st.remove(0, 3).unwrap());
+        assert!(st.remove(0, 4).unwrap());
+        let mut seen = vec![];
+        log.drain(|v| seen.push(v));
+        assert_eq!(seen, vec![0]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn wipe_out_fails() {
+        let (l, mut s, mut log) = setup();
+        let mut st = PropState::new(&l, s.as_words_mut(), &mut log, i64::MAX);
+        for v in 0..9 {
+            st.remove(1, v).unwrap();
+        }
+        assert_eq!(st.remove(1, 9), Err(Failed));
+    }
+
+    #[test]
+    fn assign_requires_membership() {
+        let (l, mut s, mut log) = setup();
+        let mut st = PropState::new(&l, s.as_words_mut(), &mut log, i64::MAX);
+        st.remove(2, 5).unwrap();
+        assert_eq!(st.assign(2, 5), Err(Failed));
+        assert!(st.assign(2, 4).unwrap());
+        assert_eq!(st.value(2), Some(4));
+        assert!(!st.assign(2, 4).unwrap());
+    }
+
+    #[test]
+    fn signed_bounds_behave() {
+        let (l, mut s, mut log) = setup();
+        let mut st = PropState::new(&l, s.as_words_mut(), &mut log, i64::MAX);
+        assert!(!st.remove_below(0, -5).unwrap());
+        assert!(!st.remove_above(0, 100).unwrap());
+        assert_eq!(st.remove_above(0, -1), Err(Failed));
+        assert_eq!(st.remove_below(1, 10), Err(Failed));
+        assert!(st.remove_below(2, 4).unwrap());
+        assert!(st.remove_above(2, 7).unwrap());
+        assert_eq!(st.min(2), Some(4));
+        assert_eq!(st.max(2), Some(7));
+    }
+}

@@ -1,0 +1,133 @@
+//! A small register file in global memory.
+
+use crate::interconnect::Interconnect;
+use crate::segment::Segment;
+
+/// Well-known registers shared by every worker of a run: the outstanding-
+/// work counter for termination detection, the branch-and-bound incumbent,
+/// and whatever else a computation needs. Conceptually these live in the
+/// global-memory partition of node 0; workers on other nodes reach them
+/// with remote atomics.
+#[derive(Debug)]
+pub struct GlobalCells {
+    seg: Segment,
+}
+
+/// Register index of the termination (outstanding work) counter.
+pub const CELL_OUTSTANDING: usize = 0;
+/// Register index of the branch-and-bound incumbent (i64, `i64::MAX` = none).
+pub const CELL_INCUMBENT: usize = 1;
+/// Register index of the global solution counter.
+pub const CELL_SOLUTIONS: usize = 2;
+/// Register index of the cooperative-cancellation flag (non-zero = every
+/// worker should discard its remaining work and terminate).
+pub const CELL_CANCEL: usize = 3;
+/// First register index free for application use.
+pub const CELL_USER: usize = 8;
+
+impl GlobalCells {
+    pub fn new(count: usize) -> Self {
+        let seg = Segment::new(count.max(CELL_USER));
+        GlobalCells { seg }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.seg.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seg.is_empty()
+    }
+
+    #[inline]
+    pub fn load(&self, idx: usize) -> u64 {
+        self.seg.load_notify(idx)
+    }
+
+    #[inline]
+    pub fn store(&self, idx: usize, v: u64) {
+        self.seg.store_notify(idx, v)
+    }
+
+    #[inline]
+    pub fn load_i64(&self, idx: usize) -> i64 {
+        self.seg.load_notify(idx) as i64
+    }
+
+    #[inline]
+    pub fn store_i64(&self, idx: usize, v: i64) {
+        self.seg.store_notify(idx, v as u64)
+    }
+
+    #[inline]
+    pub fn fetch_add_i64(&self, idx: usize, delta: i64) -> i64 {
+        self.seg.fetch_add_i64(idx, delta)
+    }
+
+    #[inline]
+    pub fn fetch_add(&self, idx: usize, delta: u64) -> u64 {
+        self.seg.fetch_add(idx, delta)
+    }
+
+    #[inline]
+    pub fn fetch_min_i64(&self, idx: usize, v: i64) -> i64 {
+        self.seg.fetch_min_i64(idx, v)
+    }
+
+    // Remote flavours: same operation, charged against the interconnect.
+
+    #[inline]
+    pub fn load_i64_remote(&self, ic: &Interconnect, idx: usize) -> i64 {
+        ic.charge_read(8);
+        self.load_i64(idx)
+    }
+
+    #[inline]
+    pub fn fetch_add_i64_remote(&self, ic: &Interconnect, idx: usize, delta: i64) -> i64 {
+        ic.charge_atomic();
+        self.fetch_add_i64(idx, delta)
+    }
+
+    #[inline]
+    pub fn fetch_min_i64_remote(&self, ic: &Interconnect, idx: usize, v: i64) -> i64 {
+        ic.charge_atomic();
+        self.fetch_min_i64(idx, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::LatencyModel;
+
+    #[test]
+    fn minimum_size_covers_reserved_cells() {
+        let c = GlobalCells::new(0);
+        assert!(c.len() >= CELL_USER);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        let c = GlobalCells::new(16);
+        c.store_i64(CELL_INCUMBENT, i64::MAX);
+        assert_eq!(c.load_i64(CELL_INCUMBENT), i64::MAX);
+        c.fetch_min_i64(CELL_INCUMBENT, 123);
+        assert_eq!(c.load_i64(CELL_INCUMBENT), 123);
+        c.fetch_add_i64(CELL_OUTSTANDING, 5);
+        c.fetch_add_i64(CELL_OUTSTANDING, -3);
+        assert_eq!(c.load_i64(CELL_OUTSTANDING), 2);
+    }
+
+    #[test]
+    fn remote_flavours_charge() {
+        let c = GlobalCells::new(16);
+        let ic = Interconnect::new(LatencyModel::zero());
+        c.fetch_add_i64_remote(&ic, CELL_OUTSTANDING, 1);
+        c.load_i64_remote(&ic, CELL_OUTSTANDING);
+        c.fetch_min_i64_remote(&ic, CELL_INCUMBENT, 1);
+        let s = ic.counters.snapshot();
+        assert_eq!(s.remote_atomics, 2);
+        assert_eq!(s.remote_reads, 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! In-process simulation of **GPI** (Global address space Programming
+//! Interface), the PGAS API MaCS is built on (paper §III).
+//!
+//! The real GPI runs on an RDMA cluster: the system is a set of *nodes*
+//! (each a shared-memory multiprocessor running one thread per core), every
+//! node exposes a partition of *global memory*, and threads access remote
+//! partitions with **one-sided**, non-blocking read/write operations that
+//! complete without involving the remote CPU.
+//!
+//! This crate reproduces that programming model inside one process:
+//!
+//! * [`Topology`] — the hierarchical node/core structure (workers on the
+//!   same node are "close"; others are "remote");
+//! * [`Segment`] — a partition of global memory: a word array supporting
+//!   one-sided reads, writes, and atomics, in *local* (plain shared-memory)
+//!   and *remote* flavours, the latter charged against the interconnect
+//!   model;
+//! * [`Interconnect`] — the DMA interconnect: a latency/bandwidth model
+//!   with traffic counters; remote operations spin for their modelled
+//!   duration, so time-based measurements see realistic local/remote cost
+//!   asymmetry (zero-latency by default for functional tests);
+//! * [`GlobalCells`] — a tiny register file in global memory (termination
+//!   counter, branch-and-bound incumbent, solution counter …);
+//! * [`GpiBarrier`] — a sense-reversing barrier (GPI's collective);
+//! * [`World`] — a bundle of all of the above for one run.
+//!
+//! What is simulated vs. real: memory accesses *are* real shared-memory
+//! accesses (so all concurrency is genuine); only the *cost* of crossing
+//! the interconnect is modelled, by spinning. One-sided transfers become
+//! visible word-atomically but without a global order — exactly the
+//! guarantee RDMA gives — so higher layers use explicit notification words
+//! with acquire/release ordering, as real GPI applications do.
+
+pub mod barrier;
+pub mod cells;
+pub mod interconnect;
+pub mod segment;
+pub mod topology;
+
+pub use barrier::GpiBarrier;
+pub use cells::GlobalCells;
+pub use interconnect::{Interconnect, LatencyModel, TrafficCounters};
+pub use segment::Segment;
+pub use topology::Topology;
+
+use std::sync::Arc;
+
+/// Everything a set of workers needs to communicate: the topology, the
+/// interconnect, a global register file and a barrier.
+#[derive(Debug)]
+pub struct World {
+    pub topology: Topology,
+    pub interconnect: Interconnect,
+    pub cells: GlobalCells,
+    pub barrier: GpiBarrier,
+}
+
+impl World {
+    /// Build a world with `cell_count` global registers.
+    pub fn new(topology: Topology, latency: LatencyModel, cell_count: usize) -> Arc<Self> {
+        let total = topology.total_workers();
+        Arc::new(World {
+            topology,
+            interconnect: Interconnect::new(latency),
+            cells: GlobalCells::new(cell_count),
+            barrier: GpiBarrier::new(total),
+        })
+    }
+}

@@ -1,0 +1,109 @@
+//! The hierarchical node/core structure of the machine.
+
+use std::ops::Range;
+
+/// A cluster topology: `nodes` shared-memory nodes of `cores_per_node`
+/// workers each. The paper's testbed is 155 nodes × 4 cores (620 cores);
+/// our experiments use the same two-level shape at whatever scale the host
+/// allows, with worker IDs dense in `0..total_workers()` and node-major.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    pub nodes: usize,
+    pub cores_per_node: usize,
+}
+
+impl Topology {
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0, "empty topology");
+        Topology {
+            nodes,
+            cores_per_node,
+        }
+    }
+
+    /// A single shared-memory machine with `n` workers.
+    pub fn single_node(n: usize) -> Self {
+        Topology::new(1, n)
+    }
+
+    /// Split `total` workers into nodes of (at most) `cores_per_node`,
+    /// mirroring the paper's 4-cores-per-node cluster. `total` must be a
+    /// multiple of `cores_per_node`.
+    pub fn clustered(total: usize, cores_per_node: usize) -> Self {
+        assert!(
+            total.is_multiple_of(cores_per_node),
+            "worker count {total} not a multiple of node size {cores_per_node}"
+        );
+        Topology::new(total / cores_per_node, cores_per_node)
+    }
+
+    #[inline]
+    pub fn total_workers(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Node hosting worker `w`.
+    #[inline]
+    pub fn node_of(&self, w: usize) -> usize {
+        debug_assert!(w < self.total_workers());
+        w / self.cores_per_node
+    }
+
+    /// Workers co-located on node `n` (including any caller on that node).
+    #[inline]
+    pub fn workers_on(&self, n: usize) -> Range<usize> {
+        debug_assert!(n < self.nodes);
+        n * self.cores_per_node..(n + 1) * self.cores_per_node
+    }
+
+    /// Workers co-located with `w`, *including* `w` itself.
+    #[inline]
+    pub fn peers_of(&self, w: usize) -> Range<usize> {
+        self.workers_on(self.node_of(w))
+    }
+
+    /// Are two workers on the same node (communicating via shared memory
+    /// rather than the interconnect)?
+    #[inline]
+    pub fn is_local(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = Topology::clustered(512, 4);
+        assert_eq!(t.nodes, 128);
+        assert_eq!(t.total_workers(), 512);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(511), 127);
+    }
+
+    #[test]
+    fn locality() {
+        let t = Topology::new(2, 4);
+        assert!(t.is_local(0, 3));
+        assert!(!t.is_local(3, 4));
+        assert_eq!(t.peers_of(5), 4..8);
+        assert_eq!(t.workers_on(0), 0..4);
+    }
+
+    #[test]
+    fn single_node_is_all_local() {
+        let t = Topology::single_node(8);
+        assert_eq!(t.nodes, 1);
+        assert!(t.is_local(0, 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn clustered_requires_divisibility() {
+        let _ = Topology::clustered(10, 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! **PaCCS** — the baseline parallel constraint solver MaCS is compared
+//! against (paper §IV, §VI).
+//!
+//! PaCCS (Pedro, 2012) predates MaCS and is implemented with MPI: "a
+//! distinguished process initiates the search, collects solutions, detects
+//! termination and returns answers", and load balancing is work stealing
+//! where "the idle agent first tries to obtain work from an agent in its
+//! immediate neighbourhood, constituted by the agents in the same
+//! shared-memory system. Failing that, it then expands the considered
+//! neighbourhood until it encompasses the whole parallel search system."
+//!
+//! This crate reproduces that architecture with two-sided message passing
+//! (crossbeam channels standing in for MPI, cross-node messages charged to
+//! the same [`Interconnect`](macs_gpi::Interconnect) model MaCS uses):
+//!
+//! * a **controller** collects solutions, redistributes bound improvements
+//!   and broadcasts termination;
+//! * **search agents** run the same propagate/split kernel as MaCS
+//!   (`macs-engine` — the paper notes the two systems share their
+//!   constraint-propagation implementation, which is why their sequential
+//!   performance is comparable) over a plain private deque;
+//! * an idle agent sends steal *requests* in neighbourhood order (same
+//!   node first, then expanding) and blocks for each reply — the two-sided
+//!   protocol whose extra hand-shakes are exactly what MaCS' one-sided
+//!   design removes.
+
+pub mod solver;
+
+pub use solver::{paccs_solve, PaccsConfig, PaccsOutcome};

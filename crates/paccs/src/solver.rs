@@ -1,0 +1,466 @@
+//! The PaCCS controller/agent solver.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use macs_domain::{Store, StoreView, Val};
+use macs_engine::{CompiledProblem, Engine, PropOutcome, ScheduleSeed};
+use macs_gpi::{Interconnect, LatencyModel, Topology};
+
+/// Configuration of a PaCCS run.
+#[derive(Clone, Debug)]
+pub struct PaccsConfig {
+    pub topology: Topology,
+    pub latency: LatencyModel,
+    /// Sleep between failed steal sweeps.
+    pub steal_retry_backoff_us: u64,
+    /// Items handed over per successful steal (victim gives up to half its
+    /// queue, capped here).
+    pub max_steal_chunk: usize,
+    pub keep_solutions: usize,
+}
+
+impl PaccsConfig {
+    pub fn with_workers(n: usize) -> Self {
+        PaccsConfig {
+            topology: Topology::single_node(n),
+            latency: LatencyModel::zero(),
+            steal_retry_backoff_us: 50,
+            max_steal_chunk: 8,
+            keep_solutions: 16,
+        }
+    }
+
+    pub fn clustered(total: usize, cores_per_node: usize) -> Self {
+        PaccsConfig {
+            topology: Topology::clustered(total, cores_per_node),
+            ..PaccsConfig::with_workers(total)
+        }
+    }
+}
+
+/// Result of a PaCCS run.
+#[derive(Debug)]
+pub struct PaccsOutcome {
+    /// Solutions delivered to the controller (for optimisation: improving
+    /// solutions).
+    pub solutions: u64,
+    /// Total stores processed.
+    pub nodes: u64,
+    pub best_cost: Option<i64>,
+    pub best_assignment: Option<Vec<Val>>,
+    pub kept: Vec<Vec<Val>>,
+    pub wall: Duration,
+    /// Successful steals from a same-node / remote-node victim.
+    pub local_steals: u64,
+    pub remote_steals: u64,
+    /// Steal requests answered with `NoWork`.
+    pub failed_steals: u64,
+    /// Total messages exchanged.
+    pub messages: u64,
+}
+
+enum Msg {
+    /// Steal request from an idle agent.
+    StealReq { thief: usize },
+    /// Steal reply carrying work.
+    Work(Vec<Box<[u64]>>),
+    /// Steal reply: nothing to give.
+    NoWork,
+    /// Agent → controller: a solution.
+    Solution {
+        cost: Option<i64>,
+        assignment: Vec<Val>,
+    },
+    /// Controller → agents: stop.
+    Terminate,
+}
+
+struct Shared<'a> {
+    prob: &'a CompiledProblem,
+    cfg: &'a PaccsConfig,
+    ic: Interconnect,
+    senders: Vec<Sender<Msg>>,
+    to_controller: Sender<Msg>,
+    /// Agents currently holding work — the termination invariant is
+    /// `active + in_flight ≥ 1` whenever any store exists anywhere.
+    active: AtomicUsize,
+    /// Work messages in flight.
+    in_flight: AtomicUsize,
+    /// Best objective value (PaCCS routes bound values through the
+    /// controller; the value lives centrally and stale reads are sound).
+    incumbent: AtomicI64,
+    messages: AtomicU64,
+}
+
+impl Shared<'_> {
+    /// Send an agent-to-agent message, charging the fabric for cross-node
+    /// traffic (MPI send, no one-sided shortcut).
+    fn send(&self, from: usize, to: usize, msg: Msg) {
+        if !self.cfg.topology.is_local(from, to) {
+            let bytes = match &msg {
+                Msg::Work(items) => items.iter().map(|i| i.len() * 8).sum::<usize>() + 64,
+                _ => 64,
+            };
+            self.ic.charge_write(bytes);
+        }
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let _ = self.senders[to].send(msg);
+    }
+
+    /// Send to the controller (hosted on node 0).
+    fn send_controller(&self, from: usize, msg: Msg) {
+        if self.cfg.topology.node_of(from) != 0 {
+            self.ic.charge_write(64);
+        }
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let _ = self.to_controller.send(msg);
+    }
+}
+
+#[derive(Default)]
+struct AgentResult {
+    nodes: u64,
+    local_steals: u64,
+    remote_steals: u64,
+    failed_steals: u64,
+}
+
+/// Victim side of a steal: hand over the oldest half of the queue (the
+/// largest sub-problems), capped. The victim always keeps at least one
+/// store, so it stays active.
+fn reply_steal(victim: usize, thief: usize, stack: &mut Vec<Box<[u64]>>, shared: &Shared<'_>) {
+    let give = (stack.len() / 2).min(shared.cfg.max_steal_chunk);
+    if give == 0 {
+        shared.send(victim, thief, Msg::NoWork);
+        return;
+    }
+    let items: Vec<Box<[u64]>> = stack.drain(..give).collect();
+    shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    shared.send(victim, thief, Msg::Work(items));
+}
+
+/// Accept a `Work` reply: the order (activate, then release the in-flight
+/// count) keeps the termination invariant.
+fn accept_work(
+    items: Vec<Box<[u64]>>,
+    stack: &mut Vec<Box<[u64]>>,
+    shared: &Shared<'_>,
+) {
+    shared.active.fetch_add(1, Ordering::AcqRel);
+    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    stack.extend(items);
+}
+
+/// The search-agent loop.
+fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) -> AgentResult {
+    let prob = shared.prob;
+    let layout = &prob.layout;
+    let mut engine = Engine::new(prob);
+    let mut scratch = vec![0u64; layout.store_words()];
+    let mut children: Vec<Box<[u64]>> = Vec::new();
+    let mut stack: Vec<Box<[u64]>> = Vec::new();
+    let mut res = AgentResult::default();
+
+    if seeded {
+        // `active` was pre-incremented by the launcher, before any thread
+        // ran, so the controller can never observe a spuriously quiet start.
+        stack.push(prob.root.as_words().to_vec().into_boxed_slice());
+    }
+
+    // Victim order: the local node first, then the remote agents — the
+    // expanding neighbourhood of the paper.
+    let topo = &shared.cfg.topology;
+    let mut victims: Vec<usize> = topo.peers_of(id).filter(|&w| w != id).collect();
+    victims.extend((0..topo.total_workers()).filter(|&w| !topo.is_local(w, id)));
+
+    loop {
+        // MPI-progress: drain pending messages.
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                Msg::StealReq { thief } => reply_steal(id, thief, &mut stack, shared),
+                Msg::Terminate => return res,
+                Msg::Work(items) => accept_work(items, &mut stack, shared), // defensive
+                Msg::NoWork => {}
+                Msg::Solution { .. } => unreachable!("agents do not receive solutions"),
+            }
+        }
+
+        if let Some(mut store) = stack.pop() {
+            // ---- process one store (the same kernel MaCS runs) -----------
+            res.nodes += 1;
+            let incumbent = if prob.objective.is_some() {
+                shared.incumbent.load(Ordering::Acquire)
+            } else {
+                i64::MAX
+            };
+            let seed = match Store::from_words(layout, &store).branch_var() {
+                Some(v) => ScheduleSeed::Var(v),
+                None => ScheduleSeed::All,
+            };
+            let failed =
+                engine.propagate(prob, &mut store, incumbent, seed) == PropOutcome::Failed;
+            if !failed {
+                match prob.brancher.choose_var(layout, &store) {
+                    None => {
+                        let view = StoreView::new(layout, &store);
+                        let assignment = view.assignment().expect("complete");
+                        match prob.objective.cost(view) {
+                            Some(cost) => {
+                                let prev = shared.incumbent.fetch_min(cost, Ordering::AcqRel);
+                                if cost < prev {
+                                    shared.send_controller(
+                                        id,
+                                        Msg::Solution {
+                                            cost: Some(cost),
+                                            assignment,
+                                        },
+                                    );
+                                }
+                            }
+                            None => shared.send_controller(
+                                id,
+                                Msg::Solution {
+                                    cost: None,
+                                    assignment,
+                                },
+                            ),
+                        }
+                    }
+                    Some(var) => {
+                        children.clear();
+                        let kids = &mut children;
+                        prob.brancher.split(
+                            prob,
+                            &store,
+                            &mut scratch,
+                            |c| kids.push(c.to_vec().into_boxed_slice()),
+                            var,
+                        );
+                        for c in children.drain(..).rev() {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+            if stack.is_empty() {
+                // Out of work: stop being counted before the idle sweep.
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+            }
+        } else {
+            // ---- idle: steal sweep over the expanding neighbourhood ------
+            let mut got = false;
+            'sweep: for &victim in &victims {
+                shared.send(id, victim, Msg::StealReq { thief: id });
+                // Block for this victim's reply, serving interleaved
+                // messages (requests get refused — we are idle).
+                loop {
+                    match rx.recv() {
+                        Ok(Msg::Work(items)) => {
+                            accept_work(items, &mut stack, shared);
+                            if topo.is_local(victim, id) {
+                                res.local_steals += 1;
+                            } else {
+                                res.remote_steals += 1;
+                            }
+                            got = true;
+                            break 'sweep;
+                        }
+                        Ok(Msg::NoWork) => {
+                            res.failed_steals += 1;
+                            break;
+                        }
+                        Ok(Msg::StealReq { thief }) => {
+                            shared.send(id, thief, Msg::NoWork);
+                        }
+                        Ok(Msg::Terminate) | Err(_) => return res,
+                        Ok(Msg::Solution { .. }) => unreachable!(),
+                    }
+                }
+            }
+            if !got {
+                std::thread::sleep(Duration::from_micros(
+                    shared.cfg.steal_retry_backoff_us.max(1),
+                ));
+            }
+        }
+    }
+}
+
+/// Solve `prob` with the PaCCS architecture (controller + search agents).
+pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
+    let n = cfg.topology.total_workers();
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Msg>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let (ctl_tx, ctl_rx) = unbounded::<Msg>();
+
+    let shared = Shared {
+        prob,
+        cfg,
+        ic: Interconnect::new(cfg.latency),
+        senders,
+        to_controller: ctl_tx,
+        active: AtomicUsize::new(1), // the seeded agent, counted up front
+        in_flight: AtomicUsize::new(0),
+        incumbent: AtomicI64::new(i64::MAX),
+        messages: AtomicU64::new(0),
+    };
+
+    let t0 = Instant::now();
+    let mut agent_results: Vec<AgentResult> = Vec::with_capacity(n);
+    let mut solutions_seen: u64 = 0;
+    let mut kept: Vec<Vec<Val>> = Vec::new();
+    let mut best: Option<(i64, Vec<Val>)> = None;
+
+    let absorb = |msg: Msg,
+                      best: &mut Option<(i64, Vec<Val>)>,
+                      kept: &mut Vec<Vec<Val>>,
+                      solutions_seen: &mut u64| {
+        if let Msg::Solution { cost, assignment } = msg {
+            *solutions_seen += 1;
+            match cost {
+                Some(c) => {
+                    if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
+                        *best = Some((c, assignment));
+                    }
+                }
+                None => {
+                    if kept.len() < cfg.keep_solutions {
+                        kept.push(assignment);
+                    }
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        let shared = &shared;
+        let handles: Vec<_> = receivers
+            .iter()
+            .enumerate()
+            .map(|(id, rx)| s.spawn(move || agent_main(id, shared, rx, id == 0)))
+            .collect();
+
+        // ---- controller: collect solutions, detect termination -----------
+        loop {
+            while let Ok(msg) = ctl_rx.try_recv() {
+                absorb(msg, &mut best, &mut kept, &mut solutions_seen);
+            }
+            let quiet = shared.active.load(Ordering::Acquire) == 0
+                && shared.in_flight.load(Ordering::Acquire) == 0;
+            if quiet {
+                // The invariant makes a single observation sufficient; a
+                // confirming read is cheap insurance.
+                std::thread::sleep(Duration::from_micros(100));
+                if shared.active.load(Ordering::Acquire) == 0
+                    && shared.in_flight.load(Ordering::Acquire) == 0
+                {
+                    break;
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for id in 0..n {
+            shared.send(0, id, Msg::Terminate);
+        }
+        for h in handles {
+            agent_results.push(h.join().expect("agent panicked"));
+        }
+        // Solutions sent in the final moments are still in the channel.
+        while let Ok(msg) = ctl_rx.try_recv() {
+            absorb(msg, &mut best, &mut kept, &mut solutions_seen);
+        }
+    });
+
+    let wall = t0.elapsed();
+    let nodes = agent_results.iter().map(|r| r.nodes).sum();
+    let (best_cost, best_assignment) = match best {
+        Some((c, a)) => (Some(c), Some(a)),
+        None => (None, kept.first().cloned()),
+    };
+    PaccsOutcome {
+        solutions: solutions_seen,
+        nodes,
+        best_cost,
+        best_assignment,
+        kept,
+        wall,
+        local_steals: agent_results.iter().map(|r| r.local_steals).sum(),
+        remote_steals: agent_results.iter().map(|r| r.remote_steals).sum(),
+        failed_steals: agent_results.iter().map(|r| r.failed_steals).sum(),
+        messages: shared.messages.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_engine::seq::{solve_seq, SeqOptions};
+    use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
+
+    #[test]
+    fn queens_counts_match_sequential() {
+        for n in [6usize, 7, 8] {
+            let prob = queens(n, QueensModel::Pairwise);
+            let seq = solve_seq(&prob, &SeqOptions::default());
+            for cfg in [
+                PaccsConfig::with_workers(1),
+                PaccsConfig::with_workers(4),
+                PaccsConfig::clustered(4, 2),
+            ] {
+                let out = paccs_solve(&prob, &cfg);
+                assert_eq!(out.solutions, seq.solutions, "queens-{n}");
+                assert!(out.nodes >= seq.nodes / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn qap_optimum_matches_sequential() {
+        let inst = QapInstance::cube8_like(5);
+        let prob = qap_model(&inst);
+        let seq = solve_seq(&prob, &SeqOptions::default());
+        for workers in [1usize, 3] {
+            let out = paccs_solve(&prob, &PaccsConfig::with_workers(workers));
+            assert_eq!(out.best_cost, seq.best_cost);
+            let a = out.best_assignment.as_ref().unwrap();
+            assert_eq!(inst.cost(&a[..8]), seq.best_cost.unwrap());
+        }
+    }
+
+    #[test]
+    fn hierarchical_run_counts_steal_classes() {
+        let prob = queens(10, QueensModel::Pairwise);
+        let seq = solve_seq(&prob, &SeqOptions::default());
+        let cfg = PaccsConfig::clustered(4, 2);
+        // Work distribution is timing-dependent; on a loaded host the
+        // seeded agent can occasionally race through a small tree alone, so
+        // allow a few attempts to observe stealing.
+        let mut stole = false;
+        for _ in 0..3 {
+            let out = paccs_solve(&prob, &cfg);
+            assert_eq!(out.solutions, seq.solutions);
+            assert!(out.messages > 0);
+            if out.local_steals + out.remote_steals > 0 {
+                stole = true;
+                break;
+            }
+        }
+        assert!(stole, "no stealing observed in 3 runs of queens-10 × 4 agents");
+    }
+
+    #[test]
+    fn unsat_reports_zero() {
+        let prob = queens(3, QueensModel::Pairwise);
+        let out = paccs_solve(&prob, &PaccsConfig::with_workers(2));
+        assert_eq!(out.solutions, 0);
+        assert!(out.best_assignment.is_none());
+    }
+}

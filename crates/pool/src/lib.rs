@@ -1,0 +1,582 @@
+//! The MaCS **worker pool**: a split private/shared work queue placed in
+//! GPI global memory (paper §IV, Fig. 2).
+//!
+//! Each worker owns one [`SplitPool`]. The pool is a ring of fixed-size
+//! slots (one work item — a store — per slot) addressed by three monotone
+//! positions:
+//!
+//! ```text
+//!        tail              split              head
+//!         │    shared        │     private     │
+//!         ▼  (stealable)     ▼  (owner only)   ▼
+//!   ──────┼──────────────────┼─────────────────┼──────
+//! ```
+//!
+//! * the **private region** `[split, head)` is manipulated *only by the
+//!   owner*, so push/pop touch nothing but the head pointer — "without
+//!   mutual exclusion or conditional statements", as the paper puts it;
+//! * the **shared region** `[tail, split)` is visible to thieves; every
+//!   update of `split` or `tail` happens under the pool's lock;
+//! * **release** moves `split` towards `head` (sharing the oldest private
+//!   work), **reacquire** moves it back towards `tail`, and a **steal**
+//!   advances `tail` (taking the oldest shared work — the largest
+//!   sub-trees);
+//! * the remote-steal mailbox (`REQ`/`RESP` words) lives in the pool
+//!   metadata, so a thief on another node can *read* a pool's state and
+//!   *post* a request with one-sided operations only, and a victim can
+//!   write stolen work **in place, directly to the head of the thief's
+//!   pool** — the paper's zero-copy response.
+//!
+//! The slots and metadata live in a [`Segment`], i.e. in simulated GPI
+//! global memory; all remote accesses go through the [`Interconnect`] cost
+//! model.
+
+use macs_gpi::{Interconnect, Segment};
+use parking_lot::{Mutex, MutexGuard};
+
+/// Metadata word offsets inside the pool segment.
+const META_HEAD: usize = 0;
+const META_SPLIT: usize = 1;
+const META_TAIL: usize = 2;
+const META_REQ: usize = 3;
+const META_RESP: usize = 4;
+/// First slot word.
+const META_WORDS: usize = 8;
+
+/// `RESP` value meaning "no response yet".
+pub const RESP_PENDING: u64 = 0;
+/// `RESP` value meaning "steal failed, no work".
+pub const RESP_FAIL: u64 = u64::MAX;
+
+/// A snapshot of a pool's pointers and request word.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolMeta {
+    pub head: u64,
+    pub split: u64,
+    pub tail: u64,
+    pub req: u64,
+}
+
+impl PoolMeta {
+    #[inline]
+    pub fn private_len(&self) -> u64 {
+        self.head - self.split
+    }
+
+    #[inline]
+    pub fn shared_len(&self) -> u64 {
+        self.split - self.tail
+    }
+
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.head - self.tail
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+}
+
+/// The split private/shared work pool of one worker.
+#[derive(Debug)]
+pub struct SplitPool {
+    seg: Segment,
+    lock: Mutex<()>,
+    capacity: u64,
+    mask: u64,
+    slot_words: usize,
+}
+
+impl SplitPool {
+    /// A pool of at least `capacity` slots of `slot_words` words each
+    /// (capacity is rounded up to a power of two).
+    pub fn new(capacity: usize, slot_words: usize) -> Self {
+        assert!(capacity > 0 && slot_words > 0);
+        let capacity = capacity.next_power_of_two() as u64;
+        let seg = Segment::new(META_WORDS + capacity as usize * slot_words);
+        SplitPool {
+            seg,
+            lock: Mutex::new(()),
+            capacity,
+            mask: capacity - 1,
+            slot_words,
+        }
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    #[inline]
+    pub fn slot_words(&self) -> usize {
+        self.slot_words
+    }
+
+    #[inline]
+    fn slot_off(&self, pos: u64) -> usize {
+        META_WORDS + (pos & self.mask) as usize * self.slot_words
+    }
+
+    // ----- pointer accessors ------------------------------------------------
+
+    #[inline]
+    fn head(&self) -> u64 {
+        self.seg.load_notify(META_HEAD)
+    }
+
+    #[inline]
+    fn split(&self) -> u64 {
+        self.seg.load_notify(META_SPLIT)
+    }
+
+    #[inline]
+    fn tail(&self) -> u64 {
+        self.seg.load_notify(META_TAIL)
+    }
+
+    /// Snapshot the pool pointers (local shared-memory read; not atomic as
+    /// a group — callers use it for heuristics, and re-validate under the
+    /// lock for correctness-critical decisions).
+    pub fn meta(&self) -> PoolMeta {
+        PoolMeta {
+            head: self.head(),
+            split: self.split(),
+            tail: self.tail(),
+            req: self.seg.load_notify(META_REQ),
+        }
+    }
+
+    /// Snapshot the pool pointers from another node: a one-sided read of
+    /// the metadata words, charged to the interconnect. This is how a
+    /// remote thief inspects victims "without disturbing" them.
+    pub fn meta_remote(&self, ic: &Interconnect) -> PoolMeta {
+        ic.charge_read(4 * 8);
+        self.meta()
+    }
+
+    /// Number of stealable items (cheap, may be momentarily stale).
+    #[inline]
+    pub fn shared_len(&self) -> u64 {
+        let m = self.meta();
+        m.split.saturating_sub(m.tail)
+    }
+
+    /// Number of owner-private items.
+    #[inline]
+    pub fn private_len(&self) -> u64 {
+        let m = self.meta();
+        m.head.saturating_sub(m.split)
+    }
+
+    /// Total items in the pool.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        let m = self.meta();
+        m.head.saturating_sub(m.tail)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ----- owner operations (lock-free) --------------------------------------
+
+    /// Push one item at the head (owner only). Returns `false` if the ring
+    /// is full; the caller keeps the item (the runtime spills to a local
+    /// overflow stack).
+    pub fn push(&self, item: &[u64]) -> bool {
+        debug_assert_eq!(item.len(), self.slot_words);
+        let head = self.head();
+        let tail = self.tail(); // stale tail is conservative (≤ actual)
+        if head - tail >= self.capacity {
+            return false;
+        }
+        self.seg.write_local(self.slot_off(head), item);
+        // Publishing through head is enough for the owner; thieves only see
+        // items after `release` publishes `split`.
+        self.seg.store_notify(META_HEAD, head + 1);
+        true
+    }
+
+    /// Pop the newest private item into `dst` (owner only, lock-free).
+    pub fn pop_private(&self, dst: &mut [u64]) -> bool {
+        debug_assert_eq!(dst.len(), self.slot_words);
+        let head = self.head();
+        let split = self.split(); // split is written only by the owner
+        if head == split {
+            return false;
+        }
+        self.seg.read_local(self.slot_off(head - 1), dst);
+        self.seg.store_notify(META_HEAD, head - 1);
+        true
+    }
+
+    // ----- split management (owner, locked) -----------------------------------
+
+    /// Share up to `k` of the oldest private items: move `split` towards
+    /// `head`. Returns how many items became shared. This is the paper's
+    /// *release* operation, whose frequency ("work release interval") is
+    /// the main tuning knob behind the MaCS(best) results.
+    pub fn release(&self, k: u64) -> u64 {
+        let _g = self.lock.lock();
+        let head = self.head();
+        let split = self.split();
+        let m = k.min(head - split);
+        if m > 0 {
+            self.seg.store_notify(META_SPLIT, split + m);
+        }
+        m
+    }
+
+    /// Take back up to `k` of the newest shared items: move `split` towards
+    /// `tail`. Returns how many items became private again.
+    pub fn reacquire(&self, k: u64) -> u64 {
+        let _g = self.lock.lock();
+        let split = self.split();
+        let tail = self.tail();
+        let m = k.min(split - tail);
+        if m > 0 {
+            self.seg.store_notify(META_SPLIT, split - m);
+        }
+        m
+    }
+
+    // ----- stealing (thief side, locked) ---------------------------------------
+
+    /// Steal up to `max` of the *oldest* shared items, feeding each to
+    /// `sink`. Returns the number stolen (0 = failed steal). Local thieves
+    /// call this directly; victims call it on their own pool to reserve
+    /// work for a remote thief.
+    pub fn steal(&self, max: u64, mut sink: impl FnMut(&[u64])) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        let _g = self.lock.lock();
+        self.steal_locked(max, &mut sink, &_g)
+    }
+
+    fn steal_locked(&self, max: u64, sink: &mut impl FnMut(&[u64]), _g: &MutexGuard<'_, ()>) -> u64 {
+        let split = self.split();
+        let tail = self.tail();
+        let avail = split - tail;
+        let m = max.min(avail);
+        if m == 0 {
+            return 0;
+        }
+        let mut buf = vec![0u64; self.slot_words];
+        for i in 0..m {
+            self.seg.read_local(self.slot_off(tail + i), &mut buf);
+            sink(&buf);
+        }
+        self.seg.store_notify(META_TAIL, tail + m);
+        m
+    }
+
+    /// Steal up to half of the shared region (at least one item), the
+    /// standard steal granularity.
+    pub fn steal_half(&self, sink: impl FnMut(&[u64])) -> u64 {
+        let shared = self.shared_len();
+        if shared == 0 {
+            return 0;
+        }
+        self.steal(shared.div_ceil(2), sink)
+    }
+
+    // ----- remote-steal mailbox -------------------------------------------------
+
+    /// Thief side: try to claim the victim's request slot with a one-sided
+    /// CAS (`0 → thief_id + 1`). At most one remote request can be pending
+    /// per victim; a second thief's CAS fails and it looks elsewhere.
+    pub fn try_post_request_remote(&self, ic: &Interconnect, thief_id: usize) -> bool {
+        self.seg
+            .cas_remote(ic, META_REQ, 0, thief_id as u64 + 1)
+            .is_ok()
+    }
+
+    /// Victim side: the pending remote request, if any (polled in the main
+    /// work loop).
+    #[inline]
+    pub fn pending_request(&self) -> Option<usize> {
+        match self.seg.load_notify(META_REQ) {
+            0 => None,
+            id1 => Some(id1 as usize - 1),
+        }
+    }
+
+    /// Victim side: clear the request slot after serving it.
+    #[inline]
+    pub fn clear_request(&self) {
+        self.seg.store_notify(META_REQ, 0);
+    }
+
+    /// Thief side: poll the response word of *this* (own) pool.
+    #[inline]
+    pub fn response(&self) -> u64 {
+        self.seg.load_notify(META_RESP)
+    }
+
+    /// Thief side: reset the response word before posting a request.
+    #[inline]
+    pub fn reset_response(&self) {
+        self.seg.store_notify(META_RESP, RESP_PENDING);
+    }
+
+    /// Victim side: write the response word of the thief's pool (one-sided,
+    /// release-ordered so the in-place slot writes below are published).
+    pub fn write_response_remote(&self, ic: &Interconnect, resp: u64) {
+        ic.charge_write(8);
+        self.seg.store_notify(META_RESP, resp);
+    }
+
+    /// Victim side: write `items` (a flat array of `n × slot_words` words)
+    /// in place at positions `[pos, pos + n)` of the thief's ring — the
+    /// paper's zero-copy write "directly to the head of the thief's pool".
+    /// Queued (non-blocking) flavour: the victim pays only posting
+    /// overhead.
+    pub fn write_slots_remote(&self, ic: &Interconnect, pos: u64, items: &[u64]) {
+        debug_assert_eq!(items.len() % self.slot_words, 0);
+        ic.charge_queued_write(items.len() * 8);
+        for (i, chunk) in items.chunks_exact(self.slot_words).enumerate() {
+            self.seg.write_local(self.slot_off(pos + i as u64), chunk);
+        }
+    }
+
+    /// Thief side: after a successful response of `n` items written in
+    /// place at the head, adopt them (owner-only head bump).
+    pub fn adopt_written(&self, n: u64) {
+        let head = self.head();
+        self.seg.store_notify(META_HEAD, head + n);
+    }
+
+    /// Read one slot by absolute position (diagnostics / tests).
+    pub fn read_slot(&self, pos: u64, dst: &mut [u64]) {
+        self.seg.read_local(self.slot_off(pos), dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_gpi::LatencyModel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn item(v: u64, words: usize) -> Vec<u64> {
+        let mut it = vec![0u64; words];
+        it[0] = v;
+        it[words - 1] = v ^ 0xdead_beef;
+        it
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let p = SplitPool::new(8, 3);
+        assert!(p.push(&item(1, 3)));
+        assert!(p.push(&item(2, 3)));
+        let mut buf = vec![0u64; 3];
+        assert!(p.pop_private(&mut buf));
+        assert_eq!(buf, item(2, 3));
+        assert!(p.pop_private(&mut buf));
+        assert_eq!(buf, item(1, 3));
+        assert!(!p.pop_private(&mut buf));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let p = SplitPool::new(4, 1);
+        for i in 0..4 {
+            assert!(p.push(&[i]));
+        }
+        assert!(!p.push(&[99]));
+        let mut buf = [0u64];
+        assert!(p.pop_private(&mut buf));
+        assert!(p.push(&[100]));
+    }
+
+    #[test]
+    fn private_items_are_not_stealable() {
+        let p = SplitPool::new(8, 1);
+        p.push(&[1]);
+        p.push(&[2]);
+        assert_eq!(p.private_len(), 2);
+        assert_eq!(p.shared_len(), 0);
+        let mut got = vec![];
+        assert_eq!(p.steal(10, |s| got.push(s[0])), 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn release_then_steal_takes_oldest() {
+        let p = SplitPool::new(8, 1);
+        for i in 1..=4 {
+            p.push(&[i]);
+        }
+        assert_eq!(p.release(2), 2);
+        assert_eq!(p.shared_len(), 2);
+        assert_eq!(p.private_len(), 2);
+        let mut got = vec![];
+        assert_eq!(p.steal(10, |s| got.push(s[0])), 2);
+        assert_eq!(got, vec![1, 2], "steal takes the oldest items");
+        // Owner still pops its private items LIFO.
+        let mut buf = [0u64];
+        assert!(p.pop_private(&mut buf));
+        assert_eq!(buf[0], 4);
+    }
+
+    #[test]
+    fn reacquire_restores_private_work() {
+        let p = SplitPool::new(8, 1);
+        for i in 1..=4 {
+            p.push(&[i]);
+        }
+        p.release(4);
+        assert_eq!(p.private_len(), 0);
+        assert_eq!(p.reacquire(3), 3);
+        assert_eq!(p.private_len(), 3);
+        assert_eq!(p.shared_len(), 1);
+        // Pop order after reacquire is still newest-first.
+        let mut buf = [0u64];
+        assert!(p.pop_private(&mut buf));
+        assert_eq!(buf[0], 4);
+    }
+
+    #[test]
+    fn release_more_than_private_is_clamped() {
+        let p = SplitPool::new(8, 1);
+        p.push(&[1]);
+        assert_eq!(p.release(100), 1);
+        assert_eq!(p.release(100), 0);
+        assert_eq!(p.reacquire(100), 1);
+        assert_eq!(p.reacquire(100), 0);
+    }
+
+    #[test]
+    fn steal_half_rounds_up() {
+        let p = SplitPool::new(16, 1);
+        for i in 0..5 {
+            p.push(&[i]);
+        }
+        p.release(5);
+        let mut got = vec![];
+        assert_eq!(p.steal_half(|s| got.push(s[0])), 3);
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(p.shared_len(), 2);
+    }
+
+    #[test]
+    fn ring_wraparound_preserves_items() {
+        let p = SplitPool::new(4, 2);
+        let mut buf = vec![0u64; 2];
+        // Cycle many times through a capacity-4 ring.
+        for round in 0..50u64 {
+            for i in 0..3 {
+                assert!(p.push(&item(round * 10 + i, 2)));
+            }
+            for i in (0..3).rev() {
+                assert!(p.pop_private(&mut buf));
+                assert_eq!(buf, item(round * 10 + i, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn request_mailbox_single_claim() {
+        let p = SplitPool::new(4, 1);
+        let ic = Interconnect::new(LatencyModel::zero());
+        assert!(p.try_post_request_remote(&ic, 7));
+        assert!(!p.try_post_request_remote(&ic, 9));
+        assert_eq!(p.pending_request(), Some(7));
+        p.clear_request();
+        assert_eq!(p.pending_request(), None);
+        assert!(p.try_post_request_remote(&ic, 9));
+        assert_eq!(p.pending_request(), Some(9));
+    }
+
+    #[test]
+    fn remote_in_place_write_protocol() {
+        // Victim writes two items at the thief's head, then the response;
+        // thief adopts and pops them.
+        let thief = SplitPool::new(8, 2);
+        let ic = Interconnect::new(LatencyModel::zero());
+        thief.reset_response();
+        let head = thief.meta().head;
+        let flat: Vec<u64> = [item(41, 2), item(42, 2)].concat();
+        thief.write_slots_remote(&ic, head, &flat);
+        thief.write_response_remote(&ic, 2);
+        assert_eq!(thief.response(), 2);
+        thief.adopt_written(2);
+        assert_eq!(thief.private_len(), 2);
+        let mut buf = vec![0u64; 2];
+        assert!(thief.pop_private(&mut buf));
+        assert_eq!(buf, item(42, 2));
+        assert!(thief.pop_private(&mut buf));
+        assert_eq!(buf, item(41, 2));
+    }
+
+    #[test]
+    fn concurrent_stealing_conserves_items() {
+        // One owner pushes and releases; three thieves steal; every item
+        // must be seen exactly once across owner pops + steals.
+        const ITEMS: u64 = 20_000;
+        let p = Arc::new(SplitPool::new(1024, 2));
+        let seen_sum = Arc::new(AtomicU64::new(0));
+        let seen_count = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                let sum = Arc::clone(&seen_sum);
+                let cnt = Arc::clone(&seen_count);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || loop {
+                    let n = p.steal(4, |s| {
+                        assert_eq!(s[1], s[0] ^ 0xdead_beef, "torn item");
+                        sum.fetch_add(s[0], Ordering::Relaxed);
+                        cnt.fetch_add(1, Ordering::Relaxed);
+                    });
+                    if n == 0 && done.load(Ordering::Acquire) == 1 && p.shared_len() == 0 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                })
+            })
+            .collect();
+
+        let mut buf = vec![0u64; 2];
+        let mut pushed = 0u64;
+        while pushed < ITEMS {
+            // Push a burst, share some of it, pop a little back.
+            for _ in 0..8 {
+                if pushed < ITEMS && p.push(&item(pushed, 2)) {
+                    pushed += 1;
+                }
+            }
+            p.release(6);
+            if p.pop_private(&mut buf) {
+                assert_eq!(buf[1], buf[0] ^ 0xdead_beef);
+                seen_sum.fetch_add(buf[0], Ordering::Relaxed);
+                seen_count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Drain what is left: share everything, then pop the remainder as a
+        // thief would (owner may also steal from its own pool).
+        p.release(u64::MAX);
+        done.store(1, Ordering::Release);
+        for t in thieves {
+            t.join().unwrap();
+        }
+        while p.steal(64, |s| {
+            seen_sum.fetch_add(s[0], Ordering::Relaxed);
+            seen_count.fetch_add(1, Ordering::Relaxed);
+        }) > 0
+        {}
+
+        assert_eq!(seen_count.load(Ordering::Relaxed), ITEMS);
+        assert_eq!(seen_sum.load(Ordering::Relaxed), ITEMS * (ITEMS - 1) / 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: the split pool against a reference model.
+//!
+//! The reference is a `VecDeque` plus a split index; every sequence of
+//! owner/thief operations must leave the pool and the model in agreement.
+
+use macs_pool::SplitPool;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u64),
+    PopPrivate,
+    Release(u64),
+    Reacquire(u64),
+    Steal(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..1_000_000u64).prop_map(Op::Push),
+        2 => Just(Op::PopPrivate),
+        2 => (1..5u64).prop_map(Op::Release),
+        1 => (1..5u64).prop_map(Op::Reacquire),
+        2 => (1..4u64).prop_map(Op::Steal),
+    ]
+}
+
+/// Reference model: items in order tail→head, with a split index.
+#[derive(Default)]
+struct Model {
+    items: VecDeque<u64>, // front = tail side, back = head side
+    split: usize,         // first private index
+    capacity: usize,
+}
+
+impl Model {
+    fn push(&mut self, v: u64) -> bool {
+        if self.items.len() >= self.capacity {
+            return false;
+        }
+        self.items.push_back(v);
+        true
+    }
+
+    fn pop_private(&mut self) -> Option<u64> {
+        if self.items.len() > self.split {
+            self.items.pop_back()
+        } else {
+            None
+        }
+    }
+
+    fn release(&mut self, k: u64) -> u64 {
+        let m = (k as usize).min(self.items.len() - self.split);
+        self.split += m;
+        m as u64
+    }
+
+    fn reacquire(&mut self, k: u64) -> u64 {
+        let m = (k as usize).min(self.split);
+        self.split -= m;
+        m as u64
+    }
+
+    fn steal(&mut self, max: u64) -> Vec<u64> {
+        let m = (max as usize).min(self.split);
+        let mut out = Vec::with_capacity(m);
+        for _ in 0..m {
+            out.push(self.items.pop_front().unwrap());
+            self.split -= 1;
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn pool_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let cap = 16usize;
+        let pool = SplitPool::new(cap, 1);
+        let mut model = Model { capacity: pool.capacity(), ..Default::default() };
+        let mut buf = [0u64];
+
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let a = pool.push(&[v]);
+                    let b = model.push(v);
+                    prop_assert_eq!(a, b, "push accept/reject must agree");
+                }
+                Op::PopPrivate => {
+                    let got = pool.pop_private(&mut buf).then_some(buf[0]);
+                    prop_assert_eq!(got, model.pop_private());
+                }
+                Op::Release(k) => {
+                    prop_assert_eq!(pool.release(k), model.release(k));
+                }
+                Op::Reacquire(k) => {
+                    prop_assert_eq!(pool.reacquire(k), model.reacquire(k));
+                }
+                Op::Steal(max) => {
+                    let mut got = Vec::new();
+                    pool.steal(max, |s| got.push(s[0]));
+                    prop_assert_eq!(got, model.steal(max));
+                }
+            }
+            prop_assert_eq!(pool.private_len() as usize, model.items.len() - model.split);
+            prop_assert_eq!(pool.shared_len() as usize, model.split);
+            prop_assert_eq!(pool.len() as usize, model.items.len());
+        }
+
+        // Drain and compare the full remaining contents.
+        let mut rest = Vec::new();
+        pool.steal(u64::MAX, |s| rest.push(s[0]));
+        while pool.pop_private(&mut buf) {
+            rest.push(buf[0]);
+        }
+        let mut expect: Vec<u64> = model.steal(u64::MAX);
+        while let Some(v) = model.pop_private() {
+            expect.push(v);
+        }
+        prop_assert_eq!(rest, expect);
+    }
+}

@@ -1,0 +1,104 @@
+//! Golomb ruler (optimisation): place `n` marks so that all pairwise
+//! differences are distinct, minimising the ruler length.
+//!
+//! A classic CP optimisation benchmark with a highly unbalanced B&B tree —
+//! a good complement to the QAP for exercising bound dissemination.
+
+use macs_engine::{BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect};
+
+/// Known optimal lengths (OEIS A003022) for validation.
+pub const GOLOMB_OPTIMAL: [(usize, i64); 7] =
+    [(2, 1), (3, 3), (4, 6), (5, 11), (6, 17), (7, 25), (8, 34)];
+
+/// Build the `n`-mark Golomb ruler problem with ruler length at most
+/// `max_len` (pass e.g. `n * n` for a safe bound).
+pub fn golomb_ruler(n: usize, max_len: u32) -> CompiledProblem {
+    assert!(n >= 2);
+    let mut m = Model::new(format!("golomb-{n}"));
+    // First mark pinned at 0; the rest range over the ruler.
+    let mut marks = vec![m.new_var(0, 0)];
+    marks.extend((1..n).map(|_| m.new_var(0, max_len as Val)));
+
+    // Marks strictly increasing.
+    for w in marks.windows(2) {
+        // m[i] ≤ m[i+1] − 1
+        m.post(Propag::LeOffset {
+            x: w[0],
+            y: w[1],
+            c: -1,
+        });
+    }
+
+    // Difference variables d_{ij} = m[j] − m[i], all distinct.
+    let mut diffs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = m.new_var(1, max_len as Val);
+            m.post(Propag::LinearEq {
+                terms: vec![(1, marks[j]), (-1, marks[i]), (-1, d)],
+                k: 0,
+            });
+            diffs.push(d);
+        }
+    }
+    m.post(Propag::AllDiffVal { vars: diffs.clone() });
+
+    // Symmetry breaking: the first difference is smaller than the last.
+    let first = diffs[0];
+    let last = *diffs.last().unwrap();
+    if n > 2 {
+        m.post(Propag::LeOffset {
+            x: first,
+            y: last,
+            c: -1,
+        });
+    }
+
+    m.minimize_var(marks[n - 1]);
+    m.branching(Brancher::new(
+        VarSelect::InputOrder,
+        ValSelect::Min,
+        BranchKind::Eager,
+    ));
+    m.compile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_engine::seq::{solve_seq, SeqOptions};
+
+    #[test]
+    fn optimal_lengths_match_known_values() {
+        for &(n, expect) in GOLOMB_OPTIMAL.iter().take(5) {
+            let p = golomb_ruler(n, (n * n) as u32);
+            let r = solve_seq(&p, &SeqOptions::default());
+            assert_eq!(r.best_cost, Some(expect), "golomb-{n}");
+        }
+    }
+
+    #[test]
+    fn optimal_ruler_is_valid() {
+        let n = 5;
+        let p = golomb_ruler(n, 25);
+        let r = solve_seq(&p, &SeqOptions::default());
+        let a = r.best_assignment.unwrap();
+        let marks: Vec<u32> = a[..n].to_vec();
+        assert_eq!(marks[0], 0);
+        let mut diffs = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert!(marks[j] > marks[i], "marks must increase");
+                assert!(diffs.insert(marks[j] - marks[i]), "duplicate difference");
+            }
+        }
+        assert_eq!(*marks.last().unwrap() as i64, 11);
+    }
+
+    #[test]
+    fn six_marks() {
+        let p = golomb_ruler(6, 30);
+        let r = solve_seq(&p, &SeqOptions::default());
+        assert_eq!(r.best_cost, Some(17));
+    }
+}

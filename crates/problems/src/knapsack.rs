@@ -1,0 +1,131 @@
+//! 0/1 knapsack (optimisation): select items maximising value within a
+//! weight budget. Modelled as minimisation of the *forgone* value, since
+//! MaCS objectives minimise.
+
+use macs_engine::{BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect};
+
+/// One knapsack item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnapsackItem {
+    pub weight: i64,
+    pub value: i64,
+}
+
+/// Build the knapsack problem: variables `x[i] ∈ {0,1}`; variable `n` is
+/// the forgone value `Σv − Σ vᵢxᵢ` (minimised). The achieved value is
+/// `total_value − best_cost`.
+pub fn knapsack(items: &[KnapsackItem], capacity: i64) -> CompiledProblem {
+    assert!(!items.is_empty());
+    let total_value: i64 = items.iter().map(|it| it.value).sum();
+    assert!(items.iter().all(|it| it.weight >= 0 && it.value >= 0));
+
+    let mut m = Model::new(format!("knapsack-{}", items.len()));
+    let xs = m.new_vars(items.len(), 0, 1);
+    let forgone = m.new_var(0, total_value.max(1) as Val);
+
+    // Σ wᵢxᵢ ≤ capacity
+    let weight_terms: Vec<(i64, usize)> = items
+        .iter()
+        .zip(&xs)
+        .map(|(it, &x)| (it.weight, x))
+        .collect();
+    m.post(Propag::LinearLe {
+        terms: weight_terms,
+        k: capacity,
+    });
+
+    // Σ vᵢxᵢ + forgone = total_value
+    let mut value_terms: Vec<(i64, usize)> = items
+        .iter()
+        .zip(&xs)
+        .map(|(it, &x)| (it.value, x))
+        .collect();
+    value_terms.push((1, forgone));
+    m.post(Propag::LinearEq {
+        terms: value_terms,
+        k: total_value,
+    });
+
+    m.minimize_var(forgone);
+    // Take-the-item-first ordering gives good incumbents early.
+    m.branching(Brancher::new(
+        VarSelect::InputOrder,
+        ValSelect::Max,
+        BranchKind::Eager,
+    ));
+    m.compile()
+}
+
+/// Dynamic-programming oracle: the optimal achievable value.
+pub fn knapsack_dp(items: &[KnapsackItem], capacity: i64) -> i64 {
+    let cap = capacity.max(0) as usize;
+    let mut best = vec![0i64; cap + 1];
+    for it in items {
+        let w = it.weight as usize;
+        if w > cap {
+            continue;
+        }
+        for c in (w..=cap).rev() {
+            best[c] = best[c].max(best[c - w] + it.value);
+        }
+    }
+    best[cap]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_engine::seq::{solve_seq, SeqOptions};
+
+    fn items(seed: u64, n: usize) -> Vec<KnapsackItem> {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as i64
+        };
+        (0..n)
+            .map(|_| KnapsackItem {
+                weight: next() % 20 + 1,
+                value: next() % 30 + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_dp_oracle() {
+        for seed in [1u64, 2, 3] {
+            let its = items(seed, 12);
+            let cap = 40;
+            let expect = knapsack_dp(&its, cap);
+            let total: i64 = its.iter().map(|i| i.value).sum();
+            let prob = knapsack(&its, cap);
+            let r = solve_seq(&prob, &SeqOptions::default());
+            let achieved = total - r.best_cost.expect("feasible: empty set always fits");
+            assert_eq!(achieved, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn solution_respects_capacity() {
+        let its = items(7, 10);
+        let cap = 35;
+        let prob = knapsack(&its, cap);
+        let r = solve_seq(&prob, &SeqOptions::default());
+        let a = r.best_assignment.unwrap();
+        let weight: i64 = its
+            .iter()
+            .zip(&a)
+            .map(|(it, &x)| it.weight * x as i64)
+            .sum();
+        assert!(weight <= cap);
+    }
+
+    #[test]
+    fn zero_capacity_takes_nothing() {
+        let its = items(9, 6);
+        let total: i64 = its.iter().map(|i| i.value).sum();
+        let prob = knapsack(&its, 0);
+        let r = solve_seq(&prob, &SeqOptions::default());
+        assert_eq!(r.best_cost, Some(total), "everything forgone");
+    }
+}

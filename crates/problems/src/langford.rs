@@ -1,0 +1,83 @@
+//! Langford pairings L(2, n) (satisfaction): arrange two copies of
+//! `1..=n` in a row of `2n` so the two copies of `k` are exactly `k`
+//! positions apart.
+
+use macs_engine::{CompiledProblem, Model, Propag, Val};
+
+/// Number of raw sequences (counting a pairing and its reversal
+/// separately, i.e. 2 × OEIS A014552) for validation.
+pub const LANGFORD_RAW: [(usize, u64); 5] = [(3, 2), (4, 2), (5, 0), (6, 0), (7, 52)];
+
+/// Build L(2, n): variables `p1[k]`, `p2[k]` (positions of the first and
+/// second copy of value `k+1`), with `p2[k] = p1[k] + k + 2` and all
+/// positions distinct.
+pub fn langford(n: usize) -> CompiledProblem {
+    assert!(n >= 1);
+    let positions = 2 * n;
+    let mut m = Model::new(format!("langford-{n}"));
+    let p1 = m.new_vars(n, 0, (positions - 1) as Val);
+    let p2 = m.new_vars(n, 0, (positions - 1) as Val);
+    for k in 0..n {
+        // Two copies of value k+1 are separated by k+1 interior slots.
+        m.post(Propag::EqOffset {
+            x: p2[k],
+            y: p1[k],
+            c: k as i64 + 2,
+        });
+    }
+    let mut all = p1;
+    all.extend(p2);
+    m.post(Propag::AllDiffVal { vars: all });
+    m.compile()
+}
+
+/// Decode a solution into the row of values at each position.
+pub fn decode(n: usize, assignment: &[Val]) -> Vec<u32> {
+    let mut row = vec![0u32; 2 * n];
+    for k in 0..n {
+        row[assignment[k] as usize] = k as u32 + 1;
+        row[assignment[n + k] as usize] = k as u32 + 1;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_engine::seq::{solve_seq, SeqOptions};
+
+    #[test]
+    fn counts_match_reference() {
+        for &(n, expect) in &LANGFORD_RAW[..4] {
+            let p = langford(n);
+            let r = solve_seq(&p, &SeqOptions::default());
+            assert_eq!(r.solutions, expect, "L(2,{n})");
+        }
+    }
+
+    #[test]
+    fn l23_solution_is_the_classic_sequence() {
+        let p = langford(3);
+        let r = solve_seq(&p, &SeqOptions::default());
+        assert_eq!(r.solutions, 2);
+        let rows: Vec<Vec<u32>> = r.kept.iter().map(|a| decode(3, a)).collect();
+        assert!(rows.contains(&vec![2, 3, 1, 2, 1, 3]) || rows.contains(&vec![3, 1, 2, 1, 3, 2]));
+        for row in rows {
+            let mut rev = row.clone();
+            rev.reverse();
+            // Each solution's reversal is the other solution.
+            assert!(row != rev);
+        }
+    }
+
+    #[test]
+    fn spacing_constraint_holds() {
+        let p = langford(4);
+        let r = solve_seq(&p, &SeqOptions::default());
+        for a in &r.kept {
+            for k in 0..4usize {
+                assert_eq!(a[4 + k] as i64 - a[k] as i64, k as i64 + 2);
+            }
+        }
+    }
+}

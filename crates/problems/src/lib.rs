@@ -1,0 +1,31 @@
+//! Problem model library for MaCS.
+//!
+//! The paper evaluates a satisfaction problem (N-Queens, §VI) and an
+//! optimisation problem (QAP on the QAPLIB instance `esc16e`, §VI), and
+//! states that "the behaviour observed in these two examples is well
+//! transported for other problems of the same classes". This crate builds
+//! those two models plus four more of both classes for exactly that wider
+//! exercise:
+//!
+//! * [`queens`] — N-Queens (satisfaction; pairwise or alldifferent model);
+//! * [`qap`] — Quadratic Assignment Problem with a QAPLIB-format parser,
+//!   an embedded `esc16`-class instance, and a branch-and-bound lower
+//!   bound;
+//! * [`golomb`] — Golomb ruler (optimisation);
+//! * [`magic`] — magic squares (satisfaction);
+//! * [`langford`] — Langford pairings L(2, n) (satisfaction);
+//! * [`knapsack`] — 0/1 knapsack (optimisation).
+
+pub mod golomb;
+pub mod knapsack;
+pub mod langford;
+pub mod magic;
+pub mod qap;
+pub mod queens;
+
+pub use golomb::golomb_ruler;
+pub use knapsack::{knapsack, KnapsackItem};
+pub use langford::langford;
+pub use magic::magic_square;
+pub use qap::{qap_model, QapInstance};
+pub use queens::{queens, QueensModel};

@@ -1,0 +1,81 @@
+//! Magic squares (satisfaction): fill an `n × n` grid with `1..=n²`, each
+//! once, so every row, column and main diagonal sums to `n(n²+1)/2`.
+
+use macs_engine::{BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect};
+
+/// The magic constant for order `n`.
+pub fn magic_constant(n: usize) -> i64 {
+    let n = n as i64;
+    n * (n * n + 1) / 2
+}
+
+/// Build the order-`n` magic square problem. Cell `(r, c)` is variable
+/// `r * n + c` with values `1..=n²`.
+pub fn magic_square(n: usize) -> CompiledProblem {
+    assert!(n >= 1);
+    let mut m = Model::new(format!("magic-{n}"));
+    let cells = m.new_vars(n * n, 1, (n * n) as Val);
+    m.post(Propag::AllDiffVal {
+        vars: cells.clone(),
+    });
+    let k = magic_constant(n);
+    for r in 0..n {
+        let terms: Vec<(i64, usize)> = (0..n).map(|c| (1i64, cells[r * n + c])).collect();
+        m.post(Propag::LinearEq { terms, k });
+    }
+    for c in 0..n {
+        let terms: Vec<(i64, usize)> = (0..n).map(|r| (1i64, cells[r * n + c])).collect();
+        m.post(Propag::LinearEq { terms, k });
+    }
+    let diag: Vec<(i64, usize)> = (0..n).map(|i| (1i64, cells[i * n + i])).collect();
+    m.post(Propag::LinearEq { terms: diag, k });
+    let anti: Vec<(i64, usize)> = (0..n).map(|i| (1i64, cells[i * n + (n - 1 - i)])).collect();
+    m.post(Propag::LinearEq { terms: anti, k });
+
+    m.branching(Brancher::new(
+        VarSelect::FirstFail,
+        ValSelect::Min,
+        BranchKind::Eager,
+    ));
+    m.compile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_engine::seq::{solve_seq, SeqOptions};
+
+    #[test]
+    fn magic_constants() {
+        assert_eq!(magic_constant(3), 15);
+        assert_eq!(magic_constant(4), 34);
+        assert_eq!(magic_constant(5), 65);
+    }
+
+    #[test]
+    fn order_three_has_eight_squares() {
+        // The unique 3×3 magic square up to the 8 symmetries.
+        let p = magic_square(3);
+        let r = solve_seq(&p, &SeqOptions::default());
+        assert_eq!(r.solutions, 8);
+        for sol in &r.kept {
+            let vals: Vec<i64> = sol.iter().map(|&v| v as i64).collect();
+            for row in 0..3 {
+                assert_eq!(vals[row * 3] + vals[row * 3 + 1] + vals[row * 3 + 2], 15);
+            }
+            for col in 0..3 {
+                assert_eq!(vals[col] + vals[3 + col] + vals[6 + col], 15);
+            }
+            assert_eq!(vals[0] + vals[4] + vals[8], 15);
+            assert_eq!(vals[2] + vals[4] + vals[6], 15);
+        }
+    }
+
+    #[test]
+    fn order_one_and_two() {
+        let p1 = magic_square(1);
+        assert_eq!(solve_seq(&p1, &SeqOptions::default()).solutions, 1);
+        let p2 = magic_square(2);
+        assert_eq!(solve_seq(&p2, &SeqOptions::default()).solutions, 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! The Quadratic Assignment Problem (paper §VI: evaluated on QAPLIB's
+//! `esc16e`).
+//!
+//! Variables `p[i]` give the location assigned to facility `i`; the
+//! objective is `min Σᵢⱼ f[i][j] · d[p(i)][p(j)]`.
+//!
+//! ## Instance provenance
+//!
+//! The QAPLIB file format is parsed by [`QapInstance::parse`], so any real
+//! QAPLIB instance can be solved from disk. The original `esc16e` data file
+//! is not redistributed here; [`QapInstance::esc16_like`] builds an
+//! instance of the same *family* (Eschermann–Wunderlich 16-facility
+//! hypercube instances): the distance matrix is the Hamming distance
+//! between the 4-bit location codes — exactly esc16's — and the flow matrix
+//! is sparse, symmetric, small-integer, zero-diagonal, generated from a
+//! fixed seed. This preserves what matters for solver behaviour (the
+//! hypercube distance structure and sparse flows that shape the B&B tree);
+//! see DESIGN.md for the substitution note.
+
+use std::sync::Arc;
+
+use macs_engine::state::{Failed, PropState};
+use macs_engine::{
+    bits, CompiledProblem, CostEval, Model, Propag, StoreView, Val, VarId,
+};
+
+/// A QAP instance: `n` facilities/locations, flow and distance matrices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QapInstance {
+    pub name: String,
+    pub n: usize,
+    /// Flow between facilities, row-major `n × n`.
+    pub flow: Vec<i64>,
+    /// Distance between locations, row-major `n × n`.
+    pub dist: Vec<i64>,
+}
+
+impl QapInstance {
+    #[inline]
+    pub fn f(&self, i: usize, j: usize) -> i64 {
+        self.flow[i * self.n + j]
+    }
+
+    #[inline]
+    pub fn d(&self, a: usize, b: usize) -> i64 {
+        self.dist[a * self.n + b]
+    }
+
+    /// Cost of a complete assignment `p` (facility → location).
+    pub fn cost(&self, p: &[Val]) -> i64 {
+        let n = self.n;
+        let mut c = 0i64;
+        for i in 0..n {
+            for j in 0..n {
+                c += self.f(i, j) * self.d(p[i] as usize, p[j] as usize);
+            }
+        }
+        c
+    }
+
+    /// Parse the QAPLIB text format: `n`, then the two `n × n` matrices
+    /// (whitespace-separated integers; QAPLIB lists A then B with objective
+    /// `Σ a[i][j]·b[p(i)][p(j)]`, i.e. A = flows, B = distances).
+    pub fn parse(name: &str, text: &str) -> Result<Self, String> {
+        let mut it = text.split_whitespace().map(|t| {
+            t.parse::<i64>()
+                .map_err(|e| format!("bad integer {t:?}: {e}"))
+        });
+        let n = it.next().ok_or("empty file")?? as usize;
+        if n == 0 || n > 64 {
+            return Err(format!("unsupported size n={n}"));
+        }
+        let mut read_matrix = |what: &str| -> Result<Vec<i64>, String> {
+            let mut m = Vec::with_capacity(n * n);
+            for k in 0..n * n {
+                m.push(it.next().ok_or_else(|| {
+                    format!("{what} matrix truncated at element {k} (need {})", n * n)
+                })??);
+            }
+            Ok(m)
+        };
+        let flow = read_matrix("flow")?;
+        let dist = read_matrix("distance")?;
+        Ok(QapInstance {
+            name: name.to_string(),
+            n,
+            flow,
+            dist,
+        })
+    }
+
+    /// Serialise in QAPLIB format.
+    pub fn to_qaplib(&self) -> String {
+        let mut s = format!("{}\n\n", self.n);
+        for m in [&self.flow, &self.dist] {
+            for r in 0..self.n {
+                let row: Vec<String> = (0..self.n)
+                    .map(|c| m[r * self.n + c].to_string())
+                    .collect();
+                s.push_str(&row.join(" "));
+                s.push('\n');
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// An `esc16`-family instance: 16 locations on a 4-cube (Hamming
+    /// distances) and a sparse symmetric flow matrix from a fixed seed.
+    pub fn esc16_like(seed: u64) -> Self {
+        let n = 16;
+        let mut dist = vec![0i64; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                dist[a * n + b] = ((a ^ b) as u32).count_ones() as i64;
+            }
+        }
+        // SplitMix64 stream for the flows.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0BAD_5EED_CAFE_F00D;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut flow = vec![0i64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // ~25% of pairs carry a small flow, like the esc family.
+                let r = next();
+                let v = if r % 4 == 0 { (r >> 8) % 6 + 1 } else { 0 } as i64;
+                flow[i * n + j] = v;
+                flow[j * n + i] = v;
+            }
+        }
+        QapInstance {
+            name: format!("esc16-sim-{seed}"),
+            n,
+            flow,
+            dist,
+        }
+    }
+
+    /// A hypercube-flavoured instance of any size `n ≤ 16`: locations are
+    /// the first `n` vertices of the 4-cube (Hamming distances), flows are
+    /// the leading `n × n` block of the esc16-style sparse flow matrix.
+    /// Useful for scaling the B&B tree between the 8- and 16-facility
+    /// extremes.
+    pub fn hypercube_like(n: usize, seed: u64) -> Self {
+        assert!((2..=16).contains(&n));
+        let big = QapInstance::esc16_like(seed);
+        let mut dist = vec![0i64; n * n];
+        let mut flow = vec![0i64; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                dist[a * n + b] = ((a ^ b) as u32).count_ones() as i64;
+                flow[a * n + b] = big.flow[a * 16 + b];
+            }
+        }
+        QapInstance {
+            name: format!("cube{n}-sim-{seed}"),
+            n,
+            flow,
+            dist,
+        }
+    }
+
+    /// A smaller hypercube-flavoured instance (8 locations on a 3-cube) for
+    /// tests and quick experiments.
+    pub fn cube8_like(seed: u64) -> Self {
+        let mut big = QapInstance::esc16_like(seed);
+        let n = 8;
+        let mut dist = vec![0i64; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                dist[a * n + b] = ((a ^ b) as u32).count_ones() as i64;
+            }
+        }
+        let mut flow = vec![0i64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                flow[i * n + j] = big.flow[i * 16 + j];
+            }
+        }
+        big.name = format!("cube8-sim-{seed}");
+        big.n = n;
+        big.flow = flow;
+        big.dist = dist;
+        big
+    }
+}
+
+/// Branch-and-bound lower bound for the QAP (a Gilmore–Lawler-style
+/// decomposition): exact terms for assigned pairs, domain-minimised terms
+/// when one side is assigned, and the global minimum off-diagonal distance
+/// for unassigned pairs. Monotone in domain shrinkage by construction.
+#[derive(Debug)]
+pub struct QapBound {
+    inst: QapInstance,
+    vars: Vec<VarId>,
+    min_offdiag: i64,
+}
+
+impl QapBound {
+    pub fn new(inst: QapInstance, vars: Vec<VarId>) -> Self {
+        let n = inst.n;
+        let mut min_offdiag = i64::MAX;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    min_offdiag = min_offdiag.min(inst.d(a, b));
+                }
+            }
+        }
+        QapBound {
+            inst,
+            vars,
+            min_offdiag: min_offdiag.max(0),
+        }
+    }
+}
+
+impl CostEval for QapBound {
+    fn lower_bound(&self, view: StoreView<'_>) -> i64 {
+        let n = self.inst.n;
+        let mut lb = 0i64;
+        for i in 0..n {
+            let di = view.dom(self.vars[i]);
+            let vi = bits::singleton(di);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let f = self.inst.f(i, j);
+                if f == 0 {
+                    continue;
+                }
+                let dj = view.dom(self.vars[j]);
+                let vj = bits::singleton(dj);
+                let term = match (vi, vj) {
+                    (Some(a), Some(b)) => self.inst.d(a as usize, b as usize),
+                    (Some(a), None) => {
+                        // Cheapest location still open to facility j.
+                        let mut best = i64::MAX;
+                        for b in bits::iter(dj) {
+                            if b != a {
+                                best = best.min(self.inst.d(a as usize, b as usize));
+                            }
+                        }
+                        if best == i64::MAX {
+                            return i64::MAX; // only the same location left: dead
+                        }
+                        best
+                    }
+                    (None, Some(b)) => {
+                        let mut best = i64::MAX;
+                        for a in bits::iter(di) {
+                            if a != b {
+                                best = best.min(self.inst.d(a as usize, b as usize));
+                            }
+                        }
+                        if best == i64::MAX {
+                            return i64::MAX;
+                        }
+                        best
+                    }
+                    (None, None) => self.min_offdiag,
+                };
+                lb += f * term;
+            }
+        }
+        lb
+    }
+
+    fn eval(&self, assignment: &[Val]) -> i64 {
+        // The model's variables are the first n; auxiliary variables (none
+        // today) would follow them.
+        let p: Vec<Val> = self.vars.iter().map(|&v| assignment[v]).collect();
+        self.inst.cost(&p)
+    }
+
+    fn vars(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+
+    fn prune(&self, st: &mut PropState<'_>, incumbent: i64) -> Result<(), Failed> {
+        // Fail-only pruning: compare the lower bound against the incumbent.
+        let view = StoreView::new(st.layout(), st.store_words());
+        if self.lower_bound(view) >= incumbent {
+            Err(Failed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Build the CP model for a QAP instance: a permutation of locations with
+/// the quadratic objective under branch and bound.
+pub fn qap_model(inst: &QapInstance) -> CompiledProblem {
+    let n = inst.n;
+    let mut m = Model::new(inst.name.clone());
+    let p = m.new_vars(n, 0, (n - 1) as Val);
+    m.post(Propag::AllDiffVal { vars: p.clone() });
+    m.minimize(Arc::new(QapBound::new(inst.clone(), p)));
+    m.compile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_engine::seq::{solve_seq, SeqOptions};
+
+    /// Brute-force optimum by permutation enumeration (n ≤ 8).
+    fn brute_force(inst: &QapInstance) -> i64 {
+        fn perms(n: usize, cur: &mut Vec<Val>, used: &mut Vec<bool>, best: &mut i64, inst: &QapInstance) {
+            if cur.len() == n {
+                *best = (*best).min(inst.cost(cur));
+                return;
+            }
+            for v in 0..n {
+                if !used[v] {
+                    used[v] = true;
+                    cur.push(v as Val);
+                    perms(n, cur, used, best, inst);
+                    cur.pop();
+                    used[v] = false;
+                }
+            }
+        }
+        let mut best = i64::MAX;
+        perms(
+            inst.n,
+            &mut Vec::new(),
+            &mut vec![false; inst.n],
+            &mut best,
+            inst,
+        );
+        best
+    }
+
+    fn tiny(n: usize) -> QapInstance {
+        // Deterministic small dense instance.
+        let mut flow = vec![0i64; n * n];
+        let mut dist = vec![0i64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    flow[i * n + j] = ((i * 3 + j * 5) % 7) as i64;
+                    dist[i * n + j] = ((i + j) % 5 + 1) as i64;
+                }
+            }
+        }
+        QapInstance {
+            name: format!("tiny{n}"),
+            n,
+            flow,
+            dist,
+        }
+    }
+
+    #[test]
+    fn parser_round_trips() {
+        let inst = QapInstance::esc16_like(7);
+        let text = inst.to_qaplib();
+        let back = QapInstance::parse(&inst.name, &text).unwrap();
+        assert_eq!(back.n, 16);
+        assert_eq!(back.flow, inst.flow);
+        assert_eq!(back.dist, inst.dist);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(QapInstance::parse("x", "").is_err());
+        assert!(QapInstance::parse("x", "3 1 2").is_err());
+        assert!(QapInstance::parse("x", "2 1 2 3 oops 1 2 3 4").is_err());
+    }
+
+    #[test]
+    fn esc16_distances_are_hypercube() {
+        let inst = QapInstance::esc16_like(1);
+        assert_eq!(inst.d(0, 15), 4);
+        assert_eq!(inst.d(5, 5), 0);
+        assert_eq!(inst.d(0b0011, 0b0101), 2);
+        // Symmetric, zero diagonal flows.
+        for i in 0..16 {
+            assert_eq!(inst.f(i, i), 0);
+            for j in 0..16 {
+                assert_eq!(inst.f(i, j), inst.f(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn solver_matches_brute_force_on_small_instances() {
+        for n in [4usize, 5, 6] {
+            let inst = tiny(n);
+            let expect = brute_force(&inst);
+            let prob = qap_model(&inst);
+            let r = solve_seq(&prob, &SeqOptions::default());
+            assert_eq!(r.best_cost, Some(expect), "qap tiny{n}");
+            let p = r.best_assignment.unwrap();
+            assert_eq!(inst.cost(&p), expect);
+        }
+    }
+
+    #[test]
+    fn cube8_matches_brute_force() {
+        let inst = QapInstance::cube8_like(3);
+        let expect = brute_force(&inst);
+        let prob = qap_model(&inst);
+        let r = solve_seq(&prob, &SeqOptions::default());
+        assert_eq!(r.best_cost, Some(expect));
+    }
+
+    #[test]
+    fn lower_bound_is_sound_at_the_root() {
+        let inst = tiny(5);
+        let prob = qap_model(&inst);
+        let bound = QapBound::new(inst.clone(), (0..5).collect());
+        let root_lb = bound.lower_bound(StoreView::new(&prob.layout, prob.root.as_words()));
+        assert!(root_lb <= brute_force(&inst), "root LB must not exceed optimum");
+    }
+}

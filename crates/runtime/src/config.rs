@@ -1,0 +1,263 @@
+//! Runtime configuration: topology, stealing heuristics, polling and
+//! release policies.
+
+use macs_gpi::{LatencyModel, Topology};
+
+/// Local-steal victim selection (paper §V, "Local Work Stealing"):
+/// MaCS ships a cheap *greedy* variant and a better-informed but costlier
+/// *max steal* variant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VictimSelect {
+    /// "the first victim found with available work is chosen" (scan starts
+    /// at a random peer to avoid convoys).
+    #[default]
+    Greedy,
+    /// "the thief checks all n−1 possible victims and chooses the one with
+    /// the largest shared region".
+    MaxSteal,
+}
+
+/// How often a worker checks its request mailbox (paper §V, "dynamic
+/// polling strategy"). Intervals are counted in processed work items.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PollPolicy {
+    /// Poll every `n` items.
+    Fixed(u32),
+    /// Start at `min`; a poll that finds no request doubles the interval
+    /// (up to `max`), a poll that finds one halves it (down to `min`) —
+    /// "if the poll fails, the polling interval grows …; if a poll
+    /// succeeds, the opposite happens".
+    Dynamic { min: u32, max: u32 },
+}
+
+impl Default for PollPolicy {
+    fn default() -> Self {
+        // The ceiling must stay low enough that a waiting thief is served
+        // within a few node-processing times, or "Wait remote" — negligible
+        // in the paper's Fig. 3/5 — starts to dominate at scale.
+        PollPolicy::Dynamic { min: 2, max: 64 }
+    }
+}
+
+impl PollPolicy {
+    pub fn initial(&self) -> u32 {
+        match *self {
+            PollPolicy::Fixed(n) => n.max(1),
+            PollPolicy::Dynamic { min, .. } => min.max(1),
+        }
+    }
+
+    /// Next interval after a poll that found (`hit = true`) or did not find
+    /// a pending request.
+    pub fn next(&self, current: u32, hit: bool) -> u32 {
+        match *self {
+            PollPolicy::Fixed(n) => n.max(1),
+            PollPolicy::Dynamic { min, max } => {
+                let min = min.max(1);
+                if hit {
+                    (current / 2).max(min)
+                } else {
+                    current.saturating_mul(2).min(max.max(min))
+                }
+            }
+        }
+    }
+}
+
+/// When and how much private work a worker publishes into the shared region
+/// of its pool. The *interval* is the paper's "work release interval" — the
+/// knob that turns MaCS(default) into MaCS(best) on N-Queens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReleasePolicy {
+    /// Attempt a release every `interval` processed items (1 = the paper's
+    /// eager default).
+    pub interval: u32,
+    /// Never share below this many private items (keeps the owner fed).
+    pub min_private: u64,
+    /// Only lock and move the split pointer when the shared region has
+    /// fewer items than this (avoids extraneous releases).
+    pub share_target: u64,
+}
+
+impl Default for ReleasePolicy {
+    fn default() -> Self {
+        // The paper's default: release on *every* work-loop iteration,
+        // unconditionally — the "extraneous" release operations whose cost
+        // §VI identifies as the limiter on N-Queens scalability.
+        ReleasePolicy {
+            interval: 1,
+            min_private: 2,
+            share_target: u64::MAX,
+        }
+    }
+}
+
+impl ReleasePolicy {
+    /// The tuned variant the paper calls MaCS(best): "simply based on the
+    /// reduction of the number of (extraneous) release operations" — an
+    /// order of magnitude fewer release operations.
+    pub fn tuned() -> Self {
+        ReleasePolicy {
+            interval: 32,
+            min_private: 2,
+            share_target: u64::MAX,
+        }
+    }
+
+    /// A demand-driven variant (only lock when the shared region runs
+    /// low) for ablation studies.
+    pub fn demand_driven(interval: u32) -> Self {
+        ReleasePolicy {
+            interval,
+            min_private: 2,
+            share_target: 4,
+        }
+    }
+}
+
+/// How the branch-and-bound incumbent propagates to workers (paper §VI
+/// discussion and future work: "a more efficient dissemination of the bound
+/// value could potentially mitigate that growth").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundDissemination {
+    /// Read the global incumbent before every processed item. Exact but —
+    /// off node 0 — pays an interconnect read per item.
+    Immediate,
+    /// Refresh the cached incumbent every `n` processed items; cheaper but
+    /// lets workers run on stale bounds (the COP search-space growth the
+    /// paper discusses).
+    Periodic(u32),
+}
+
+impl Default for BoundDissemination {
+    fn default() -> Self {
+        BoundDissemination::Periodic(32)
+    }
+}
+
+/// Where the initial work item(s) go.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SeedMode {
+    /// All roots to worker 0 (the paper's setup: one worker "initiates the
+    /// search" and everyone else steals their way in).
+    #[default]
+    WorkerZero,
+    /// Round-robin across workers (useful for multi-root workloads).
+    RoundRobin,
+}
+
+/// Complete configuration of a parallel run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Node/core structure; stealing inside a node is shared-memory,
+    /// across nodes it pays the interconnect.
+    pub topology: Topology,
+    /// Interconnect cost model.
+    pub latency: LatencyModel,
+    /// Slots per worker pool (rounded up to a power of two).
+    pub pool_capacity: usize,
+    pub release: ReleasePolicy,
+    pub victim_select: VictimSelect,
+    pub poll: PollPolicy,
+    /// Upper bound on items moved by one steal (local or remote).
+    pub max_steal_chunk: u64,
+    /// Remote victim *nodes* examined per remote-steal round.
+    pub remote_node_attempts: u32,
+    pub bound_dissemination: BoundDissemination,
+    pub seed_mode: SeedMode,
+    /// PRNG seed (victim selection, backoff jitter).
+    pub seed: u64,
+    /// Negative termination-counter deltas are flushed at this batch size.
+    pub term_flush_batch: u32,
+    /// Charge interconnect latency for termination-counter updates from
+    /// non-zero nodes. Off by default: real MaCS amortises termination
+    /// bookkeeping asynchronously, so charging a synchronous fabric round
+    /// trip per push would overstate that cost by orders of magnitude.
+    pub charge_termination: bool,
+}
+
+impl RuntimeConfig {
+    /// A sensible default for `workers` workers on one shared-memory node.
+    pub fn single_node(workers: usize) -> Self {
+        RuntimeConfig {
+            topology: Topology::single_node(workers),
+            ..Default::default()
+        }
+    }
+
+    /// The paper's cluster shape: nodes of 4 cores.
+    pub fn clustered(total_workers: usize, cores_per_node: usize) -> Self {
+        RuntimeConfig {
+            topology: Topology::clustered(total_workers, cores_per_node),
+            ..Default::default()
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.topology.total_workers()
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            topology: Topology::single_node(1),
+            latency: LatencyModel::zero(),
+            pool_capacity: 4096,
+            release: ReleasePolicy::default(),
+            victim_select: VictimSelect::default(),
+            poll: PollPolicy::default(),
+            max_steal_chunk: 16,
+            remote_node_attempts: 2,
+            bound_dissemination: BoundDissemination::default(),
+            seed_mode: SeedMode::default(),
+            seed: 0x5EED,
+            term_flush_batch: 64,
+            charge_termination: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_poll_interval_adapts() {
+        let p = PollPolicy::Dynamic { min: 2, max: 64 };
+        assert_eq!(p.initial(), 2);
+        let mut cur = p.initial();
+        for _ in 0..10 {
+            cur = p.next(cur, false);
+        }
+        assert_eq!(cur, 64, "misses saturate at max");
+        cur = p.next(cur, true);
+        assert_eq!(cur, 32);
+        for _ in 0..10 {
+            cur = p.next(cur, true);
+        }
+        assert_eq!(cur, 2, "hits saturate at min");
+    }
+
+    #[test]
+    fn fixed_poll_interval_is_constant() {
+        let p = PollPolicy::Fixed(8);
+        assert_eq!(p.next(8, true), 8);
+        assert_eq!(p.next(8, false), 8);
+        assert_eq!(PollPolicy::Fixed(0).initial(), 1, "zero clamps to 1");
+    }
+
+    #[test]
+    fn tuned_release_is_rarer_than_default() {
+        assert!(ReleasePolicy::tuned().interval > ReleasePolicy::default().interval);
+    }
+
+    #[test]
+    fn config_shapes() {
+        let c = RuntimeConfig::clustered(8, 4);
+        assert_eq!(c.topology.nodes, 2);
+        assert_eq!(c.workers(), 8);
+        let s = RuntimeConfig::single_node(3);
+        assert_eq!(s.topology.nodes, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! The generic hierarchical work-stealing runtime of MaCS (paper §IV–V).
+//!
+//! The paper builds MaCS on the observation that "a dynamic and
+//! asynchronous load balancing scheme … required by parallel tree search is
+//! orthogonal to the problem at hand": the same pool + stealing machinery
+//! drives both the constraint solver and the UTS benchmark. This crate *is*
+//! that machinery, generic over the work item:
+//!
+//! * a [`Processor`] turns one fixed-size work item into zero or more child
+//!   items (pushed through [`ProcCtx`]) — `macs-core` implements it with
+//!   the CP propagate/split cycle, `macs-uts` with UTS node expansion;
+//! * every worker owns a [`SplitPool`](macs_pool::SplitPool) in GPI global
+//!   memory and runs the **restore procedure**: own private region → own
+//!   shared region → **local steal** (greedy or max-steal victim selection)
+//!   → **remote steal** (one-sided metadata scan, request mailbox, victim
+//!   polling with a **dynamic polling interval**, in-place one-sided
+//!   response, proxy fulfilment) → idle;
+//! * termination is distributed and controller-free: a global
+//!   outstanding-work counter reaches zero exactly when no work item exists
+//!   anywhere, including in flight (see [`term`]);
+//! * per-worker [`stats`] mirror the paper's worker-state taxonomy
+//!   (Fig. 3/5) and steal accounting (Tables I/II).
+
+pub mod config;
+pub mod processor;
+pub mod rng;
+pub mod run;
+pub mod stats;
+pub mod term;
+pub mod worker;
+
+pub use config::{BoundDissemination, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect};
+pub use processor::{Incumbent, NoIncumbent, ProcCtx, Processor, Step, WorkSink};
+pub use rng::SplitMix64;
+pub use run::{run_parallel, RunReport};
+pub use stats::{PhaseTimers, StateClock, WorkerState, WorkerStats, NUM_STATES};
+
+pub use macs_gpi::{Interconnect, LatencyModel, Topology};

@@ -1,0 +1,167 @@
+//! The work-item processor abstraction.
+//!
+//! A processor consumes one fixed-size work item and produces zero or more
+//! children. The contract mirrors the MaCS worker's inner cycle: process
+//! the current store; either it is a leaf (failed / solution) and the
+//! worker *restores* a new one, or it splits — the processor pushes all
+//! children but the first into the pool and **continues with the first in
+//! place** (depth-first, no pool round-trip for the leftmost child).
+
+use crate::stats::PhaseTimers;
+
+/// Outcome of processing one work item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The item is exhausted (failed, solution, or fully delegated): the
+    /// buffer content is dead and the worker must restore.
+    Leaf,
+    /// The buffer now holds the next item to process (the first child);
+    /// any remaining children were pushed via [`ProcCtx::push`].
+    Continue,
+}
+
+/// Access to the branch-and-bound incumbent (global best objective value).
+/// Implementations decide how fresh the value is (see
+/// [`BoundDissemination`](crate::config::BoundDissemination)).
+pub trait Incumbent {
+    /// Current (possibly cached) exclusive upper bound; `i64::MAX` if none.
+    fn get(&self) -> i64;
+    /// Offer a better value; returns `true` if it improved the global
+    /// incumbent.
+    fn submit(&self, value: i64) -> bool;
+}
+
+/// A no-op incumbent for satisfaction problems and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoIncumbent;
+
+impl Incumbent for NoIncumbent {
+    fn get(&self) -> i64 {
+        i64::MAX
+    }
+    fn submit(&self, _value: i64) -> bool {
+        false
+    }
+}
+
+/// Everything a processor may touch while processing one item. The runtime
+/// implements the sink side (pool pushes, counters); processors see only
+/// this narrow interface, keeping them executor-agnostic (the discrete-
+/// event simulator drives the same processors in virtual time).
+pub struct ProcCtx<'a> {
+    pub worker_id: usize,
+    pub node_id: usize,
+    /// Solve-phase accumulators (propagate/split/restore split of §VI).
+    pub phase: &'a mut PhaseTimers,
+    /// Branch-and-bound incumbent access.
+    pub incumbent: &'a dyn Incumbent,
+    pub(crate) sink: &'a mut dyn WorkSink,
+}
+
+impl<'a> ProcCtx<'a> {
+    /// Build a context around a custom sink (used by alternative executors
+    /// such as the discrete-event simulator; the threaded runtime builds
+    /// its own).
+    pub fn new(
+        worker_id: usize,
+        node_id: usize,
+        phase: &'a mut PhaseTimers,
+        incumbent: &'a dyn Incumbent,
+        sink: &'a mut dyn WorkSink,
+    ) -> Self {
+        ProcCtx {
+            worker_id,
+            node_id,
+            phase,
+            incumbent,
+            sink,
+        }
+    }
+}
+
+impl ProcCtx<'_> {
+    /// Push a child work item (it becomes stealable after a future
+    /// release).
+    #[inline]
+    pub fn push(&mut self, item: &[u64]) {
+        self.sink.push(item);
+    }
+
+    /// Report a solution (counted in worker stats; optimisation processors
+    /// additionally submit the cost through [`ProcCtx::incumbent`]).
+    #[inline]
+    pub fn solution(&mut self) {
+        self.sink.solution();
+    }
+
+    /// Request cooperative cancellation of the whole run: every worker
+    /// discards its remaining work and the run terminates. Used for
+    /// first-solution satisfaction searches.
+    #[inline]
+    pub fn cancel(&mut self) {
+        self.sink.cancel();
+    }
+}
+
+/// Executor-side sink behind [`ProcCtx`]: receives the children a
+/// processor emits. The threaded runtime routes pushes into the worker's
+/// split pool; the simulator routes them into a virtual pool.
+pub trait WorkSink {
+    fn push(&mut self, item: &[u64]);
+    fn solution(&mut self);
+    fn cancel(&mut self);
+}
+
+/// Turns work items into children. One processor instance per worker.
+pub trait Processor: Send {
+    /// Per-worker result merged into the run report.
+    type Output: Send;
+
+    /// Process the item in `buf` (exactly `slot_words` long).
+    fn process(&mut self, buf: &mut [u64], ctx: &mut ProcCtx<'_>) -> Step;
+
+    /// Consume the processor at the end of the run.
+    fn finish(self) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CollectSink {
+        pushed: Vec<Vec<u64>>,
+        solutions: u64,
+    }
+
+    impl WorkSink for CollectSink {
+        fn push(&mut self, item: &[u64]) {
+            self.pushed.push(item.to_vec());
+        }
+        fn solution(&mut self) {
+            self.solutions += 1;
+        }
+        fn cancel(&mut self) {}
+    }
+
+    #[test]
+    fn ctx_routes_to_sink() {
+        let mut sink = CollectSink {
+            pushed: vec![],
+            solutions: 0,
+        };
+        let mut phase = PhaseTimers::default();
+        let mut ctx = ProcCtx {
+            worker_id: 3,
+            node_id: 0,
+            phase: &mut phase,
+            incumbent: &NoIncumbent,
+            sink: &mut sink,
+        };
+        ctx.push(&[1, 2]);
+        ctx.push(&[3, 4]);
+        ctx.solution();
+        assert_eq!(ctx.incumbent.get(), i64::MAX);
+        assert_eq!(sink.pushed, vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(sink.solutions, 1);
+    }
+}

@@ -1,0 +1,354 @@
+//! Run entry point: build the world, seed the roots, spawn the workers,
+//! aggregate the report.
+
+use std::time::Duration;
+
+use macs_gpi::cells::CELL_INCUMBENT;
+use macs_gpi::interconnect::TrafficSnapshot;
+use macs_gpi::World;
+use macs_pool::SplitPool;
+
+use crate::config::{RuntimeConfig, SeedMode};
+use crate::processor::Processor;
+use crate::stats::{WorkerState, WorkerStats, NUM_STATES};
+use crate::term;
+use crate::worker::Worker;
+
+/// Everything a parallel run produced: wall time, per-worker statistics,
+/// per-worker processor outputs, and interconnect traffic.
+#[derive(Debug)]
+pub struct RunReport<O> {
+    pub wall: Duration,
+    pub workers: Vec<WorkerStats>,
+    pub outputs: Vec<O>,
+    pub traffic: TrafficSnapshot,
+    /// Final global incumbent (optimisation; `i64::MAX` otherwise).
+    pub incumbent: i64,
+}
+
+impl<O> RunReport<O> {
+    /// Total work items processed (the paper's "Total Nodes").
+    pub fn total_items(&self) -> u64 {
+        self.workers.iter().map(|w| w.items).sum()
+    }
+
+    pub fn total_solutions(&self) -> u64 {
+        self.workers.iter().map(|w| w.solutions).sum()
+    }
+
+    /// Fraction of aggregate worker time spent in each state (the paper's
+    /// Fig. 3/5 bars).
+    pub fn state_fractions(&self) -> [f64; NUM_STATES] {
+        let mut totals = [0.0f64; NUM_STATES];
+        let mut sum = 0.0;
+        for w in &self.workers {
+            for (i, d) in w.clock.totals.iter().enumerate() {
+                totals[i] += d.as_secs_f64();
+                sum += d.as_secs_f64();
+            }
+        }
+        if sum > 0.0 {
+            for t in totals.iter_mut() {
+                *t /= sum;
+            }
+        }
+        totals
+    }
+
+    /// Everything that is not `Working`, as a fraction (the paper's
+    /// "Overhead" line).
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 - self.state_fractions()[WorkerState::Working as usize]
+    }
+
+    /// Aggregate items per second.
+    pub fn items_per_sec(&self) -> f64 {
+        self.total_items() as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Summed steal statistics:
+    /// (local ok, local failed, remote ok, remote failed).
+    pub fn steal_totals(&self) -> (u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0);
+        for w in &self.workers {
+            t.0 += w.local_steals;
+            t.1 += w.local_steal_failures;
+            t.2 += w.remote_steals;
+            t.3 += w.remote_steal_failures;
+        }
+        t
+    }
+}
+
+/// Run `roots` through per-worker processors created by `factory` (called
+/// once per worker, from that worker's thread).
+///
+/// Every root and every work item is `slot_words` u64s. Returns when every
+/// item (transitively) has been processed.
+pub fn run_parallel<P, F>(
+    cfg: &RuntimeConfig,
+    slot_words: usize,
+    roots: &[Vec<u64>],
+    factory: F,
+) -> RunReport<P::Output>
+where
+    P: Processor,
+    F: Fn(usize) -> P + Sync,
+    P::Output: Send,
+{
+    let n_workers = cfg.workers();
+    assert!(!roots.is_empty(), "need at least one root work item");
+    for r in roots {
+        assert_eq!(r.len(), slot_words, "root size must match slot_words");
+    }
+
+    let world = World::new(cfg.topology, cfg.latency, 16);
+    let pools: Vec<SplitPool> = (0..n_workers)
+        .map(|_| SplitPool::new(cfg.pool_capacity, slot_words))
+        .collect();
+
+    term::init_outstanding(&world.cells, roots.len() as u64);
+    world.cells.store_i64(CELL_INCUMBENT, i64::MAX);
+
+    // Seed the roots as private work; thieves pull everyone else in.
+    match cfg.seed_mode {
+        SeedMode::WorkerZero => {
+            for r in roots {
+                assert!(pools[0].push(r), "root seed overflowed pool 0");
+            }
+        }
+        SeedMode::RoundRobin => {
+            for (i, r) in roots.iter().enumerate() {
+                assert!(pools[i % n_workers].push(r), "root seed overflow");
+            }
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut results: Vec<(WorkerStats, P::Output)> = Vec::with_capacity(n_workers);
+    std::thread::scope(|s| {
+        let world = &world;
+        let pools = &pools[..];
+        let factory = &factory;
+        let handles: Vec<_> = (0..n_workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let processor = factory(w);
+                    Worker::new(w, cfg, world, pools, processor).run()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+    let wall = t0.elapsed();
+
+    debug_assert!(
+        pools.iter().all(|p| p.is_empty()),
+        "pools must be drained at termination"
+    );
+
+    let incumbent = world.cells.load_i64(CELL_INCUMBENT);
+    let (workers, outputs) = results.into_iter().unzip();
+    RunReport {
+        wall,
+        workers,
+        outputs,
+        traffic: world.interconnect.counters.snapshot(),
+        incumbent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PollPolicy, ReleasePolicy, VictimSelect};
+    use crate::processor::{ProcCtx, Step};
+    use macs_gpi::LatencyModel;
+
+    /// Synthetic tree task: item = [depth, path]; nodes below `max_depth`
+    /// expand into `branch(path)` children; leaves are counted.
+    struct TreeProc {
+        max_depth: u64,
+        uniform_branch: Option<u64>,
+        leaves: u64,
+        checksum: u64,
+    }
+
+    impl TreeProc {
+        fn branch(&self, path: u64) -> u64 {
+            match self.uniform_branch {
+                Some(b) => b,
+                // Unbalanced: mix of 0–3 children derived from the path.
+                None => {
+                    let h = path
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .rotate_left(17)
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    h % 4
+                }
+            }
+        }
+    }
+
+    impl Processor for TreeProc {
+        type Output = (u64, u64); // (leaves, checksum)
+
+        fn process(&mut self, buf: &mut [u64], ctx: &mut ProcCtx<'_>) -> Step {
+            let (depth, path) = (buf[0], buf[1]);
+            let b = if depth >= self.max_depth {
+                0
+            } else {
+                self.branch(path)
+            };
+            if b == 0 {
+                self.leaves += 1;
+                self.checksum = self.checksum.wrapping_add(path | 1);
+                ctx.solution();
+                return Step::Leaf;
+            }
+            for i in 1..b {
+                ctx.push(&[depth + 1, path.wrapping_mul(31).wrapping_add(i)]);
+            }
+            buf[0] = depth + 1;
+            buf[1] = path.wrapping_mul(31);
+            Step::Continue
+        }
+
+        fn finish(self) -> (u64, u64) {
+            (self.leaves, self.checksum)
+        }
+    }
+
+    fn run_tree(cfg: &RuntimeConfig, max_depth: u64, uniform: Option<u64>) -> (RunReport<(u64, u64)>, u64, u64) {
+        let report = run_parallel(
+            cfg,
+            2,
+            &[vec![0u64, 1u64]],
+            |_w| TreeProc {
+                max_depth,
+                uniform_branch: uniform,
+                leaves: 0,
+                checksum: 0,
+            },
+        );
+        let leaves: u64 = report.outputs.iter().map(|o| o.0).sum();
+        let checksum = report
+            .outputs
+            .iter()
+            .fold(0u64, |a, o| a.wrapping_add(o.1));
+        (report, leaves, checksum)
+    }
+
+    #[test]
+    fn single_worker_counts_exactly() {
+        let cfg = RuntimeConfig::single_node(1);
+        let (report, leaves, _) = run_tree(&cfg, 8, Some(3));
+        assert_eq!(leaves, 3u64.pow(8));
+        assert_eq!(report.total_solutions(), 3u64.pow(8));
+        // Interior nodes: (3^8 − 1) / 2 … plus the leaves.
+        let interior = (3u64.pow(8) - 1) / 2;
+        assert_eq!(report.total_items(), interior + 3u64.pow(8));
+    }
+
+    #[test]
+    fn multi_worker_single_node_agrees_with_sequential() {
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 9, Some(3));
+        let cfg = RuntimeConfig::single_node(4);
+        let (report, leaves4, sum4) = run_tree(&cfg, 9, Some(3));
+        assert_eq!(leaves4, leaves1);
+        assert_eq!(sum4, sum1, "every leaf processed exactly once");
+        // With four workers someone must have stolen something.
+        let (ls, _, _, _) = report.steal_totals();
+        assert!(ls > 0, "expected local steals on a shared-memory node");
+    }
+
+    #[test]
+    fn hierarchical_topology_uses_remote_steals() {
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 10, Some(3));
+        let mut cfg = RuntimeConfig::clustered(4, 2); // 2 nodes × 2 cores
+        cfg.poll = PollPolicy::Dynamic { min: 2, max: 64 };
+        let (report, leaves, sum) = run_tree(&cfg, 10, Some(3));
+        assert_eq!(leaves, leaves1);
+        assert_eq!(sum, sum1);
+        let (_, _, rs, _) = report.steal_totals();
+        assert!(rs > 0, "expected remote steals across nodes");
+        assert!(report.traffic.remote_reads > 0);
+        assert!(report.traffic.bytes_written > 0);
+    }
+
+    #[test]
+    fn unbalanced_tree_is_conserved() {
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 22, None);
+        assert!(leaves1 > 1_000, "tree should be non-trivial: {leaves1}");
+        for topo in [
+            RuntimeConfig::single_node(3),
+            RuntimeConfig::clustered(4, 2),
+            RuntimeConfig::clustered(6, 3),
+        ] {
+            let (_, leaves, sum) = run_tree(&topo, 22, None);
+            assert_eq!(leaves, leaves1);
+            assert_eq!(sum, sum1);
+        }
+    }
+
+    #[test]
+    fn latency_model_slows_but_preserves_results() {
+        let mut cfg = RuntimeConfig::clustered(4, 2);
+        cfg.latency = LatencyModel::infiniband_ddr();
+        let (report, leaves, _) = run_tree(&cfg, 9, Some(3));
+        assert_eq!(leaves, 3u64.pow(9));
+        assert!(report.traffic.remote_reads > 0);
+    }
+
+    #[test]
+    fn max_steal_and_tuned_release_work() {
+        let mut cfg = RuntimeConfig::single_node(4);
+        cfg.victim_select = VictimSelect::MaxSteal;
+        cfg.release = ReleasePolicy::tuned();
+        let (report, leaves, _) = run_tree(&cfg, 9, Some(3));
+        assert_eq!(leaves, 3u64.pow(9));
+        let releases: u64 = report.workers.iter().map(|w| w.releases).sum();
+        assert!(releases > 0);
+    }
+
+    #[test]
+    fn tiny_workload_many_workers_terminates() {
+        // More workers than work: most workers never get an item and must
+        // terminate cleanly via the counter.
+        let cfg = RuntimeConfig::clustered(8, 2);
+        let (report, leaves, _) = run_tree(&cfg, 1, Some(2));
+        assert_eq!(leaves, 2);
+        assert_eq!(report.total_items(), 3);
+    }
+
+    #[test]
+    fn round_robin_seeding_multiple_roots() {
+        let mut cfg = RuntimeConfig::single_node(3);
+        cfg.seed_mode = SeedMode::RoundRobin;
+        let roots: Vec<Vec<u64>> = (0..5).map(|i| vec![0u64, 1000 + i]).collect();
+        let report = run_parallel(&cfg, 2, &roots, |_| TreeProc {
+            max_depth: 6,
+            uniform_branch: Some(2),
+            leaves: 0,
+            checksum: 0,
+        });
+        let leaves: u64 = report.outputs.iter().map(|o| o.0).sum();
+        assert_eq!(leaves, 5 * 2u64.pow(6));
+    }
+
+    #[test]
+    fn report_aggregations_are_consistent() {
+        let cfg = RuntimeConfig::single_node(2);
+        let (report, _, _) = run_tree(&cfg, 8, Some(3));
+        let fr = report.state_fractions();
+        let sum: f64 = fr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "state fractions sum to 1: {sum}");
+        assert!(report.overhead_fraction() >= 0.0 && report.overhead_fraction() <= 1.0);
+        assert!(report.items_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-worker statistics: the paper's worker-state taxonomy and steal
+//! accounting.
+//!
+//! Figures 3 and 5 of the paper decompose each worker's wall time into ten
+//! states; Tables I and II count local/remote steals and their failures.
+//! [`WorkerStats`] collects exactly those quantities, plus the
+//! propagation/splitting/restoring phase split quoted in §VI.
+
+use std::time::{Duration, Instant};
+
+/// The states a worker can be in, matching the legend of the paper's
+/// Fig. 3/5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum WorkerState {
+    /// Processing a work item (propagation + splitting for CP).
+    Working = 0,
+    /// Acquiring work from the own pool (pop, reacquire) and scanning local
+    /// victims.
+    Searching = 1,
+    /// Scanning remote nodes' pool metadata for a victim.
+    SearchingRemote = 2,
+    /// Executing a local steal (victim pool locked, items copied).
+    Stealing = 3,
+    /// Out of work, backing off between steal rounds.
+    Idle = 4,
+    /// Moving the split pointer to publish work (the release operation).
+    Releasing = 5,
+    /// Start/end rendezvous.
+    Barrier = 6,
+    /// Checking and serving remote steal requests.
+    Poll = 7,
+    /// Posting a remote steal request (mailbox CAS).
+    FindRemote = 8,
+    /// Waiting for the victim's response.
+    WaitRemote = 9,
+}
+
+/// Number of distinct worker states.
+pub const NUM_STATES: usize = 10;
+
+impl WorkerState {
+    pub const ALL: [WorkerState; NUM_STATES] = [
+        WorkerState::Working,
+        WorkerState::Searching,
+        WorkerState::SearchingRemote,
+        WorkerState::Stealing,
+        WorkerState::Idle,
+        WorkerState::Releasing,
+        WorkerState::Barrier,
+        WorkerState::Poll,
+        WorkerState::FindRemote,
+        WorkerState::WaitRemote,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkerState::Working => "Working",
+            WorkerState::Searching => "Searching",
+            WorkerState::SearchingRemote => "Searching remote",
+            WorkerState::Stealing => "Stealing",
+            WorkerState::Idle => "Idle",
+            WorkerState::Releasing => "Releasing",
+            WorkerState::Barrier => "Barrier",
+            WorkerState::Poll => "Poll",
+            WorkerState::FindRemote => "Find remote",
+            WorkerState::WaitRemote => "Wait remote",
+        }
+    }
+}
+
+/// Tracks which state a worker is in and for how long.
+#[derive(Debug)]
+pub struct StateClock {
+    current: WorkerState,
+    since: Instant,
+    pub totals: [Duration; NUM_STATES],
+}
+
+impl StateClock {
+    pub fn start() -> Self {
+        StateClock {
+            current: WorkerState::Barrier,
+            since: Instant::now(),
+            totals: [Duration::ZERO; NUM_STATES],
+        }
+    }
+
+    /// Transition to `state`, charging the elapsed time to the previous
+    /// state. A self-transition just keeps accumulating.
+    #[inline]
+    pub fn set(&mut self, state: WorkerState) {
+        if state == self.current {
+            return;
+        }
+        let now = Instant::now();
+        self.totals[self.current as usize] += now - self.since;
+        self.current = state;
+        self.since = now;
+    }
+
+    #[inline]
+    pub fn current(&self) -> WorkerState {
+        self.current
+    }
+
+    /// Close the clock (charge the final open interval).
+    pub fn finish(&mut self) {
+        let now = Instant::now();
+        self.totals[self.current as usize] += now - self.since;
+        self.since = now;
+    }
+
+    pub fn total(&self) -> Duration {
+        self.totals.iter().sum()
+    }
+}
+
+/// The solve-phase split the paper quotes in §VI ("propagation takes around
+/// 48%, splitting around 10% and restoring takes around 42%").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimers {
+    pub propagate: Duration,
+    pub split: Duration,
+    pub restore: Duration,
+}
+
+impl PhaseTimers {
+    pub fn total(&self) -> Duration {
+        self.propagate + self.split + self.restore
+    }
+
+    /// (propagate, split, restore) as fractions of their sum.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.propagate.as_secs_f64() / t,
+            self.split.as_secs_f64() / t,
+            self.restore.as_secs_f64() / t,
+        )
+    }
+}
+
+/// Time a closure and add it to a phase accumulator.
+#[inline]
+pub fn timed<R>(acc: &mut Duration, f: impl FnOnce() -> R) -> R {
+    let t = Instant::now();
+    let r = f();
+    *acc += t.elapsed();
+    r
+}
+
+/// Everything one worker reports at the end of a run.
+#[derive(Debug)]
+pub struct WorkerStats {
+    pub id: usize,
+    pub node: usize,
+    pub clock: StateClock,
+    pub phase: PhaseTimers,
+    /// Work items processed (the paper's "nodes"/"stores processed").
+    pub items: u64,
+    /// Children pushed into the pool.
+    pub pushes: u64,
+    /// Pushes that spilled to the local overflow stack (ring full).
+    pub overflow_spills: u64,
+    /// Successful local steals (as thief) and items obtained.
+    pub local_steals: u64,
+    pub local_steal_items: u64,
+    /// Local steal attempts that found a victim's shared region empty.
+    pub local_steal_failures: u64,
+    /// Successful remote steals (as thief) and items obtained.
+    pub remote_steals: u64,
+    pub remote_steal_items: u64,
+    /// Remote requests answered with "no work".
+    pub remote_steal_failures: u64,
+    /// Release operations and items shared.
+    pub releases: u64,
+    pub released_items: u64,
+    /// Poll operations (request checks) and requests served.
+    pub polls: u64,
+    pub requests_served: u64,
+    /// Requests served out of a co-located worker's pool (proxy
+    /// fulfilment).
+    pub proxy_serves: u64,
+    /// Requests we had to answer with RESP_FAIL.
+    pub requests_refused: u64,
+    /// Solutions reported by the processor.
+    pub solutions: u64,
+}
+
+impl WorkerStats {
+    pub fn new(id: usize, node: usize) -> Self {
+        WorkerStats {
+            id,
+            node,
+            clock: StateClock::start(),
+            phase: PhaseTimers::default(),
+            items: 0,
+            pushes: 0,
+            overflow_spills: 0,
+            local_steals: 0,
+            local_steal_items: 0,
+            local_steal_failures: 0,
+            remote_steals: 0,
+            remote_steal_items: 0,
+            remote_steal_failures: 0,
+            releases: 0,
+            released_items: 0,
+            polls: 0,
+            requests_served: 0,
+            proxy_serves: 0,
+            requests_refused: 0,
+            solutions: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accumulates_per_state() {
+        let mut c = StateClock::start();
+        c.set(WorkerState::Working);
+        std::thread::sleep(Duration::from_millis(5));
+        c.set(WorkerState::Idle);
+        std::thread::sleep(Duration::from_millis(2));
+        c.set(WorkerState::Working);
+        c.finish();
+        assert!(c.totals[WorkerState::Working as usize] >= Duration::from_millis(4));
+        assert!(c.totals[WorkerState::Idle as usize] >= Duration::from_millis(1));
+        assert!(c.total() >= Duration::from_millis(7));
+    }
+
+    #[test]
+    fn self_transition_is_free() {
+        let mut c = StateClock::start();
+        c.set(WorkerState::Working);
+        for _ in 0..1000 {
+            c.set(WorkerState::Working);
+        }
+        assert_eq!(c.current(), WorkerState::Working);
+    }
+
+    #[test]
+    fn phase_fractions_sum_to_one() {
+        let p = PhaseTimers {
+            propagate: Duration::from_millis(48),
+            split: Duration::from_millis(10),
+            restore: Duration::from_millis(42),
+        };
+        let (a, b, c) = p.fractions();
+        assert!((a + b + c - 1.0).abs() < 1e-9);
+        assert!((a - 0.48).abs() < 0.01);
+    }
+
+    #[test]
+    fn state_names_cover_paper_legend() {
+        let names: Vec<&str> = WorkerState::ALL.iter().map(|s| s.name()).collect();
+        for expect in [
+            "Working",
+            "Searching",
+            "Searching remote",
+            "Stealing",
+            "Idle",
+            "Releasing",
+            "Barrier",
+            "Poll",
+            "Find remote",
+            "Wait remote",
+        ] {
+            assert!(names.contains(&expect), "{expect} missing");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Distributed, controller-free termination detection.
+//!
+//! MaCS has no controller process (its departure from PaCCS), so nobody
+//! "collects idleness". Instead a single global counter tracks the number
+//! of **outstanding work items** anywhere in the system — in a pool, in a
+//! worker's hands, or in flight inside a steal response:
+//!
+//! * the counter starts at the number of root items;
+//! * a worker **increments it before pushing** each child (so a child can
+//!   never be observed — let alone finished — before it is counted);
+//! * finishing an item (leaf) decrements it;
+//! * *transfers never touch it* (a stolen item stays outstanding), so
+//!   in-flight steals cannot be lost.
+//!
+//! Because increments happen before the work exists and decrements after it
+//! is gone, the counter is always ≥ the true number of outstanding items,
+//! and it reads 0 **exactly** when the computation is finished. Once 0 it
+//! can never grow again (only live work creates work), so `outstanding == 0`
+//! is a stable termination signal every worker can poll independently.
+//!
+//! Decrements are batched per worker (they only make the counter
+//! over-approximate, which is safe) and flushed before any idle check.
+
+use macs_gpi::cells::CELL_OUTSTANDING;
+use macs_gpi::{GlobalCells, Interconnect};
+
+/// Per-worker handle on the global outstanding-work counter.
+pub struct TermHandle<'a> {
+    cells: &'a GlobalCells,
+    ic: &'a Interconnect,
+    /// Workers off node 0 pay the interconnect for counter RMWs.
+    remote: bool,
+    /// Locally batched (negative) delta not yet applied globally.
+    pending: i64,
+    batch: i64,
+}
+
+impl<'a> TermHandle<'a> {
+    pub fn new(cells: &'a GlobalCells, ic: &'a Interconnect, remote: bool, batch: u32) -> Self {
+        TermHandle {
+            cells,
+            ic,
+            remote,
+            pending: 0,
+            batch: -(batch.max(1) as i64),
+        }
+    }
+
+    /// Count `n` new work items **before** they are published.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.remote {
+            self.cells
+                .fetch_add_i64_remote(self.ic, CELL_OUTSTANDING, n as i64);
+        } else {
+            self.cells.fetch_add_i64(CELL_OUTSTANDING, n as i64);
+        }
+    }
+
+    /// Record one finished item (batched).
+    #[inline]
+    pub fn finish_one(&mut self) {
+        self.pending -= 1;
+        if self.pending <= self.batch {
+            self.flush();
+        }
+    }
+
+    /// Apply any batched decrements globally.
+    pub fn flush(&mut self) {
+        if self.pending != 0 {
+            if self.remote {
+                self.cells
+                    .fetch_add_i64_remote(self.ic, CELL_OUTSTANDING, self.pending);
+            } else {
+                self.cells.fetch_add_i64(CELL_OUTSTANDING, self.pending);
+            }
+            self.pending = 0;
+        }
+    }
+
+    /// Is the computation over? Only meaningful after [`Self::flush`].
+    #[inline]
+    pub fn finished(&self) -> bool {
+        debug_assert_eq!(self.pending, 0, "flush before checking termination");
+        self.cells.load_i64(CELL_OUTSTANDING) == 0
+    }
+
+    /// Current global value (diagnostics).
+    pub fn outstanding(&self) -> i64 {
+        self.cells.load_i64(CELL_OUTSTANDING)
+    }
+}
+
+/// Initialise the counter for a run with `roots` initial items.
+pub fn init_outstanding(cells: &GlobalCells, roots: u64) {
+    cells.store_i64(CELL_OUTSTANDING, roots as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_gpi::LatencyModel;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_life_cycle() {
+        let cells = GlobalCells::new(8);
+        let ic = Interconnect::new(LatencyModel::zero());
+        init_outstanding(&cells, 1);
+        let mut h = TermHandle::new(&cells, &ic, false, 4);
+        h.add(3); // split into 3 pushed children (parent continues)
+        h.finish_one(); // leaf
+        h.flush();
+        assert_eq!(h.outstanding(), 3);
+        assert!(!h.finished());
+        for _ in 0..3 {
+            h.finish_one();
+        }
+        h.flush();
+        assert!(h.finished());
+    }
+
+    #[test]
+    fn batching_only_overapproximates() {
+        let cells = GlobalCells::new(8);
+        let ic = Interconnect::new(LatencyModel::zero());
+        init_outstanding(&cells, 10);
+        let mut h = TermHandle::new(&cells, &ic, false, 64);
+        for _ in 0..9 {
+            h.finish_one();
+        }
+        // Batch not yet flushed: the counter still shows 10 (≥ truth = 1).
+        assert_eq!(h.outstanding(), 10);
+        h.flush();
+        assert_eq!(h.outstanding(), 1);
+    }
+
+    #[test]
+    fn counter_never_dips_to_zero_while_work_exists() {
+        // Phase 1: every worker churns (add 2, finish 2) while keeping its
+        // own root outstanding, so the true count stays ≥ 4 and the watcher
+        // must never observe 0. Phase 2 (after the watcher is stopped):
+        // roots are drained and the counter must end at exactly 0.
+        const WORKERS: usize = 4;
+        let cells = Arc::new(GlobalCells::new(8));
+        let ic = Arc::new(Interconnect::new(LatencyModel::zero()));
+        init_outstanding(&cells, WORKERS as u64);
+        let sampling = Arc::new(AtomicBool::new(true));
+        let phase = Arc::new(std::sync::Barrier::new(WORKERS + 1));
+
+        let watcher = {
+            let cells = Arc::clone(&cells);
+            let sampling = Arc::clone(&sampling);
+            std::thread::spawn(move || {
+                let mut zero_early = false;
+                while sampling.load(Ordering::Acquire) {
+                    if cells.load_i64(CELL_OUTSTANDING) == 0 {
+                        zero_early = true;
+                    }
+                }
+                zero_early
+            })
+        };
+
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let cells = Arc::clone(&cells);
+                let ic = Arc::clone(&ic);
+                let phase = Arc::clone(&phase);
+                std::thread::spawn(move || {
+                    let mut h = TermHandle::new(&cells, &ic, false, 8);
+                    for _ in 0..20_000 {
+                        h.add(2); // split: children counted before publishing
+                        h.finish_one();
+                        h.finish_one();
+                    }
+                    h.flush();
+                    phase.wait(); // end of churn
+                    phase.wait(); // watcher stopped; drain the root
+                    h.finish_one();
+                    h.flush();
+                })
+            })
+            .collect();
+
+        phase.wait(); // all workers churned; their roots are still live
+        sampling.store(false, Ordering::Release);
+        let zero_early = watcher.join().unwrap();
+        phase.wait(); // let workers drain
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(!zero_early, "counter must not hit zero while work remains");
+        assert_eq!(cells.load_i64(CELL_OUTSTANDING), 0);
+    }
+}

@@ -1,0 +1,579 @@
+//! The MaCS worker: "the main and single entity" of the architecture
+//! (paper §IV). There is no controller — each worker solves, balances load,
+//! serves remote steal requests, and detects termination.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use macs_gpi::cells::{CELL_CANCEL, CELL_INCUMBENT};
+use macs_gpi::{GlobalCells, Interconnect, World};
+use macs_pool::{SplitPool, RESP_FAIL, RESP_PENDING};
+
+use crate::config::{BoundDissemination, RuntimeConfig, VictimSelect};
+use crate::processor::{Incumbent, ProcCtx, Processor, Step, WorkSink};
+use crate::rng::SplitMix64;
+use crate::stats::{WorkerState, WorkerStats};
+use crate::term::TermHandle;
+
+/// Worker-local view of the global branch-and-bound incumbent, with a
+/// cache refreshed according to the dissemination policy. Workers on node 0
+/// read the register locally; everyone else pays the interconnect, which is
+/// what makes bound dissemination a scalability concern (paper §VI).
+pub struct GlobalIncumbent<'a> {
+    cells: &'a GlobalCells,
+    ic: &'a Interconnect,
+    remote: bool,
+    policy: BoundDissemination,
+    cache: Cell<i64>,
+    countdown: Cell<u32>,
+}
+
+impl<'a> GlobalIncumbent<'a> {
+    pub fn new(
+        cells: &'a GlobalCells,
+        ic: &'a Interconnect,
+        remote: bool,
+        policy: BoundDissemination,
+    ) -> Self {
+        GlobalIncumbent {
+            cells,
+            ic,
+            remote,
+            policy,
+            cache: Cell::new(i64::MAX),
+            countdown: Cell::new(0),
+        }
+    }
+
+    fn reload(&self) -> i64 {
+        let v = if self.remote {
+            self.cells.load_i64_remote(self.ic, CELL_INCUMBENT)
+        } else {
+            self.cells.load_i64(CELL_INCUMBENT)
+        };
+        self.cache.set(v);
+        v
+    }
+}
+
+impl Incumbent for GlobalIncumbent<'_> {
+    fn get(&self) -> i64 {
+        match self.policy {
+            BoundDissemination::Immediate => self.reload(),
+            BoundDissemination::Periodic(k) => {
+                let c = self.countdown.get();
+                if c == 0 {
+                    self.countdown.set(k);
+                    self.reload()
+                } else {
+                    self.countdown.set(c - 1);
+                    self.cache.get()
+                }
+            }
+        }
+    }
+
+    fn submit(&self, value: i64) -> bool {
+        let prev = if self.remote {
+            self.cells.fetch_min_i64_remote(self.ic, CELL_INCUMBENT, value)
+        } else {
+            self.cells.fetch_min_i64(CELL_INCUMBENT, value)
+        };
+        self.cache.set(value.min(self.cache.get()));
+        value < prev
+    }
+}
+
+/// Sink plugged under [`ProcCtx`]: pushes children into the worker's own
+/// pool (spilling to a local overflow stack when the ring is full) and
+/// keeps the termination counter's increment-before-publish invariant.
+struct PoolSink<'b, 'a> {
+    pool: &'b SplitPool,
+    overflow: &'b mut Vec<Box<[u64]>>,
+    term: &'b mut TermHandle<'a>,
+    cells: &'b GlobalCells,
+    pushes: &'b mut u64,
+    spills: &'b mut u64,
+    solutions: &'b mut u64,
+}
+
+impl WorkSink for PoolSink<'_, '_> {
+    fn push(&mut self, item: &[u64]) {
+        self.term.add(1); // count BEFORE the item becomes visible
+        *self.pushes += 1;
+        if !self.pool.push(item) {
+            self.overflow.push(item.to_vec().into_boxed_slice());
+            *self.spills += 1;
+        }
+    }
+
+    fn solution(&mut self) {
+        *self.solutions += 1;
+    }
+
+    fn cancel(&mut self) {
+        self.cells.store(CELL_CANCEL, 1);
+    }
+}
+
+/// One worker thread's state.
+pub(crate) struct Worker<'a, P: Processor> {
+    id: usize,
+    node: usize,
+    cfg: &'a RuntimeConfig,
+    world: &'a World,
+    pools: &'a [SplitPool],
+    my_pool: &'a SplitPool,
+    processor: P,
+    stats: WorkerStats,
+    rng: SplitMix64,
+    term: TermHandle<'a>,
+    incumbent: GlobalIncumbent<'a>,
+    /// The item being processed (slot_words long).
+    current: Vec<u64>,
+    /// Local-memory spill stack for ring overflow (items here are already
+    /// counted as outstanding but invisible to thieves).
+    overflow: Vec<Box<[u64]>>,
+    /// Flat buffer for assembling remote steal responses.
+    steal_flat: Vec<u64>,
+    slot_words: usize,
+    since_release: u32,
+    since_poll: u32,
+    poll_interval: u32,
+}
+
+impl<'a, P: Processor> Worker<'a, P> {
+    pub fn new(
+        id: usize,
+        cfg: &'a RuntimeConfig,
+        world: &'a World,
+        pools: &'a [SplitPool],
+        processor: P,
+    ) -> Self {
+        let node = world.topology.node_of(id);
+        let remote_from_zero = node != 0;
+        let slot_words = pools[id].slot_words();
+        Worker {
+            id,
+            node,
+            cfg,
+            world,
+            pools,
+            my_pool: &pools[id],
+            processor,
+            stats: WorkerStats::new(id, node),
+            rng: SplitMix64::for_worker(cfg.seed, id),
+            term: TermHandle::new(
+                &world.cells,
+                &world.interconnect,
+                cfg.charge_termination && remote_from_zero,
+                cfg.term_flush_batch,
+            ),
+            incumbent: GlobalIncumbent::new(
+                &world.cells,
+                &world.interconnect,
+                remote_from_zero,
+                cfg.bound_dissemination,
+            ),
+            current: vec![0u64; slot_words],
+            overflow: Vec::new(),
+            steal_flat: Vec::new(),
+            slot_words,
+            since_release: 0,
+            since_poll: 0,
+            poll_interval: cfg.poll.initial(),
+        }
+    }
+
+    /// The worker main loop (paper §IV: propagate/split under `process`,
+    /// plus release, poll and restore around it).
+    pub fn run(mut self) -> (WorkerStats, P::Output) {
+        self.stats.clock.set(WorkerState::Barrier);
+        self.world.barrier.wait();
+
+        let mut have = self.acquire_local();
+        loop {
+            if !have
+                && !self.restore() {
+                    break; // global termination
+                }
+            if self.world.cells.load(CELL_CANCEL) != 0 {
+                // Cooperative cancellation: discard the item in hand and
+                // everything in the local pool; termination follows once
+                // every worker has drained.
+                self.term.finish_one();
+                while self.acquire_local() {
+                    self.term.finish_one();
+                }
+                have = false;
+                continue;
+            }
+            have = self.process_current();
+
+            self.since_release += 1;
+            if self.since_release >= self.cfg.release.interval {
+                self.since_release = 0;
+                self.maybe_release();
+            }
+            self.since_poll += 1;
+            if self.since_poll >= self.poll_interval {
+                self.since_poll = 0;
+                self.poll();
+            }
+        }
+
+        // Someone may have posted a request just before we observed
+        // termination: refuse it so no thief waits on a dead victim.
+        self.serve_request();
+        self.stats.clock.set(WorkerState::Barrier);
+        self.world.barrier.wait();
+        self.stats.clock.finish();
+        (self.stats, self.processor.finish())
+    }
+
+    // ----- inner cycle ------------------------------------------------------
+
+    fn process_current(&mut self) -> bool {
+        self.stats.clock.set(WorkerState::Working);
+        let mut current = std::mem::take(&mut self.current);
+        let step = {
+            let mut sink = PoolSink {
+                pool: self.my_pool,
+                overflow: &mut self.overflow,
+                term: &mut self.term,
+                cells: &self.world.cells,
+                pushes: &mut self.stats.pushes,
+                spills: &mut self.stats.overflow_spills,
+                solutions: &mut self.stats.solutions,
+            };
+            let mut ctx = ProcCtx {
+                worker_id: self.id,
+                node_id: self.node,
+                phase: &mut self.stats.phase,
+                incumbent: &self.incumbent,
+                sink: &mut sink,
+            };
+            self.processor.process(&mut current, &mut ctx)
+        };
+        self.current = current;
+        self.stats.items += 1;
+        match step {
+            Step::Leaf => {
+                self.term.finish_one();
+                false
+            }
+            Step::Continue => true,
+        }
+    }
+
+    /// Publish private work into the shared region when it runs low — the
+    /// *release* operation whose frequency the paper tunes.
+    fn maybe_release(&mut self) {
+        // Drain overflow spill back into the ring first, if space opened up.
+        while !self.overflow.is_empty() {
+            let ok = self.my_pool.push(self.overflow.last().unwrap());
+            if ok {
+                self.overflow.pop();
+            } else {
+                break;
+            }
+        }
+        let private = self.my_pool.private_len();
+        let shared = self.my_pool.shared_len();
+        let pol = &self.cfg.release;
+        if private > pol.min_private && shared < pol.share_target {
+            self.stats.clock.set(WorkerState::Releasing);
+            let k = ((private - pol.min_private) / 2).max(1);
+            let m = self.my_pool.release(k);
+            self.stats.releases += 1;
+            self.stats.released_items += m;
+        }
+    }
+
+    /// Check the request mailbox, adapting the dynamic polling interval.
+    fn poll(&mut self) {
+        let hit = self.my_pool.pending_request().is_some();
+        if hit {
+            self.serve_request();
+        } else {
+            self.stats.clock.set(WorkerState::Poll);
+            self.stats.polls += 1;
+        }
+        self.poll_interval = self.cfg.poll.next(self.poll_interval, hit);
+    }
+
+    // ----- the restore procedure (§V) ---------------------------------------
+
+    /// Obtain a new work item by any means; `false` means the whole
+    /// computation terminated.
+    fn restore(&mut self) -> bool {
+        self.stats.clock.set(WorkerState::Searching);
+        if self.acquire_local() {
+            return true;
+        }
+        let mut idle_rounds: u32 = 0;
+        loop {
+            // Local steal from a co-located worker.
+            if self.try_local_steal() {
+                return true;
+            }
+            // Remote steal from another node.
+            if self.world.topology.nodes > 1 {
+                match self.try_remote_steal() {
+                    RemoteOutcome::Got => return true,
+                    RemoteOutcome::Nothing => {}
+                    RemoteOutcome::Terminated => return false,
+                }
+            }
+            // Idle: flush, check termination, serve requests, back off.
+            self.stats.clock.set(WorkerState::Idle);
+            self.term.flush();
+            if self.term.finished() {
+                return false;
+            }
+            self.serve_request();
+            self.stats.clock.set(WorkerState::Idle);
+            Self::backoff(idle_rounds);
+            idle_rounds = idle_rounds.saturating_add(1);
+            self.stats.clock.set(WorkerState::Searching);
+            if self.acquire_local() {
+                return true;
+            }
+        }
+    }
+
+    /// Pop from the overflow stack, the private region, or (after a
+    /// reacquire) the own shared region.
+    fn acquire_local(&mut self) -> bool {
+        if let Some(item) = self.overflow.pop() {
+            self.current.copy_from_slice(&item);
+            return true;
+        }
+        if self.my_pool.pop_private(&mut self.current) {
+            return true;
+        }
+        if self.my_pool.shared_len() > 0 {
+            self.my_pool.reacquire(self.cfg.max_steal_chunk);
+            if self.my_pool.pop_private(&mut self.current) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn try_local_steal(&mut self) -> bool {
+        let peers = self.world.topology.peers_of(self.id);
+        let n_peers = peers.len();
+        if n_peers <= 1 {
+            return false;
+        }
+        self.stats.clock.set(WorkerState::Searching);
+        let victim = match self.cfg.victim_select {
+            VictimSelect::Greedy => {
+                // First victim with visible surplus, scanning from a random
+                // start to avoid convoys.
+                let start = self.rng.below_usize(n_peers);
+                (0..n_peers)
+                    .map(|k| peers.start + (start + k) % n_peers)
+                    .find(|&w| w != self.id && self.pools[w].shared_len() > 0)
+            }
+            VictimSelect::MaxSteal => {
+                // Inspect all n−1 candidates, pick the largest shared region.
+                peers
+                    .filter(|&w| w != self.id)
+                    .map(|w| (self.pools[w].shared_len(), w))
+                    .filter(|&(s, _)| s > 0)
+                    .max()
+                    .map(|(_, w)| w)
+            }
+        };
+        let Some(v) = victim else {
+            return false;
+        };
+
+        self.stats.clock.set(WorkerState::Stealing);
+        let shared = self.pools[v].shared_len();
+        let want = shared.div_ceil(2).min(self.cfg.max_steal_chunk);
+        let current = &mut self.current;
+        let overflow = &mut self.overflow;
+        let my_pool = self.my_pool;
+        let mut first = true;
+        let n = self.pools[v].steal(want, |item| {
+            if first {
+                current.copy_from_slice(item);
+                first = false;
+            } else if !my_pool.push(item) {
+                overflow.push(item.to_vec().into_boxed_slice());
+            }
+        });
+        if n > 0 {
+            self.stats.local_steals += 1;
+            self.stats.local_steal_items += n;
+            true
+        } else {
+            // The victim looked loaded but the lock-time check found
+            // nothing: a failed (local) steal.
+            self.stats.local_steal_failures += 1;
+            false
+        }
+    }
+
+    fn try_remote_steal(&mut self) -> RemoteOutcome {
+        let topo = &self.world.topology;
+        let ic = &self.world.interconnect;
+        self.stats.clock.set(WorkerState::SearchingRemote);
+
+        // Find a victim: read the pool state of whole remote nodes
+        // one-sidedly and pick the worker with the largest surplus — "the
+        // request is only sent to a worker that has a surplus of work".
+        let mut victim: Option<usize> = None;
+        for _ in 0..self.cfg.remote_node_attempts.max(1) {
+            let mut cand_node = self.rng.below_usize(topo.nodes - 1);
+            if cand_node >= self.node {
+                cand_node += 1;
+            }
+            let mut best: Option<(u64, usize)> = None;
+            for w in topo.workers_on(cand_node) {
+                let meta = self.pools[w].meta_remote(ic);
+                // Skip pools with a pending request: their mailbox is busy.
+                if meta.req == 0 {
+                    let s = meta.shared_len();
+                    if s > 0 && best.map(|(b, _)| s > b).unwrap_or(true) {
+                        best = Some((s, w));
+                    }
+                }
+            }
+            if let Some((_, w)) = best {
+                victim = Some(w);
+                break;
+            }
+        }
+        let Some(v) = victim else {
+            return RemoteOutcome::Nothing;
+        };
+
+        // Claim the victim's mailbox.
+        self.stats.clock.set(WorkerState::FindRemote);
+        self.my_pool.reset_response();
+        let t0 = Instant::now();
+        if !self.pools[v].try_post_request_remote(ic, self.id) {
+            return RemoteOutcome::Nothing; // another thief got there first
+        }
+
+        // Wait for the victim's (possibly proxied) answer.
+        self.stats.clock.set(WorkerState::WaitRemote);
+        loop {
+            match self.my_pool.response() {
+                RESP_PENDING => {
+                    // Serve our own mailbox while waiting (avoids mutual
+                    // thief/victim waits) and abandon on termination.
+                    if self.my_pool.pending_request().is_some() {
+                        self.serve_request();
+                        self.stats.clock.set(WorkerState::WaitRemote);
+                    }
+                    self.term.flush();
+                    if self.term.finished() {
+                        return RemoteOutcome::Terminated;
+                    }
+                    std::hint::spin_loop();
+                }
+                RESP_FAIL => {
+                    self.my_pool.reset_response();
+                    self.stats.remote_steal_failures += 1;
+                    return RemoteOutcome::Nothing;
+                }
+                n => {
+                    // Items were written in place at our head; the fabric
+                    // cannot deliver them faster than one round trip.
+                    ic.enforce_rtt_floor(t0, n as usize * self.slot_words * 8);
+                    self.my_pool.reset_response();
+                    self.my_pool.adopt_written(n);
+                    self.stats.remote_steals += 1;
+                    self.stats.remote_steal_items += n;
+                    let got = self.my_pool.pop_private(&mut self.current);
+                    debug_assert!(got, "adopted items must be poppable");
+                    return RemoteOutcome::Got;
+                }
+            }
+        }
+    }
+
+    // ----- victim side -------------------------------------------------------
+
+    /// Serve a pending remote steal request, if any: reserve work from our
+    /// shared region (or, by *proxy*, from a co-located worker's), write it
+    /// in place into the thief's pool and notify. Refuse with `RESP_FAIL`
+    /// when nothing can be found.
+    fn serve_request(&mut self) {
+        let Some(thief) = self.my_pool.pending_request() else {
+            return;
+        };
+        self.stats.clock.set(WorkerState::Poll);
+        self.stats.polls += 1;
+        debug_assert_ne!(thief, self.id);
+        let ic = &self.world.interconnect;
+        let thief_pool = &self.pools[thief];
+
+        // How many slots the thief can accept at its head.
+        let tm = thief_pool.meta_remote(ic);
+        let free = thief_pool.capacity() as u64 - (tm.head - tm.tail);
+        let want = self.cfg.max_steal_chunk.min(free);
+
+        self.steal_flat.clear();
+        let flat = &mut self.steal_flat;
+        let mut served_by_proxy = false;
+        let mut n = 0;
+        if want > 0 {
+            // Reserve from our own shared region (shrinking it from the
+            // tail, as the paper describes the reservation).
+            let own_half = self.my_pool.shared_len().div_ceil(2);
+            n = self
+                .my_pool
+                .steal(want.min(own_half.max(1)), |item| flat.extend_from_slice(item));
+            if n == 0 {
+                // Proxy fulfilment: find a co-located worker with surplus.
+                let peers = self.world.topology.peers_of(self.id);
+                let cand = peers
+                    .filter(|&w| w != self.id && w != thief)
+                    .map(|w| (self.pools[w].shared_len(), w))
+                    .filter(|&(s, _)| s > 0)
+                    .max();
+                if let Some((shared, w)) = cand {
+                    let half = shared.div_ceil(2);
+                    n = self.pools[w]
+                        .steal(want.min(half), |item| flat.extend_from_slice(item));
+                    served_by_proxy = n > 0;
+                }
+            }
+        }
+
+        if n > 0 {
+            thief_pool.write_slots_remote(ic, tm.head, &self.steal_flat);
+            thief_pool.write_response_remote(ic, n);
+            self.stats.requests_served += 1;
+            if served_by_proxy {
+                self.stats.proxy_serves += 1;
+            }
+        } else {
+            thief_pool.write_response_remote(ic, RESP_FAIL);
+            self.stats.requests_refused += 1;
+        }
+        self.my_pool.clear_request();
+    }
+
+    fn backoff(round: u32) {
+        if round < 8 {
+            for _ in 0..(1u32 << round.min(6)) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+enum RemoteOutcome {
+    Got,
+    Nothing,
+    Terminated,
+}

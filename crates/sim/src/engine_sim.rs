@@ -1,0 +1,917 @@
+//! The discrete-event drivers: MaCS and PaCCS balancers in virtual time.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
+
+use macs_runtime::{
+    PhaseTimers, PollPolicy, ProcCtx, Processor, ReleasePolicy, SplitMix64, Step, Topology,
+    VictimSelect, WorkSink, WorkerState,
+};
+
+use crate::cost::{CostModel, NodeCost};
+use crate::incumbent::{SimIncumbent, Timeline};
+use crate::report::{SimReport, SimWorkerStats};
+
+/// Which balancer protocol to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimMode {
+    /// MaCS: split pools, one-sided scans, mailbox + in-place response.
+    Macs,
+    /// PaCCS: two-sided request/reply served at node granularity,
+    /// neighbourhood sweeps, controller-routed bounds.
+    Paccs,
+}
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub topology: Topology,
+    pub costs: CostModel,
+    pub release: ReleasePolicy,
+    pub poll: PollPolicy,
+    pub victim: VictimSelect,
+    pub max_steal_chunk: u64,
+    pub remote_node_attempts: u32,
+    /// Incumbent visibility delay; `None` derives it from the fabric
+    /// latency (1× for MaCS' global cell, 2× for PaCCS' controller hop).
+    pub bound_delay_ns: Option<u64>,
+    pub seed: u64,
+}
+
+impl SimConfig {
+    pub fn new(topology: Topology) -> Self {
+        SimConfig {
+            topology,
+            costs: CostModel::default(),
+            release: ReleasePolicy::default(),
+            poll: PollPolicy::default(),
+            victim: VictimSelect::Greedy,
+            max_steal_chunk: 16,
+            remote_node_attempts: 2,
+            bound_delay_ns: None,
+            seed: 0x51D,
+        }
+    }
+
+    /// The paper's cluster shape at `total` virtual cores (4 per node).
+    pub fn paper_cluster(total: usize) -> Self {
+        SimConfig::new(Topology::clustered(total, 4))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// virtual pool
+// ---------------------------------------------------------------------------
+
+/// A worker pool in simulator form: a deque (front = tail = oldest) plus
+/// the split index; the first `split` items are shared/stealable.
+#[derive(Debug, Default)]
+struct VPool {
+    items: VecDeque<Box<[u64]>>,
+    split: usize,
+}
+
+impl VPool {
+    fn push(&mut self, it: Box<[u64]>) {
+        self.items.push_back(it);
+    }
+
+    fn pop_private(&mut self) -> Option<Box<[u64]>> {
+        if self.items.len() > self.split {
+            self.items.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// PaCCS-style pop (no split discipline).
+    fn pop_any(&mut self) -> Option<Box<[u64]>> {
+        let it = self.items.pop_back();
+        self.split = self.split.min(self.items.len());
+        it
+    }
+
+    fn private(&self) -> usize {
+        self.items.len() - self.split
+    }
+
+    fn shared(&self) -> usize {
+        self.split
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn release(&mut self, k: usize) -> usize {
+        let m = k.min(self.private());
+        self.split += m;
+        m
+    }
+
+    fn reacquire(&mut self, k: usize) -> usize {
+        let m = k.min(self.split);
+        self.split -= m;
+        m
+    }
+
+    /// Steal the `m` oldest shared items.
+    fn steal(&mut self, max: usize) -> Vec<Box<[u64]>> {
+        let m = max.min(self.split);
+        self.split -= m;
+        self.items.drain(..m).collect()
+    }
+
+    /// PaCCS-style steal: oldest items regardless of the split.
+    fn steal_any(&mut self, max: usize) -> Vec<Box<[u64]>> {
+        let m = max.min(self.items.len());
+        self.split = self.split.saturating_sub(m);
+        self.items.drain(..m).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared worker plumbing
+// ---------------------------------------------------------------------------
+
+enum Resp {
+    Work(Vec<Box<[u64]>>),
+    Fail,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Boot,
+    Finish,
+    ApplySteal { victim: usize },
+    Wait,
+    /// Injected service wake for a parked PaCCS victim: serve the request
+    /// queue, then re-park.
+    Serve,
+    Idle { round: u32 },
+}
+
+struct SimSink<'a> {
+    staged: &'a mut Vec<Box<[u64]>>,
+    solutions: &'a mut u64,
+    cancelled: &'a mut bool,
+}
+
+impl WorkSink for SimSink<'_> {
+    fn push(&mut self, item: &[u64]) {
+        self.staged.push(item.to_vec().into_boxed_slice());
+    }
+    fn solution(&mut self) {
+        *self.solutions += 1;
+    }
+    fn cancel(&mut self) {
+        *self.cancelled = true;
+    }
+}
+
+struct VW<P: Processor> {
+    pool: VPool,
+    current: Option<Box<[u64]>>,
+    staged: Vec<Box<[u64]>>,
+    staged_step: Step,
+    staged_solutions: u64,
+    proc: Option<P>,
+    inc: Rc<SimIncumbent>,
+    timers: PhaseTimers,
+    stats: SimWorkerStats,
+    rng: SplitMix64,
+    phase: Phase,
+    charge_state: WorkerState,
+    cursor: u64,
+    since_release: u32,
+    since_poll: u32,
+    poll_interval: u32,
+    /// MaCS: at most one pending remote request (thief, arrival time).
+    pending_req: Option<(usize, u64)>,
+    /// PaCCS: a queue of pending requests.
+    req_queue: VecDeque<(usize, u64)>,
+    inbox: Option<Resp>,
+    /// PaCCS: position in the victim sweep.
+    sweep_pos: usize,
+    /// Event epoch: a scheduled event is live only if it carries the
+    /// worker's current epoch (lets us inject wake-ups for parked workers
+    /// without ever having two live events per worker).
+    epoch: u64,
+}
+
+// ---------------------------------------------------------------------------
+// the simulator
+// ---------------------------------------------------------------------------
+
+struct Sim<'c, P: Processor> {
+    cfg: &'c SimConfig,
+    mode: SimMode,
+    slot_words: usize,
+    workers: Vec<VW<P>>,
+    heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    seq: u64,
+    outstanding: i64,
+    timeline: Rc<Timeline>,
+    cancelled: bool,
+    end_time: Option<u64>,
+    /// PaCCS victim sweep order per worker (local peers first).
+    sweeps: Vec<Vec<usize>>,
+}
+
+impl<'c, P: Processor> Sim<'c, P> {
+    fn schedule(&mut self, wi: usize, t: u64, state: WorkerState, phase: Phase) {
+        self.workers[wi].charge_state = state;
+        self.workers[wi].phase = phase;
+        self.workers[wi].epoch += 1;
+        self.seq += 1;
+        let epoch = self.workers[wi].epoch;
+        self.heap.push(Reverse((t, self.seq, wi, epoch)));
+    }
+
+    /// Direct charge: `ns` of `state` at the worker's current instant.
+    fn charge(&mut self, wi: usize, state: WorkerState, ns: u64, now: &mut u64) {
+        self.workers[wi].stats.state_ns[state as usize] += ns;
+        *now += ns;
+        self.workers[wi].cursor = *now;
+    }
+
+    fn node_cost(&mut self, wi: usize) -> u64 {
+        match self.cfg.costs.node {
+            NodeCost::Fixed { ns, jitter_pct } => {
+                if jitter_pct == 0 {
+                    ns
+                } else {
+                    let j = jitter_pct as u64;
+                    let f = 100 - j + self.workers[wi].rng.below(2 * j + 1);
+                    ns * f / 100
+                }
+            }
+            NodeCost::Measured { .. } => 0, // measured around process()
+        }
+    }
+
+    /// Run the real processor on the current item, staging its effects;
+    /// schedule the Finish event.
+    fn start_node(&mut self, wi: usize, now: u64) {
+        let mut cost = self.node_cost(wi);
+        let w = &mut self.workers[wi];
+        let node_id = self.cfg.topology.node_of(wi);
+        let inc = Rc::clone(&w.inc);
+        inc.set_now(now + cost);
+        let buf = w.current.as_mut().expect("start_node without current");
+        let t_real = std::time::Instant::now();
+        let step = {
+            let mut sink = SimSink {
+                staged: &mut w.staged,
+                solutions: &mut w.staged_solutions,
+                cancelled: &mut self.cancelled,
+            };
+            let mut ctx = ProcCtx::new(wi, node_id, &mut w.timers, &*inc, &mut sink);
+            w.proc
+                .as_mut()
+                .expect("processor alive")
+                .process(buf, &mut ctx)
+        };
+        if let NodeCost::Measured { num, den } = self.cfg.costs.node {
+            cost = (t_real.elapsed().as_nanos() as u64).max(50) * num / den.max(1);
+        }
+        w.staged_step = step;
+        self.schedule(wi, now + cost, WorkerState::Working, Phase::Finish);
+    }
+
+    /// Apply the staged node results at its (virtual) completion instant.
+    /// Returns `false` if the whole computation just ended.
+    fn finish_node(&mut self, wi: usize, t: u64) -> bool {
+        let mut now = t;
+        {
+            let w = &mut self.workers[wi];
+            w.stats.items += 1;
+            w.stats.solutions += w.staged_solutions;
+            w.staged_solutions = 0;
+        }
+        let staged: Vec<Box<[u64]>> = std::mem::take(&mut self.workers[wi].staged);
+        if self.cancelled {
+            // Discard children; the current item dies regardless of step.
+            let w = &mut self.workers[wi];
+            w.current = None;
+            self.outstanding -= 1;
+        } else {
+            self.outstanding += staged.len() as i64;
+            let w = &mut self.workers[wi];
+            for it in staged {
+                w.pool.push(it);
+                w.stats.pushes += 1;
+            }
+            if w.staged_step == Step::Leaf {
+                w.current = None;
+                self.outstanding -= 1;
+            }
+        }
+        if self.outstanding == 0 {
+            self.end_time = Some(now);
+            return false;
+        }
+
+        if self.mode == SimMode::Macs {
+            // Release policy.
+            self.workers[wi].since_release += 1;
+            if self.workers[wi].since_release >= self.cfg.release.interval {
+                self.workers[wi].since_release = 0;
+                let pol = &self.cfg.release;
+                let (private, shared) = {
+                    let p = &self.workers[wi].pool;
+                    (p.private() as u64, p.shared() as u64)
+                };
+                if private > pol.min_private && shared < pol.share_target {
+                    let k = ((private - pol.min_private) / 2).max(1);
+                    let release_ns = self.cfg.costs.release_ns;
+                    self.charge(wi, WorkerState::Releasing, release_ns, &mut now);
+                    let m = self.workers[wi].pool.release(k as usize);
+                    self.workers[wi].stats.releases += 1;
+                    self.workers[wi].stats.released_items += m as u64;
+                }
+            }
+            // Dynamic polling.
+            self.workers[wi].since_poll += 1;
+            if self.workers[wi].since_poll >= self.workers[wi].poll_interval {
+                self.workers[wi].since_poll = 0;
+                let hit = self.serve_request_macs(wi, &mut now);
+                if !hit {
+                    let poll_ns = self.cfg.costs.poll_ns;
+                    self.charge(wi, WorkerState::Poll, poll_ns, &mut now);
+                    self.workers[wi].stats.polls += 1;
+                }
+                self.workers[wi].poll_interval =
+                    self.cfg.poll.next(self.workers[wi].poll_interval, hit);
+            }
+        } else {
+            // PaCCS: MPI progress — a message check every node completion,
+            // then serve whatever has arrived.
+            let poll_ns = self.cfg.costs.poll_ns;
+            self.charge(wi, WorkerState::Poll, poll_ns, &mut now);
+            self.serve_requests_paccs(wi, &mut now);
+        }
+
+        if self.workers[wi].current.is_some() {
+            self.start_node(wi, now);
+        } else {
+            self.enter_acquire(wi, now);
+        }
+        true
+    }
+
+    /// Restore step 1: own pool (private, then shared via reacquire).
+    fn enter_acquire(&mut self, wi: usize, mut now: u64) {
+        if self.cancelled {
+            // Drain everything we own.
+            let w = &mut self.workers[wi];
+            let n = w.pool.len() as i64;
+            w.pool.items.clear();
+            w.pool.split = 0;
+            self.outstanding -= n;
+            if self.workers[wi].current.take().is_some() {
+                self.outstanding -= 1;
+            }
+            if self.outstanding == 0 {
+                self.end_time = Some(now);
+                return;
+            }
+            self.enter_idle(wi, now, 0);
+            return;
+        }
+        let pool_op = self.cfg.costs.pool_op_ns;
+        self.charge(wi, WorkerState::Searching, pool_op, &mut now);
+        let popped = if self.mode == SimMode::Macs {
+            self.workers[wi].pool.pop_private()
+        } else {
+            self.workers[wi].pool.pop_any()
+        };
+        if let Some(it) = popped {
+            self.workers[wi].current = Some(it);
+            self.start_node(wi, now);
+            return;
+        }
+        if self.mode == SimMode::Macs && self.workers[wi].pool.shared() > 0 {
+            let release_ns = self.cfg.costs.release_ns;
+            self.charge(wi, WorkerState::Searching, release_ns, &mut now);
+            let chunk = self.cfg.max_steal_chunk as usize;
+            self.workers[wi].pool.reacquire(chunk);
+            if let Some(it) = self.workers[wi].pool.pop_private() {
+                self.workers[wi].current = Some(it);
+                self.start_node(wi, now);
+                return;
+            }
+        }
+        match self.mode {
+            SimMode::Macs => self.try_steal_macs(wi, now),
+            SimMode::Paccs => self.sweep_paccs(wi, now),
+        }
+    }
+
+    fn enter_idle(&mut self, wi: usize, now: u64, round: u32) {
+        let base = self.cfg.costs.idle_backoff_ns.max(1);
+        let backoff = base << round.min(6);
+        self.schedule(wi, now + backoff, WorkerState::Idle, Phase::Idle { round });
+    }
+
+    // ----- MaCS protocol ----------------------------------------------------
+
+    fn try_steal_macs(&mut self, wi: usize, mut now: u64) {
+        let topo = self.cfg.topology;
+        let peers: Vec<usize> = topo.peers_of(wi).filter(|&p| p != wi).collect();
+        // Local victim scan.
+        let mut victim = None;
+        match self.cfg.victim {
+            VictimSelect::Greedy => {
+                let start = self.workers[wi].rng.below_usize(peers.len().max(1));
+                for k in 0..peers.len() {
+                    let v = peers[(start + k) % peers.len()];
+                    let pool_op = self.cfg.costs.pool_op_ns;
+                    self.charge(wi, WorkerState::Searching, pool_op, &mut now);
+                    if self.workers[v].pool.shared() > 0 {
+                        victim = Some(v);
+                        break;
+                    }
+                }
+            }
+            VictimSelect::MaxSteal => {
+                let mut best = 0usize;
+                for &v in &peers {
+                    let pool_op = self.cfg.costs.pool_op_ns;
+                    self.charge(wi, WorkerState::Searching, pool_op, &mut now);
+                    let s = self.workers[v].pool.shared();
+                    if s > best {
+                        best = s;
+                        victim = Some(v);
+                    }
+                }
+            }
+        }
+        if let Some(v) = victim {
+            // The lock delay is the race window: the steal applies later.
+            let lock_ns = self.cfg.costs.steal_local_ns;
+            self.schedule(
+                wi,
+                now + lock_ns,
+                WorkerState::Stealing,
+                Phase::ApplySteal { victim: v },
+            );
+            return;
+        }
+        // Remote: scan whole nodes one-sidedly, post to the best mailbox.
+        if topo.nodes > 1 {
+            let mut target = None;
+            for _ in 0..self.cfg.remote_node_attempts.max(1) {
+                let mut cand = self.workers[wi].rng.below_usize(topo.nodes - 1);
+                if cand >= topo.node_of(wi) {
+                    cand += 1;
+                }
+                let find_ns = self.cfg.costs.find_remote_ns;
+                self.charge(wi, WorkerState::SearchingRemote, find_ns, &mut now);
+                let mut best: Option<(usize, usize)> = None;
+                for v in topo.workers_on(cand) {
+                    let s = self.workers[v].pool.shared();
+                    if s > 0
+                        && self.workers[v].pending_req.is_none()
+                        && best.map(|(b, _)| s > b).unwrap_or(true)
+                    {
+                        best = Some((s, v));
+                    }
+                }
+                if let Some((_, v)) = best {
+                    target = Some(v);
+                    break;
+                }
+            }
+            if let Some(v) = target {
+                let post_ns = self.cfg.costs.post_request_ns;
+                self.charge(wi, WorkerState::FindRemote, post_ns, &mut now);
+                let arrival = now + self.cfg.costs.remote_latency_ns;
+                self.workers[v].pending_req = Some((wi, arrival));
+                // Park: the victim's response event will wake us.
+                self.workers[wi].phase = Phase::Wait;
+                self.workers[wi].charge_state = WorkerState::WaitRemote;
+                return;
+            }
+        }
+        self.enter_idle(wi, now, 0);
+    }
+
+    fn apply_steal_macs(&mut self, wi: usize, v: usize, mut now: u64) {
+        let shared = self.workers[v].pool.shared() as u64;
+        let want = shared.div_ceil(2).min(self.cfg.max_steal_chunk) as usize;
+        let items = self.workers[v].pool.steal(want);
+        if items.is_empty() {
+            // The victim looked loaded at scan time but was drained: a
+            // failed local steal (the race the paper counts).
+            self.workers[wi].stats.local_steal_failures += 1;
+            self.try_steal_macs(wi, now);
+            return;
+        }
+        let per_item = self.cfg.costs.per_item_ns * items.len() as u64;
+        self.charge(wi, WorkerState::Stealing, per_item, &mut now);
+        let w = &mut self.workers[wi];
+        w.stats.local_steals += 1;
+        w.stats.local_steal_items += items.len() as u64;
+        let mut it = items.into_iter();
+        w.current = it.next();
+        for rest in it {
+            w.pool.push(rest);
+        }
+        self.start_node(wi, now);
+    }
+
+    /// Victim side: serve the (single) pending MaCS request, with proxy
+    /// fulfilment. Returns true if a request was found.
+    fn serve_request_macs(&mut self, wi: usize, now: &mut u64) -> bool {
+        let Some((thief, arrival)) = self.workers[wi].pending_req else {
+            return false;
+        };
+        if arrival > *now {
+            return false;
+        }
+        self.workers[wi].pending_req = None;
+        let poll_ns = self.cfg.costs.poll_ns;
+        self.charge(wi, WorkerState::Poll, poll_ns, now);
+        self.workers[wi].stats.polls += 1;
+
+        let chunk = self.cfg.max_steal_chunk as usize;
+        let own_half = (self.workers[wi].pool.shared() as u64).div_ceil(2) as usize;
+        let mut items = self.workers[wi].pool.steal(chunk.min(own_half.max(1)));
+        let mut proxy = false;
+        if items.is_empty() {
+            // Proxy fulfilment from a co-located worker with surplus.
+            let peers: Vec<usize> = self
+                .cfg
+                .topology
+                .peers_of(wi)
+                .filter(|&p| p != wi && p != thief)
+                .collect();
+            if let Some((s, p)) = peers
+                .iter()
+                .map(|&p| (self.workers[p].pool.shared(), p))
+                .filter(|&(s, _)| s > 0)
+                .max()
+            {
+                let half = (s as u64).div_ceil(2) as usize;
+                items = self.workers[p].pool.steal(chunk.min(half));
+                proxy = !items.is_empty();
+            }
+        }
+
+        let resp_ns = self.cfg.costs.write_response_ns;
+        self.charge(wi, WorkerState::Poll, resp_ns, now);
+        if items.is_empty() {
+            self.workers[wi].stats.requests_refused += 1;
+            self.workers[thief].inbox = Some(Resp::Fail);
+            let t = *now + self.cfg.costs.remote_latency_ns;
+            self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
+        } else {
+            self.workers[wi].stats.requests_served += 1;
+            if proxy {
+                self.workers[wi].stats.proxy_serves += 1;
+            }
+            let bytes = (items.len() * self.slot_words * 8) as u64;
+            let t = *now
+                + self.cfg.costs.remote_latency_ns
+                + self.cfg.costs.transfer_ns(bytes);
+            self.workers[thief].inbox = Some(Resp::Work(items));
+            self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
+        }
+        true
+    }
+
+    fn wake_from_wait(&mut self, wi: usize, t: u64) {
+        let mut now = t;
+        match self.workers[wi].inbox.take() {
+            Some(Resp::Work(items)) => {
+                let per_item = self.cfg.costs.per_item_ns * items.len() as u64;
+                self.charge(wi, WorkerState::Stealing, per_item, &mut now);
+                {
+                    let w = &mut self.workers[wi];
+                    w.stats.remote_steals += 1;
+                    w.stats.remote_steal_items += items.len() as u64;
+                    let mut it = items.into_iter();
+                    w.current = it.next();
+                    for rest in it {
+                        w.pool.push(rest);
+                    }
+                }
+                self.start_node(wi, now);
+            }
+            Some(Resp::Fail) => {
+                self.workers[wi].stats.remote_steal_failures += 1;
+                match self.mode {
+                    SimMode::Macs => self.enter_idle(wi, now, 0),
+                    SimMode::Paccs => {
+                        self.workers[wi].sweep_pos += 1;
+                        self.sweep_paccs(wi, now);
+                    }
+                }
+            }
+            None => self.enter_acquire(wi, now),
+        }
+    }
+
+    // ----- PaCCS protocol -----------------------------------------------------
+
+    /// Idle PaCCS agent: send the next steal request in neighbourhood
+    /// order and park for the reply.
+    fn sweep_paccs(&mut self, wi: usize, mut now: u64) {
+        let order_len = self.sweeps[wi].len();
+        if order_len == 0 {
+            self.enter_idle(wi, now, 0);
+            return;
+        }
+        let pos = self.workers[wi].sweep_pos;
+        if pos >= order_len {
+            // Full sweep failed: back off, then start over.
+            self.workers[wi].sweep_pos = 0;
+            self.enter_idle(wi, now, 0);
+            return;
+        }
+        let v = self.sweeps[wi][pos];
+        let local = self.cfg.topology.is_local(wi, v);
+        // Two-sided request: send cost + message latency.
+        let send_ns = self.cfg.costs.post_request_ns / 2;
+        self.charge(wi, WorkerState::FindRemote, send_ns, &mut now);
+        let lat = if local {
+            self.cfg.costs.poll_ns.max(200)
+        } else {
+            self.cfg.costs.remote_latency_ns
+        };
+        let arrival = now + lat;
+        self.workers[v].req_queue.push_back((wi, arrival));
+        // A parked victim (itself blocked on a steal reply) would never
+        // look at its queue: inject a service wake — the simulated
+        // equivalent of the threaded agent answering requests while it
+        // waits for its own reply.
+        if self.workers[v].phase == Phase::Wait && self.workers[v].inbox.is_none() {
+            self.schedule(v, arrival, WorkerState::WaitRemote, Phase::Serve);
+        }
+        self.workers[wi].phase = Phase::Wait;
+        self.workers[wi].charge_state = WorkerState::WaitRemote;
+    }
+
+    /// PaCCS victim: serve every request that has arrived (replies are
+    /// generated only at node-completion or idle instants — the two-sided
+    /// granularity MaCS avoids).
+    fn serve_requests_paccs(&mut self, wi: usize, now: &mut u64) {
+        loop {
+            let Some(&(thief, arrival)) = self.workers[wi].req_queue.front() else {
+                return;
+            };
+            if arrival > *now {
+                return;
+            }
+            self.workers[wi].req_queue.pop_front();
+            let poll_ns = self.cfg.costs.poll_ns;
+            self.charge(wi, WorkerState::Poll, poll_ns, now);
+            self.workers[wi].stats.polls += 1;
+
+            let have = self.workers[wi].pool.len();
+            let give = (have / 2).min(self.cfg.max_steal_chunk as usize);
+            let local = self.cfg.topology.is_local(wi, thief);
+            let lat = if local {
+                self.cfg.costs.poll_ns.max(200)
+            } else {
+                self.cfg.costs.remote_latency_ns
+            };
+            if give == 0 {
+                self.workers[wi].stats.requests_refused += 1;
+                self.workers[thief].inbox = Some(Resp::Fail);
+                self.schedule(thief, *now + lat, WorkerState::WaitRemote, Phase::Wait);
+            } else {
+                let items = self.workers[wi].pool.steal_any(give);
+                self.workers[wi].stats.requests_served += 1;
+                let bytes = (items.len() * self.slot_words * 8) as u64;
+                let t = *now + lat + self.cfg.costs.transfer_ns(bytes);
+                // Classify on the thief when the reply arrives.
+                self.workers[thief].inbox = Some(Resp::Work(items));
+                self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
+            }
+        }
+    }
+
+    // ----- main loop ----------------------------------------------------------
+
+    fn run(&mut self, roots: &[Vec<u64>]) {
+        self.outstanding = roots.len() as i64;
+        for r in roots {
+            self.workers[0].pool.push(r.clone().into_boxed_slice());
+        }
+        for wi in 0..self.workers.len() {
+            self.schedule(wi, 0, WorkerState::Barrier, Phase::Boot);
+        }
+        while let Some(Reverse((t, _, wi, epoch))) = self.heap.pop() {
+            if self.end_time.is_some() {
+                break;
+            }
+            if epoch != self.workers[wi].epoch {
+                continue; // superseded event
+            }
+            // Charge the interval since the worker's last instant to the
+            // state it was parked/scheduled in.
+            {
+                let w = &mut self.workers[wi];
+                let dt = t.saturating_sub(w.cursor);
+                w.stats.state_ns[w.charge_state as usize] += dt;
+                w.cursor = t;
+            }
+            match self.workers[wi].phase {
+                Phase::Boot => self.enter_acquire(wi, t),
+                Phase::Finish => {
+                    if !self.finish_node(wi, t) {
+                        break;
+                    }
+                }
+                Phase::ApplySteal { victim } => self.apply_steal_macs(wi, victim, t),
+                Phase::Wait => self.wake_from_wait(wi, t),
+                Phase::Serve => {
+                    let mut now = t;
+                    self.serve_requests_paccs(wi, &mut now);
+                    // Re-park: we are still a thief awaiting our own reply.
+                    self.workers[wi].phase = Phase::Wait;
+                    self.workers[wi].charge_state = WorkerState::WaitRemote;
+                }
+                Phase::Idle { round } => {
+                    let mut now = t;
+                    match self.mode {
+                        SimMode::Macs => {
+                            self.serve_request_macs(wi, &mut now);
+                            self.enter_acquire_or_retry(wi, now, round);
+                        }
+                        SimMode::Paccs => {
+                            self.serve_requests_paccs(wi, &mut now);
+                            self.workers[wi].sweep_pos = 0;
+                            self.enter_acquire_or_retry(wi, now, round);
+                        }
+                    }
+                }
+            }
+        }
+        // Close every worker's clock at the makespan.
+        let end = self.end_time.unwrap_or_else(|| {
+            self.workers.iter().map(|w| w.cursor).max().unwrap_or(0)
+        });
+        self.end_time = Some(end);
+        for w in &mut self.workers {
+            let dt = end.saturating_sub(w.cursor);
+            w.stats.state_ns[w.charge_state as usize] += dt;
+            w.cursor = end;
+        }
+    }
+
+    /// From an idle wake: try to acquire again (pool may have refilled via
+    /// an in-place response in MaCS, or we retry the steal paths).
+    fn enter_acquire_or_retry(&mut self, wi: usize, now: u64, round: u32) {
+        if self.workers[wi].pool.len() > 0 || self.workers[wi].current.is_some() {
+            self.enter_acquire(wi, now);
+            return;
+        }
+        match self.mode {
+            SimMode::Macs => {
+                // Retry the full steal ladder; it either schedules a steal
+                // (ApplySteal/Wait) or re-idles at round 0 — patch the
+                // round so the exponential backoff keeps growing.
+                self.try_steal_macs(wi, now);
+                if let Phase::Idle { .. } = self.workers[wi].phase {
+                    self.patch_idle_round(wi, round.saturating_add(1));
+                }
+            }
+            SimMode::Paccs => {
+                self.sweep_paccs(wi, now);
+                if let Phase::Idle { .. } = self.workers[wi].phase {
+                    self.patch_idle_round(wi, round.saturating_add(1));
+                }
+            }
+        }
+    }
+
+    /// The idle event just scheduled used round 0; keep the exponential
+    /// backoff by rescheduling is not possible (event already queued), so
+    /// we simply record the grown round for the *next* wake.
+    fn patch_idle_round(&mut self, wi: usize, round: u32) {
+        self.workers[wi].phase = Phase::Idle {
+            round: round.min(16),
+        };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// public entry points
+// ---------------------------------------------------------------------------
+
+fn build_and_run<P, F>(
+    cfg: &SimConfig,
+    mode: SimMode,
+    slot_words: usize,
+    roots: &[Vec<u64>],
+    mut factory: F,
+) -> SimReport<P::Output>
+where
+    P: Processor,
+    F: FnMut(usize) -> P,
+{
+    let n = cfg.topology.total_workers();
+    assert!(!roots.is_empty());
+    let timeline = Rc::new(Timeline::default());
+    let delay = cfg.bound_delay_ns.unwrap_or(match mode {
+        SimMode::Macs => cfg.costs.remote_latency_ns,
+        SimMode::Paccs => 2 * cfg.costs.remote_latency_ns,
+    });
+
+    let workers: Vec<VW<P>> = (0..n)
+        .map(|wi| VW {
+            pool: VPool::default(),
+            current: None,
+            staged: Vec::new(),
+            staged_step: Step::Leaf,
+            staged_solutions: 0,
+            proc: Some(factory(wi)),
+            inc: Rc::new(SimIncumbent::new(Rc::clone(&timeline), delay)),
+            timers: PhaseTimers::default(),
+            stats: SimWorkerStats::default(),
+            rng: SplitMix64::for_worker(cfg.seed, wi),
+            phase: Phase::Boot,
+            charge_state: WorkerState::Barrier,
+            cursor: 0,
+            since_release: 0,
+            since_poll: 0,
+            poll_interval: cfg.poll.initial(),
+            pending_req: None,
+            req_queue: VecDeque::new(),
+            inbox: None,
+            sweep_pos: 0,
+            epoch: 0,
+        })
+        .collect();
+
+    let topo = cfg.topology;
+    let sweeps: Vec<Vec<usize>> = (0..n)
+        .map(|wi| {
+            let mut order: Vec<usize> = topo.peers_of(wi).filter(|&p| p != wi).collect();
+            order.extend((0..n).filter(|&p| !topo.is_local(p, wi)));
+            order
+        })
+        .collect();
+
+    let mut sim = Sim {
+        cfg,
+        mode,
+        slot_words,
+        workers,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        outstanding: 0,
+        timeline: Rc::clone(&timeline),
+        cancelled: false,
+        end_time: None,
+        sweeps,
+    };
+    sim.run(roots);
+
+    let makespan_ns = sim.end_time.unwrap_or(0);
+    let incumbent = sim.timeline.global_min();
+    let (stats, outputs): (Vec<_>, Vec<_>) = sim
+        .workers
+        .into_iter()
+        .map(|mut w| (w.stats.clone(), w.proc.take().expect("proc").finish()))
+        .unzip();
+    SimReport {
+        makespan_ns,
+        workers: stats,
+        outputs,
+        incumbent,
+    }
+}
+
+/// Simulate the MaCS balancer over the real work of `factory`'s
+/// processors.
+pub fn simulate_macs<P, F>(
+    cfg: &SimConfig,
+    slot_words: usize,
+    roots: &[Vec<u64>],
+    factory: F,
+) -> SimReport<P::Output>
+where
+    P: Processor,
+    F: FnMut(usize) -> P,
+{
+    build_and_run(cfg, SimMode::Macs, slot_words, roots, factory)
+}
+
+/// Simulate the PaCCS balancer over the same work.
+pub fn simulate_paccs<P, F>(
+    cfg: &SimConfig,
+    slot_words: usize,
+    roots: &[Vec<u64>],
+    factory: F,
+) -> SimReport<P::Output>
+where
+    P: Processor,
+    F: FnMut(usize) -> P,
+{
+    build_and_run(cfg, SimMode::Paccs, slot_words, roots, factory)
+}

@@ -1,0 +1,138 @@
+//! Branch-and-bound incumbent with virtual-time dissemination delay.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use macs_runtime::Incumbent;
+
+/// The global incumbent timeline: improvements become visible to other
+/// workers only `delay_ns` after submission — the bound-dissemination
+/// effect the paper identifies as the COP scalability limiter.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    /// (visible_at, value); `visible_at` non-decreasing, `value` strictly
+    /// decreasing.
+    events: RefCell<Vec<(u64, i64)>>,
+}
+
+impl Timeline {
+    /// Best value submitted so far regardless of visibility.
+    pub fn global_min(&self) -> i64 {
+        self.events
+            .borrow()
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap_or(i64::MAX)
+    }
+
+    /// Best value visible at time `t`.
+    pub fn visible_at(&self, t: u64) -> i64 {
+        let ev = self.events.borrow();
+        // Scan from the newest: timelines are short (one entry per
+        // improving solution).
+        for &(vis, val) in ev.iter().rev() {
+            if vis <= t {
+                return val;
+            }
+        }
+        i64::MAX
+    }
+
+    fn submit(&self, visible_at: u64, value: i64) -> bool {
+        let mut ev = self.events.borrow_mut();
+        if ev.last().map(|&(_, v)| value < v).unwrap_or(true) {
+            // Visibility must stay monotone even if delays differ.
+            let vis = ev.last().map(|&(t, _)| t.max(visible_at)).unwrap_or(visible_at);
+            ev.push((vis, value));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-virtual-worker incumbent handle. `now` is advanced by the simulator
+/// before each `process()` call; the worker sees the global value delayed
+/// by the fabric, plus its own submissions immediately.
+pub struct SimIncumbent {
+    timeline: Rc<Timeline>,
+    /// Dissemination delay for values travelling to *other* workers.
+    delay_ns: u64,
+    now: Cell<u64>,
+    own: Cell<i64>,
+}
+
+impl SimIncumbent {
+    pub fn new(timeline: Rc<Timeline>, delay_ns: u64) -> Self {
+        SimIncumbent {
+            timeline,
+            delay_ns,
+            now: Cell::new(0),
+            own: Cell::new(i64::MAX),
+        }
+    }
+
+    /// Advance this worker's clock (simulator-internal).
+    pub fn set_now(&self, t: u64) {
+        self.now.set(t);
+    }
+}
+
+impl Incumbent for SimIncumbent {
+    fn get(&self) -> i64 {
+        self.timeline
+            .visible_at(self.now.get())
+            .min(self.own.get())
+    }
+
+    fn submit(&self, value: i64) -> bool {
+        self.own.set(self.own.get().min(value));
+        self.timeline
+            .submit(self.now.get() + self.delay_ns, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_hides_fresh_bounds() {
+        let tl = Rc::new(Timeline::default());
+        let a = SimIncumbent::new(Rc::clone(&tl), 1_000);
+        let b = SimIncumbent::new(Rc::clone(&tl), 1_000);
+        a.set_now(5_000);
+        b.set_now(5_000);
+        assert!(a.submit(100));
+        // The submitter sees its own bound immediately …
+        assert_eq!(a.get(), 100);
+        // … the other worker still sees nothing.
+        assert_eq!(b.get(), i64::MAX);
+        b.set_now(6_000);
+        assert_eq!(b.get(), 100);
+    }
+
+    #[test]
+    fn non_improving_submissions_are_rejected() {
+        let tl = Rc::new(Timeline::default());
+        let a = SimIncumbent::new(Rc::clone(&tl), 0);
+        a.set_now(1);
+        assert!(a.submit(50));
+        assert!(!a.submit(70));
+        assert!(a.submit(49));
+        assert_eq!(tl.global_min(), 49);
+    }
+
+    #[test]
+    fn visibility_is_monotone() {
+        let tl = Rc::new(Timeline::default());
+        let a = SimIncumbent::new(Rc::clone(&tl), 10_000);
+        let b = SimIncumbent::new(Rc::clone(&tl), 0);
+        a.set_now(100);
+        a.submit(90); // visible at 10_100
+        b.set_now(200);
+        b.submit(80); // would be visible at 200, clamped to ≥ 10_100
+        assert_eq!(tl.visible_at(9_999), i64::MAX);
+        assert_eq!(tl.visible_at(10_100), 80);
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event simulation of MaCS (and PaCCS) work stealing at
+//! arbitrary virtual core counts.
+//!
+//! The paper's evaluation runs on 8–512 cores of an InfiniBand cluster.
+//! This crate regenerates those series on any host: it steps *virtual
+//! workers* over a *virtual clock*, processing the **real** search tree
+//! (the same [`Processor`](macs_runtime::Processor) implementations the
+//! threaded runtime drives — propagation, splitting, branch-and-bound all
+//! actually execute), while the pool discipline, release interval, victim
+//! selection, request mailboxes, dynamic polling and fabric latencies are
+//! modelled by a [`CostModel`] in virtual nanoseconds.
+//!
+//! What emerges — who steals from whom, how often steals fail, how much
+//! time each worker spends per state, how the incumbent's dissemination
+//! delay inflates COP trees — is a product of the simulated interleaving,
+//! not of scripted formulas, so the *shapes* of the paper's figures
+//! (speed-up, efficiency, Mnodes/s, overhead breakdowns, steal tables) can
+//! be reproduced at 512 virtual cores on a 2-core laptop.
+//!
+//! Two balancer models are provided:
+//! * [`simulate_macs`] — the MaCS protocol (split pools, one-sided
+//!   metadata scans, request mailbox + in-place response, proxy
+//!   fulfilment, dynamic polling);
+//! * [`simulate_paccs`] — the PaCCS protocol (two-sided request/reply at
+//!   node-completion granularity, neighbourhood sweeps, controller-routed
+//!   bounds), used for the comparison series of Fig. 4/6.
+
+pub mod cost;
+pub mod engine_sim;
+pub mod incumbent;
+pub mod report;
+
+pub use cost::{CostModel, NodeCost};
+pub use engine_sim::{simulate_macs, simulate_paccs, SimConfig, SimMode};
+pub use incumbent::SimIncumbent;
+pub use report::{SimReport, SimWorkerStats};

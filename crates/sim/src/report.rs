@@ -1,0 +1,85 @@
+//! Simulation results: the same quantities the threaded runtime reports,
+//! in virtual time.
+
+use macs_runtime::{WorkerState, NUM_STATES};
+
+/// Per-virtual-worker counters and state times (virtual nanoseconds).
+#[derive(Clone, Debug, Default)]
+pub struct SimWorkerStats {
+    pub items: u64,
+    pub pushes: u64,
+    pub solutions: u64,
+    pub local_steals: u64,
+    pub local_steal_items: u64,
+    pub local_steal_failures: u64,
+    pub remote_steals: u64,
+    pub remote_steal_items: u64,
+    pub remote_steal_failures: u64,
+    pub releases: u64,
+    pub released_items: u64,
+    pub polls: u64,
+    pub requests_served: u64,
+    pub proxy_serves: u64,
+    pub requests_refused: u64,
+    pub state_ns: [u64; NUM_STATES],
+}
+
+/// Everything one simulation produced.
+#[derive(Clone, Debug)]
+pub struct SimReport<O> {
+    /// Virtual wall time from start to the last completed work item.
+    pub makespan_ns: u64,
+    pub workers: Vec<SimWorkerStats>,
+    pub outputs: Vec<O>,
+    /// Final incumbent (optimisation; `i64::MAX` otherwise).
+    pub incumbent: i64,
+}
+
+impl<O> SimReport<O> {
+    pub fn total_items(&self) -> u64 {
+        self.workers.iter().map(|w| w.items).sum()
+    }
+
+    pub fn total_solutions(&self) -> u64 {
+        self.workers.iter().map(|w| w.solutions).sum()
+    }
+
+    /// Virtual items per second.
+    pub fn items_per_sec(&self) -> f64 {
+        self.total_items() as f64 / (self.makespan_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Fraction of aggregate worker time per state (Fig. 3/5 bars).
+    pub fn state_fractions(&self) -> [f64; NUM_STATES] {
+        let mut totals = [0.0f64; NUM_STATES];
+        let mut sum = 0.0;
+        for w in &self.workers {
+            for (i, &ns) in w.state_ns.iter().enumerate() {
+                totals[i] += ns as f64;
+                sum += ns as f64;
+            }
+        }
+        if sum > 0.0 {
+            for t in totals.iter_mut() {
+                *t /= sum;
+            }
+        }
+        totals
+    }
+
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 - self.state_fractions()[WorkerState::Working as usize]
+    }
+
+    /// (local ok, local failed, remote ok, remote failed) — Tables I/II.
+    pub fn steal_totals(&self) -> (u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0);
+        for w in &self.workers {
+            t.0 += w.local_steals;
+            t.1 += w.local_steal_failures;
+            t.2 += w.remote_steals;
+            t.3 += w.remote_steal_failures;
+        }
+        t
+    }
+}

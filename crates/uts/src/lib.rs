@@ -1,0 +1,23 @@
+//! The **Unbalanced Tree Search** (UTS) benchmark on the MaCS runtime.
+//!
+//! MaCS' pool and load-balancing scheme come directly from the authors'
+//! earlier GPI implementation of UTS (paper §IV/V, reference [1]): "we
+//! wanted to leverage our previous work with UTS and general parallel tree
+//! search … the worker pool uses the same data structure used in that
+//! work". Running UTS through the very same [`macs_runtime`] machinery
+//! demonstrates the paper's claim that the load balancer is orthogonal to
+//! the problem being solved.
+//!
+//! UTS (Olivier et al., LCPC'06) generates an implicit tree whose shape is
+//! cryptographically determined: each node owns a 20-byte SHA-1 descriptor,
+//! child `i`'s descriptor is `SHA1(parent ‖ i)`, and the number of children
+//! follows a geometric or binomial law derived from the descriptor. Tree
+//! size and shape are therefore reproducible to the node, while being
+//! unpredictable — the canonical stress test for dynamic load balancing.
+//! SHA-1 is implemented in-crate ([`sha1`]) to keep the dependency set to
+//! the approved list.
+
+pub mod sha1;
+pub mod tree;
+
+pub use tree::{uts_parallel, uts_sequential, TreeShape, TreeStats, UtsProcessor, SLOT_WORDS};

@@ -1,0 +1,128 @@
+//! SHA-1 (RFC 3174) — the UTS node-descriptor generator.
+//!
+//! UTS needs SHA-1 as a *splittable deterministic RNG*, not for security;
+//! this is a straightforward, dependency-free implementation validated
+//! against the RFC test vectors.
+
+/// Compute the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Padded message: data ‖ 0x80 ‖ zeros ‖ 64-bit bit length.
+    let bit_len = (data.len() as u64) * 8;
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// The UTS child-derivation step: `SHA1(parent descriptor ‖ child index)`.
+pub fn child_descriptor(parent: &[u8; 20], index: u32) -> [u8; 20] {
+    let mut buf = [0u8; 24];
+    buf[..20].copy_from_slice(parent);
+    buf[20..].copy_from_slice(&index.to_le_bytes());
+    sha1(&buf)
+}
+
+/// The UTS root descriptor for a given seed.
+pub fn root_descriptor(seed: u32) -> [u8; 20] {
+    sha1(&seed.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8; 20]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc3174_test_vectors() {
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        // Exactly one block of 'a' × 64 exercises the two-block padding path.
+        assert_eq!(
+            hex(&sha1(&[b'a'; 64])),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn child_derivation_is_stable_and_distinct() {
+        let root = root_descriptor(42);
+        let c0 = child_descriptor(&root, 0);
+        let c1 = child_descriptor(&root, 1);
+        assert_ne!(c0, c1);
+        assert_eq!(c0, child_descriptor(&root, 0), "deterministic");
+        assert_ne!(root_descriptor(42), root_descriptor(43));
+    }
+}

@@ -1,0 +1,272 @@
+//! UTS tree generation and its [`Processor`] for the MaCS runtime.
+
+use macs_runtime::{run_parallel, ProcCtx, Processor, RunReport, RuntimeConfig, Step};
+
+use crate::sha1::{child_descriptor, root_descriptor};
+
+/// Work-item width: `[depth, desc₀, desc₁, desc₂]` (20 descriptor bytes in
+/// two and a half words; the upper half of word 3 is zero).
+pub const SLOT_WORDS: usize = 4;
+
+/// The published UTS tree shapes.
+#[derive(Clone, Copy, Debug)]
+pub enum TreeShape {
+    /// Geometric branching with linear decay: expected branching `b0` at
+    /// the root shrinking to zero at depth `gen_mx` (UTS "GEO" trees).
+    Geometric { b0: f64, gen_mx: u32 },
+    /// Binomial: the root has exactly `root_children` children; every other
+    /// node has `m` children with probability `q`, none otherwise (UTS
+    /// "BIN" trees; critical when `m·q ≈ 1`).
+    Binomial { root_children: u32, m: u32, q: f64 },
+}
+
+impl TreeShape {
+    /// A small geometric tree (tens of thousands of nodes), quick enough
+    /// for tests.
+    pub fn small_geo() -> Self {
+        TreeShape::Geometric { b0: 3.0, gen_mx: 8 }
+    }
+
+    /// A medium, highly unbalanced binomial tree (near-critical `m·q`).
+    pub fn medium_bin(seedish: u32) -> Self {
+        TreeShape::Binomial {
+            root_children: 100 + seedish % 20,
+            m: 4,
+            q: 0.249,
+        }
+    }
+
+    /// Number of children of a node at `depth` with descriptor `desc`.
+    pub fn num_children(&self, depth: u64, desc: &[u8; 20]) -> u32 {
+        // Uniform v ∈ (0,1) from the first 8 descriptor bytes.
+        let raw = u64::from_le_bytes(desc[..8].try_into().unwrap());
+        let v = ((raw >> 11) as f64 + 1.0) / (1u64 << 53) as f64; // (0, 1]
+        match *self {
+            TreeShape::Geometric { b0, gen_mx } => {
+                if depth >= gen_mx as u64 {
+                    return 0;
+                }
+                // Linearly decaying expected branching factor.
+                let b = b0 * (1.0 - depth as f64 / gen_mx as f64);
+                if b <= 0.0 {
+                    return 0;
+                }
+                // Geometric with mean b: m = ⌊ln v / ln(b/(1+b))⌋.
+                let p = b / (1.0 + b);
+                (v.ln() / p.ln()).floor() as u32
+            }
+            TreeShape::Binomial {
+                root_children,
+                m,
+                q,
+            } => {
+                if depth == 0 {
+                    root_children
+                } else if v < q {
+                    m
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate statistics of one UTS traversal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    pub nodes: u64,
+    pub leaves: u64,
+    pub max_depth: u64,
+    /// Order-independent fingerprint (wrapping sum over descriptor words)
+    /// proving every node was visited exactly once.
+    pub checksum: u64,
+}
+
+impl TreeStats {
+    fn absorb(&mut self, depth: u64, desc: &[u8; 20], is_leaf: bool) {
+        self.nodes += 1;
+        if is_leaf {
+            self.leaves += 1;
+        }
+        self.max_depth = self.max_depth.max(depth);
+        self.checksum = self
+            .checksum
+            .wrapping_add(u64::from_le_bytes(desc[..8].try_into().unwrap()) ^ depth);
+    }
+
+    fn merge(mut self, o: &TreeStats) -> TreeStats {
+        self.nodes += o.nodes;
+        self.leaves += o.leaves;
+        self.max_depth = self.max_depth.max(o.max_depth);
+        self.checksum = self.checksum.wrapping_add(o.checksum);
+        self
+    }
+}
+
+fn encode(depth: u64, desc: &[u8; 20]) -> [u64; SLOT_WORDS] {
+    let mut item = [0u64; SLOT_WORDS];
+    item[0] = depth;
+    item[1] = u64::from_le_bytes(desc[0..8].try_into().unwrap());
+    item[2] = u64::from_le_bytes(desc[8..16].try_into().unwrap());
+    item[3] = u32::from_le_bytes(desc[16..20].try_into().unwrap()) as u64;
+    item
+}
+
+fn decode(buf: &[u64]) -> (u64, [u8; 20]) {
+    let mut desc = [0u8; 20];
+    desc[0..8].copy_from_slice(&buf[1].to_le_bytes());
+    desc[8..16].copy_from_slice(&buf[2].to_le_bytes());
+    desc[16..20].copy_from_slice(&(buf[3] as u32).to_le_bytes());
+    (buf[0], desc)
+}
+
+/// UTS node expansion as a runtime [`Processor`].
+pub struct UtsProcessor {
+    shape: TreeShape,
+    stats: TreeStats,
+}
+
+impl UtsProcessor {
+    pub fn new(shape: TreeShape) -> Self {
+        UtsProcessor {
+            shape,
+            stats: TreeStats::default(),
+        }
+    }
+
+    /// Root work item for `seed`.
+    pub fn root_item(seed: u32) -> Vec<u64> {
+        encode(0, &root_descriptor(seed)).to_vec()
+    }
+}
+
+impl Processor for UtsProcessor {
+    type Output = TreeStats;
+
+    fn process(&mut self, buf: &mut [u64], ctx: &mut ProcCtx<'_>) -> Step {
+        let (depth, desc) = decode(buf);
+        let n = self.shape.num_children(depth, &desc);
+        self.stats.absorb(depth, &desc, n == 0);
+        if n == 0 {
+            return Step::Leaf;
+        }
+        for i in 1..n {
+            let child = child_descriptor(&desc, i);
+            ctx.push(&encode(depth + 1, &child));
+        }
+        let first = child_descriptor(&desc, 0);
+        buf.copy_from_slice(&encode(depth + 1, &first));
+        Step::Continue
+    }
+
+    fn finish(self) -> TreeStats {
+        self.stats
+    }
+}
+
+/// Sequential UTS traversal (oracle and T(1) baseline).
+pub fn uts_sequential(shape: TreeShape, seed: u32) -> TreeStats {
+    let mut stats = TreeStats::default();
+    let mut stack: Vec<(u64, [u8; 20])> = vec![(0, root_descriptor(seed))];
+    while let Some((depth, desc)) = stack.pop() {
+        let n = shape.num_children(depth, &desc);
+        stats.absorb(depth, &desc, n == 0);
+        for i in 0..n {
+            stack.push((depth + 1, child_descriptor(&desc, i)));
+        }
+    }
+    stats
+}
+
+/// Parallel UTS on the MaCS runtime. Returns the merged tree statistics and
+/// the full runtime report.
+pub fn uts_parallel(
+    shape: TreeShape,
+    seed: u32,
+    cfg: &RuntimeConfig,
+) -> (TreeStats, RunReport<TreeStats>) {
+    let report = run_parallel(
+        cfg,
+        SLOT_WORDS,
+        &[UtsProcessor::root_item(seed)],
+        |_w| UtsProcessor::new(shape),
+    );
+    let stats = report
+        .outputs
+        .iter()
+        .fold(TreeStats::default(), |acc, s| acc.merge(s));
+    (stats, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let desc = root_descriptor(7);
+        let item = encode(13, &desc);
+        let (depth, back) = decode(&item);
+        assert_eq!(depth, 13);
+        assert_eq!(back, desc);
+    }
+
+    #[test]
+    fn sequential_is_deterministic() {
+        let shape = TreeShape::small_geo();
+        let a = uts_sequential(shape, 19);
+        let b = uts_sequential(shape, 19);
+        assert_eq!(a, b);
+        assert!(a.nodes > 100, "non-trivial tree, got {}", a.nodes);
+        let c = uts_sequential(shape, 20);
+        assert_ne!(a.checksum, c.checksum, "different seed, different tree");
+    }
+
+    #[test]
+    fn geometric_depth_is_bounded() {
+        let shape = TreeShape::Geometric { b0: 3.0, gen_mx: 6 };
+        let s = uts_sequential(shape, 5);
+        assert!(s.max_depth <= 6);
+    }
+
+    #[test]
+    fn binomial_root_has_fixed_degree() {
+        let shape = TreeShape::Binomial {
+            root_children: 10,
+            m: 2,
+            q: 0.1, // subcritical: dies out fast
+        };
+        let s = uts_sequential(shape, 1);
+        assert!(s.nodes >= 11, "root + its children at least");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let shape = TreeShape::small_geo();
+        let expect = uts_sequential(shape, 99);
+        for cfg in [
+            RuntimeConfig::single_node(1),
+            RuntimeConfig::single_node(4),
+            RuntimeConfig::clustered(4, 2),
+        ] {
+            let (got, report) = uts_parallel(shape, 99, &cfg);
+            assert_eq!(got.nodes, expect.nodes);
+            assert_eq!(got.leaves, expect.leaves);
+            assert_eq!(got.max_depth, expect.max_depth);
+            assert_eq!(got.checksum, expect.checksum, "every node exactly once");
+            assert_eq!(report.total_items(), expect.nodes);
+        }
+    }
+
+    #[test]
+    fn unbalanced_binomial_parallel_is_conserved() {
+        let shape = TreeShape::medium_bin(3);
+        let expect = uts_sequential(shape, 3);
+        assert!(expect.nodes > 1_000, "tree too small: {}", expect.nodes);
+        let (got, report) = uts_parallel(shape, 3, &RuntimeConfig::clustered(4, 2));
+        assert_eq!(got, expect);
+        let (ls, _, rs, _) = report.steal_totals();
+        assert!(ls + rs > 0, "unbalanced tree must trigger stealing");
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: model a problem, solve it in parallel, inspect the run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use macs::prelude::*;
+
+fn main() {
+    // ---- 1. model a problem declaratively ---------------------------------
+    // A small scheduling puzzle: four tasks with distinct start slots in
+    // 0..=7, task 1 exactly 2 after task 0, task 3 at least 3 after task 2,
+    // and the makespan (a fifth variable) minimised.
+    let mut m = Model::new("mini-schedule");
+    let t: Vec<_> = (0..4).map(|_| m.new_var(0, 7)).collect();
+    let makespan = m.new_var(0, 10);
+    m.post(Propag::AllDiffVal { vars: t.clone() });
+    m.post(Propag::EqOffset { x: t[1], y: t[0], c: 2 }); // t1 = t0 + 2
+    m.post(Propag::LeOffset { x: t[2], y: t[3], c: -3 }); // t2 ≤ t3 − 3
+    for &ti in &t {
+        m.post(Propag::LeOffset { x: ti, y: makespan, c: 0 }); // ti ≤ makespan
+    }
+    m.minimize_var(makespan);
+    let prob = m.compile();
+
+    // ---- 2. solve it on the parallel MaCS runtime -------------------------
+    // Two nodes of two workers each: work stealing happens over shared
+    // memory inside a node and over the (simulated) interconnect across.
+    let cfg = SolverConfig::clustered(4, 2);
+    let out = Solver::new(cfg).solve(&prob);
+
+    println!("problem         : {}", prob.name);
+    println!("store size      : {} bytes", prob.store_bytes());
+    println!("optimal makespan: {:?}", out.best_cost);
+    println!("assignment      : {:?}", out.best_assignment);
+    println!("stores processed: {}", out.nodes);
+    let (ls, lf, rs, rf) = out.report.steal_totals();
+    println!("steals          : {ls} local ({lf} failed), {rs} remote ({rf} failed)");
+
+    // ---- 3. the classic: count all 8-queens solutions ----------------------
+    let queens = queens(8, QueensModel::Pairwise);
+    let out = Solver::new(SolverConfig::with_workers(2)).solve(&queens);
+    println!("\n8-queens solutions: {} (expected 92)", out.solutions);
+    assert_eq!(out.solutions, 92);
+}

@@ -1,0 +1,64 @@
+//! **MaCS** — a parallel complete constraint solver with hierarchical work
+//! stealing on a PGAS-style runtime.
+//!
+//! This workspace is a from-scratch Rust reproduction of *"On the
+//! Scalability of Constraint Programming on Hierarchical Multiprocessor
+//! Systems"* (Machado, Pedro & Abreu, ICPP 2013). This facade crate
+//! re-exports the public API of every subsystem:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`domain`] | `macs-domain` | bitmap finite domains, the relocatable [`Store`](domain::Store) |
+//! | [`engine`] | `macs-engine` | propagators, fixpoint engine, models, branching, sequential solver |
+//! | [`gpi`] | `macs-gpi` | the simulated GPI/PGAS layer: topology, segments, one-sided ops |
+//! | [`pool`] | `macs-pool` | the split private/shared work pool |
+//! | [`runtime`] | `macs-runtime` | the generic hierarchical work-stealing runtime |
+//! | [`solver`] | `macs-core` | MaCS itself: parallel CP solving |
+//! | [`paccs`] | `macs-paccs` | the PaCCS message-passing baseline |
+//! | [`uts`] | `macs-uts` | the Unbalanced Tree Search benchmark |
+//! | [`sim`] | `macs-sim` | discrete-event simulation at 8–512 virtual cores |
+//! | [`problems`] | `macs-problems` | N-Queens, QAP/QAPLIB, Golomb, magic squares, Langford, knapsack |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use macs::prelude::*;
+//!
+//! // Model: 8-queens.
+//! let prob = macs::problems::queens(8, QueensModel::Pairwise);
+//!
+//! // Solve on 2 workers of one shared-memory node.
+//! let out = Solver::new(SolverConfig::with_workers(2)).solve(&prob);
+//! assert_eq!(out.solutions, 92);
+//! ```
+
+pub use macs_core as solver;
+pub use macs_domain as domain;
+pub use macs_engine as engine;
+pub use macs_gpi as gpi;
+pub use macs_paccs as paccs;
+pub use macs_pool as pool;
+pub use macs_problems as problems;
+pub use macs_runtime as runtime;
+pub use macs_sim as sim;
+pub use macs_uts as uts;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use macs_core::{solve_parallel, solve_seq, SeqOptions, SolveOutcome, Solver, SolverConfig};
+    pub use macs_domain::{Store, StoreLayout, StoreView, Val, VarId};
+    pub use macs_engine::{
+        BranchKind, Brancher, CompiledProblem, CostEval, Model, Propag, ValSelect, VarSelect,
+    };
+    pub use macs_gpi::{LatencyModel, Topology};
+    pub use macs_paccs::{paccs_solve, PaccsConfig};
+    pub use macs_problems::{
+        golomb_ruler, knapsack, langford, magic_square, qap_model, queens, KnapsackItem,
+        QapInstance, QueensModel,
+    };
+    pub use macs_runtime::{
+        BoundDissemination, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect,
+    };
+    pub use macs_sim::{simulate_macs, simulate_paccs, CostModel, SimConfig};
+    pub use macs_uts::{uts_parallel, uts_sequential, TreeShape};
+}

@@ -1,0 +1,78 @@
+//! Cross-crate integration: every execution path — sequential reference,
+//! threaded MaCS, threaded PaCCS, simulated MaCS, simulated PaCCS — must
+//! agree on solution counts and optima.
+
+use macs::prelude::*;
+use macs::solver::CpProcessor;
+
+fn sim_cfg(workers: usize) -> SimConfig {
+    let topo = if workers.is_multiple_of(4) {
+        Topology::clustered(workers, 4)
+    } else {
+        Topology::single_node(workers)
+    };
+    SimConfig::new(topo)
+}
+
+#[test]
+fn queens_counts_agree_everywhere() {
+    for n in [6usize, 8] {
+        let prob = queens(n, QueensModel::Pairwise);
+        let expect = solve_seq(&prob, &SeqOptions::default()).solutions;
+
+        let threaded = Solver::new(SolverConfig::clustered(4, 2)).solve(&prob);
+        assert_eq!(threaded.solutions, expect, "threaded MaCS queens-{n}");
+
+        let paccs = paccs_solve(&prob, &PaccsConfig::clustered(4, 2));
+        assert_eq!(paccs.solutions, expect, "PaCCS queens-{n}");
+
+        let root = prob.root.as_words().to_vec();
+        let sim = simulate_macs(&sim_cfg(8), prob.layout.store_words(), std::slice::from_ref(&root), |_| {
+            CpProcessor::new(&prob, 0, false)
+        });
+        assert_eq!(sim.total_solutions(), expect, "simulated MaCS queens-{n}");
+
+        let psim = simulate_paccs(&sim_cfg(8), prob.layout.store_words(), &[root], |_| {
+            CpProcessor::new(&prob, 0, false)
+        });
+        assert_eq!(psim.total_solutions(), expect, "simulated PaCCS queens-{n}");
+    }
+}
+
+#[test]
+fn alldiff_model_agrees_in_parallel() {
+    let prob = queens(8, QueensModel::AllDiff);
+    let expect = solve_seq(&prob, &SeqOptions::default()).solutions;
+    assert_eq!(expect, 92);
+    let out = Solver::new(SolverConfig::with_workers(3)).solve(&prob);
+    assert_eq!(out.solutions, 92);
+}
+
+#[test]
+fn langford_and_magic_agree_in_parallel() {
+    let lang = langford(7);
+    let expect = solve_seq(&lang, &SeqOptions::default()).solutions;
+    assert_eq!(expect, 52, "L(2,7) raw sequence count");
+    let out = Solver::new(SolverConfig::clustered(4, 2)).solve(&lang);
+    assert_eq!(out.solutions, expect);
+
+    let magic = magic_square(3);
+    let out = Solver::new(SolverConfig::with_workers(4)).solve(&magic);
+    assert_eq!(out.solutions, 8);
+    for a in &out.kept {
+        assert!(magic.check_assignment(a));
+    }
+}
+
+#[test]
+fn unsatisfiable_agrees_everywhere() {
+    let prob = queens(3, QueensModel::Pairwise);
+    assert_eq!(solve_seq(&prob, &SeqOptions::default()).solutions, 0);
+    assert_eq!(Solver::new(SolverConfig::with_workers(2)).solve(&prob).solutions, 0);
+    assert_eq!(paccs_solve(&prob, &PaccsConfig::with_workers(2)).solutions, 0);
+    let root = prob.root.as_words().to_vec();
+    let sim = simulate_macs(&sim_cfg(2), prob.layout.store_words(), &[root], |_| {
+        CpProcessor::new(&prob, 0, false)
+    });
+    assert_eq!(sim.total_solutions(), 0);
+}

@@ -1,0 +1,76 @@
+//! Property-based integration tests: random models solved by independent
+//! paths must agree.
+
+use macs::prelude::*;
+use proptest::prelude::*;
+
+/// A random binary CSP over `n` variables with domains `0..=max`, built
+/// from disequality/offset constraints (always compilable, sometimes
+/// unsatisfiable — both outcomes are interesting).
+fn random_csp(n: usize, max: u32, edges: &[(usize, usize, i8, bool)]) -> CompiledProblem {
+    let mut m = Model::new("random-csp");
+    let vars = m.new_vars(n, 0, max);
+    for &(a, b, off, eq) in edges {
+        let (x, y) = (vars[a % n], vars[b % n]);
+        if x == y {
+            continue;
+        }
+        if eq {
+            m.post(Propag::EqOffset { x, y, c: off as i64 });
+        } else {
+            m.post(Propag::NeqOffset { x, y, c: off as i64 });
+        }
+    }
+    m.compile()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_equals_sequential_on_random_csps(
+        n in 3usize..6,
+        max in 2u32..5,
+        edges in prop::collection::vec((0usize..6, 0usize..6, -3i8..4, prop::bool::ANY), 1..10),
+    ) {
+        let prob = random_csp(n, max, &edges);
+        let seq = solve_seq(&prob, &SeqOptions::default());
+        let par = Solver::new(SolverConfig::with_workers(3)).solve(&prob);
+        prop_assert_eq!(par.solutions, seq.solutions);
+        for a in &par.kept {
+            prop_assert!(prob.check_assignment(a));
+        }
+    }
+
+    #[test]
+    fn paccs_equals_sequential_on_random_csps(
+        n in 3usize..6,
+        max in 2u32..5,
+        edges in prop::collection::vec((0usize..6, 0usize..6, -3i8..4, prop::bool::ANY), 1..8),
+    ) {
+        let prob = random_csp(n, max, &edges);
+        let seq = solve_seq(&prob, &SeqOptions::default());
+        let out = paccs_solve(&prob, &PaccsConfig::with_workers(2));
+        prop_assert_eq!(out.solutions, seq.solutions);
+    }
+
+    #[test]
+    fn random_linear_minimisation_agrees(
+        coefs in prop::collection::vec(1i64..5, 3),
+        k in 6i64..14,
+    ) {
+        // minimise x0 subject to Σ coef·x = k.
+        let mut m = Model::new("lin-opt");
+        let xs = m.new_vars(3, 0, 9);
+        let terms: Vec<(i64, VarId)> = coefs.iter().copied().zip(xs.iter().copied()).collect();
+        m.post(Propag::LinearEq { terms, k });
+        m.minimize_var(xs[0]);
+        let prob = m.compile();
+        let seq = solve_seq(&prob, &SeqOptions::default());
+        let par = Solver::new(SolverConfig::with_workers(2)).solve(&prob);
+        prop_assert_eq!(par.best_cost, seq.best_cost);
+        if let Some(a) = &par.best_assignment {
+            prop_assert!(prob.check_assignment(a));
+        }
+    }
+}
