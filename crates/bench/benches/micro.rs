@@ -3,14 +3,16 @@
 //! one-sided segment traffic, and end-to-end sequential solving.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::collections::VecDeque;
 use std::hint::black_box;
 
 use macs_domain::{bits, Store, StoreLayout};
 use macs_engine::seq::{solve_seq, SeqOptions};
-use macs_engine::{Engine, ScheduleSeed};
+use macs_engine::{CompiledProblem, Engine, ScheduleSeed};
 use macs_gpi::{Interconnect, LatencyModel, Segment};
 use macs_pool::SplitPool;
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
+use macs_search::{baseline::BaselineKernel, NoBound, SearchKernel, StepOutcome, WorkItem};
 
 fn bench_domain_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("domain");
@@ -136,6 +138,69 @@ fn bench_gpi(c: &mut Criterion) {
     g.finish();
 }
 
+/// Depth-first node budget for the kernel throughput benches: large
+/// enough to reach arena steady state, small enough for tight samples.
+const KERNEL_NODE_BUDGET: u64 = 20_000;
+
+/// Expand up to `limit` nodes of `prob` through the arena-backed kernel.
+fn drive_kernel(prob: &CompiledProblem, limit: u64) -> u64 {
+    let mut kernel = SearchKernel::new(prob);
+    let mut stack: VecDeque<WorkItem> = VecDeque::new();
+    let root = kernel.alloc_root();
+    stack.push_back(root);
+    let mut nodes = 0u64;
+    while nodes < limit {
+        let Some(mut store) = stack.pop_back() else {
+            // Tree exhausted before the budget: restart from the root so
+            // every iteration does identical work.
+            let root = kernel.alloc_root();
+            stack.push_back(root);
+            continue;
+        };
+        nodes += 1;
+        if let StepOutcome::Children(_) = kernel.step(&mut store, &NoBound) {
+            kernel.push_children(&mut stack);
+        }
+        kernel.recycle(store);
+    }
+    nodes
+}
+
+/// Same drive through the pre-refactor allocate-per-child baseline.
+fn drive_baseline(prob: &CompiledProblem, limit: u64) -> u64 {
+    let mut kernel = BaselineKernel::new(prob);
+    let mut stack: VecDeque<WorkItem> = VecDeque::new();
+    stack.push_back(SearchKernel::root_item(prob).into_boxed_slice());
+    let mut nodes = 0u64;
+    while nodes < limit {
+        let Some(mut store) = stack.pop_back() else {
+            stack.push_back(SearchKernel::root_item(prob).into_boxed_slice());
+            continue;
+        };
+        nodes += 1;
+        if let StepOutcome::Children(_) = kernel.step(&mut store, &NoBound) {
+            kernel.push_children(&mut stack);
+        }
+    }
+    nodes
+}
+
+/// Queens-10 node throughput: the arena-backed unified kernel against the
+/// pre-refactor per-node-allocation step (the ISSUE's regression gate).
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(15);
+    let prob = queens(10, QueensModel::Pairwise);
+    g.throughput(Throughput::Elements(KERNEL_NODE_BUDGET));
+    g.bench_function("queens10_nodes_arena", |b| {
+        b.iter(|| drive_kernel(black_box(&prob), KERNEL_NODE_BUDGET))
+    });
+    g.bench_function("queens10_nodes_alloc_baseline", |b| {
+        b.iter(|| drive_baseline(black_box(&prob), KERNEL_NODE_BUDGET))
+    });
+    g.finish();
+}
+
 fn bench_solve(c: &mut Criterion) {
     let mut g = c.benchmark_group("solve");
     g.sample_size(10);
@@ -153,6 +218,7 @@ criterion_group!(
     bench_pool,
     bench_propagation,
     bench_gpi,
+    bench_kernel,
     bench_solve
 );
 criterion_main!(benches);

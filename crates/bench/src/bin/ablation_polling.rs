@@ -20,7 +20,10 @@ fn main() {
         ("fixed(64)", PollPolicy::Fixed(64)),
         ("fixed(1024)", PollPolicy::Fixed(1024)),
         ("dynamic(2..64)", PollPolicy::Dynamic { min: 2, max: 64 }),
-        ("dynamic(4..1024)", PollPolicy::Dynamic { min: 4, max: 1024 }),
+        (
+            "dynamic(4..1024)",
+            PollPolicy::Dynamic { min: 4, max: 1024 },
+        ),
     ] {
         let mut cfg = SimConfig::new(topo_for(cores));
         cfg.costs = CostModel::paper_queens();
@@ -35,8 +38,10 @@ fn main() {
             r.makespan_ns as f64 / 1e9
         );
     }
-    println!("\nExpected: eager fixed polling wastes time in Poll; lazy fixed polling\n\
+    println!(
+        "\nExpected: eager fixed polling wastes time in Poll; lazy fixed polling\n\
               inflates WaitRemote (thieves starve); a dynamic interval with a sane\n\
               ceiling (the shipped default) gets both ends right — and an\n\
-              over-generous ceiling shows why the ceiling matters.");
+              over-generous ceiling shows why the ceiling matters."
+    );
 }

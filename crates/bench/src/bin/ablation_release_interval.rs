@@ -39,6 +39,8 @@ fn main() {
             100.0 * s / cores as f64
         );
     }
-    println!("\nPaper shape: fewer releases → lower Releasing overhead → higher efficiency,\n\
-              until the interval is so large that thieves find empty shared regions.");
+    println!(
+        "\nPaper shape: fewer releases → lower Releasing overhead → higher efficiency,\n\
+              until the interval is so large that thieves find empty shared regions."
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
         "cores", "heuristic", "local steals", "failed", "items", "makespan(s)"
     );
     for cores in [8usize, 32, 128] {
-        for (label, sel) in [("greedy", VictimSelect::Greedy), ("max-steal", VictimSelect::MaxSteal)] {
+        for (label, sel) in [
+            ("greedy", VictimSelect::Greedy),
+            ("max-steal", VictimSelect::MaxSteal),
+        ] {
             let mut cfg = SimConfig::new(topo_for(cores));
             cfg.costs = CostModel::paper_queens();
             cfg.victim = sel;
@@ -28,7 +31,9 @@ fn main() {
             );
         }
     }
-    println!("\nExpected: max-steal moves more items per steal (fewer, fatter steals);\n\
+    println!(
+        "\nExpected: max-steal moves more items per steal (fewer, fatter steals);\n\
               greedy decides faster. End-to-end makespans stay close, as the paper\n\
-              implies by shipping both options.");
+              implies by shipping both options."
+    );
 }

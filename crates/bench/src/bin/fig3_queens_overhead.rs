@@ -8,7 +8,9 @@ use macs_sim::{CostModel, SimConfig};
 fn main() {
     let n: usize = arg("n", 12);
     let prob = queens(n, QueensModel::Pairwise);
-    println!("Fig. 3 — worker state breakdown, queens-{n} (simulated; paper: queens-17, 8..512 cores)\n");
+    println!(
+        "Fig. 3 — worker state breakdown, queens-{n} (simulated; paper: queens-17, 8..512 cores)\n"
+    );
     let mut rows = Vec::new();
     for cores in core_series() {
         let mut cfg = SimConfig::new(topo_for(cores));
@@ -18,6 +20,8 @@ fn main() {
         eprintln!("  [{cores} cores done: {} nodes]", r.total_items());
     }
     print_state_table(&rows);
-    println!("\nPaper shape: Working dominates; Releasing is the visible overhead at small\n\
-              scale and Poll grows with core count; all waiting states stay negligible.");
+    println!(
+        "\nPaper shape: Working dominates; Releasing is the visible overhead at small\n\
+              scale and Poll grows with core count; all waiting states stay negligible."
+    );
 }

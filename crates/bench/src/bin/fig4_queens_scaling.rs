@@ -49,6 +49,8 @@ fn main() {
         ],
         ideal,
     );
-    println!("\nPaper shape: all three scale near-linearly; MaCS default efficiency dips\n\
-              (release overhead), MaCS(best) recovers to ~96%; PaCCS close behind.");
+    println!(
+        "\nPaper shape: all three scale near-linearly; MaCS default efficiency dips\n\
+              (release overhead), MaCS(best) recovers to ~96%; PaCCS close behind."
+    );
 }

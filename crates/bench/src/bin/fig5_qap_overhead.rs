@@ -8,16 +8,25 @@ fn main() {
     let n: usize = arg("n", 11);
     let inst = QapInstance::hypercube_like(n, 5);
     let prob = qap_model(&inst);
-    println!("Fig. 5 — worker state breakdown, {} (simulated; paper: esc16e)\n", inst.name);
+    println!(
+        "Fig. 5 — worker state breakdown, {} (simulated; paper: esc16e)\n",
+        inst.name
+    );
     let mut rows = Vec::new();
     for cores in core_series() {
         let mut cfg = SimConfig::new(topo_for(cores));
         cfg.costs = CostModel::paper_qap();
         let r = sim_cp_macs(&prob, &cfg);
         rows.push((cores, r.state_fractions(), r.overhead_fraction()));
-        eprintln!("  [{cores} cores done: {} nodes, best {}]", r.total_items(), r.incumbent);
+        eprintln!(
+            "  [{cores} cores done: {} nodes, best {}]",
+            r.total_items(),
+            r.incumbent
+        );
     }
     print_state_table(&rows);
-    println!("\nPaper shape: overhead stays low throughout, with polling the only state\n\
-              that grows as core count (and hence remote traffic) increases.");
+    println!(
+        "\nPaper shape: overhead stays low throughout, with polling the only state\n\
+              that grows as core count (and hence remote traffic) increases."
+    );
 }

@@ -8,7 +8,10 @@ fn main() {
     let n: usize = arg("n", 11);
     let inst = QapInstance::hypercube_like(n, 5);
     let prob = qap_model(&inst);
-    println!("Fig. 6 — {} scalability (simulated; paper: esc16e)\n", inst.name);
+    println!(
+        "Fig. 6 — {} scalability (simulated; paper: esc16e)\n",
+        inst.name
+    );
 
     let mut base_cfg = SimConfig::new(topo_for(1));
     base_cfg.costs = CostModel::paper_qap();
@@ -28,9 +31,15 @@ fn main() {
         assert_eq!(p.incumbent, base.incumbent);
         macs.push(scale_row(cores, base_s, &m));
         paccs.push(scale_row(cores, base_p_s, &p));
-        eprintln!("  [{cores} cores done: MaCS {} nodes / PaCCS {} nodes]", m.total_items(), p.total_items());
+        eprintln!(
+            "  [{cores} cores done: MaCS {} nodes / PaCCS {} nodes]",
+            m.total_items(),
+            p.total_items()
+        );
     }
     print_scaling(&[("MaCS", macs), ("PaCCS", paccs)], ideal);
-    println!("\nPaper shape: near-linear speed-ups, efficiency above ~90%, MaCS a whisker\n\
-              ahead of PaCCS at the largest scale; node counts grow mildly with cores.");
+    println!(
+        "\nPaper shape: near-linear speed-ups, efficiency above ~90%, MaCS a whisker\n\
+              ahead of PaCCS at the largest scale; node counts grow mildly with cores."
+    );
 }

@@ -9,12 +9,20 @@ use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
 fn main() {
     let n: usize = arg("n", 11);
     let workers: usize = arg("workers", 2);
-    println!("Solve-phase split (threaded, {workers} workers); paper: 48/10/42 queens, 80/5/15 QAP\n");
-    println!("{:<16} {:>11} {:>9} {:>9}", "problem", "propagate", "split", "restore");
+    println!(
+        "Solve-phase split (threaded, {workers} workers); paper: 48/10/42 queens, 80/5/15 QAP\n"
+    );
+    println!(
+        "{:<16} {:>11} {:>9} {:>9}",
+        "problem", "propagate", "split", "restore"
+    );
 
     for (label, prob) in [
         (format!("queens-{n}"), queens(n, QueensModel::Pairwise)),
-        ("qap-cube10".to_string(), qap_model(&QapInstance::hypercube_like(10, 5))),
+        (
+            "qap-cube10".to_string(),
+            qap_model(&QapInstance::hypercube_like(10, 5)),
+        ),
     ] {
         let out = Solver::new(SolverConfig::with_workers(workers)).solve(&prob);
         // propagate + split measured inside the processor; "restore" is the

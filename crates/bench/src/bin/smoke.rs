@@ -1,0 +1,93 @@
+//! Smoke harness: drive every execution path on small instances in a few
+//! seconds. CI runs this after the unit suites to catch kernel-API drift
+//! and cross-path disagreements that only show up end-to-end.
+//!
+//! Exit code is non-zero on any disagreement with the sequential oracle.
+
+use macs_bench::{sim_cp_macs, sim_cp_paccs};
+use macs_core::{solve_seq, SeqOptions, Solver, SolverConfig};
+use macs_engine::CompiledProblem;
+use macs_paccs::{paccs_solve, PaccsConfig};
+use macs_problems::{golomb_ruler, langford, queens, QueensModel};
+use macs_sim::SimConfig;
+
+struct Row {
+    name: &'static str,
+    seq: u64,
+    macs: u64,
+    paccs: u64,
+    sim_macs: u64,
+    sim_paccs: u64,
+    /// Optimisation problems: (expected, threaded, sim-MaCS, sim-PaCCS)
+    /// optima.
+    optimum: Option<(i64, i64, i64, i64)>,
+}
+
+fn drive(name: &'static str, prob: &CompiledProblem) -> Row {
+    let seq = solve_seq(prob, &SeqOptions::default());
+    let threaded = Solver::new(SolverConfig::clustered(4, 2)).solve(prob);
+    let paccs = paccs_solve(prob, &PaccsConfig::clustered(4, 2));
+    let cfg = SimConfig::paper_cluster(8);
+    let sim = sim_cp_macs(prob, &cfg);
+    let psim = sim_cp_paccs(prob, &cfg);
+    Row {
+        name,
+        seq: seq.solutions,
+        macs: threaded.solutions,
+        paccs: paccs.solutions,
+        sim_macs: sim.total_solutions(),
+        sim_paccs: psim.total_solutions(),
+        optimum: seq.best_cost.map(|c| {
+            (
+                c,
+                threaded.best_cost.unwrap_or(i64::MAX),
+                sim.incumbent,
+                psim.incumbent,
+            )
+        }),
+    }
+}
+
+fn main() {
+    let rows = vec![
+        drive("queens-7", &queens(7, QueensModel::Pairwise)),
+        drive("queens-8-alldiff", &queens(8, QueensModel::AllDiff)),
+        drive("langford-7", &langford(7)),
+        drive("golomb-5", &golomb_ruler(5, 20)),
+    ];
+
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9}  optimum",
+        "instance", "seq", "macs", "paccs", "sim-macs", "sim-paccs"
+    );
+    let mut ok = true;
+    for r in &rows {
+        let opt = match r.optimum {
+            Some((want, threaded, sim, psim)) => {
+                if threaded != want || sim != want || psim != want {
+                    ok = false;
+                }
+                format!("{threaded}/{sim}/{psim} (expect {want})")
+            }
+            None => "-".into(),
+        };
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9}  {opt}",
+            r.name, r.seq, r.macs, r.paccs, r.sim_macs, r.sim_paccs
+        );
+        // Optimisation paths count *improving* solutions, which are
+        // schedule-dependent; satisfaction counts must agree exactly.
+        if r.optimum.is_none()
+            && [r.macs, r.paccs, r.sim_macs, r.sim_paccs]
+                .iter()
+                .any(|&s| s != r.seq)
+        {
+            ok = false;
+        }
+    }
+    if !ok {
+        eprintln!("SMOKE FAILED: paths disagree with the sequential oracle");
+        std::process::exit(1);
+    }
+    println!("smoke ok: all paths agree with the sequential oracle");
+}

@@ -27,7 +27,9 @@ fn main() {
         &format!("Table I — work stealing, queens-{n} (simulated; paper: queens-17)"),
         &rows,
     );
-    println!("\nPaper shape: steals (local and remote) grow with cores, remote slightly\n\
+    println!(
+        "\nPaper shape: steals (local and remote) grow with cores, remote slightly\n\
               faster; total steals stay tiny relative to total nodes; remote failure\n\
-              rates exceed local ones.");
+              rates exceed local ones."
+    );
 }

@@ -24,10 +24,15 @@ fn main() {
         });
     }
     print_steal_table(
-        &format!("Table II — work stealing, {} (simulated; paper: esc16e)", inst.name),
+        &format!(
+            "Table II — work stealing, {} (simulated; paper: esc16e)",
+            inst.name
+        ),
         &rows,
     );
-    println!("\nPaper shape: steal counts grow with cores but failure rates stay far\n\
+    println!(
+        "\nPaper shape: steal counts grow with cores but failure rates stay far\n\
               below the N-Queens ones (zero at small scale), and total node counts\n\
-              drift slightly with core count (COP problem-size growth).");
+              drift slightly with core count (COP problem-size growth)."
+    );
 }

@@ -25,9 +25,12 @@ fn main() {
 
     let mut base_cfg = SimConfig::new(topo_for(1));
     base_cfg.costs = CostModel::woodcrest_ib(1_500); // UTS nodes are cheap
-    let base = simulate_macs(&base_cfg, SLOT_WORDS, &[UtsProcessor::root_item(seed)], |_| {
-        UtsProcessor::new(shape)
-    });
+    let base = simulate_macs(
+        &base_cfg,
+        SLOT_WORDS,
+        &[UtsProcessor::root_item(seed)],
+        |_| UtsProcessor::new(shape),
+    );
     let base_s = base.makespan_ns as f64 / 1e9;
 
     println!(

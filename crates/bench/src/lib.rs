@@ -192,7 +192,11 @@ pub fn print_scaling(series: &[(&str, Vec<ScaleRow>)], ideal_mnodes_1core: f64) 
     println!("-- performance (Mnodes/s, ideal = cores × 1-core rate) --");
     for i in 0..series[0].1.len() {
         let cores = series[0].1[i].cores;
-        print!("{:>6} {:>10.2} (ideal)", cores, ideal_mnodes_1core * cores as f64);
+        print!(
+            "{:>6} {:>10.2} (ideal)",
+            cores,
+            ideal_mnodes_1core * cores as f64
+        );
         for (_, rows) in series {
             print!(" {:>12.2}", rows[i].mnodes_per_sec);
         }

@@ -1,9 +1,15 @@
 //! The CP work-item processor: one store in, zero or more child stores out.
+//!
+//! This is a thin adapter between the runtime's [`Processor`] contract and
+//! the shared [`SearchKernel`] — all propagate/branch/split logic lives in
+//! `macs-search`; this type only decides what to do with each
+//! [`StepOutcome`] (count, keep, cancel) and routes the runtime's
+//! incumbent into the kernel.
 
-use macs_domain::{Store, StoreView, Val};
-use macs_engine::{CompiledProblem, Engine, PropOutcome, ScheduleSeed};
-use macs_runtime::stats::timed;
+use macs_domain::Val;
+use macs_engine::CompiledProblem;
 use macs_runtime::{ProcCtx, Processor, Step};
+use macs_search::{SearchKernel, StepOutcome};
 
 /// Per-worker results of a constraint solve.
 #[derive(Clone, Debug, Default)]
@@ -21,17 +27,11 @@ pub struct CpOutput {
     pub kept: Vec<Vec<Val>>,
 }
 
-/// The MaCS worker's inner cycle as a runtime [`Processor`]: propagate the
-/// store, and either fail (leaf), emit a solution (leaf), or split —
-/// pushing all children but the first and continuing with the first in
-/// place.
+/// The MaCS worker's inner cycle as a runtime [`Processor`]: drive the
+/// shared search kernel, push all children but the first and continue with
+/// the first in place.
 pub struct CpProcessor<'a> {
-    prob: &'a CompiledProblem,
-    engine: Engine,
-    /// Scratch buffer used by the brancher to build children.
-    scratch: Vec<u64>,
-    /// Children of the current split, in exploration order.
-    children: Vec<Vec<u64>>,
+    kernel: SearchKernel<'a>,
     out: CpOutput,
     keep_solutions: usize,
     /// Stop after the first solution (satisfaction only): request global
@@ -42,10 +42,7 @@ pub struct CpProcessor<'a> {
 impl<'a> CpProcessor<'a> {
     pub fn new(prob: &'a CompiledProblem, keep_solutions: usize, first_only: bool) -> Self {
         CpProcessor {
-            prob,
-            engine: Engine::new(prob),
-            scratch: vec![0u64; prob.layout.store_words()],
-            children: Vec::new(),
+            kernel: SearchKernel::new(prob),
             out: CpOutput::default(),
             keep_solutions,
             first_only,
@@ -54,7 +51,7 @@ impl<'a> CpProcessor<'a> {
 
     /// The root work item for this problem (the compiled root store).
     pub fn root_item(prob: &CompiledProblem) -> Vec<u64> {
-        prob.root.as_words().to_vec()
+        SearchKernel::root_item(prob)
     }
 }
 
@@ -62,95 +59,50 @@ impl Processor for CpProcessor<'_> {
     type Output = CpOutput;
 
     fn process(&mut self, buf: &mut [u64], ctx: &mut ProcCtx<'_>) -> Step {
-        let prob = self.prob;
-        let layout = &prob.layout;
         self.out.nodes += 1;
-
-        // The branch-and-bound bound in force for this store.
-        let incumbent = if prob.objective.is_some() {
-            ctx.incumbent.get()
-        } else {
-            i64::MAX
-        };
-
-        // Stores created by a split carry their branch variable in the
-        // header; anything else (root, stolen stores of unknown history)
-        // gets a full reschedule.
-        let seed = match Store::from_words(layout, buf).branch_var() {
-            Some(v) => ScheduleSeed::Var(v),
-            None => ScheduleSeed::All,
-        };
-
-        // --- step 1: propagation ------------------------------------------
-        let outcome = timed(&mut ctx.phase.propagate, || {
-            self.engine.propagate(prob, buf, incumbent, seed)
-        });
-        if outcome == PropOutcome::Failed {
-            return Step::Leaf;
-        }
-
-        // --- step 2: splitting (or a solution) -----------------------------
-        let var = timed(&mut ctx.phase.split, || {
-            prob.brancher.choose_var(layout, buf)
-        });
-        let Some(var) = var else {
-            // All variables assigned: a solution.
-            let view = StoreView::new(layout, buf);
-            let assignment = view.assignment().expect("complete assignment");
-            match prob.objective.cost(view) {
-                Some(cost) => {
-                    // Improving solutions only (the incumbent may have moved
-                    // since propagation; `submit` re-checks atomically).
-                    if ctx.incumbent.submit(cost) {
+        let step = match self.kernel.step(buf, ctx.incumbent) {
+            StepOutcome::Failed => Step::Leaf,
+            StepOutcome::Solution(sol) => {
+                match sol.cost {
+                    Some(cost) => {
+                        // Improving solutions only (the kernel re-checked
+                        // against the incumbent atomically).
+                        if sol.improved {
+                            self.out.solutions += 1;
+                            ctx.solution();
+                            self.out.best = Some((cost, sol.assignment));
+                        }
+                    }
+                    None => {
                         self.out.solutions += 1;
                         ctx.solution();
-                        self.out.best = Some((cost, assignment));
+                        if self.out.kept.len() < self.keep_solutions {
+                            self.out.kept.push(sol.assignment);
+                        }
+                        if self.first_only {
+                            ctx.cancel();
+                        }
                     }
                 }
-                None => {
-                    self.out.solutions += 1;
-                    ctx.solution();
-                    if self.out.kept.len() < self.keep_solutions {
-                        self.out.kept.push(assignment);
-                    }
-                    if self.first_only {
-                        ctx.cancel();
-                    }
-                }
+                Step::Leaf
             }
-            return Step::Leaf;
+            StepOutcome::Children(_) => {
+                // Continue depth-first with the first child; push the rest
+                // in reverse so the owner pops them in exploration order
+                // (thieves take from the opposite end — the oldest, largest
+                // sub-problems).
+                self.kernel.continue_with_first(buf, |c| ctx.push(c));
+                Step::Continue
+            }
         };
-
-        let n = timed(&mut ctx.phase.split, || {
-            self.children.clear();
-            let children = &mut self.children;
-            let count = prob.brancher.split(
-                prob,
-                buf,
-                &mut self.scratch,
-                |c| children.push(c.to_vec()),
-                var,
-            );
-            // Stamp the bound in force into the children (diagnostics).
-            for c in children.iter_mut() {
-                c[1] = incumbent as u64;
-            }
-            count
-        });
-        debug_assert!(n >= 1);
-
-        // Continue depth-first with the first child; push the rest in
-        // reverse so the owner pops them in exploration order (thieves take
-        // from the opposite end — the oldest, largest sub-problems).
-        buf.copy_from_slice(&self.children[0]);
-        for c in self.children[1..].iter().rev() {
-            ctx.push(c);
-        }
-        Step::Continue
+        let t = self.kernel.take_timers();
+        ctx.phase.propagate += t.propagate;
+        ctx.phase.split += t.split;
+        step
     }
 
     fn finish(mut self) -> CpOutput {
-        self.out.prop_runs = self.engine.runs;
+        self.out.prop_runs = self.kernel.prop_runs();
         self.out
     }
 }

@@ -149,9 +149,21 @@ mod tests {
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = (j - i) as i64;
-                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: 0 });
-                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: d });
-                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: -d });
+                m.post(Propag::NeqOffset {
+                    x: q[i],
+                    y: q[j],
+                    c: 0,
+                });
+                m.post(Propag::NeqOffset {
+                    x: q[i],
+                    y: q[j],
+                    c: d,
+                });
+                m.post(Propag::NeqOffset {
+                    x: q[i],
+                    y: q[j],
+                    c: -d,
+                });
             }
         }
         m.compile()
@@ -187,7 +199,11 @@ mod tests {
                 SolverConfig::clustered(6, 2),
             ] {
                 let out = solve_parallel(&prob, &cfg);
-                assert_eq!(out.solutions, seq.solutions, "queens-{n} {:?}", cfg.runtime.topology);
+                assert_eq!(
+                    out.solutions, seq.solutions,
+                    "queens-{n} {:?}",
+                    cfg.runtime.topology
+                );
             }
         }
     }
@@ -245,10 +261,13 @@ mod tests {
     fn phase_split_is_recorded() {
         let prob = queens(8);
         let out = solve_parallel(&prob, &SolverConfig::with_workers(2));
-        let phase = out.report.workers.iter().fold(
-            std::time::Duration::ZERO,
-            |acc, w| acc + w.phase.propagate + w.phase.split,
-        );
+        let phase = out
+            .report
+            .workers
+            .iter()
+            .fold(std::time::Duration::ZERO, |acc, w| {
+                acc + w.phase.propagate + w.phase.split
+            });
         assert!(phase > std::time::Duration::ZERO);
     }
 }

@@ -1,0 +1,234 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, for build environments without network access to crates.io.
+//!
+//! It implements the API subset the workspace benches use — benchmark
+//! groups, `bench_function`, `iter`, `iter_batched`, throughput annotation,
+//! `criterion_group!`/`criterion_main!` — with straightforward wall-clock
+//! timing: a short warm-up, then repeated timed samples, reporting the
+//! median per-iteration time. Numbers are comparable run-to-run on the
+//! same host, which is all the in-repo before/after comparisons need; it
+//! makes no attempt at criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `black_box` works whether imported from criterion or std.
+pub use std::hint::black_box;
+
+/// How measured throughput is reported alongside the time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (accepted for API compatibility;
+/// the shim always runs one setup per timed routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 60,
+            measure_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.sample_size;
+        let measure_time = self.measure_time;
+        run_benchmark(id, sample_size, measure_time, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(10));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let samples = self.sample_size.unwrap_or(self._parent.sample_size);
+        run_benchmark(
+            &full,
+            samples,
+            self._parent.measure_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; collects per-iteration timings.
+pub struct Bencher {
+    /// Total measured time and iteration count of the current sample.
+    elapsed: Duration,
+    iters: u64,
+    /// Iterations the harness asks for in this sample.
+    budget: u64,
+}
+
+impl Bencher {
+    /// Time `f` over the sample's iteration budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        for _ in 0..self.budget {
+            black_box(f());
+        }
+        self.elapsed += t0.elapsed();
+        self.iters += self.budget;
+    }
+
+    /// Time `routine` only, running `setup` untimed before each call.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+        }
+        self.iters += self.budget;
+    }
+
+    /// Like `iter_batched` but the routine takes the input by `&mut`.
+    pub fn iter_batched_ref<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.budget {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += t0.elapsed();
+        }
+        self.iters += self.budget;
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    samples: usize,
+    measure_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass: one iteration, to size the per-sample budget.
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        budget: 1,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        eprintln!("{id:<44} (no iterations)");
+        return;
+    }
+    let per_iter = (b.elapsed.as_nanos() as u64 / b.iters).max(1);
+    let total_budget = (measure_time.as_nanos() as u64 / per_iter).clamp(1, 10_000_000);
+    let per_sample = (total_budget / samples as u64).max(1);
+
+    let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: per_sample,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            sample_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    sample_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sample_ns[sample_ns.len() / 2];
+    let lo = sample_ns[sample_ns.len() / 10];
+    let hi = sample_ns[(sample_ns.len() * 9 / 10).min(sample_ns.len() - 1)];
+
+    let thr = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+            format!(
+                "  {:>10.1} MiB/s",
+                bytes as f64 / median * 1e9 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.2} Melem/s", n as f64 / median * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    eprintln!("{id:<44} time: [{lo:>12.1} ns {median:>12.1} ns {hi:>12.1} ns]{thr}");
+}
+
+/// Build a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point: run each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

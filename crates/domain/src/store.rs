@@ -216,9 +216,7 @@ impl<'a> StoreView<'a> {
     }
 
     pub fn assignment(&self) -> Option<Vec<Val>> {
-        (0..self.layout.num_vars())
-            .map(|v| self.value(v))
-            .collect()
+        (0..self.layout.num_vars()).map(|v| self.value(v)).collect()
     }
 }
 

@@ -1,12 +1,39 @@
-//! Property-based tests for bitmap domain operations: every operation is
+//! Randomised model tests for bitmap domain operations: every operation is
 //! checked against a reference model built on `std::collections::BTreeSet`.
+//!
+//! Deterministic seeded random cases (no external property-testing
+//! dependency in this build environment); every failure message carries
+//! the case seed.
 
 use macs_domain::bits;
 use macs_domain::Val;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 const MAX: Val = 170; // spans three words
+const CASES: u64 = 300;
+
+/// Inline SplitMix64 — keeps the test crate dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A random value set of 0..60 elements within 0..=MAX.
+    fn set(&mut self) -> BTreeSet<Val> {
+        let n = self.below(60);
+        (0..n).map(|_| self.below(MAX as u64 + 1) as Val).collect()
+    }
+}
 
 fn dom_from_set(s: &BTreeSet<Val>) -> Vec<u64> {
     let mut d = vec![0u64; bits::words_for(MAX)];
@@ -16,106 +43,145 @@ fn dom_from_set(s: &BTreeSet<Val>) -> Vec<u64> {
     d
 }
 
-fn set_strategy() -> impl Strategy<Value = BTreeSet<Val>> {
-    prop::collection::btree_set(0..=MAX, 0..60)
+fn for_each_case(mut f: impl FnMut(&mut Rng, u64)) {
+    for case in 0..CASES {
+        let mut rng = Rng(0xD0_0D ^ case.wrapping_mul(0x9E37_79B9));
+        f(&mut rng, case);
+    }
 }
 
-proptest! {
-    #[test]
-    fn count_min_max_match_reference(s in set_strategy()) {
+#[test]
+fn count_min_max_match_reference() {
+    for_each_case(|rng, case| {
+        let s = rng.set();
         let d = dom_from_set(&s);
-        prop_assert_eq!(bits::count(&d) as usize, s.len());
-        prop_assert_eq!(bits::min(&d), s.iter().next().copied());
-        prop_assert_eq!(bits::max(&d), s.iter().next_back().copied());
-        prop_assert_eq!(bits::is_empty(&d), s.is_empty());
-        prop_assert_eq!(bits::is_singleton(&d), s.len() == 1);
-    }
+        assert_eq!(bits::count(&d) as usize, s.len(), "case {case}");
+        assert_eq!(bits::min(&d), s.iter().next().copied(), "case {case}");
+        assert_eq!(bits::max(&d), s.iter().next_back().copied(), "case {case}");
+        assert_eq!(bits::is_empty(&d), s.is_empty(), "case {case}");
+        assert_eq!(bits::is_singleton(&d), s.len() == 1, "case {case}");
+    });
+}
 
-    #[test]
-    fn remove_matches_reference(mut s in set_strategy(), v in 0..=MAX) {
+#[test]
+fn remove_matches_reference() {
+    for_each_case(|rng, case| {
+        let mut s = rng.set();
+        let v = rng.below(MAX as u64 + 1) as Val;
         let mut d = dom_from_set(&s);
         let changed = bits::remove(&mut d, v);
-        prop_assert_eq!(changed, s.remove(&v));
-        prop_assert_eq!(d, dom_from_set(&s));
-    }
+        assert_eq!(changed, s.remove(&v), "case {case}");
+        assert_eq!(d, dom_from_set(&s), "case {case}");
+    });
+}
 
-    #[test]
-    fn keep_only_matches_reference(s in set_strategy(), v in 0..=MAX) {
+#[test]
+fn keep_only_matches_reference() {
+    for_each_case(|rng, case| {
+        let s = rng.set();
+        let v = rng.below(MAX as u64 + 1) as Val;
         let mut d = dom_from_set(&s);
         let changed = bits::keep_only(&mut d, v);
         let expect: BTreeSet<Val> = s.iter().copied().filter(|&x| x == v).collect();
-        prop_assert_eq!(changed, expect != s);
-        prop_assert_eq!(d, dom_from_set(&expect));
-    }
+        assert_eq!(changed, expect != s, "case {case}");
+        assert_eq!(d, dom_from_set(&expect), "case {case}");
+    });
+}
 
-    #[test]
-    fn bound_removals_match_reference(s in set_strategy(), v in 0..=MAX) {
+#[test]
+fn bound_removals_match_reference() {
+    for_each_case(|rng, case| {
+        let s = rng.set();
+        let v = rng.below(MAX as u64 + 1) as Val;
         let mut below = dom_from_set(&s);
         bits::remove_below(&mut below, v);
         let expect: BTreeSet<Val> = s.iter().copied().filter(|&x| x >= v).collect();
-        prop_assert_eq!(below, dom_from_set(&expect));
+        assert_eq!(below, dom_from_set(&expect), "case {case}");
 
         let mut above = dom_from_set(&s);
         bits::remove_above(&mut above, v);
         let expect: BTreeSet<Val> = s.iter().copied().filter(|&x| x <= v).collect();
-        prop_assert_eq!(above, dom_from_set(&expect));
-    }
+        assert_eq!(above, dom_from_set(&expect), "case {case}");
+    });
+}
 
-    #[test]
-    fn intersect_subtract_match_reference(a in set_strategy(), b in set_strategy()) {
+#[test]
+fn intersect_subtract_match_reference() {
+    for_each_case(|rng, case| {
+        let a = rng.set();
+        let b = rng.set();
         let mut d = dom_from_set(&a);
         bits::intersect(&mut d, &dom_from_set(&b));
         let expect: BTreeSet<Val> = a.intersection(&b).copied().collect();
-        prop_assert_eq!(d, dom_from_set(&expect));
+        assert_eq!(d, dom_from_set(&expect), "case {case}");
 
         let mut d = dom_from_set(&a);
         bits::subtract(&mut d, &dom_from_set(&b));
         let expect: BTreeSet<Val> = a.difference(&b).copied().collect();
-        prop_assert_eq!(d, dom_from_set(&expect));
-    }
+        assert_eq!(d, dom_from_set(&expect), "case {case}");
+    });
+}
 
-    #[test]
-    fn iterator_matches_reference(s in set_strategy()) {
+#[test]
+fn iterator_matches_reference() {
+    for_each_case(|rng, case| {
+        let s = rng.set();
         let d = dom_from_set(&s);
         let got: Vec<Val> = bits::iter(&d).collect();
         let expect: Vec<Val> = s.iter().copied().collect();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect, "case {case}");
+    });
+}
 
-    #[test]
-    fn next_above_matches_reference(s in set_strategy(), v in 0..=MAX) {
+#[test]
+fn next_above_matches_reference() {
+    for_each_case(|rng, case| {
+        let s = rng.set();
+        let v = rng.below(MAX as u64 + 1) as Val;
         let d = dom_from_set(&s);
         let expect = s.range(v + 1..).next().copied();
-        prop_assert_eq!(bits::next_above(&d, v), expect);
-    }
+        assert_eq!(bits::next_above(&d, v), expect, "case {case}");
+    });
+}
 
-    #[test]
-    fn shift_up_matches_reference(s in set_strategy(), k in 0..80u32) {
+#[test]
+fn shift_up_matches_reference() {
+    for_each_case(|rng, case| {
+        let s = rng.set();
+        let k = rng.below(80) as u32;
         let src = dom_from_set(&s);
         let mut dst = vec![0u64; bits::words_for(MAX + 80)];
         bits::shifted_up(&src, &mut dst, k);
         let got: Vec<Val> = bits::iter(&dst).collect();
         let expect: Vec<Val> = s.iter().map(|&x| x + k).collect();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect, "case {case}");
+    });
+}
 
-    #[test]
-    fn shift_down_matches_reference(s in set_strategy(), k in 0..80u32) {
+#[test]
+fn shift_down_matches_reference() {
+    for_each_case(|rng, case| {
+        let s = rng.set();
+        let k = rng.below(80) as u32;
         let src = dom_from_set(&s);
         let mut dst = vec![0u64; bits::words_for(MAX)];
         bits::shifted_down(&src, &mut dst, k);
         let got: Vec<Val> = bits::iter(&dst).collect();
         let expect: Vec<Val> = s.iter().filter(|&&x| x >= k).map(|&x| x - k).collect();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect, "case {case}");
+    });
+}
 
-    #[test]
-    fn shift_round_trip(s in set_strategy(), k in 0..60u32) {
+#[test]
+fn shift_round_trip() {
+    for_each_case(|rng, case| {
+        let s = rng.set();
+        let k = rng.below(60) as u32;
         let src = dom_from_set(&s);
         let mut up = vec![0u64; bits::words_for(MAX + 60)];
         bits::shifted_up(&src, &mut up, k);
         let mut back = vec![0u64; bits::words_for(MAX)];
         bits::shifted_down(&up, &mut back, k);
-        prop_assert_eq!(back, src);
-    }
+        assert_eq!(back, src, "case {case}");
+    });
 }

@@ -60,8 +60,9 @@ impl Brancher {
     /// assigned (the store is a solution).
     pub fn choose_var(&self, layout: &StoreLayout, words: &[u64]) -> Option<VarId> {
         match self.var {
-            VarSelect::InputOrder => (0..layout.num_vars())
-                .find(|&v| !bits::is_singleton(&words[layout.var_range(v)])),
+            VarSelect::InputOrder => {
+                (0..layout.num_vars()).find(|&v| !bits::is_singleton(&words[layout.var_range(v)]))
+            }
             VarSelect::FirstFail => {
                 let mut best: Option<(u32, VarId)> = None;
                 for v in 0..layout.num_vars() {
@@ -256,7 +257,11 @@ mod tests {
     fn domain_split_halves() {
         let p = problem();
         let s = p.root.clone();
-        let b = Brancher::new(VarSelect::InputOrder, ValSelect::Min, BranchKind::DomainSplit);
+        let b = Brancher::new(
+            VarSelect::InputOrder,
+            ValSelect::Min,
+            BranchKind::DomainSplit,
+        );
         let mut scratch = vec![0u64; p.layout.store_words()];
         let mut children: Vec<Vec<u64>> = vec![];
         b.split(

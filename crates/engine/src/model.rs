@@ -229,8 +229,12 @@ impl CompiledProblem {
             bits::keep_only(s.dom_mut(&self.layout, v), val);
         }
         let mut engine = crate::fixpoint::Engine::new(self);
-        engine.propagate(self, s.as_words_mut(), i64::MAX, crate::fixpoint::ScheduleSeed::All)
-            == crate::fixpoint::PropOutcome::Fixpoint
+        engine.propagate(
+            self,
+            s.as_words_mut(),
+            i64::MAX,
+            crate::fixpoint::ScheduleSeed::All,
+        ) == crate::fixpoint::PropOutcome::Fixpoint
     }
 
     /// The store size in bytes (the unit of work transferred between

@@ -587,10 +587,7 @@ mod tests {
         let mut f = Fix::new(2, 5);
         f.assign(0, 3);
         f.assign(1, 3);
-        assert_eq!(
-            f.run(&Propag::AllDiffVal { vars: vec![0, 1] }),
-            Err(Failed)
-        );
+        assert_eq!(f.run(&Propag::AllDiffVal { vars: vec![0, 1] }), Err(Failed));
     }
 
     #[test]

@@ -142,9 +142,21 @@ mod tests {
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = (j - i) as i64;
-                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: 0 });
-                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: d });
-                m.post(Propag::NeqOffset { x: q[i], y: q[j], c: -d });
+                m.post(Propag::NeqOffset {
+                    x: q[i],
+                    y: q[j],
+                    c: 0,
+                });
+                m.post(Propag::NeqOffset {
+                    x: q[i],
+                    y: q[j],
+                    c: d,
+                });
+                m.post(Propag::NeqOffset {
+                    x: q[i],
+                    y: q[j],
+                    c: -d,
+                });
             }
         }
         m.compile()
@@ -246,7 +258,11 @@ mod tests {
     fn domain_split_branching_agrees() {
         use crate::branch::{BranchKind, Brancher, ValSelect, VarSelect};
         let mut p = queens(6);
-        p.brancher = Brancher::new(VarSelect::FirstFail, ValSelect::Min, BranchKind::DomainSplit);
+        p.brancher = Brancher::new(
+            VarSelect::FirstFail,
+            ValSelect::Min,
+            BranchKind::DomainSplit,
+        );
         let r = solve_seq(&p, &SeqOptions::default());
         assert_eq!(r.solutions, 4);
     }

@@ -165,7 +165,13 @@ impl Segment {
 
     /// Remote CAS (GPI exposes atomics over the fabric).
     #[inline]
-    pub fn cas_remote(&self, ic: &Interconnect, off: usize, current: u64, new: u64) -> Result<u64, u64> {
+    pub fn cas_remote(
+        &self,
+        ic: &Interconnect,
+        off: usize,
+        current: u64,
+        new: u64,
+    ) -> Result<u64, u64> {
         ic.charge_atomic();
         self.cas(off, current, new)
     }

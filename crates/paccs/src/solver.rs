@@ -1,12 +1,18 @@
 //! The PaCCS controller/agent solver.
+//!
+//! Agents drive the same [`SearchKernel`] as MaCS; only the communication
+//! substrate differs — two-sided messages over channels, a controller that
+//! collects solutions, and a [`WorkBatch`] handed over per steal.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use macs_domain::{Store, StoreView, Val};
-use macs_engine::{CompiledProblem, Engine, PropOutcome, ScheduleSeed};
+use macs_domain::Val;
+use macs_engine::CompiledProblem;
 use macs_gpi::{Interconnect, LatencyModel, Topology};
+use macs_search::{AtomicIncumbent, SearchKernel, StepOutcome, WorkBatch, WorkItem};
 
 /// Configuration of a PaCCS run.
 #[derive(Clone, Debug)]
@@ -65,7 +71,7 @@ enum Msg {
     /// Steal request from an idle agent.
     StealReq { thief: usize },
     /// Steal reply carrying work.
-    Work(Vec<Box<[u64]>>),
+    Work(WorkBatch),
     /// Steal reply: nothing to give.
     NoWork,
     /// Agent → controller: a solution.
@@ -90,7 +96,7 @@ struct Shared<'a> {
     in_flight: AtomicUsize,
     /// Best objective value (PaCCS routes bound values through the
     /// controller; the value lives centrally and stale reads are sound).
-    incumbent: AtomicI64,
+    incumbent: AtomicIncumbent,
     messages: AtomicU64,
 }
 
@@ -100,7 +106,7 @@ impl Shared<'_> {
     fn send(&self, from: usize, to: usize, msg: Msg) {
         if !self.cfg.topology.is_local(from, to) {
             let bytes = match &msg {
-                Msg::Work(items) => items.iter().map(|i| i.len() * 8).sum::<usize>() + 64,
+                Msg::Work(batch) => batch.payload_bytes() + 64,
                 _ => 64,
             };
             self.ic.charge_write(bytes);
@@ -129,44 +135,40 @@ struct AgentResult {
 
 /// Victim side of a steal: hand over the oldest half of the queue (the
 /// largest sub-problems), capped. The victim always keeps at least one
-/// store, so it stays active.
-fn reply_steal(victim: usize, thief: usize, stack: &mut Vec<Box<[u64]>>, shared: &Shared<'_>) {
-    let give = (stack.len() / 2).min(shared.cfg.max_steal_chunk);
-    if give == 0 {
+/// store, so it stays active. `WorkBatch::split_front` removes from the
+/// deque's front in O(chunk) — the old `Vec::drain(..give)` memmoved the
+/// whole remaining stack on every steal.
+fn reply_steal(victim: usize, thief: usize, stack: &mut VecDeque<WorkItem>, shared: &Shared<'_>) {
+    let batch = WorkBatch::split_front(stack, shared.cfg.max_steal_chunk);
+    if batch.is_empty() {
         shared.send(victim, thief, Msg::NoWork);
         return;
     }
-    let items: Vec<Box<[u64]>> = stack.drain(..give).collect();
     shared.in_flight.fetch_add(1, Ordering::AcqRel);
-    shared.send(victim, thief, Msg::Work(items));
+    shared.send(victim, thief, Msg::Work(batch));
 }
 
 /// Accept a `Work` reply: the order (activate, then release the in-flight
 /// count) keeps the termination invariant.
-fn accept_work(
-    items: Vec<Box<[u64]>>,
-    stack: &mut Vec<Box<[u64]>>,
-    shared: &Shared<'_>,
-) {
+fn accept_work(batch: WorkBatch, stack: &mut VecDeque<WorkItem>, shared: &Shared<'_>) {
     shared.active.fetch_add(1, Ordering::AcqRel);
     shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-    stack.extend(items);
+    batch.adopt_into(stack);
 }
 
-/// The search-agent loop.
+/// The search-agent loop: drain messages, expand one store through the
+/// shared kernel, steal when idle.
 fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) -> AgentResult {
     let prob = shared.prob;
-    let layout = &prob.layout;
-    let mut engine = Engine::new(prob);
-    let mut scratch = vec![0u64; layout.store_words()];
-    let mut children: Vec<Box<[u64]>> = Vec::new();
-    let mut stack: Vec<Box<[u64]>> = Vec::new();
+    let mut kernel = SearchKernel::new(prob);
+    let mut stack: VecDeque<WorkItem> = VecDeque::new();
     let mut res = AgentResult::default();
 
     if seeded {
         // `active` was pre-incremented by the launcher, before any thread
         // ran, so the controller can never observe a spuriously quiet start.
-        stack.push(prob.root.as_words().to_vec().into_boxed_slice());
+        let root = kernel.alloc_root();
+        stack.push_back(root);
     }
 
     // Victim order: the local node first, then the remote agents — the
@@ -181,69 +183,40 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
             match msg {
                 Msg::StealReq { thief } => reply_steal(id, thief, &mut stack, shared),
                 Msg::Terminate => return res,
-                Msg::Work(items) => accept_work(items, &mut stack, shared), // defensive
+                Msg::Work(batch) => accept_work(batch, &mut stack, shared), // defensive
                 Msg::NoWork => {}
                 Msg::Solution { .. } => unreachable!("agents do not receive solutions"),
             }
         }
 
-        if let Some(mut store) = stack.pop() {
+        if let Some(mut store) = stack.pop_back() {
             // ---- process one store (the same kernel MaCS runs) -----------
             res.nodes += 1;
-            let incumbent = if prob.objective.is_some() {
-                shared.incumbent.load(Ordering::Acquire)
-            } else {
-                i64::MAX
-            };
-            let seed = match Store::from_words(layout, &store).branch_var() {
-                Some(v) => ScheduleSeed::Var(v),
-                None => ScheduleSeed::All,
-            };
-            let failed =
-                engine.propagate(prob, &mut store, incumbent, seed) == PropOutcome::Failed;
-            if !failed {
-                match prob.brancher.choose_var(layout, &store) {
-                    None => {
-                        let view = StoreView::new(layout, &store);
-                        let assignment = view.assignment().expect("complete");
-                        match prob.objective.cost(view) {
-                            Some(cost) => {
-                                let prev = shared.incumbent.fetch_min(cost, Ordering::AcqRel);
-                                if cost < prev {
-                                    shared.send_controller(
-                                        id,
-                                        Msg::Solution {
-                                            cost: Some(cost),
-                                            assignment,
-                                        },
-                                    );
-                                }
-                            }
-                            None => shared.send_controller(
+            match kernel.step(&mut store, &shared.incumbent) {
+                StepOutcome::Failed => {}
+                StepOutcome::Solution(sol) => match sol.cost {
+                    Some(cost) => {
+                        if sol.improved {
+                            shared.send_controller(
                                 id,
                                 Msg::Solution {
-                                    cost: None,
-                                    assignment,
+                                    cost: Some(cost),
+                                    assignment: sol.assignment,
                                 },
-                            ),
+                            );
                         }
                     }
-                    Some(var) => {
-                        children.clear();
-                        let kids = &mut children;
-                        prob.brancher.split(
-                            prob,
-                            &store,
-                            &mut scratch,
-                            |c| kids.push(c.to_vec().into_boxed_slice()),
-                            var,
-                        );
-                        for c in children.drain(..).rev() {
-                            stack.push(c);
-                        }
-                    }
-                }
+                    None => shared.send_controller(
+                        id,
+                        Msg::Solution {
+                            cost: None,
+                            assignment: sol.assignment,
+                        },
+                    ),
+                },
+                StepOutcome::Children(_) => kernel.push_children(&mut stack),
             }
+            kernel.recycle(store);
             if stack.is_empty() {
                 // Out of work: stop being counted before the idle sweep.
                 shared.active.fetch_sub(1, Ordering::AcqRel);
@@ -257,8 +230,8 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
                 // messages (requests get refused — we are idle).
                 loop {
                     match rx.recv() {
-                        Ok(Msg::Work(items)) => {
-                            accept_work(items, &mut stack, shared);
+                        Ok(Msg::Work(batch)) => {
+                            accept_work(batch, &mut stack, shared);
                             if topo.is_local(victim, id) {
                                 res.local_steals += 1;
                             } else {
@@ -294,11 +267,11 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded::<Msg>();
+        let (tx, rx) = channel::<Msg>();
         senders.push(tx);
         receivers.push(rx);
     }
-    let (ctl_tx, ctl_rx) = unbounded::<Msg>();
+    let (ctl_tx, ctl_rx) = channel::<Msg>();
 
     let shared = Shared {
         prob,
@@ -308,7 +281,7 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
         to_controller: ctl_tx,
         active: AtomicUsize::new(1), // the seeded agent, counted up front
         in_flight: AtomicUsize::new(0),
-        incumbent: AtomicI64::new(i64::MAX),
+        incumbent: AtomicIncumbent::new(),
         messages: AtomicU64::new(0),
     };
 
@@ -319,9 +292,9 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
     let mut best: Option<(i64, Vec<Val>)> = None;
 
     let absorb = |msg: Msg,
-                      best: &mut Option<(i64, Vec<Val>)>,
-                      kept: &mut Vec<Vec<Val>>,
-                      solutions_seen: &mut u64| {
+                  best: &mut Option<(i64, Vec<Val>)>,
+                  kept: &mut Vec<Vec<Val>>,
+                  solutions_seen: &mut u64| {
         if let Msg::Solution { cost, assignment } = msg {
             *solutions_seen += 1;
             match cost {
@@ -341,10 +314,12 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
 
     std::thread::scope(|s| {
         let shared = &shared;
+        // `std::sync::mpsc::Receiver` is `Send` but not `Sync`: each agent
+        // takes its receiver by value.
         let handles: Vec<_> = receivers
-            .iter()
+            .drain(..)
             .enumerate()
-            .map(|(id, rx)| s.spawn(move || agent_main(id, shared, rx, id == 0)))
+            .map(|(id, rx)| s.spawn(move || agent_main(id, shared, &rx, id == 0)))
             .collect();
 
         // ---- controller: collect solutions, detect termination -----------
@@ -453,7 +428,10 @@ mod tests {
                 break;
             }
         }
-        assert!(stole, "no stealing observed in 3 runs of queens-10 × 4 agents");
+        assert!(
+            stole,
+            "no stealing observed in 3 runs of queens-10 × 4 agents"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! model.
 
 use macs_gpi::{Interconnect, Segment};
-use parking_lot::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard};
 
 /// Metadata word offsets inside the pool segment.
 const META_HEAD: usize = 0;
@@ -222,7 +222,7 @@ impl SplitPool {
     /// *release* operation, whose frequency ("work release interval") is
     /// the main tuning knob behind the MaCS(best) results.
     pub fn release(&self, k: u64) -> u64 {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         let head = self.head();
         let split = self.split();
         let m = k.min(head - split);
@@ -235,7 +235,7 @@ impl SplitPool {
     /// Take back up to `k` of the newest shared items: move `split` towards
     /// `tail`. Returns how many items became private again.
     pub fn reacquire(&self, k: u64) -> u64 {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         let split = self.split();
         let tail = self.tail();
         let m = k.min(split - tail);
@@ -255,11 +255,16 @@ impl SplitPool {
         if max == 0 {
             return 0;
         }
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         self.steal_locked(max, &mut sink, &_g)
     }
 
-    fn steal_locked(&self, max: u64, sink: &mut impl FnMut(&[u64]), _g: &MutexGuard<'_, ()>) -> u64 {
+    fn steal_locked(
+        &self,
+        max: u64,
+        sink: &mut impl FnMut(&[u64]),
+        _g: &MutexGuard<'_, ()>,
+    ) -> u64 {
         let split = self.split();
         let tail = self.tail();
         let avail = split - tail;

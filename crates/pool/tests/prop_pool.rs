@@ -1,10 +1,11 @@
-//! Property tests: the split pool against a reference model.
+//! Randomised model tests: the split pool against a reference model.
 //!
 //! The reference is a `VecDeque` plus a split index; every sequence of
 //! owner/thief operations must leave the pool and the model in agreement.
+//! Deterministic seeded random cases (no external property-testing
+//! dependency in this build environment).
 
 use macs_pool::SplitPool;
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 #[derive(Clone, Debug)]
@@ -16,14 +17,33 @@ enum Op {
     Steal(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..1_000_000u64).prop_map(Op::Push),
-        2 => Just(Op::PopPrivate),
-        2 => (1..5u64).prop_map(Op::Release),
-        1 => (1..5u64).prop_map(Op::Reacquire),
-        2 => (1..4u64).prop_map(Op::Steal),
-    ]
+/// Inline SplitMix64 — keeps the test crate dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Weighted op mix matching the original strategy:
+    /// push 3 : pop 2 : release 2 : reacquire 1 : steal 2.
+    fn op(&mut self) -> Op {
+        match self.below(10) {
+            0..=2 => Op::Push(self.below(1_000_000)),
+            3..=4 => Op::PopPrivate,
+            5..=6 => Op::Release(1 + self.below(4)),
+            7 => Op::Reacquire(1 + self.below(4)),
+            _ => Op::Steal(1 + self.below(3)),
+        }
+    }
 }
 
 /// Reference model: items in order tail→head, with a split index.
@@ -74,41 +94,66 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn pool_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn pool_matches_reference_model() {
+    for case in 0..256u64 {
+        let mut rng = Rng(0x9001 ^ case.wrapping_mul(0x9E37_79B9));
+        let n_ops = 1 + rng.below(199);
+
         let cap = 16usize;
         let pool = SplitPool::new(cap, 1);
-        let mut model = Model { capacity: pool.capacity(), ..Default::default() };
+        let mut model = Model {
+            capacity: pool.capacity(),
+            ..Default::default()
+        };
         let mut buf = [0u64];
 
-        for op in ops {
+        for step in 0..n_ops {
+            let op = rng.op();
             match op {
                 Op::Push(v) => {
                     let a = pool.push(&[v]);
                     let b = model.push(v);
-                    prop_assert_eq!(a, b, "push accept/reject must agree");
+                    assert_eq!(
+                        a, b,
+                        "case {case} step {step}: push accept/reject must agree"
+                    );
                 }
                 Op::PopPrivate => {
                     let got = pool.pop_private(&mut buf).then_some(buf[0]);
-                    prop_assert_eq!(got, model.pop_private());
+                    assert_eq!(got, model.pop_private(), "case {case} step {step}");
                 }
                 Op::Release(k) => {
-                    prop_assert_eq!(pool.release(k), model.release(k));
+                    assert_eq!(pool.release(k), model.release(k), "case {case} step {step}");
                 }
                 Op::Reacquire(k) => {
-                    prop_assert_eq!(pool.reacquire(k), model.reacquire(k));
+                    assert_eq!(
+                        pool.reacquire(k),
+                        model.reacquire(k),
+                        "case {case} step {step}"
+                    );
                 }
                 Op::Steal(max) => {
                     let mut got = Vec::new();
                     pool.steal(max, |s| got.push(s[0]));
-                    prop_assert_eq!(got, model.steal(max));
+                    assert_eq!(got, model.steal(max), "case {case} step {step}");
                 }
             }
-            prop_assert_eq!(pool.private_len() as usize, model.items.len() - model.split);
-            prop_assert_eq!(pool.shared_len() as usize, model.split);
-            prop_assert_eq!(pool.len() as usize, model.items.len());
+            assert_eq!(
+                pool.private_len() as usize,
+                model.items.len() - model.split,
+                "case {case} step {step}"
+            );
+            assert_eq!(
+                pool.shared_len() as usize,
+                model.split,
+                "case {case} step {step}"
+            );
+            assert_eq!(
+                pool.len() as usize,
+                model.items.len(),
+                "case {case} step {step}"
+            );
         }
 
         // Drain and compare the full remaining contents.
@@ -121,6 +166,6 @@ proptest! {
         while let Some(v) = model.pop_private() {
             expect.push(v);
         }
-        prop_assert_eq!(rest, expect);
+        assert_eq!(rest, expect, "case {case}: residual contents");
     }
 }

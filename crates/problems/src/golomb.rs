@@ -4,7 +4,9 @@
 //! A classic CP optimisation benchmark with a highly unbalanced B&B tree —
 //! a good complement to the QAP for exercising bound dissemination.
 
-use macs_engine::{BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect};
+use macs_engine::{
+    BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect,
+};
 
 /// Known optimal lengths (OEIS A003022) for validation.
 pub const GOLOMB_OPTIMAL: [(usize, i64); 7] =
@@ -41,7 +43,9 @@ pub fn golomb_ruler(n: usize, max_len: u32) -> CompiledProblem {
             diffs.push(d);
         }
     }
-    m.post(Propag::AllDiffVal { vars: diffs.clone() });
+    m.post(Propag::AllDiffVal {
+        vars: diffs.clone(),
+    });
 
     // Symmetry breaking: the first difference is smaller than the last.
     let first = diffs[0];

@@ -2,7 +2,9 @@
 //! weight budget. Modelled as minimisation of the *forgone* value, since
 //! MaCS objectives minimise.
 
-use macs_engine::{BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect};
+use macs_engine::{
+    BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect,
+};
 
 /// One knapsack item.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,7 +82,9 @@ mod tests {
     fn items(seed: u64, n: usize) -> Vec<KnapsackItem> {
         let mut s = seed;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as i64
         };
         (0..n)

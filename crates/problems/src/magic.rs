@@ -1,7 +1,9 @@
 //! Magic squares (satisfaction): fill an `n × n` grid with `1..=n²`, each
 //! once, so every row, column and main diagonal sums to `n(n²+1)/2`.
 
-use macs_engine::{BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect};
+use macs_engine::{
+    BranchKind, Brancher, CompiledProblem, Model, Propag, Val, ValSelect, VarSelect,
+};
 
 /// The magic constant for order `n`.
 pub fn magic_constant(n: usize) -> i64 {

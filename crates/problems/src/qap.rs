@@ -20,9 +20,7 @@
 use std::sync::Arc;
 
 use macs_engine::state::{Failed, PropState};
-use macs_engine::{
-    bits, CompiledProblem, CostEval, Model, Propag, StoreView, Val, VarId,
-};
+use macs_engine::{bits, CompiledProblem, CostEval, Model, Propag, StoreView, Val, VarId};
 
 /// A QAP instance: `n` facilities/locations, flow and distance matrices.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -94,9 +92,7 @@ impl QapInstance {
         let mut s = format!("{}\n\n", self.n);
         for m in [&self.flow, &self.dist] {
             for r in 0..self.n {
-                let row: Vec<String> = (0..self.n)
-                    .map(|c| m[r * self.n + c].to_string())
-                    .collect();
+                let row: Vec<String> = (0..self.n).map(|c| m[r * self.n + c].to_string()).collect();
                 s.push_str(&row.join(" "));
                 s.push('\n');
             }
@@ -313,7 +309,13 @@ mod tests {
 
     /// Brute-force optimum by permutation enumeration (n ≤ 8).
     fn brute_force(inst: &QapInstance) -> i64 {
-        fn perms(n: usize, cur: &mut Vec<Val>, used: &mut Vec<bool>, best: &mut i64, inst: &QapInstance) {
+        fn perms(
+            n: usize,
+            cur: &mut Vec<Val>,
+            used: &mut Vec<bool>,
+            best: &mut i64,
+            inst: &QapInstance,
+        ) {
             if cur.len() == n {
                 *best = (*best).min(inst.cost(cur));
                 return;
@@ -419,6 +421,9 @@ mod tests {
         let prob = qap_model(&inst);
         let bound = QapBound::new(inst.clone(), (0..5).collect());
         let root_lb = bound.lower_bound(StoreView::new(&prob.layout, prob.root.as_words()));
-        assert!(root_lb <= brute_force(&inst), "root LB must not exceed optimum");
+        assert!(
+            root_lb <= brute_force(&inst),
+            "root LB must not exceed optimum"
+        );
     }
 }

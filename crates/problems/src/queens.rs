@@ -28,9 +28,21 @@ pub fn queens(n: usize, model: QueensModel) -> CompiledProblem {
             for i in 0..n {
                 for j in (i + 1)..n {
                     let d = (j - i) as i64;
-                    m.post(Propag::NeqOffset { x: q[i], y: q[j], c: 0 });
-                    m.post(Propag::NeqOffset { x: q[i], y: q[j], c: d });
-                    m.post(Propag::NeqOffset { x: q[i], y: q[j], c: -d });
+                    m.post(Propag::NeqOffset {
+                        x: q[i],
+                        y: q[j],
+                        c: 0,
+                    });
+                    m.post(Propag::NeqOffset {
+                        x: q[i],
+                        y: q[j],
+                        c: d,
+                    });
+                    m.post(Propag::NeqOffset {
+                        x: q[i],
+                        y: q[j],
+                        c: -d,
+                    });
                 }
             }
         }

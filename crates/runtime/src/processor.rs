@@ -31,6 +31,18 @@ pub trait Incumbent {
     fn submit(&self, value: i64) -> bool;
 }
 
+/// Any runtime incumbent doubles as the search kernel's bound source, so
+/// processors can hand `ProcCtx::incumbent` straight to
+/// [`SearchKernel::step`](macs_search::SearchKernel::step).
+impl macs_search::IncumbentSource for dyn Incumbent + '_ {
+    fn bound(&self) -> i64 {
+        self.get()
+    }
+    fn offer(&self, cost: i64) -> bool {
+        self.submit(cost)
+    }
+}
+
 /// A no-op incumbent for satisfaction problems and tests.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NoIncumbent;

@@ -221,23 +221,19 @@ mod tests {
         }
     }
 
-    fn run_tree(cfg: &RuntimeConfig, max_depth: u64, uniform: Option<u64>) -> (RunReport<(u64, u64)>, u64, u64) {
-        let report = run_parallel(
-            cfg,
-            2,
-            &[vec![0u64, 1u64]],
-            |_w| TreeProc {
-                max_depth,
-                uniform_branch: uniform,
-                leaves: 0,
-                checksum: 0,
-            },
-        );
+    fn run_tree(
+        cfg: &RuntimeConfig,
+        max_depth: u64,
+        uniform: Option<u64>,
+    ) -> (RunReport<(u64, u64)>, u64, u64) {
+        let report = run_parallel(cfg, 2, &[vec![0u64, 1u64]], |_w| TreeProc {
+            max_depth,
+            uniform_branch: uniform,
+            leaves: 0,
+            checksum: 0,
+        });
         let leaves: u64 = report.outputs.iter().map(|o| o.0).sum();
-        let checksum = report
-            .outputs
-            .iter()
-            .fold(0u64, |a, o| a.wrapping_add(o.1));
+        let checksum = report.outputs.iter().fold(0u64, |a, o| a.wrapping_add(o.1));
         (report, leaves, checksum)
     }
 
@@ -257,12 +253,22 @@ mod tests {
         let cfg_seq = RuntimeConfig::single_node(1);
         let (_, leaves1, sum1) = run_tree(&cfg_seq, 9, Some(3));
         let cfg = RuntimeConfig::single_node(4);
-        let (report, leaves4, sum4) = run_tree(&cfg, 9, Some(3));
-        assert_eq!(leaves4, leaves1);
-        assert_eq!(sum4, sum1, "every leaf processed exactly once");
-        // With four workers someone must have stolen something.
-        let (ls, _, _, _) = report.steal_totals();
-        assert!(ls > 0, "expected local steals on a shared-memory node");
+        // Work distribution is timing-dependent; on a loaded host one
+        // worker can occasionally race through the whole tree alone, so
+        // allow a few attempts to observe stealing (counts must agree on
+        // every attempt).
+        let mut stole = false;
+        for _ in 0..3 {
+            let (report, leaves4, sum4) = run_tree(&cfg, 9, Some(3));
+            assert_eq!(leaves4, leaves1);
+            assert_eq!(sum4, sum1, "every leaf processed exactly once");
+            let (ls, _, _, _) = report.steal_totals();
+            if ls > 0 {
+                stole = true;
+                break;
+            }
+        }
+        assert!(stole, "expected local steals on a shared-memory node");
     }
 
     #[test]

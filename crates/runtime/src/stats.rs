@@ -144,15 +144,6 @@ impl PhaseTimers {
     }
 }
 
-/// Time a closure and add it to a phase accumulator.
-#[inline]
-pub fn timed<R>(acc: &mut Duration, f: impl FnOnce() -> R) -> R {
-    let t = Instant::now();
-    let r = f();
-    *acc += t.elapsed();
-    r
-}
-
 /// Everything one worker reports at the end of a run.
 #[derive(Debug)]
 pub struct WorkerStats {

@@ -8,6 +8,7 @@ use std::time::Instant;
 use macs_gpi::cells::{CELL_CANCEL, CELL_INCUMBENT};
 use macs_gpi::{GlobalCells, Interconnect, World};
 use macs_pool::{SplitPool, RESP_FAIL, RESP_PENDING};
+use macs_search::WorkBatch;
 
 use crate::config::{BoundDissemination, RuntimeConfig, VictimSelect};
 use crate::processor::{Incumbent, ProcCtx, Processor, Step, WorkSink};
@@ -75,7 +76,8 @@ impl Incumbent for GlobalIncumbent<'_> {
 
     fn submit(&self, value: i64) -> bool {
         let prev = if self.remote {
-            self.cells.fetch_min_i64_remote(self.ic, CELL_INCUMBENT, value)
+            self.cells
+                .fetch_min_i64_remote(self.ic, CELL_INCUMBENT, value)
         } else {
             self.cells.fetch_min_i64(CELL_INCUMBENT, value)
         };
@@ -193,10 +195,9 @@ impl<'a, P: Processor> Worker<'a, P> {
 
         let mut have = self.acquire_local();
         loop {
-            if !have
-                && !self.restore() {
-                    break; // global termination
-                }
+            if !have && !self.restore() {
+                break; // global termination
+            }
             if self.world.cells.load(CELL_CANCEL) != 0 {
                 // Cooperative cancellation: discard the item in hand and
                 // everything in the local pool; termination follows once
@@ -393,7 +394,7 @@ impl<'a, P: Processor> Worker<'a, P> {
 
         self.stats.clock.set(WorkerState::Stealing);
         let shared = self.pools[v].shared_len();
-        let want = shared.div_ceil(2).min(self.cfg.max_steal_chunk);
+        let want = WorkBatch::share_ceil(shared, self.cfg.max_steal_chunk);
         let current = &mut self.current;
         let overflow = &mut self.overflow;
         let my_pool = self.my_pool;
@@ -526,10 +527,10 @@ impl<'a, P: Processor> Worker<'a, P> {
         if want > 0 {
             // Reserve from our own shared region (shrinking it from the
             // tail, as the paper describes the reservation).
-            let own_half = self.my_pool.shared_len().div_ceil(2);
+            let own_half = WorkBatch::share_ceil(self.my_pool.shared_len(), want).max(1);
             n = self
                 .my_pool
-                .steal(want.min(own_half.max(1)), |item| flat.extend_from_slice(item));
+                .steal(own_half, |item| flat.extend_from_slice(item));
             if n == 0 {
                 // Proxy fulfilment: find a co-located worker with surplus.
                 let peers = self.world.topology.peers_of(self.id);
@@ -539,9 +540,8 @@ impl<'a, P: Processor> Worker<'a, P> {
                     .filter(|&(s, _)| s > 0)
                     .max();
                 if let Some((shared, w)) = cand {
-                    let half = shared.div_ceil(2);
-                    n = self.pools[w]
-                        .steal(want.min(half), |item| flat.extend_from_slice(item));
+                    let half = WorkBatch::share_ceil(shared, want);
+                    n = self.pools[w].steal(half, |item| flat.extend_from_slice(item));
                     served_by_proxy = n > 0;
                 }
             }

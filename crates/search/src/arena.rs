@@ -1,0 +1,102 @@
+//! Store-buffer recycling.
+//!
+//! Every expanded node used to allocate one `Vec<u64>` per child; across a
+//! multi-million-node search that is the dominant allocator traffic. The
+//! slab keeps returned buffers on a free list so steady-state search
+//! allocates nothing: a child buffer is handed out by [`StoreSlab::alloc_copy`],
+//! travels through a pool or stack, and comes back via [`StoreSlab::recycle`]
+//! once its content is dead.
+
+/// A free list of fixed-size `Box<[u64]>` store buffers.
+#[derive(Debug)]
+pub struct StoreSlab {
+    words: usize,
+    free: Vec<Box<[u64]>>,
+    /// Buffers handed out that were freshly allocated (free list empty).
+    misses: u64,
+    /// Buffers handed out from the free list.
+    hits: u64,
+}
+
+/// Free-list cap: beyond this, recycled buffers are simply dropped. Deep
+/// searches hold O(depth × branching) live stores, far below this.
+const MAX_FREE: usize = 4096;
+
+impl StoreSlab {
+    /// A slab for stores of `words` u64s.
+    pub fn new(words: usize) -> Self {
+        StoreSlab {
+            words,
+            free: Vec::new(),
+            misses: 0,
+            hits: 0,
+        }
+    }
+
+    /// Store size this slab serves.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Hand out a buffer holding a copy of `src` (which must be
+    /// `words()` long).
+    #[inline]
+    pub fn alloc_copy(&mut self, src: &[u64]) -> Box<[u64]> {
+        debug_assert_eq!(src.len(), self.words);
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                buf.copy_from_slice(src);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                src.to_vec().into_boxed_slice()
+            }
+        }
+    }
+
+    /// Return a dead buffer to the free list. Buffers of a foreign size
+    /// (or beyond the cap) are dropped.
+    #[inline]
+    pub fn recycle(&mut self, buf: Box<[u64]>) {
+        if buf.len() == self.words && self.free.len() < MAX_FREE {
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently parked on the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// (free-list hits, fresh allocations) since construction.
+    pub fn alloc_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        let mut slab = StoreSlab::new(4);
+        let a = slab.alloc_copy(&[1, 2, 3, 4]);
+        let ptr = a.as_ptr();
+        slab.recycle(a);
+        assert_eq!(slab.free_len(), 1);
+        let b = slab.alloc_copy(&[5, 6, 7, 8]);
+        assert_eq!(b.as_ptr(), ptr, "same buffer back");
+        assert_eq!(&b[..], &[5, 6, 7, 8]);
+        assert_eq!(slab.alloc_stats(), (1, 1));
+    }
+
+    #[test]
+    fn foreign_sizes_are_dropped() {
+        let mut slab = StoreSlab::new(4);
+        slab.recycle(vec![0u64; 7].into_boxed_slice());
+        assert_eq!(slab.free_len(), 0);
+    }
+}

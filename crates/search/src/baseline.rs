@@ -1,0 +1,157 @@
+//! The pre-refactor node step, kept verbatim as an A/B reference.
+//!
+//! Before the kernel was extracted, every execution path allocated a fresh
+//! `Vec<u64>` per child on every split (see the seed's `CpProcessor` /
+//! `agent_main`). This module preserves that allocation behaviour behind
+//! the same driving API so the arena's effect stays measurable:
+//! `benches/micro.rs` runs queens-10 node throughput through both this and
+//! [`SearchKernel`](crate::SearchKernel). It is not used by any solver
+//! path.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use macs_domain::{Store, StoreView};
+use macs_engine::{CompiledProblem, Engine, PropOutcome, ScheduleSeed};
+
+use crate::batch::WorkItem;
+use crate::incumbent::IncumbentSource;
+use crate::kernel::{KernelTimers, SolutionReport, StepOutcome};
+
+/// Allocate-per-child variant of the kernel. Phase timing is kept
+/// identical to [`SearchKernel`](crate::SearchKernel) (the seed's
+/// `CpProcessor` timed both phases too), so an A/B run isolates the
+/// allocation strategy alone.
+pub struct BaselineKernel<'a> {
+    prob: &'a CompiledProblem,
+    engine: Engine,
+    scratch: Vec<u64>,
+    children: Vec<WorkItem>,
+    timers: KernelTimers,
+}
+
+impl<'a> BaselineKernel<'a> {
+    pub fn new(prob: &'a CompiledProblem) -> Self {
+        BaselineKernel {
+            prob,
+            engine: Engine::new(prob),
+            scratch: vec![0u64; prob.layout.store_words()],
+            children: Vec::new(),
+            timers: KernelTimers::default(),
+        }
+    }
+
+    /// Identical node classification to [`SearchKernel::step`]
+    /// (crate::SearchKernel::step), but every child is a fresh heap
+    /// allocation.
+    pub fn step<I: IncumbentSource + ?Sized>(&mut self, buf: &mut [u64], inc: &I) -> StepOutcome {
+        let prob = self.prob;
+        let layout = &prob.layout;
+        let bound = if prob.objective.is_some() {
+            inc.bound()
+        } else {
+            i64::MAX
+        };
+        let seed = match Store::from_words(layout, buf).branch_var() {
+            Some(v) => ScheduleSeed::Var(v),
+            None => ScheduleSeed::All,
+        };
+        let t0 = Instant::now();
+        let failed = self.engine.propagate(prob, buf, bound, seed) == PropOutcome::Failed;
+        self.timers.propagate += t0.elapsed();
+        if failed {
+            return StepOutcome::Failed;
+        }
+        let t0 = Instant::now();
+        let var = prob.brancher.choose_var(layout, buf);
+        let Some(var) = var else {
+            self.timers.split += t0.elapsed();
+            let view = StoreView::new(layout, buf);
+            let assignment = view.assignment().expect("complete assignment");
+            let (cost, improved) = match prob.objective.cost(view) {
+                Some(c) => (Some(c), inc.offer(c)),
+                None => (None, true),
+            };
+            return StepOutcome::Solution(SolutionReport {
+                assignment,
+                cost,
+                improved,
+            });
+        };
+        let children = &mut self.children;
+        let n = prob.brancher.split(
+            prob,
+            buf,
+            &mut self.scratch,
+            |c| children.push(c.to_vec().into_boxed_slice()),
+            var,
+        );
+        for c in children.iter_mut() {
+            c[1] = bound as u64;
+        }
+        self.timers.split += t0.elapsed();
+        StepOutcome::Children(n)
+    }
+
+    /// Accumulated phase timers, resetting them.
+    pub fn take_timers(&mut self) -> KernelTimers {
+        std::mem::take(&mut self.timers)
+    }
+
+    /// Stack-style consumption, mirroring
+    /// [`SearchKernel::push_children`](crate::SearchKernel::push_children).
+    pub fn push_children(&mut self, stack: &mut VecDeque<WorkItem>) {
+        while let Some(c) = self.children.pop() {
+            stack.push_back(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incumbent::NoBound;
+    use crate::kernel::SearchKernel;
+    use macs_engine::{Model, Propag};
+
+    #[test]
+    fn baseline_and_kernel_agree() {
+        let mut m = Model::new("tiny");
+        let x = m.new_var(0, 4);
+        let y = m.new_var(0, 4);
+        m.post(Propag::NeqOffset { x, y, c: 1 });
+        let prob = m.compile();
+
+        let drive_baseline = || {
+            let mut k = BaselineKernel::new(&prob);
+            let mut stack: VecDeque<WorkItem> = VecDeque::new();
+            stack.push_back(SearchKernel::root_item(&prob).into_boxed_slice());
+            let mut sols = 0u64;
+            while let Some(mut s) = stack.pop_back() {
+                match k.step(&mut s, &NoBound) {
+                    StepOutcome::Solution(_) => sols += 1,
+                    StepOutcome::Children(_) => k.push_children(&mut stack),
+                    StepOutcome::Failed => {}
+                }
+            }
+            sols
+        };
+        let drive_kernel = || {
+            let mut k = SearchKernel::new(&prob);
+            let mut stack: VecDeque<WorkItem> = VecDeque::new();
+            let root = k.alloc_root();
+            stack.push_back(root);
+            let mut sols = 0u64;
+            while let Some(mut s) = stack.pop_back() {
+                match k.step(&mut s, &NoBound) {
+                    StepOutcome::Solution(_) => sols += 1,
+                    StepOutcome::Children(_) => k.push_children(&mut stack),
+                    StepOutcome::Failed => {}
+                }
+                k.recycle(s);
+            }
+            sols
+        };
+        assert_eq!(drive_baseline(), drive_kernel());
+    }
+}

@@ -1,0 +1,144 @@
+//! The steal-chunk transfer unit.
+//!
+//! Every victim in the system answers a steal with "the oldest half of my
+//! work, capped" — those are the largest sub-problems, the ones worth the
+//! transfer. Before this type existed the split arithmetic and the
+//! front-drain were re-implemented at each victim site; worse, the PaCCS
+//! agent kept its depth-first stack in a `Vec`, so handing over the *front*
+//! memmoved the entire remaining stack on every steal. [`WorkBatch`] owns
+//! both the policy and the mechanics, over a `VecDeque` whose front-range
+//! removal is O(chunk), not O(stack).
+
+use std::collections::VecDeque;
+
+/// One relocatable work item: a fixed-size store image.
+pub type WorkItem = Box<[u64]>;
+
+/// A chunk of work items in transit from a victim to a thief, oldest
+/// first.
+#[derive(Debug, Default)]
+pub struct WorkBatch {
+    items: Vec<WorkItem>,
+}
+
+impl WorkBatch {
+    /// The MaCS share policy: up to ⌈available/2⌉ items, capped.
+    #[inline]
+    pub fn share_ceil(available: u64, cap: u64) -> u64 {
+        available.div_ceil(2).min(cap)
+    }
+
+    /// The PaCCS share policy: up to ⌊available/2⌋ items, capped — the
+    /// victim always keeps at least one item, so it stays active.
+    #[inline]
+    pub fn share_floor(available: u64, cap: u64) -> u64 {
+        (available / 2).min(cap)
+    }
+
+    /// Victim side, PaCCS policy: split the oldest ⌊len/2⌋ (≤ `cap`) items
+    /// off the front of a depth-first work queue.
+    pub fn split_front(stack: &mut VecDeque<WorkItem>, cap: usize) -> WorkBatch {
+        let give = Self::share_floor(stack.len() as u64, cap as u64) as usize;
+        Self::take_front(stack, give)
+    }
+
+    /// Take exactly `n` items (clamped to the queue length) off the front.
+    pub fn take_front(stack: &mut VecDeque<WorkItem>, n: usize) -> WorkBatch {
+        let n = n.min(stack.len());
+        WorkBatch {
+            items: stack.drain(..n).collect(),
+        }
+    }
+
+    /// Build a batch from already-collected items (oldest first).
+    pub fn from_items(items: Vec<WorkItem>) -> WorkBatch {
+        WorkBatch { items }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Payload size on the wire (message-passing byte accounting).
+    pub fn payload_bytes(&self) -> usize {
+        self.items.iter().map(|i| i.len() * 8).sum()
+    }
+
+    /// Thief side: append the batch to the back of a depth-first queue.
+    /// The next pop works on the newest of the stolen items, preserving
+    /// the victim's exploration order within the batch.
+    pub fn adopt_into(self, stack: &mut VecDeque<WorkItem>) {
+        stack.extend(self.items);
+    }
+
+    /// Consume the batch into its items, oldest first.
+    pub fn into_items(self) -> Vec<WorkItem> {
+        self.items
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &WorkItem> {
+        self.items.iter()
+    }
+}
+
+impl IntoIterator for WorkBatch {
+    type Item = WorkItem;
+    type IntoIter = std::vec::IntoIter<WorkItem>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(v: u64) -> WorkItem {
+        vec![v; 2].into_boxed_slice()
+    }
+
+    #[test]
+    fn share_policies() {
+        assert_eq!(
+            WorkBatch::share_floor(1, 8),
+            0,
+            "victim keeps its last item"
+        );
+        assert_eq!(WorkBatch::share_floor(7, 8), 3);
+        assert_eq!(WorkBatch::share_floor(64, 8), 8, "cap applies");
+        assert_eq!(WorkBatch::share_ceil(1, 8), 1);
+        assert_eq!(WorkBatch::share_ceil(7, 8), 4);
+        assert_eq!(WorkBatch::share_ceil(64, 8), 8);
+    }
+
+    #[test]
+    fn split_front_takes_oldest() {
+        let mut stack: VecDeque<WorkItem> = (0..6).map(item).collect();
+        let batch = WorkBatch::split_front(&mut stack, 16);
+        assert_eq!(batch.len(), 3);
+        let vals: Vec<u64> = batch.iter().map(|i| i[0]).collect();
+        assert_eq!(vals, vec![0, 1, 2], "front = oldest items");
+        assert_eq!(stack.front().unwrap()[0], 3);
+        assert_eq!(stack.back().unwrap()[0], 5, "victim stack order intact");
+    }
+
+    #[test]
+    fn adopt_preserves_order() {
+        let mut victim: VecDeque<WorkItem> = (0..8).map(item).collect();
+        let batch = WorkBatch::split_front(&mut victim, 2);
+        let mut thief: VecDeque<WorkItem> = VecDeque::new();
+        batch.adopt_into(&mut thief);
+        assert_eq!(thief.pop_back().unwrap()[0], 1, "newest of the batch first");
+        assert_eq!(thief.pop_back().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn payload_bytes_counts_words() {
+        let batch = WorkBatch::from_items(vec![item(1), item(2)]);
+        assert_eq!(batch.payload_bytes(), 2 * 2 * 8);
+    }
+}

@@ -1,0 +1,36 @@
+//! **The** node-processing search kernel of the workspace.
+//!
+//! The paper's central claim is that MaCS (PGAS work stealing) and PaCCS
+//! (message passing) run the *same* constraint-solving kernel over
+//! different communication substrates. This crate is that kernel, extracted
+//! so it exists exactly once:
+//!
+//! * [`SearchKernel`] — the propagate → (solution | split) cycle over one
+//!   relocatable store, with per-phase timing and an arena-backed child
+//!   buffer ([`StoreSlab`]) that recycles store allocations on the hot
+//!   path;
+//! * [`IncumbentSource`] — where the branch-and-bound bound comes from:
+//!   the GPI global cell for threaded MaCS, a controller-routed
+//!   [`AtomicIncumbent`] for PaCCS, the virtual-time incumbent for the
+//!   simulator, a [`LocalIncumbent`] for sequential oracles;
+//! * [`WorkBatch`] — the steal-chunk transfer unit shared by every
+//!   victim-side reply (threaded PaCCS, simulated MaCS/PaCCS) together
+//!   with the half-split share policies;
+//! * [`baseline`] — the pre-refactor allocate-per-child step, kept only as
+//!   the A/B reference for the arena micro-benchmark.
+//!
+//! Every execution path — `macs-core`'s `CpProcessor` (threaded and
+//! simulated MaCS), `macs-paccs`'s agents, and the cross-solver tests —
+//! drives [`SearchKernel::step`]; adding a propagator, a branching rule or
+//! a new backend is a single-site change.
+
+pub mod arena;
+pub mod baseline;
+pub mod batch;
+pub mod incumbent;
+pub mod kernel;
+
+pub use arena::StoreSlab;
+pub use batch::{WorkBatch, WorkItem};
+pub use incumbent::{AtomicIncumbent, IncumbentSource, LocalIncumbent, NoBound};
+pub use kernel::{KernelTimers, SearchKernel, SolutionReport, StepOutcome};

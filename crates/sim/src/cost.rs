@@ -107,7 +107,10 @@ mod tests {
             (NodeCost::Fixed { ns: a, .. }, NodeCost::Fixed { ns: b, .. }) => assert!(a < b),
             _ => panic!("presets use fixed node costs"),
         }
-        assert!(q.find_remote_ns > q.steal_local_ns, "remote dearer than local");
+        assert!(
+            q.find_remote_ns > q.steal_local_ns,
+            "remote dearer than local"
+        );
     }
 
     #[test]

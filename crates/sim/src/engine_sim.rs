@@ -8,6 +8,7 @@ use macs_runtime::{
     PhaseTimers, PollPolicy, ProcCtx, Processor, ReleasePolicy, SplitMix64, Step, Topology,
     VictimSelect, WorkSink, WorkerState,
 };
+use macs_search::WorkBatch;
 
 use crate::cost::{CostModel, NodeCost};
 use crate::incumbent::{SimIncumbent, Timeline};
@@ -144,12 +145,16 @@ enum Resp {
 enum Phase {
     Boot,
     Finish,
-    ApplySteal { victim: usize },
+    ApplySteal {
+        victim: usize,
+    },
     Wait,
     /// Injected service wake for a parked PaCCS victim: serve the request
     /// queue, then re-park.
     Serve,
-    Idle { round: u32 },
+    Idle {
+        round: u32,
+    },
 }
 
 struct SimSink<'a> {
@@ -500,7 +505,7 @@ impl<'c, P: Processor> Sim<'c, P> {
 
     fn apply_steal_macs(&mut self, wi: usize, v: usize, mut now: u64) {
         let shared = self.workers[v].pool.shared() as u64;
-        let want = shared.div_ceil(2).min(self.cfg.max_steal_chunk) as usize;
+        let want = WorkBatch::share_ceil(shared, self.cfg.max_steal_chunk) as usize;
         let items = self.workers[v].pool.steal(want);
         if items.is_empty() {
             // The victim looked loaded at scan time but was drained: a
@@ -536,9 +541,10 @@ impl<'c, P: Processor> Sim<'c, P> {
         self.charge(wi, WorkerState::Poll, poll_ns, now);
         self.workers[wi].stats.polls += 1;
 
-        let chunk = self.cfg.max_steal_chunk as usize;
-        let own_half = (self.workers[wi].pool.shared() as u64).div_ceil(2) as usize;
-        let mut items = self.workers[wi].pool.steal(chunk.min(own_half.max(1)));
+        let chunk = self.cfg.max_steal_chunk;
+        let own_share =
+            WorkBatch::share_ceil(self.workers[wi].pool.shared() as u64, chunk).max(1) as usize;
+        let mut items = self.workers[wi].pool.steal(own_share);
         let mut proxy = false;
         if items.is_empty() {
             // Proxy fulfilment from a co-located worker with surplus.
@@ -554,8 +560,8 @@ impl<'c, P: Processor> Sim<'c, P> {
                 .filter(|&(s, _)| s > 0)
                 .max()
             {
-                let half = (s as u64).div_ceil(2) as usize;
-                items = self.workers[p].pool.steal(chunk.min(half));
+                let share = WorkBatch::share_ceil(s as u64, chunk) as usize;
+                items = self.workers[p].pool.steal(share);
                 proxy = !items.is_empty();
             }
         }
@@ -573,9 +579,7 @@ impl<'c, P: Processor> Sim<'c, P> {
                 self.workers[wi].stats.proxy_serves += 1;
             }
             let bytes = (items.len() * self.slot_words * 8) as u64;
-            let t = *now
-                + self.cfg.costs.remote_latency_ns
-                + self.cfg.costs.transfer_ns(bytes);
+            let t = *now + self.cfg.costs.remote_latency_ns + self.cfg.costs.transfer_ns(bytes);
             self.workers[thief].inbox = Some(Resp::Work(items));
             self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
         }
@@ -671,7 +675,7 @@ impl<'c, P: Processor> Sim<'c, P> {
             self.workers[wi].stats.polls += 1;
 
             let have = self.workers[wi].pool.len();
-            let give = (have / 2).min(self.cfg.max_steal_chunk as usize);
+            let give = WorkBatch::share_floor(have as u64, self.cfg.max_steal_chunk) as usize;
             let local = self.cfg.topology.is_local(wi, thief);
             let lat = if local {
                 self.cfg.costs.poll_ns.max(200)
@@ -752,9 +756,9 @@ impl<'c, P: Processor> Sim<'c, P> {
             }
         }
         // Close every worker's clock at the makespan.
-        let end = self.end_time.unwrap_or_else(|| {
-            self.workers.iter().map(|w| w.cursor).max().unwrap_or(0)
-        });
+        let end = self
+            .end_time
+            .unwrap_or_else(|| self.workers.iter().map(|w| w.cursor).max().unwrap_or(0));
         self.end_time = Some(end);
         for w in &mut self.workers {
             let dt = end.saturating_sub(w.cursor);

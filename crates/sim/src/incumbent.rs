@@ -42,7 +42,10 @@ impl Timeline {
         let mut ev = self.events.borrow_mut();
         if ev.last().map(|&(_, v)| value < v).unwrap_or(true) {
             // Visibility must stay monotone even if delays differ.
-            let vis = ev.last().map(|&(t, _)| t.max(visible_at)).unwrap_or(visible_at);
+            let vis = ev
+                .last()
+                .map(|&(t, _)| t.max(visible_at))
+                .unwrap_or(visible_at);
             ev.push((vis, value));
             true
         } else {
@@ -80,15 +83,12 @@ impl SimIncumbent {
 
 impl Incumbent for SimIncumbent {
     fn get(&self) -> i64 {
-        self.timeline
-            .visible_at(self.now.get())
-            .min(self.own.get())
+        self.timeline.visible_at(self.now.get()).min(self.own.get())
     }
 
     fn submit(&self, value: i64) -> bool {
         self.own.set(self.own.get().min(value));
-        self.timeline
-            .submit(self.now.get() + self.delay_ns, value)
+        self.timeline.submit(self.now.get() + self.delay_ns, value)
     }
 }
 

@@ -44,16 +44,22 @@ fn macs_sim_speedup_is_monotone_and_sane() {
     let mut t = Vec::new();
     for w in [1usize, 4, 16] {
         let cfg = queens_cfg(w, if w >= 4 { 4 } else { 1 });
-        let report = simulate_macs(&cfg, prob.layout.store_words(), std::slice::from_ref(&root), |_| {
-            CpProcessor::new(&prob, 0, false)
-        });
+        let report = simulate_macs(
+            &cfg,
+            prob.layout.store_words(),
+            std::slice::from_ref(&root),
+            |_| CpProcessor::new(&prob, 0, false),
+        );
         t.push(report.makespan_ns as f64);
     }
     let s4 = t[0] / t[1];
     let s16 = t[0] / t[2];
     assert!(s4 > 2.0, "speed-up at 4 vcores too low: {s4:.2}");
     assert!(s4 < 4.4, "speed-up at 4 vcores super-linear: {s4:.2}");
-    assert!(s16 > s4, "speed-up must grow with cores ({s4:.2} vs {s16:.2})");
+    assert!(
+        s16 > s4,
+        "speed-up must grow with cores ({s4:.2} vs {s16:.2})"
+    );
     assert!(s16 < 17.0, "speed-up at 16 vcores impossible: {s16:.2}");
 }
 
@@ -106,9 +112,12 @@ fn macs_beats_or_matches_paccs_at_scale() {
     let prob = queens(9, QueensModel::Pairwise);
     let root = prob.root.as_words().to_vec();
     let cfg = queens_cfg(32, 4);
-    let m = simulate_macs(&cfg, prob.layout.store_words(), std::slice::from_ref(&root), |_| {
-        CpProcessor::new(&prob, 0, false)
-    });
+    let m = simulate_macs(
+        &cfg,
+        prob.layout.store_words(),
+        std::slice::from_ref(&root),
+        |_| CpProcessor::new(&prob, 0, false),
+    );
     let p = simulate_paccs(&cfg, prob.layout.store_words(), &[root], |_| {
         CpProcessor::new(&prob, 0, false)
     });
@@ -127,9 +136,12 @@ fn qap_sim_finds_optimum_and_grows_with_delay() {
     let mut cfg = queens_cfg(8, 4);
     cfg.costs = CostModel::woodcrest_ib(8_000);
     cfg.bound_delay_ns = Some(0);
-    let fast = simulate_macs(&cfg, prob.layout.store_words(), std::slice::from_ref(&root), |_| {
-        CpProcessor::new(&prob, 0, false)
-    });
+    let fast = simulate_macs(
+        &cfg,
+        prob.layout.store_words(),
+        std::slice::from_ref(&root),
+        |_| CpProcessor::new(&prob, 0, false),
+    );
     assert_eq!(fast.incumbent, seq.best_cost.unwrap(), "optimum reached");
 
     // A huge dissemination delay leaves workers pruning on stale bounds:
@@ -154,9 +166,12 @@ fn release_interval_reduces_releases() {
     let root = prob.root.as_words().to_vec();
     let mut cfg = queens_cfg(8, 4);
     cfg.release = macs_runtime::ReleasePolicy::default(); // interval 1
-    let eager = simulate_macs(&cfg, prob.layout.store_words(), std::slice::from_ref(&root), |_| {
-        CpProcessor::new(&prob, 0, false)
-    });
+    let eager = simulate_macs(
+        &cfg,
+        prob.layout.store_words(),
+        std::slice::from_ref(&root),
+        |_| CpProcessor::new(&prob, 0, false),
+    );
     cfg.release = macs_runtime::ReleasePolicy::tuned(); // interval 32
     let tuned = simulate_macs(&cfg, prob.layout.store_words(), &[root], |_| {
         CpProcessor::new(&prob, 0, false)
@@ -175,9 +190,12 @@ fn deterministic_given_seed() {
     let prob = queens(8, QueensModel::Pairwise);
     let root = prob.root.as_words().to_vec();
     let cfg = queens_cfg(8, 4);
-    let a = simulate_macs(&cfg, prob.layout.store_words(), std::slice::from_ref(&root), |_| {
-        CpProcessor::new(&prob, 0, false)
-    });
+    let a = simulate_macs(
+        &cfg,
+        prob.layout.store_words(),
+        std::slice::from_ref(&root),
+        |_| CpProcessor::new(&prob, 0, false),
+    );
     let b = simulate_macs(&cfg, prob.layout.store_words(), &[root], |_| {
         CpProcessor::new(&prob, 0, false)
     });

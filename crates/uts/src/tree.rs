@@ -186,12 +186,9 @@ pub fn uts_parallel(
     seed: u32,
     cfg: &RuntimeConfig,
 ) -> (TreeStats, RunReport<TreeStats>) {
-    let report = run_parallel(
-        cfg,
-        SLOT_WORDS,
-        &[UtsProcessor::root_item(seed)],
-        |_w| UtsProcessor::new(shape),
-    );
+    let report = run_parallel(cfg, SLOT_WORDS, &[UtsProcessor::root_item(seed)], |_w| {
+        UtsProcessor::new(shape)
+    });
     let stats = report
         .outputs
         .iter()

@@ -22,7 +22,10 @@ fn main() {
     // ---- real threads -------------------------------------------------------
     println!("threaded runtime (real cores of this host):");
     let seq = solve_seq(&prob, &SeqOptions::default());
-    println!("  sequential: {} solutions, {} nodes", seq.solutions, seq.nodes);
+    println!(
+        "  sequential: {} solutions, {} nodes",
+        seq.solutions, seq.nodes
+    );
     let mut t1 = None;
     for workers in [1usize, 2, 4] {
         let cfg = SolverConfig::with_workers(workers);
@@ -51,9 +54,12 @@ fn main() {
         };
         let mut cfg = SimConfig::new(topo);
         cfg.costs = CostModel::paper_queens();
-        let report = simulate_macs(&cfg, prob.layout.store_words(), std::slice::from_ref(&root), |_| {
-            CpProcessor::new(&prob, 0, false)
-        });
+        let report = simulate_macs(
+            &cfg,
+            prob.layout.store_words(),
+            std::slice::from_ref(&root),
+            |_| CpProcessor::new(&prob, 0, false),
+        );
         let secs = report.makespan_ns as f64 / 1e9;
         let b = *base.get_or_insert(secs);
         let (ls, lf, rs, rf) = report.steal_totals();

@@ -15,10 +15,22 @@ fn main() {
     let t: Vec<_> = (0..4).map(|_| m.new_var(0, 7)).collect();
     let makespan = m.new_var(0, 10);
     m.post(Propag::AllDiffVal { vars: t.clone() });
-    m.post(Propag::EqOffset { x: t[1], y: t[0], c: 2 }); // t1 = t0 + 2
-    m.post(Propag::LeOffset { x: t[2], y: t[3], c: -3 }); // t2 ≤ t3 − 3
+    m.post(Propag::EqOffset {
+        x: t[1],
+        y: t[0],
+        c: 2,
+    }); // t1 = t0 + 2
+    m.post(Propag::LeOffset {
+        x: t[2],
+        y: t[3],
+        c: -3,
+    }); // t2 ≤ t3 − 3
     for &ti in &t {
-        m.post(Propag::LeOffset { x: ti, y: makespan, c: 0 }); // ti ≤ makespan
+        m.post(Propag::LeOffset {
+            x: ti,
+            y: makespan,
+            c: 0,
+        }); // ti ≤ makespan
     }
     m.minimize_var(makespan);
     let prob = m.compile();

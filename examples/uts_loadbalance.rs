@@ -30,9 +30,7 @@ fn main() {
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(stats, reference, "every node visited exactly once");
         let (ls, lf, rs, rf) = report.steal_totals();
-        println!(
-            "{label}: {dt:>7.3}s  steals local {ls} (failed {lf})  remote {rs} (failed {rf})"
-        );
+        println!("{label}: {dt:>7.3}s  steals local {ls} (failed {lf})  remote {rs} (failed {rf})");
     }
 
     // Victim-selection ablation on a shared-memory node.

@@ -9,15 +9,22 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`domain`] | `macs-domain` | bitmap finite domains, the relocatable [`Store`](domain::Store) |
-//! | [`engine`] | `macs-engine` | propagators, fixpoint engine, models, branching, sequential solver |
+//! | [`engine`] | `macs-engine` | propagators, fixpoint engine, models, branching, sequential oracle |
+//! | [`search`] | `macs-search` | **the** node-processing kernel: [`SearchKernel`](search::SearchKernel), [`IncumbentSource`](search::IncumbentSource), the [`StoreSlab`](search::StoreSlab) arena, [`WorkBatch`](search::WorkBatch) |
 //! | [`gpi`] | `macs-gpi` | the simulated GPI/PGAS layer: topology, segments, one-sided ops |
 //! | [`pool`] | `macs-pool` | the split private/shared work pool |
 //! | [`runtime`] | `macs-runtime` | the generic hierarchical work-stealing runtime |
-//! | [`solver`] | `macs-core` | MaCS itself: parallel CP solving |
-//! | [`paccs`] | `macs-paccs` | the PaCCS message-passing baseline |
+//! | [`solver`] | `macs-core` | MaCS itself: the kernel on the work-stealing runtime |
+//! | [`paccs`] | `macs-paccs` | the PaCCS message-passing baseline (same kernel, channels) |
 //! | [`uts`] | `macs-uts` | the Unbalanced Tree Search benchmark |
 //! | [`sim`] | `macs-sim` | discrete-event simulation at 8–512 virtual cores |
 //! | [`problems`] | `macs-problems` | N-Queens, QAP/QAPLIB, Golomb, magic squares, Langford, knapsack |
+//!
+//! Every execution path — sequential oracle, threaded MaCS, threaded
+//! PaCCS, simulated MaCS, simulated PaCCS — expands nodes through the one
+//! [`SearchKernel`](search::SearchKernel); the paths differ only in how
+//! work moves between workers and where the branch-and-bound incumbent
+//! lives (an [`IncumbentSource`](search::IncumbentSource) implementation).
 //!
 //! # Quickstart
 //!
@@ -40,12 +47,15 @@ pub use macs_paccs as paccs;
 pub use macs_pool as pool;
 pub use macs_problems as problems;
 pub use macs_runtime as runtime;
+pub use macs_search as search;
 pub use macs_sim as sim;
 pub use macs_uts as uts;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use macs_core::{solve_parallel, solve_seq, SeqOptions, SolveOutcome, Solver, SolverConfig};
+    pub use macs_core::{
+        solve_parallel, solve_seq, SeqOptions, SolveOutcome, Solver, SolverConfig,
+    };
     pub use macs_domain::{Store, StoreLayout, StoreView, Val, VarId};
     pub use macs_engine::{
         BranchKind, Brancher, CompiledProblem, CostEval, Model, Propag, ValSelect, VarSelect,
@@ -58,6 +68,9 @@ pub mod prelude {
     };
     pub use macs_runtime::{
         BoundDissemination, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect,
+    };
+    pub use macs_search::{
+        IncumbentSource, LocalIncumbent, SearchKernel, StepOutcome, StoreSlab, WorkBatch,
     };
     pub use macs_sim::{simulate_macs, simulate_paccs, CostModel, SimConfig};
     pub use macs_uts::{uts_parallel, uts_sequential, TreeShape};

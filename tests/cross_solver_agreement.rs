@@ -27,9 +27,12 @@ fn queens_counts_agree_everywhere() {
         assert_eq!(paccs.solutions, expect, "PaCCS queens-{n}");
 
         let root = prob.root.as_words().to_vec();
-        let sim = simulate_macs(&sim_cfg(8), prob.layout.store_words(), std::slice::from_ref(&root), |_| {
-            CpProcessor::new(&prob, 0, false)
-        });
+        let sim = simulate_macs(
+            &sim_cfg(8),
+            prob.layout.store_words(),
+            std::slice::from_ref(&root),
+            |_| CpProcessor::new(&prob, 0, false),
+        );
         assert_eq!(sim.total_solutions(), expect, "simulated MaCS queens-{n}");
 
         let psim = simulate_paccs(&sim_cfg(8), prob.layout.store_words(), &[root], |_| {
@@ -64,12 +67,83 @@ fn langford_and_magic_agree_in_parallel() {
     }
 }
 
+/// Optimisation through every path: the Golomb ruler's known optimum must
+/// come out of the sequential oracle, both threaded solvers, and both
+/// simulated balancers — all driving the one `SearchKernel`.
+#[test]
+fn golomb_optimum_agrees_everywhere() {
+    let n = 6;
+    let expect = 17; // OEIS A003022
+    let prob = golomb_ruler(n, 30);
+
+    let seq = solve_seq(&prob, &SeqOptions::default());
+    assert_eq!(seq.best_cost, Some(expect), "sequential oracle");
+
+    let threaded = Solver::new(SolverConfig::clustered(4, 2)).solve(&prob);
+    assert_eq!(threaded.best_cost, Some(expect), "threaded MaCS");
+    assert!(prob.check_assignment(threaded.best_assignment.as_ref().unwrap()));
+
+    let paccs = paccs_solve(&prob, &PaccsConfig::clustered(4, 2));
+    assert_eq!(paccs.best_cost, Some(expect), "PaCCS");
+    assert!(prob.check_assignment(paccs.best_assignment.as_ref().unwrap()));
+
+    let root = prob.root.as_words().to_vec();
+    let sim = simulate_macs(
+        &sim_cfg(8),
+        prob.layout.store_words(),
+        std::slice::from_ref(&root),
+        |_| CpProcessor::new(&prob, 0, false),
+    );
+    assert_eq!(sim.incumbent, expect, "simulated MaCS");
+
+    let psim = simulate_paccs(&sim_cfg(8), prob.layout.store_words(), &[root], |_| {
+        CpProcessor::new(&prob, 0, false)
+    });
+    assert_eq!(psim.incumbent, expect, "simulated PaCCS");
+}
+
+/// Satisfaction through every path: Langford L(2,7) counts.
+#[test]
+fn langford_counts_agree_everywhere() {
+    let prob = langford(7);
+    let expect = solve_seq(&prob, &SeqOptions::default()).solutions;
+    assert_eq!(expect, 52, "L(2,7) raw sequence count");
+
+    let threaded = Solver::new(SolverConfig::clustered(4, 2)).solve(&prob);
+    assert_eq!(threaded.solutions, expect, "threaded MaCS");
+
+    let paccs = paccs_solve(&prob, &PaccsConfig::with_workers(4));
+    assert_eq!(paccs.solutions, expect, "PaCCS");
+
+    let root = prob.root.as_words().to_vec();
+    let sim = simulate_macs(
+        &sim_cfg(8),
+        prob.layout.store_words(),
+        std::slice::from_ref(&root),
+        |_| CpProcessor::new(&prob, 0, false),
+    );
+    assert_eq!(sim.total_solutions(), expect, "simulated MaCS");
+
+    let psim = simulate_paccs(&sim_cfg(8), prob.layout.store_words(), &[root], |_| {
+        CpProcessor::new(&prob, 0, false)
+    });
+    assert_eq!(psim.total_solutions(), expect, "simulated PaCCS");
+}
+
 #[test]
 fn unsatisfiable_agrees_everywhere() {
     let prob = queens(3, QueensModel::Pairwise);
     assert_eq!(solve_seq(&prob, &SeqOptions::default()).solutions, 0);
-    assert_eq!(Solver::new(SolverConfig::with_workers(2)).solve(&prob).solutions, 0);
-    assert_eq!(paccs_solve(&prob, &PaccsConfig::with_workers(2)).solutions, 0);
+    assert_eq!(
+        Solver::new(SolverConfig::with_workers(2))
+            .solve(&prob)
+            .solutions,
+        0
+    );
+    assert_eq!(
+        paccs_solve(&prob, &PaccsConfig::with_workers(2)).solutions,
+        0
+    );
     let root = prob.root.as_words().to_vec();
     let sim = simulate_macs(&sim_cfg(2), prob.layout.store_words(), &[root], |_| {
         CpProcessor::new(&prob, 0, false)

@@ -1,8 +1,9 @@
-//! Property-based integration tests: random models solved by independent
-//! paths must agree.
+//! Randomised integration tests: random models solved by independent
+//! paths must agree. Deterministic seeded random cases (no external
+//! property-testing dependency in this build environment).
 
 use macs::prelude::*;
-use proptest::prelude::*;
+use macs::runtime::SplitMix64;
 
 /// A random binary CSP over `n` variables with domains `0..=max`, built
 /// from disequality/offset constraints (always compilable, sometimes
@@ -16,50 +17,75 @@ fn random_csp(n: usize, max: u32, edges: &[(usize, usize, i8, bool)]) -> Compile
             continue;
         }
         if eq {
-            m.post(Propag::EqOffset { x, y, c: off as i64 });
+            m.post(Propag::EqOffset {
+                x,
+                y,
+                c: off as i64,
+            });
         } else {
-            m.post(Propag::NeqOffset { x, y, c: off as i64 });
+            m.post(Propag::NeqOffset {
+                x,
+                y,
+                c: off as i64,
+            });
         }
     }
     m.compile()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_edges(rng: &mut SplitMix64, count: usize) -> Vec<(usize, usize, i8, bool)> {
+    (0..count)
+        .map(|_| {
+            (
+                rng.below_usize(6),
+                rng.below_usize(6),
+                rng.below(7) as i8 - 3,
+                rng.below(2) == 0,
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn parallel_equals_sequential_on_random_csps(
-        n in 3usize..6,
-        max in 2u32..5,
-        edges in prop::collection::vec((0usize..6, 0usize..6, -3i8..4, prop::bool::ANY), 1..10),
-    ) {
+#[test]
+fn parallel_equals_sequential_on_random_csps() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::for_worker(0xC0FFEE, case as usize);
+        let n = 3 + rng.below_usize(3);
+        let max = 2 + rng.below(3) as u32;
+        let n_edges = 1 + rng.below_usize(9);
+        let edges = random_edges(&mut rng, n_edges);
         let prob = random_csp(n, max, &edges);
         let seq = solve_seq(&prob, &SeqOptions::default());
         let par = Solver::new(SolverConfig::with_workers(3)).solve(&prob);
-        prop_assert_eq!(par.solutions, seq.solutions);
+        assert_eq!(par.solutions, seq.solutions, "case {case}: {edges:?}");
         for a in &par.kept {
-            prop_assert!(prob.check_assignment(a));
+            assert!(prob.check_assignment(a), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn paccs_equals_sequential_on_random_csps(
-        n in 3usize..6,
-        max in 2u32..5,
-        edges in prop::collection::vec((0usize..6, 0usize..6, -3i8..4, prop::bool::ANY), 1..8),
-    ) {
+#[test]
+fn paccs_equals_sequential_on_random_csps() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::for_worker(0xBEEF, case as usize);
+        let n = 3 + rng.below_usize(3);
+        let max = 2 + rng.below(3) as u32;
+        let n_edges = 1 + rng.below_usize(7);
+        let edges = random_edges(&mut rng, n_edges);
         let prob = random_csp(n, max, &edges);
         let seq = solve_seq(&prob, &SeqOptions::default());
         let out = paccs_solve(&prob, &PaccsConfig::with_workers(2));
-        prop_assert_eq!(out.solutions, seq.solutions);
+        assert_eq!(out.solutions, seq.solutions, "case {case}: {edges:?}");
     }
+}
 
-    #[test]
-    fn random_linear_minimisation_agrees(
-        coefs in prop::collection::vec(1i64..5, 3),
-        k in 6i64..14,
-    ) {
+#[test]
+fn random_linear_minimisation_agrees() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::for_worker(0x11EA, case as usize);
         // minimise x0 subject to Σ coef·x = k.
+        let coefs: Vec<i64> = (0..3).map(|_| 1 + rng.below(4) as i64).collect();
+        let k = 6 + rng.below(8) as i64;
         let mut m = Model::new("lin-opt");
         let xs = m.new_vars(3, 0, 9);
         let terms: Vec<(i64, VarId)> = coefs.iter().copied().zip(xs.iter().copied()).collect();
@@ -68,9 +94,9 @@ proptest! {
         let prob = m.compile();
         let seq = solve_seq(&prob, &SeqOptions::default());
         let par = Solver::new(SolverConfig::with_workers(2)).solve(&prob);
-        prop_assert_eq!(par.best_cost, seq.best_cost);
+        assert_eq!(par.best_cost, seq.best_cost, "case {case}: {coefs:?} = {k}");
         if let Some(a) = &par.best_assignment {
-            prop_assert!(prob.check_assignment(a));
+            assert!(prob.check_assignment(a), "case {case}");
         }
     }
 }
