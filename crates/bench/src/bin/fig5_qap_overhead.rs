@@ -1,15 +1,19 @@
 //! Figure 5 — "Working time and Overhead" for the QAP (optimisation).
+//!
+//! Runs on the embedded `esc16e` instance, loaded through the QAPLIB
+//! parser; `--n` (default 11, full scale 16) truncates to the leading
+//! block so quick mode finishes in minutes.
 
-use macs_bench::{arg, core_series, print_state_table, sim_cp_macs, topo_for};
+use macs_bench::{core_series, full_scale, print_state_table, qap_size_arg, sim_cp_macs, topo_for};
 use macs_problems::{qap::QapInstance, qap_model};
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
-    let n: usize = arg("n", 11);
-    let inst = QapInstance::hypercube_like(n, 5);
+    let n = qap_size_arg("n", if full_scale() { 16 } else { 11 });
+    let inst = QapInstance::esc16e().sub_instance(n);
     let prob = qap_model(&inst);
     println!(
-        "Fig. 5 — worker state breakdown, {} (simulated; paper: esc16e)\n",
+        "Fig. 5 — worker state breakdown, {} (simulated)\n",
         inst.name
     );
     let mut rows = Vec::new();

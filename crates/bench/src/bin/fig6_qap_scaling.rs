@@ -1,17 +1,21 @@
 //! Figure 6 — QAP scalability: speed-up, efficiency, performance.
+//!
+//! Runs on the embedded `esc16e` instance, loaded through the QAPLIB
+//! parser; `--n` (default 11, full scale 16) truncates to the leading
+//! block so quick mode finishes in minutes.
 
-use macs_bench::{arg, core_series, print_scaling, scale_row, sim_cp_macs, sim_cp_paccs, topo_for};
+use macs_bench::{
+    core_series, full_scale, print_scaling, qap_size_arg, scale_row, sim_cp_macs, sim_cp_paccs,
+    topo_for,
+};
 use macs_problems::{qap::QapInstance, qap_model};
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
-    let n: usize = arg("n", 11);
-    let inst = QapInstance::hypercube_like(n, 5);
+    let n = qap_size_arg("n", if full_scale() { 16 } else { 11 });
+    let inst = QapInstance::esc16e().sub_instance(n);
     let prob = qap_model(&inst);
-    println!(
-        "Fig. 6 — {} scalability (simulated; paper: esc16e)\n",
-        inst.name
-    );
+    println!("Fig. 6 — {} scalability (simulated)\n", inst.name);
 
     let mut base_cfg = SimConfig::new(topo_for(1));
     base_cfg.costs = CostModel::paper_qap();

@@ -2,17 +2,23 @@
 //! seconds. CI runs this after the unit suites to catch kernel-API drift
 //! and cross-path disagreements that only show up end-to-end.
 //!
+//! Besides the default flat/2-level drives, every instance is also run on
+//! a hierarchical machine (default 2×2×2 nodes×sockets×cores, override
+//! with `--shape AxBxC[:prefix]`) so 3-level topologies stay in the
+//! cross-solver agreement net.
+//!
 //! Exit code is non-zero on any disagreement with the sequential oracle.
 
-use macs_bench::{sim_cp_macs, sim_cp_paccs};
+use macs_bench::{shape_arg, sim_cp_macs, sim_cp_paccs};
 use macs_core::{solve_seq, SeqOptions, Solver, SolverConfig};
 use macs_engine::CompiledProblem;
 use macs_paccs::{paccs_solve, PaccsConfig};
 use macs_problems::{golomb_ruler, langford, queens, QueensModel};
+use macs_runtime::MachineTopology;
 use macs_sim::SimConfig;
 
 struct Row {
-    name: &'static str,
+    name: String,
     seq: u64,
     macs: u64,
     paccs: u64,
@@ -23,15 +29,22 @@ struct Row {
     optimum: Option<(i64, i64, i64, i64)>,
 }
 
-fn drive(name: &'static str, prob: &CompiledProblem) -> Row {
+fn drive(
+    name: &str,
+    prob: &CompiledProblem,
+    threaded_cfg: SolverConfig,
+    topo: MachineTopology,
+) -> Row {
     let seq = solve_seq(prob, &SeqOptions::default());
-    let threaded = Solver::new(SolverConfig::clustered(4, 2)).solve(prob);
-    let paccs = paccs_solve(prob, &PaccsConfig::clustered(4, 2));
-    let cfg = SimConfig::paper_cluster(8);
+    let threaded = Solver::new(threaded_cfg).solve(prob);
+    let mut paccs_cfg = PaccsConfig::with_workers(1);
+    paccs_cfg.topology = topo.clone();
+    let paccs = paccs_solve(prob, &paccs_cfg);
+    let cfg = SimConfig::new(topo);
     let sim = sim_cp_macs(prob, &cfg);
     let psim = sim_cp_paccs(prob, &cfg);
     Row {
-        name,
+        name: name.to_string(),
         seq: seq.solutions,
         macs: threaded.solutions,
         paccs: paccs.solutions,
@@ -49,15 +62,44 @@ fn drive(name: &'static str, prob: &CompiledProblem) -> Row {
 }
 
 fn main() {
-    let rows = vec![
-        drive("queens-7", &queens(7, QueensModel::Pairwise)),
-        drive("queens-8-alldiff", &queens(8, QueensModel::AllDiff)),
-        drive("langford-7", &langford(7)),
-        drive("golomb-5", &golomb_ruler(5, 20)),
+    // The hierarchical matrix entry: 3-level by default, CI also passes
+    // explicit shapes.
+    let deep_topo = shape_arg()
+        .unwrap_or_else(|| MachineTopology::try_new(&[2, 2, 2], 1).expect("default 3-level shape"));
+    let deep_runtime = {
+        let mut cfg = SolverConfig::with_workers(1);
+        cfg.runtime.topology = deep_topo.clone();
+        cfg
+    };
+    println!("hierarchical matrix shape: {deep_topo}\n");
+
+    let instances: Vec<(&str, CompiledProblem)> = vec![
+        ("queens-7", queens(7, QueensModel::Pairwise)),
+        ("queens-8-alldiff", queens(8, QueensModel::AllDiff)),
+        ("langford-7", langford(7)),
+        ("golomb-5", golomb_ruler(5, 20)),
     ];
 
+    let mut rows = Vec::new();
+    for (name, prob) in &instances {
+        // The original 2-level drive (4 workers in nodes of 2; sim at 8).
+        rows.push(drive(
+            name,
+            prob,
+            SolverConfig::clustered(4, 2),
+            MachineTopology::try_clustered(8, 4).expect("2-level shape"),
+        ));
+        // The hierarchical drive: same instance, N-level machine.
+        rows.push(drive(
+            &format!("{name} @{deep_topo}"),
+            prob,
+            deep_runtime.clone(),
+            deep_topo.clone(),
+        ));
+    }
+
     println!(
-        "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9}  optimum",
+        "{:<40} {:>8} {:>8} {:>8} {:>9} {:>9}  optimum",
         "instance", "seq", "macs", "paccs", "sim-macs", "sim-paccs"
     );
     let mut ok = true;
@@ -72,7 +114,7 @@ fn main() {
             None => "-".into(),
         };
         println!(
-            "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9}  {opt}",
+            "{:<40} {:>8} {:>8} {:>8} {:>9} {:>9}  {opt}",
             r.name, r.seq, r.macs, r.paccs, r.sim_macs, r.sim_paccs
         );
         // Optimisation paths count *improving* solutions, which are

@@ -1,0 +1,111 @@
+//! Topology ablation — what the `macs-topo` subsystem buys:
+//!
+//! 1. **Victim order** (fig4 queens series): flat scan vs. distance-aware
+//!    level-by-level scan on a deep machine (nodes × 2 sockets × 4
+//!    cores), with steals-by-distance histograms.
+//! 2. **Batched remote responses** (fig6-style run at the largest core
+//!    count): 1 chunk per response vs. `response_batch` chunks, measured
+//!    in remote round trips and items delivered per steal.
+//!
+//! `--full` extends the series to 512 simulated cores; `--shape 2x2x4:1`
+//! overrides the machine shape for part 2.
+
+use macs_bench::{arg, core_series, deep_topo_for, qap_size_arg, shape_arg, sim_cp_macs};
+use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
+use macs_runtime::ScanOrder;
+use macs_sim::{CostModel, SimConfig, SimReport};
+
+fn deep_cfg(cores: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(deep_topo_for(cores));
+    cfg.costs = CostModel::paper_queens();
+    cfg
+}
+
+fn row<O>(label: &str, r: &SimReport<O>) {
+    let (ls, lf, rs, rf) = r.steal_totals();
+    println!(
+        "  {label:<16} {:>9.3} ms  steals L {ls}/{lf}f R {rs}/{rf}f  dist {}",
+        r.makespan_ns as f64 / 1e6,
+        r.steal_distance_histogram().display()
+    );
+}
+
+fn main() {
+    let n: usize = arg("n", 12);
+    let prob = queens(n, QueensModel::Pairwise);
+    let series = core_series();
+    let top = *series.last().unwrap();
+
+    println!("Topology ablation — queens-{n} (simulated)\n");
+    println!("== 1. victim order: flat vs distance-aware (nodes x 2 sockets x 4 cores) ==");
+    let mut speedups: Vec<(usize, f64, f64)> = Vec::new();
+    for &cores in &series {
+        println!("{cores} cores:");
+        let mut flat = deep_cfg(cores);
+        flat.scan_order = ScanOrder::Flat;
+        flat.response_batch = 1;
+        let rf = sim_cp_macs(&prob, &flat);
+        row("flat", &rf);
+
+        let mut aware = deep_cfg(cores);
+        aware.scan_order = ScanOrder::DistanceAware;
+        aware.response_batch = 1;
+        let ra = sim_cp_macs(&prob, &aware);
+        row("distance-aware", &ra);
+        speedups.push((
+            cores,
+            rf.makespan_ns as f64 / 1e6,
+            ra.makespan_ns as f64 / 1e6,
+        ));
+    }
+    println!("\n  cores   flat(ms)  aware(ms)   aware/flat");
+    for (cores, f, a) in &speedups {
+        println!("  {cores:>5} {f:>10.3} {a:>10.3} {:>11.3}x", f / a);
+    }
+
+    println!("\n== 2. remote responses: 1 chunk vs batched ({top} cores, 5 seeds) ==");
+    let topo = shape_arg().unwrap_or_else(|| deep_topo_for(top));
+    println!("   machine: {topo}");
+    // The fig4 and fig6 workloads at a size where 512 cores still have
+    // real work per core (thin replies are exactly the batching target).
+    let big_queens = queens(arg("n2", 14), QueensModel::Pairwise);
+    let qap_inst = QapInstance::esc16e().sub_instance(qap_size_arg("qn", 11));
+    let qap = qap_model(&qap_inst);
+    for (name, prob, costs) in [
+        ("queens-14", &big_queens, CostModel::paper_queens()),
+        (qap_inst.name.as_str(), &qap, CostModel::paper_qap()),
+    ] {
+        for batch in [1u32, 2, 4] {
+            let (mut rtts, mut items, mut ms) = (0u64, 0.0, 0.0);
+            let (mut served_t, mut chunks_t, mut multi_t) = (0u64, 0u64, 0u64);
+            for seed in 1..=5u64 {
+                let mut cfg = SimConfig::new(topo.clone());
+                cfg.costs = costs;
+                cfg.response_batch = batch;
+                cfg.seed = seed;
+                let r = sim_cp_macs(prob, &cfg);
+                let (served, chunks, multi) = r.response_batching();
+                rtts += r.remote_round_trips();
+                items += r.items_per_remote_steal();
+                ms += r.makespan_ns as f64 / 1e6;
+                served_t += served;
+                chunks_t += chunks;
+                multi_t += multi;
+            }
+            println!(
+                "  {name:<12} batch={batch}: {:>9.3} ms/run  remote round-trips {:>6}  \
+                 items/steal {:>5.2}  responses {served_t} (chunks {chunks_t}, multi {multi_t})",
+                ms / 5.0,
+                rtts,
+                items / 5.0,
+            );
+        }
+    }
+    println!(
+        "\nExpected shape: distance-aware no worse than flat, with the steal mix\n\
+         shifted to the near rings; moderate batching (2 pools, thin replies\n\
+         only) cuts remote round-trips on the optimisation workload where\n\
+         replies are thin, is schedule-noise-neutral on queens enumeration,\n\
+         and aggressive batching over-exports and gives the savings back."
+    );
+}

@@ -9,7 +9,7 @@
 
 use macs_core::{CpOutput, CpProcessor};
 use macs_engine::CompiledProblem;
-use macs_gpi::Topology;
+use macs_gpi::{MachineTopology, Topology};
 use macs_runtime::{WorkerState, NUM_STATES};
 use macs_sim::{simulate_macs, simulate_paccs, SimConfig, SimReport};
 
@@ -21,6 +21,63 @@ pub fn topo_for(cores: usize) -> Topology {
     } else {
         Topology::single_node(cores)
     }
+}
+
+/// A hierarchical shape with the same total: `cores` workers arranged as
+/// nodes × 2 sockets × 4 cores (node boundary at the outer level), for
+/// the distance-aware experiments. Falls back to [`topo_for`]'s shape
+/// when `cores` doesn't fill at least one 8-core node.
+pub fn deep_topo_for(cores: usize) -> MachineTopology {
+    if cores >= 8 && cores.is_multiple_of(8) {
+        MachineTopology::try_new(&[cores / 8, 2, 4], 1).expect("valid deep shape")
+    } else {
+        topo_for(cores).into()
+    }
+}
+
+/// Parse a `--shape` argument of the form `2x2x4` or `2x2x4:1`
+/// (levels outermost-first, optional `:node_prefix`, default prefix 1).
+/// All shape validation errors surface as readable messages, not panics.
+pub fn parse_shape(s: &str) -> Result<MachineTopology, String> {
+    let (dims, prefix) = match s.split_once(':') {
+        Some((d, p)) => {
+            let prefix = p
+                .parse::<usize>()
+                .map_err(|e| format!("bad node prefix {p:?} in shape {s:?}: {e}"))?;
+            (d, prefix)
+        }
+        None => (s, 1),
+    };
+    let shape: Vec<usize> = dims
+        .split('x')
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| format!("bad level extent {t:?} in shape {s:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    MachineTopology::try_new(&shape, prefix).map_err(|e| format!("invalid shape {s:?}: {e}"))
+}
+
+/// `--shape AxBxC[:prefix]` from the process arguments, if present;
+/// malformed shapes exit with a readable message (exit code 2).
+pub fn shape_arg() -> Option<MachineTopology> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--shape" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--shape needs a value, e.g. --shape 2x2x4:1");
+                std::process::exit(2);
+            };
+            match parse_shape(v) {
+                Ok(t) => return Some(t),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Simulate MaCS solving `prob` under `cfg`.
@@ -54,6 +111,17 @@ pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         }
     }
     default
+}
+
+/// Validate a QAP sub-instance size from `--n`-style arguments with a
+/// readable exit instead of a library panic.
+pub fn qap_size_arg(name: &str, default: usize) -> usize {
+    let n = arg(name, default);
+    if !(2..=16).contains(&n) {
+        eprintln!("--{name} must be in 2..=16 (got {n})");
+        std::process::exit(2);
+    }
+    n
 }
 
 /// `--full` switches the harnesses from quick (minutes) to paper-scale
@@ -131,6 +199,40 @@ pub fn print_steal_table(title: &str, rows: &[StealRow]) {
             r.remote_failed,
             rrate,
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_shape_accepts_levels_and_prefix() {
+        let t = parse_shape("2x2x4").unwrap();
+        assert_eq!(t.shape(), &[2, 2, 4]);
+        assert_eq!(t.node_prefix(), 1);
+        let t = parse_shape("2x2x4:2").unwrap();
+        assert_eq!(t.node_prefix(), 2);
+        assert_eq!(t.nodes(), 4);
+        let t = parse_shape("8:0").unwrap();
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.nodes(), 1);
+    }
+
+    #[test]
+    fn parse_shape_reports_readable_errors() {
+        for bad in ["", "2xx4", "2x0x4", "axb", "2x2:9", "2x2:x"] {
+            let err = parse_shape(bad).unwrap_err();
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+        }
+    }
+
+    #[test]
+    fn deep_topo_preserves_the_core_count() {
+        assert_eq!(deep_topo_for(64).total_workers(), 64);
+        assert_eq!(deep_topo_for(64).levels(), 3);
+        assert_eq!(deep_topo_for(4).levels(), 2);
+        assert_eq!(deep_topo_for(1).total_workers(), 1);
     }
 }
 

@@ -37,6 +37,20 @@ impl SolverConfig {
             first_only: false,
         }
     }
+
+    /// An N-level machine shape (see
+    /// [`RuntimeConfig::hierarchical`]), e.g. `&[2, 2, 4]` with
+    /// `node_prefix = 1` for 2 nodes × 2 sockets × 4 cores.
+    pub fn hierarchical(
+        shape: &[usize],
+        node_prefix: usize,
+    ) -> Result<Self, macs_runtime::TopoError> {
+        Ok(SolverConfig {
+            runtime: RuntimeConfig::hierarchical(shape, node_prefix)?,
+            keep_solutions: 16,
+            first_only: false,
+        })
+    }
 }
 
 impl Default for SolverConfig {

@@ -9,8 +9,9 @@
 //!
 //! This crate reproduces that programming model inside one process:
 //!
-//! * [`Topology`] — the hierarchical node/core structure (workers on the
-//!   same node are "close"; others are "remote");
+//! * [`MachineTopology`] (from `macs-topo`) — the N-level machine
+//!   structure; [`Topology`] is the classic 2-level node/core alias
+//!   (workers on the same node are "close"; others are "remote");
 //! * [`Segment`] — a partition of global memory: a word array supporting
 //!   one-sided reads, writes, and atomics, in *local* (plain shared-memory)
 //!   and *remote* flavours, the latter charged against the interconnect
@@ -43,13 +44,19 @@ pub use interconnect::{Interconnect, LatencyModel, TrafficCounters};
 pub use segment::Segment;
 pub use topology::Topology;
 
+// The N-level machine model this layer's `Topology` is a 2-level alias
+// of; re-exported so runtime/sim/paccs share one set of topology types.
+pub use macs_topo::{
+    MachineTopology, PeerRing, ScanOrder, StealHistogram, TopoError, VictimOrder, MAX_LEVELS,
+};
+
 use std::sync::Arc;
 
 /// Everything a set of workers needs to communicate: the topology, the
 /// interconnect, a global register file and a barrier.
 #[derive(Debug)]
 pub struct World {
-    pub topology: Topology,
+    pub topology: MachineTopology,
     pub interconnect: Interconnect,
     pub cells: GlobalCells,
     pub barrier: GpiBarrier,
@@ -57,7 +64,12 @@ pub struct World {
 
 impl World {
     /// Build a world with `cell_count` global registers.
-    pub fn new(topology: Topology, latency: LatencyModel, cell_count: usize) -> Arc<Self> {
+    pub fn new(
+        topology: impl Into<MachineTopology>,
+        latency: LatencyModel,
+        cell_count: usize,
+    ) -> Arc<Self> {
+        let topology = topology.into();
         let total = topology.total_workers();
         Arc::new(World {
             topology,

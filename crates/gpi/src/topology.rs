@@ -1,6 +1,16 @@
-//! The hierarchical node/core structure of the machine.
+//! The classic two-level node/core view of the machine — now a thin alias
+//! over [`macs_topo::MachineTopology`], kept for the common case and for
+//! `Copy`-friendly configuration.
+//!
+//! The general N-level model (sockets inside nodes, nodes inside
+//! clusters, distance-aware victim rings) lives in `macs-topo`; this type
+//! describes the paper's original testbed shape — `nodes` shared-memory
+//! nodes of `cores_per_node` workers — and converts losslessly into a
+//! 2-level [`MachineTopology`] via [`Topology::machine`] or `Into`.
 
 use std::ops::Range;
+
+use macs_topo::{MachineTopology, TopoError};
 
 /// A cluster topology: `nodes` shared-memory nodes of `cores_per_node`
 /// workers each. The paper's testbed is 155 nodes × 4 cores (620 cores);
@@ -13,12 +23,18 @@ pub struct Topology {
 }
 
 impl Topology {
-    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
-        assert!(nodes > 0 && cores_per_node > 0, "empty topology");
-        Topology {
+    /// Validated constructor: both extents must be non-zero.
+    pub fn try_new(nodes: usize, cores_per_node: usize) -> Result<Self, TopoError> {
+        // Borrow the N-level validation so the error taxonomy is shared.
+        MachineTopology::try_two_level(nodes, cores_per_node)?;
+        Ok(Topology {
             nodes,
             cores_per_node,
-        }
+        })
+    }
+
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        Topology::try_new(nodes, cores_per_node).expect("empty topology")
     }
 
     /// A single shared-memory machine with `n` workers.
@@ -29,12 +45,27 @@ impl Topology {
     /// Split `total` workers into nodes of (at most) `cores_per_node`,
     /// mirroring the paper's 4-cores-per-node cluster. `total` must be a
     /// multiple of `cores_per_node`.
+    pub fn try_clustered(total: usize, cores_per_node: usize) -> Result<Self, TopoError> {
+        MachineTopology::try_clustered(total, cores_per_node)?;
+        Ok(Topology {
+            nodes: total / cores_per_node,
+            cores_per_node,
+        })
+    }
+
+    /// Panicking shorthand for [`Topology::try_clustered`].
     pub fn clustered(total: usize, cores_per_node: usize) -> Self {
-        assert!(
-            total.is_multiple_of(cores_per_node),
-            "worker count {total} not a multiple of node size {cores_per_node}"
-        );
-        Topology::new(total / cores_per_node, cores_per_node)
+        match Topology::try_clustered(total, cores_per_node) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The equivalent 2-level [`MachineTopology`] (node boundary at the
+    /// outer level).
+    pub fn machine(&self) -> MachineTopology {
+        MachineTopology::try_two_level(self.nodes, self.cores_per_node)
+            .expect("Topology invariants already validated")
     }
 
     #[inline]
@@ -67,6 +98,12 @@ impl Topology {
     #[inline]
     pub fn is_local(&self, a: usize, b: usize) -> bool {
         self.node_of(a) == self.node_of(b)
+    }
+}
+
+impl From<Topology> for MachineTopology {
+    fn from(t: Topology) -> MachineTopology {
+        t.machine()
     }
 }
 
@@ -105,5 +142,34 @@ mod tests {
     #[should_panic]
     fn clustered_requires_divisibility() {
         let _ = Topology::clustered(10, 4);
+    }
+
+    #[test]
+    fn try_constructors_return_errors() {
+        assert_eq!(
+            Topology::try_clustered(10, 4),
+            Err(TopoError::NotDivisible {
+                total: 10,
+                cores_per_node: 4
+            })
+        );
+        assert!(Topology::try_new(0, 4).is_err());
+        assert!(Topology::try_new(4, 0).is_err());
+        assert!(Topology::try_clustered(12, 4).is_ok());
+    }
+
+    #[test]
+    fn machine_conversion_agrees_on_all_queries() {
+        let t = Topology::clustered(12, 4);
+        let m: MachineTopology = t.into();
+        assert_eq!(m.levels(), 2);
+        assert_eq!(m.total_workers(), t.total_workers());
+        assert_eq!(m.nodes(), t.nodes);
+        for w in 0..t.total_workers() {
+            assert_eq!(m.node_of(w), t.node_of(w));
+            assert_eq!(m.peers_of(w), t.peers_of(w));
+        }
+        assert_eq!(m.is_local(0, 3), t.is_local(0, 3));
+        assert_eq!(m.is_local(3, 4), t.is_local(3, 4));
     }
 }

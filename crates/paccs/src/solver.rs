@@ -11,13 +11,13 @@ use std::time::{Duration, Instant};
 
 use macs_domain::Val;
 use macs_engine::CompiledProblem;
-use macs_gpi::{Interconnect, LatencyModel, Topology};
+use macs_gpi::{Interconnect, LatencyModel, MachineTopology, StealHistogram, TopoError, Topology};
 use macs_search::{AtomicIncumbent, SearchKernel, StepOutcome, WorkBatch, WorkItem};
 
 /// Configuration of a PaCCS run.
 #[derive(Clone, Debug)]
 pub struct PaccsConfig {
-    pub topology: Topology,
+    pub topology: MachineTopology,
     pub latency: LatencyModel,
     /// Sleep between failed steal sweeps.
     pub steal_retry_backoff_us: u64,
@@ -30,7 +30,7 @@ pub struct PaccsConfig {
 impl PaccsConfig {
     pub fn with_workers(n: usize) -> Self {
         PaccsConfig {
-            topology: Topology::single_node(n),
+            topology: Topology::single_node(n).into(),
             latency: LatencyModel::zero(),
             steal_retry_backoff_us: 50,
             max_steal_chunk: 8,
@@ -40,9 +40,20 @@ impl PaccsConfig {
 
     pub fn clustered(total: usize, cores_per_node: usize) -> Self {
         PaccsConfig {
-            topology: Topology::clustered(total, cores_per_node),
+            topology: Topology::clustered(total, cores_per_node).into(),
             ..PaccsConfig::with_workers(total)
         }
+    }
+
+    /// An N-level machine shape, e.g. `&[2, 2, 4]` with `node_prefix = 1`
+    /// for 2 nodes × 2 sockets × 4 cores; agent neighbourhoods follow the
+    /// levels.
+    pub fn hierarchical(shape: &[usize], node_prefix: usize) -> Result<Self, TopoError> {
+        let topology = MachineTopology::try_new(shape, node_prefix)?;
+        Ok(PaccsConfig {
+            topology,
+            ..PaccsConfig::with_workers(1)
+        })
     }
 }
 
@@ -63,6 +74,8 @@ pub struct PaccsOutcome {
     pub remote_steals: u64,
     /// Steal requests answered with `NoWork`.
     pub failed_steals: u64,
+    /// Successful steals by topological distance (thief side).
+    pub steals_by_distance: StealHistogram,
     /// Total messages exchanged.
     pub messages: u64,
 }
@@ -131,6 +144,7 @@ struct AgentResult {
     local_steals: u64,
     remote_steals: u64,
     failed_steals: u64,
+    steals_by_distance: StealHistogram,
 }
 
 /// Victim side of a steal: hand over the oldest half of the queue (the
@@ -171,11 +185,12 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
         stack.push_back(root);
     }
 
-    // Victim order: the local node first, then the remote agents — the
-    // expanding neighbourhood of the paper.
+    // Victim order: the topology's distance rings flattened nearest
+    // first — socket peers, then node peers, then each remote ring — the
+    // paper's expanding neighbourhood, derived from the machine's levels
+    // instead of an ad-hoc local/remote split.
     let topo = &shared.cfg.topology;
-    let mut victims: Vec<usize> = topo.peers_of(id).filter(|&w| w != id).collect();
-    victims.extend((0..topo.total_workers()).filter(|&w| !topo.is_local(w, id)));
+    let victims: Vec<usize> = topo.rings(id).into_iter().flatten().collect();
 
     loop {
         // MPI-progress: drain pending messages.
@@ -232,6 +247,7 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
                     match rx.recv() {
                         Ok(Msg::Work(batch)) => {
                             accept_work(batch, &mut stack, shared);
+                            res.steals_by_distance.record(topo.distance(id, victim));
                             if topo.is_local(victim, id) {
                                 res.local_steals += 1;
                             } else {
@@ -370,6 +386,13 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
         local_steals: agent_results.iter().map(|r| r.local_steals).sum(),
         remote_steals: agent_results.iter().map(|r| r.remote_steals).sum(),
         failed_steals: agent_results.iter().map(|r| r.failed_steals).sum(),
+        steals_by_distance: {
+            let mut h = StealHistogram::new();
+            for r in &agent_results {
+                h.merge(&r.steals_by_distance);
+            }
+            h
+        },
         messages: shared.messages.load(Ordering::Relaxed),
     }
 }
@@ -432,6 +455,24 @@ mod tests {
             stole,
             "no stealing observed in 3 runs of queens-10 × 4 agents"
         );
+    }
+
+    #[test]
+    fn three_level_neighbourhoods_agree_with_sequential() {
+        let prob = queens(8, QueensModel::Pairwise);
+        let seq = solve_seq(&prob, &SeqOptions::default());
+        // 2 nodes × 2 sockets × 2 cores: the sweep expands socket → node
+        // → remote.
+        let mut cfg = PaccsConfig::hierarchical(&[2, 2, 2], 1).unwrap();
+        cfg.max_steal_chunk = 4;
+        let out = paccs_solve(&prob, &cfg);
+        assert_eq!(out.solutions, seq.solutions);
+        assert_eq!(
+            out.steals_by_distance.total(),
+            out.local_steals + out.remote_steals,
+            "histogram counts every steal"
+        );
+        assert!(PaccsConfig::hierarchical(&[2, 0], 1).is_err());
     }
 
     #[test]

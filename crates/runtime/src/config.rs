@@ -1,7 +1,7 @@
 //! Runtime configuration: topology, stealing heuristics, polling and
 //! release policies.
 
-use macs_gpi::{LatencyModel, Topology};
+use macs_gpi::{LatencyModel, MachineTopology, ScanOrder, TopoError, Topology};
 
 /// Local-steal victim selection (paper §V, "Local Work Stealing"):
 /// MaCS ships a cheap *greedy* variant and a better-informed but costlier
@@ -149,11 +149,22 @@ pub enum SeedMode {
 /// Complete configuration of a parallel run.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
-    /// Node/core structure; stealing inside a node is shared-memory,
-    /// across nodes it pays the interconnect.
-    pub topology: Topology,
+    /// The machine's level structure; stealing inside a node is
+    /// shared-memory, across nodes it pays the interconnect, and victim
+    /// scans walk the levels nearest-first (see `scan_order`).
+    pub topology: MachineTopology,
     /// Interconnect cost model.
     pub latency: LatencyModel,
+    /// Victim ordering: level-by-level (socket before node before
+    /// cluster, with last-steal affinity) or the original flat scan.
+    pub scan_order: ScanOrder,
+    /// Maximum number of victim pools contributing chunks to one remote
+    /// steal response (1 = the original single-chunk reply). The
+    /// response's total size stays capped at `max_steal_chunk`; batching
+    /// means several co-located pools may *fill* that cap together, so a
+    /// thief's round trip delivers full value instead of one pool's thin
+    /// chunk.
+    pub response_batch: u32,
     /// Slots per worker pool (rounded up to a power of two).
     pub pool_capacity: usize,
     pub release: ReleasePolicy,
@@ -180,7 +191,7 @@ impl RuntimeConfig {
     /// A sensible default for `workers` workers on one shared-memory node.
     pub fn single_node(workers: usize) -> Self {
         RuntimeConfig {
-            topology: Topology::single_node(workers),
+            topology: Topology::single_node(workers).into(),
             ..Default::default()
         }
     }
@@ -188,9 +199,19 @@ impl RuntimeConfig {
     /// The paper's cluster shape: nodes of 4 cores.
     pub fn clustered(total_workers: usize, cores_per_node: usize) -> Self {
         RuntimeConfig {
-            topology: Topology::clustered(total_workers, cores_per_node),
+            topology: Topology::clustered(total_workers, cores_per_node).into(),
             ..Default::default()
         }
+    }
+
+    /// An N-level machine, e.g. `&[2, 2, 4]` with `node_prefix = 1` for
+    /// 2 nodes of 2 sockets of 4 cores. Shape errors propagate instead of
+    /// panicking.
+    pub fn hierarchical(shape: &[usize], node_prefix: usize) -> Result<Self, TopoError> {
+        Ok(RuntimeConfig {
+            topology: MachineTopology::try_new(shape, node_prefix)?,
+            ..Default::default()
+        })
     }
 
     pub fn workers(&self) -> usize {
@@ -201,8 +222,10 @@ impl RuntimeConfig {
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
-            topology: Topology::single_node(1),
+            topology: MachineTopology::flat(1),
             latency: LatencyModel::zero(),
+            scan_order: ScanOrder::default(),
+            response_batch: 2,
             pool_capacity: 4096,
             release: ReleasePolicy::default(),
             victim_select: VictimSelect::default(),
@@ -255,9 +278,14 @@ mod tests {
     #[test]
     fn config_shapes() {
         let c = RuntimeConfig::clustered(8, 4);
-        assert_eq!(c.topology.nodes, 2);
+        assert_eq!(c.topology.nodes(), 2);
         assert_eq!(c.workers(), 8);
         let s = RuntimeConfig::single_node(3);
-        assert_eq!(s.topology.nodes, 1);
+        assert_eq!(s.topology.nodes(), 1);
+        let h = RuntimeConfig::hierarchical(&[2, 2, 2], 1).unwrap();
+        assert_eq!(h.workers(), 8);
+        assert_eq!(h.topology.nodes(), 2);
+        assert_eq!(h.topology.levels(), 3);
+        assert!(RuntimeConfig::hierarchical(&[0, 2], 1).is_err());
     }
 }

@@ -37,4 +37,7 @@ pub use rng::SplitMix64;
 pub use run::{run_parallel, RunReport};
 pub use stats::{PhaseTimers, StateClock, WorkerState, WorkerStats, NUM_STATES};
 
-pub use macs_gpi::{Interconnect, LatencyModel, Topology};
+pub use macs_gpi::{
+    Interconnect, LatencyModel, MachineTopology, ScanOrder, StealHistogram, TopoError, Topology,
+    VictimOrder, MAX_LEVELS,
+};

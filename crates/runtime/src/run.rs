@@ -102,7 +102,7 @@ where
         assert_eq!(r.len(), slot_words, "root size must match slot_words");
     }
 
-    let world = World::new(cfg.topology, cfg.latency, 16);
+    let world = World::new(cfg.topology.clone(), cfg.latency, 16);
     let pools: Vec<SplitPool> = (0..n_workers)
         .map(|_| SplitPool::new(cfg.pool_capacity, slot_words))
         .collect();
@@ -320,6 +320,63 @@ mod tests {
         assert_eq!(leaves, 3u64.pow(9));
         let releases: u64 = report.workers.iter().map(|w| w.releases).sum();
         assert!(releases > 0);
+    }
+
+    #[test]
+    fn three_level_topology_agrees_and_records_distances() {
+        use macs_gpi::StealHistogram;
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 10, Some(3));
+        // 2 nodes × 2 sockets × 2 cores: local rings at distance 1 and 2,
+        // one remote ring at distance 3.
+        let cfg = RuntimeConfig::hierarchical(&[2, 2, 2], 1).unwrap();
+        let (report, leaves, sum) = run_tree(&cfg, 10, Some(3));
+        assert_eq!(leaves, leaves1);
+        assert_eq!(sum, sum1);
+        let mut hist = StealHistogram::new();
+        for w in &report.workers {
+            hist.merge(&w.steals_by_distance);
+        }
+        let (ls, _, rs, _) = report.steal_totals();
+        assert_eq!(hist.total(), ls + rs, "histogram counts every steal");
+        // Local steals land in the intra-node buckets, remote beyond.
+        let local_part: u64 = hist.counts[1..=2].iter().sum();
+        assert_eq!(local_part, ls);
+        assert_eq!(hist.counts[3], rs);
+    }
+
+    #[test]
+    fn flat_scan_order_still_agrees() {
+        use macs_gpi::ScanOrder;
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 10, Some(3));
+        let mut cfg = RuntimeConfig::hierarchical(&[2, 2, 2], 1).unwrap();
+        cfg.scan_order = ScanOrder::Flat;
+        let (_, leaves, sum) = run_tree(&cfg, 10, Some(3));
+        assert_eq!(leaves, leaves1);
+        assert_eq!(sum, sum1);
+    }
+
+    #[test]
+    fn single_chunk_responses_still_agree() {
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 10, Some(3));
+        let mut cfg = RuntimeConfig::clustered(6, 3);
+        cfg.response_batch = 1;
+        let (report, leaves, sum) = run_tree(&cfg, 10, Some(3));
+        assert_eq!(leaves, leaves1);
+        assert_eq!(sum, sum1);
+        let chunks: u64 = report.workers.iter().map(|w| w.response_chunks).sum();
+        let served: u64 = report.workers.iter().map(|w| w.requests_served).sum();
+        assert_eq!(chunks, served, "1 chunk per served response");
+        assert_eq!(
+            report
+                .workers
+                .iter()
+                .map(|w| w.batched_responses)
+                .sum::<u64>(),
+            0
+        );
     }
 
     #[test]

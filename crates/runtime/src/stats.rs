@@ -8,6 +8,8 @@
 
 use std::time::{Duration, Instant};
 
+use macs_gpi::StealHistogram;
+
 /// The states a worker can be in, matching the legend of the paper's
 /// Fig. 3/5.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -180,6 +182,13 @@ pub struct WorkerStats {
     pub requests_refused: u64,
     /// Solutions reported by the processor.
     pub solutions: u64,
+    /// Successful steals (as thief) by topological distance.
+    pub steals_by_distance: StealHistogram,
+    /// Victim-pool chunks written across all served responses (≥
+    /// `requests_served`; the surplus is the batching win).
+    pub response_chunks: u64,
+    /// Responses that carried more than one victim's chunk.
+    pub batched_responses: u64,
 }
 
 impl WorkerStats {
@@ -205,6 +214,9 @@ impl WorkerStats {
             proxy_serves: 0,
             requests_refused: 0,
             solutions: 0,
+            steals_by_distance: StealHistogram::new(),
+            response_chunks: 0,
+            batched_responses: 0,
         }
     }
 }

@@ -6,7 +6,7 @@ use std::cell::Cell;
 use std::time::Instant;
 
 use macs_gpi::cells::{CELL_CANCEL, CELL_INCUMBENT};
-use macs_gpi::{GlobalCells, Interconnect, World};
+use macs_gpi::{GlobalCells, Interconnect, ScanOrder, VictimOrder, World};
 use macs_pool::{SplitPool, RESP_FAIL, RESP_PENDING};
 use macs_search::WorkBatch;
 
@@ -142,6 +142,15 @@ pub(crate) struct Worker<'a, P: Processor> {
     since_release: u32,
     since_poll: u32,
     poll_interval: u32,
+    /// Local victim rings, nearest level first (each excludes `id`). A
+    /// flat scan collapses them into a single ring of all co-located
+    /// peers.
+    local_rings: Vec<Vec<usize>>,
+    /// Remote victim *nodes* by distance ring, nearest first (flat scan:
+    /// one ring of every other node).
+    node_rings: Vec<Vec<usize>>,
+    /// Last-successful-steal affinity per distance ring.
+    victim_order: VictimOrder,
 }
 
 impl<'a, P: Processor> Worker<'a, P> {
@@ -152,9 +161,15 @@ impl<'a, P: Processor> Worker<'a, P> {
         pools: &'a [SplitPool],
         processor: P,
     ) -> Self {
-        let node = world.topology.node_of(id);
+        let topo = &world.topology;
+        let node = topo.node_of(id);
         let remote_from_zero = node != 0;
         let slot_words = pools[id].slot_words();
+        // Distance-aware: one local ring per intra-node level (socket
+        // before node …) and remote nodes grouped by how many levels a
+        // steal crosses. Flat: the original one-ring-each scan.
+        let (local_rings, node_rings) = cfg.scan_order.victim_rings(topo, id);
+        let victim_order = VictimOrder::new(topo, id);
         Worker {
             id,
             node,
@@ -184,6 +199,9 @@ impl<'a, P: Processor> Worker<'a, P> {
             since_release: 0,
             since_poll: 0,
             poll_interval: cfg.poll.initial(),
+            local_rings,
+            node_rings,
+            victim_order,
         }
     }
 
@@ -319,7 +337,7 @@ impl<'a, P: Processor> Worker<'a, P> {
                 return true;
             }
             // Remote steal from another node.
-            if self.world.topology.nodes > 1 {
+            if self.world.topology.nodes() > 1 {
                 match self.try_remote_steal() {
                     RemoteOutcome::Got => return true,
                     RemoteOutcome::Nothing => {}
@@ -363,32 +381,32 @@ impl<'a, P: Processor> Worker<'a, P> {
     }
 
     fn try_local_steal(&mut self) -> bool {
-        let peers = self.world.topology.peers_of(self.id);
-        let n_peers = peers.len();
-        if n_peers <= 1 {
+        if self.local_rings.iter().all(|r| r.is_empty()) {
             return false;
         }
         self.stats.clock.set(WorkerState::Searching);
+        // Walk the rings nearest level first (affinity victim ahead of its
+        // ring); within a ring apply the configured selection heuristic.
+        let pools = self.pools;
+        let rng = &mut self.rng;
         let victim = match self.cfg.victim_select {
             VictimSelect::Greedy => {
-                // First victim with visible surplus, scanning from a random
-                // start to avoid convoys.
-                let start = self.rng.below_usize(n_peers);
-                (0..n_peers)
-                    .map(|k| peers.start + (start + k) % n_peers)
-                    .find(|&w| w != self.id && self.pools[w].shared_len() > 0)
+                // First victim with visible surplus, scanning each ring
+                // from a random start to avoid convoys.
+                self.victim_order.pick_first(
+                    &self.local_rings,
+                    |n| rng.below_usize(n),
+                    |w| pools[w].shared_len(),
+                )
             }
             VictimSelect::MaxSteal => {
-                // Inspect all n−1 candidates, pick the largest shared region.
-                peers
-                    .filter(|&w| w != self.id)
-                    .map(|w| (self.pools[w].shared_len(), w))
-                    .filter(|&(s, _)| s > 0)
-                    .max()
-                    .map(|(_, w)| w)
+                // Inspect every candidate of the nearest non-empty ring,
+                // pick the largest shared region.
+                self.victim_order
+                    .pick_max(&self.local_rings, |w| pools[w].shared_len())
             }
         };
-        let Some(v) = victim else {
+        let Some((v, _)) = victim else {
             return false;
         };
 
@@ -410,12 +428,32 @@ impl<'a, P: Processor> Worker<'a, P> {
         if n > 0 {
             self.stats.local_steals += 1;
             self.stats.local_steal_items += n;
+            self.record_steal_outcome(v, true);
             true
         } else {
             // The victim looked loaded but the lock-time check found
             // nothing: a failed (local) steal.
             self.stats.local_steal_failures += 1;
+            self.record_steal_outcome(v, false);
             false
+        }
+    }
+
+    /// Update the distance histogram and the per-ring affinity. The flat
+    /// scan keeps no affinity — it is the pre-topology baseline.
+    fn record_steal_outcome(&mut self, victim: usize, success: bool) {
+        let topo = &self.world.topology;
+        if success {
+            self.stats
+                .steals_by_distance
+                .record(topo.distance(self.id, victim));
+        }
+        if self.cfg.scan_order == ScanOrder::DistanceAware {
+            if success {
+                self.victim_order.record_success(topo, victim);
+            } else {
+                self.victim_order.record_failure(topo, victim);
+            }
         }
     }
 
@@ -427,26 +465,39 @@ impl<'a, P: Processor> Worker<'a, P> {
         // Find a victim: read the pool state of whole remote nodes
         // one-sidedly and pick the worker with the largest surplus — "the
         // request is only sent to a worker that has a surplus of work".
+        // Node rings are walked nearest level first, so a same-cluster
+        // node is probed before a cross-cluster one; within a ring the
+        // node that last yielded work (affinity) is probed first, then
+        // random candidates.
         let mut victim: Option<usize> = None;
-        for _ in 0..self.cfg.remote_node_attempts.max(1) {
-            let mut cand_node = self.rng.below_usize(topo.nodes - 1);
-            if cand_node >= self.node {
-                cand_node += 1;
+        'rings: for (ri, ring) in self.node_rings.iter().enumerate() {
+            if ring.is_empty() {
+                continue;
             }
-            let mut best: Option<(u64, usize)> = None;
-            for w in topo.workers_on(cand_node) {
-                let meta = self.pools[w].meta_remote(ic);
-                // Skip pools with a pending request: their mailbox is busy.
-                if meta.req == 0 {
-                    let s = meta.shared_len();
-                    if s > 0 && best.map(|(b, _)| s > b).unwrap_or(true) {
-                        best = Some((s, w));
+            let ring_d = topo.local_distance_max() + 1 + ri;
+            let attempts = self.cfg.remote_node_attempts.max(1) as usize;
+            let rot = self.rng.below_usize(ring.len());
+            for cand_node in self
+                .victim_order
+                .node_probe_order(topo, ring, ring_d, rot)
+                .take(attempts)
+            {
+                let mut best: Option<(u64, usize)> = None;
+                for w in topo.workers_on(cand_node) {
+                    let meta = self.pools[w].meta_remote(ic);
+                    // Skip pools with a pending request: their mailbox is
+                    // busy.
+                    if meta.req == 0 {
+                        let s = meta.shared_len();
+                        if s > 0 && best.map(|(b, _)| s > b).unwrap_or(true) {
+                            best = Some((s, w));
+                        }
                     }
                 }
-            }
-            if let Some((_, w)) = best {
-                victim = Some(w);
-                break;
+                if let Some((_, w)) = best {
+                    victim = Some(w);
+                    break 'rings;
+                }
             }
         }
         let Some(v) = victim else {
@@ -481,6 +532,7 @@ impl<'a, P: Processor> Worker<'a, P> {
                 RESP_FAIL => {
                     self.my_pool.reset_response();
                     self.stats.remote_steal_failures += 1;
+                    self.record_steal_outcome(v, false);
                     return RemoteOutcome::Nothing;
                 }
                 n => {
@@ -491,6 +543,7 @@ impl<'a, P: Processor> Worker<'a, P> {
                     self.my_pool.adopt_written(n);
                     self.stats.remote_steals += 1;
                     self.stats.remote_steal_items += n;
+                    self.record_steal_outcome(v, true);
                     let got = self.my_pool.pop_private(&mut self.current);
                     debug_assert!(got, "adopted items must be poppable");
                     return RemoteOutcome::Got;
@@ -502,9 +555,12 @@ impl<'a, P: Processor> Worker<'a, P> {
     // ----- victim side -------------------------------------------------------
 
     /// Serve a pending remote steal request, if any: reserve work from our
-    /// shared region (or, by *proxy*, from a co-located worker's), write it
-    /// in place into the thief's pool and notify. Refuse with `RESP_FAIL`
-    /// when nothing can be found.
+    /// shared region and — up to `response_batch` chunks — from co-located
+    /// workers' regions too, write everything in place into the thief's
+    /// pool and notify once. Batching several victims' chunks into the one
+    /// response amortises the thief's round-trip (the RTT floor is paid
+    /// per response, not per chunk). Refuse with `RESP_FAIL` when nothing
+    /// can be found anywhere on the node.
     fn serve_request(&mut self) {
         let Some(thief) = self.my_pool.pending_request() else {
             return;
@@ -515,35 +571,65 @@ impl<'a, P: Processor> Worker<'a, P> {
         let ic = &self.world.interconnect;
         let thief_pool = &self.pools[thief];
 
-        // How many slots the thief can accept at its head.
+        // How many slots the thief can accept at its head. One response
+        // carries at most `max_steal_chunk` items, but up to
+        // `response_batch` co-located pools may contribute chunks to fill
+        // it — a reply assembled from several small surpluses instead of
+        // one thin (or failed) chunk, so the thief's round trip delivers
+        // full value.
         let tm = thief_pool.meta_remote(ic);
         let free = thief_pool.capacity() as u64 - (tm.head - tm.tail);
-        let want = self.cfg.max_steal_chunk.min(free);
+        let max_chunks = self.cfg.response_batch.max(1) as u64;
+        let mut budget = free.min(self.cfg.max_steal_chunk);
 
         self.steal_flat.clear();
         let flat = &mut self.steal_flat;
+        let mut chunks: u64 = 0;
         let mut served_by_proxy = false;
-        let mut n = 0;
-        if want > 0 {
-            // Reserve from our own shared region (shrinking it from the
-            // tail, as the paper describes the reservation).
-            let own_half = WorkBatch::share_ceil(self.my_pool.shared_len(), want).max(1);
-            n = self
+        let mut n = 0u64;
+
+        // Chunk 1: our own shared region (shrinking it from the tail, as
+        // the paper describes the reservation).
+        if budget > 0 {
+            let own_half = WorkBatch::share_ceil(self.my_pool.shared_len(), budget).max(1);
+            let got = self
                 .my_pool
                 .steal(own_half, |item| flat.extend_from_slice(item));
-            if n == 0 {
-                // Proxy fulfilment: find a co-located worker with surplus.
-                let peers = self.world.topology.peers_of(self.id);
-                let cand = peers
-                    .filter(|&w| w != self.id && w != thief)
-                    .map(|w| (self.pools[w].shared_len(), w))
-                    .filter(|&(s, _)| s > 0)
-                    .max();
-                if let Some((shared, w)) = cand {
-                    let half = WorkBatch::share_ceil(shared, want);
-                    n = self.pools[w].steal(half, |item| flat.extend_from_slice(item));
-                    served_by_proxy = n > 0;
-                }
+            if got > 0 {
+                chunks += 1;
+                n += got;
+                budget -= got;
+            }
+        }
+
+        // Further chunks: proxy fulfilment from co-located workers with
+        // surplus, largest first, one chunk each — but only while the
+        // reply is *thin* (under a quarter of the cap). A healthy
+        // single-pool chunk ships as-is; a dribble of a reply, which
+        // would send the thief straight back into another round trip,
+        // gets topped up from the node's other pools. With
+        // `response_batch` = 1 this runs only when our own region was
+        // empty — the original single-chunk proxy behaviour.
+        let top_up_below = (self.cfg.max_steal_chunk / 4).max(2);
+        let mut taken: Vec<usize> = Vec::new();
+        while budget > 0 && (n == 0 || (n < top_up_below && chunks < max_chunks)) {
+            let peers = self.world.topology.peers_of(self.id);
+            let cand = peers
+                .filter(|&w| w != self.id && w != thief && !taken.contains(&w))
+                .map(|w| (self.pools[w].shared_len(), w))
+                .filter(|&(s, _)| s > 0)
+                .max();
+            let Some((shared, w)) = cand else {
+                break;
+            };
+            taken.push(w);
+            let half = WorkBatch::share_ceil(shared, budget);
+            let got = self.pools[w].steal(half, |item| flat.extend_from_slice(item));
+            if got > 0 {
+                chunks += 1;
+                n += got;
+                budget -= got;
+                served_by_proxy = true;
             }
         }
 
@@ -551,6 +637,10 @@ impl<'a, P: Processor> Worker<'a, P> {
             thief_pool.write_slots_remote(ic, tm.head, &self.steal_flat);
             thief_pool.write_response_remote(ic, n);
             self.stats.requests_served += 1;
+            self.stats.response_chunks += chunks;
+            if chunks > 1 {
+                self.stats.batched_responses += 1;
+            }
             if served_by_proxy {
                 self.stats.proxy_serves += 1;
             }

@@ -16,9 +16,17 @@ pub type WorkItem = Box<[u64]>;
 
 /// A chunk of work items in transit from a victim to a thief, oldest
 /// first.
+///
+/// A batch can carry work reserved from *several* victim pools — the
+/// serving worker appends one chunk per co-located pool with
+/// [`push_chunk`](WorkBatch::push_chunk) — so a single response (one
+/// round trip) can deliver a whole node's surplus. [`chunks`]
+/// (WorkBatch::chunks) reports how many pools contributed.
 #[derive(Debug, Default)]
 pub struct WorkBatch {
     items: Vec<WorkItem>,
+    /// Number of items contributed by each source pool, in append order.
+    chunk_lens: Vec<usize>,
 }
 
 impl WorkBatch {
@@ -45,14 +53,35 @@ impl WorkBatch {
     /// Take exactly `n` items (clamped to the queue length) off the front.
     pub fn take_front(stack: &mut VecDeque<WorkItem>, n: usize) -> WorkBatch {
         let n = n.min(stack.len());
-        WorkBatch {
-            items: stack.drain(..n).collect(),
+        let items: Vec<WorkItem> = stack.drain(..n).collect();
+        WorkBatch::from_items(items)
+    }
+
+    /// Build a batch from already-collected items (oldest first), as a
+    /// single chunk.
+    pub fn from_items(items: Vec<WorkItem>) -> WorkBatch {
+        let chunk_lens = if items.is_empty() {
+            Vec::new()
+        } else {
+            vec![items.len()]
+        };
+        WorkBatch { items, chunk_lens }
+    }
+
+    /// Append one further victim pool's chunk (batched responses: several
+    /// pools' reservations travel in one reply).
+    pub fn push_chunk(&mut self, items: impl IntoIterator<Item = WorkItem>) {
+        let before = self.items.len();
+        self.items.extend(items);
+        let added = self.items.len() - before;
+        if added > 0 {
+            self.chunk_lens.push(added);
         }
     }
 
-    /// Build a batch from already-collected items (oldest first).
-    pub fn from_items(items: Vec<WorkItem>) -> WorkBatch {
-        WorkBatch { items }
+    /// How many victim pools contributed to this batch.
+    pub fn chunks(&self) -> usize {
+        self.chunk_lens.len()
     }
 
     pub fn len(&self) -> usize {
@@ -140,5 +169,23 @@ mod tests {
     fn payload_bytes_counts_words() {
         let batch = WorkBatch::from_items(vec![item(1), item(2)]);
         assert_eq!(batch.payload_bytes(), 2 * 2 * 8);
+    }
+
+    #[test]
+    fn chunk_bookkeeping_tracks_sources() {
+        let mut batch = WorkBatch::default();
+        assert_eq!(batch.chunks(), 0);
+        batch.push_chunk(vec![item(1), item(2)]);
+        batch.push_chunk(Vec::new()); // a dry pool contributes no chunk
+        batch.push_chunk(vec![item(3)]);
+        assert_eq!(batch.chunks(), 2);
+        assert_eq!(batch.len(), 3);
+        let vals: Vec<u64> = batch.iter().map(|i| i[0]).collect();
+        assert_eq!(vals, vec![1, 2, 3], "chunks concatenate in order");
+
+        assert_eq!(WorkBatch::from_items(vec![item(9)]).chunks(), 1);
+        assert_eq!(WorkBatch::from_items(Vec::new()).chunks(), 0);
+        let mut stack: VecDeque<WorkItem> = (0..4).map(item).collect();
+        assert_eq!(WorkBatch::split_front(&mut stack, 8).chunks(), 1);
     }
 }

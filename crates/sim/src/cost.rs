@@ -41,8 +41,19 @@ pub struct CostModel {
     pub post_request_ns: u64,
     /// Victim-side posting of the in-place response (queued write).
     pub write_response_ns: u64,
-    /// One-way fabric latency.
+    /// One-way fabric latency to the *nearest* remote ring (one level
+    /// above the node boundary).
     pub remote_latency_ns: u64,
+    /// Latency growth per additional topology level a message crosses: a
+    /// steal spanning `r` remote rings pays
+    /// `remote_latency_ns × level_hop_factor^(r−1)` one way (switch tiers
+    /// / inter-cluster links). 1 = distance-blind fabric.
+    pub level_hop_factor: u64,
+    /// Extra lock/coherence cost per intra-node level a local steal
+    /// crosses beyond the first (cross-socket cache-line bouncing): a
+    /// distance-`d` local steal costs
+    /// `steal_local_ns + (d − 1) × cross_level_ns`.
+    pub cross_level_ns: u64,
     /// Transfer cost per byte, in picoseconds (667 ≙ ~1.5 GB/s).
     pub byte_ps: u64,
     /// Initial idle backoff (doubles per round, capped ×64).
@@ -67,6 +78,11 @@ impl CostModel {
             post_request_ns: 2_500,
             write_response_ns: 300,
             remote_latency_ns: 2_000,
+            // IB switch tiers: each level further out roughly quadruples
+            // the one-way latency (leaf switch → spine → inter-cluster).
+            level_hop_factor: 4,
+            // Cross-socket steal premium (QPI hop + coherence misses).
+            cross_level_ns: 150,
             byte_ps: 667,
             idle_backoff_ns: 500,
         }
@@ -86,6 +102,24 @@ impl CostModel {
     #[inline]
     pub fn transfer_ns(&self, bytes: u64) -> u64 {
         self.byte_ps.saturating_mul(bytes) / 1000
+    }
+
+    /// One-way latency to a victim `ring_rank` remote rings out
+    /// (`1` = the nearest remote ring).
+    #[inline]
+    pub fn remote_latency_for(&self, ring_rank: usize) -> u64 {
+        let mut lat = self.remote_latency_ns;
+        for _ in 1..ring_rank.max(1) {
+            lat = lat.saturating_mul(self.level_hop_factor.max(1));
+        }
+        lat
+    }
+
+    /// Lock + copy setup cost of a local steal spanning `d` intra-node
+    /// levels (`d >= 1`).
+    #[inline]
+    pub fn local_steal_ns(&self, d: usize) -> u64 {
+        self.steal_local_ns + (d.saturating_sub(1) as u64) * self.cross_level_ns
     }
 }
 
@@ -118,5 +152,18 @@ mod tests {
         let m = CostModel::woodcrest_ib(1000);
         assert_eq!(m.transfer_ns(1500), 1000); // 667 ps/B ≈ 1.5 GB/s
         assert_eq!(m.transfer_ns(0), 0);
+    }
+
+    #[test]
+    fn per_level_costs_grow_with_distance() {
+        let m = CostModel::woodcrest_ib(1000);
+        assert_eq!(m.remote_latency_for(1), m.remote_latency_ns);
+        assert_eq!(m.remote_latency_for(2), m.remote_latency_ns * 4);
+        assert_eq!(m.remote_latency_for(3), m.remote_latency_ns * 16);
+        assert_eq!(m.local_steal_ns(1), m.steal_local_ns);
+        assert_eq!(m.local_steal_ns(2), m.steal_local_ns + m.cross_level_ns);
+        let mut flatline = m;
+        flatline.level_hop_factor = 1;
+        assert_eq!(flatline.remote_latency_for(3), m.remote_latency_ns);
     }
 }

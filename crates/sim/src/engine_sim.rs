@@ -5,8 +5,8 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 
 use macs_runtime::{
-    PhaseTimers, PollPolicy, ProcCtx, Processor, ReleasePolicy, SplitMix64, Step, Topology,
-    VictimSelect, WorkSink, WorkerState,
+    MachineTopology, PhaseTimers, PollPolicy, ProcCtx, Processor, ReleasePolicy, ScanOrder,
+    SplitMix64, Step, Topology, VictimOrder, VictimSelect, WorkSink, WorkerState,
 };
 use macs_search::WorkBatch;
 
@@ -27,12 +27,18 @@ pub enum SimMode {
 /// Simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    pub topology: Topology,
+    pub topology: MachineTopology,
     pub costs: CostModel,
     pub release: ReleasePolicy,
     pub poll: PollPolicy,
     pub victim: VictimSelect,
+    /// Victim ordering: level-by-level with affinity, or the flat scan.
+    pub scan_order: ScanOrder,
     pub max_steal_chunk: u64,
+    /// Maximum number of victim pools contributing chunks to fill one
+    /// remote steal response (1 = single-chunk replies; the response's
+    /// total size stays capped at `max_steal_chunk` either way).
+    pub response_batch: u32,
     pub remote_node_attempts: u32,
     /// Incumbent visibility delay; `None` derives it from the fabric
     /// latency (1× for MaCS' global cell, 2× for PaCCS' controller hop).
@@ -41,14 +47,16 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    pub fn new(topology: Topology) -> Self {
+    pub fn new(topology: impl Into<MachineTopology>) -> Self {
         SimConfig {
-            topology,
+            topology: topology.into(),
             costs: CostModel::default(),
             release: ReleasePolicy::default(),
             poll: PollPolicy::default(),
             victim: VictimSelect::Greedy,
+            scan_order: ScanOrder::default(),
             max_steal_chunk: 16,
+            response_batch: 2,
             remote_node_attempts: 2,
             bound_delay_ns: None,
             seed: 0x51D,
@@ -137,8 +145,12 @@ impl VPool {
 // ---------------------------------------------------------------------------
 
 enum Resp {
-    Work(Vec<Box<[u64]>>),
-    Fail,
+    /// A steal reply: the (possibly multi-chunk) batch and the serving
+    /// victim, so the thief can account distance and affinity.
+    Work(WorkBatch, usize),
+    /// A refusal, with the refusing victim (the thief drops any affinity
+    /// pinned to it, mirroring the threaded runtime).
+    Fail(usize),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -203,6 +215,8 @@ struct VW<P: Processor> {
     /// worker's current epoch (lets us inject wake-ups for parked workers
     /// without ever having two live events per worker).
     epoch: u64,
+    /// Last-successful-steal affinity per distance ring.
+    vorder: VictimOrder,
 }
 
 // ---------------------------------------------------------------------------
@@ -220,9 +234,18 @@ struct Sim<'c, P: Processor> {
     timeline: Rc<Timeline>,
     cancelled: bool,
     end_time: Option<u64>,
-    /// PaCCS victim sweep order per worker (local peers first).
+    /// PaCCS victim sweep order per worker (nearest rings first).
     sweeps: Vec<Vec<usize>>,
+    /// MaCS local victim rings per worker, nearest level first (flat
+    /// scan: one ring of all co-located peers).
+    local_rings: Vec<PerWorkerRings>,
+    /// MaCS remote victim *nodes* per worker, by distance ring (flat
+    /// scan: one ring of every other node).
+    node_rings: Vec<PerWorkerRings>,
 }
+
+/// One worker's victim rings, nearest first.
+type PerWorkerRings = Vec<Vec<usize>>;
 
 impl<'c, P: Processor> Sim<'c, P> {
     fn schedule(&mut self, wi: usize, t: u64, state: WorkerState, phase: Phase) {
@@ -422,40 +445,75 @@ impl<'c, P: Processor> Sim<'c, P> {
 
     // ----- MaCS protocol ----------------------------------------------------
 
+    /// One-way latency between two workers, by how many remote rings the
+    /// message crosses. The flat scan is distance-blind (the original
+    /// single-tier fabric); distance-aware runs charge each further level.
+    fn fabric_latency(&self, a: usize, b: usize) -> u64 {
+        if self.cfg.scan_order == ScanOrder::Flat {
+            return self.cfg.costs.remote_latency_ns;
+        }
+        let topo = &self.cfg.topology;
+        let rank = topo
+            .distance(a, b)
+            .saturating_sub(topo.local_distance_max());
+        self.cfg.costs.remote_latency_for(rank.max(1))
+    }
+
     fn try_steal_macs(&mut self, wi: usize, mut now: u64) {
-        let topo = self.cfg.topology;
-        let peers: Vec<usize> = topo.peers_of(wi).filter(|&p| p != wi).collect();
-        // Local victim scan.
+        // Local victim scan, ring by ring (nearest level first; the flat
+        // scan has a single ring). The affinity victim is probed before
+        // the rest of its ring; every probed candidate costs a metadata
+        // read.
+        // Pool states cannot change within one event, so the metadata
+        // reads are charged in one sum after the scan — same virtual time,
+        // no per-candidate allocation on this hottest of paths.
         let mut victim = None;
-        match self.cfg.victim {
-            VictimSelect::Greedy => {
-                let start = self.workers[wi].rng.below_usize(peers.len().max(1));
-                for k in 0..peers.len() {
-                    let v = peers[(start + k) % peers.len()];
-                    let pool_op = self.cfg.costs.pool_op_ns;
-                    self.charge(wi, WorkerState::Searching, pool_op, &mut now);
-                    if self.workers[v].pool.shared() > 0 {
-                        victim = Some(v);
-                        break;
+        let mut inspected = 0u64;
+        'local: for ri in 0..self.local_rings[wi].len() {
+            let d = ri + 1;
+            match self.cfg.victim {
+                VictimSelect::Greedy => {
+                    let ring = &self.local_rings[wi][ri];
+                    let rot = self.workers[wi].rng.below_usize(ring.len().max(1));
+                    for v in self.workers[wi].vorder.ring_order(ring, d, rot) {
+                        inspected += 1;
+                        if self.workers[v].pool.shared() > 0 {
+                            victim = Some(v);
+                            break 'local;
+                        }
                     }
                 }
-            }
-            VictimSelect::MaxSteal => {
-                let mut best = 0usize;
-                for &v in &peers {
-                    let pool_op = self.cfg.costs.pool_op_ns;
-                    self.charge(wi, WorkerState::Searching, pool_op, &mut now);
-                    let s = self.workers[v].pool.shared();
-                    if s > best {
-                        best = s;
-                        victim = Some(v);
+                VictimSelect::MaxSteal => {
+                    // Inspect the whole ring, take the largest shared
+                    // region; only move a level out if the ring is dry.
+                    let mut best = 0usize;
+                    for &v in &self.local_rings[wi][ri] {
+                        inspected += 1;
+                        let s = self.workers[v].pool.shared();
+                        if s > best {
+                            best = s;
+                            victim = Some(v);
+                        }
+                    }
+                    if victim.is_some() {
+                        break 'local;
                     }
                 }
             }
         }
+        let scan_ns = self.cfg.costs.pool_op_ns * inspected;
+        self.charge(wi, WorkerState::Searching, scan_ns, &mut now);
         if let Some(v) = victim {
             // The lock delay is the race window: the steal applies later.
-            let lock_ns = self.cfg.costs.steal_local_ns;
+            // The flat baseline keeps the original distance-blind lock
+            // cost, mirroring `fabric_latency`.
+            let lock_ns = match self.cfg.scan_order {
+                ScanOrder::Flat => self.cfg.costs.steal_local_ns,
+                ScanOrder::DistanceAware => self
+                    .cfg
+                    .costs
+                    .local_steal_ns(self.cfg.topology.distance(wi, v)),
+            };
             self.schedule(
                 wi,
                 now + lock_ns,
@@ -464,18 +522,29 @@ impl<'c, P: Processor> Sim<'c, P> {
             );
             return;
         }
-        // Remote: scan whole nodes one-sidedly, post to the best mailbox.
-        if topo.nodes > 1 {
-            let mut target = None;
-            for _ in 0..self.cfg.remote_node_attempts.max(1) {
-                let mut cand = self.workers[wi].rng.below_usize(topo.nodes - 1);
-                if cand >= topo.node_of(wi) {
-                    cand += 1;
-                }
-                let find_ns = self.cfg.costs.find_remote_ns;
-                self.charge(wi, WorkerState::SearchingRemote, find_ns, &mut now);
+        // Remote: scan whole nodes one-sidedly, nearest ring first (the
+        // last node that yielded work ahead of random candidates), post
+        // to the best mailbox found.
+        // As with the local scan, pool states are fixed within the event,
+        // so the one-sided node scans are charged in one sum afterwards.
+        let mut target = None;
+        let mut probes = 0u64;
+        'rings: for ri in 0..self.node_rings[wi].len() {
+            let ring = &self.node_rings[wi][ri];
+            if ring.is_empty() {
+                continue;
+            }
+            let ring_d = self.cfg.topology.local_distance_max() + 1 + ri;
+            let attempts = (self.cfg.remote_node_attempts.max(1) as usize).min(ring.len());
+            let rot = self.workers[wi].rng.below_usize(ring.len());
+            for cand in self.workers[wi]
+                .vorder
+                .node_probe_order(&self.cfg.topology, ring, ring_d, rot)
+                .take(attempts)
+            {
+                probes += 1;
                 let mut best: Option<(usize, usize)> = None;
-                for v in topo.workers_on(cand) {
+                for v in self.cfg.topology.workers_on(cand) {
                     let s = self.workers[v].pool.shared();
                     if s > 0
                         && self.workers[v].pending_req.is_none()
@@ -486,19 +555,21 @@ impl<'c, P: Processor> Sim<'c, P> {
                 }
                 if let Some((_, v)) = best {
                     target = Some(v);
-                    break;
+                    break 'rings;
                 }
             }
-            if let Some(v) = target {
-                let post_ns = self.cfg.costs.post_request_ns;
-                self.charge(wi, WorkerState::FindRemote, post_ns, &mut now);
-                let arrival = now + self.cfg.costs.remote_latency_ns;
-                self.workers[v].pending_req = Some((wi, arrival));
-                // Park: the victim's response event will wake us.
-                self.workers[wi].phase = Phase::Wait;
-                self.workers[wi].charge_state = WorkerState::WaitRemote;
-                return;
-            }
+        }
+        let find_ns = self.cfg.costs.find_remote_ns * probes;
+        self.charge(wi, WorkerState::SearchingRemote, find_ns, &mut now);
+        if let Some(v) = target {
+            let post_ns = self.cfg.costs.post_request_ns;
+            self.charge(wi, WorkerState::FindRemote, post_ns, &mut now);
+            let arrival = now + self.fabric_latency(wi, v);
+            self.workers[v].pending_req = Some((wi, arrival));
+            // Park: the victim's response event will wake us.
+            self.workers[wi].phase = Phase::Wait;
+            self.workers[wi].charge_state = WorkerState::WaitRemote;
+            return;
         }
         self.enter_idle(wi, now, 0);
     }
@@ -507,18 +578,28 @@ impl<'c, P: Processor> Sim<'c, P> {
         let shared = self.workers[v].pool.shared() as u64;
         let want = WorkBatch::share_ceil(shared, self.cfg.max_steal_chunk) as usize;
         let items = self.workers[v].pool.steal(want);
+        let d = self.cfg.topology.distance(wi, v);
         if items.is_empty() {
             // The victim looked loaded at scan time but was drained: a
             // failed local steal (the race the paper counts).
             self.workers[wi].stats.local_steal_failures += 1;
+            if self.cfg.scan_order == ScanOrder::DistanceAware {
+                let topo = &self.cfg.topology;
+                self.workers[wi].vorder.record_failure(topo, v);
+            }
             self.try_steal_macs(wi, now);
             return;
         }
         let per_item = self.cfg.costs.per_item_ns * items.len() as u64;
         self.charge(wi, WorkerState::Stealing, per_item, &mut now);
+        if self.cfg.scan_order == ScanOrder::DistanceAware {
+            let topo = &self.cfg.topology;
+            self.workers[wi].vorder.record_success(topo, v);
+        }
         let w = &mut self.workers[wi];
         w.stats.local_steals += 1;
         w.stats.local_steal_items += items.len() as u64;
+        w.stats.steals_by_distance.record(d);
         let mut it = items.into_iter();
         w.current = it.next();
         for rest in it {
@@ -541,46 +622,71 @@ impl<'c, P: Processor> Sim<'c, P> {
         self.charge(wi, WorkerState::Poll, poll_ns, now);
         self.workers[wi].stats.polls += 1;
 
+        // Assemble the batched response: one response carries at most
+        // `max_steal_chunk` items, but up to `response_batch` co-located
+        // pools may contribute chunks to fill it — our own chunk first,
+        // then the peers with the most surplus (proxy fulfilment
+        // generalised). All chunks travel in the one reply, so the
+        // thief's single round trip delivers full value even when no one
+        // pool had enough.
         let chunk = self.cfg.max_steal_chunk;
-        let own_share =
-            WorkBatch::share_ceil(self.workers[wi].pool.shared() as u64, chunk).max(1) as usize;
-        let mut items = self.workers[wi].pool.steal(own_share);
+        let max_chunks = self.cfg.response_batch.max(1) as u64;
+        let mut budget = chunk;
+        let mut batch = WorkBatch::default();
         let mut proxy = false;
-        if items.is_empty() {
-            // Proxy fulfilment from a co-located worker with surplus.
-            let peers: Vec<usize> = self
+        let own_share =
+            WorkBatch::share_ceil(self.workers[wi].pool.shared() as u64, budget).max(1) as usize;
+        batch.push_chunk(self.workers[wi].pool.steal(own_share));
+        budget -= (batch.len() as u64).min(budget);
+        // Top up only while the reply is *thin* (under a quarter of the
+        // cap): a healthy single-pool chunk ships as-is, but a dribble of
+        // a reply — which would send the thief straight back into another
+        // round trip — gets filled from the node's other pools.
+        let top_up_below = (chunk / 4).max(2);
+        let mut taken: Vec<usize> = Vec::new();
+        while budget > 0
+            && (batch.is_empty()
+                || ((batch.len() as u64) < top_up_below && (batch.chunks() as u64) < max_chunks))
+        {
+            let cand = self
                 .cfg
                 .topology
                 .peers_of(wi)
-                .filter(|&p| p != wi && p != thief)
-                .collect();
-            if let Some((s, p)) = peers
-                .iter()
-                .map(|&p| (self.workers[p].pool.shared(), p))
+                .filter(|&p| p != wi && p != thief && !taken.contains(&p))
+                .map(|p| (self.workers[p].pool.shared(), p))
                 .filter(|&(s, _)| s > 0)
-                .max()
-            {
-                let share = WorkBatch::share_ceil(s as u64, chunk) as usize;
-                items = self.workers[p].pool.steal(share);
-                proxy = !items.is_empty();
-            }
+                .max();
+            let Some((s, p)) = cand else {
+                break;
+            };
+            taken.push(p);
+            let share = WorkBatch::share_ceil(s as u64, budget) as usize;
+            let before = batch.len();
+            batch.push_chunk(self.workers[p].pool.steal(share));
+            budget -= ((batch.len() - before) as u64).min(budget);
+            proxy |= batch.len() > before;
         }
 
         let resp_ns = self.cfg.costs.write_response_ns;
         self.charge(wi, WorkerState::Poll, resp_ns, now);
-        if items.is_empty() {
+        let reply_latency = self.fabric_latency(wi, thief);
+        if batch.is_empty() {
             self.workers[wi].stats.requests_refused += 1;
-            self.workers[thief].inbox = Some(Resp::Fail);
-            let t = *now + self.cfg.costs.remote_latency_ns;
+            self.workers[thief].inbox = Some(Resp::Fail(wi));
+            let t = *now + reply_latency;
             self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
         } else {
             self.workers[wi].stats.requests_served += 1;
+            self.workers[wi].stats.response_chunks += batch.chunks() as u64;
+            if batch.chunks() > 1 {
+                self.workers[wi].stats.batched_responses += 1;
+            }
             if proxy {
                 self.workers[wi].stats.proxy_serves += 1;
             }
-            let bytes = (items.len() * self.slot_words * 8) as u64;
-            let t = *now + self.cfg.costs.remote_latency_ns + self.cfg.costs.transfer_ns(bytes);
-            self.workers[thief].inbox = Some(Resp::Work(items));
+            let bytes = (batch.len() * self.slot_words * 8) as u64;
+            let t = *now + reply_latency + self.cfg.costs.transfer_ns(bytes);
+            self.workers[thief].inbox = Some(Resp::Work(batch, wi));
             self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
         }
         true
@@ -589,14 +695,20 @@ impl<'c, P: Processor> Sim<'c, P> {
     fn wake_from_wait(&mut self, wi: usize, t: u64) {
         let mut now = t;
         match self.workers[wi].inbox.take() {
-            Some(Resp::Work(items)) => {
-                let per_item = self.cfg.costs.per_item_ns * items.len() as u64;
+            Some(Resp::Work(batch, victim)) => {
+                let per_item = self.cfg.costs.per_item_ns * batch.len() as u64;
                 self.charge(wi, WorkerState::Stealing, per_item, &mut now);
+                let d = self.cfg.topology.distance(wi, victim);
+                if self.cfg.scan_order == ScanOrder::DistanceAware {
+                    let topo = &self.cfg.topology;
+                    self.workers[wi].vorder.record_success(topo, victim);
+                }
                 {
                     let w = &mut self.workers[wi];
                     w.stats.remote_steals += 1;
-                    w.stats.remote_steal_items += items.len() as u64;
-                    let mut it = items.into_iter();
+                    w.stats.remote_steal_items += batch.len() as u64;
+                    w.stats.steals_by_distance.record(d);
+                    let mut it = batch.into_iter();
                     w.current = it.next();
                     for rest in it {
                         w.pool.push(rest);
@@ -604,8 +716,14 @@ impl<'c, P: Processor> Sim<'c, P> {
                 }
                 self.start_node(wi, now);
             }
-            Some(Resp::Fail) => {
+            Some(Resp::Fail(victim)) => {
                 self.workers[wi].stats.remote_steal_failures += 1;
+                // Mirror the threaded runtime: a refusal clears any
+                // affinity pinned to the drained victim.
+                if self.cfg.scan_order == ScanOrder::DistanceAware {
+                    let topo = &self.cfg.topology;
+                    self.workers[wi].vorder.record_failure(topo, victim);
+                }
                 match self.mode {
                     SimMode::Macs => self.enter_idle(wi, now, 0),
                     SimMode::Paccs => {
@@ -643,7 +761,7 @@ impl<'c, P: Processor> Sim<'c, P> {
         let lat = if local {
             self.cfg.costs.poll_ns.max(200)
         } else {
-            self.cfg.costs.remote_latency_ns
+            self.fabric_latency(wi, v)
         };
         let arrival = now + lat;
         self.workers[v].req_queue.push_back((wi, arrival));
@@ -680,19 +798,21 @@ impl<'c, P: Processor> Sim<'c, P> {
             let lat = if local {
                 self.cfg.costs.poll_ns.max(200)
             } else {
-                self.cfg.costs.remote_latency_ns
+                self.fabric_latency(wi, thief)
             };
             if give == 0 {
                 self.workers[wi].stats.requests_refused += 1;
-                self.workers[thief].inbox = Some(Resp::Fail);
+                self.workers[thief].inbox = Some(Resp::Fail(wi));
                 self.schedule(thief, *now + lat, WorkerState::WaitRemote, Phase::Wait);
             } else {
                 let items = self.workers[wi].pool.steal_any(give);
                 self.workers[wi].stats.requests_served += 1;
-                let bytes = (items.len() * self.slot_words * 8) as u64;
+                let batch = WorkBatch::from_items(items);
+                self.workers[wi].stats.response_chunks += batch.chunks() as u64;
+                let bytes = (batch.len() * self.slot_words * 8) as u64;
                 let t = *now + lat + self.cfg.costs.transfer_ns(bytes);
                 // Classify on the thief when the reply arrives.
-                self.workers[thief].inbox = Some(Resp::Work(items));
+                self.workers[thief].inbox = Some(Resp::Work(batch, wi));
                 self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
             }
         }
@@ -828,6 +948,7 @@ where
 
     let workers: Vec<VW<P>> = (0..n)
         .map(|wi| VW {
+            vorder: VictimOrder::new(&cfg.topology, wi),
             pool: VPool::default(),
             current: None,
             staged: Vec::new(),
@@ -852,14 +973,19 @@ where
         })
         .collect();
 
-    let topo = cfg.topology;
+    let topo = &cfg.topology;
+    // PaCCS sweep order: the topology's distance rings flattened nearest
+    // first — socket peers, then node peers, then each remote ring (the
+    // paper's expanding neighbourhood, derived from the machine shape).
     let sweeps: Vec<Vec<usize>> = (0..n)
-        .map(|wi| {
-            let mut order: Vec<usize> = topo.peers_of(wi).filter(|&p| p != wi).collect();
-            order.extend((0..n).filter(|&p| !topo.is_local(p, wi)));
-            order
-        })
+        .map(|wi| topo.rings(wi).into_iter().flatten().collect())
         .collect();
+    // MaCS victim rings (local workers, remote nodes) per worker — built
+    // by the same helper the threaded runtime uses, so the sim models
+    // the identical machine.
+    let (local_rings, node_rings): (Vec<PerWorkerRings>, Vec<PerWorkerRings>) = (0..n)
+        .map(|wi| cfg.scan_order.victim_rings(topo, wi))
+        .unzip();
 
     let mut sim = Sim {
         cfg,
@@ -873,6 +999,8 @@ where
         cancelled: false,
         end_time: None,
         sweeps,
+        local_rings,
+        node_rings,
     };
     sim.run(roots);
 

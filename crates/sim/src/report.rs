@@ -1,7 +1,7 @@
 //! Simulation results: the same quantities the threaded runtime reports,
 //! in virtual time.
 
-use macs_runtime::{WorkerState, NUM_STATES};
+use macs_runtime::{StealHistogram, WorkerState, NUM_STATES};
 
 /// Per-virtual-worker counters and state times (virtual nanoseconds).
 #[derive(Clone, Debug, Default)]
@@ -21,6 +21,12 @@ pub struct SimWorkerStats {
     pub requests_served: u64,
     pub proxy_serves: u64,
     pub requests_refused: u64,
+    /// Successful steals (as thief) by topological distance.
+    pub steals_by_distance: StealHistogram,
+    /// Victim-pool chunks written across all served responses.
+    pub response_chunks: u64,
+    /// Responses that carried more than one victim's chunk.
+    pub batched_responses: u64,
     pub state_ns: [u64; NUM_STATES],
 }
 
@@ -79,6 +85,44 @@ impl<O> SimReport<O> {
             t.1 += w.local_steal_failures;
             t.2 += w.remote_steals;
             t.3 += w.remote_steal_failures;
+        }
+        t
+    }
+
+    /// Successful steals by topological distance, over all workers.
+    pub fn steal_distance_histogram(&self) -> StealHistogram {
+        let mut h = StealHistogram::new();
+        for w in &self.workers {
+            h.merge(&w.steals_by_distance);
+        }
+        h
+    }
+
+    /// Remote request round trips (each steal attempt that posted a
+    /// request costs exactly one, served or refused).
+    pub fn remote_round_trips(&self) -> u64 {
+        let (_, _, ok, failed) = self.steal_totals();
+        ok + failed
+    }
+
+    /// Work items delivered per successful remote steal — the quantity
+    /// batched responses raise.
+    pub fn items_per_remote_steal(&self) -> f64 {
+        let (_, _, ok, _) = self.steal_totals();
+        if ok == 0 {
+            return 0.0;
+        }
+        let items: u64 = self.workers.iter().map(|w| w.remote_steal_items).sum();
+        items as f64 / ok as f64
+    }
+
+    /// (responses served, chunks shipped, responses with > 1 chunk).
+    pub fn response_batching(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for w in &self.workers {
+            t.0 += w.requests_served;
+            t.1 += w.response_chunks;
+            t.2 += w.batched_responses;
         }
         t
     }

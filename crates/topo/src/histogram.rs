@@ -1,0 +1,92 @@
+//! Steals-by-distance accounting.
+
+use std::fmt;
+
+use crate::machine::MAX_LEVELS;
+
+/// A histogram of steal events by topological distance (0 is unused —
+/// nobody steals from themselves — but kept so `counts[d]` indexes
+/// directly by distance).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealHistogram {
+    pub counts: [u64; MAX_LEVELS + 1],
+}
+
+impl StealHistogram {
+    pub fn new() -> Self {
+        StealHistogram::default()
+    }
+
+    #[inline]
+    pub fn record(&mut self, distance: usize) {
+        self.counts[distance.min(MAX_LEVELS)] += 1;
+    }
+
+    pub fn merge(&mut self, other: &StealHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(distance, count)` for every non-zero bucket, nearest first.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(d, &c)| (d, c))
+    }
+
+    /// Render as `d1:123 d2:45 …` with per-bucket percentages.
+    pub fn display(&self) -> String {
+        let total = self.total();
+        if total == 0 {
+            return "(no steals)".into();
+        }
+        self.buckets()
+            .map(|(d, c)| format!("d{d}:{c} ({:.1}%)", 100.0 * c as f64 / total as f64))
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+}
+
+impl fmt::Display for StealHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_merge_and_display() {
+        let mut h = StealHistogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(3);
+        let mut g = StealHistogram::new();
+        g.record(2);
+        h.merge(&g);
+        assert_eq!(h.total(), 4);
+        assert_eq!(
+            h.buckets().collect::<Vec<_>>(),
+            vec![(1, 2), (2, 1), (3, 1)]
+        );
+        let s = h.to_string();
+        assert!(s.contains("d1:2") && s.contains("50.0%"), "{s}");
+        assert_eq!(StealHistogram::new().to_string(), "(no steals)");
+    }
+
+    #[test]
+    fn out_of_range_distances_clamp() {
+        let mut h = StealHistogram::new();
+        h.record(99);
+        assert_eq!(h.counts[MAX_LEVELS], 1);
+    }
+}

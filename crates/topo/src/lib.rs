@@ -1,0 +1,56 @@
+//! **`macs-topo`** — the machine-topology subsystem: an N-level model of a
+//! hierarchical multiprocessor and the distance-aware victim-ordering
+//! machinery built on it.
+//!
+//! # The level model
+//!
+//! A [`MachineTopology`] is a mixed-radix shape, outermost level first —
+//! e.g. `[clusters, nodes, sockets, cores]` — with **dense worker IDs**:
+//! worker `w`'s coordinates are the digits of `w` in that radix, so all
+//! workers sharing a coordinate prefix occupy one *contiguous* ID range.
+//! The paper's testbed (155 nodes × 4 cores) is the 2-level shape
+//! `[155, 4]`; a flat shared-memory machine is the 1-level shape `[n]`.
+//!
+//! The **`node_prefix`** marks the shared-memory boundary: the outermost
+//! `node_prefix` levels identify a *node* (one shared-memory domain, one
+//! GPI rank). Workers whose coordinates agree on that prefix communicate
+//! through shared memory; everyone else is reached over the interconnect.
+//! For `[clusters, nodes, sockets, cores]` the prefix is 2; for `[n]` it
+//! is 0 (everything local).
+//!
+//! # The distance metric
+//!
+//! `distance(a, b)` is the number of levels, counted from the innermost,
+//! that must be ascended to reach a common ancestor — equivalently
+//! `levels − |common coordinate prefix|`:
+//!
+//! * `0` — the same worker;
+//! * `1` — siblings at the innermost level (same socket);
+//! * …
+//! * `levels` — different at the outermost level (other cluster).
+//!
+//! Distances `1..=levels − node_prefix` are **intra-node** (shared
+//! memory); larger distances cross the fabric, and each additional level
+//! is a slower hop. [`MachineTopology::peers_at`] iterates the ring of
+//! workers at an exact distance; rings partition the machine, so scanning
+//! rings in increasing distance visits every potential victim exactly
+//! once, nearest first — the level-by-level victim order (socket before
+//! node before cluster) that the paper's hierarchy argument calls for.
+//!
+//! # Victim ordering
+//!
+//! [`VictimOrder`] ranks steal candidates by (topological distance,
+//! last-successful-steal affinity, surplus estimate): rings are scanned
+//! nearest-first, within a ring the last victim that yielded work is
+//! retried before anyone else, and the caller breaks remaining ties with
+//! its surplus estimates (greedy first-hit or max-surplus).
+//! [`StealHistogram`] records how many steals travelled each distance —
+//! the observability half of the distance story.
+
+pub mod histogram;
+pub mod machine;
+pub mod victim;
+
+pub use histogram::StealHistogram;
+pub use machine::{MachineTopology, PeerRing, TopoError, MAX_LEVELS};
+pub use victim::{ScanOrder, VictimOrder};

@@ -1,0 +1,294 @@
+//! Distance-aware victim ordering with last-steal affinity.
+
+use crate::machine::MachineTopology;
+
+/// How a thief orders its candidate victims.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanOrder {
+    /// Level-by-level: all victims at distance 1 (same socket) before
+    /// distance 2 (same node) before distance 3 (same cluster) …, with
+    /// last-successful-steal affinity inside each ring.
+    #[default]
+    DistanceAware,
+    /// The original flat scan: every co-located peer is equivalent, every
+    /// remote node is equivalent — distance is only local vs. remote.
+    Flat,
+}
+
+impl ScanOrder {
+    /// Build one thief's victim rings: local co-located workers (nearest
+    /// level first) and remote *nodes* by distance ring. The flat scan
+    /// collapses each side into a single ring (or none, when the machine
+    /// has no remote nodes). Shared by the threaded runtime and the
+    /// simulator so both model the same machine.
+    pub fn victim_rings(
+        &self,
+        topo: &MachineTopology,
+        w: usize,
+    ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        match self {
+            ScanOrder::DistanceAware => {
+                let local = (1..=topo.local_distance_max())
+                    .map(|d| topo.peers_at(w, d).collect())
+                    .collect();
+                (local, topo.node_rings(w))
+            }
+            ScanOrder::Flat => {
+                let local = vec![topo.peers_of(w).filter(|&p| p != w).collect()];
+                let me = topo.node_of(w);
+                let remote: Vec<usize> = (0..topo.nodes()).filter(|&n| n != me).collect();
+                let remote = if remote.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![remote]
+                };
+                (local, remote)
+            }
+        }
+    }
+}
+
+/// Per-thief victim-ranking state: for each distance ring, the last victim
+/// that yielded work (*affinity*). A thief that just stole successfully
+/// from `v` retries `v` first next time it reaches `v`'s ring — stolen
+/// subtrees keep producing work, and going back to a warm victim skips the
+/// scan and (for remote rings) the failed-request round trip.
+///
+/// Ranking is (distance, affinity, surplus): rings nearest-first, affinity
+/// before the rest of a ring, and the caller's surplus estimates break
+/// the remaining ties.
+#[derive(Clone, Debug)]
+pub struct VictimOrder {
+    me: usize,
+    /// `affinity[d - 1]` = last successful victim at distance `d`.
+    affinity: Vec<Option<usize>>,
+}
+
+impl VictimOrder {
+    pub fn new(topo: &MachineTopology, me: usize) -> Self {
+        VictimOrder {
+            me,
+            affinity: vec![None; topo.max_distance()],
+        }
+    }
+
+    #[inline]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// The warm victim for distance `d`, if any.
+    #[inline]
+    pub fn affinity_at(&self, d: usize) -> Option<usize> {
+        self.affinity.get(d.wrapping_sub(1)).copied().flatten()
+    }
+
+    /// Record a successful steal from `victim`.
+    pub fn record_success(&mut self, topo: &MachineTopology, victim: usize) {
+        let d = topo.distance(self.me, victim);
+        if d >= 1 {
+            self.affinity[d - 1] = Some(victim);
+        }
+    }
+
+    /// Record a failed steal from `victim`: drop the affinity if it
+    /// pointed there (a drained victim must not be pinned).
+    pub fn record_failure(&mut self, topo: &MachineTopology, victim: usize) {
+        let d = topo.distance(self.me, victim);
+        if d >= 1 && self.affinity[d - 1] == Some(victim) {
+            self.affinity[d - 1] = None;
+        }
+    }
+
+    /// Rank one ring of candidates: affinity first, then the ring rotated
+    /// by `rot` (the caller passes a random rotation to avoid convoys),
+    /// affinity not repeated. Returns candidates paired with distance `d`.
+    pub fn ring_order<'a>(
+        &self,
+        ring: &'a [usize],
+        d: usize,
+        rot: usize,
+    ) -> impl Iterator<Item = usize> + 'a {
+        let warm = self.affinity_at(d).filter(|w| ring.contains(w));
+        let n = ring.len();
+        warm.into_iter().chain(
+            (0..n)
+                .map(move |k| ring[(rot + k) % n.max(1)])
+                .filter(move |&v| Some(v) != warm),
+        )
+    }
+
+    /// Greedy pick over ordered rings: the first candidate (nearest ring,
+    /// affinity first) whose `surplus` estimate is non-zero. `rot_for`
+    /// supplies the scan start for a ring of the given length (draw it
+    /// uniformly per ring — a shared rotation reduced mod ring length
+    /// would bias the start). Returns `(victim, distance)`.
+    pub fn pick_first(
+        &self,
+        rings: &[Vec<usize>],
+        mut rot_for: impl FnMut(usize) -> usize,
+        mut surplus: impl FnMut(usize) -> u64,
+    ) -> Option<(usize, usize)> {
+        for (i, ring) in rings.iter().enumerate() {
+            let d = i + 1;
+            let rot = rot_for(ring.len().max(1));
+            if let Some(v) = self.ring_order(ring, d, rot).find(|&v| surplus(v) > 0) {
+                return Some((v, d));
+            }
+        }
+        None
+    }
+
+    /// Repeat-free probe order over one ring of remote *nodes*: the node
+    /// hosting this ring's affinity victim first, then the ring rotated
+    /// by `rot` with the warm node not repeated. Taking `k` candidates
+    /// from this probes `k` distinct nodes — a duplicate random draw can
+    /// never burn an attempt.
+    pub fn node_probe_order<'a>(
+        &self,
+        topo: &MachineTopology,
+        ring: &'a [usize],
+        d: usize,
+        rot: usize,
+    ) -> impl Iterator<Item = usize> + 'a {
+        let warm = self
+            .affinity_at(d)
+            .map(|w| topo.node_of(w))
+            .filter(|n| ring.contains(n));
+        let n = ring.len();
+        warm.into_iter().chain(
+            (0..n)
+                .map(move |k| ring[(rot + k) % n.max(1)])
+                .filter(move |&v| Some(v) != warm),
+        )
+    }
+
+    /// Max-surplus pick: inspect every candidate of the nearest non-empty
+    /// ring (by surplus) and take the largest; only if a whole ring is dry
+    /// move one ring out. Returns `(victim, distance)`.
+    pub fn pick_max(
+        &self,
+        rings: &[Vec<usize>],
+        mut surplus: impl FnMut(usize) -> u64,
+    ) -> Option<(usize, usize)> {
+        for (i, ring) in rings.iter().enumerate() {
+            let d = i + 1;
+            let warm = self.affinity_at(d);
+            let best = ring
+                .iter()
+                .map(|&v| (surplus(v), Some(v) == warm, v))
+                .filter(|&(s, _, _)| s > 0)
+                // Affinity breaks surplus ties.
+                .max_by_key(|&(s, warm, _)| (s, warm));
+            if let Some((_, _, v)) = best {
+                return Some((v, d));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> MachineTopology {
+        // [nodes, sockets, cores] = [2, 2, 2]: worker 0's rings are
+        // d=1 {1}, d=2 {2, 3}, d=3 {4..8}.
+        MachineTopology::try_new(&[2, 2, 2], 1).unwrap()
+    }
+
+    #[test]
+    fn affinity_tracks_success_and_failure() {
+        let t = topo();
+        let mut vo = VictimOrder::new(&t, 0);
+        assert_eq!(vo.affinity_at(2), None);
+        vo.record_success(&t, 3);
+        assert_eq!(vo.affinity_at(2), Some(3));
+        assert_eq!(vo.affinity_at(1), None, "other rings untouched");
+        vo.record_failure(&t, 2);
+        assert_eq!(vo.affinity_at(2), Some(3), "failure elsewhere keeps it");
+        vo.record_failure(&t, 3);
+        assert_eq!(vo.affinity_at(2), None, "failure on the warm victim clears");
+    }
+
+    #[test]
+    fn ring_order_puts_affinity_first_without_repeats() {
+        let t = topo();
+        let mut vo = VictimOrder::new(&t, 0);
+        vo.record_success(&t, 6);
+        let ring: Vec<usize> = t.peers_at(0, 3).collect();
+        let order: Vec<usize> = vo.ring_order(&ring, 3, 1).collect();
+        assert_eq!(order[0], 6);
+        assert_eq!(order.len(), ring.len());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ring);
+    }
+
+    #[test]
+    fn pick_first_prefers_near_rings() {
+        let t = topo();
+        let vo = VictimOrder::new(&t, 0);
+        let rings = t.rings(0);
+        // Everyone has surplus: nearest ring wins.
+        let (v, d) = vo.pick_first(&rings, |_| 0, |_| 1).unwrap();
+        assert_eq!((v, d), (1, 1));
+        // Only a far worker has surplus.
+        let (v, d) = vo.pick_first(&rings, |_| 0, |w| (w == 5) as u64).unwrap();
+        assert_eq!((v, d), (5, 3));
+        assert!(vo.pick_first(&rings, |_| 0, |_| 0).is_none());
+    }
+
+    #[test]
+    fn node_probe_order_is_repeat_free_and_warm_first() {
+        let t = MachineTopology::try_new(&[2, 2, 2], 2).unwrap(); // 4 nodes of 2
+        let mut vo = VictimOrder::new(&t, 0);
+        let ring: Vec<usize> = t.node_rings(0)[1].clone(); // nodes {2, 3}
+        assert_eq!(ring, vec![2, 3]);
+        vo.record_success(&t, 6); // worker 6 lives on node 3, distance 3
+        for rot in 0..4 {
+            let order: Vec<usize> = vo.node_probe_order(&t, &ring, 3, rot).collect();
+            assert_eq!(order[0], 3, "warm node first");
+            assert_eq!(order.len(), ring.len(), "every node exactly once");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, ring);
+        }
+    }
+
+    #[test]
+    fn victim_rings_match_scan_order() {
+        let t = topo();
+        let (local, remote) = ScanOrder::DistanceAware.victim_rings(&t, 0);
+        assert_eq!(local, vec![vec![1], vec![2, 3]]);
+        assert_eq!(remote, vec![vec![1]]);
+        let (local, remote) = ScanOrder::Flat.victim_rings(&t, 0);
+        assert_eq!(local, vec![vec![1, 2, 3]]);
+        assert_eq!(remote, vec![vec![1]]);
+        // No remote nodes → no remote rings under either order.
+        let flat1 = MachineTopology::flat(4);
+        assert!(ScanOrder::Flat.victim_rings(&flat1, 0).1.is_empty());
+        assert!(ScanOrder::DistanceAware
+            .victim_rings(&flat1, 0)
+            .1
+            .is_empty());
+    }
+
+    #[test]
+    fn pick_max_takes_largest_in_nearest_nonempty_ring() {
+        let t = topo();
+        let vo = VictimOrder::new(&t, 0);
+        let rings = t.rings(0);
+        // Ring d=2 has {2: 5 items, 3: 9 items}; ring d=3 has huge surplus
+        // but must not be reached.
+        let surplus = |w: usize| match w {
+            2 => 5,
+            3 => 9,
+            4..=7 => 100,
+            _ => 0,
+        };
+        let (v, d) = vo.pick_max(&rings, surplus).unwrap();
+        assert_eq!((v, d), (3, 2));
+    }
+}

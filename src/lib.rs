@@ -11,6 +11,7 @@
 //! | [`domain`] | `macs-domain` | bitmap finite domains, the relocatable [`Store`](domain::Store) |
 //! | [`engine`] | `macs-engine` | propagators, fixpoint engine, models, branching, sequential oracle |
 //! | [`search`] | `macs-search` | **the** node-processing kernel: [`SearchKernel`](search::SearchKernel), [`IncumbentSource`](search::IncumbentSource), the [`StoreSlab`](search::StoreSlab) arena, [`WorkBatch`](search::WorkBatch) |
+//! | [`topo`] | `macs-topo` | the N-level machine model: [`MachineTopology`](topo::MachineTopology) distances/rings, [`VictimOrder`](topo::VictimOrder) |
 //! | [`gpi`] | `macs-gpi` | the simulated GPI/PGAS layer: topology, segments, one-sided ops |
 //! | [`pool`] | `macs-pool` | the split private/shared work pool |
 //! | [`runtime`] | `macs-runtime` | the generic hierarchical work-stealing runtime |
@@ -49,6 +50,7 @@ pub use macs_problems as problems;
 pub use macs_runtime as runtime;
 pub use macs_search as search;
 pub use macs_sim as sim;
+pub use macs_topo as topo;
 pub use macs_uts as uts;
 
 /// The most common imports in one place.
@@ -73,5 +75,6 @@ pub mod prelude {
         IncumbentSource, LocalIncumbent, SearchKernel, StepOutcome, StoreSlab, WorkBatch,
     };
     pub use macs_sim::{simulate_macs, simulate_paccs, CostModel, SimConfig};
+    pub use macs_topo::{MachineTopology, ScanOrder, StealHistogram, TopoError, VictimOrder};
     pub use macs_uts::{uts_parallel, uts_sequential, TreeShape};
 }

@@ -130,6 +130,46 @@ fn langford_counts_agree_everywhere() {
     assert_eq!(psim.total_solutions(), expect, "simulated PaCCS");
 }
 
+/// A 3-level machine (2 nodes × 2 sockets × 2 cores) through every
+/// parallel path: distance-aware victim rings, batched responses and the
+/// topology-derived PaCCS neighbourhoods must leave counts untouched.
+#[test]
+fn three_level_machine_agrees_everywhere() {
+    let prob = queens(8, QueensModel::Pairwise);
+    let expect = solve_seq(&prob, &SeqOptions::default()).solutions;
+
+    let threaded = Solver::new(SolverConfig::hierarchical(&[2, 2, 2], 1).unwrap()).solve(&prob);
+    assert_eq!(threaded.solutions, expect, "threaded MaCS @2x2x2");
+
+    let paccs = paccs_solve(&prob, &PaccsConfig::hierarchical(&[2, 2, 2], 1).unwrap());
+    assert_eq!(paccs.solutions, expect, "PaCCS @2x2x2");
+
+    let topo = MachineTopology::try_new(&[2, 2, 2], 1).unwrap();
+    let root = prob.root.as_words().to_vec();
+    let sim = simulate_macs(
+        &SimConfig::new(topo.clone()),
+        prob.layout.store_words(),
+        std::slice::from_ref(&root),
+        |_| CpProcessor::new(&prob, 0, false),
+    );
+    assert_eq!(sim.total_solutions(), expect, "simulated MaCS @2x2x2");
+    let hist = sim.steal_distance_histogram();
+    let (ls, _, rs, _) = sim.steal_totals();
+    assert_eq!(
+        hist.total(),
+        ls + rs,
+        "distance histogram covers all steals"
+    );
+
+    let psim = simulate_paccs(
+        &SimConfig::new(topo),
+        prob.layout.store_words(),
+        &[root],
+        |_| CpProcessor::new(&prob, 0, false),
+    );
+    assert_eq!(psim.total_solutions(), expect, "simulated PaCCS @2x2x2");
+}
+
 #[test]
 fn unsatisfiable_agrees_everywhere() {
     let prob = queens(3, QueensModel::Pairwise);
