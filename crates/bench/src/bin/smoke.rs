@@ -5,17 +5,35 @@
 //! Besides the default flat/2-level drives, every instance is also run on
 //! a hierarchical machine (default 2×2×2 nodes×sockets×cores, override
 //! with `--shape AxBxC[:prefix]`) so 3-level topologies stay in the
-//! cross-solver agreement net.
+//! cross-solver agreement net. `--bound-policy immediate|periodic[:k]|`
+//! `hierarchical` applies one bound-dissemination policy to every backend,
+//! so the CI matrix keeps each policy in the net too.
 //!
 //! Exit code is non-zero on any disagreement with the sequential oracle.
 
-use macs_bench::{shape_arg, sim_cp_macs, sim_cp_paccs};
+use macs_bench::{bound_policy_arg, maybe_help, shape_arg, sim_cp_macs, sim_cp_paccs};
 use macs_core::{solve_seq, SeqOptions, Solver, SolverConfig};
 use macs_engine::CompiledProblem;
 use macs_paccs::{paccs_solve, PaccsConfig};
 use macs_problems::{golomb_ruler, langford, queens, QueensModel};
-use macs_runtime::MachineTopology;
+use macs_runtime::{BoundPolicy, MachineTopology};
 use macs_sim::SimConfig;
+
+const USAGE: &str = "\
+smoke — drive every execution path on small instances and compare them to
+the sequential oracle.
+
+USAGE:
+    cargo run --release -p macs-bench --bin smoke [OPTIONS]
+
+OPTIONS:
+    --shape AxBxC[:p]   hierarchical machine for the deep drives (levels
+                        outermost-first, `:p` = node prefix, default 1)
+                        [default: 2x2x2:1]
+    --bound-policy <P>  bound-dissemination policy for all backends:
+                        immediate, periodic[:k] or hierarchical
+                        [default: each backend's own default]
+    -h, --help          this text";
 
 struct Row {
     name: String,
@@ -32,15 +50,25 @@ struct Row {
 fn drive(
     name: &str,
     prob: &CompiledProblem,
-    threaded_cfg: SolverConfig,
+    mut threaded_cfg: SolverConfig,
     topo: MachineTopology,
+    policy: Option<BoundPolicy>,
 ) -> Row {
     let seq = solve_seq(prob, &SeqOptions::default());
+    if let Some(p) = policy {
+        threaded_cfg.runtime.bound_policy = p;
+    }
     let threaded = Solver::new(threaded_cfg).solve(prob);
     let mut paccs_cfg = PaccsConfig::with_workers(1);
     paccs_cfg.topology = topo.clone();
+    if let Some(p) = policy {
+        paccs_cfg.bound_policy = p;
+    }
     let paccs = paccs_solve(prob, &paccs_cfg);
-    let cfg = SimConfig::new(topo);
+    let mut cfg = SimConfig::new(topo);
+    if let Some(p) = policy {
+        cfg.bound_policy = p;
+    }
     let sim = sim_cp_macs(prob, &cfg);
     let psim = sim_cp_paccs(prob, &cfg);
     Row {
@@ -62,16 +90,22 @@ fn drive(
 }
 
 fn main() {
+    maybe_help(USAGE);
     // The hierarchical matrix entry: 3-level by default, CI also passes
-    // explicit shapes.
+    // explicit shapes and bound policies.
     let deep_topo = shape_arg()
         .unwrap_or_else(|| MachineTopology::try_new(&[2, 2, 2], 1).expect("default 3-level shape"));
+    let policy = bound_policy_arg();
     let deep_runtime = {
         let mut cfg = SolverConfig::with_workers(1);
         cfg.runtime.topology = deep_topo.clone();
         cfg
     };
-    println!("hierarchical matrix shape: {deep_topo}\n");
+    println!("hierarchical matrix shape: {deep_topo}");
+    match policy {
+        Some(p) => println!("bound policy: {p}\n"),
+        None => println!("bound policy: backend defaults\n"),
+    }
 
     let instances: Vec<(&str, CompiledProblem)> = vec![
         ("queens-7", queens(7, QueensModel::Pairwise)),
@@ -88,6 +122,7 @@ fn main() {
             prob,
             SolverConfig::clustered(4, 2),
             MachineTopology::try_clustered(8, 4).expect("2-level shape"),
+            policy,
         ));
         // The hierarchical drive: same instance, N-level machine.
         rows.push(drive(
@@ -95,6 +130,7 @@ fn main() {
             prob,
             deep_runtime.clone(),
             deep_topo.clone(),
+            policy,
         ));
     }
 

@@ -10,14 +10,41 @@
 //! `--full` extends the series to 512 simulated cores; `--shape 2x2x4:1`
 //! overrides the machine shape for part 2.
 
-use macs_bench::{arg, core_series, deep_topo_for, qap_size_arg, shape_arg, sim_cp_macs};
+use macs_bench::{
+    arg, bound_policy_arg, core_series, deep_topo_for, maybe_help, qap_size_arg, shape_arg,
+    sim_cp_macs,
+};
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
 use macs_runtime::ScanOrder;
 use macs_sim::{CostModel, SimConfig, SimReport};
 
+const USAGE: &str = "\
+topo_ablation — measure what the macs-topo subsystem buys: flat vs
+distance-aware victim order, then single-chunk vs batched remote steal
+responses.
+
+USAGE:
+    cargo run --release -p macs-bench --bin topo_ablation [OPTIONS]
+
+OPTIONS:
+    --full              extend the core series to 512 simulated cores
+    --n <N>             queens size for the victim-order series [default: 12]
+    --n2 <N>            queens size for the batching sweep      [default: 14]
+    --qn <N>            esc16e sub-instance size, 2..=16        [default: 11]
+    --shape AxBxC[:p]   machine shape for the batching sweep (levels
+                        outermost-first, `:p` = node prefix, default 1);
+                        default is cores/8 nodes x 2 sockets x 4 cores
+    --bound-policy <P>  bound-dissemination policy for the sweeps:
+                        immediate, periodic[:k] or hierarchical
+                        [default: immediate]
+    -h, --help          this text";
+
 fn deep_cfg(cores: usize) -> SimConfig {
     let mut cfg = SimConfig::new(deep_topo_for(cores));
     cfg.costs = CostModel::paper_queens();
+    if let Some(p) = bound_policy_arg() {
+        cfg.bound_policy = p;
+    }
     cfg
 }
 
@@ -31,6 +58,7 @@ fn row<O>(label: &str, r: &SimReport<O>) {
 }
 
 fn main() {
+    maybe_help(USAGE);
     let n: usize = arg("n", 12);
     let prob = queens(n, QueensModel::Pairwise);
     let series = core_series();
@@ -83,6 +111,9 @@ fn main() {
                 cfg.costs = costs;
                 cfg.response_batch = batch;
                 cfg.seed = seed;
+                if let Some(p) = bound_policy_arg() {
+                    cfg.bound_policy = p;
+                }
                 let r = sim_cp_macs(prob, &cfg);
                 let (served, chunks, multi) = r.response_batching();
                 rtts += r.remote_round_trips();

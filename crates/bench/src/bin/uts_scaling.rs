@@ -1,4 +1,4 @@
-//! Reference [1] — the UTS benchmark that the MaCS pool/load balancer was
+//! Reference \[1\] — the UTS benchmark that the MaCS pool/load balancer was
 //! built on: scaling of pure tree search with no constraint work.
 
 use macs_bench::{arg, core_series, topo_for};

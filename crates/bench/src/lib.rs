@@ -11,6 +11,7 @@ use macs_core::{CpOutput, CpProcessor};
 use macs_engine::CompiledProblem;
 use macs_gpi::{MachineTopology, Topology};
 use macs_runtime::{WorkerState, NUM_STATES};
+use macs_search::BoundPolicy;
 use macs_sim::{simulate_macs, simulate_paccs, SimConfig, SimReport};
 
 /// The paper's cluster shape: 4 cores per node; fewer than 4 cores means a
@@ -56,6 +57,40 @@ pub fn parse_shape(s: &str) -> Result<MachineTopology, String> {
         })
         .collect::<Result<_, _>>()?;
     MachineTopology::try_new(&shape, prefix).map_err(|e| format!("invalid shape {s:?}: {e}"))
+}
+
+/// `--bound-policy immediate|periodic[:k]|hierarchical` from the process
+/// arguments, if present (`periodic` defaults to a 32-node refresh
+/// cadence). Malformed policies exit with a readable message (exit
+/// code 2). See [`macs_search::bounds`] for what each policy does.
+pub fn bound_policy_arg() -> Option<BoundPolicy> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--bound-policy" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--bound-policy needs a value: immediate, periodic[:k] or hierarchical");
+                std::process::exit(2);
+            };
+            match v.parse::<BoundPolicy>() {
+                Ok(p) => return Some(p),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Print `usage` and exit 0 when `--help`/`-h` was passed. Harness bins
+/// call this first, so every flag (`--shape`, `--bound-policy`, `--full`,
+/// the per-bin sizes) is discoverable without reading the source.
+pub fn maybe_help(usage: &str) {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{usage}");
+        std::process::exit(0);
+    }
 }
 
 /// `--shape AxBxC[:prefix]` from the process arguments, if present;

@@ -24,11 +24,38 @@ pub const CELL_SOLUTIONS: usize = 2;
 pub const CELL_CANCEL: usize = 3;
 /// First register index free for application use.
 pub const CELL_USER: usize = 8;
+/// Base of the per-node bound-mirror block (hierarchical bound
+/// dissemination): register `CELL_NODE_BOUND_BASE + n` caches the global
+/// incumbent for shared-memory node `n`. Conceptually each mirror lives in
+/// node `n`'s own global-memory partition, so workers on `n` read it
+/// locally while only the node leader pays the fabric to refresh it from
+/// [`CELL_INCUMBENT`]. Size the register file with
+/// [`GlobalCells::with_node_mirrors`].
+pub const CELL_NODE_BOUND_BASE: usize = CELL_USER;
+
+/// Register holding node `n`'s mirror of the incumbent.
+#[inline]
+pub const fn node_bound_cell(node: usize) -> usize {
+    CELL_NODE_BOUND_BASE + node
+}
 
 impl GlobalCells {
     pub fn new(count: usize) -> Self {
         let seg = Segment::new(count.max(CELL_USER));
         GlobalCells { seg }
+    }
+
+    /// A register file of at least `min_cells` registers with one bound
+    /// mirror per shared-memory node, every bound cell (root and mirrors)
+    /// initialised to "no incumbent" (`i64::MAX`). This is how
+    /// [`World`](crate::World) sizes its cells.
+    pub fn with_node_mirrors(nodes: usize, min_cells: usize) -> Self {
+        let cells = GlobalCells::new(min_cells.max(CELL_NODE_BOUND_BASE + nodes));
+        cells.store_i64(CELL_INCUMBENT, i64::MAX);
+        for n in 0..nodes {
+            cells.store_i64(node_bound_cell(n), i64::MAX);
+        }
+        cells
     }
 
     /// Number of registers.
@@ -105,6 +132,17 @@ mod tests {
     fn minimum_size_covers_reserved_cells() {
         let c = GlobalCells::new(0);
         assert!(c.len() >= CELL_USER);
+    }
+
+    #[test]
+    fn node_mirrors_start_empty() {
+        let c = GlobalCells::with_node_mirrors(3, 0);
+        assert!(c.len() > node_bound_cell(2));
+        assert_eq!(c.load_i64(CELL_INCUMBENT), i64::MAX);
+        for n in 0..3 {
+            assert_eq!(c.load_i64(node_bound_cell(n)), i64::MAX);
+        }
+        assert!(GlobalCells::with_node_mirrors(1, 32).len() >= 32);
     }
 
     #[test]

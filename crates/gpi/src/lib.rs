@@ -63,7 +63,11 @@ pub struct World {
 }
 
 impl World {
-    /// Build a world with `cell_count` global registers.
+    /// Build a world with at least `cell_count` global registers. The
+    /// register file always includes one incumbent mirror per
+    /// shared-memory node (see [`cells::CELL_NODE_BOUND_BASE`]),
+    /// initialised to "no incumbent", so hierarchical bound dissemination
+    /// works on any world.
     pub fn new(
         topology: impl Into<MachineTopology>,
         latency: LatencyModel,
@@ -71,10 +75,11 @@ impl World {
     ) -> Arc<Self> {
         let topology = topology.into();
         let total = topology.total_workers();
+        let cells = GlobalCells::with_node_mirrors(topology.nodes(), cell_count);
         Arc::new(World {
             topology,
             interconnect: Interconnect::new(latency),
-            cells: GlobalCells::new(cell_count),
+            cells,
             barrier: GpiBarrier::new(total),
         })
     }

@@ -4,6 +4,7 @@
 //! substrate differs — two-sided messages over channels, a controller that
 //! collects solutions, and a [`WorkBatch`] handed over per steal.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -12,7 +13,15 @@ use std::time::{Duration, Instant};
 use macs_domain::Val;
 use macs_engine::CompiledProblem;
 use macs_gpi::{Interconnect, LatencyModel, MachineTopology, StealHistogram, TopoError, Topology};
-use macs_search::{AtomicIncumbent, SearchKernel, StepOutcome, WorkBatch, WorkItem};
+use macs_search::{
+    AtomicIncumbent, BoundPolicy, BroadcastTree, IncumbentSource, RefreshGate, SearchKernel,
+    StepOutcome, WorkBatch, WorkItem,
+};
+
+/// How often (in processed stores) a node-leader agent refreshes its
+/// node's incumbent mirror from the controller under
+/// [`BoundPolicy::Hierarchical`].
+const LEADER_REFRESH: u32 = 8;
 
 /// Configuration of a PaCCS run.
 #[derive(Clone, Debug)]
@@ -25,6 +34,13 @@ pub struct PaccsConfig {
     /// queue, capped here).
     pub max_steal_chunk: usize,
     pub keep_solutions: usize,
+    /// When incumbent improvements reach other agents. `Immediate` reads
+    /// the controller's value directly (the original behaviour);
+    /// `Periodic` caches it per agent; `Hierarchical` routes it through
+    /// per-node mirror atomics that node leaders refresh from the
+    /// controller — the message-passing face of the node-leader broadcast
+    /// tree.
+    pub bound_policy: BoundPolicy,
 }
 
 impl PaccsConfig {
@@ -35,6 +51,7 @@ impl PaccsConfig {
             steal_retry_backoff_us: 50,
             max_steal_chunk: 8,
             keep_solutions: 16,
+            bound_policy: BoundPolicy::Immediate,
         }
     }
 
@@ -78,6 +95,9 @@ pub struct PaccsOutcome {
     pub steals_by_distance: StealHistogram,
     /// Total messages exchanged.
     pub messages: u64,
+    /// Cross-node messages attributable to bound dissemination (relay
+    /// fan-out on improvements, plus periodic refresh pulls).
+    pub bound_msgs: u64,
 }
 
 enum Msg {
@@ -110,7 +130,13 @@ struct Shared<'a> {
     /// Best objective value (PaCCS routes bound values through the
     /// controller; the value lives centrally and stale reads are sound).
     incumbent: AtomicIncumbent,
+    /// Per-node incumbent mirrors (hierarchical policy): agents read
+    /// their node's mirror, node leaders refresh it from the controller.
+    node_bounds: Vec<AtomicIncumbent>,
+    /// The broadcast tree the hierarchical policy routes over.
+    tree: BroadcastTree,
     messages: AtomicU64,
+    bound_msgs: AtomicU64,
 }
 
 impl Shared<'_> {
@@ -135,6 +161,94 @@ impl Shared<'_> {
         }
         self.messages.fetch_add(1, Ordering::Relaxed);
         let _ = self.to_controller.send(msg);
+    }
+}
+
+/// One agent's view of the branch-and-bound incumbent, applying the run's
+/// [`BoundPolicy`]:
+///
+/// * `Immediate` — read the controller's atomic on every node (the
+///   original behaviour);
+/// * `Periodic { every }` — work from a cached copy refreshed every
+///   `every` nodes (one conceptual controller pull each);
+/// * `Hierarchical` — read the node's mirror atomic (shared memory);
+///   improvements are pushed mirror-first, and the node *leader* alone
+///   refreshes the mirror from the controller every [`LEADER_REFRESH`]
+///   nodes — the controller-relay realisation of the broadcast tree, with
+///   the relay fan-out billed per improvement.
+struct AgentIncumbent<'s, 'p> {
+    shared: &'s Shared<'p>,
+    node: usize,
+    off_controller: bool,
+    leader: bool,
+    cache: Cell<i64>,
+    gate: RefreshGate,
+}
+
+impl<'s, 'p> AgentIncumbent<'s, 'p> {
+    fn new(id: usize, shared: &'s Shared<'p>) -> Self {
+        let topo = &shared.cfg.topology;
+        AgentIncumbent {
+            shared,
+            node: topo.node_of(id),
+            off_controller: topo.node_of(id) != 0,
+            leader: shared.tree.is_leader(id),
+            cache: Cell::new(i64::MAX),
+            gate: RefreshGate::new(),
+        }
+    }
+
+    fn count_bound_msgs(&self, n: u64) {
+        if n > 0 {
+            self.shared.bound_msgs.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+impl IncumbentSource for AgentIncumbent<'_, '_> {
+    fn bound(&self) -> i64 {
+        match self.shared.cfg.bound_policy {
+            BoundPolicy::Immediate => self.shared.incumbent.get(),
+            BoundPolicy::Periodic { every } => {
+                if self.gate.due(every) {
+                    self.count_bound_msgs(self.off_controller as u64);
+                    let v = self.shared.incumbent.get();
+                    self.cache.set(v);
+                    v
+                } else {
+                    self.cache.get()
+                }
+            }
+            BoundPolicy::Hierarchical => {
+                if self.leader && self.gate.due(LEADER_REFRESH) {
+                    let v = self.shared.incumbent.get();
+                    self.shared.node_bounds[self.node].offer(v);
+                }
+                self.shared.node_bounds[self.node].get()
+            }
+        }
+    }
+
+    fn offer(&self, cost: i64) -> bool {
+        let policy = self.shared.cfg.bound_policy;
+        if policy == BoundPolicy::Hierarchical {
+            // Mirror first: co-located agents see it without the
+            // controller round trip.
+            self.shared.node_bounds[self.node].offer(cost);
+        }
+        let improved = self.shared.incumbent.offer(cost);
+        if improved {
+            let origin = self.shared.cfg.topology.workers_on(self.node).start;
+            self.count_bound_msgs(match policy {
+                BoundPolicy::Immediate => self.shared.tree.eager_fanout(origin).fabric_msgs,
+                BoundPolicy::Periodic { .. } => self.off_controller as u64,
+                BoundPolicy::Hierarchical => {
+                    self.shared.tree.hierarchical_fanout(origin).fabric_msgs
+                }
+            });
+        }
+        self.cache.set(self.cache.get().min(cost));
+        improved
     }
 }
 
@@ -177,6 +291,7 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
     let mut kernel = SearchKernel::new(prob);
     let mut stack: VecDeque<WorkItem> = VecDeque::new();
     let mut res = AgentResult::default();
+    let incumbent = AgentIncumbent::new(id, shared);
 
     if seeded {
         // `active` was pre-incremented by the launcher, before any thread
@@ -207,7 +322,7 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
         if let Some(mut store) = stack.pop_back() {
             // ---- process one store (the same kernel MaCS runs) -----------
             res.nodes += 1;
-            match kernel.step(&mut store, &shared.incumbent) {
+            match kernel.step(&mut store, &incumbent) {
                 StepOutcome::Failed => {}
                 StepOutcome::Solution(sol) => match sol.cost {
                     Some(cost) => {
@@ -298,7 +413,12 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
         active: AtomicUsize::new(1), // the seeded agent, counted up front
         in_flight: AtomicUsize::new(0),
         incumbent: AtomicIncumbent::new(),
+        node_bounds: (0..cfg.topology.nodes())
+            .map(|_| AtomicIncumbent::new())
+            .collect(),
+        tree: BroadcastTree::new(&cfg.topology),
         messages: AtomicU64::new(0),
+        bound_msgs: AtomicU64::new(0),
     };
 
     let t0 = Instant::now();
@@ -394,6 +514,7 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
             h
         },
         messages: shared.messages.load(Ordering::Relaxed),
+        bound_msgs: shared.bound_msgs.load(Ordering::Relaxed),
     }
 }
 

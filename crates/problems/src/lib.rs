@@ -7,14 +7,14 @@
 //! those two models plus four more of both classes for exactly that wider
 //! exercise:
 //!
-//! * [`queens`] — N-Queens (satisfaction; pairwise or alldifferent model);
+//! * [`queens()`] — N-Queens (satisfaction; pairwise or alldifferent model);
 //! * [`qap`] — Quadratic Assignment Problem with a QAPLIB-format parser,
 //!   an embedded `esc16`-class instance, and a branch-and-bound lower
 //!   bound;
 //! * [`golomb`] — Golomb ruler (optimisation);
 //! * [`magic`] — magic squares (satisfaction);
-//! * [`langford`] — Langford pairings L(2, n) (satisfaction);
-//! * [`knapsack`] — 0/1 knapsack (optimisation).
+//! * [`langford()`] — Langford pairings L(2, n) (satisfaction);
+//! * [`knapsack()`] — 0/1 knapsack (optimisation).
 
 pub mod golomb;
 pub mod knapsack;

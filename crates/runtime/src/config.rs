@@ -2,6 +2,7 @@
 //! release policies.
 
 use macs_gpi::{LatencyModel, MachineTopology, ScanOrder, TopoError, Topology};
+pub use macs_search::BoundPolicy;
 
 /// Local-steal victim selection (paper §V, "Local Work Stealing"):
 /// MaCS ships a cheap *greedy* variant and a better-informed but costlier
@@ -115,24 +116,16 @@ impl ReleasePolicy {
     }
 }
 
-/// How the branch-and-bound incumbent propagates to workers (paper §VI
-/// discussion and future work: "a more efficient dissemination of the bound
-/// value could potentially mitigate that growth").
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BoundDissemination {
-    /// Read the global incumbent before every processed item. Exact but —
-    /// off node 0 — pays an interconnect read per item.
-    Immediate,
-    /// Refresh the cached incumbent every `n` processed items; cheaper but
-    /// lets workers run on stale bounds (the COP search-space growth the
-    /// paper discusses).
-    Periodic(u32),
-}
-
-impl Default for BoundDissemination {
-    fn default() -> Self {
-        BoundDissemination::Periodic(32)
-    }
+/// The threaded runtime's default bound-dissemination policy (paper §VI
+/// discussion and future work: "a more efficient dissemination of the
+/// bound value could potentially mitigate that growth"). `Immediate` pays
+/// an interconnect read per item off node 0; `Periodic` trades staleness
+/// for fewer reads; `Hierarchical` routes through per-node mirror cells
+/// refreshed by node leaders (see
+/// [`macs_search::bounds`] and the `GlobalIncumbent`
+/// in [`worker`](crate::worker)).
+pub fn default_bound_policy() -> BoundPolicy {
+    BoundPolicy::Periodic { every: 32 }
 }
 
 /// Where the initial work item(s) go.
@@ -174,7 +167,10 @@ pub struct RuntimeConfig {
     pub max_steal_chunk: u64,
     /// Remote victim *nodes* examined per remote-steal round.
     pub remote_node_attempts: u32,
-    pub bound_dissemination: BoundDissemination,
+    /// When incumbent improvements reach other workers (see
+    /// [`BoundPolicy`]). The default is `Periodic { every: 32 }` — the
+    /// cheap cadence the pre-hierarchical runtime shipped with.
+    pub bound_policy: BoundPolicy,
     pub seed_mode: SeedMode,
     /// PRNG seed (victim selection, backoff jitter).
     pub seed: u64,
@@ -232,7 +228,7 @@ impl Default for RuntimeConfig {
             poll: PollPolicy::default(),
             max_steal_chunk: 16,
             remote_node_attempts: 2,
-            bound_dissemination: BoundDissemination::default(),
+            bound_policy: default_bound_policy(),
             seed_mode: SeedMode::default(),
             seed: 0x5EED,
             term_flush_batch: 64,

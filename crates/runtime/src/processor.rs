@@ -22,7 +22,7 @@ pub enum Step {
 
 /// Access to the branch-and-bound incumbent (global best objective value).
 /// Implementations decide how fresh the value is (see
-/// [`BoundDissemination`](crate::config::BoundDissemination)).
+/// [`BoundPolicy`](crate::config::BoundPolicy)).
 pub trait Incumbent {
     /// Current (possibly cached) exclusive upper bound; `i64::MAX` if none.
     fn get(&self) -> i64;

@@ -5,28 +5,50 @@
 use std::cell::Cell;
 use std::time::Instant;
 
-use macs_gpi::cells::{CELL_CANCEL, CELL_INCUMBENT};
+use macs_gpi::cells::{node_bound_cell, CELL_CANCEL, CELL_INCUMBENT};
 use macs_gpi::{GlobalCells, Interconnect, ScanOrder, VictimOrder, World};
 use macs_pool::{SplitPool, RESP_FAIL, RESP_PENDING};
-use macs_search::WorkBatch;
+use macs_search::{BoundPolicy, RefreshGate, WorkBatch};
 
-use crate::config::{BoundDissemination, RuntimeConfig, VictimSelect};
+use crate::config::{RuntimeConfig, VictimSelect};
 use crate::processor::{Incumbent, ProcCtx, Processor, Step, WorkSink};
 use crate::rng::SplitMix64;
 use crate::stats::{WorkerState, WorkerStats};
 use crate::term::TermHandle;
 
+/// How often (in processed items) a node leader refreshes its node's
+/// incumbent mirror from the root cell under the hierarchical policy. One
+/// fabric read per node per cadence replaces one per *worker* per item —
+/// the leveled GPI cell path.
+const LEADER_REFRESH: u32 = 8;
+
 /// Worker-local view of the global branch-and-bound incumbent, with a
-/// cache refreshed according to the dissemination policy. Workers on node 0
-/// read the register locally; everyone else pays the interconnect, which is
-/// what makes bound dissemination a scalability concern (paper §VI).
+/// cache refreshed according to the dissemination policy. The root
+/// register lives on node 0: workers there read it locally, everyone else
+/// pays the interconnect, which is what makes bound dissemination a
+/// scalability concern (paper §VI).
+///
+/// Under [`BoundPolicy::Hierarchical`] the fabric read is hoisted to the
+/// node-leader level of the broadcast tree
+/// ([`macs_search::BroadcastTree`]): every node has a mirror register in
+/// its own partition ([`node_bound_cell`]); submitters `fetch_min` both
+/// their mirror (local) and the root (fabric), members read only the
+/// mirror (local), and the node's leader — alone — refreshes the mirror
+/// from the root every `LEADER_REFRESH` items. The pull cadence is the
+/// threaded realisation of the leader exchange: identical staleness
+/// semantics to a push relay, with no extra broadcaster thread.
 pub struct GlobalIncumbent<'a> {
     cells: &'a GlobalCells,
     ic: &'a Interconnect,
+    /// Does reaching the root register cross the fabric?
     remote: bool,
-    policy: BoundDissemination,
+    policy: BoundPolicy,
+    /// This worker's node-mirror register.
+    node_cell: usize,
+    /// Node leaders own the mirror-refresh duty.
+    leader: bool,
     cache: Cell<i64>,
-    countdown: Cell<u32>,
+    gate: RefreshGate,
 }
 
 impl<'a> GlobalIncumbent<'a> {
@@ -34,15 +56,19 @@ impl<'a> GlobalIncumbent<'a> {
         cells: &'a GlobalCells,
         ic: &'a Interconnect,
         remote: bool,
-        policy: BoundDissemination,
+        policy: BoundPolicy,
+        node: usize,
+        leader: bool,
     ) -> Self {
         GlobalIncumbent {
             cells,
             ic,
             remote,
             policy,
+            node_cell: node_bound_cell(node),
+            leader,
             cache: Cell::new(i64::MAX),
-            countdown: Cell::new(0),
+            gate: RefreshGate::new(),
         }
     }
 
@@ -60,21 +86,32 @@ impl<'a> GlobalIncumbent<'a> {
 impl Incumbent for GlobalIncumbent<'_> {
     fn get(&self) -> i64 {
         match self.policy {
-            BoundDissemination::Immediate => self.reload(),
-            BoundDissemination::Periodic(k) => {
-                let c = self.countdown.get();
-                if c == 0 {
-                    self.countdown.set(k);
+            BoundPolicy::Immediate => self.reload(),
+            BoundPolicy::Periodic { every } => {
+                if self.gate.due(every) {
                     self.reload()
                 } else {
-                    self.countdown.set(c - 1);
                     self.cache.get()
                 }
+            }
+            BoundPolicy::Hierarchical => {
+                if self.leader && self.gate.due(LEADER_REFRESH) {
+                    let root = self.reload();
+                    self.cells.fetch_min_i64(self.node_cell, root);
+                }
+                // The mirror sits in this node's partition: a local read.
+                let v = self.cells.load_i64(self.node_cell);
+                v.min(self.cache.get())
             }
         }
     }
 
     fn submit(&self, value: i64) -> bool {
+        if self.policy == BoundPolicy::Hierarchical {
+            // Publish into the node mirror first (shared memory), so
+            // co-located workers see it before the fabric round trip.
+            self.cells.fetch_min_i64(self.node_cell, value);
+        }
         let prev = if self.remote {
             self.cells
                 .fetch_min_i64_remote(self.ic, CELL_INCUMBENT, value)
@@ -190,7 +227,9 @@ impl<'a, P: Processor> Worker<'a, P> {
                 &world.cells,
                 &world.interconnect,
                 remote_from_zero,
-                cfg.bound_dissemination,
+                cfg.bound_policy,
+                node,
+                id == topo.peers_of(id).start,
             ),
             current: vec![0u64; slot_words],
             overflow: Vec::new(),

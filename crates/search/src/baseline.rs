@@ -41,9 +41,9 @@ impl<'a> BaselineKernel<'a> {
         }
     }
 
-    /// Identical node classification to [`SearchKernel::step`]
-    /// (crate::SearchKernel::step), but every child is a fresh heap
-    /// allocation.
+    /// Identical node classification to
+    /// [`SearchKernel::step`](crate::SearchKernel::step), but every child
+    /// is a fresh heap allocation.
     pub fn step<I: IncumbentSource + ?Sized>(&mut self, buf: &mut [u64], inc: &I) -> StepOutcome {
         let prob = self.prob;
         let layout = &prob.layout;

@@ -20,8 +20,8 @@ pub type WorkItem = Box<[u64]>;
 /// A batch can carry work reserved from *several* victim pools — the
 /// serving worker appends one chunk per co-located pool with
 /// [`push_chunk`](WorkBatch::push_chunk) — so a single response (one
-/// round trip) can deliver a whole node's surplus. [`chunks`]
-/// (WorkBatch::chunks) reports how many pools contributed.
+/// round trip) can deliver a whole node's surplus.
+/// [`chunks`](WorkBatch::chunks) reports how many pools contributed.
 #[derive(Debug, Default)]
 pub struct WorkBatch {
     items: Vec<WorkItem>,

@@ -13,6 +13,10 @@
 //!   the GPI global cell for threaded MaCS, a controller-routed
 //!   [`AtomicIncumbent`] for PaCCS, the virtual-time incumbent for the
 //!   simulator, a [`LocalIncumbent`] for sequential oracles;
+//! * [`bounds`] — *when* the bound reaches other workers: the
+//!   [`BoundPolicy`] dissemination vocabulary (immediate / periodic /
+//!   hierarchical) and the node-leader [`BroadcastTree`] the hierarchical
+//!   policy routes over, shared by all three backends;
 //! * [`WorkBatch`] — the steal-chunk transfer unit shared by every
 //!   victim-side reply (threaded PaCCS, simulated MaCS/PaCCS) together
 //!   with the half-split share policies;
@@ -23,14 +27,48 @@
 //! simulated MaCS), `macs-paccs`'s agents, and the cross-solver tests —
 //! drives [`SearchKernel::step`]; adding a propagator, a branching rule or
 //! a new backend is a single-site change.
+//!
+//! # Worked example
+//!
+//! A depth-first drive of the kernel is a dozen lines — this is exactly
+//! the loop every backend wraps in its own scheduling and communication:
+//!
+//! ```
+//! use std::collections::VecDeque;
+//! use macs_search::{LocalIncumbent, SearchKernel, StepOutcome, WorkItem};
+//!
+//! // x, y ∈ 0..=2, x ≠ y — six solutions.
+//! let mut m = macs_engine::Model::new("pair");
+//! let x = m.new_var(0, 2);
+//! let y = m.new_var(0, 2);
+//! m.post(macs_engine::Propag::NeqOffset { x, y, c: 0 });
+//! let prob = m.compile();
+//!
+//! let mut kernel = SearchKernel::new(&prob);
+//! let inc = LocalIncumbent::new(); // any IncumbentSource
+//! let mut stack: VecDeque<WorkItem> = VecDeque::new();
+//! stack.push_back(kernel.alloc_root());
+//! let mut solutions = 0;
+//! while let Some(mut store) = stack.pop_back() {
+//!     match kernel.step(&mut store, &inc) {
+//!         StepOutcome::Failed => {}
+//!         StepOutcome::Solution(_) => solutions += 1,
+//!         StepOutcome::Children(_) => kernel.push_children(&mut stack),
+//!     }
+//!     kernel.recycle(store); // arena-recycled, no steady-state allocation
+//! }
+//! assert_eq!(solutions, 6);
+//! ```
 
 pub mod arena;
 pub mod baseline;
 pub mod batch;
+pub mod bounds;
 pub mod incumbent;
 pub mod kernel;
 
 pub use arena::StoreSlab;
 pub use batch::{WorkBatch, WorkItem};
+pub use bounds::{BoundFanout, BoundPath, BoundPolicy, BroadcastTree, RefreshGate};
 pub use incumbent::{AtomicIncumbent, IncumbentSource, LocalIncumbent, NoBound};
 pub use kernel::{KernelTimers, SearchKernel, SolutionReport, StepOutcome};

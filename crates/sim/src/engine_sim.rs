@@ -5,13 +5,13 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 
 use macs_runtime::{
-    MachineTopology, PhaseTimers, PollPolicy, ProcCtx, Processor, ReleasePolicy, ScanOrder,
-    SplitMix64, Step, Topology, VictimOrder, VictimSelect, WorkSink, WorkerState,
+    BoundPolicy, MachineTopology, PhaseTimers, PollPolicy, ProcCtx, Processor, ReleasePolicy,
+    ScanOrder, SplitMix64, Step, Topology, VictimOrder, VictimSelect, WorkSink, WorkerState,
 };
 use macs_search::WorkBatch;
 
 use crate::cost::{CostModel, NodeCost};
-use crate::incumbent::{SimIncumbent, Timeline};
+use crate::incumbent::{BoundFabric, SimIncumbent};
 use crate::report::{SimReport, SimWorkerStats};
 
 /// Which balancer protocol to simulate.
@@ -40,8 +40,16 @@ pub struct SimConfig {
     /// total size stays capped at `max_steal_chunk` either way).
     pub response_batch: u32,
     pub remote_node_attempts: u32,
-    /// Incumbent visibility delay; `None` derives it from the fabric
-    /// latency (1× for MaCS' global cell, 2× for PaCCS' controller hop).
+    /// When incumbent improvements reach other virtual workers:
+    /// `Immediate` (flat eager broadcast — the default, and the
+    /// pre-hierarchical behaviour), `Periodic` (cached reads), or
+    /// `Hierarchical` (node-leader broadcast tree with per-level delivery
+    /// delay). See [`crate::incumbent::BoundFabric`].
+    pub bound_policy: BoundPolicy,
+    /// Flat incumbent visibility delay (`Immediate`/`Periodic`); `None`
+    /// derives it from the fabric latency (1× for MaCS' global cell, 2×
+    /// for PaCCS' controller hop). `Hierarchical` prices each delivery by
+    /// its path through the topology instead.
     pub bound_delay_ns: Option<u64>,
     pub seed: u64,
 }
@@ -58,6 +66,7 @@ impl SimConfig {
             max_steal_chunk: 16,
             response_batch: 2,
             remote_node_attempts: 2,
+            bound_policy: BoundPolicy::Immediate,
             bound_delay_ns: None,
             seed: 0x51D,
         }
@@ -231,7 +240,7 @@ struct Sim<'c, P: Processor> {
     heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
     seq: u64,
     outstanding: i64,
-    timeline: Rc<Timeline>,
+    fabric: Rc<BoundFabric>,
     cancelled: bool,
     end_time: Option<u64>,
     /// PaCCS victim sweep order per worker (nearest rings first).
@@ -286,7 +295,12 @@ impl<'c, P: Processor> Sim<'c, P> {
         let w = &mut self.workers[wi];
         let node_id = self.cfg.topology.node_of(wi);
         let inc = Rc::clone(&w.inc);
-        inc.set_now(now + cost);
+        let t_bound = now + cost;
+        inc.set_now(t_bound);
+        // Stale-expansion reference, snapshotted *before* the node runs so
+        // a solution this very step submits does not count its own
+        // discovering expansion as stale.
+        let ref_min = self.fabric.submitted_min(t_bound);
         let buf = w.current.as_mut().expect("start_node without current");
         let t_real = std::time::Instant::now();
         let step = {
@@ -305,6 +319,13 @@ impl<'c, P: Processor> Sim<'c, P> {
             cost = (t_real.elapsed().as_nanos() as u64).max(50) * num / den.max(1);
         }
         w.staged_step = step;
+        // Wasted-work accounting: the node ran under a bound worse than
+        // the best value already *submitted* somewhere — an expansion an
+        // ideal zero-delay fabric might have pruned.
+        let seen = inc.take_last_seen();
+        if seen > ref_min {
+            self.workers[wi].stats.stale_bound_nodes += 1;
+        }
         self.schedule(wi, now + cost, WorkerState::Working, Phase::Finish);
     }
 
@@ -940,11 +961,19 @@ where
 {
     let n = cfg.topology.total_workers();
     assert!(!roots.is_empty());
-    let timeline = Rc::new(Timeline::default());
-    let delay = cfg.bound_delay_ns.unwrap_or(match mode {
+    // Flat one-way visibility delay (Immediate/Periodic; PaCCS routes
+    // through its controller, hence the extra hop). Hierarchical prices
+    // deliveries per level instead.
+    let flat_delay = cfg.bound_delay_ns.unwrap_or(match mode {
         SimMode::Macs => cfg.costs.remote_latency_ns,
         SimMode::Paccs => 2 * cfg.costs.remote_latency_ns,
     });
+    let fabric = Rc::new(BoundFabric::new(
+        &cfg.topology,
+        cfg.bound_policy,
+        flat_delay,
+        &cfg.costs,
+    ));
 
     let workers: Vec<VW<P>> = (0..n)
         .map(|wi| VW {
@@ -955,7 +984,7 @@ where
             staged_step: Step::Leaf,
             staged_solutions: 0,
             proc: Some(factory(wi)),
-            inc: Rc::new(SimIncumbent::new(Rc::clone(&timeline), delay)),
+            inc: Rc::new(SimIncumbent::new(Rc::clone(&fabric), wi)),
             timers: PhaseTimers::default(),
             stats: SimWorkerStats::default(),
             rng: SplitMix64::for_worker(cfg.seed, wi),
@@ -995,7 +1024,7 @@ where
         heap: BinaryHeap::new(),
         seq: 0,
         outstanding: 0,
-        timeline: Rc::clone(&timeline),
+        fabric: Rc::clone(&fabric),
         cancelled: false,
         end_time: None,
         sweeps,
@@ -1005,7 +1034,9 @@ where
     sim.run(roots);
 
     let makespan_ns = sim.end_time.unwrap_or(0);
-    let incumbent = sim.timeline.global_min();
+    let incumbent = sim.fabric.global_min();
+    let bound_msgs = sim.fabric.messages();
+    let bound_updates = sim.fabric.updates();
     let (stats, outputs): (Vec<_>, Vec<_>) = sim
         .workers
         .into_iter()
@@ -1016,6 +1047,8 @@ where
         workers: stats,
         outputs,
         incumbent,
+        bound_msgs,
+        bound_updates,
     }
 }
 

@@ -27,6 +27,10 @@ pub struct SimWorkerStats {
     pub response_chunks: u64,
     /// Responses that carried more than one victim's chunk.
     pub batched_responses: u64,
+    /// Node expansions run under a bound worse than the best value already
+    /// submitted globally — work an ideal zero-delay bound fabric might
+    /// have pruned (the cost side of cheap dissemination).
+    pub stale_bound_nodes: u64,
     pub state_ns: [u64; NUM_STATES],
 }
 
@@ -39,6 +43,12 @@ pub struct SimReport<O> {
     pub outputs: Vec<O>,
     /// Final incumbent (optimisation; `i64::MAX` otherwise).
     pub incumbent: i64,
+    /// Fabric messages spent disseminating bound updates (broadcast
+    /// fan-out plus periodic pulls) — the volume axis of the
+    /// `bound_ablation` trade-off.
+    pub bound_msgs: u64,
+    /// Incumbent improvements accepted by the bound fabric.
+    pub bound_updates: u64,
 }
 
 impl<O> SimReport<O> {
@@ -114,6 +124,12 @@ impl<O> SimReport<O> {
         }
         let items: u64 = self.workers.iter().map(|w| w.remote_steal_items).sum();
         items as f64 / ok as f64
+    }
+
+    /// Node expansions run under a stale bound, over all workers (see
+    /// [`SimWorkerStats::stale_bound_nodes`]).
+    pub fn stale_expansions(&self) -> u64 {
+        self.workers.iter().map(|w| w.stale_bound_nodes).sum()
     }
 
     /// (responses served, chunks shipped, responses with > 1 chunk).

@@ -5,8 +5,8 @@
 use macs_core::CpProcessor;
 use macs_engine::seq::{solve_seq, SeqOptions};
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
-use macs_runtime::Topology;
-use macs_sim::{simulate_macs, simulate_paccs, CostModel, SimConfig};
+use macs_runtime::{MachineTopology, Topology};
+use macs_sim::{simulate_macs, simulate_paccs, BoundPolicy, CostModel, SimConfig};
 
 fn queens_cfg(workers: usize, cores_per_node: usize) -> SimConfig {
     let mut cfg = SimConfig::new(if workers.is_multiple_of(cores_per_node) {
@@ -157,6 +157,46 @@ fn qap_sim_finds_optimum_and_grows_with_delay() {
         "stale bounds cannot shrink the tree: {} < {}",
         slow.total_items(),
         fast.total_items()
+    );
+}
+
+#[test]
+fn bound_policies_agree_on_the_optimum_and_differ_in_volume() {
+    let inst = QapInstance::cube8_like(5);
+    let prob = qap_model(&inst);
+    let seq = solve_seq(&prob, &SeqOptions::default());
+    let expect = seq.best_cost.unwrap();
+    let root = prob.root.as_words().to_vec();
+    let topo = MachineTopology::try_new(&[4, 2, 2], 1).unwrap(); // 4 nodes of 4
+    let run = |policy| {
+        let mut cfg = SimConfig::new(topo.clone());
+        cfg.costs = CostModel::woodcrest_ib(8_000);
+        cfg.bound_policy = policy;
+        simulate_macs(
+            &cfg,
+            prob.layout.store_words(),
+            std::slice::from_ref(&root),
+            |_| CpProcessor::new(&prob, 0, false),
+        )
+    };
+    let imm = run(BoundPolicy::Immediate);
+    let per = run(BoundPolicy::Periodic { every: 32 });
+    let hier = run(BoundPolicy::Hierarchical);
+    // Delay moves *when* a bound arrives, never the answer.
+    for (name, r) in [
+        ("immediate", &imm),
+        ("periodic", &per),
+        ("hierarchical", &hier),
+    ] {
+        assert_eq!(r.incumbent, expect, "{name} optimum");
+        assert!(r.bound_updates > 0, "{name} accepted improvements");
+    }
+    // The broadcast tree bills remote leaders, not remote workers.
+    assert!(
+        hier.bound_msgs < imm.bound_msgs,
+        "hierarchical {} !< immediate {}",
+        hier.bound_msgs,
+        imm.bound_msgs
     );
 }
 

@@ -46,6 +46,40 @@
 //! its surplus estimates (greedy first-hit or max-surplus).
 //! [`StealHistogram`] records how many steals travelled each distance —
 //! the observability half of the distance story.
+//!
+//! # Worked example
+//!
+//! Two nodes × two sockets × two cores (`node_prefix = 1`: the outermost
+//! level is the shared-memory boundary). Worker 5's coordinates are the
+//! digits of 5 in the mixed radix `[2, 2, 2]` — node 1, socket 0,
+//! core 1:
+//!
+//! ```
+//! use macs_topo::MachineTopology;
+//!
+//! let t = MachineTopology::try_new(&[2, 2, 2], 1)?;
+//! assert_eq!(t.total_workers(), 8);
+//! assert_eq!(t.coords(5), vec![1, 0, 1]);
+//!
+//! // Distance = levels up to the common ancestor (0 = same worker).
+//! assert_eq!(t.distance(5, 4), 1); // same socket
+//! assert_eq!(t.distance(5, 6), 2); // other socket, same node
+//! assert_eq!(t.distance(5, 0), 3); // other node — crosses the fabric
+//! assert_eq!(t.local_distance_max(), 2); // distances 1..=2 are in-node
+//!
+//! // Rings partition everyone else, nearest first: scan them in order
+//! // and you have the level-by-level victim order.
+//! assert_eq!(t.rings(5), vec![
+//!     vec![4],          // distance 1: socket sibling
+//!     vec![6, 7],       // distance 2: other socket of node 1
+//!     vec![0, 1, 2, 3], // distance 3: node 0, over the interconnect
+//! ]);
+//!
+//! // Remote *nodes* by distance — the broadcast/steal tree across the
+//! // node_prefix boundary.
+//! assert_eq!(t.node_rings(5), vec![vec![0]]);
+//! # Ok::<(), macs_topo::TopoError>(())
+//! ```
 
 pub mod histogram;
 pub mod machine;

@@ -1,7 +1,7 @@
 //! The **Unbalanced Tree Search** (UTS) benchmark on the MaCS runtime.
 //!
 //! MaCS' pool and load-balancing scheme come directly from the authors'
-//! earlier GPI implementation of UTS (paper §IV/V, reference [1]): "we
+//! earlier GPI implementation of UTS (paper §IV/V, reference \[1\]): "we
 //! wanted to leverage our previous work with UTS and general parallel tree
 //! search … the worker pool uses the same data structure used in that
 //! work". Running UTS through the very same [`macs_runtime`] machinery

@@ -36,15 +36,15 @@ fn main() {
         seq.nodes
     );
 
-    // Parallel branch & bound with immediate vs periodic bound
-    // dissemination — the knob the paper identifies as the COP scalability
-    // limiter.
-    for (label, diss) in [
-        ("immediate bounds", BoundDissemination::Immediate),
-        ("periodic bounds ", BoundDissemination::Periodic(256)),
+    // Parallel branch & bound under each bound-dissemination policy — the
+    // knob the paper identifies as the COP scalability limiter.
+    for (label, policy) in [
+        ("immediate bounds   ", BoundPolicy::Immediate),
+        ("periodic bounds    ", BoundPolicy::Periodic { every: 256 }),
+        ("hierarchical bounds", BoundPolicy::Hierarchical),
     ] {
         let mut cfg = SolverConfig::clustered(4, 2);
-        cfg.runtime.bound_dissemination = diss;
+        cfg.runtime.bound_policy = policy;
         let t0 = std::time::Instant::now();
         let out = Solver::new(cfg).solve(&prob);
         assert_eq!(out.best_cost, seq.best_cost, "optimum must not change");

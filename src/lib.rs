@@ -69,7 +69,7 @@ pub mod prelude {
         QapInstance, QueensModel,
     };
     pub use macs_runtime::{
-        BoundDissemination, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect,
+        BoundPolicy, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect,
     };
     pub use macs_search::{
         IncumbentSource, LocalIncumbent, SearchKernel, StepOutcome, StoreSlab, WorkBatch,

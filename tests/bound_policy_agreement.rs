@@ -1,0 +1,95 @@
+//! Bound-dissemination policies change *when* an incumbent improvement is
+//! seen, never the final answer: every backend (threaded MaCS, threaded
+//! PaCCS, simulated MaCS, simulated PaCCS) must reach the sequential
+//! optimum under every [`BoundPolicy`] variant, on both a Golomb ruler
+//! and the QAPLIB esc16e sub-instance.
+
+use macs::prelude::*;
+use macs::solver::CpProcessor;
+
+fn policies() -> [BoundPolicy; 3] {
+    [
+        BoundPolicy::Immediate,
+        BoundPolicy::Periodic { every: 8 },
+        BoundPolicy::Hierarchical,
+    ]
+}
+
+fn check_all_backends(prob: &macs::engine::CompiledProblem, expect: i64, label: &str) {
+    for policy in policies() {
+        // Threaded MaCS on a 2-node cluster (leaders exercise the mirror
+        // cells).
+        let mut cfg = SolverConfig::clustered(4, 2);
+        cfg.runtime.bound_policy = policy;
+        let out = Solver::new(cfg).solve(prob);
+        assert_eq!(out.best_cost, Some(expect), "{label} threaded {policy}");
+
+        // Threaded PaCCS on a 3-level machine.
+        let mut pcfg = PaccsConfig::hierarchical(&[2, 2, 2], 1).unwrap();
+        pcfg.bound_policy = policy;
+        let pout = paccs_solve(prob, &pcfg);
+        assert_eq!(pout.best_cost, Some(expect), "{label} paccs {policy}");
+
+        // Simulated MaCS and PaCCS at 8 virtual cores in 2 nodes.
+        let mut scfg = SimConfig::new(MachineTopology::try_new(&[2, 2, 2], 1).unwrap());
+        scfg.bound_policy = policy;
+        let root = prob.root.as_words().to_vec();
+        let sim = simulate_macs(
+            &scfg,
+            prob.layout.store_words(),
+            std::slice::from_ref(&root),
+            |_| CpProcessor::new(prob, 0, false),
+        );
+        assert_eq!(sim.incumbent, expect, "{label} sim-macs {policy}");
+        let psim = simulate_paccs(&scfg, prob.layout.store_words(), &[root], |_| {
+            CpProcessor::new(prob, 0, false)
+        });
+        assert_eq!(psim.incumbent, expect, "{label} sim-paccs {policy}");
+    }
+}
+
+#[test]
+fn golomb_optimum_is_policy_invariant() {
+    let prob = golomb_ruler(6, 30);
+    let seq = solve_seq(&prob, &SeqOptions::default());
+    assert_eq!(seq.best_cost, Some(17), "optimal 6-mark Golomb ruler");
+    check_all_backends(&prob, 17, "golomb-6");
+}
+
+#[test]
+fn esc16e_optimum_is_policy_invariant() {
+    let inst = QapInstance::esc16e().sub_instance(8);
+    let prob = qap_model(&inst);
+    let seq = solve_seq(&prob, &SeqOptions::default());
+    let expect = seq.best_cost.expect("feasible");
+    check_all_backends(&prob, expect, "esc16e[8]");
+}
+
+#[test]
+fn hierarchical_spends_fewer_bound_messages_than_immediate() {
+    // The message-volume half of the trade, at a scale a test can afford:
+    // 64 virtual cores in 8-worker nodes.
+    let inst = QapInstance::esc16e().sub_instance(8);
+    let prob = qap_model(&inst);
+    let root = prob.root.as_words().to_vec();
+    let topo = MachineTopology::try_new(&[8, 2, 4], 1).unwrap();
+    let run = |policy| {
+        let mut cfg = SimConfig::new(topo.clone());
+        cfg.bound_policy = policy;
+        simulate_macs(
+            &cfg,
+            prob.layout.store_words(),
+            std::slice::from_ref(&root),
+            |_| CpProcessor::new(&prob, 0, false),
+        )
+    };
+    let imm = run(BoundPolicy::Immediate);
+    let hier = run(BoundPolicy::Hierarchical);
+    assert_eq!(imm.incumbent, hier.incumbent);
+    assert!(
+        hier.bound_msgs < imm.bound_msgs,
+        "hierarchical must reduce bound-update messages: {} vs {}",
+        hier.bound_msgs,
+        imm.bound_msgs
+    );
+}

@@ -62,7 +62,7 @@ fn stale_bounds_cannot_change_the_optimum() {
     let prob = qap_model(&inst);
     let seq = solve_seq(&prob, &SeqOptions::default());
     let mut cfg = SolverConfig::with_workers(4);
-    cfg.runtime.bound_dissemination = BoundDissemination::Periodic(1024);
+    cfg.runtime.bound_policy = BoundPolicy::Periodic { every: 1024 };
     let out = Solver::new(cfg).solve(&prob);
     assert_eq!(out.best_cost, seq.best_cost);
     // With stale bounds the tree is usually at least as large.
