@@ -7,6 +7,12 @@ use macs_runtime::{PollPolicy, WorkerState};
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "ablation_polling",
+        "dynamic polling ablation: fixed vs adaptive request-polling\nintervals, their poll counts and scaling cost (§V).",
+        &[("--n <N>", "queens size [default: 12]"), ("--cores <N>", "simulated cores [default: 64]")],
+        &[],
+    ));
     let n: usize = arg("n", 12);
     let cores: usize = arg("cores", 64);
     let prob = queens(n, QueensModel::Pairwise);

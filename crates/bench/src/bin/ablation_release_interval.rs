@@ -8,6 +8,15 @@ use macs_runtime::{ReleasePolicy, WorkerState};
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "ablation_release_interval",
+        "work-release-interval sweep: the MaCS(default) → MaCS(best)\nimprovement of §VI.",
+        &[
+            ("--n <N>", "queens size [default: 12]"),
+            ("--cores <N>", "simulated cores [default: 64]"),
+        ],
+        &[],
+    ));
     let n: usize = arg("n", 12);
     let cores: usize = arg("cores", 64);
     let prob = queens(n, QueensModel::Pairwise);

@@ -7,6 +7,12 @@ use macs_runtime::VictimSelect;
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "ablation_victim",
+        "local victim selection ablation: the cheap greedy heuristic vs\nthe better-informed, costlier max-steal (§IV).",
+        &[("--n <N>", "queens size [default: 12]")],
+        &[],
+    ));
     let n: usize = arg("n", 12);
     let prob = queens(n, QueensModel::Pairwise);
     println!("Victim-selection ablation, queens-{n}\n");

@@ -22,28 +22,21 @@ use macs_problems::{golomb_ruler, qap::QapInstance, qap_model};
 use macs_search::BoundPolicy;
 use macs_sim::{CostModel, SimConfig};
 
-const USAGE: &str = "\
-bound_ablation — sweep the three bound-dissemination policies over the
-paper's simulated core series on two optimisation workloads.
-
-USAGE:
-    cargo run --release -p macs-bench --bin bound_ablation [OPTIONS]
-
-OPTIONS:
-    --full             extend the core series to 512 simulated cores
-    --qn <N>           esc16e sub-instance size, 2..=16   [default: 11]
-    --gm <N>           Golomb ruler marks                 [default: 7]
-    --shape AxBxC[:p]  override the machine shape at every core count
-                       (levels outermost-first, `:p` = node prefix,
-                       default prefix 1); default is cores/8 nodes x 2
-                       sockets x 4 cores
-    --bound-policy <P> run only one policy: immediate, periodic[:k]
-                       (refresh cadence k, default 32) or hierarchical
-    --seeds <N>        seeds averaged per cell            [default: 3]
-    -h, --help         this text";
-
 fn main() {
-    maybe_help(USAGE);
+    maybe_help(&macs_bench::usage(
+        "bound_ablation",
+        "sweep the three bound-dissemination policies over the paper's\nsimulated core series on two optimisation workloads (exit non-zero\non any optimum mismatch).",
+        &[
+            ("--qn <N>", "esc16e sub-instance size, 2..=16 [default: 11]"),
+            ("--gm <N>", "Golomb ruler marks [default: 7]"),
+            ("--seeds <N>", "seeds averaged per cell [default: 3]"),
+        ],
+        &[
+            macs_bench::CommonFlag::Shape,
+            macs_bench::CommonFlag::BoundPolicy,
+            macs_bench::CommonFlag::Full,
+        ],
+    ));
     let qn = qap_size_arg("qn", 11);
     let gm: usize = arg("gm", 7);
     let seeds: u64 = arg("seeds", 3);

@@ -6,6 +6,12 @@ use macs_problems::{queens, QueensModel};
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "fig3_queens_overhead",
+        "Figure 3 — working time and overhead: % of worker time per state\nvs core count, N-Queens.",
+        &[("--n <N>", "queens size [default: 12]")],
+        &[macs_bench::CommonFlag::Full],
+    ));
     let n: usize = arg("n", 12);
     let prob = queens(n, QueensModel::Pairwise);
     println!(

@@ -8,6 +8,12 @@ use macs_runtime::ReleasePolicy;
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "fig4_queens_scaling",
+        "Figure 4 — N-Queens scalability: speed-up, efficiency and\nMnodes/s for MaCS (default), MaCS (best) and PaCCS.",
+        &[("--n <N>", "queens size [default: 12]")],
+        &[macs_bench::CommonFlag::Full],
+    ));
     let n: usize = arg("n", 12);
     let prob = queens(n, QueensModel::Pairwise);
     println!("Fig. 4 — queens-{n} scalability (simulated; paper: queens-17)\n");

@@ -12,6 +12,15 @@ use macs_problems::{qap::QapInstance, qap_model};
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "fig6_qap_scaling",
+        "Figure 6 — QAP scalability: speed-up, efficiency, performance.",
+        &[(
+            "--n <N>",
+            "esc16e sub-instance size, 2..=16 [default: 11; 16 with --full]",
+        )],
+        &[macs_bench::CommonFlag::Full],
+    ));
     let n = qap_size_arg("n", if full_scale() { 16 } else { 11 });
     let inst = QapInstance::esc16e().sub_instance(n);
     let prob = qap_model(&inst);

@@ -7,6 +7,12 @@ use macs_core::{Solver, SolverConfig};
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "phase_split",
+        "§VI solve-phase split: propagation / splitting / restoring\nfractions on the real threaded runtime.",
+        &[("--n <N>", "queens size [default: 11]"), ("--workers <N>", "threads [default: 2]")],
+        &[],
+    ));
     let n: usize = arg("n", 11);
     let workers: usize = arg("workers", 2);
     println!(

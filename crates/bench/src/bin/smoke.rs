@@ -11,29 +11,17 @@
 //!
 //! Exit code is non-zero on any disagreement with the sequential oracle.
 
-use macs_bench::{bound_policy_arg, maybe_help, shape_arg, sim_cp_macs, sim_cp_paccs};
-use macs_core::{solve_seq, SeqOptions, Solver, SolverConfig};
+use macs_bench::{
+    bound_policy_arg, maybe_help, mode_arg, shape_arg, sim_cp_macs_mode, sim_cp_paccs_mode, usage,
+};
+use macs_core::{solve_seq, SearchMode, SeqOptions, Solver, SolverConfig};
 use macs_engine::CompiledProblem;
 use macs_paccs::{paccs_solve, PaccsConfig};
-use macs_problems::{golomb_ruler, langford, queens, QueensModel};
+use macs_problems::{
+    coloring_model, golomb_ruler, langford, queens, ColoringInstance, QueensModel,
+};
 use macs_runtime::{BoundPolicy, MachineTopology};
 use macs_sim::SimConfig;
-
-const USAGE: &str = "\
-smoke — drive every execution path on small instances and compare them to
-the sequential oracle.
-
-USAGE:
-    cargo run --release -p macs-bench --bin smoke [OPTIONS]
-
-OPTIONS:
-    --shape AxBxC[:p]   hierarchical machine for the deep drives (levels
-                        outermost-first, `:p` = node prefix, default 1)
-                        [default: 2x2x2:1]
-    --bound-policy <P>  bound-dissemination policy for all backends:
-                        immediate, periodic[:k] or hierarchical
-                        [default: each backend's own default]
-    -h, --help          this text";
 
 struct Row {
     name: String,
@@ -53,24 +41,62 @@ fn drive(
     mut threaded_cfg: SolverConfig,
     topo: MachineTopology,
     policy: Option<BoundPolicy>,
+    mode: SearchMode,
 ) -> Row {
-    let seq = solve_seq(prob, &SeqOptions::default());
+    let seq = solve_seq(
+        prob,
+        &SeqOptions {
+            mode,
+            ..SeqOptions::default()
+        },
+    );
     if let Some(p) = policy {
         threaded_cfg.runtime.bound_policy = p;
     }
+    threaded_cfg.mode = mode;
     let threaded = Solver::new(threaded_cfg).solve(prob);
     let mut paccs_cfg = PaccsConfig::with_workers(1);
     paccs_cfg.topology = topo.clone();
     if let Some(p) = policy {
         paccs_cfg.bound_policy = p;
     }
+    paccs_cfg.mode = mode;
     let paccs = paccs_solve(prob, &paccs_cfg);
     let mut cfg = SimConfig::new(topo);
     if let Some(p) = policy {
         cfg.bound_policy = p;
     }
-    let sim = sim_cp_macs(prob, &cfg);
-    let psim = sim_cp_paccs(prob, &cfg);
+    let sim = sim_cp_macs_mode(prob, &cfg, mode);
+    let psim = sim_cp_paccs_mode(prob, &cfg, mode);
+    // Raced satisfaction runs must hand back a *verifiable* winner.
+    if mode.is_race() && !prob.objective.is_some() && seq.solutions > 0 {
+        for (path, a) in [
+            ("threaded", threaded.best_assignment.clone()),
+            ("paccs", paccs.best_assignment.clone()),
+            (
+                "sim-macs",
+                sim.outputs
+                    .iter()
+                    .flat_map(|o| o.kept.iter())
+                    .next()
+                    .cloned(),
+            ),
+            (
+                "sim-paccs",
+                psim.outputs
+                    .iter()
+                    .flat_map(|o| o.kept.iter())
+                    .next()
+                    .cloned(),
+            ),
+        ] {
+            let a = a.unwrap_or_else(|| panic!("{name}: {path} race kept no solution"));
+            assert!(
+                prob.check_assignment(&a),
+                "{name}: {path} race winner is invalid"
+            );
+        }
+    }
     Row {
         name: name.to_string(),
         seq: seq.solutions,
@@ -90,18 +116,29 @@ fn drive(
 }
 
 fn main() {
-    maybe_help(USAGE);
+    maybe_help(&usage(
+        "smoke",
+        "drive every execution path on small instances and compare them\nto the sequential oracle (exit non-zero on any disagreement).",
+        &[],
+        &[
+            macs_bench::CommonFlag::Mode,
+            macs_bench::CommonFlag::Shape,
+            macs_bench::CommonFlag::BoundPolicy,
+        ],
+    ));
     // The hierarchical matrix entry: 3-level by default, CI also passes
-    // explicit shapes and bound policies.
+    // explicit shapes, bound policies and modes.
     let deep_topo = shape_arg()
         .unwrap_or_else(|| MachineTopology::try_new(&[2, 2, 2], 1).expect("default 3-level shape"));
     let policy = bound_policy_arg();
+    let mode = mode_arg().unwrap_or_default();
     let deep_runtime = {
         let mut cfg = SolverConfig::with_workers(1);
         cfg.runtime.topology = deep_topo.clone();
         cfg
     };
     println!("hierarchical matrix shape: {deep_topo}");
+    println!("search mode: {mode}");
     match policy {
         Some(p) => println!("bound policy: {p}\n"),
         None => println!("bound policy: backend defaults\n"),
@@ -111,6 +148,10 @@ fn main() {
         ("queens-7", queens(7, QueensModel::Pairwise)),
         ("queens-8-alldiff", queens(8, QueensModel::AllDiff)),
         ("langford-7", langford(7)),
+        (
+            "myciel3-k4",
+            coloring_model(&ColoringInstance::myciel3(), 4),
+        ),
         ("golomb-5", golomb_ruler(5, 20)),
     ];
 
@@ -123,6 +164,7 @@ fn main() {
             SolverConfig::clustered(4, 2),
             MachineTopology::try_clustered(8, 4).expect("2-level shape"),
             policy,
+            mode,
         ));
         // The hierarchical drive: same instance, N-level machine.
         rows.push(drive(
@@ -131,6 +173,7 @@ fn main() {
             deep_runtime.clone(),
             deep_topo.clone(),
             policy,
+            mode,
         ));
     }
 
@@ -153,19 +196,32 @@ fn main() {
             "{:<40} {:>8} {:>8} {:>8} {:>9} {:>9}  {opt}",
             r.name, r.seq, r.macs, r.paccs, r.sim_macs, r.sim_paccs
         );
-        // Optimisation paths count *improving* solutions, which are
-        // schedule-dependent; satisfaction counts must agree exactly.
-        if r.optimum.is_none()
-            && [r.macs, r.paccs, r.sim_macs, r.sim_paccs]
+        if r.optimum.is_none() {
+            if mode.is_race() {
+                // A race's count is schedule-dependent (several workers
+                // may report before observing the flag); satisfiability
+                // must agree with the oracle, and each path's winner was
+                // verified in drive().
+                if [r.macs, r.paccs, r.sim_macs, r.sim_paccs]
+                    .iter()
+                    .any(|&s| (s > 0) != (r.seq > 0))
+                {
+                    ok = false;
+                }
+            } else if [r.macs, r.paccs, r.sim_macs, r.sim_paccs]
                 .iter()
                 .any(|&s| s != r.seq)
-        {
-            ok = false;
+            {
+                // Optimisation paths count *improving* solutions, which
+                // are schedule-dependent; satisfaction counts must agree
+                // exactly.
+                ok = false;
+            }
         }
     }
     if !ok {
         eprintln!("SMOKE FAILED: paths disagree with the sequential oracle");
         std::process::exit(1);
     }
-    println!("smoke ok: all paths agree with the sequential oracle");
+    println!("smoke ok: all paths agree with the sequential oracle ({mode})");
 }

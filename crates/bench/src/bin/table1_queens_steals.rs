@@ -6,6 +6,12 @@ use macs_problems::{queens, QueensModel};
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "table1_queens_steals",
+        "Table I — work-stealing information, N-Queens: steal totals,\nper-core counts, failures and failure rates.",
+        &[("--n <N>", "queens size [default: 12]")],
+        &[macs_bench::CommonFlag::Full],
+    ));
     let n: usize = arg("n", 12);
     let prob = queens(n, QueensModel::Pairwise);
     let mut rows = Vec::new();

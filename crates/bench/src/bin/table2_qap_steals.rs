@@ -5,6 +5,12 @@ use macs_problems::{qap::QapInstance, qap_model};
 use macs_sim::{CostModel, SimConfig};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "table2_qap_steals",
+        "Table II — work-stealing information for the QAP.",
+        &[("--n <N>", "esc16e sub-instance size, 2..=16 [default: 11]")],
+        &[macs_bench::CommonFlag::Full],
+    ));
     let n: usize = arg("n", 11);
     let inst = QapInstance::hypercube_like(n, 5);
     let prob = qap_model(&inst);

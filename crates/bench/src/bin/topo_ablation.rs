@@ -18,26 +18,22 @@ use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
 use macs_runtime::ScanOrder;
 use macs_sim::{CostModel, SimConfig, SimReport};
 
-const USAGE: &str = "\
-topo_ablation — measure what the macs-topo subsystem buys: flat vs
-distance-aware victim order, then single-chunk vs batched remote steal
-responses.
-
-USAGE:
-    cargo run --release -p macs-bench --bin topo_ablation [OPTIONS]
-
-OPTIONS:
-    --full              extend the core series to 512 simulated cores
-    --n <N>             queens size for the victim-order series [default: 12]
-    --n2 <N>            queens size for the batching sweep      [default: 14]
-    --qn <N>            esc16e sub-instance size, 2..=16        [default: 11]
-    --shape AxBxC[:p]   machine shape for the batching sweep (levels
-                        outermost-first, `:p` = node prefix, default 1);
-                        default is cores/8 nodes x 2 sockets x 4 cores
-    --bound-policy <P>  bound-dissemination policy for the sweeps:
-                        immediate, periodic[:k] or hierarchical
-                        [default: immediate]
-    -h, --help          this text";
+fn usage_text() -> String {
+    macs_bench::usage(
+        "topo_ablation",
+        "measure what the macs-topo subsystem buys: flat vs\ndistance-aware victim order, then single-chunk vs batched remote\nsteal responses.",
+        &[
+            ("--n <N>", "queens size for the victim-order series [default: 12]"),
+            ("--n2 <N>", "queens size for the batching sweep [default: 14]"),
+            ("--qn <N>", "esc16e sub-instance size, 2..=16 [default: 11]"),
+        ],
+        &[
+            macs_bench::CommonFlag::Shape,
+            macs_bench::CommonFlag::BoundPolicy,
+            macs_bench::CommonFlag::Full,
+        ],
+    )
+}
 
 fn deep_cfg(cores: usize) -> SimConfig {
     let mut cfg = SimConfig::new(deep_topo_for(cores));
@@ -58,7 +54,7 @@ fn row<O>(label: &str, r: &SimReport<O>) {
 }
 
 fn main() {
-    maybe_help(USAGE);
+    maybe_help(&usage_text());
     let n: usize = arg("n", 12);
     let prob = queens(n, QueensModel::Pairwise);
     let series = core_series();

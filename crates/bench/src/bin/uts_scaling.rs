@@ -3,16 +3,29 @@
 
 use macs_bench::{arg, core_series, topo_for};
 use macs_sim::{simulate_macs, CostModel, SimConfig};
-use macs_uts::{uts_sequential, TreeShape, UtsProcessor, SLOT_WORDS};
+use macs_uts::{uts_sequential, GeoLaw, TreeShape, UtsProcessor, SLOT_WORDS};
 
 fn main() {
+    macs_bench::maybe_help(&macs_bench::usage(
+        "uts_scaling",
+        "UTS speed-up/efficiency series (reference [1]: pure tree search,\nno constraint work).",
+        &[
+            ("--seed <N>", "tree seed [default: 3]"),
+            ("--geo", "geometric tree instead of the binomial default"),
+            ("--law <L>", "geometric shape law: linear, fixed or cyclic"),
+            ("--b0 <F>", "geometric root branching [default: 4.0]"),
+            ("--depth <N>", "geometric depth bound gen_mx [default: 14]"),
+        ],
+        &[macs_bench::CommonFlag::Full],
+    ));
     // Default: the near-critical binomial tree (the classic UTS stress
-    // shape); pass --geo with --b0/--depth for a geometric tree.
+    // shape); pass --geo with --law/--b0/--depth for a geometric tree.
     let seed: u32 = arg("seed", 3);
     let shape = if std::env::args().any(|a| a == "--geo") {
         TreeShape::Geometric {
             b0: arg("b0", 4.0),
             gen_mx: arg("depth", 14),
+            law: arg("law", GeoLaw::Linear),
         }
     } else {
         TreeShape::medium_bin(seed)

@@ -7,12 +7,82 @@
 //! measurements). See EXPERIMENTS.md for the experiment-by-experiment
 //! mapping and recorded outputs.
 
-use macs_core::{CpOutput, CpProcessor};
+use macs_core::{CpOutput, CpProcessor, SearchMode};
 use macs_engine::CompiledProblem;
 use macs_gpi::{MachineTopology, Topology};
 use macs_runtime::{WorkerState, NUM_STATES};
 use macs_search::BoundPolicy;
 use macs_sim::{simulate_macs, simulate_paccs, SimConfig, SimReport};
+
+/// The cross-bin flags, defined once so their wording is identical in
+/// every bin's `--help` (before this helper each bin hand-rolled its
+/// usage block and the common flags drifted). A bin lists exactly the
+/// subset it actually parses — advertising a flag the bin ignores would
+/// be worse than drift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommonFlag {
+    /// `--mode exhaustive|first-solution` (via [`mode_arg`]).
+    Mode,
+    /// `--shape AxBxC[:p]` (via [`shape_arg`]).
+    Shape,
+    /// `--bound-policy immediate|periodic[:k]|hierarchical` (via
+    /// [`bound_policy_arg`]).
+    BoundPolicy,
+    /// `--full` (via [`full_scale`] / [`core_series`]).
+    Full,
+}
+
+impl CommonFlag {
+    fn row(self) -> (&'static str, &'static str) {
+        match self {
+            CommonFlag::Mode => (
+                "--mode <M>",
+                "search mode for every backend: exhaustive or\nfirst-solution (satisfaction instances race to\nthe first solution) [default: exhaustive]",
+            ),
+            CommonFlag::Shape => (
+                "--shape AxBxC[:p]",
+                "machine shape (levels outermost-first, `:p` =\nnode prefix, default 1)",
+            ),
+            CommonFlag::BoundPolicy => (
+                "--bound-policy <P>",
+                "bound dissemination for all backends: immediate,\nperiodic[:k] or hierarchical",
+            ),
+            CommonFlag::Full => ("--full", "paper-scale series (up to 512 simulated cores)"),
+        }
+    }
+}
+
+/// Compose a bin's `--help` text: its own flags first, then the uniform
+/// rows for whichever `--mode` / `--shape` / `--bound-policy` / `--full`
+/// flags the bin parses, and `-h` — identically formatted everywhere.
+/// Pass the result to [`maybe_help`].
+pub fn usage(bin: &str, about: &str, extra: &[(&str, &str)], common: &[CommonFlag]) -> String {
+    let common: Vec<(&str, &str)> = common.iter().map(|c| c.row()).collect();
+    let width = extra
+        .iter()
+        .chain(common.iter())
+        .map(|(flag, _)| flag.len())
+        .max()
+        .unwrap_or(0)
+        .max("-h, --help".len());
+    let mut out = format!(
+        "{bin} — {about}\n\nUSAGE:\n    cargo run --release -p macs-bench --bin {bin} [OPTIONS]\n\nOPTIONS:\n"
+    );
+    let mut row = |flag: &str, desc: &str| {
+        for (i, line) in desc.lines().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("    {flag:<width$}  {line}\n"));
+            } else {
+                out.push_str(&format!("    {:<width$}  {line}\n", ""));
+            }
+        }
+    };
+    for (flag, desc) in extra.iter().chain(common.iter()) {
+        row(flag, desc);
+    }
+    row("-h, --help", "this text");
+    out
+}
 
 /// The paper's cluster shape: 4 cores per node; fewer than 4 cores means a
 /// single node.
@@ -84,13 +154,36 @@ pub fn bound_policy_arg() -> Option<BoundPolicy> {
 }
 
 /// Print `usage` and exit 0 when `--help`/`-h` was passed. Harness bins
-/// call this first, so every flag (`--shape`, `--bound-policy`, `--full`,
-/// the per-bin sizes) is discoverable without reading the source.
+/// call this first with [`usage`]'s output, so every flag — the per-bin
+/// ones *and* the uniform `--mode`/`--shape`/`--bound-policy`/`--full`
+/// block — is discoverable without reading the source.
 pub fn maybe_help(usage: &str) {
     if std::env::args().any(|a| a == "--help" || a == "-h") {
         println!("{usage}");
         std::process::exit(0);
     }
+}
+
+/// `--mode exhaustive|first-solution` from the process arguments, if
+/// present. Malformed modes exit with a readable message (exit code 2).
+pub fn mode_arg() -> Option<SearchMode> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--mode" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--mode needs a value: exhaustive or first-solution");
+                std::process::exit(2);
+            };
+            match v.parse::<SearchMode>() {
+                Ok(m) => return Some(m),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
 }
 
 /// `--shape AxBxC[:prefix]` from the process arguments, if present;
@@ -115,23 +208,42 @@ pub fn shape_arg() -> Option<MachineTopology> {
     None
 }
 
-/// Simulate MaCS solving `prob` under `cfg`.
+/// Simulate MaCS solving `prob` under `cfg` (exhaustive).
 pub fn sim_cp_macs(prob: &CompiledProblem, cfg: &SimConfig) -> SimReport<CpOutput> {
+    sim_cp_macs_mode(prob, cfg, SearchMode::Exhaustive)
+}
+
+/// Simulate MaCS solving `prob` under `cfg` in the given search mode
+/// (one solution is kept per worker so a race's winner is inspectable).
+pub fn sim_cp_macs_mode(
+    prob: &CompiledProblem,
+    cfg: &SimConfig,
+    mode: SearchMode,
+) -> SimReport<CpOutput> {
     simulate_macs(
         cfg,
         prob.layout.store_words(),
         &[prob.root.as_words().to_vec()],
-        |_| CpProcessor::new(prob, 0, false),
+        |_| CpProcessor::new(prob, 1, mode),
     )
 }
 
-/// Simulate PaCCS solving `prob` under `cfg`.
+/// Simulate PaCCS solving `prob` under `cfg` (exhaustive).
 pub fn sim_cp_paccs(prob: &CompiledProblem, cfg: &SimConfig) -> SimReport<CpOutput> {
+    sim_cp_paccs_mode(prob, cfg, SearchMode::Exhaustive)
+}
+
+/// Simulate PaCCS solving `prob` under `cfg` in the given search mode.
+pub fn sim_cp_paccs_mode(
+    prob: &CompiledProblem,
+    cfg: &SimConfig,
+    mode: SearchMode,
+) -> SimReport<CpOutput> {
     simulate_paccs(
         cfg,
         prob.layout.store_words(),
         &[prob.root.as_words().to_vec()],
-        |_| CpProcessor::new(prob, 0, false),
+        |_| CpProcessor::new(prob, 1, mode),
     )
 }
 
@@ -260,6 +372,41 @@ mod tests {
             let err = parse_shape(bad).unwrap_err();
             assert!(err.contains(&format!("{bad:?}")), "{err}");
         }
+    }
+
+    #[test]
+    fn usage_lists_the_common_flags_for_every_bin() {
+        let u = usage(
+            "demo",
+            "does demo things.",
+            &[("--n <N>", "a size")],
+            &[
+                CommonFlag::Mode,
+                CommonFlag::Shape,
+                CommonFlag::BoundPolicy,
+                CommonFlag::Full,
+            ],
+        );
+        for needle in [
+            "--bin demo",
+            "--n <N>",
+            "--mode <M>",
+            "--shape AxBxC[:p]",
+            "--bound-policy <P>",
+            "--full",
+            "-h, --help",
+        ] {
+            assert!(u.contains(needle), "missing {needle:?} in:\n{u}");
+        }
+        // Bin flags come before the common block.
+        assert!(u.find("--n <N>").unwrap() < u.find("--mode <M>").unwrap());
+        // A bin that parses none of the common flags advertises none.
+        let bare = usage("demo", "x", &[], &[]);
+        assert!(
+            !bare.contains("--mode") && !bare.contains("--full"),
+            "{bare}"
+        );
+        assert!(bare.contains("-h, --help"));
     }
 
     #[test]

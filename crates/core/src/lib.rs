@@ -35,3 +35,4 @@ pub use solve::{solve_parallel, SolveOutcome, Solver, SolverConfig};
 pub use macs_engine::seq::{solve_seq, SeqOptions, SeqResult};
 pub use macs_engine::{CompiledProblem, Model};
 pub use macs_runtime::{RunReport, RuntimeConfig};
+pub use macs_search::SearchMode;

@@ -9,7 +9,7 @@
 use macs_domain::Val;
 use macs_engine::CompiledProblem;
 use macs_runtime::{ProcCtx, Processor, Step};
-use macs_search::{SearchKernel, StepOutcome};
+use macs_search::{SearchKernel, SearchMode, StepOutcome};
 
 /// Per-worker results of a constraint solve.
 #[derive(Clone, Debug, Default)]
@@ -34,18 +34,19 @@ pub struct CpProcessor<'a> {
     kernel: SearchKernel<'a>,
     out: CpOutput,
     keep_solutions: usize,
-    /// Stop after the first solution (satisfaction only): request global
-    /// cancellation once a solution is found.
-    first_only: bool,
+    /// Under [`SearchMode::FirstSolution`] (satisfaction only) the first
+    /// solution requests global cancellation — the executor's winner flag
+    /// does the rest.
+    mode: SearchMode,
 }
 
 impl<'a> CpProcessor<'a> {
-    pub fn new(prob: &'a CompiledProblem, keep_solutions: usize, first_only: bool) -> Self {
+    pub fn new(prob: &'a CompiledProblem, keep_solutions: usize, mode: SearchMode) -> Self {
         CpProcessor {
             kernel: SearchKernel::new(prob),
             out: CpOutput::default(),
             keep_solutions,
-            first_only,
+            mode,
         }
     }
 
@@ -79,7 +80,7 @@ impl Processor for CpProcessor<'_> {
                         if self.out.kept.len() < self.keep_solutions {
                             self.out.kept.push(sol.assignment);
                         }
-                        if self.first_only {
+                        if self.mode.is_race() {
                             ctx.cancel();
                         }
                     }
@@ -130,7 +131,7 @@ mod tests {
             &cfg,
             prob.layout.store_words(),
             &[CpProcessor::root_item(&prob)],
-            |_| CpProcessor::new(&prob, 100, false),
+            |_| CpProcessor::new(&prob, 100, SearchMode::Exhaustive),
         );
         let sols: u64 = report.outputs.iter().map(|o| o.solutions).sum();
         assert_eq!(sols, 12);
@@ -144,17 +145,18 @@ mod tests {
     }
 
     #[test]
-    fn first_only_cancels_early() {
+    fn first_solution_race_cancels_early() {
         let prob = tiny_problem();
         let cfg = RuntimeConfig::single_node(2);
         let report = run_parallel(
             &cfg,
             prob.layout.store_words(),
             &[CpProcessor::root_item(&prob)],
-            |_| CpProcessor::new(&prob, 4, true),
+            |_| CpProcessor::new(&prob, 4, SearchMode::FirstSolution),
         );
         let sols: u64 = report.outputs.iter().map(|o| o.solutions).sum();
         assert!(sols >= 1, "at least one solution before cancel");
         assert!(sols < 12, "cancellation must cut the enumeration short");
+        assert!(report.first_solution.is_some(), "winner time recorded");
     }
 }

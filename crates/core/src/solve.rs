@@ -1,8 +1,11 @@
 //! High-level solving API.
 
+use std::time::Duration;
+
 use macs_domain::Val;
 use macs_engine::CompiledProblem;
 use macs_runtime::{run_parallel, RunReport, RuntimeConfig};
+use macs_search::SearchMode;
 
 use crate::processor::{CpOutput, CpProcessor};
 
@@ -14,8 +17,10 @@ pub struct SolverConfig {
     /// Keep at most this many concrete solutions per worker (counting is
     /// unaffected).
     pub keep_solutions: usize,
-    /// Stop the whole run at the first solution (satisfaction problems).
-    pub first_only: bool,
+    /// Exhaustive search, or a first-solution race (satisfaction problems;
+    /// the winner flag spreads hierarchically — see
+    /// [`macs_search::mode`]).
+    pub mode: SearchMode,
 }
 
 impl SolverConfig {
@@ -24,7 +29,7 @@ impl SolverConfig {
         SolverConfig {
             runtime: RuntimeConfig::single_node(n),
             keep_solutions: 16,
-            first_only: false,
+            mode: SearchMode::Exhaustive,
         }
     }
 
@@ -33,8 +38,7 @@ impl SolverConfig {
     pub fn clustered(total: usize, cores_per_node: usize) -> Self {
         SolverConfig {
             runtime: RuntimeConfig::clustered(total, cores_per_node),
-            keep_solutions: 16,
-            first_only: false,
+            ..SolverConfig::with_workers(1)
         }
     }
 
@@ -47,9 +51,14 @@ impl SolverConfig {
     ) -> Result<Self, macs_runtime::TopoError> {
         Ok(SolverConfig {
             runtime: RuntimeConfig::hierarchical(shape, node_prefix)?,
-            keep_solutions: 16,
-            first_only: false,
+            ..SolverConfig::with_workers(1)
         })
+    }
+
+    /// Builder-style mode switch.
+    pub fn with_mode(mut self, mode: SearchMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -75,17 +84,27 @@ pub struct SolveOutcome {
     pub best_assignment: Option<Vec<Val>>,
     /// Collected sample solutions.
     pub kept: Vec<Vec<Val>>,
+    /// First-solution races: wall time from run start to the winning
+    /// solution (`None` otherwise).
+    pub first_solution: Option<Duration>,
+    /// First-solution races: nodes whose expansion started after the win
+    /// — the measurable dissemination overhead of the race.
+    pub nodes_after_win: u64,
     /// Full runtime report (worker states, steal statistics, traffic).
     pub report: RunReport<CpOutput>,
 }
 
 /// Solve `prob` on the MaCS runtime according to `cfg`.
 pub fn solve_parallel(prob: &CompiledProblem, cfg: &SolverConfig) -> SolveOutcome {
+    // Arm the runtime's winner-flag machinery to match the processors'
+    // search mode (one knob for callers, kept in step here).
+    let mut runtime = cfg.runtime.clone();
+    runtime.mode = cfg.mode;
     let report = run_parallel(
-        &cfg.runtime,
+        &runtime,
         prob.layout.store_words(),
         &[CpProcessor::root_item(prob)],
-        |_worker| CpProcessor::new(prob, cfg.keep_solutions, cfg.first_only),
+        |_worker| CpProcessor::new(prob, cfg.keep_solutions, cfg.mode),
     );
 
     let solutions: u64 = report.outputs.iter().map(|o| o.solutions).sum();
@@ -126,6 +145,8 @@ pub fn solve_parallel(prob: &CompiledProblem, cfg: &SolverConfig) -> SolveOutcom
         best_cost,
         best_assignment,
         kept,
+        first_solution: report.first_solution,
+        nodes_after_win: report.nodes_after_win(),
         report,
     }
 }
@@ -237,10 +258,9 @@ mod tests {
     }
 
     #[test]
-    fn first_only_returns_a_valid_solution() {
+    fn first_solution_race_returns_a_valid_solution() {
         let prob = queens(8);
-        let mut cfg = SolverConfig::with_workers(2);
-        cfg.first_only = true;
+        let cfg = SolverConfig::with_workers(2).with_mode(macs_search::SearchMode::FirstSolution);
         let out = solve_parallel(&prob, &cfg);
         assert!(out.solutions >= 1);
         let a = out.best_assignment.as_ref().expect("one solution kept");
@@ -248,6 +268,23 @@ mod tests {
         // Early cut: far fewer nodes than the full 8-queens enumeration.
         let full = solve_seq(&prob, &SeqOptions::default());
         assert!(out.nodes < full.nodes);
+        assert!(out.first_solution.is_some(), "winner time recorded");
+        assert!(out.first_solution.unwrap() <= out.report.wall);
+    }
+
+    #[test]
+    fn race_on_a_hierarchical_machine_accounts_for_abandoned_work() {
+        let prob = queens(9);
+        let cfg = SolverConfig::hierarchical(&[2, 2, 2], 1)
+            .unwrap()
+            .with_mode(macs_search::SearchMode::FirstSolution);
+        let out = solve_parallel(&prob, &cfg);
+        assert!(out.solutions >= 1);
+        assert!(prob.check_assignment(out.best_assignment.as_ref().unwrap()));
+        // The race terminated early: processed + abandoned stays below the
+        // full enumeration's node count.
+        let full = solve_seq(&prob, &SeqOptions::default());
+        assert!(out.nodes + out.report.abandoned_items() < full.nodes);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod branch;
 pub mod fixpoint;
+pub mod mode;
 pub mod model;
 pub mod propag;
 pub mod seq;
@@ -29,6 +30,7 @@ pub mod state;
 
 pub use branch::{BranchKind, Brancher, ValSelect, VarSelect};
 pub use fixpoint::{Engine, PropOutcome, ScheduleSeed};
+pub use mode::SearchMode;
 pub use model::{CompiledProblem, CostEval, Model, Objective};
 pub use propag::{CustomPropagator, Propag};
 pub use state::{Failed, PropState};

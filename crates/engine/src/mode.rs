@@ -1,0 +1,88 @@
+//! The search-mode vocabulary: exhaustive search vs a first-solution
+//! race.
+//!
+//! Defined here — at the bottom of the dependency graph — so the
+//! sequential oracle ([`crate::seq`]) and every parallel backend (via the
+//! re-export in `macs-search`) share one type. See `macs_search::mode` for
+//! the full story of how the winner flag travels a parallel machine.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// What terminates a run: tree exhaustion, or the first solution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SearchMode {
+    /// Explore the whole tree: count/collect every solution, prove optima
+    /// (the paper's setting, and the default everywhere).
+    #[default]
+    Exhaustive,
+    /// Satisfaction race: the first solution wins, a winner flag spreads
+    /// over the topology, and every worker abandons its remaining work.
+    /// Ignored (treated as [`SearchMode::Exhaustive`]) on optimisation
+    /// problems, which must keep searching to *prove* the optimum.
+    FirstSolution,
+}
+
+impl SearchMode {
+    /// Both modes, for sweeps.
+    pub const ALL: [SearchMode; 2] = [SearchMode::Exhaustive, SearchMode::FirstSolution];
+
+    /// Does this mode race to the first solution?
+    #[inline]
+    pub fn is_race(self) -> bool {
+        self == SearchMode::FirstSolution
+    }
+}
+
+impl fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchMode::Exhaustive => f.write_str("exhaustive"),
+            SearchMode::FirstSolution => f.write_str("first-solution"),
+        }
+    }
+}
+
+impl FromStr for SearchMode {
+    type Err = String;
+
+    /// Accepts `exhaustive` and `first-solution` (plus the underscore and
+    /// short spellings `first_solution` / `first`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exhaustive" => Ok(SearchMode::Exhaustive),
+            "first-solution" | "first_solution" | "first" => Ok(SearchMode::FirstSolution),
+            other => Err(format!(
+                "unknown search mode {other:?}: expected exhaustive or first-solution"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for m in SearchMode::ALL {
+            assert_eq!(m.to_string().parse::<SearchMode>().unwrap(), m);
+        }
+        assert_eq!(
+            "first".parse::<SearchMode>().unwrap(),
+            SearchMode::FirstSolution
+        );
+        assert_eq!(
+            "first_solution".parse::<SearchMode>().unwrap(),
+            SearchMode::FirstSolution
+        );
+        assert!("fastest".parse::<SearchMode>().is_err());
+    }
+
+    #[test]
+    fn default_is_exhaustive() {
+        assert_eq!(SearchMode::default(), SearchMode::Exhaustive);
+        assert!(!SearchMode::Exhaustive.is_race());
+        assert!(SearchMode::FirstSolution.is_race());
+    }
+}

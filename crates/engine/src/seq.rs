@@ -9,23 +9,36 @@
 use macs_domain::{Store, StoreView, Val};
 
 use crate::fixpoint::{Engine, PropOutcome, ScheduleSeed};
+use crate::mode::SearchMode;
 use crate::model::CompiledProblem;
 
 /// Options for a sequential solve.
 #[derive(Clone, Debug)]
 pub struct SeqOptions {
-    /// Stop after the first solution (satisfaction only).
-    pub first_only: bool,
+    /// Exhaustive search, or stop at the first solution (satisfaction
+    /// only) — the sequential face of the five-path [`SearchMode`].
+    pub mode: SearchMode,
     /// Keep at most this many concrete solutions (counting is unaffected).
     pub keep_solutions: usize,
     /// Abort after this many processed stores (`None` = unbounded).
     pub node_limit: Option<u64>,
 }
 
+impl SeqOptions {
+    /// Stop at the first solution (a sequential first-solution "race" —
+    /// the baseline the parallel race is measured against).
+    pub fn first_solution() -> Self {
+        SeqOptions {
+            mode: SearchMode::FirstSolution,
+            ..Default::default()
+        }
+    }
+}
+
 impl Default for SeqOptions {
     fn default() -> Self {
         SeqOptions {
-            first_only: false,
+            mode: SearchMode::Exhaustive,
             keep_solutions: 16,
             node_limit: None,
         }
@@ -51,6 +64,9 @@ pub struct SeqResult {
     pub kept: Vec<Vec<Val>>,
     /// True if the node limit stopped the search early.
     pub truncated: bool,
+    /// Stores processed up to (and including) the first solution — the
+    /// sequential analogue of the parallel race's `first_solution_time`.
+    pub first_solution_node: Option<u64>,
 }
 
 /// Solve `prob` depth-first with a single worker.
@@ -92,6 +108,7 @@ pub fn solve_seq(prob: &CompiledProblem, opts: &SeqOptions) -> SeqResult {
             None => {
                 // Solution.
                 result.solutions += 1;
+                result.first_solution_node.get_or_insert(result.nodes);
                 let assignment = view.assignment().expect("all variables assigned");
                 if let Some(cost) = prob.objective.cost(view) {
                     if cost < incumbent {
@@ -105,7 +122,7 @@ pub fn solve_seq(prob: &CompiledProblem, opts: &SeqOptions) -> SeqResult {
                 if result.kept.len() < opts.keep_solutions {
                     result.kept.push(assignment);
                 }
-                if opts.first_only && !prob.objective.is_some() {
+                if opts.mode.is_race() && !prob.objective.is_some() {
                     break;
                 }
             }
@@ -183,17 +200,12 @@ mod tests {
     }
 
     #[test]
-    fn first_only_stops_early() {
+    fn first_solution_mode_stops_early() {
         let p = queens(8);
-        let r = solve_seq(
-            &p,
-            &SeqOptions {
-                first_only: true,
-                ..Default::default()
-            },
-        );
+        let r = solve_seq(&p, &SeqOptions::first_solution());
         assert_eq!(r.solutions, 1);
         assert!(r.nodes < 2000);
+        assert_eq!(r.first_solution_node, Some(r.nodes));
         assert!(p.check_assignment(r.best_assignment.as_ref().unwrap()));
     }
 

@@ -20,8 +20,13 @@ pub const CELL_INCUMBENT: usize = 1;
 /// Register index of the global solution counter.
 pub const CELL_SOLUTIONS: usize = 2;
 /// Register index of the cooperative-cancellation flag (non-zero = every
-/// worker should discard its remaining work and terminate).
+/// worker should discard its remaining work and terminate). In a
+/// first-solution race this is the root *winner flag*.
 pub const CELL_CANCEL: usize = 3;
+/// Register index of the winner timestamp (i64 nanoseconds since the run
+/// start, `i64::MAX` = no winner yet; the first winner `fetch_min`s its
+/// time in, so concurrent solutions resolve to the earliest).
+pub const CELL_WIN_NS: usize = 4;
 /// First register index free for application use.
 pub const CELL_USER: usize = 8;
 /// Base of the per-node bound-mirror block (hierarchical bound
@@ -39,6 +44,17 @@ pub const fn node_bound_cell(node: usize) -> usize {
     CELL_NODE_BOUND_BASE + node
 }
 
+/// Register holding node `n`'s mirror of the cancellation/winner flag
+/// (first-solution races). The mirror block sits directly after the bound
+/// mirrors, so its base depends on the machine's node count: like the
+/// bound mirrors, each flag conceptually lives in node `n`'s own
+/// partition — workers poll it with a local load, and only the node
+/// leader pays the fabric to refresh it from [`CELL_CANCEL`].
+#[inline]
+pub const fn node_cancel_cell(node: usize, nodes: usize) -> usize {
+    CELL_NODE_BOUND_BASE + nodes + node
+}
+
 impl GlobalCells {
     pub fn new(count: usize) -> Self {
         let seg = Segment::new(count.max(CELL_USER));
@@ -46,14 +62,17 @@ impl GlobalCells {
     }
 
     /// A register file of at least `min_cells` registers with one bound
-    /// mirror per shared-memory node, every bound cell (root and mirrors)
-    /// initialised to "no incumbent" (`i64::MAX`). This is how
+    /// mirror and one cancel/winner mirror per shared-memory node, the
+    /// bound cells (root and mirrors) initialised to "no incumbent"
+    /// (`i64::MAX`), the winner cells to "no winner". This is how
     /// [`World`](crate::World) sizes its cells.
     pub fn with_node_mirrors(nodes: usize, min_cells: usize) -> Self {
-        let cells = GlobalCells::new(min_cells.max(CELL_NODE_BOUND_BASE + nodes));
+        let cells = GlobalCells::new(min_cells.max(CELL_NODE_BOUND_BASE + 2 * nodes));
         cells.store_i64(CELL_INCUMBENT, i64::MAX);
+        cells.store_i64(CELL_WIN_NS, i64::MAX);
         for n in 0..nodes {
             cells.store_i64(node_bound_cell(n), i64::MAX);
+            cells.store(node_cancel_cell(n, nodes), 0);
         }
         cells
     }
@@ -137,12 +156,23 @@ mod tests {
     #[test]
     fn node_mirrors_start_empty() {
         let c = GlobalCells::with_node_mirrors(3, 0);
-        assert!(c.len() > node_bound_cell(2));
+        assert!(c.len() > node_cancel_cell(2, 3));
         assert_eq!(c.load_i64(CELL_INCUMBENT), i64::MAX);
+        assert_eq!(c.load_i64(CELL_WIN_NS), i64::MAX);
         for n in 0..3 {
             assert_eq!(c.load_i64(node_bound_cell(n)), i64::MAX);
+            assert_eq!(c.load(node_cancel_cell(n, 3)), 0);
         }
         assert!(GlobalCells::with_node_mirrors(1, 32).len() >= 32);
+    }
+
+    #[test]
+    fn cancel_mirror_block_follows_bound_block() {
+        // The two mirror blocks must never overlap, whatever the node
+        // count.
+        for nodes in 1..=5 {
+            assert_eq!(node_cancel_cell(0, nodes), node_bound_cell(nodes - 1) + 1);
+        }
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub struct World {
     pub interconnect: Interconnect,
     pub cells: GlobalCells,
     pub barrier: GpiBarrier,
+    /// The run's epoch: every worker timestamps against this one instant,
+    /// so cross-worker times (e.g. the first-solution winner time in
+    /// [`cells::CELL_WIN_NS`]) are comparable.
+    pub start: std::time::Instant,
 }
 
 impl World {
@@ -81,6 +85,13 @@ impl World {
             interconnect: Interconnect::new(latency),
             cells,
             barrier: GpiBarrier::new(total),
+            start: std::time::Instant::now(),
         })
+    }
+
+    /// Nanoseconds since the run's epoch, saturating at `i64::MAX` (the
+    /// "no winner" sentinel of [`cells::CELL_WIN_NS`]).
+    pub fn elapsed_ns(&self) -> i64 {
+        i64::try_from(self.start.elapsed().as_nanos()).unwrap_or(i64::MAX - 1)
     }
 }

@@ -6,7 +6,7 @@
 
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
 
@@ -14,8 +14,8 @@ use macs_domain::Val;
 use macs_engine::CompiledProblem;
 use macs_gpi::{Interconnect, LatencyModel, MachineTopology, StealHistogram, TopoError, Topology};
 use macs_search::{
-    AtomicIncumbent, BoundPolicy, BroadcastTree, IncumbentSource, RefreshGate, SearchKernel,
-    StepOutcome, WorkBatch, WorkItem,
+    AtomicIncumbent, BoundPolicy, BroadcastTree, IncumbentSource, RaceRing, RefreshGate,
+    SearchKernel, SearchMode, StepOutcome, WorkBatch, WorkItem,
 };
 
 /// How often (in processed stores) a node-leader agent refreshes its
@@ -41,6 +41,11 @@ pub struct PaccsConfig {
     /// controller — the message-passing face of the node-leader broadcast
     /// tree.
     pub bound_policy: BoundPolicy,
+    /// Exhaustive search, or a first-solution race (satisfaction only):
+    /// the winner raises a flag that spreads through per-node mirror
+    /// atomics the same way a hierarchical bound does, and every agent
+    /// abandons its remaining stack on observing it.
+    pub mode: SearchMode,
 }
 
 impl PaccsConfig {
@@ -52,6 +57,7 @@ impl PaccsConfig {
             max_steal_chunk: 8,
             keep_solutions: 16,
             bound_policy: BoundPolicy::Immediate,
+            mode: SearchMode::Exhaustive,
         }
     }
 
@@ -98,6 +104,15 @@ pub struct PaccsOutcome {
     /// Cross-node messages attributable to bound dissemination (relay
     /// fan-out on improvements, plus periodic refresh pulls).
     pub bound_msgs: u64,
+    /// First-solution races: wall time from run start to the winning
+    /// solution (`None` otherwise).
+    pub first_solution: Option<Duration>,
+    /// First-solution races: stores whose expansion started after the win
+    /// — the dissemination lag's bill.
+    pub nodes_after_win: u64,
+    /// First-solution races: stores discarded unprocessed (stacks and
+    /// late steal replies) once agents observed the winner flag.
+    pub abandoned_items: u64,
 }
 
 enum Msg {
@@ -137,6 +152,18 @@ struct Shared<'a> {
     tree: BroadcastTree,
     messages: AtomicU64,
     bound_msgs: AtomicU64,
+    /// The run's epoch (first-solution win times are measured from it).
+    t0: Instant,
+    /// Root winner flag of a first-solution race.
+    win_flag: AtomicBool,
+    /// Per-node winner-flag mirrors: agents poll their own node's mirror
+    /// (shared memory); only node leaders re-read the root flag, every
+    /// [`LEADER_REFRESH`] stores — the same leveled route a hierarchical
+    /// bound update takes.
+    node_wins: Vec<AtomicBool>,
+    /// Win instant in ns since `t0` (`i64::MAX` = no winner; the earliest
+    /// of concurrent winners survives the `fetch_min`).
+    win_ns: AtomicI64,
 }
 
 impl Shared<'_> {
@@ -161,6 +188,26 @@ impl Shared<'_> {
         }
         self.messages.fetch_add(1, Ordering::Relaxed);
         let _ = self.to_controller.send(msg);
+    }
+
+    /// Nanoseconds since the run's epoch (saturating below the
+    /// no-winner sentinel).
+    fn elapsed_ns(&self) -> i64 {
+        i64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(i64::MAX - 1)
+    }
+
+    /// Raise the winner flag from `agent` (first-solution race): stamp
+    /// the win instant first so any observer of a raised flag also sees a
+    /// time, then the agent's own node mirror (shared memory) and the
+    /// root flag (one fabric write when off the controller's node).
+    fn raise_win(&self, agent: usize) {
+        let node = self.cfg.topology.node_of(agent);
+        self.win_ns.fetch_min(self.elapsed_ns(), Ordering::AcqRel);
+        self.node_wins[node].store(true, Ordering::Release);
+        if node != 0 {
+            self.ic.charge_write(8);
+        }
+        self.win_flag.store(true, Ordering::Release);
     }
 }
 
@@ -259,6 +306,8 @@ struct AgentResult {
     remote_steals: u64,
     failed_steals: u64,
     steals_by_distance: StealHistogram,
+    nodes_after_win: u64,
+    abandoned: u64,
 }
 
 /// Victim side of a steal: hand over the oldest half of the queue (the
@@ -292,6 +341,13 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
     let mut stack: VecDeque<WorkItem> = VecDeque::new();
     let mut res = AgentResult::default();
     let incumbent = AgentIncumbent::new(id, shared);
+    // First-solution race state: optimisation runs must keep searching to
+    // prove the optimum, so the race only arms on satisfaction problems.
+    let race = shared.cfg.mode.is_race() && !prob.objective.is_some();
+    let node = shared.cfg.topology.node_of(id);
+    let win_leader = shared.tree.is_leader(id);
+    let mut ring = RaceRing::new();
+    let mut since_win_check: u32 = 0;
 
     if seeded {
         // `active` was pre-incremented by the launcher, before any thread
@@ -308,6 +364,55 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
     let victims: Vec<usize> = topo.rings(id).into_iter().flatten().collect();
 
     loop {
+        // ---- winner flag (first-solution race) ---------------------------
+        // Agents poll their node's mirror (shared memory); node leaders
+        // alone re-read the root flag every LEADER_REFRESH stores and
+        // refresh the mirror — the leveled route of the broadcast tree.
+        if race {
+            let mut raised = shared.node_wins[node].load(Ordering::Acquire);
+            if !raised && win_leader {
+                since_win_check += 1;
+                if since_win_check >= LEADER_REFRESH {
+                    since_win_check = 0;
+                    if node != 0 {
+                        shared.ic.charge_read(8);
+                    }
+                    if shared.win_flag.load(Ordering::Acquire) {
+                        shared.node_wins[node].store(true, Ordering::Release);
+                        raised = true;
+                    }
+                }
+            }
+            if raised {
+                // Settle the race account and drain to termination.
+                let win_ns = shared.win_ns.load(Ordering::Acquire);
+                res.nodes_after_win = ring.count_after(win_ns);
+                if !stack.is_empty() {
+                    res.abandoned += stack.len() as u64;
+                    while let Some(it) = stack.pop_back() {
+                        kernel.recycle(it);
+                    }
+                    // We held work, so we were counted active.
+                    shared.active.fetch_sub(1, Ordering::AcqRel);
+                }
+                loop {
+                    match rx.recv() {
+                        Ok(Msg::StealReq { thief }) => shared.send(id, thief, Msg::NoWork),
+                        Ok(Msg::Work(batch)) => {
+                            // A reply that raced the flag and lost: the
+                            // items die here, settling the in-flight count
+                            // without ever becoming active.
+                            res.abandoned += batch.len() as u64;
+                            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        Ok(Msg::NoWork) => {}
+                        Ok(Msg::Terminate) | Err(_) => return res,
+                        Ok(Msg::Solution { .. }) => unreachable!(),
+                    }
+                }
+            }
+        }
+
         // MPI-progress: drain pending messages.
         while let Ok(msg) = rx.try_recv() {
             match msg {
@@ -322,6 +427,9 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
         if let Some(mut store) = stack.pop_back() {
             // ---- process one store (the same kernel MaCS runs) -----------
             res.nodes += 1;
+            if race {
+                ring.record(shared.elapsed_ns());
+            }
             match kernel.step(&mut store, &incumbent) {
                 StepOutcome::Failed => {}
                 StepOutcome::Solution(sol) => match sol.cost {
@@ -336,13 +444,18 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
                             );
                         }
                     }
-                    None => shared.send_controller(
-                        id,
-                        Msg::Solution {
-                            cost: None,
-                            assignment: sol.assignment,
-                        },
-                    ),
+                    None => {
+                        shared.send_controller(
+                            id,
+                            Msg::Solution {
+                                cost: None,
+                                assignment: sol.assignment,
+                            },
+                        );
+                        if race {
+                            shared.raise_win(id);
+                        }
+                    }
                 },
                 StepOutcome::Children(_) => kernel.push_children(&mut stack),
             }
@@ -419,6 +532,12 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
         tree: BroadcastTree::new(&cfg.topology),
         messages: AtomicU64::new(0),
         bound_msgs: AtomicU64::new(0),
+        t0: Instant::now(),
+        win_flag: AtomicBool::new(false),
+        node_wins: (0..cfg.topology.nodes())
+            .map(|_| AtomicBool::new(false))
+            .collect(),
+        win_ns: AtomicI64::new(i64::MAX),
     };
 
     let t0 = Instant::now();
@@ -515,6 +634,12 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
         },
         messages: shared.messages.load(Ordering::Relaxed),
         bound_msgs: shared.bound_msgs.load(Ordering::Relaxed),
+        first_solution: {
+            let ns = shared.win_ns.load(Ordering::Acquire);
+            (ns != i64::MAX).then(|| Duration::from_nanos(ns as u64))
+        },
+        nodes_after_win: agent_results.iter().map(|r| r.nodes_after_win).sum(),
+        abandoned_items: agent_results.iter().map(|r| r.abandoned).sum(),
     }
 }
 
@@ -602,5 +727,37 @@ mod tests {
         let out = paccs_solve(&prob, &PaccsConfig::with_workers(2));
         assert_eq!(out.solutions, 0);
         assert!(out.best_assignment.is_none());
+    }
+
+    #[test]
+    fn first_solution_race_stops_early_with_a_valid_solution() {
+        let prob = queens(9, QueensModel::Pairwise);
+        let full = solve_seq(&prob, &SeqOptions::default());
+        let mut cfg = PaccsConfig::clustered(4, 2);
+        cfg.mode = macs_search::SearchMode::FirstSolution;
+        let out = paccs_solve(&prob, &cfg);
+        assert!(out.solutions >= 1, "a winner must be reported");
+        let a = out.best_assignment.as_ref().expect("winning assignment");
+        assert!(prob.check_assignment(a));
+        assert!(
+            out.nodes + out.abandoned_items < full.nodes,
+            "the race must cut the enumeration short: {} + {} vs {}",
+            out.nodes,
+            out.abandoned_items,
+            full.nodes
+        );
+        assert!(out.first_solution.is_some(), "win time recorded");
+        assert!(out.first_solution.unwrap() <= out.wall);
+    }
+
+    #[test]
+    fn race_on_unsat_instance_terminates_exhaustively() {
+        let prob = queens(3, QueensModel::Pairwise);
+        let mut cfg = PaccsConfig::with_workers(2);
+        cfg.mode = macs_search::SearchMode::FirstSolution;
+        let out = paccs_solve(&prob, &cfg);
+        assert_eq!(out.solutions, 0);
+        assert!(out.first_solution.is_none(), "no winner on unsat");
+        assert_eq!(out.nodes_after_win, 0);
     }
 }

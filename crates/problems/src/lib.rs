@@ -11,11 +11,15 @@
 //! * [`qap`] — Quadratic Assignment Problem with a QAPLIB-format parser,
 //!   an embedded `esc16`-class instance, and a branch-and-bound lower
 //!   bound;
+//! * [`coloring`] — graph k-colouring with a DIMACS-subset `.col` parser,
+//!   embedded Mycielski/queen-graph instances and degree-ordered
+//!   branching (the first-solution-race workload);
 //! * [`golomb`] — Golomb ruler (optimisation);
 //! * [`magic`] — magic squares (satisfaction);
 //! * [`langford()`] — Langford pairings L(2, n) (satisfaction);
 //! * [`knapsack()`] — 0/1 knapsack (optimisation).
 
+pub mod coloring;
 pub mod golomb;
 pub mod knapsack;
 pub mod langford;
@@ -23,6 +27,7 @@ pub mod magic;
 pub mod qap;
 pub mod queens;
 
+pub use coloring::{chromatic_number, coloring_model, ColoringInstance};
 pub use golomb::golomb_ruler;
 pub use knapsack::{knapsack, KnapsackItem};
 pub use langford::langford;

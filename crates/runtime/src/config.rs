@@ -2,7 +2,7 @@
 //! release policies.
 
 use macs_gpi::{LatencyModel, MachineTopology, ScanOrder, TopoError, Topology};
-pub use macs_search::BoundPolicy;
+pub use macs_search::{BoundPolicy, SearchMode};
 
 /// Local-steal victim selection (paper §V, "Local Work Stealing"):
 /// MaCS ships a cheap *greedy* variant and a better-informed but costlier
@@ -171,6 +171,15 @@ pub struct RuntimeConfig {
     /// [`BoundPolicy`]). The default is `Periodic { every: 32 }` — the
     /// cheap cadence the pre-hierarchical runtime shipped with.
     pub bound_policy: BoundPolicy,
+    /// Arms the first-solution race machinery: under
+    /// [`SearchMode::FirstSolution`] workers poll their node's winner
+    /// mirror (leaders refreshing it from the root flag over the fabric)
+    /// and record the per-item timestamps behind `nodes_after_win`.
+    /// Under the default `Exhaustive` the runtime keeps the original
+    /// flat, uncharged poll of the root cancel flag — generic processors
+    /// may still cancel, but no race metrics are paid for. Keep this in
+    /// step with the processor's own mode (the solver front ends do).
+    pub mode: SearchMode,
     pub seed_mode: SeedMode,
     /// PRNG seed (victim selection, backoff jitter).
     pub seed: u64,
@@ -229,6 +238,7 @@ impl Default for RuntimeConfig {
             max_steal_chunk: 16,
             remote_node_attempts: 2,
             bound_policy: default_bound_policy(),
+            mode: SearchMode::Exhaustive,
             seed_mode: SeedMode::default(),
             seed: 0x5EED,
             term_flush_batch: 64,

@@ -33,7 +33,7 @@ pub use config::{BoundPolicy, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode
 pub use processor::{Incumbent, NoIncumbent, ProcCtx, Processor, Step, WorkSink};
 pub use rng::SplitMix64;
 pub use run::{run_parallel, RunReport};
-pub use stats::{PhaseTimers, StateClock, WorkerState, WorkerStats, NUM_STATES};
+pub use stats::{PhaseTimers, RaceRing, StateClock, WorkerState, WorkerStats, NUM_STATES};
 
 pub use macs_gpi::{
     Interconnect, LatencyModel, MachineTopology, ScanOrder, StealHistogram, TopoError, Topology,

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use macs_gpi::cells::CELL_INCUMBENT;
+use macs_gpi::cells::{CELL_INCUMBENT, CELL_WIN_NS};
 use macs_gpi::interconnect::TrafficSnapshot;
 use macs_gpi::World;
 use macs_pool::SplitPool;
@@ -24,6 +24,10 @@ pub struct RunReport<O> {
     pub traffic: TrafficSnapshot,
     /// Final global incumbent (optimisation; `i64::MAX` otherwise).
     pub incumbent: i64,
+    /// First-solution races: when the winning solution was found,
+    /// measured from the run's epoch (`None` when no winner flag was ever
+    /// raised — exhaustive runs, unsatisfiable instances).
+    pub first_solution: Option<Duration>,
 }
 
 impl<O> RunReport<O> {
@@ -34,6 +38,18 @@ impl<O> RunReport<O> {
 
     pub fn total_solutions(&self) -> u64 {
         self.workers.iter().map(|w| w.solutions).sum()
+    }
+
+    /// First-solution races: items whose expansion *started* after the
+    /// win — work the winner flag's dissemination lag failed to prevent.
+    pub fn nodes_after_win(&self) -> u64 {
+        self.workers.iter().map(|w| w.nodes_after_win).sum()
+    }
+
+    /// First-solution races: items discarded unprocessed once workers
+    /// observed the winner flag.
+    pub fn abandoned_items(&self) -> u64 {
+        self.workers.iter().map(|w| w.abandoned_items).sum()
     }
 
     /// Fraction of aggregate worker time spent in each state (the paper's
@@ -102,13 +118,9 @@ where
         assert_eq!(r.len(), slot_words, "root size must match slot_words");
     }
 
-    let world = World::new(cfg.topology.clone(), cfg.latency, 16);
     let pools: Vec<SplitPool> = (0..n_workers)
         .map(|_| SplitPool::new(cfg.pool_capacity, slot_words))
         .collect();
-
-    term::init_outstanding(&world.cells, roots.len() as u64);
-    world.cells.store_i64(CELL_INCUMBENT, i64::MAX);
 
     // Seed the roots as private work; thieves pull everyone else in.
     match cfg.seed_mode {
@@ -124,7 +136,13 @@ where
         }
     }
 
-    let t0 = std::time::Instant::now();
+    // The world is created last, just before the workers spawn, so its
+    // `start` instant is the one epoch for *both* the run's wall clock
+    // and the race's win timestamps — `first_solution ≤ wall` by
+    // construction, with no setup time leaking into either.
+    let world = World::new(cfg.topology.clone(), cfg.latency, 16);
+    term::init_outstanding(&world.cells, roots.len() as u64);
+    world.cells.store_i64(CELL_INCUMBENT, i64::MAX);
     let mut results: Vec<(WorkerStats, P::Output)> = Vec::with_capacity(n_workers);
     std::thread::scope(|s| {
         let world = &world;
@@ -142,7 +160,7 @@ where
             results.push(h.join().expect("worker panicked"));
         }
     });
-    let wall = t0.elapsed();
+    let wall = world.start.elapsed();
 
     debug_assert!(
         pools.iter().all(|p| p.is_empty()),
@@ -150,6 +168,7 @@ where
     );
 
     let incumbent = world.cells.load_i64(CELL_INCUMBENT);
+    let win_ns = world.cells.load_i64(CELL_WIN_NS);
     let (workers, outputs) = results.into_iter().unzip();
     RunReport {
         wall,
@@ -157,6 +176,7 @@ where
         outputs,
         traffic: world.interconnect.counters.snapshot(),
         incumbent,
+        first_solution: (win_ns != i64::MAX).then(|| Duration::from_nanos(win_ns as u64)),
     }
 }
 

@@ -189,6 +189,13 @@ pub struct WorkerStats {
     pub response_chunks: u64,
     /// Responses that carried more than one victim's chunk.
     pub batched_responses: u64,
+    /// First-solution races: items this worker *started* after the winner
+    /// flag was raised somewhere — work the flag's dissemination lag
+    /// failed to prevent (see [`RaceRing`]).
+    pub nodes_after_win: u64,
+    /// First-solution races: items this worker discarded unprocessed
+    /// (in hand or pooled) once it observed the winner flag.
+    pub abandoned_items: u64,
 }
 
 impl WorkerStats {
@@ -217,9 +224,13 @@ impl WorkerStats {
             steals_by_distance: StealHistogram::new(),
             response_chunks: 0,
             batched_responses: 0,
+            nodes_after_win: 0,
+            abandoned_items: 0,
         }
     }
 }
+
+pub use macs_search::mode::RaceRing;
 
 #[cfg(test)]
 mod tests {

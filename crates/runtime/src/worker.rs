@@ -5,7 +5,9 @@
 use std::cell::Cell;
 use std::time::Instant;
 
-use macs_gpi::cells::{node_bound_cell, CELL_CANCEL, CELL_INCUMBENT};
+use macs_gpi::cells::{
+    node_bound_cell, node_cancel_cell, CELL_CANCEL, CELL_INCUMBENT, CELL_WIN_NS,
+};
 use macs_gpi::{GlobalCells, Interconnect, ScanOrder, VictimOrder, World};
 use macs_pool::{SplitPool, RESP_FAIL, RESP_PENDING};
 use macs_search::{BoundPolicy, RefreshGate, WorkBatch};
@@ -13,7 +15,7 @@ use macs_search::{BoundPolicy, RefreshGate, WorkBatch};
 use crate::config::{RuntimeConfig, VictimSelect};
 use crate::processor::{Incumbent, ProcCtx, Processor, Step, WorkSink};
 use crate::rng::SplitMix64;
-use crate::stats::{WorkerState, WorkerStats};
+use crate::stats::{RaceRing, WorkerState, WorkerStats};
 use crate::term::TermHandle;
 
 /// How often (in processed items) a node leader refreshes its node's
@@ -130,7 +132,9 @@ struct PoolSink<'b, 'a> {
     pool: &'b SplitPool,
     overflow: &'b mut Vec<Box<[u64]>>,
     term: &'b mut TermHandle<'a>,
-    cells: &'b GlobalCells,
+    world: &'b World,
+    node: usize,
+    remote: bool,
     pushes: &'b mut u64,
     spills: &'b mut u64,
     solutions: &'b mut u64,
@@ -150,8 +154,31 @@ impl WorkSink for PoolSink<'_, '_> {
         *self.solutions += 1;
     }
 
+    /// Raise the winner flag (first-solution race). The win instant lands
+    /// in [`CELL_WIN_NS`] *before* any flag becomes visible, so every
+    /// observer of a raised flag also sees a win time; the earliest of
+    /// concurrent winners survives the `fetch_min`. The flag then spreads
+    /// like a hierarchical bound update: the winner's own node mirror is
+    /// stamped directly (shared memory), the root flag pays one fabric
+    /// write, and remote nodes learn of it when their leader next
+    /// refreshes (see [`Worker::winner_raised`]).
     fn cancel(&mut self) {
-        self.cells.store(CELL_CANCEL, 1);
+        let cells = &self.world.cells;
+        let nodes = self.world.topology.nodes();
+        if self.remote {
+            cells.fetch_min_i64_remote(
+                &self.world.interconnect,
+                CELL_WIN_NS,
+                self.world.elapsed_ns(),
+            );
+        } else {
+            cells.fetch_min_i64(CELL_WIN_NS, self.world.elapsed_ns());
+        }
+        cells.store(node_cancel_cell(self.node, nodes), 1);
+        if self.remote {
+            self.world.interconnect.charge_write(8);
+        }
+        cells.store(CELL_CANCEL, 1);
     }
 }
 
@@ -188,6 +215,20 @@ pub(crate) struct Worker<'a, P: Processor> {
     node_rings: Vec<Vec<usize>>,
     /// Last-successful-steal affinity per distance ring.
     victim_order: VictimOrder,
+    /// This node's cancel/winner mirror register.
+    cancel_mirror: usize,
+    /// Node leaders own the winner-mirror refresh duty (same leader as
+    /// the bound mirror's).
+    leader: bool,
+    /// Reaching the root registers crosses the fabric.
+    remote: bool,
+    /// Items processed since the leader last refreshed the winner mirror
+    /// from the root flag.
+    since_winner_refresh: u32,
+    /// Set once this worker has observed a raised winner flag.
+    observed_win: bool,
+    /// Recent item-start instants for `nodes_after_win` accounting.
+    race_ring: RaceRing,
 }
 
 impl<'a, P: Processor> Worker<'a, P> {
@@ -207,6 +248,7 @@ impl<'a, P: Processor> Worker<'a, P> {
         // steal crosses. Flat: the original one-ring-each scan.
         let (local_rings, node_rings) = cfg.scan_order.victim_rings(topo, id);
         let victim_order = VictimOrder::new(topo, id);
+        let leader = id == topo.peers_of(id).start;
         Worker {
             id,
             node,
@@ -229,7 +271,7 @@ impl<'a, P: Processor> Worker<'a, P> {
                 remote_from_zero,
                 cfg.bound_policy,
                 node,
-                id == topo.peers_of(id).start,
+                leader,
             ),
             current: vec![0u64; slot_words],
             overflow: Vec::new(),
@@ -241,6 +283,12 @@ impl<'a, P: Processor> Worker<'a, P> {
             local_rings,
             node_rings,
             victim_order,
+            cancel_mirror: node_cancel_cell(node, topo.nodes()),
+            leader,
+            remote: remote_from_zero,
+            since_winner_refresh: 0,
+            observed_win: false,
+            race_ring: RaceRing::new(),
         }
     }
 
@@ -255,13 +303,16 @@ impl<'a, P: Processor> Worker<'a, P> {
             if !have && !self.restore() {
                 break; // global termination
             }
-            if self.world.cells.load(CELL_CANCEL) != 0 {
+            if self.winner_raised() {
                 // Cooperative cancellation: discard the item in hand and
                 // everything in the local pool; termination follows once
                 // every worker has drained.
+                self.on_win_observed();
                 self.term.finish_one();
+                self.stats.abandoned_items += 1;
                 while self.acquire_local() {
                     self.term.finish_one();
+                    self.stats.abandoned_items += 1;
                 }
                 have = false;
                 continue;
@@ -289,17 +340,76 @@ impl<'a, P: Processor> Worker<'a, P> {
         (self.stats, self.processor.finish())
     }
 
+    // ----- winner flag (first-solution races) -------------------------------
+
+    /// Has somebody won? In a race, workers poll their *node's* mirror
+    /// (a local load); only the node leader — every [`LEADER_REFRESH`]
+    /// checks — pays a fabric read of the root flag and refreshes the
+    /// mirror, the same leveled route a hierarchical bound update takes.
+    /// Exhaustive runs keep the original flat, uncharged poll of the
+    /// root flag (generic processors may still cancel), so they pay
+    /// nothing for machinery they never use.
+    fn winner_raised(&mut self) -> bool {
+        if self.observed_win {
+            return true;
+        }
+        if !self.cfg.mode.is_race() {
+            return self.world.cells.load(CELL_CANCEL) != 0;
+        }
+        if self.world.cells.load(self.cancel_mirror) != 0 {
+            return true;
+        }
+        if self.leader {
+            self.since_winner_refresh += 1;
+            if self.since_winner_refresh >= LEADER_REFRESH {
+                self.since_winner_refresh = 0;
+                if self.remote {
+                    self.world.interconnect.charge_read(8);
+                }
+                if self.world.cells.load(CELL_CANCEL) != 0 {
+                    self.world.cells.store(self.cancel_mirror, 1);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// First observation of a raised winner flag: settle the
+    /// `nodes_after_win` account — every recent item *started* after the
+    /// recorded win instant ran only because the flag had not reached this
+    /// worker yet.
+    fn on_win_observed(&mut self) {
+        if self.observed_win {
+            return;
+        }
+        self.observed_win = true;
+        let win_ns = if self.remote {
+            self.world
+                .cells
+                .load_i64_remote(&self.world.interconnect, CELL_WIN_NS)
+        } else {
+            self.world.cells.load_i64(CELL_WIN_NS)
+        };
+        self.stats.nodes_after_win = self.race_ring.count_after(win_ns);
+    }
+
     // ----- inner cycle ------------------------------------------------------
 
     fn process_current(&mut self) -> bool {
         self.stats.clock.set(WorkerState::Working);
+        if self.cfg.mode.is_race() {
+            self.race_ring.record(self.world.elapsed_ns());
+        }
         let mut current = std::mem::take(&mut self.current);
         let step = {
             let mut sink = PoolSink {
                 pool: self.my_pool,
                 overflow: &mut self.overflow,
                 term: &mut self.term,
-                cells: &self.world.cells,
+                world: self.world,
+                node: self.node,
+                remote: self.remote,
                 pushes: &mut self.stats.pushes,
                 spills: &mut self.stats.overflow_spills,
                 solutions: &mut self.stats.solutions,
@@ -371,16 +481,25 @@ impl<'a, P: Processor> Worker<'a, P> {
         }
         let mut idle_rounds: u32 = 0;
         loop {
-            // Local steal from a co-located worker.
-            if self.try_local_steal() {
-                return true;
-            }
-            // Remote steal from another node.
-            if self.world.topology.nodes() > 1 {
-                match self.try_remote_steal() {
-                    RemoteOutcome::Got => return true,
-                    RemoteOutcome::Nothing => {}
-                    RemoteOutcome::Terminated => return false,
+            // A raced run that is already won has nothing left to steal
+            // for: stop raiding other pools (their owners will discard
+            // that work anyway) and just drain towards termination. The
+            // check also keeps idle node leaders refreshing the winner
+            // mirror for their busy peers.
+            if self.winner_raised() {
+                self.on_win_observed();
+            } else {
+                // Local steal from a co-located worker.
+                if self.try_local_steal() {
+                    return true;
+                }
+                // Remote steal from another node.
+                if self.world.topology.nodes() > 1 {
+                    match self.try_remote_steal() {
+                        RemoteOutcome::Got => return true,
+                        RemoteOutcome::Nothing => {}
+                        RemoteOutcome::Terminated => return false,
+                    }
                 }
             }
             // Idle: flush, check termination, serve requests, back off.

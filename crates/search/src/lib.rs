@@ -17,6 +17,9 @@
 //!   [`BoundPolicy`] dissemination vocabulary (immediate / periodic /
 //!   hierarchical) and the node-leader [`BroadcastTree`] the hierarchical
 //!   policy routes over, shared by all three backends;
+//! * [`SearchMode`] — whether a run explores the whole tree or races to
+//!   the first solution (the winner flag then travels the same
+//!   node-leader tree as a hierarchical bound update);
 //! * [`WorkBatch`] — the steal-chunk transfer unit shared by every
 //!   victim-side reply (threaded PaCCS, simulated MaCS/PaCCS) together
 //!   with the half-split share policies;
@@ -66,9 +69,11 @@ pub mod batch;
 pub mod bounds;
 pub mod incumbent;
 pub mod kernel;
+pub mod mode;
 
 pub use arena::StoreSlab;
 pub use batch::{WorkBatch, WorkItem};
 pub use bounds::{BoundFanout, BoundPath, BoundPolicy, BroadcastTree, RefreshGate};
 pub use incumbent::{AtomicIncumbent, IncumbentSource, LocalIncumbent, NoBound};
 pub use kernel::{KernelTimers, SearchKernel, SolutionReport, StepOutcome};
+pub use mode::{RaceRing, SearchMode};

@@ -1,0 +1,104 @@
+//! *How much* of the tree a run explores: the search-mode vocabulary
+//! shared by every execution path.
+//!
+//! The paper's evaluation always searches exhaustively (count every
+//! solution, prove every optimum). A **first-solution race** stops the
+//! whole machine at the first solution instead — the mode that stresses
+//! exactly the parts exhaustive search never exercises: cancellation under
+//! distance-aware scheduling, termination with work still in flight, and
+//! the latency of a *winner flag* crossing the topology.
+//!
+//! All five execution paths (sequential oracle, threaded MaCS, threaded
+//! PaCCS, simulated MaCS, simulated PaCCS) accept a [`SearchMode`]; under
+//! [`SearchMode::FirstSolution`] the winning worker raises a winner flag
+//! that travels the same node-leader route as a hierarchical bound update
+//! (see [`crate::bounds::BroadcastTree`]): the winner stamps its own
+//! node's mirror and the root flag; co-located workers see the mirror with
+//! shared-memory latency; node *leaders* alone poll the root and refresh
+//! their mirror, so the flag reaches a remote node after one leader
+//! exchange rather than one fabric read per worker per item.
+//!
+//! The race is only meaningful for satisfaction problems: optimisation
+//! runs must keep searching to *prove* the optimum, so every backend
+//! ignores `FirstSolution` when the problem has an objective.
+//!
+//! Reports pair the mode with two race metrics:
+//!
+//! * `first_solution_time` — when the winning solution was found
+//!   (wall time for the threaded paths, virtual ns for the simulator);
+//! * `nodes_after_win` — nodes whose expansion *started* after the win,
+//!   i.e. work the dissemination lag failed to prevent. A zero-latency
+//!   winner broadcast would make this 0; the hierarchical flag trades a
+//!   bounded number of these for far fewer flag reads on the fabric.
+
+// The enum itself is defined at the bottom of the dependency graph so the
+// sequential oracle shares it; this module is its canonical home for
+// everything parallel (the docs above, and the race accounting below).
+pub use macs_engine::mode::SearchMode;
+
+/// A bounded ring of recent item-start timestamps (ns since the run's
+/// epoch, or virtual ns). In a first-solution race the winner flag reaches
+/// a worker with some lag — at most one node-leader refresh cadence of
+/// items — and `nodes_after_win` is exactly the number of recent starts
+/// later than the recorded win instant. The ring's capacity only needs to
+/// cover that lag; [`RaceRing::count_after`] saturates (and reports every
+/// slot) if the lag ever exceeds it.
+#[derive(Debug)]
+pub struct RaceRing {
+    buf: Vec<i64>,
+    pos: usize,
+}
+
+impl RaceRing {
+    /// Comfortably above any leader-refresh cadence in the tree.
+    pub const CAPACITY: usize = 512;
+
+    pub fn new() -> Self {
+        RaceRing {
+            buf: Vec::with_capacity(Self::CAPACITY),
+            pos: 0,
+        }
+    }
+
+    /// Record one item-start instant.
+    #[inline]
+    pub fn record(&mut self, t_ns: i64) {
+        if self.buf.len() < Self::CAPACITY {
+            self.buf.push(t_ns);
+        } else {
+            self.buf[self.pos] = t_ns;
+        }
+        self.pos = (self.pos + 1) % Self::CAPACITY;
+    }
+
+    /// Recorded starts strictly later than `win_ns`.
+    pub fn count_after(&self, win_ns: i64) -> u64 {
+        self.buf.iter().filter(|&&t| t > win_ns).count() as u64
+    }
+}
+
+impl Default for RaceRing {
+    fn default() -> Self {
+        RaceRing::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_ring_counts_recent_starts() {
+        let mut r = RaceRing::new();
+        for t in 0..10 {
+            r.record(t);
+        }
+        assert_eq!(r.count_after(6), 3, "starts 7, 8, 9");
+        assert_eq!(r.count_after(i64::MAX - 1), 0);
+        // Wrap-around: old entries are overwritten, recent ones kept.
+        for t in 0..(2 * RaceRing::CAPACITY as i64) {
+            r.record(1_000 + t);
+        }
+        assert_eq!(r.count_after(1_000), RaceRing::CAPACITY as u64);
+    }
+}

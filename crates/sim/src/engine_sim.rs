@@ -191,9 +191,22 @@ impl WorkSink for SimSink<'_> {
     fn solution(&mut self) {
         *self.solutions += 1;
     }
+    /// Stage a cancellation request (first-solution race): the winner flag
+    /// is raised at this node's virtual *completion* instant, in
+    /// [`Sim::finish_node`].
     fn cancel(&mut self) {
         *self.cancelled = true;
     }
+}
+
+/// A raised winner flag: the virtual instant the winning node completed
+/// and where it ran. Every other worker *observes* it only after the flag
+/// has travelled the hierarchical winner route (node leader → remote
+/// leaders → their nodes, priced per level like a hierarchical bound
+/// update) — nodes started in that window are the race's overhead.
+#[derive(Clone, Copy, Debug)]
+struct Win {
+    t: u64,
 }
 
 struct VW<P: Processor> {
@@ -202,6 +215,7 @@ struct VW<P: Processor> {
     staged: Vec<Box<[u64]>>,
     staged_step: Step,
     staged_solutions: u64,
+    staged_cancel: bool,
     proc: Option<P>,
     inc: Rc<SimIncumbent>,
     timers: PhaseTimers,
@@ -241,7 +255,19 @@ struct Sim<'c, P: Processor> {
     seq: u64,
     outstanding: i64,
     fabric: Rc<BoundFabric>,
-    cancelled: bool,
+    /// The winner flag of a first-solution race, once raised.
+    win: Option<Win>,
+    /// Virtual instant at which each worker observes the winner flag
+    /// (`u64::MAX` until a win; filled from the hierarchical route's
+    /// per-level delivery delay when the flag is raised).
+    win_seen: Vec<u64>,
+    /// Prices the winner flag's delivery path (always the hierarchical
+    /// node-leader route, independent of the *bound* policy under test).
+    winner_fabric: BoundFabric,
+    /// Work-unit conservation counters (see `SimReport`).
+    nodes_after_win: u64,
+    abandoned: u64,
+    completed: u64,
     end_time: Option<u64>,
     /// PaCCS victim sweep order per worker (nearest rings first).
     sweeps: Vec<Vec<usize>>,
@@ -307,7 +333,7 @@ impl<'c, P: Processor> Sim<'c, P> {
             let mut sink = SimSink {
                 staged: &mut w.staged,
                 solutions: &mut w.staged_solutions,
-                cancelled: &mut self.cancelled,
+                cancelled: &mut w.staged_cancel,
             };
             let mut ctx = ProcCtx::new(wi, node_id, &mut w.timers, &*inc, &mut sink);
             w.proc
@@ -329,6 +355,45 @@ impl<'c, P: Processor> Sim<'c, P> {
         self.schedule(wi, now + cost, WorkerState::Working, Phase::Finish);
     }
 
+    /// Has `wi` seen the winner flag by virtual instant `t`?
+    fn observed_win(&self, wi: usize, t: u64) -> bool {
+        self.win.is_some() && self.win_seen[wi] <= t
+    }
+
+    /// Raise the winner flag at instant `t` from `origin` (first cancel
+    /// wins) and price its delivery to every worker over the hierarchical
+    /// node-leader route.
+    fn raise_win(&mut self, origin: usize, t: u64) {
+        if self.win.is_some() {
+            return;
+        }
+        self.win = Some(Win { t });
+        for (dest, seen) in self.win_seen.iter_mut().enumerate() {
+            *seen = t.saturating_add(self.winner_fabric.delay_ns(origin, dest));
+        }
+    }
+
+    /// Discard everything `wi` holds (pool + the item in hand): the
+    /// abandon path of an observed win. Returns `true` if the whole
+    /// computation just ended.
+    fn drain_observed(&mut self, wi: usize, now: u64) -> bool {
+        let w = &mut self.workers[wi];
+        let n = w.pool.len() as i64;
+        w.pool.items.clear();
+        w.pool.split = 0;
+        self.outstanding -= n;
+        self.abandoned += n as u64;
+        if self.workers[wi].current.take().is_some() {
+            self.outstanding -= 1;
+            self.abandoned += 1;
+        }
+        if self.outstanding == 0 {
+            self.end_time = Some(now);
+            return true;
+        }
+        false
+    }
+
     /// Apply the staged node results at its (virtual) completion instant.
     /// Returns `false` if the whole computation just ended.
     fn finish_node(&mut self, wi: usize, t: u64) -> bool {
@@ -339,11 +404,32 @@ impl<'c, P: Processor> Sim<'c, P> {
             w.stats.solutions += w.staged_solutions;
             w.staged_solutions = 0;
         }
+        // A staged cancellation raises the winner flag at this node's
+        // completion instant; the winner itself observes immediately.
+        if std::mem::take(&mut self.workers[wi].staged_cancel) {
+            self.raise_win(wi, now);
+        }
+        if let Some(win) = self.win {
+            if now > win.t {
+                // This node was still being expanded when the race was
+                // already decided — the dissemination lag's bill.
+                self.nodes_after_win += 1;
+            }
+        }
         let staged: Vec<Box<[u64]>> = std::mem::take(&mut self.workers[wi].staged);
-        if self.cancelled {
-            // Discard children; the current item dies regardless of step.
+        if self.observed_win(wi, now) {
+            // Children die before ever entering a pool; the unit in hand
+            // completed if it was a leaf, and is abandoned mid-chain
+            // otherwise.
             let w = &mut self.workers[wi];
-            w.current = None;
+            w.stats.pushes += staged.len() as u64;
+            self.abandoned += staged.len() as u64;
+            if w.staged_step == Step::Leaf {
+                self.completed += 1;
+            } else {
+                self.abandoned += 1;
+            }
+            self.workers[wi].current = None;
             self.outstanding -= 1;
         } else {
             self.outstanding += staged.len() as i64;
@@ -355,6 +441,7 @@ impl<'c, P: Processor> Sim<'c, P> {
             if w.staged_step == Step::Leaf {
                 w.current = None;
                 self.outstanding -= 1;
+                self.completed += 1;
             }
         }
         if self.outstanding == 0 {
@@ -412,18 +499,9 @@ impl<'c, P: Processor> Sim<'c, P> {
 
     /// Restore step 1: own pool (private, then shared via reacquire).
     fn enter_acquire(&mut self, wi: usize, mut now: u64) {
-        if self.cancelled {
-            // Drain everything we own.
-            let w = &mut self.workers[wi];
-            let n = w.pool.len() as i64;
-            w.pool.items.clear();
-            w.pool.split = 0;
-            self.outstanding -= n;
-            if self.workers[wi].current.take().is_some() {
-                self.outstanding -= 1;
-            }
-            if self.outstanding == 0 {
-                self.end_time = Some(now);
+        if self.observed_win(wi, now) {
+            // Drain everything we own and wait out the termination.
+            if self.drain_observed(wi, now) {
                 return;
             }
             self.enter_idle(wi, now, 0);
@@ -481,6 +559,12 @@ impl<'c, P: Processor> Sim<'c, P> {
     }
 
     fn try_steal_macs(&mut self, wi: usize, mut now: u64) {
+        // A won race leaves nothing worth stealing: the victims' owners
+        // will discard that work anyway. Idle towards termination.
+        if self.observed_win(wi, now) {
+            self.enter_idle(wi, now, 0);
+            return;
+        }
         // Local victim scan, ring by ring (nearest level first; the flat
         // scan has a single ring). The affinity victim is probed before
         // the rest of its ring; every probed candidate costs a metadata
@@ -716,6 +800,18 @@ impl<'c, P: Processor> Sim<'c, P> {
     fn wake_from_wait(&mut self, wi: usize, t: u64) {
         let mut now = t;
         match self.workers[wi].inbox.take() {
+            Some(Resp::Work(batch, _)) if self.observed_win(wi, t) => {
+                // The reply raced the winner flag and lost: the stolen
+                // items die on arrival (they stayed outstanding while in
+                // flight, so the books settle here).
+                self.outstanding -= batch.len() as i64;
+                self.abandoned += batch.len() as u64;
+                if self.outstanding == 0 {
+                    self.end_time = Some(now);
+                    return;
+                }
+                self.enter_acquire(wi, now);
+            }
             Some(Resp::Work(batch, victim)) => {
                 let per_item = self.cfg.costs.per_item_ns * batch.len() as u64;
                 self.charge(wi, WorkerState::Stealing, per_item, &mut now);
@@ -763,7 +859,7 @@ impl<'c, P: Processor> Sim<'c, P> {
     /// order and park for the reply.
     fn sweep_paccs(&mut self, wi: usize, mut now: u64) {
         let order_len = self.sweeps[wi].len();
-        if order_len == 0 {
+        if order_len == 0 || self.observed_win(wi, now) {
             self.enter_idle(wi, now, 0);
             return;
         }
@@ -983,6 +1079,7 @@ where
             staged: Vec::new(),
             staged_step: Step::Leaf,
             staged_solutions: 0,
+            staged_cancel: false,
             proc: Some(factory(wi)),
             inc: Rc::new(SimIncumbent::new(Rc::clone(&fabric), wi)),
             timers: PhaseTimers::default(),
@@ -1016,6 +1113,16 @@ where
         .map(|wi| cfg.scan_order.victim_rings(topo, wi))
         .unzip();
 
+    // The winner flag of a first-solution race always travels the
+    // hierarchical node-leader route, whatever bound policy is under
+    // test — one flag per remote leader, per-level delivery delay.
+    let winner_fabric = BoundFabric::new(
+        &cfg.topology,
+        BoundPolicy::Hierarchical,
+        flat_delay,
+        &cfg.costs,
+    );
+
     let mut sim = Sim {
         cfg,
         mode,
@@ -1025,7 +1132,12 @@ where
         seq: 0,
         outstanding: 0,
         fabric: Rc::clone(&fabric),
-        cancelled: false,
+        win: None,
+        win_seen: vec![u64::MAX; n],
+        winner_fabric,
+        nodes_after_win: 0,
+        abandoned: 0,
+        completed: 0,
         end_time: None,
         sweeps,
         local_rings,
@@ -1037,6 +1149,9 @@ where
     let incumbent = sim.fabric.global_min();
     let bound_msgs = sim.fabric.messages();
     let bound_updates = sim.fabric.updates();
+    let first_solution_ns = sim.win.map(|w| w.t);
+    let (nodes_after_win, abandoned_items, completed_items) =
+        (sim.nodes_after_win, sim.abandoned, sim.completed);
     let (stats, outputs): (Vec<_>, Vec<_>) = sim
         .workers
         .into_iter()
@@ -1049,6 +1164,10 @@ where
         incumbent,
         bound_msgs,
         bound_updates,
+        first_solution_ns,
+        nodes_after_win,
+        abandoned_items,
+        completed_items,
     }
 }
 

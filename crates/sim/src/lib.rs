@@ -37,7 +37,7 @@
 //! 8-queens under hierarchical bound dissemination:
 //!
 //! ```
-//! use macs_core::CpProcessor;
+//! use macs_core::{CpProcessor, SearchMode};
 //! use macs_runtime::MachineTopology;
 //! use macs_sim::{simulate_macs, BoundPolicy, SimConfig};
 //!
@@ -49,7 +49,7 @@
 //!     &cfg,
 //!     prob.layout.store_words(),
 //!     &[prob.root.as_words().to_vec()],
-//!     |_worker| CpProcessor::new(&prob, 0, false),
+//!     |_worker| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
 //! );
 //! assert_eq!(report.total_solutions(), 92);
 //! assert!(report.makespan_ns > 0); // virtual wall time at 16 cores
@@ -64,5 +64,5 @@ pub mod report;
 pub use cost::{CostModel, NodeCost};
 pub use engine_sim::{simulate_macs, simulate_paccs, SimConfig, SimMode};
 pub use incumbent::{BoundFabric, SimIncumbent};
-pub use macs_search::BoundPolicy;
+pub use macs_search::{BoundPolicy, SearchMode};
 pub use report::{SimReport, SimWorkerStats};

@@ -49,11 +49,33 @@ pub struct SimReport<O> {
     pub bound_msgs: u64,
     /// Incumbent improvements accepted by the bound fabric.
     pub bound_updates: u64,
+    /// First-solution races: virtual instant the winning solution
+    /// completed (`None` otherwise).
+    pub first_solution_ns: Option<u64>,
+    /// First-solution races: node expansions that completed after the win
+    /// instant — work the winner flag's per-level delivery delay failed
+    /// to prevent.
+    pub nodes_after_win: u64,
+    /// Work units discarded unprocessed once their holder observed the
+    /// winner flag (pool drains, in-flight steal batches, mid-chain
+    /// continuations).
+    pub abandoned_items: u64,
+    /// Work units that ran to natural completion (a failed or solved
+    /// leaf). Conservation: `roots + Σ pushes == completed_items +
+    /// abandoned_items` — no unit is ever lost or double-counted, raced
+    /// or not (the `prop_race` suite pins this).
+    pub completed_items: u64,
 }
 
 impl<O> SimReport<O> {
     pub fn total_items(&self) -> u64 {
         self.workers.iter().map(|w| w.items).sum()
+    }
+
+    /// Children pushed across all workers (work units created beyond the
+    /// roots; discarded children of an already-won race count too).
+    pub fn total_pushes(&self) -> u64 {
+        self.workers.iter().map(|w| w.pushes).sum()
     }
 
     pub fn total_solutions(&self) -> u64 {

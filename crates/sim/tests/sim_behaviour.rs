@@ -2,7 +2,7 @@
 //! scaling sanity, steal accounting, and the COP bound-dissemination
 //! effect — all on real CP search trees.
 
-use macs_core::CpProcessor;
+use macs_core::{CpProcessor, SearchMode};
 use macs_engine::seq::{solve_seq, SeqOptions};
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
 use macs_runtime::{MachineTopology, Topology};
@@ -28,7 +28,7 @@ fn macs_sim_counts_match_sequential_queens() {
             &cfg,
             prob.layout.store_words(),
             &[prob.root.as_words().to_vec()],
-            |_| CpProcessor::new(&prob, 4, false),
+            |_| CpProcessor::new(&prob, 4, SearchMode::Exhaustive),
         );
         assert_eq!(report.total_solutions(), seq.solutions, "{w} vworkers");
         // Satisfaction trees are schedule-independent: node counts match
@@ -48,7 +48,7 @@ fn macs_sim_speedup_is_monotone_and_sane() {
             &cfg,
             prob.layout.store_words(),
             std::slice::from_ref(&root),
-            |_| CpProcessor::new(&prob, 0, false),
+            |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
         );
         t.push(report.makespan_ns as f64);
     }
@@ -71,7 +71,7 @@ fn macs_sim_hierarchical_steals_and_states() {
         &cfg,
         prob.layout.store_words(),
         &[prob.root.as_words().to_vec()],
-        |_| CpProcessor::new(&prob, 0, false),
+        |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
     );
     let (local_ok, _lf, remote_ok, _rf) = report.steal_totals();
     assert!(local_ok > 0, "local steals expected");
@@ -97,7 +97,7 @@ fn paccs_sim_counts_match_sequential() {
             &cfg,
             prob.layout.store_words(),
             &[prob.root.as_words().to_vec()],
-            |_| CpProcessor::new(&prob, 0, false),
+            |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
         );
         assert_eq!(report.total_solutions(), seq.solutions);
         assert_eq!(report.total_items(), seq.nodes);
@@ -116,10 +116,10 @@ fn macs_beats_or_matches_paccs_at_scale() {
         &cfg,
         prob.layout.store_words(),
         std::slice::from_ref(&root),
-        |_| CpProcessor::new(&prob, 0, false),
+        |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
     );
     let p = simulate_paccs(&cfg, prob.layout.store_words(), &[root], |_| {
-        CpProcessor::new(&prob, 0, false)
+        CpProcessor::new(&prob, 0, SearchMode::Exhaustive)
     });
     assert_eq!(m.total_items(), p.total_items());
     let ratio = m.makespan_ns as f64 / p.makespan_ns as f64;
@@ -140,7 +140,7 @@ fn qap_sim_finds_optimum_and_grows_with_delay() {
         &cfg,
         prob.layout.store_words(),
         std::slice::from_ref(&root),
-        |_| CpProcessor::new(&prob, 0, false),
+        |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
     );
     assert_eq!(fast.incumbent, seq.best_cost.unwrap(), "optimum reached");
 
@@ -149,7 +149,7 @@ fn qap_sim_finds_optimum_and_grows_with_delay() {
     // problem-size growth).
     cfg.bound_delay_ns = Some(50_000_000);
     let slow = simulate_macs(&cfg, prob.layout.store_words(), &[root], |_| {
-        CpProcessor::new(&prob, 0, false)
+        CpProcessor::new(&prob, 0, SearchMode::Exhaustive)
     });
     assert_eq!(slow.incumbent, seq.best_cost.unwrap());
     assert!(
@@ -176,7 +176,7 @@ fn bound_policies_agree_on_the_optimum_and_differ_in_volume() {
             &cfg,
             prob.layout.store_words(),
             std::slice::from_ref(&root),
-            |_| CpProcessor::new(&prob, 0, false),
+            |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
         )
     };
     let imm = run(BoundPolicy::Immediate);
@@ -210,11 +210,11 @@ fn release_interval_reduces_releases() {
         &cfg,
         prob.layout.store_words(),
         std::slice::from_ref(&root),
-        |_| CpProcessor::new(&prob, 0, false),
+        |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
     );
     cfg.release = macs_runtime::ReleasePolicy::tuned(); // interval 32
     let tuned = simulate_macs(&cfg, prob.layout.store_words(), &[root], |_| {
-        CpProcessor::new(&prob, 0, false)
+        CpProcessor::new(&prob, 0, SearchMode::Exhaustive)
     });
     let e_rel: u64 = eager.workers.iter().map(|w| w.releases).sum();
     let t_rel: u64 = tuned.workers.iter().map(|w| w.releases).sum();
@@ -234,10 +234,10 @@ fn deterministic_given_seed() {
         &cfg,
         prob.layout.store_words(),
         std::slice::from_ref(&root),
-        |_| CpProcessor::new(&prob, 0, false),
+        |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
     );
     let b = simulate_macs(&cfg, prob.layout.store_words(), &[root], |_| {
-        CpProcessor::new(&prob, 0, false)
+        CpProcessor::new(&prob, 0, SearchMode::Exhaustive)
     });
     assert_eq!(a.makespan_ns, b.makespan_ns);
     assert_eq!(a.steal_totals(), b.steal_totals());

@@ -20,4 +20,6 @@
 pub mod sha1;
 pub mod tree;
 
-pub use tree::{uts_parallel, uts_sequential, TreeShape, TreeStats, UtsProcessor, SLOT_WORDS};
+pub use tree::{
+    uts_parallel, uts_sequential, GeoLaw, TreeShape, TreeStats, UtsProcessor, SLOT_WORDS,
+};

@@ -8,12 +8,83 @@ use crate::sha1::{child_descriptor, root_descriptor};
 /// two and a half words; the upper half of word 3 is zero).
 pub const SLOT_WORDS: usize = 4;
 
+/// How a geometric (GEO) tree's expected branching factor evolves with
+/// depth — the UTS paper's *shape laws* (Olivier et al., LCPC'06 call
+/// them linear, fixed and cyclic shape functions). All three draw the
+/// actual child count from a geometric distribution whose mean is the
+/// law's `b(depth)`; they differ only in that mean.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GeoLaw {
+    /// `b(d) = b0 · (1 − d / gen_mx)`: branching shrinks linearly to zero
+    /// at `gen_mx` — bushy near the root, thin leaves (the original shape
+    /// this crate shipped with).
+    #[default]
+    Linear,
+    /// `b(d) = b0` for `d < gen_mx`, then 0: constant expected branching
+    /// with a hard depth cutoff — balanced in expectation, so load
+    /// imbalance comes purely from the geometric draw's variance.
+    Fixed,
+    /// `b(d) = b0^sin(2π·d / gen_mx)`, cut off at depth `5·gen_mx`: the
+    /// mean oscillates between `1/b0` and `b0`, so the tree repeatedly
+    /// almost dies out and then re-explodes — long thin spines with
+    /// bursts, the most adversarial of the laws for a load balancer.
+    Cyclic,
+}
+
+impl GeoLaw {
+    /// Expected branching factor at `depth`; `None` past the cutoff.
+    fn mean(self, b0: f64, gen_mx: u32, depth: u64) -> Option<f64> {
+        match self {
+            GeoLaw::Linear => {
+                if depth >= gen_mx as u64 {
+                    return None;
+                }
+                let b = b0 * (1.0 - depth as f64 / gen_mx as f64);
+                (b > 0.0).then_some(b)
+            }
+            GeoLaw::Fixed => (depth < gen_mx as u64).then_some(b0),
+            GeoLaw::Cyclic => {
+                if depth >= 5 * gen_mx as u64 {
+                    return None;
+                }
+                let phase = 2.0 * std::f64::consts::PI * depth as f64 / gen_mx as f64;
+                Some(b0.powf(phase.sin()))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for GeoLaw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeoLaw::Linear => f.write_str("linear"),
+            GeoLaw::Fixed => f.write_str("fixed"),
+            GeoLaw::Cyclic => f.write_str("cyclic"),
+        }
+    }
+}
+
+impl std::str::FromStr for GeoLaw {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "linear" => Ok(GeoLaw::Linear),
+            "fixed" => Ok(GeoLaw::Fixed),
+            "cyclic" => Ok(GeoLaw::Cyclic),
+            other => Err(format!(
+                "unknown geometric law {other:?}: expected linear, fixed or cyclic"
+            )),
+        }
+    }
+}
+
 /// The published UTS tree shapes.
 #[derive(Clone, Copy, Debug)]
 pub enum TreeShape {
-    /// Geometric branching with linear decay: expected branching `b0` at
-    /// the root shrinking to zero at depth `gen_mx` (UTS "GEO" trees).
-    Geometric { b0: f64, gen_mx: u32 },
+    /// Geometric branching under one of the [`GeoLaw`] shape functions
+    /// (UTS "GEO" trees): expected branching `b0` at the root, evolving
+    /// with depth according to `law`, bounded by `gen_mx`.
+    Geometric { b0: f64, gen_mx: u32, law: GeoLaw },
     /// Binomial: the root has exactly `root_children` children; every other
     /// node has `m` children with probability `q`, none otherwise (UTS
     /// "BIN" trees; critical when `m·q ≈ 1`).
@@ -21,10 +92,15 @@ pub enum TreeShape {
 }
 
 impl TreeShape {
-    /// A small geometric tree (tens of thousands of nodes), quick enough
-    /// for tests.
+    /// A small linear-law geometric tree (tens of thousands of nodes),
+    /// quick enough for tests.
     pub fn small_geo() -> Self {
-        TreeShape::Geometric { b0: 3.0, gen_mx: 8 }
+        TreeShape::geo(GeoLaw::Linear, 3.0, 8)
+    }
+
+    /// A geometric tree under `law`.
+    pub fn geo(law: GeoLaw, b0: f64, gen_mx: u32) -> Self {
+        TreeShape::Geometric { b0, gen_mx, law }
     }
 
     /// A medium, highly unbalanced binomial tree (near-critical `m·q`).
@@ -42,15 +118,10 @@ impl TreeShape {
         let raw = u64::from_le_bytes(desc[..8].try_into().unwrap());
         let v = ((raw >> 11) as f64 + 1.0) / (1u64 << 53) as f64; // (0, 1]
         match *self {
-            TreeShape::Geometric { b0, gen_mx } => {
-                if depth >= gen_mx as u64 {
+            TreeShape::Geometric { b0, gen_mx, law } => {
+                let Some(b) = law.mean(b0, gen_mx, depth) else {
                     return 0;
-                }
-                // Linearly decaying expected branching factor.
-                let b = b0 * (1.0 - depth as f64 / gen_mx as f64);
-                if b <= 0.0 {
-                    return 0;
-                }
+                };
                 // Geometric with mean b: m = ⌊ln v / ln(b/(1+b))⌋.
                 let p = b / (1.0 + b);
                 (v.ln() / p.ln()).floor() as u32
@@ -95,7 +166,8 @@ impl TreeStats {
             .wrapping_add(u64::from_le_bytes(desc[..8].try_into().unwrap()) ^ depth);
     }
 
-    fn merge(mut self, o: &TreeStats) -> TreeStats {
+    /// Combine two workers' traversal statistics.
+    pub fn merge(mut self, o: &TreeStats) -> TreeStats {
         self.nodes += o.nodes;
         self.leaves += o.leaves;
         self.max_depth = self.max_depth.max(o.max_depth);
@@ -222,9 +294,48 @@ mod tests {
 
     #[test]
     fn geometric_depth_is_bounded() {
-        let shape = TreeShape::Geometric { b0: 3.0, gen_mx: 6 };
+        let shape = TreeShape::geo(GeoLaw::Linear, 3.0, 6);
         let s = uts_sequential(shape, 5);
         assert!(s.max_depth <= 6);
+        let s = uts_sequential(TreeShape::geo(GeoLaw::Fixed, 2.0, 7), 5);
+        assert!(s.max_depth <= 7);
+        let s = uts_sequential(TreeShape::geo(GeoLaw::Cyclic, 2.0, 5), 5);
+        assert!(s.max_depth <= 25, "cyclic cutoff at 5·gen_mx");
+    }
+
+    #[test]
+    fn geo_laws_shape_the_mean_branching() {
+        // Linear decays to zero, fixed stays put, cyclic oscillates.
+        assert_eq!(GeoLaw::Linear.mean(4.0, 8, 4), Some(2.0));
+        assert_eq!(GeoLaw::Linear.mean(4.0, 8, 8), None);
+        assert_eq!(GeoLaw::Fixed.mean(4.0, 8, 7), Some(4.0));
+        assert_eq!(GeoLaw::Fixed.mean(4.0, 8, 8), None);
+        let up = GeoLaw::Cyclic.mean(4.0, 8, 2).unwrap(); // sin = 1
+        let down = GeoLaw::Cyclic.mean(4.0, 8, 6).unwrap(); // sin = −1
+        assert!((up - 4.0).abs() < 1e-9, "{up}");
+        assert!((down - 0.25).abs() < 1e-9, "{down}");
+        assert_eq!(GeoLaw::Cyclic.mean(4.0, 8, 40), None, "cutoff");
+        // The law names parse back (bench flags).
+        for law in [GeoLaw::Linear, GeoLaw::Fixed, GeoLaw::Cyclic] {
+            assert_eq!(law.to_string().parse::<GeoLaw>().unwrap(), law);
+        }
+        assert!("spiral".parse::<GeoLaw>().is_err());
+    }
+
+    #[test]
+    fn all_geo_laws_conserve_the_tree_in_parallel() {
+        // A cyclic tree's root has expected branching 1 (sin 0), so some
+        // seeds die immediately: scan for a seed with a non-trivial tree
+        // (the shape is still fully deterministic per seed).
+        for (law, b0, gen_mx) in [(GeoLaw::Fixed, 2.0, 7), (GeoLaw::Cyclic, 3.0, 4)] {
+            let shape = TreeShape::geo(law, b0, gen_mx);
+            let (seed, expect) = (1u32..64)
+                .map(|s| (s, uts_sequential(shape, s)))
+                .find(|(_, st)| st.nodes > 50 && st.nodes < 2_000_000)
+                .unwrap_or_else(|| panic!("{law}: no non-trivial seed in 1..64"));
+            let (got, _) = uts_parallel(shape, seed, &RuntimeConfig::clustered(4, 2));
+            assert_eq!(got, expect, "{law} law must be conserved (seed {seed})");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! ```
 
 use macs::prelude::*;
-use macs_core::CpProcessor;
+use macs_core::{CpProcessor, SearchMode};
 
 fn main() {
     let n: usize = std::env::args()
@@ -58,7 +58,7 @@ fn main() {
             &cfg,
             prob.layout.store_words(),
             std::slice::from_ref(&root),
-            |_| CpProcessor::new(&prob, 0, false),
+            |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
         );
         let secs = report.makespan_ns as f64 / 1e9;
         let b = *base.get_or_insert(secs);

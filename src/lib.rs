@@ -72,7 +72,8 @@ pub mod prelude {
         BoundPolicy, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect,
     };
     pub use macs_search::{
-        IncumbentSource, LocalIncumbent, SearchKernel, StepOutcome, StoreSlab, WorkBatch,
+        IncumbentSource, LocalIncumbent, SearchKernel, SearchMode, StepOutcome, StoreSlab,
+        WorkBatch,
     };
     pub use macs_sim::{simulate_macs, simulate_paccs, CostModel, SimConfig};
     pub use macs_topo::{MachineTopology, ScanOrder, StealHistogram, TopoError, VictimOrder};

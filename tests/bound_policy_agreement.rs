@@ -38,11 +38,11 @@ fn check_all_backends(prob: &macs::engine::CompiledProblem, expect: i64, label: 
             &scfg,
             prob.layout.store_words(),
             std::slice::from_ref(&root),
-            |_| CpProcessor::new(prob, 0, false),
+            |_| CpProcessor::new(prob, 0, SearchMode::Exhaustive),
         );
         assert_eq!(sim.incumbent, expect, "{label} sim-macs {policy}");
         let psim = simulate_paccs(&scfg, prob.layout.store_words(), &[root], |_| {
-            CpProcessor::new(prob, 0, false)
+            CpProcessor::new(prob, 0, SearchMode::Exhaustive)
         });
         assert_eq!(psim.incumbent, expect, "{label} sim-paccs {policy}");
     }
@@ -80,7 +80,7 @@ fn hierarchical_spends_fewer_bound_messages_than_immediate() {
             &cfg,
             prob.layout.store_words(),
             std::slice::from_ref(&root),
-            |_| CpProcessor::new(&prob, 0, false),
+            |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
         )
     };
     let imm = run(BoundPolicy::Immediate);

@@ -26,7 +26,7 @@ fn qap_optimum_is_invariant() {
         &SimConfig::new(Topology::clustered(8, 4)),
         prob.layout.store_words(),
         &[root],
-        |_| CpProcessor::new(&prob, 0, false),
+        |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
     );
     assert_eq!(sim.incumbent, expect);
 }

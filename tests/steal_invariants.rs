@@ -1,0 +1,79 @@
+//! Regression net for [`StealHistogram`]: whatever the scan order and
+//! machine depth, (a) the per-distance buckets sum to exactly the number
+//! of successful steals, and (b) no recorded distance can exceed the
+//! machine's level count (the topology's ultrametric diameter).
+
+use macs::prelude::*;
+use macs::solver::CpProcessor;
+use macs_sim::simulate_macs;
+
+fn check_histogram(label: &str, hist: &StealHistogram, steals: u64, topo: &MachineTopology) {
+    assert_eq!(
+        hist.total(),
+        steals,
+        "{label}: per-distance counts must sum to total steals"
+    );
+    for (d, count) in hist.buckets() {
+        assert!(count > 0);
+        assert!(d >= 1, "{label}: nobody steals from themselves");
+        assert!(
+            d <= topo.levels(),
+            "{label}: distance {d} exceeds the machine depth {}",
+            topo.levels()
+        );
+    }
+}
+
+#[test]
+fn histogram_sums_and_depth_bounds_hold_for_both_scan_orders() {
+    let prob = queens(9, QueensModel::Pairwise);
+    let root = prob.root.as_words().to_vec();
+    for shape in [&[4usize, 2, 2][..], &[2, 2, 2, 2][..], &[8, 4][..]] {
+        let prefix = if shape.len() == 4 { 2 } else { 1 };
+        let topo = MachineTopology::try_new(shape, prefix).unwrap();
+        for order in [ScanOrder::DistanceAware, ScanOrder::Flat] {
+            let mut cfg = SimConfig::new(topo.clone());
+            cfg.scan_order = order;
+            let r = simulate_macs(
+                &cfg,
+                prob.layout.store_words(),
+                std::slice::from_ref(&root),
+                |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
+            );
+            let (ls, _, rs, _) = r.steal_totals();
+            let label = format!("sim {shape:?} {order:?}");
+            check_histogram(&label, &r.steal_distance_histogram(), ls + rs, &topo);
+        }
+    }
+}
+
+#[test]
+fn threaded_runtime_histograms_obey_the_same_invariants() {
+    let prob = queens(9, QueensModel::Pairwise);
+    for order in [ScanOrder::DistanceAware, ScanOrder::Flat] {
+        let topo = MachineTopology::try_new(&[2, 2, 2], 1).unwrap();
+        let mut cfg = SolverConfig::with_workers(1);
+        cfg.runtime.topology = topo.clone();
+        cfg.runtime.scan_order = order;
+        let out = Solver::new(cfg).solve(&prob);
+        let mut hist = StealHistogram::new();
+        for w in &out.report.workers {
+            hist.merge(&w.steals_by_distance);
+        }
+        let (ls, _, rs, _) = out.report.steal_totals();
+        check_histogram(&format!("threaded {order:?}"), &hist, ls + rs, &topo);
+    }
+}
+
+#[test]
+fn paccs_histograms_obey_the_same_invariants() {
+    let prob = queens(9, QueensModel::Pairwise);
+    let cfg = PaccsConfig::hierarchical(&[2, 2, 2], 1).unwrap();
+    let out = paccs_solve(&prob, &cfg);
+    check_histogram(
+        "paccs 2x2x2",
+        &out.steals_by_distance,
+        out.local_steals + out.remote_steals,
+        &cfg.topology,
+    );
+}
