@@ -18,7 +18,9 @@
 //! * work-unit conservation fails (`roots + pushes ≠ completed +
 //!   abandoned` — lost or double-counted work).
 
-use macs_bench::{arg, full_scale, maybe_help, mode_arg, shape_arg, sim_cp_macs_mode, usage};
+use macs_bench::{
+    arg, chunk_policy_arg, full_scale, maybe_help, mode_arg, shape_arg, sim_cp_macs_mode, usage,
+};
 use macs_core::SearchMode;
 use macs_engine::CompiledProblem;
 use macs_gpi::MachineTopology;
@@ -34,7 +36,12 @@ fn main() {
             ("--seeds <N>", "schedule seeds per cell [default: 3]"),
             ("--cores <N>", "run a single core count instead of the series"),
         ],
-        &[macs_bench::CommonFlag::Mode, macs_bench::CommonFlag::Shape, macs_bench::CommonFlag::Full],
+        &[
+            macs_bench::CommonFlag::Mode,
+            macs_bench::CommonFlag::Shape,
+            macs_bench::CommonFlag::ChunkPolicy,
+            macs_bench::CommonFlag::Full,
+        ],
     ));
     let full = full_scale();
     let n: usize = arg("n", if full { 14 } else { 12 });
@@ -91,6 +98,9 @@ fn main() {
                         let mut cfg = SimConfig::new(topo.clone());
                         cfg.costs = CostModel::paper_queens();
                         cfg.seed = seed;
+                        if let Some(c) = chunk_policy_arg() {
+                            cfg.chunk_policy = c;
+                        }
                         let r = sim_cp_macs_mode(prob, &cfg, mode);
                         // Work-unit conservation, raced or not.
                         if 1 + r.total_pushes() != r.completed_items + r.abandoned_items {

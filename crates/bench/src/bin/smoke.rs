@@ -6,13 +6,16 @@
 //! a hierarchical machine (default 2×2×2 nodes×sockets×cores, override
 //! with `--shape AxBxC[:prefix]`) so 3-level topologies stay in the
 //! cross-solver agreement net. `--bound-policy immediate|periodic[:k]|`
-//! `hierarchical` applies one bound-dissemination policy to every backend,
-//! so the CI matrix keeps each policy in the net too.
+//! `hierarchical` applies one bound-dissemination policy and
+//! `--chunk-policy static|distance[:base,factor]|adaptive` one steal-chunk
+//! granularity to every backend, so the CI matrix keeps each policy in the
+//! net too.
 //!
 //! Exit code is non-zero on any disagreement with the sequential oracle.
 
 use macs_bench::{
-    bound_policy_arg, maybe_help, mode_arg, shape_arg, sim_cp_macs_mode, sim_cp_paccs_mode, usage,
+    bound_policy_arg, chunk_policy_arg, maybe_help, mode_arg, shape_arg, sim_cp_macs_mode,
+    sim_cp_paccs_mode, usage,
 };
 use macs_core::{solve_seq, SearchMode, SeqOptions, Solver, SolverConfig};
 use macs_engine::CompiledProblem;
@@ -20,7 +23,7 @@ use macs_paccs::{paccs_solve, PaccsConfig};
 use macs_problems::{
     coloring_model, golomb_ruler, langford, queens, ColoringInstance, QueensModel,
 };
-use macs_runtime::{BoundPolicy, MachineTopology};
+use macs_runtime::{BoundPolicy, ChunkPolicy, MachineTopology};
 use macs_sim::SimConfig;
 
 struct Row {
@@ -41,6 +44,7 @@ fn drive(
     mut threaded_cfg: SolverConfig,
     topo: MachineTopology,
     policy: Option<BoundPolicy>,
+    chunk: Option<ChunkPolicy>,
     mode: SearchMode,
 ) -> Row {
     let seq = solve_seq(
@@ -53,6 +57,9 @@ fn drive(
     if let Some(p) = policy {
         threaded_cfg.runtime.bound_policy = p;
     }
+    if let Some(c) = chunk {
+        threaded_cfg.runtime.chunk_policy = c;
+    }
     threaded_cfg.mode = mode;
     let threaded = Solver::new(threaded_cfg).solve(prob);
     let mut paccs_cfg = PaccsConfig::with_workers(1);
@@ -60,11 +67,17 @@ fn drive(
     if let Some(p) = policy {
         paccs_cfg.bound_policy = p;
     }
+    if let Some(c) = chunk {
+        paccs_cfg.chunk_policy = c;
+    }
     paccs_cfg.mode = mode;
     let paccs = paccs_solve(prob, &paccs_cfg);
     let mut cfg = SimConfig::new(topo);
     if let Some(p) = policy {
         cfg.bound_policy = p;
+    }
+    if let Some(c) = chunk {
+        cfg.chunk_policy = c;
     }
     let sim = sim_cp_macs_mode(prob, &cfg, mode);
     let psim = sim_cp_paccs_mode(prob, &cfg, mode);
@@ -124,6 +137,7 @@ fn main() {
             macs_bench::CommonFlag::Mode,
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::BoundPolicy,
+            macs_bench::CommonFlag::ChunkPolicy,
         ],
     ));
     // The hierarchical matrix entry: 3-level by default, CI also passes
@@ -131,6 +145,7 @@ fn main() {
     let deep_topo = shape_arg()
         .unwrap_or_else(|| MachineTopology::try_new(&[2, 2, 2], 1).expect("default 3-level shape"));
     let policy = bound_policy_arg();
+    let chunk = chunk_policy_arg();
     let mode = mode_arg().unwrap_or_default();
     let deep_runtime = {
         let mut cfg = SolverConfig::with_workers(1);
@@ -140,8 +155,12 @@ fn main() {
     println!("hierarchical matrix shape: {deep_topo}");
     println!("search mode: {mode}");
     match policy {
-        Some(p) => println!("bound policy: {p}\n"),
-        None => println!("bound policy: backend defaults\n"),
+        Some(p) => println!("bound policy: {p}"),
+        None => println!("bound policy: backend defaults"),
+    }
+    match chunk {
+        Some(c) => println!("chunk policy: {c}\n"),
+        None => println!("chunk policy: static (backend default)\n"),
     }
 
     let instances: Vec<(&str, CompiledProblem)> = vec![
@@ -164,6 +183,7 @@ fn main() {
             SolverConfig::clustered(4, 2),
             MachineTopology::try_clustered(8, 4).expect("2-level shape"),
             policy,
+            chunk,
             mode,
         ));
         // The hierarchical drive: same instance, N-level machine.
@@ -173,6 +193,7 @@ fn main() {
             deep_runtime.clone(),
             deep_topo.clone(),
             policy,
+            chunk,
             mode,
         ));
     }

@@ -11,8 +11,8 @@
 //! overrides the machine shape for part 2.
 
 use macs_bench::{
-    arg, bound_policy_arg, core_series, deep_topo_for, maybe_help, qap_size_arg, shape_arg,
-    sim_cp_macs,
+    arg, bound_policy_arg, chunk_policy_arg, core_series, deep_topo_for, maybe_help, qap_size_arg,
+    shape_arg, sim_cp_macs,
 };
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
 use macs_runtime::ScanOrder;
@@ -30,6 +30,7 @@ fn usage_text() -> String {
         &[
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::BoundPolicy,
+            macs_bench::CommonFlag::ChunkPolicy,
             macs_bench::CommonFlag::Full,
         ],
     )
@@ -40,6 +41,9 @@ fn deep_cfg(cores: usize) -> SimConfig {
     cfg.costs = CostModel::paper_queens();
     if let Some(p) = bound_policy_arg() {
         cfg.bound_policy = p;
+    }
+    if let Some(c) = chunk_policy_arg() {
+        cfg.chunk_policy = c;
     }
     cfg
 }
@@ -88,6 +92,12 @@ fn main() {
     }
 
     println!("\n== 2. remote responses: 1 chunk vs batched ({top} cores, 5 seeds) ==");
+    if chunk_policy_arg().is_some_and(|c| c.is_adaptive()) {
+        println!(
+            "   NOTE: --chunk-policy adaptive tunes the response batch online,\n\
+             so the batch=1/2/4 rows below all run the same adaptive ceiling."
+        );
+    }
     let topo = shape_arg().unwrap_or_else(|| deep_topo_for(top));
     println!("   machine: {topo}");
     // The fig4 and fig6 workloads at a size where 512 cores still have
@@ -109,6 +119,9 @@ fn main() {
                 cfg.seed = seed;
                 if let Some(p) = bound_policy_arg() {
                     cfg.bound_policy = p;
+                }
+                if let Some(c) = chunk_policy_arg() {
+                    cfg.chunk_policy = c;
                 }
                 let r = sim_cp_macs(prob, &cfg);
                 let (served, chunks, multi) = r.response_batching();

@@ -11,7 +11,7 @@ use macs_core::{CpOutput, CpProcessor, SearchMode};
 use macs_engine::CompiledProblem;
 use macs_gpi::{MachineTopology, Topology};
 use macs_runtime::{WorkerState, NUM_STATES};
-use macs_search::BoundPolicy;
+use macs_search::{BoundPolicy, ChunkPolicy};
 use macs_sim::{simulate_macs, simulate_paccs, SimConfig, SimReport};
 
 /// The cross-bin flags, defined once so their wording is identical in
@@ -28,6 +28,9 @@ pub enum CommonFlag {
     /// `--bound-policy immediate|periodic[:k]|hierarchical` (via
     /// [`bound_policy_arg`]).
     BoundPolicy,
+    /// `--chunk-policy static|distance[:base,factor]|adaptive` (via
+    /// [`chunk_policy_arg`]).
+    ChunkPolicy,
     /// `--full` (via [`full_scale`] / [`core_series`]).
     Full,
 }
@@ -47,15 +50,19 @@ impl CommonFlag {
                 "--bound-policy <P>",
                 "bound dissemination for all backends: immediate,\nperiodic[:k] or hierarchical",
             ),
+            CommonFlag::ChunkPolicy => (
+                "--chunk-policy <P>",
+                "steal-chunk granularity for all backends: static,\ndistance[:base,factor] (reservation scales with the\nthief's topological distance) or adaptive",
+            ),
             CommonFlag::Full => ("--full", "paper-scale series (up to 512 simulated cores)"),
         }
     }
 }
 
 /// Compose a bin's `--help` text: its own flags first, then the uniform
-/// rows for whichever `--mode` / `--shape` / `--bound-policy` / `--full`
-/// flags the bin parses, and `-h` — identically formatted everywhere.
-/// Pass the result to [`maybe_help`].
+/// rows for whichever `--mode` / `--shape` / `--bound-policy` /
+/// `--chunk-policy` / `--full` flags the bin parses, and `-h` —
+/// identically formatted everywhere. Pass the result to [`maybe_help`].
 pub fn usage(bin: &str, about: &str, extra: &[(&str, &str)], common: &[CommonFlag]) -> String {
     let common: Vec<(&str, &str)> = common.iter().map(|c| c.row()).collect();
     let width = extra
@@ -142,6 +149,33 @@ pub fn bound_policy_arg() -> Option<BoundPolicy> {
                 std::process::exit(2);
             };
             match v.parse::<BoundPolicy>() {
+                Ok(p) => return Some(p),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `--chunk-policy static|distance[:base,factor]|adaptive` from the
+/// process arguments, if present (`distance` defaults to `16,2`: the
+/// static 16-item cap near, doubling to 32 at the machine diameter).
+/// Malformed policies exit with a readable message (exit code 2). See
+/// [`macs_search::batch`] for what each policy does.
+pub fn chunk_policy_arg() -> Option<ChunkPolicy> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--chunk-policy" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!(
+                    "--chunk-policy needs a value: static, distance[:base,factor] or adaptive"
+                );
+                std::process::exit(2);
+            };
+            match v.parse::<ChunkPolicy>() {
                 Ok(p) => return Some(p),
                 Err(e) => {
                     eprintln!("{e}");

@@ -14,8 +14,8 @@ use macs_domain::Val;
 use macs_engine::CompiledProblem;
 use macs_gpi::{Interconnect, LatencyModel, MachineTopology, StealHistogram, TopoError, Topology};
 use macs_search::{
-    AtomicIncumbent, BoundPolicy, BroadcastTree, IncumbentSource, RaceRing, RefreshGate,
-    SearchKernel, SearchMode, StepOutcome, WorkBatch, WorkItem,
+    AtomicIncumbent, BoundPolicy, BroadcastTree, ChunkPolicy, IncumbentSource, RaceRing,
+    RefreshGate, SearchKernel, SearchMode, StepOutcome, WorkBatch, WorkItem,
 };
 
 /// How often (in processed stores) a node-leader agent refreshes its
@@ -31,8 +31,16 @@ pub struct PaccsConfig {
     /// Sleep between failed steal sweeps.
     pub steal_retry_backoff_us: u64,
     /// Items handed over per successful steal (victim gives up to half its
-    /// queue, capped here).
+    /// queue, capped here). The static reference cap; `chunk_policy` maps
+    /// it and the thief's distance to the effective per-steal cap.
     pub max_steal_chunk: usize,
+    /// Steal-chunk granularity (see [`ChunkPolicy`]). PaCCS agents each
+    /// own a single stack — there are no co-located pools to batch into
+    /// one reply — so `Adaptive` here means distance-scaled grants; the
+    /// reply-thinness signal it would tune the batch with is still
+    /// measured (`PaccsOutcome::thin_replies`), with the same degenerate
+    /// small-cap guard as the other backends.
+    pub chunk_policy: ChunkPolicy,
     pub keep_solutions: usize,
     /// When incumbent improvements reach other agents. `Immediate` reads
     /// the controller's value directly (the original behaviour);
@@ -55,6 +63,7 @@ impl PaccsConfig {
             latency: LatencyModel::zero(),
             steal_retry_backoff_us: 50,
             max_steal_chunk: 8,
+            chunk_policy: ChunkPolicy::default(),
             keep_solutions: 16,
             bound_policy: BoundPolicy::Immediate,
             mode: SearchMode::Exhaustive,
@@ -113,6 +122,16 @@ pub struct PaccsOutcome {
     /// First-solution races: stores discarded unprocessed (stacks and
     /// late steal replies) once agents observed the winner flag.
     pub abandoned_items: u64,
+    /// First-solution races: steal replies that delivered work to an agent
+    /// that had already observed the winner flag — kept out of
+    /// `local_steals`/`remote_steals` and the distance histogram so a
+    /// race's drain cannot masquerade as successful stealing.
+    pub drain_steals: u64,
+    /// Served replies that were *thin* (below `WorkBatch::thin_threshold`
+    /// of the effective cap) — the scarcity signal the adaptive policy
+    /// reads; on a single-stack backend it is reported rather than acted
+    /// on.
+    pub thin_replies: u64,
 }
 
 enum Msg {
@@ -308,21 +327,44 @@ struct AgentResult {
     steals_by_distance: StealHistogram,
     nodes_after_win: u64,
     abandoned: u64,
+    drain_steals: u64,
+    thin_replies: u64,
 }
 
 /// Victim side of a steal: hand over the oldest half of the queue (the
-/// largest sub-problems), capped. The victim always keeps at least one
-/// store, so it stays active. `WorkBatch::split_front` removes from the
-/// deque's front in O(chunk) — the old `Vec::drain(..give)` memmoved the
-/// whole remaining stack on every steal.
-fn reply_steal(victim: usize, thief: usize, stack: &mut VecDeque<WorkItem>, shared: &Shared<'_>) {
-    let batch = WorkBatch::split_front(stack, shared.cfg.max_steal_chunk);
+/// largest sub-problems), capped by the chunk policy at the thief's
+/// topological distance — a same-socket thief takes a small bite, a
+/// cross-cluster thief's expensive round trip carries a bigger
+/// reservation. The victim always keeps at least one store, so it stays
+/// active. `WorkBatch::split_front` removes from the deque's front in
+/// O(chunk) — the old `Vec::drain(..give)` memmoved the whole remaining
+/// stack on every steal. Returns whether the (served) reply was thin
+/// under the shared degenerate-cap-guarded threshold.
+fn reply_steal(
+    victim: usize,
+    thief: usize,
+    stack: &mut VecDeque<WorkItem>,
+    shared: &Shared<'_>,
+) -> Option<bool> {
+    let topo = &shared.cfg.topology;
+    let cap = shared.cfg.chunk_policy.cap_for(
+        topo.distance(victim, thief),
+        topo.levels(),
+        shared.cfg.max_steal_chunk as u64,
+    ) as usize;
+    let batch = WorkBatch::split_front(stack, cap);
     if batch.is_empty() {
         shared.send(victim, thief, Msg::NoWork);
-        return;
+        return None;
     }
+    // Thinness is judged against the static cap (never more than the
+    // effective one) — the same degenerate-small-cap-guarded gate the
+    // shared-memory backends use for their top-up decision.
+    let gate_cap = (cap as u64).min(shared.cfg.max_steal_chunk as u64);
+    let thin = (batch.len() as u64) < WorkBatch::thin_threshold(gate_cap);
     shared.in_flight.fetch_add(1, Ordering::AcqRel);
     shared.send(victim, thief, Msg::Work(batch));
+    Some(thin)
 }
 
 /// Accept a `Work` reply: the order (activate, then release the in-flight
@@ -416,7 +458,11 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
         // MPI-progress: drain pending messages.
         while let Ok(msg) = rx.try_recv() {
             match msg {
-                Msg::StealReq { thief } => reply_steal(id, thief, &mut stack, shared),
+                Msg::StealReq { thief } => {
+                    if reply_steal(id, thief, &mut stack, shared) == Some(true) {
+                        res.thin_replies += 1;
+                    }
+                }
                 Msg::Terminate => return res,
                 Msg::Work(batch) => accept_work(batch, &mut stack, shared), // defensive
                 Msg::NoWork => {}
@@ -475,11 +521,21 @@ fn agent_main(id: usize, shared: &Shared<'_>, rx: &Receiver<Msg>, seeded: bool) 
                     match rx.recv() {
                         Ok(Msg::Work(batch)) => {
                             accept_work(batch, &mut stack, shared);
-                            res.steals_by_distance.record(topo.distance(id, victim));
-                            if topo.is_local(victim, id) {
-                                res.local_steals += 1;
+                            // A reply that arrives after this agent's node
+                            // observed the winner flag delivers work the
+                            // top-of-loop drain will immediately discard:
+                            // count it in the drain bucket, not as a
+                            // successful steal (it must not inflate the
+                            // histogram or items-per-steal).
+                            if race && shared.node_wins[node].load(Ordering::Acquire) {
+                                res.drain_steals += 1;
                             } else {
-                                res.remote_steals += 1;
+                                res.steals_by_distance.record(topo.distance(id, victim));
+                                if topo.is_local(victim, id) {
+                                    res.local_steals += 1;
+                                } else {
+                                    res.remote_steals += 1;
+                                }
                             }
                             got = true;
                             break 'sweep;
@@ -640,6 +696,8 @@ pub fn paccs_solve(prob: &CompiledProblem, cfg: &PaccsConfig) -> PaccsOutcome {
         },
         nodes_after_win: agent_results.iter().map(|r| r.nodes_after_win).sum(),
         abandoned_items: agent_results.iter().map(|r| r.abandoned).sum(),
+        drain_steals: agent_results.iter().map(|r| r.drain_steals).sum(),
+        thin_replies: agent_results.iter().map(|r| r.thin_replies).sum(),
     }
 }
 

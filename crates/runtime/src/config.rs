@@ -2,7 +2,7 @@
 //! release policies.
 
 use macs_gpi::{LatencyModel, MachineTopology, ScanOrder, TopoError, Topology};
-pub use macs_search::{BoundPolicy, SearchMode};
+pub use macs_search::{BoundPolicy, ChunkPolicy, SearchMode};
 
 /// Local-steal victim selection (paper §V, "Local Work Stealing"):
 /// MaCS ships a cheap *greedy* variant and a better-informed but costlier
@@ -156,15 +156,24 @@ pub struct RuntimeConfig {
     /// response's total size stays capped at `max_steal_chunk`; batching
     /// means several co-located pools may *fill* that cap together, so a
     /// thief's round trip delivers full value instead of one pool's thin
-    /// chunk.
+    /// chunk. Under [`ChunkPolicy::Adaptive`] this is only the starting
+    /// point — each victim's reply-thinness EWMA takes over.
     pub response_batch: u32,
     /// Slots per worker pool (rounded up to a power of two).
     pub pool_capacity: usize,
     pub release: ReleasePolicy,
     pub victim_select: VictimSelect,
     pub poll: PollPolicy,
-    /// Upper bound on items moved by one steal (local or remote).
+    /// Upper bound on items moved by one steal (local or remote). This is
+    /// the *static* reference cap; `chunk_policy` maps it and the steal's
+    /// topological distance to the effective per-steal cap.
     pub max_steal_chunk: u64,
+    /// Steal-chunk granularity: a flat cap (`Static`, the original
+    /// behaviour), a distance-scaled reservation (small same-socket
+    /// chunks, up to `factor ×` for cross-cluster steals), or `Adaptive`,
+    /// which also tunes `response_batch` online from reply thinness. See
+    /// [`ChunkPolicy`].
+    pub chunk_policy: ChunkPolicy,
     /// Remote victim *nodes* examined per remote-steal round.
     pub remote_node_attempts: u32,
     /// When incumbent improvements reach other workers (see
@@ -236,6 +245,7 @@ impl Default for RuntimeConfig {
             victim_select: VictimSelect::default(),
             poll: PollPolicy::default(),
             max_steal_chunk: 16,
+            chunk_policy: ChunkPolicy::default(),
             remote_node_attempts: 2,
             bound_policy: default_bound_policy(),
             mode: SearchMode::Exhaustive,

@@ -29,7 +29,9 @@ pub mod stats;
 pub mod term;
 pub mod worker;
 
-pub use config::{BoundPolicy, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect};
+pub use config::{
+    BoundPolicy, ChunkPolicy, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect,
+};
 pub use processor::{Incumbent, NoIncumbent, ProcCtx, Processor, Step, WorkSink};
 pub use rng::SplitMix64;
 pub use run::{run_parallel, RunReport};

@@ -184,6 +184,11 @@ pub struct WorkerStats {
     pub solutions: u64,
     /// Successful steals (as thief) by topological distance.
     pub steals_by_distance: StealHistogram,
+    /// First-solution races: steals (local grabs or remote replies) that
+    /// resolved after the winner flag was raised, delivering items that
+    /// were immediately discarded. Kept out of the steal counts and the
+    /// distance histogram so they cannot inflate items-per-steal.
+    pub drain_steals: u64,
     /// Victim-pool chunks written across all served responses (≥
     /// `requests_served`; the surplus is the batching win).
     pub response_chunks: u64,
@@ -222,6 +227,7 @@ impl WorkerStats {
             requests_refused: 0,
             solutions: 0,
             steals_by_distance: StealHistogram::new(),
+            drain_steals: 0,
             response_chunks: 0,
             batched_responses: 0,
             nodes_after_win: 0,

@@ -10,7 +10,7 @@ use macs_gpi::cells::{
 };
 use macs_gpi::{GlobalCells, Interconnect, ScanOrder, VictimOrder, World};
 use macs_pool::{SplitPool, RESP_FAIL, RESP_PENDING};
-use macs_search::{BoundPolicy, RefreshGate, WorkBatch};
+use macs_search::{AdaptiveBatch, BoundPolicy, RefreshGate, WorkBatch};
 
 use crate::config::{RuntimeConfig, VictimSelect};
 use crate::processor::{Incumbent, ProcCtx, Processor, Step, WorkSink};
@@ -229,6 +229,9 @@ pub(crate) struct Worker<'a, P: Processor> {
     observed_win: bool,
     /// Recent item-start instants for `nodes_after_win` accounting.
     race_ring: RaceRing,
+    /// Response-batch tuner for [`macs_search::ChunkPolicy::Adaptive`]:
+    /// tracks this worker's own served-reply thinness.
+    adaptive: AdaptiveBatch,
 }
 
 impl<'a, P: Processor> Worker<'a, P> {
@@ -289,7 +292,18 @@ impl<'a, P: Processor> Worker<'a, P> {
             since_winner_refresh: 0,
             observed_win: false,
             race_ring: RaceRing::new(),
+            adaptive: AdaptiveBatch::starting_at(cfg.response_batch),
         }
+    }
+
+    /// The per-steal reservation cap for a victim/thief pair `distance`
+    /// levels apart — the chunk policy's decision point.
+    fn chunk_cap(&self, distance: usize) -> u64 {
+        self.cfg.chunk_policy.cap_for(
+            distance,
+            self.world.topology.levels(),
+            self.cfg.max_steal_chunk,
+        )
     }
 
     /// The worker main loop (paper §IV: propagate/split under `process`,
@@ -547,6 +561,9 @@ impl<'a, P: Processor> Worker<'a, P> {
         // ring); within a ring apply the configured selection heuristic.
         let pools = self.pools;
         let rng = &mut self.rng;
+        // The surplus estimate discounts the item the victim must retain:
+        // a pool with a single shared item can never be granted from, so
+        // scanning it would only buy a failed steal.
         let victim = match self.cfg.victim_select {
             VictimSelect::Greedy => {
                 // First victim with visible surplus, scanning each ring
@@ -554,14 +571,15 @@ impl<'a, P: Processor> Worker<'a, P> {
                 self.victim_order.pick_first(
                     &self.local_rings,
                     |n| rng.below_usize(n),
-                    |w| pools[w].shared_len(),
+                    |w| pools[w].shared_len().saturating_sub(1),
                 )
             }
             VictimSelect::MaxSteal => {
                 // Inspect every candidate of the nearest non-empty ring,
                 // pick the largest shared region.
-                self.victim_order
-                    .pick_max(&self.local_rings, |w| pools[w].shared_len())
+                self.victim_order.pick_max(&self.local_rings, |w| {
+                    pools[w].shared_len().saturating_sub(1)
+                })
             }
         };
         let Some((v, _)) = victim else {
@@ -570,7 +588,8 @@ impl<'a, P: Processor> Worker<'a, P> {
 
         self.stats.clock.set(WorkerState::Stealing);
         let shared = self.pools[v].shared_len();
-        let want = WorkBatch::share_ceil(shared, self.cfg.max_steal_chunk);
+        let cap = self.chunk_cap(self.world.topology.distance(self.id, v));
+        let want = WorkBatch::share_ceil(shared, cap);
         let current = &mut self.current;
         let overflow = &mut self.overflow;
         let my_pool = self.my_pool;
@@ -584,9 +603,17 @@ impl<'a, P: Processor> Worker<'a, P> {
             }
         });
         if n > 0 {
-            self.stats.local_steals += 1;
-            self.stats.local_steal_items += n;
-            self.record_steal_outcome(v, true);
+            if self.winner_raised() {
+                // The winner flag was raised while we picked and locked
+                // the victim: the run loop discards these items as
+                // abandoned, so the steal lands in the drain bucket —
+                // the same exclusion every other steal path applies.
+                self.stats.drain_steals += 1;
+            } else {
+                self.stats.local_steals += 1;
+                self.stats.local_steal_items += n;
+                self.record_steal_outcome(v, true);
+            }
             true
         } else {
             // The victim looked loaded but the lock-time check found
@@ -643,11 +670,13 @@ impl<'a, P: Processor> Worker<'a, P> {
                 let mut best: Option<(u64, usize)> = None;
                 for w in topo.workers_on(cand_node) {
                     let meta = self.pools[w].meta_remote(ic);
-                    // Skip pools with a pending request: their mailbox is
-                    // busy.
+                    // Skip pools with a pending request (mailbox busy) and
+                    // pools with a single shared item — the retention
+                    // clamp makes them unservable, so posting there buys a
+                    // guaranteed-refused round trip.
                     if meta.req == 0 {
                         let s = meta.shared_len();
-                        if s > 0 && best.map(|(b, _)| s > b).unwrap_or(true) {
+                        if s > 1 && best.map(|(b, _)| s > b).unwrap_or(true) {
                             best = Some((s, w));
                         }
                     }
@@ -699,9 +728,18 @@ impl<'a, P: Processor> Worker<'a, P> {
                     ic.enforce_rtt_floor(t0, n as usize * self.slot_words * 8);
                     self.my_pool.reset_response();
                     self.my_pool.adopt_written(n);
-                    self.stats.remote_steals += 1;
-                    self.stats.remote_steal_items += n;
-                    self.record_steal_outcome(v, true);
+                    if self.winner_raised() {
+                        // The reply raced the winner flag and lost: the
+                        // run loop discards these items as abandoned, so
+                        // counting the steal as *successful* would inflate
+                        // the histogram and items-per-remote-steal. It
+                        // lands in the separate drain bucket instead.
+                        self.stats.drain_steals += 1;
+                    } else {
+                        self.stats.remote_steals += 1;
+                        self.stats.remote_steal_items += n;
+                        self.record_steal_outcome(v, true);
+                    }
                     let got = self.my_pool.pop_private(&mut self.current);
                     debug_assert!(got, "adopted items must be poppable");
                     return RemoteOutcome::Got;
@@ -730,15 +768,25 @@ impl<'a, P: Processor> Worker<'a, P> {
         let thief_pool = &self.pools[thief];
 
         // How many slots the thief can accept at its head. One response
-        // carries at most `max_steal_chunk` items, but up to
-        // `response_batch` co-located pools may contribute chunks to fill
-        // it — a reply assembled from several small surpluses instead of
-        // one thin (or failed) chunk, so the thief's round trip delivers
-        // full value.
+        // carries at most the chunk policy's per-steal cap — static, or
+        // scaled by the thief's topological distance (a far thief's
+        // expensive round trip carries a proportionally bigger
+        // reservation) — but up to `response_batch` co-located pools may
+        // contribute chunks to fill it: a reply assembled from several
+        // small surpluses instead of one thin (or failed) chunk, so the
+        // thief's round trip delivers full value. Under the adaptive
+        // policy the batch ceiling follows this worker's own reply
+        // thinness instead of the static knob.
         let tm = thief_pool.meta_remote(ic);
         let free = thief_pool.capacity() as u64 - (tm.head - tm.tail);
-        let max_chunks = self.cfg.response_batch.max(1) as u64;
-        let mut budget = free.min(self.cfg.max_steal_chunk);
+        let cap = self.chunk_cap(self.world.topology.distance(self.id, thief));
+        let max_chunks = if self.cfg.chunk_policy.is_adaptive() {
+            self.adaptive.batch() as u64
+        } else {
+            self.cfg.response_batch.max(1) as u64
+        };
+        let reply_cap = free.min(cap);
+        let mut budget = reply_cap;
 
         self.steal_flat.clear();
         let flat = &mut self.steal_flat;
@@ -749,7 +797,7 @@ impl<'a, P: Processor> Worker<'a, P> {
         // Chunk 1: our own shared region (shrinking it from the tail, as
         // the paper describes the reservation).
         if budget > 0 {
-            let own_half = WorkBatch::share_ceil(self.my_pool.shared_len(), budget).max(1);
+            let own_half = WorkBatch::share_ceil(self.my_pool.shared_len(), budget);
             let got = self
                 .my_pool
                 .steal(own_half, |item| flat.extend_from_slice(item));
@@ -762,20 +810,28 @@ impl<'a, P: Processor> Worker<'a, P> {
 
         // Further chunks: proxy fulfilment from co-located workers with
         // surplus, largest first, one chunk each — but only while the
-        // reply is *thin* (under a quarter of the cap). A healthy
-        // single-pool chunk ships as-is; a dribble of a reply, which
-        // would send the thief straight back into another round trip,
-        // gets topped up from the node's other pools. With
-        // `response_batch` = 1 this runs only when our own region was
-        // empty — the original single-chunk proxy behaviour.
-        let top_up_below = (self.cfg.max_steal_chunk / 4).max(2);
+        // reply is *thin* (under `WorkBatch::thin_threshold`, which never
+        // exceeds the cap). A healthy single-pool chunk ships as-is; a
+        // dribble of a reply, which would send the thief straight back
+        // into another round trip, gets topped up from the node's other
+        // pools. With `response_batch` = 1 this runs only when our own
+        // region was empty — the original single-chunk proxy behaviour.
+        // The gate stays anchored to the *static* cap even when the
+        // chunk policy grants a far thief a bigger reservation: scaling
+        // the gate with the cap over-exports from the serving node, and
+        // the drained pools' owners then turn remote themselves
+        // (measured in `chunk_ablation` — the same failure mode PR-2
+        // found for aggressive batching).
+        let gate_cap = reply_cap.min(self.cfg.max_steal_chunk);
+        let top_up_below = WorkBatch::thin_threshold(gate_cap);
         let mut taken: Vec<usize> = Vec::new();
         while budget > 0 && (n == 0 || (n < top_up_below && chunks < max_chunks)) {
             let peers = self.world.topology.peers_of(self.id);
             let cand = peers
                 .filter(|&w| w != self.id && w != thief && !taken.contains(&w))
                 .map(|w| (self.pools[w].shared_len(), w))
-                .filter(|&(s, _)| s > 0)
+                // s > 1: a lone shared item cannot be granted (retention).
+                .filter(|&(s, _)| s > 1)
                 .max();
             let Some((shared, w)) = cand else {
                 break;
@@ -794,6 +850,9 @@ impl<'a, P: Processor> Worker<'a, P> {
         if n > 0 {
             thief_pool.write_slots_remote(ic, tm.head, &self.steal_flat);
             thief_pool.write_response_remote(ic, n);
+            if self.cfg.chunk_policy.is_adaptive() {
+                self.adaptive.observe(n, gate_cap);
+            }
             self.stats.requests_served += 1;
             self.stats.response_chunks += chunks;
             if chunks > 1 {

@@ -23,6 +23,11 @@
 //! * [`WorkBatch`] — the steal-chunk transfer unit shared by every
 //!   victim-side reply (threaded PaCCS, simulated MaCS/PaCCS) together
 //!   with the half-split share policies;
+//! * [`ChunkPolicy`] — *how much* one steal moves: a static cap, a
+//!   distance-scaled reservation (small near, large far — matching how
+//!   steal cost grows with topological distance), or the adaptive variant
+//!   whose [`AdaptiveBatch`] also tunes the response batch online from
+//!   reply thinness;
 //! * [`baseline`] — the pre-refactor allocate-per-child step, kept only as
 //!   the A/B reference for the arena micro-benchmark.
 //!
@@ -72,7 +77,7 @@ pub mod kernel;
 pub mod mode;
 
 pub use arena::StoreSlab;
-pub use batch::{WorkBatch, WorkItem};
+pub use batch::{AdaptiveBatch, ChunkPolicy, WorkBatch, WorkItem};
 pub use bounds::{BoundFanout, BoundPath, BoundPolicy, BroadcastTree, RefreshGate};
 pub use incumbent::{AtomicIncumbent, IncumbentSource, LocalIncumbent, NoBound};
 pub use kernel::{KernelTimers, SearchKernel, SolutionReport, StepOutcome};

@@ -5,10 +5,11 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 
 use macs_runtime::{
-    BoundPolicy, MachineTopology, PhaseTimers, PollPolicy, ProcCtx, Processor, ReleasePolicy,
-    ScanOrder, SplitMix64, Step, Topology, VictimOrder, VictimSelect, WorkSink, WorkerState,
+    BoundPolicy, ChunkPolicy, MachineTopology, PhaseTimers, PollPolicy, ProcCtx, Processor,
+    ReleasePolicy, ScanOrder, SplitMix64, Step, Topology, VictimOrder, VictimSelect, WorkSink,
+    WorkerState,
 };
-use macs_search::WorkBatch;
+use macs_search::{AdaptiveBatch, WorkBatch};
 
 use crate::cost::{CostModel, NodeCost};
 use crate::incumbent::{BoundFabric, SimIncumbent};
@@ -35,9 +36,18 @@ pub struct SimConfig {
     /// Victim ordering: level-by-level with affinity, or the flat scan.
     pub scan_order: ScanOrder,
     pub max_steal_chunk: u64,
+    /// Steal-chunk granularity: the flat `max_steal_chunk` cap
+    /// (`Static`), a distance-scaled reservation (small same-socket
+    /// chunks, bigger cross-cluster ones — and the per-level latencies
+    /// plus per-byte transfer cost price those big far chunks honestly),
+    /// or `Adaptive`, which also tunes the response batch online from
+    /// reply thinness. See [`ChunkPolicy`].
+    pub chunk_policy: ChunkPolicy,
     /// Maximum number of victim pools contributing chunks to fill one
     /// remote steal response (1 = single-chunk replies; the response's
-    /// total size stays capped at `max_steal_chunk` either way).
+    /// total size stays capped at the per-steal cap either way). Under
+    /// `ChunkPolicy::Adaptive` this is only the starting point — each
+    /// victim's reply-thinness EWMA takes over.
     pub response_batch: u32,
     pub remote_node_attempts: u32,
     /// When incumbent improvements reach other virtual workers:
@@ -64,6 +74,7 @@ impl SimConfig {
             victim: VictimSelect::Greedy,
             scan_order: ScanOrder::default(),
             max_steal_chunk: 16,
+            chunk_policy: ChunkPolicy::default(),
             response_batch: 2,
             remote_node_attempts: 2,
             bound_policy: BoundPolicy::Immediate,
@@ -240,6 +251,8 @@ struct VW<P: Processor> {
     epoch: u64,
     /// Last-successful-steal affinity per distance ring.
     vorder: VictimOrder,
+    /// Response-batch tuner for [`ChunkPolicy::Adaptive`] (victim side).
+    adaptive: AdaptiveBatch,
 }
 
 // ---------------------------------------------------------------------------
@@ -358,6 +371,17 @@ impl<'c, P: Processor> Sim<'c, P> {
     /// Has `wi` seen the winner flag by virtual instant `t`?
     fn observed_win(&self, wi: usize, t: u64) -> bool {
         self.win.is_some() && self.win_seen[wi] <= t
+    }
+
+    /// The per-steal reservation cap for workers `a` and `b` — the chunk
+    /// policy's decision point (distance-scaled policies grant far
+    /// thieves bigger reservations; the transfer cost and per-level
+    /// latency then price those chunks).
+    fn chunk_cap(&self, a: usize, b: usize) -> u64 {
+        let topo = &self.cfg.topology;
+        self.cfg
+            .chunk_policy
+            .cap_for(topo.distance(a, b), topo.levels(), self.cfg.max_steal_chunk)
     }
 
     /// Raise the winner flag at instant `t` from `origin` (first cancel
@@ -582,7 +606,9 @@ impl<'c, P: Processor> Sim<'c, P> {
                     let rot = self.workers[wi].rng.below_usize(ring.len().max(1));
                     for v in self.workers[wi].vorder.ring_order(ring, d, rot) {
                         inspected += 1;
-                        if self.workers[v].pool.shared() > 0 {
+                        // A single shared item can never be granted (the
+                        // victim retains one): only ≥ 2 is viable surplus.
+                        if self.workers[v].pool.shared() > 1 {
                             victim = Some(v);
                             break 'local;
                         }
@@ -590,8 +616,9 @@ impl<'c, P: Processor> Sim<'c, P> {
                 }
                 VictimSelect::MaxSteal => {
                     // Inspect the whole ring, take the largest shared
-                    // region; only move a level out if the ring is dry.
-                    let mut best = 0usize;
+                    // region (≥ 2 — one retained item is not stealable);
+                    // only move a level out if the ring is dry.
+                    let mut best = 1usize;
                     for &v in &self.local_rings[wi][ri] {
                         inspected += 1;
                         let s = self.workers[v].pool.shared();
@@ -650,8 +677,11 @@ impl<'c, P: Processor> Sim<'c, P> {
                 probes += 1;
                 let mut best: Option<(usize, usize)> = None;
                 for v in self.cfg.topology.workers_on(cand) {
+                    // s > 1: a single shared item is unservable under the
+                    // retention clamp — posting there buys a guaranteed
+                    // refusal.
                     let s = self.workers[v].pool.shared();
-                    if s > 0
+                    if s > 1
                         && self.workers[v].pending_req.is_none()
                         && best.map(|(b, _)| s > b).unwrap_or(true)
                     {
@@ -680,8 +710,18 @@ impl<'c, P: Processor> Sim<'c, P> {
     }
 
     fn apply_steal_macs(&mut self, wi: usize, v: usize, mut now: u64) {
+        if self.observed_win(wi, now) {
+            // The winner flag reached this thief during the lock delay:
+            // stealing now would only move work its owner is about to
+            // discard — and recording it would count a race drain as a
+            // successful steal. Leave the victim's pool alone and head
+            // into the drain path.
+            self.workers[wi].stats.drain_steals += 1;
+            self.enter_acquire(wi, now);
+            return;
+        }
         let shared = self.workers[v].pool.shared() as u64;
-        let want = WorkBatch::share_ceil(shared, self.cfg.max_steal_chunk) as usize;
+        let want = WorkBatch::share_ceil(shared, self.chunk_cap(wi, v)) as usize;
         let items = self.workers[v].pool.steal(want);
         let d = self.cfg.topology.distance(wi, v);
         if items.is_empty() {
@@ -727,27 +767,41 @@ impl<'c, P: Processor> Sim<'c, P> {
         self.charge(wi, WorkerState::Poll, poll_ns, now);
         self.workers[wi].stats.polls += 1;
 
-        // Assemble the batched response: one response carries at most
-        // `max_steal_chunk` items, but up to `response_batch` co-located
-        // pools may contribute chunks to fill it — our own chunk first,
-        // then the peers with the most surplus (proxy fulfilment
-        // generalised). All chunks travel in the one reply, so the
-        // thief's single round trip delivers full value even when no one
-        // pool had enough.
-        let chunk = self.cfg.max_steal_chunk;
-        let max_chunks = self.cfg.response_batch.max(1) as u64;
+        // Assemble the batched response: one response carries at most the
+        // chunk policy's per-steal cap — static, or scaled by the thief's
+        // topological distance so a far thief's expensive round trip
+        // carries a proportionally bigger reservation — but up to
+        // `response_batch` co-located pools may contribute chunks to fill
+        // it: our own chunk first, then the peers with the most surplus
+        // (proxy fulfilment generalised). All chunks travel in the one
+        // reply, so the thief's single round trip delivers full value
+        // even when no one pool had enough. Under the adaptive policy the
+        // batch ceiling follows this victim's own reply-thinness EWMA.
+        let chunk = self.chunk_cap(wi, thief);
+        let max_chunks = if self.cfg.chunk_policy.is_adaptive() {
+            self.workers[wi].adaptive.batch() as u64
+        } else {
+            self.cfg.response_batch.max(1) as u64
+        };
         let mut budget = chunk;
         let mut batch = WorkBatch::default();
         let mut proxy = false;
         let own_share =
-            WorkBatch::share_ceil(self.workers[wi].pool.shared() as u64, budget).max(1) as usize;
+            WorkBatch::share_ceil(self.workers[wi].pool.shared() as u64, budget) as usize;
         batch.push_chunk(self.workers[wi].pool.steal(own_share));
         budget -= (batch.len() as u64).min(budget);
-        // Top up only while the reply is *thin* (under a quarter of the
-        // cap): a healthy single-pool chunk ships as-is, but a dribble of
-        // a reply — which would send the thief straight back into another
-        // round trip — gets filled from the node's other pools.
-        let top_up_below = (chunk / 4).max(2);
+        // Top up only while the reply is *thin* (below the shared
+        // threshold, which never exceeds the cap): a healthy single-pool
+        // chunk ships as-is, but a dribble of a reply — which would send
+        // the thief straight back into another round trip — gets filled
+        // from the node's other pools. The gate stays anchored to the
+        // *static* cap even when the policy grants a far thief a bigger
+        // reservation: a gate that scales with the cap over-exports from
+        // the serving node (the drained pools' owners turn remote
+        // themselves — measured in `chunk_ablation`, the same failure
+        // mode PR-2 found for aggressive batching).
+        let gate_cap = chunk.min(self.cfg.max_steal_chunk);
+        let top_up_below = WorkBatch::thin_threshold(gate_cap);
         let mut taken: Vec<usize> = Vec::new();
         while budget > 0
             && (batch.is_empty()
@@ -759,7 +813,8 @@ impl<'c, P: Processor> Sim<'c, P> {
                 .peers_of(wi)
                 .filter(|&p| p != wi && p != thief && !taken.contains(&p))
                 .map(|p| (self.workers[p].pool.shared(), p))
-                .filter(|&(s, _)| s > 0)
+                // s > 1: a lone shared item cannot be granted (retention).
+                .filter(|&(s, _)| s > 1)
                 .max();
             let Some((s, p)) = cand else {
                 break;
@@ -781,6 +836,11 @@ impl<'c, P: Processor> Sim<'c, P> {
             let t = *now + reply_latency;
             self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
         } else {
+            if self.cfg.chunk_policy.is_adaptive() {
+                self.workers[wi]
+                    .adaptive
+                    .observe(batch.len() as u64, gate_cap);
+            }
             self.workers[wi].stats.requests_served += 1;
             self.workers[wi].stats.response_chunks += batch.chunks() as u64;
             if batch.chunks() > 1 {
@@ -803,7 +863,11 @@ impl<'c, P: Processor> Sim<'c, P> {
             Some(Resp::Work(batch, _)) if self.observed_win(wi, t) => {
                 // The reply raced the winner flag and lost: the stolen
                 // items die on arrival (they stayed outstanding while in
-                // flight, so the books settle here).
+                // flight, so the books settle here). The steal lands in
+                // the drain bucket — not in `remote_steals` or the
+                // distance histogram, which count only steals that
+                // delivered live work.
+                self.workers[wi].stats.drain_steals += 1;
                 self.outstanding -= batch.len() as i64;
                 self.abandoned += batch.len() as u64;
                 if self.outstanding == 0 {
@@ -910,7 +974,7 @@ impl<'c, P: Processor> Sim<'c, P> {
             self.workers[wi].stats.polls += 1;
 
             let have = self.workers[wi].pool.len();
-            let give = WorkBatch::share_floor(have as u64, self.cfg.max_steal_chunk) as usize;
+            let give = WorkBatch::share_floor(have as u64, self.chunk_cap(wi, thief)) as usize;
             let local = self.cfg.topology.is_local(wi, thief);
             let lat = if local {
                 self.cfg.costs.poll_ns.max(200)
@@ -1096,6 +1160,7 @@ where
             inbox: None,
             sweep_pos: 0,
             epoch: 0,
+            adaptive: AdaptiveBatch::starting_at(cfg.response_batch),
         })
         .collect();
 

@@ -64,5 +64,5 @@ pub mod report;
 pub use cost::{CostModel, NodeCost};
 pub use engine_sim::{simulate_macs, simulate_paccs, SimConfig, SimMode};
 pub use incumbent::{BoundFabric, SimIncumbent};
-pub use macs_search::{BoundPolicy, SearchMode};
+pub use macs_search::{BoundPolicy, ChunkPolicy, SearchMode};
 pub use report::{SimReport, SimWorkerStats};

@@ -23,6 +23,10 @@ pub struct SimWorkerStats {
     pub requests_refused: u64,
     /// Successful steals (as thief) by topological distance.
     pub steals_by_distance: StealHistogram,
+    /// First-solution races: steals resolved after this worker observed
+    /// the winner flag — a drain, not a delivery; kept out of the steal
+    /// counts and the distance histogram.
+    pub drain_steals: u64,
     /// Victim-pool chunks written across all served responses.
     pub response_chunks: u64,
     /// Responses that carried more than one victim's chunk.
@@ -152,6 +156,12 @@ impl<O> SimReport<O> {
     /// [`SimWorkerStats::stale_bound_nodes`]).
     pub fn stale_expansions(&self) -> u64 {
         self.workers.iter().map(|w| w.stale_bound_nodes).sum()
+    }
+
+    /// Race-drain steals over all workers (see
+    /// [`SimWorkerStats::drain_steals`]).
+    pub fn drain_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.drain_steals).sum()
     }
 
     /// (responses served, chunks shipped, responses with > 1 chunk).

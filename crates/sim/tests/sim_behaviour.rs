@@ -201,6 +201,51 @@ fn bound_policies_agree_on_the_optimum_and_differ_in_volume() {
 }
 
 #[test]
+fn chunk_policies_agree_on_counts_and_optimum() {
+    // Granularity moves work between workers, never the answer: every
+    // policy must reproduce the sequential solution count (enumeration)
+    // and the optimum (optimisation) — on a satisfaction and an
+    // optimisation workload, both simulated balancers.
+    use macs_sim::ChunkPolicy;
+    let prob = queens(8, QueensModel::Pairwise);
+    let seq = solve_seq(&prob, &SeqOptions::default());
+    let inst = QapInstance::cube8_like(5);
+    let qap = qap_model(&inst);
+    let qseq = solve_seq(&qap, &SeqOptions::default());
+    let root = prob.root.as_words().to_vec();
+    let qroot = qap.root.as_words().to_vec();
+    let topo = MachineTopology::try_new(&[2, 2, 4], 1).unwrap();
+    for policy in ChunkPolicy::ALL {
+        let mut cfg = SimConfig::new(topo.clone());
+        cfg.chunk_policy = policy;
+        let r = simulate_macs(
+            &cfg,
+            prob.layout.store_words(),
+            std::slice::from_ref(&root),
+            |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
+        );
+        assert_eq!(r.total_solutions(), seq.solutions, "{policy} queens count");
+        let p = simulate_paccs(
+            &cfg,
+            prob.layout.store_words(),
+            std::slice::from_ref(&root),
+            |_| CpProcessor::new(&prob, 0, SearchMode::Exhaustive),
+        );
+        assert_eq!(p.total_solutions(), seq.solutions, "{policy} paccs count");
+        let mut qcfg = SimConfig::new(topo.clone());
+        qcfg.chunk_policy = policy;
+        qcfg.costs = CostModel::woodcrest_ib(8_000);
+        let q = simulate_macs(
+            &qcfg,
+            qap.layout.store_words(),
+            std::slice::from_ref(&qroot),
+            |_| CpProcessor::new(&qap, 0, SearchMode::Exhaustive),
+        );
+        assert_eq!(q.incumbent, qseq.best_cost.unwrap(), "{policy} optimum");
+    }
+}
+
+#[test]
 fn release_interval_reduces_releases() {
     let prob = queens(9, QueensModel::Pairwise);
     let root = prob.root.as_words().to_vec();

@@ -1,0 +1,122 @@
+//! Seeded randomised tests (in-repo proptest substitute) for the
+//! steal-chunk granularity policy: whatever the machine shape, the policy
+//! parameters and the share balancer, a grant must conserve work
+//! (`granted + retained == available`), leave the victim at least one
+//! item, and — for the distance-scaled policies — grow monotonically with
+//! the thief's topological distance.
+
+use macs::prelude::*;
+use macs::runtime::SplitMix64;
+use macs::search::{ChunkPolicy, WorkBatch};
+
+/// A random machine: 1–4 levels, extents 1–5, random node prefix — the
+/// same family `prop_topo` sweeps.
+fn random_topo(rng: &mut SplitMix64) -> MachineTopology {
+    let levels = 1 + rng.below_usize(4);
+    let shape: Vec<usize> = (0..levels).map(|_| 1 + rng.below_usize(5)).collect();
+    let node_prefix = rng.below_usize(levels + 1);
+    MachineTopology::try_new(&shape, node_prefix).unwrap()
+}
+
+fn random_policy(rng: &mut SplitMix64) -> ChunkPolicy {
+    match rng.below(3) {
+        0 => ChunkPolicy::Static,
+        1 => ChunkPolicy::DistanceScaled {
+            base: 1 + rng.below(32),
+            factor: 1 + rng.below(8),
+        },
+        _ => ChunkPolicy::Adaptive,
+    }
+}
+
+/// A share policy: `(available, cap) -> granted`.
+type SharePolicy = fn(u64, u64) -> u64;
+
+/// Both balancers' share policies, by name (MaCS grants ⌈available/2⌉,
+/// PaCCS ⌊available/2⌋ — capped and retention-clamped either way).
+const BALANCERS: [(&str, SharePolicy); 2] = [
+    ("macs/share_ceil", WorkBatch::share_ceil),
+    ("paccs/share_floor", WorkBatch::share_floor),
+];
+
+#[test]
+fn grants_conserve_work_and_retain_the_victim() {
+    let mut rng = SplitMix64::for_worker(0xC4A9, 1);
+    for _ in 0..200 {
+        let topo = random_topo(&mut rng);
+        let policy = random_policy(&mut rng);
+        let total = topo.total_workers();
+        let static_cap = 1 + rng.below(33);
+        for _ in 0..16 {
+            let victim = rng.below_usize(total);
+            let thief = rng.below_usize(total);
+            if thief == victim {
+                continue;
+            }
+            let d = topo.distance(victim, thief);
+            let cap = policy.cap_for(d, topo.levels(), static_cap);
+            assert!(cap >= 1, "{policy}: a cap of zero would deadlock thieves");
+            let available = rng.below(65);
+            for (name, share) in BALANCERS {
+                let granted = share(available, cap);
+                let retained = available - granted; // no underflow: granted ≤ available
+                assert_eq!(
+                    granted + retained,
+                    available,
+                    "{name}/{policy}: conservation"
+                );
+                assert!(granted <= cap, "{name}/{policy}: grant within the cap");
+                if available >= 1 {
+                    assert!(
+                        retained >= 1,
+                        "{name}/{policy}: victim left empty \
+                         (available {available}, cap {cap}, granted {granted})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn distance_scaled_grants_are_monotone_in_distance() {
+    let mut rng = SplitMix64::for_worker(0xD157, 2);
+    for _ in 0..200 {
+        let topo = random_topo(&mut rng);
+        let policy = random_policy(&mut rng);
+        let static_cap = 1 + rng.below(33);
+        let levels = topo.levels();
+        let caps: Vec<u64> = (1..=levels)
+            .map(|d| policy.cap_for(d, levels, static_cap))
+            .collect();
+        assert!(
+            caps.windows(2).all(|w| w[0] <= w[1]),
+            "{policy} on {topo}: caps must not shrink with distance ({caps:?})"
+        );
+        if let ChunkPolicy::DistanceScaled { base, factor } = policy {
+            assert_eq!(caps[0], base.max(1), "{policy}: near cap is the base");
+            // A flat machine has a single distance, so only the base
+            // applies; any deeper machine reaches base × factor at the
+            // diameter.
+            let diameter_cap = if levels > 1 {
+                base.max(1) * factor.max(1)
+            } else {
+                base.max(1)
+            };
+            assert_eq!(
+                caps[levels - 1],
+                diameter_cap,
+                "{policy}: diameter cap is base × factor"
+            );
+        }
+        // The effective grant inherits the monotonicity under both
+        // balancers once the victim has enough to give.
+        for (name, share) in BALANCERS {
+            let grants: Vec<u64> = caps.iter().map(|&c| share(1000, c)).collect();
+            assert!(
+                grants.windows(2).all(|w| w[0] <= w[1]),
+                "{name}/{policy}: grants must not shrink with distance ({grants:?})"
+            );
+        }
+    }
+}

@@ -77,3 +77,70 @@ fn paccs_histograms_obey_the_same_invariants() {
         &cfg.topology,
     );
 }
+
+/// A first-solution race drains: steal replies landing after the winner
+/// flag deliver work that is immediately discarded. Those must go into the
+/// separate `drain_steals` bucket — never into the histogram or the
+/// local/remote steal counts they used to inflate (items-per-remote-steal
+/// in `race_ablation` was counting dead deliveries).
+#[test]
+fn race_drain_steals_stay_out_of_the_histogram() {
+    let prob = queens(9, QueensModel::Pairwise);
+    let root = prob.root.as_words().to_vec();
+    let mut drains_seen = 0u64;
+    for shape in [&[4usize, 2, 2][..], &[8, 4][..]] {
+        let topo = MachineTopology::try_new(shape, 1).unwrap();
+        for seed in 1..=4u64 {
+            let mut cfg = SimConfig::new(topo.clone());
+            cfg.seed = seed;
+            let r = simulate_macs(
+                &cfg,
+                prob.layout.store_words(),
+                std::slice::from_ref(&root),
+                |_| CpProcessor::new(&prob, 1, SearchMode::FirstSolution),
+            );
+            let (ls, _, rs, _) = r.steal_totals();
+            let label = format!("sim race {shape:?} seed {seed}");
+            check_histogram(&label, &r.steal_distance_histogram(), ls + rs, &topo);
+            drains_seen += r.drain_steals();
+        }
+    }
+    // The deterministic sweep above is known to produce drains on every
+    // seed; if it ever stops, the exclusion path is no longer exercised.
+    assert!(
+        drains_seen > 0,
+        "expected at least one post-win drain steal across the sweep"
+    );
+}
+
+#[test]
+fn threaded_and_paccs_race_histograms_exclude_drains() {
+    let prob = queens(9, QueensModel::Pairwise);
+    // Threaded MaCS race: drains are timing-dependent, but the histogram
+    // invariant (counts = successful live steals) must hold regardless.
+    let topo = MachineTopology::try_new(&[2, 2, 2], 1).unwrap();
+    let mut cfg = SolverConfig::with_workers(1);
+    cfg.runtime.topology = topo.clone();
+    cfg.mode = SearchMode::FirstSolution;
+    let out = Solver::new(cfg).solve(&prob);
+    let mut hist = StealHistogram::new();
+    let mut drains = 0u64;
+    for w in &out.report.workers {
+        hist.merge(&w.steals_by_distance);
+        drains += w.drain_steals;
+    }
+    let (ls, _, rs, _) = out.report.steal_totals();
+    check_histogram("threaded race", &hist, ls + rs, &topo);
+    let _ = drains; // may be zero on a fast host — the invariant is the pin
+
+    // PaCCS race: same exclusion, same invariant.
+    let mut pcfg = PaccsConfig::hierarchical(&[2, 2, 2], 1).unwrap();
+    pcfg.mode = SearchMode::FirstSolution;
+    let pout = paccs_solve(&prob, &pcfg);
+    check_histogram(
+        "paccs race",
+        &pout.steals_by_distance,
+        pout.local_steals + pout.remote_steals,
+        &pcfg.topology,
+    );
+}
