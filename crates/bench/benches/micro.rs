@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use std::collections::VecDeque;
 use std::hint::black_box;
 
+use macs_bench::reference::RefEngine;
 use macs_domain::{bits, Store, StoreLayout};
 use macs_engine::seq::{solve_seq, SeqOptions};
 use macs_engine::{CompiledProblem, Engine, ScheduleSeed};
@@ -113,6 +114,66 @@ fn bench_propagation(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // The PR 6 wake-filtering comparison: re-propagate the first branching
+    // decision of queens-14 (alldifferent model) through the filtered
+    // engine and the frozen wake-all reference. Same fixpoint, fewer
+    // propagator executions on the filtered side.
+    let q14 = queens(14, QueensModel::AllDiff);
+    let mut fe = Engine::new(&q14);
+    g.bench_function("queens14_alldiff_assign0_filtered", |b| {
+        b.iter_batched(
+            || {
+                let mut s = q14.root.clone();
+                bits::keep_only(s.dom_mut(&q14.layout, 0), 0);
+                s
+            },
+            |mut s| fe.propagate(&q14, s.as_words_mut(), i64::MAX, ScheduleSeed::Var(0)),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut re = RefEngine::new(&q14);
+    g.bench_function("queens14_alldiff_assign0_wake_all", |b| {
+        b.iter_batched(
+            || {
+                let mut s = q14.root.clone();
+                bits::keep_only(s.dom_mut(&q14.layout, 0), 0);
+                s
+            },
+            |mut s| re.propagate(&q14, s.as_words_mut(), i64::MAX, ScheduleSeed::Var(0)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Word-parallel block kernels in isolation: the masked set operations the
+/// engine's change log is built on (each returns a changed-words mask).
+fn bench_blocks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocks");
+    let max = 511u32; // 8-word cells, the widest layout the suites exercise
+    let words = bits::words_for(max);
+    let mut dom = vec![0u64; words];
+    bits::fill_full(&mut dom, max);
+    let mut other = vec![0u64; words];
+    bits::fill_full(&mut other, max);
+    bits::remove(&mut other, 130);
+
+    g.throughput(Throughput::Bytes((words * 8) as u64));
+    g.bench_function("intersect_masked_512", |b| {
+        b.iter_batched(
+            || dom.clone(),
+            |mut d| bits::intersect_masked(&mut d, black_box(&other)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("subtract_masked_512", |b| {
+        b.iter_batched(
+            || dom.clone(),
+            |mut d| bits::subtract_masked(&mut d, black_box(&other)),
+            BatchSize::SmallInput,
+        )
+    });
     g.finish();
 }
 
@@ -217,6 +278,7 @@ criterion_group!(
     bench_store,
     bench_pool,
     bench_propagation,
+    bench_blocks,
     bench_gpi,
     bench_kernel,
     bench_solve

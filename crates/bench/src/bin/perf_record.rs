@@ -1,0 +1,509 @@
+//! The PR-6 perf trajectory recorder: sequential node throughput
+//! (optimised kernel vs the frozen pre-PR reference), work-pool steal
+//! latency (lock-free vs mutex baseline), and propagation filter
+//! throughput — written to `BENCH_6.json` so later PRs can diff against
+//! the committed record.
+//!
+//! Modes:
+//!
+//! * default — measure everything (medians of `--runs` repetitions for
+//!   the throughput metrics) and write the JSON record;
+//! * `--check <file>` — measure, then compare the machine-independent
+//!   ratios (optimised/reference speed-ups) against a previously
+//!   committed record; exit 1 on a >10% regression. Absolute
+//!   nodes-per-second numbers are machine-dependent and are *not* gated.
+//!
+//! The node budgets restart the depth-first walk from the root if a tree
+//! is exhausted early; both kernels share the restart logic, so they
+//! always expand identical node sequences (checked at startup on small
+//! full trees).
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use macs_bench::reference::{RefEngine, RefKernel, RefStep};
+use macs_bench::{arg, maybe_help, usage};
+use macs_domain::bits;
+use macs_engine::{CompiledProblem, Engine, ScheduleSeed};
+use macs_pool::{LockedPool, SplitPool};
+use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
+use macs_search::{LocalIncumbent, NoBound, SearchKernel, StepOutcome, WorkItem};
+
+// ---------------------------------------------------------------------------
+// sequential node throughput
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Drive {
+    nodes: u64,
+    solutions: u64,
+    prop_runs: u64,
+    secs: f64,
+}
+
+/// Expand up to `budget` nodes depth-first through the optimised kernel.
+fn drive_opt(prob: &CompiledProblem, budget: u64, optimise: bool) -> Drive {
+    let mut kernel = SearchKernel::new(prob);
+    // Throughput run: nothing reads the phase timers here, so take the
+    // timing-off fast path (the reference kernel has no such switch).
+    kernel.set_timing(false);
+    let inc = LocalIncumbent::new();
+    let mut stack: VecDeque<WorkItem> = VecDeque::new();
+    let root = kernel.alloc_root();
+    stack.push_back(root);
+    let mut out = Drive::default();
+    let t0 = Instant::now();
+    while out.nodes < budget {
+        let Some(mut store) = stack.pop_back() else {
+            if budget == u64::MAX {
+                break; // unbounded budget = run the whole tree once
+            }
+            let root = kernel.alloc_root();
+            stack.push_back(root);
+            continue;
+        };
+        out.nodes += 1;
+        let step = if optimise {
+            kernel.step(&mut store, &inc)
+        } else {
+            kernel.step(&mut store, &NoBound)
+        };
+        match step {
+            StepOutcome::Failed => {}
+            StepOutcome::Solution(s) => {
+                if s.cost.is_none() || s.improved {
+                    out.solutions += 1;
+                }
+            }
+            StepOutcome::Children(_) => kernel.push_children(&mut stack),
+        }
+        kernel.recycle(store);
+    }
+    out.secs = t0.elapsed().as_secs_f64();
+    out.prop_runs = kernel.prop_runs();
+    out
+}
+
+/// The same walk through the frozen pre-PR reference kernel.
+fn drive_ref(prob: &CompiledProblem, budget: u64, optimise: bool) -> Drive {
+    let mut kernel = RefKernel::new(prob);
+    let inc = LocalIncumbent::new();
+    let mut stack: VecDeque<WorkItem> = VecDeque::new();
+    let root = kernel.alloc_root();
+    stack.push_back(root);
+    let mut out = Drive::default();
+    let t0 = Instant::now();
+    while out.nodes < budget {
+        let Some(mut store) = stack.pop_back() else {
+            if budget == u64::MAX {
+                break; // unbounded budget = run the whole tree once
+            }
+            let root = kernel.alloc_root();
+            stack.push_back(root);
+            continue;
+        };
+        out.nodes += 1;
+        let step = if optimise {
+            kernel.step(&mut store, &inc)
+        } else {
+            kernel.step(&mut store, &NoBound)
+        };
+        match step {
+            RefStep::Failed => {}
+            RefStep::Solution(improved) => {
+                if improved {
+                    out.solutions += 1;
+                }
+            }
+            RefStep::Children(_) => kernel.push_children(&mut stack),
+        }
+        kernel.recycle(store);
+    }
+    out.secs = t0.elapsed().as_secs_f64();
+    out.prop_runs = kernel.prop_runs();
+    out
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+#[derive(Debug)]
+struct SeqRecord {
+    nodes: u64,
+    opt_nodes_per_sec: f64,
+    ref_nodes_per_sec: f64,
+    speedup: f64,
+    opt_prop_runs: u64,
+    ref_prop_runs: u64,
+}
+
+fn measure_seq(prob: &CompiledProblem, budget: u64, optimise: bool, runs: usize) -> SeqRecord {
+    let mut opt = Vec::with_capacity(runs);
+    let mut refr = Vec::with_capacity(runs);
+    let (mut opt_runs, mut ref_runs) = (0, 0);
+    for _ in 0..runs {
+        let o = drive_opt(prob, budget, optimise);
+        let r = drive_ref(prob, budget, optimise);
+        assert_eq!(
+            (o.nodes, o.solutions),
+            (r.nodes, r.solutions),
+            "kernels diverged on {}",
+            prob.name
+        );
+        opt.push(o.nodes as f64 / o.secs);
+        refr.push(r.nodes as f64 / r.secs);
+        opt_runs = o.prop_runs;
+        ref_runs = r.prop_runs;
+    }
+    let o = median(&mut opt);
+    let r = median(&mut refr);
+    SeqRecord {
+        nodes: budget,
+        opt_nodes_per_sec: o,
+        ref_nodes_per_sec: r,
+        speedup: o / r,
+        opt_prop_runs: opt_runs,
+        ref_prop_runs: ref_runs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// propagation filter throughput
+// ---------------------------------------------------------------------------
+
+fn domain_popcount(prob: &CompiledProblem, words: &[u64]) -> u64 {
+    let l = &prob.layout;
+    (0..l.num_vars())
+        .map(|v| bits::count(&words[l.var_range(v)]) as u64)
+        .sum()
+}
+
+/// Filtered values per second when re-propagating the first branching
+/// decision of queens-n (alldifferent model): assign queen 0, seed the
+/// queue from that variable, count the values the fixpoint removes.
+fn prop_filter_throughput(prob: &CompiledProblem, iters: u64, reference: bool) -> f64 {
+    let mut engine = Engine::new(prob);
+    let mut ref_engine = RefEngine::new(prob);
+    let mut store = prob.root.clone();
+    let mut filtered = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        store.copy_from_words(prob.root.as_words());
+        bits::keep_only(store.dom_mut(&prob.layout, 0), 0);
+        let before = domain_popcount(prob, store.as_words());
+        let out = if reference {
+            ref_engine.propagate(prob, store.as_words_mut(), i64::MAX, ScheduleSeed::Var(0))
+        } else {
+            engine.propagate(prob, store.as_words_mut(), i64::MAX, ScheduleSeed::Var(0))
+        };
+        assert_eq!(out, macs_engine::PropOutcome::Fixpoint);
+        filtered += before - domain_popcount(prob, store.as_words());
+    }
+    filtered as f64 / t0.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// steal latency
+// ---------------------------------------------------------------------------
+
+/// The two pool variants behind one face so the latency harness is shared.
+trait BenchPool: Sync {
+    fn push(&self, item: &[u64]) -> bool;
+    fn pop_private(&self, dst: &mut [u64]) -> bool;
+    fn release(&self, k: u64) -> u64;
+    fn steal_up_to(&self, max: u64) -> u64;
+}
+
+impl BenchPool for SplitPool {
+    fn push(&self, item: &[u64]) -> bool {
+        SplitPool::push(self, item)
+    }
+    fn pop_private(&self, dst: &mut [u64]) -> bool {
+        SplitPool::pop_private(self, dst)
+    }
+    fn release(&self, k: u64) -> u64 {
+        SplitPool::release(self, k)
+    }
+    fn steal_up_to(&self, max: u64) -> u64 {
+        self.steal(max, |_| {})
+    }
+}
+
+impl BenchPool for LockedPool {
+    fn push(&self, item: &[u64]) -> bool {
+        LockedPool::push(self, item)
+    }
+    fn pop_private(&self, dst: &mut [u64]) -> bool {
+        LockedPool::pop_private(self, dst)
+    }
+    fn release(&self, k: u64) -> u64 {
+        LockedPool::release(self, k)
+    }
+    fn steal_up_to(&self, max: u64) -> u64 {
+        self.steal(max, |_| {})
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Latency {
+    p50_ns: u64,
+    p99_ns: u64,
+    steals: u64,
+}
+
+/// One owner churns push/release/pop against `threads − 1` thieves, each
+/// timing its successful `steal` calls. Thread counts above the host's
+/// parallelism run oversubscribed — equally for both pool variants, so
+/// the comparison stays apples-to-apples.
+fn steal_latency<P: BenchPool>(pool: &P, threads: usize, dur: Duration) -> Latency {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = AtomicBool::new(false);
+    let slot_words = 18; // queens-14 store: 4 header + 14 cells
+    let item = vec![1u64; slot_words];
+    let mut samples: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.saturating_sub(1) {
+            handles.push(s.spawn(|| {
+                let mut ns: Vec<u64> = Vec::with_capacity(1 << 14);
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    let n = pool.steal_up_to(4);
+                    if n > 0 {
+                        ns.push(t0.elapsed().as_nanos() as u64);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                ns
+            }));
+        }
+        // Owner loop: keep the shared region stocked.
+        let mut out = vec![0u64; slot_words];
+        let deadline = Instant::now() + dur;
+        while Instant::now() < deadline {
+            for _ in 0..8 {
+                if !pool.push(&item) {
+                    pool.pop_private(&mut out);
+                }
+            }
+            pool.release(8);
+            pool.pop_private(&mut out);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            samples.push(h.join().expect("thief panicked"));
+        }
+    });
+    let mut all: Vec<u64> = samples.into_iter().flatten().collect();
+    if all.is_empty() {
+        return Latency::default();
+    }
+    all.sort_unstable();
+    Latency {
+        p50_ns: all[all.len() / 2],
+        p99_ns: all[(all.len() * 99) / 100],
+        steals: all.len() as u64,
+    }
+}
+
+fn latency_pair(threads: usize, dur: Duration) -> (Latency, Latency) {
+    let lf = SplitPool::new(1024, 18);
+    let lk = LockedPool::new(1024, 18);
+    (
+        steal_latency(&lf, threads, dur),
+        steal_latency(&lk, threads, dur),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// record I/O (hand-rolled JSON: the repo deliberately has no serde)
+// ---------------------------------------------------------------------------
+
+fn fmt_latency(l: &Latency) -> String {
+    format!(
+        "{{\"p50_ns\": {}, \"p99_ns\": {}, \"steals\": {}}}",
+        l.p50_ns, l.p99_ns, l.steals
+    )
+}
+
+fn fmt_seq(s: &SeqRecord) -> String {
+    format!(
+        "{{\n      \"nodes\": {},\n      \"optimized_nodes_per_sec\": {:.0},\n      \"reference_nodes_per_sec\": {:.0},\n      \"speedup_vs_reference\": {:.3},\n      \"optimized_prop_runs\": {},\n      \"reference_prop_runs\": {}\n    }}",
+        s.nodes,
+        s.opt_nodes_per_sec,
+        s.ref_nodes_per_sec,
+        s.speedup,
+        s.opt_prop_runs,
+        s.ref_prop_runs
+    )
+}
+
+/// Pull `"key": <number>` out of the section of `text` that follows
+/// `section` (enough JSON parsing for the format this bin writes).
+fn json_number_after(text: &str, section: &str, key: &str) -> Option<f64> {
+    let start = text.find(&format!("\"{section}\""))?;
+    let rest = &text[start..];
+    let k = rest.find(&format!("\"{key}\""))?;
+    let after = &rest[k..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let u = usage(
+        "perf_record",
+        "records the PR-6 perf trajectory (BENCH_6.json): sequential node\nthroughput vs the frozen pre-PR kernel, lock-free vs mutex steal\nlatency, propagation filter throughput.",
+        &[
+            ("--out <FILE>", "where to write the record [default: BENCH_6.json]"),
+            (
+                "--check <FILE>",
+                "measure, then fail (exit 1) if an optimised/reference\nspeed-up ratio regressed >10% against the recorded file",
+            ),
+            ("--runs <N>", "repetitions per throughput metric (median) [default: 5]"),
+            ("--quick", "reduced node budgets and latency windows (CI smoke)"),
+        ],
+        &[],
+    );
+    maybe_help(&u);
+
+    let runs = arg("runs", 5usize).max(1);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out_path = arg("out", "BENCH_6.json".to_string());
+    let check_path: String = arg("check", String::new());
+
+    // Each propagation sample must cover tens of milliseconds (one
+    // fixpoint is sub-microsecond) or a single descheduling skews the
+    // ratio on a loaded host.
+    let (q_budget, qap_budget, prop_iters, lat_dur) = if quick {
+        (30_000u64, 15_000u64, 20_000u64, Duration::from_millis(60))
+    } else {
+        (
+            200_000u64,
+            80_000u64,
+            100_000u64,
+            Duration::from_millis(150),
+        )
+    };
+
+    // -- cross-kernel sanity on small full trees ----------------------------
+    let small = queens(9, QueensModel::Pairwise);
+    let o = drive_opt(&small, u64::MAX, false);
+    let r = drive_ref(&small, u64::MAX, false);
+    assert_eq!(
+        (o.nodes, o.solutions),
+        (r.nodes, r.solutions),
+        "kernels must walk identical queens-9 trees"
+    );
+    assert_eq!(o.solutions, 352, "queens-9 solution count");
+    eprintln!(
+        "tree check: queens-9 identical ({} nodes, {} solutions); filtered prop runs {} vs wake-all {}",
+        o.nodes, o.solutions, o.prop_runs, r.prop_runs
+    );
+
+    // -- sequential throughput ----------------------------------------------
+    let q14 = queens(14, QueensModel::Pairwise);
+    eprintln!("measuring queens-14 ({q_budget} nodes × {runs} runs × 2 kernels)...");
+    let seq_q14 = measure_seq(&q14, q_budget, false, runs);
+    let esc = qap_model(&QapInstance::esc16e().sub_instance(11));
+    eprintln!("measuring esc16e[11] ({qap_budget} nodes × {runs} runs × 2 kernels)...");
+    let seq_esc = measure_seq(&esc, qap_budget, true, runs);
+
+    // -- propagation filter throughput --------------------------------------
+    let q14ad = queens(14, QueensModel::AllDiff);
+    eprintln!("measuring propagation filter throughput ({prop_iters} fixpoints)...");
+    // Warm up, then interleave the two engines run-for-run so clock or
+    // cache drift hits both sides alike.
+    let _ = prop_filter_throughput(&q14ad, prop_iters / 4 + 1, false);
+    let _ = prop_filter_throughput(&q14ad, prop_iters / 4 + 1, true);
+    let (mut opt_f, mut ref_f) = (Vec::new(), Vec::new());
+    for _ in 0..runs {
+        opt_f.push(prop_filter_throughput(&q14ad, prop_iters, false));
+        ref_f.push(prop_filter_throughput(&q14ad, prop_iters, true));
+    }
+    let (opt_fv, ref_fv) = (median(&mut opt_f), median(&mut ref_f));
+
+    // -- steal latency -------------------------------------------------------
+    eprintln!("measuring steal latency (8 and 32 threads, lock-free vs mutex)...");
+    let (lf8, lk8) = latency_pair(8, lat_dur);
+    let (lf32, lk32) = latency_pair(32, lat_dur);
+
+    let host_par = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let json = format!(
+        "{{\n  \"record\": \"BENCH_6\",\n  \"bin\": \"perf_record\",\n  \"runs_per_metric\": {runs},\n  \"quick\": {quick},\n  \"host\": {{\n    \"available_parallelism\": {host_par},\n    \"note\": \"thread counts above the host's parallelism are oversubscribed equally for both pool variants; absolute numbers are machine-dependent, the *_vs_reference ratios are the tracked trajectory\"\n  }},\n  \"sequential\": {{\n    \"queens14\": {},\n    \"esc16e11\": {}\n  }},\n  \"propagation\": {{\n    \"queens14_alldiff_assign0\": {{\n      \"optimized_filtered_values_per_sec\": {:.0},\n      \"reference_filtered_values_per_sec\": {:.0},\n      \"speedup_vs_reference\": {:.3}\n    }}\n  }},\n  \"steal_latency\": {{\n    \"threads_8\": {{\"splitpool\": {}, \"lockedpool\": {}}},\n    \"threads_32\": {{\"splitpool\": {}, \"lockedpool\": {}}}\n  }},\n  \"tree_check\": \"queens-9 full tree identical across kernels ({} nodes, 352 solutions)\"\n}}\n",
+        fmt_seq(&seq_q14),
+        fmt_seq(&seq_esc),
+        opt_fv,
+        ref_fv,
+        opt_fv / ref_fv,
+        fmt_latency(&lf8),
+        fmt_latency(&lk8),
+        fmt_latency(&lf32),
+        fmt_latency(&lk32),
+        o.nodes,
+    );
+
+    println!(
+        "queens-14:   {:>10.0} nodes/s optimized  {:>10.0} reference  ({:.2}x)",
+        seq_q14.opt_nodes_per_sec, seq_q14.ref_nodes_per_sec, seq_q14.speedup
+    );
+    println!(
+        "esc16e[11]:  {:>10.0} nodes/s optimized  {:>10.0} reference  ({:.2}x)",
+        seq_esc.opt_nodes_per_sec, seq_esc.ref_nodes_per_sec, seq_esc.speedup
+    );
+    println!(
+        "propagation: {:>10.0} filtered/s optimized  {:>10.0} reference  ({:.2}x)",
+        opt_fv,
+        ref_fv,
+        opt_fv / ref_fv
+    );
+    for (t, lf, lk) in [(8, lf8, lk8), (32, lf32, lk32)] {
+        println!(
+            "steal @{t:>2} threads: lock-free p50 {:>7} ns p99 {:>8} ns ({} steals) | mutex p50 {:>7} ns p99 {:>8} ns ({} steals)",
+            lf.p50_ns, lf.p99_ns, lf.steals, lk.p50_ns, lk.p99_ns, lk.steals
+        );
+    }
+
+    if !check_path.is_empty() {
+        let prev = std::fs::read_to_string(&check_path)
+            .unwrap_or_else(|e| panic!("cannot read {check_path}: {e}"));
+        let mut failed = false;
+        for (section, measured) in [
+            ("queens14", seq_q14.speedup),
+            ("esc16e11", seq_esc.speedup),
+            ("queens14_alldiff_assign0", opt_fv / ref_fv),
+        ] {
+            let Some(recorded) = json_number_after(&prev, section, "speedup_vs_reference") else {
+                eprintln!("check: no speedup_vs_reference under \"{section}\" in {check_path}");
+                failed = true;
+                continue;
+            };
+            let floor = recorded * 0.9;
+            if measured < floor {
+                eprintln!(
+                    "check FAILED: {section} speed-up {measured:.3} fell below 90% of the recorded {recorded:.3}"
+                );
+                failed = true;
+            } else {
+                eprintln!("check ok: {section} speed-up {measured:.3} (recorded {recorded:.3})");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check passed against {check_path}");
+        return;
+    }
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -7,6 +7,8 @@
 //! measurements). See EXPERIMENTS.md for the experiment-by-experiment
 //! mapping and recorded outputs.
 
+pub mod reference;
+
 use macs_core::{CpOutput, CpProcessor, SearchMode};
 use macs_engine::CompiledProblem;
 use macs_gpi::{MachineTopology, Topology};

@@ -1,0 +1,439 @@
+//! Frozen pre-optimisation propagation engine and node driver.
+//!
+//! `perf_record` measures this PR's sequential wins (word-parallel
+//! propagation with wake filtering, scan hints, and the removal of the
+//! hot-path allocations) by driving the *same* compiled problem through
+//! two kernels built from the same crates:
+//!
+//! * the optimised path: [`macs_search::SearchKernel`] over the current
+//!   [`macs_engine::Engine`];
+//! * this module: a faithful snapshot of the engine and kernel behaviour
+//!   *before* this PR, re-expressed against the current API.
+//!
+//! What the reference reproduces:
+//!
+//! * **wake-all scheduling** — the change-log drain ignores the
+//!   changed-words mask and the assignment-only flag, re-queueing every
+//!   watcher of every touched variable (the pre-PR `Vec<Vec<u32>>`
+//!   watcher lists);
+//! * **no scan hints** — [`ChangeLog::new`] keeps `min`/`max` scanning
+//!   cells from word 0 / the last word;
+//! * **seed-by-reconstitution** — the branch-variable header read goes
+//!   through `Store::from_words(..).branch_var()`, heap-copying the whole
+//!   store per node, exactly as the pre-PR kernel did;
+//! * **value-list splitting** — the brancher materialises a `Vec<Val>` of
+//!   the split domain per node (plus the extra whole-store copy of the
+//!   old `DomainSplit`+`Max` path);
+//! * **per-variable first-fail** — `choose_var` slices each cell through
+//!   `layout.var_range` instead of walking the flat cell slab;
+//! * **looping `neq_offset`** — the disequality propagator re-verifies
+//!   until a pass sees no change (the current one proves a single
+//!   directed pass reaches the fixpoint); frozen here as
+//!   `neq_offset_ref`, every other propagator delegates to the shared
+//!   `Propag::run`;
+//! * **unconditional phase timers** — the pre-PR kernel stamped
+//!   `Instant::now` around propagation and splitting on every node with
+//!   no way to opt out; the optimised kernel made timing switchable.
+//!
+//! What it deliberately shares with the optimised path: the store arena
+//! (predates this PR) and the `bits` kernels themselves (the masked
+//! set operations replaced the old word loops in place, so both sides
+//! use the same word code — the comparison isolates the engine-level
+//! changes, not the `u64` arithmetic).
+//!
+//! Node expansion order is identical on both sides by construction, which
+//! `perf_record` checks by comparing node and solution counts.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use macs_domain::{bits, Store, StoreLayout, StoreView, StoreViewMut, Val, VarId};
+use macs_engine::propag::Scratch;
+use macs_engine::{
+    BranchKind, ChangeLog, CompiledProblem, Failed, PropOutcome, PropState, Propag, ScheduleSeed,
+    ValSelect, VarSelect,
+};
+use macs_search::{IncumbentSource, KernelTimers, StoreSlab, WorkItem};
+
+/// The pre-PR `x ≠ y + c` body: loop until a verification pass changes
+/// nothing. The optimised engine replaced this with one directed pass.
+fn neq_offset_ref(st: &mut PropState<'_>, x: VarId, y: VarId, c: i64) -> Result<(), Failed> {
+    loop {
+        let mut changed = false;
+        if let Some(vy) = st.value(y) {
+            let forbidden = vy as i64 + c;
+            if (0..=st.layout().max_value() as i64).contains(&forbidden) {
+                changed |= st.remove(x, forbidden as Val)?;
+            }
+        }
+        if let Some(vx) = st.value(x) {
+            let forbidden = vx as i64 - c;
+            if (0..=st.layout().max_value() as i64).contains(&forbidden) {
+                changed |= st.remove(y, forbidden as Val)?;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+/// The pre-PR fixpoint engine: same queue discipline as
+/// [`macs_engine::Engine`], wake-all drain, hint-free change log.
+pub struct RefEngine {
+    queue: VecDeque<u32>,
+    queued: Vec<bool>,
+    log: ChangeLog,
+    scratch: Scratch,
+    /// Individual propagator executions (the wake-filtering win shows up
+    /// here: fewer runs for the same fixpoint).
+    pub runs: u64,
+}
+
+impl RefEngine {
+    pub fn new(prob: &CompiledProblem) -> Self {
+        RefEngine {
+            queue: VecDeque::with_capacity(prob.props.len()),
+            queued: vec![false; prob.props.len()],
+            log: ChangeLog::new(prob.layout.num_vars()),
+            scratch: Scratch::for_words(prob.layout.words_per_var()),
+            runs: 0,
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, p: u32) {
+        if !self.queued[p as usize] {
+            self.queued[p as usize] = true;
+            self.queue.push_back(p);
+        }
+    }
+
+    /// Pre-PR propagation: identical fixpoint, unfiltered rescheduling.
+    pub fn propagate(
+        &mut self,
+        prob: &CompiledProblem,
+        words: &mut [u64],
+        incumbent: i64,
+        seed: ScheduleSeed,
+    ) -> PropOutcome {
+        for &p in &self.queue {
+            self.queued[p as usize] = false;
+        }
+        self.queue.clear();
+        self.log.clear();
+        match seed {
+            ScheduleSeed::All => {
+                for p in 0..prob.props.len() as u32 {
+                    self.enqueue(p);
+                }
+            }
+            ScheduleSeed::Var(v) => {
+                for i in 0..prob.watchers[v].len() {
+                    self.enqueue(prob.watchers[v][i].prop);
+                }
+                if prob.objective.is_some() {
+                    self.enqueue(prob.props.len() as u32 - 1);
+                }
+            }
+        }
+        while let Some(p) = self.queue.pop_front() {
+            self.queued[p as usize] = false;
+            self.runs += 1;
+            let mut st = PropState::new(&prob.layout, words, &mut self.log, incumbent);
+            // Route `≠` through the frozen looping body; everything else is
+            // byte-for-byte the shared propagator code.
+            let res = match prob.props[p as usize] {
+                Propag::NeqOffset { x, y, c } => neq_offset_ref(&mut st, x, y, c),
+                ref prop => prop.run(&mut st, &mut self.scratch, &prob.objective),
+            };
+            if res.is_err() {
+                return PropOutcome::Failed;
+            }
+            let queue = &mut self.queue;
+            let queued = &mut self.queued;
+            // Wake-all: mask and assignment information discarded.
+            self.log.drain(|v, _mask, _assigned| {
+                for w in &prob.watchers[v] {
+                    if w.prop != p && !queued[w.prop as usize] {
+                        queued[w.prop as usize] = true;
+                        queue.push_back(w.prop);
+                    }
+                }
+            });
+        }
+        PropOutcome::Fixpoint
+    }
+}
+
+/// Pre-PR variable selection: per-variable cell slicing for both
+/// heuristics.
+fn choose_var_ref(b: &macs_engine::Brancher, layout: &StoreLayout, words: &[u64]) -> Option<VarId> {
+    match b.var {
+        VarSelect::InputOrder => {
+            (0..layout.num_vars()).find(|&v| !bits::is_singleton(&words[layout.var_range(v)]))
+        }
+        VarSelect::FirstFail => {
+            let mut best: Option<(u32, VarId)> = None;
+            for v in 0..layout.num_vars() {
+                let sz = bits::count(&words[layout.var_range(v)]);
+                if sz > 1 && best.map(|(b, _)| sz < b).unwrap_or(true) {
+                    best = Some((sz, v));
+                    if sz == 2 {
+                        break;
+                    }
+                }
+            }
+            best.map(|(_, v)| v)
+        }
+    }
+}
+
+/// Pre-PR splitting: collect the domain into a `Vec<Val>` and derive the
+/// children from the list (one heap allocation per split; two for the
+/// old `DomainSplit`+`Max` path).
+fn split_ref(
+    b: &macs_engine::Brancher,
+    prob: &CompiledProblem,
+    parent: &[u64],
+    scratch: &mut [u64],
+    mut emit: impl FnMut(&[u64]),
+    var: VarId,
+) -> usize {
+    let layout = &prob.layout;
+    let depth = (parent[0] & 0xffff_ffff) as u32 + 1;
+
+    let mut values: Vec<Val> = bits::iter(&parent[layout.var_range(var)]).collect();
+    if b.val == ValSelect::Max {
+        values.reverse();
+    }
+
+    match b.kind {
+        BranchKind::Eager => {
+            for &v in &values {
+                scratch.copy_from_slice(parent);
+                let mut c = StoreViewMut::new(layout, scratch);
+                bits::keep_only(c.dom_mut(var), v);
+                c.set_depth(depth);
+                c.set_branch_var(Some(var));
+                emit(scratch);
+            }
+            values.len()
+        }
+        BranchKind::Binary => {
+            let v = values[0];
+            scratch.copy_from_slice(parent);
+            let mut left = StoreViewMut::new(layout, scratch);
+            bits::keep_only(left.dom_mut(var), v);
+            left.set_depth(depth);
+            left.set_branch_var(Some(var));
+            emit(scratch);
+
+            scratch.copy_from_slice(parent);
+            let mut right = StoreViewMut::new(layout, scratch);
+            bits::remove(right.dom_mut(var), v);
+            right.set_depth(depth);
+            right.set_branch_var(Some(var));
+            emit(scratch);
+            2
+        }
+        BranchKind::DomainSplit => {
+            let mut asc = values;
+            if b.val == ValSelect::Max {
+                asc.reverse();
+            }
+            let mid = asc[(asc.len() - 1) / 2];
+
+            scratch.copy_from_slice(parent);
+            let mut lo = StoreViewMut::new(layout, scratch);
+            bits::remove_above(lo.dom_mut(var), mid);
+            lo.set_depth(depth);
+            lo.set_branch_var(Some(var));
+            let lo_first = b.val != ValSelect::Max;
+            if lo_first {
+                emit(scratch);
+                scratch.copy_from_slice(parent);
+                let mut hi = StoreViewMut::new(layout, scratch);
+                bits::remove_below(hi.dom_mut(var), mid + 1);
+                hi.set_depth(depth);
+                hi.set_branch_var(Some(var));
+                emit(scratch);
+            } else {
+                let mut hi_buf = parent.to_vec();
+                let mut hi = StoreViewMut::new(layout, &mut hi_buf);
+                bits::remove_below(hi.dom_mut(var), mid + 1);
+                hi.set_depth(depth);
+                hi.set_branch_var(Some(var));
+                emit(&hi_buf);
+                emit(scratch);
+            }
+            2
+        }
+    }
+}
+
+/// What one reference step did (mirrors
+/// [`macs_search::StepOutcome`] without the solution payload —
+/// `perf_record` only counts).
+pub enum RefStep {
+    Failed,
+    /// Complete assignment; its cost (if optimising) was offered to the
+    /// incumbent. `true` iff it improved (or the problem is satisfaction).
+    Solution(bool),
+    Children(usize),
+}
+
+/// The pre-PR node kernel: arena-backed like the optimised one, but with
+/// the allocation-heavy seed/choose/split behaviours and [`RefEngine`].
+pub struct RefKernel<'a> {
+    prob: &'a CompiledProblem,
+    engine: RefEngine,
+    scratch: Vec<u64>,
+    children: Vec<WorkItem>,
+    slab: StoreSlab,
+    /// Pre-PR phase timers: unconditional, stamped on every node.
+    timers: KernelTimers,
+}
+
+impl<'a> RefKernel<'a> {
+    pub fn new(prob: &'a CompiledProblem) -> Self {
+        let words = prob.layout.store_words();
+        RefKernel {
+            prob,
+            engine: RefEngine::new(prob),
+            scratch: vec![0u64; words],
+            children: Vec::new(),
+            slab: StoreSlab::new(words),
+            timers: KernelTimers::default(),
+        }
+    }
+
+    /// Accumulated phase timers, resetting them (pre-PR API).
+    pub fn take_timers(&mut self) -> KernelTimers {
+        std::mem::take(&mut self.timers)
+    }
+
+    pub fn alloc_root(&mut self) -> WorkItem {
+        let root = self.prob.root.as_words().to_vec();
+        self.slab.alloc_copy(&root)
+    }
+
+    pub fn prop_runs(&self) -> u64 {
+        self.engine.runs
+    }
+
+    #[inline]
+    pub fn recycle(&mut self, buf: WorkItem) {
+        self.slab.recycle(buf);
+    }
+
+    pub fn step<I: IncumbentSource + ?Sized>(&mut self, buf: &mut [u64], inc: &I) -> RefStep {
+        let prob = self.prob;
+        let layout = &prob.layout;
+        let bound = if prob.objective.is_some() {
+            inc.bound()
+        } else {
+            i64::MAX
+        };
+        // Pre-PR seed read: reconstitute the store to inspect one header
+        // word.
+        let seed = match Store::from_words(layout, buf).branch_var() {
+            Some(v) => ScheduleSeed::Var(v),
+            None => ScheduleSeed::All,
+        };
+        let t0 = Instant::now();
+        let failed = self.engine.propagate(prob, buf, bound, seed) == PropOutcome::Failed;
+        self.timers.propagate += t0.elapsed();
+        if failed {
+            return RefStep::Failed;
+        }
+        let t0 = Instant::now();
+        let Some(var) = choose_var_ref(&prob.brancher, layout, buf) else {
+            self.timers.split += t0.elapsed();
+            let view = StoreView::new(layout, buf);
+            let improved = match prob.objective.cost(view) {
+                Some(c) => inc.offer(c),
+                None => true,
+            };
+            return RefStep::Solution(improved);
+        };
+        let slab = &mut self.slab;
+        let children = &mut self.children;
+        let n = split_ref(
+            &prob.brancher,
+            prob,
+            buf,
+            &mut self.scratch,
+            |c| children.push(slab.alloc_copy(c)),
+            var,
+        );
+        for c in children.iter_mut() {
+            c[1] = bound as u64;
+        }
+        self.timers.split += t0.elapsed();
+        RefStep::Children(n)
+    }
+
+    /// Move the staged children onto the back of a LIFO work queue in
+    /// reverse exploration order (pop order = exploration order).
+    pub fn push_children(&mut self, stack: &mut VecDeque<WorkItem>) {
+        while let Some(c) = self.children.pop() {
+            stack.push_back(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_problems::{queens, QueensModel};
+    use macs_search::{NoBound, SearchKernel, StepOutcome};
+
+    /// The reference kernel and the optimised kernel must walk the same
+    /// tree: same node count, same solution count, node for node.
+    #[test]
+    fn reference_walks_the_same_tree_as_the_optimised_kernel() {
+        let prob = queens(8, QueensModel::Pairwise);
+
+        let mut refk = RefKernel::new(&prob);
+        let mut stack: VecDeque<WorkItem> = VecDeque::new();
+        let root = refk.alloc_root();
+        stack.push_back(root);
+        let (mut ref_nodes, mut ref_sols) = (0u64, 0u64);
+        while let Some(mut store) = stack.pop_back() {
+            ref_nodes += 1;
+            match refk.step(&mut store, &NoBound) {
+                RefStep::Failed => {}
+                RefStep::Solution(_) => ref_sols += 1,
+                RefStep::Children(_) => refk.push_children(&mut stack),
+            }
+            refk.recycle(store);
+        }
+
+        let mut kernel = SearchKernel::new(&prob);
+        let mut stack: VecDeque<WorkItem> = VecDeque::new();
+        let root = kernel.alloc_root();
+        stack.push_back(root);
+        let (mut nodes, mut sols) = (0u64, 0u64);
+        while let Some(mut store) = stack.pop_back() {
+            nodes += 1;
+            match kernel.step(&mut store, &NoBound) {
+                StepOutcome::Failed => {}
+                StepOutcome::Solution(_) => sols += 1,
+                StepOutcome::Children(_) => kernel.push_children(&mut stack),
+            }
+            kernel.recycle(store);
+        }
+
+        assert_eq!(ref_sols, 92, "queens-8");
+        assert_eq!((ref_nodes, ref_sols), (nodes, sols));
+        // The whole point: the filtered engine reaches the same fixpoints
+        // with strictly fewer propagator executions.
+        assert!(
+            kernel.prop_runs() < refk.prop_runs(),
+            "filtered runs {} must undercut wake-all runs {}",
+            kernel.prop_runs(),
+            refk.prop_runs()
+        );
+    }
+}

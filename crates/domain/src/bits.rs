@@ -217,29 +217,81 @@ pub fn remove_above(dom: &mut [u64], v: Val) -> bool {
 /// Intersect `dom` with `other`; returns `true` if `dom` changed.
 #[inline]
 pub fn intersect(dom: &mut [u64], other: &[u64]) -> bool {
-    let mut changed = false;
-    for (d, &o) in dom.iter_mut().zip(other) {
-        let new = *d & o;
-        if new != *d {
-            changed = true;
-            *d = new;
-        }
-    }
-    changed
+    intersect_masked(dom, other) != 0
 }
 
 /// Remove from `dom` every value in `other`; returns `true` if it changed.
 #[inline]
 pub fn subtract(dom: &mut [u64], other: &[u64]) -> bool {
-    let mut changed = false;
-    for (d, &o) in dom.iter_mut().zip(other) {
-        let new = *d & !o;
+    subtract_masked(dom, other) != 0
+}
+
+/// The bit marking word `w` in a changed-words mask. Words past 63 share
+/// bit 63, so the mask over-approximates for very wide cells (> 4096
+/// values) — sound for wake filtering, which only skips on a zero overlap.
+#[inline]
+pub const fn word_bit(w: usize) -> u64 {
+    1u64 << if w < 63 { w } else { 63 }
+}
+
+/// Mask with one bit per word of an `n`-word cell (saturating at 64).
+#[inline]
+pub const fn all_words_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Intersect `dom` with `other`, skipping the write on unchanged words;
+/// returns the changed-words mask ([`word_bit`] per modified word, 0 = no
+/// change).
+#[inline]
+pub fn intersect_masked(dom: &mut [u64], other: &[u64]) -> u64 {
+    let mut mask = 0u64;
+    for (i, (d, &o)) in dom.iter_mut().zip(other).enumerate() {
+        let new = *d & o;
         if new != *d {
-            changed = true;
+            mask |= word_bit(i);
             *d = new;
         }
     }
-    changed
+    mask
+}
+
+/// Remove from `dom` every value in `other`, skipping the write on
+/// unchanged words; returns the changed-words mask.
+#[inline]
+pub fn subtract_masked(dom: &mut [u64], other: &[u64]) -> u64 {
+    let mut mask = 0u64;
+    for (i, (d, &o)) in dom.iter_mut().zip(other).enumerate() {
+        let new = *d & !o;
+        if new != *d {
+            mask |= word_bit(i);
+            *d = new;
+        }
+    }
+    mask
+}
+
+/// The `k`-th smallest value (0-based), if the domain has more than `k`
+/// values. Word-parallel: whole words are skipped by popcount before the
+/// final word is scanned bit by bit.
+pub fn nth(dom: &[u64], mut k: u32) -> Option<Val> {
+    for (i, &w) in dom.iter().enumerate() {
+        let c = w.count_ones();
+        if k < c {
+            // Select the k-th set bit of w by clearing the k lowest.
+            let mut w = w;
+            for _ in 0..k {
+                w &= w - 1;
+            }
+            return Some((i * 64 + w.trailing_zeros() as usize) as Val);
+        }
+        k -= c;
+    }
+    None
 }
 
 /// Write into `dst` the set `{ v + shift | v ∈ src }` (left shift of the
@@ -319,6 +371,49 @@ impl Iterator for Iter<'_> {
 #[inline]
 pub fn iter(dom: &[u64]) -> Iter<'_> {
     Iter::new(dom)
+}
+
+/// Iterator over the values of a domain, descending.
+pub struct RevIter<'a> {
+    dom: &'a [u64],
+    /// Word index + 1 of `cur` (0 = exhausted).
+    word1: usize,
+    cur: u64,
+}
+
+impl<'a> RevIter<'a> {
+    #[inline]
+    pub fn new(dom: &'a [u64]) -> Self {
+        let word1 = dom.len();
+        let cur = if word1 == 0 { 0 } else { dom[word1 - 1] };
+        RevIter { dom, word1, cur }
+    }
+}
+
+impl Iterator for RevIter<'_> {
+    type Item = Val;
+
+    #[inline]
+    fn next(&mut self) -> Option<Val> {
+        loop {
+            if self.cur != 0 {
+                let b = 63 - self.cur.leading_zeros();
+                self.cur &= !(1u64 << b);
+                return Some(((self.word1 - 1) * 64) as Val + b);
+            }
+            if self.word1 <= 1 {
+                return None;
+            }
+            self.word1 -= 1;
+            self.cur = self.dom[self.word1 - 1];
+        }
+    }
+}
+
+/// Convenience: iterate the values of a domain, descending.
+#[inline]
+pub fn iter_rev(dom: &[u64]) -> RevIter<'_> {
+    RevIter::new(dom)
 }
 
 #[cfg(test)]
@@ -455,5 +550,46 @@ mod tests {
         let d = from_vals(190, &[190, 0, 64, 63, 127, 128]);
         let got: Vec<Val> = iter(&d).collect();
         assert_eq!(got, vec![0, 63, 64, 127, 128, 190]);
+    }
+
+    #[test]
+    fn rev_iterator_yields_descending() {
+        let d = from_vals(190, &[190, 0, 64, 63, 127, 128]);
+        let got: Vec<Val> = iter_rev(&d).collect();
+        assert_eq!(got, vec![190, 128, 127, 64, 63, 0]);
+        let empty = from_vals(190, &[]);
+        assert_eq!(iter_rev(&empty).next(), None);
+    }
+
+    #[test]
+    fn nth_selects_by_rank() {
+        let d = from_vals(200, &[3, 64, 65, 130, 199]);
+        assert_eq!(nth(&d, 0), Some(3));
+        assert_eq!(nth(&d, 2), Some(65));
+        assert_eq!(nth(&d, 4), Some(199));
+        assert_eq!(nth(&d, 5), None);
+    }
+
+    #[test]
+    fn masked_set_ops_report_changed_words() {
+        let mut a = from_vals(130, &[1, 64, 129]);
+        let b = from_vals(130, &[1, 64, 100]);
+        // Only word 2 (value 129) changes under intersection with b.
+        assert_eq!(intersect_masked(&mut a, &b), word_bit(2));
+        assert_eq!(intersect_masked(&mut a, &b), 0, "idempotent");
+        let mut c = from_vals(130, &[1, 64]);
+        assert_eq!(subtract_masked(&mut c, &b), word_bit(0) | word_bit(1));
+        assert!(is_empty(&c));
+    }
+
+    #[test]
+    fn word_bit_saturates() {
+        assert_eq!(word_bit(0), 1);
+        assert_eq!(word_bit(63), 1 << 63);
+        assert_eq!(word_bit(200), 1 << 63);
+        assert_eq!(all_words_mask(1), 1);
+        assert_eq!(all_words_mask(3), 0b111);
+        assert_eq!(all_words_mask(64), u64::MAX);
+        assert_eq!(all_words_mask(100), u64::MAX);
     }
 }

@@ -90,6 +90,17 @@ impl StoreLayout {
         let o = self.var_offset(v);
         o..o + self.words_per_var
     }
+
+    /// Word range of the whole cell region (every domain, no header).
+    ///
+    /// The cells are laid out variable-major in one contiguous slab, so
+    /// word-parallel passes (first-fail scans, assignment counting) can
+    /// walk this range linearly instead of slicing per variable — the
+    /// cache-friendly access pattern the store representation exists for.
+    #[inline]
+    pub fn cells_range(&self) -> core::ops::Range<usize> {
+        HEADER_WORDS..self.store_words()
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ pub mod layout;
 pub mod store;
 
 pub use layout::{StoreLayout, HEADER_WORDS};
-pub use store::{Store, StoreView, StoreViewMut};
+pub use store::{branch_var_of, Store, StoreView, StoreViewMut};
 
 /// Identifier of a decision variable (index into the store's cells).
 pub type VarId = usize;

@@ -5,6 +5,20 @@ use crate::{bits, StoreLayout, Val, VarId};
 /// Objective bound stored in satisfaction stores ("no bound yet").
 pub const NO_BOUND: i64 = i64::MAX;
 
+/// Branch variable recorded in a raw store header (word 0, high 32 bits;
+/// 0 = none). Reads the header straight from a pool slot or work buffer —
+/// the hot search loop uses this instead of reconstituting a [`Store`]
+/// (which would heap-copy every word just to inspect one).
+#[inline]
+pub fn branch_var_of(words: &[u64]) -> Option<VarId> {
+    let hi = (words[0] >> 32) as u32;
+    if hi == 0 {
+        None
+    } else {
+        Some(hi as usize - 1)
+    }
+}
+
 /// A store holds the complete solver state of one search-tree node: the
 /// domain of every variable plus a small header (depth, last branch
 /// variable, objective bound at creation).

@@ -65,12 +65,28 @@ impl Brancher {
             }
             VarSelect::FirstFail => {
                 let mut best: Option<(u32, VarId)> = None;
-                for v in 0..layout.num_vars() {
-                    let sz = bits::count(&words[layout.var_range(v)]);
-                    if sz > 1 && best.map(|(b, _)| sz < b).unwrap_or(true) {
-                        best = Some((sz, v));
-                        if sz == 2 {
-                            break; // cannot do better than a binary domain
+                if layout.words_per_var() == 1 {
+                    // One word per cell: scan the contiguous cell slab as a
+                    // flat `[u64]` (no per-variable range arithmetic) — the
+                    // word-parallel pass the variable-major layout exists
+                    // for.
+                    for (v, &w) in words[layout.cells_range()].iter().enumerate() {
+                        let sz = w.count_ones();
+                        if sz > 1 && best.map(|(b, _)| sz < b).unwrap_or(true) {
+                            best = Some((sz, v));
+                            if sz == 2 {
+                                break; // cannot do better than a binary domain
+                            }
+                        }
+                    }
+                } else {
+                    for v in 0..layout.num_vars() {
+                        let sz = bits::count(&words[layout.var_range(v)]);
+                        if sz > 1 && best.map(|(b, _)| sz < b).unwrap_or(true) {
+                            best = Some((sz, v));
+                            if sz == 2 {
+                                break; // cannot do better than a binary domain
+                            }
                         }
                     }
                 }
@@ -97,27 +113,37 @@ impl Brancher {
         debug_assert_eq!(parent.len(), layout.store_words());
         debug_assert_eq!(scratch.len(), layout.store_words());
         let depth = (parent[0] & 0xffff_ffff) as u32 + 1;
-
-        let mut values: Vec<Val> = bits::iter(&parent[layout.var_range(var)]).collect();
-        debug_assert!(values.len() > 1, "splitting a singleton domain");
-        if self.val == ValSelect::Max {
-            values.reverse();
-        }
+        // The children are derived straight from the parent's cell with the
+        // bitmap iterators/rank-select — no value list is materialised
+        // (splitting runs once per search-tree node; a heap allocation here
+        // dominated small-store split cost).
+        let dom = &parent[layout.var_range(var)];
+        debug_assert!(bits::count(dom) > 1, "splitting a singleton domain");
 
         match self.kind {
             BranchKind::Eager => {
-                for &v in &values {
+                let mut n = 0usize;
+                let mut emit_child = |v: Val| {
                     scratch.copy_from_slice(parent);
                     let mut c = StoreViewMut::new(layout, scratch);
                     bits::keep_only(c.dom_mut(var), v);
                     c.set_depth(depth);
                     c.set_branch_var(Some(var));
                     emit(scratch);
+                    n += 1;
+                };
+                match self.val {
+                    ValSelect::Min => bits::iter(dom).for_each(&mut emit_child),
+                    ValSelect::Max => bits::iter_rev(dom).for_each(&mut emit_child),
                 }
-                values.len()
+                n
             }
             BranchKind::Binary => {
-                let v = values[0];
+                let v = match self.val {
+                    ValSelect::Min => bits::min(dom),
+                    ValSelect::Max => bits::max(dom),
+                }
+                .expect("non-empty domain");
                 scratch.copy_from_slice(parent);
                 let mut left = StoreViewMut::new(layout, scratch);
                 bits::keep_only(left.dom_mut(var), v);
@@ -134,37 +160,26 @@ impl Brancher {
                 2
             }
             BranchKind::DomainSplit => {
-                // Median split on the (ascending) value list.
-                let mut asc = values;
-                if self.val == ValSelect::Max {
-                    asc.reverse();
-                }
-                let mid = asc[(asc.len() - 1) / 2];
-
-                scratch.copy_from_slice(parent);
-                let mut lo = StoreViewMut::new(layout, scratch);
-                bits::remove_above(lo.dom_mut(var), mid);
-                lo.set_depth(depth);
-                lo.set_branch_var(Some(var));
-                let lo_first = self.val != ValSelect::Max;
-                if lo_first {
-                    emit(scratch);
-                }
-                if !lo_first {
-                    // Defer the low half: emit the high half first.
-                    let mut hi_buf = parent.to_vec();
-                    let mut hi = StoreViewMut::new(layout, &mut hi_buf);
-                    bits::remove_below(hi.dom_mut(var), mid + 1);
-                    hi.set_depth(depth);
-                    hi.set_branch_var(Some(var));
-                    emit(&hi_buf);
-                    emit(scratch);
+                // Median split: the median is selected by rank directly on
+                // the bitmap.
+                let size = bits::count(dom);
+                let mid = bits::nth(dom, (size - 1) / 2).expect("non-empty domain");
+                // Min order explores the low half first, Max the high half.
+                let halves = if self.val == ValSelect::Max {
+                    [false, true]
                 } else {
+                    [true, false]
+                };
+                for low in halves {
                     scratch.copy_from_slice(parent);
-                    let mut hi = StoreViewMut::new(layout, scratch);
-                    bits::remove_below(hi.dom_mut(var), mid + 1);
-                    hi.set_depth(depth);
-                    hi.set_branch_var(Some(var));
+                    let mut c = StoreViewMut::new(layout, scratch);
+                    if low {
+                        bits::remove_above(c.dom_mut(var), mid);
+                    } else {
+                        bits::remove_below(c.dom_mut(var), mid + 1);
+                    }
+                    c.set_depth(depth);
+                    c.set_branch_var(Some(var));
                     emit(scratch);
                 }
                 2

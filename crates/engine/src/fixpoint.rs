@@ -46,10 +46,17 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(prob: &CompiledProblem) -> Self {
+        // min/max scan hints only pay off on multi-word cells; a one-word
+        // cell is read in a single load anyway.
+        let log = if prob.layout.words_per_var() > 1 {
+            ChangeLog::with_hints(prob.layout.num_vars())
+        } else {
+            ChangeLog::new(prob.layout.num_vars())
+        };
         Engine {
             queue: VecDeque::with_capacity(prob.props.len()),
             queued: vec![false; prob.props.len()],
-            log: ChangeLog::new(prob.layout.num_vars()),
+            log,
             scratch: Scratch::for_words(prob.layout.words_per_var()),
             runs: 0,
         }
@@ -68,7 +75,9 @@ impl Engine {
             self.queued[p as usize] = false;
         }
         self.queue.clear();
-        self.log.clear();
+        // A new round also invalidates all min/max scan hints: `words` is a
+        // different store than last time.
+        self.log.begin_round();
     }
 
     /// Propagate `words` (a store of `prob`'s layout) to fixpoint.
@@ -93,8 +102,11 @@ impl Engine {
                 }
             }
             ScheduleSeed::Var(v) => {
+                // Seeding ignores wake filters: the branching decision that
+                // pruned `v` happened outside any propagation round, so no
+                // mask/assignment information is available for it.
                 for i in 0..prob.watchers[v].len() {
-                    self.enqueue(prob.watchers[v][i]);
+                    self.enqueue(prob.watchers[v][i].prop);
                 }
                 // The incumbent may have moved since this store was created:
                 // always re-run the objective pruner (it is the last
@@ -113,15 +125,23 @@ impl Engine {
             if res.is_err() {
                 return PropOutcome::Failed;
             }
-            // Schedule watchers of every variable the run pruned; the
-            // running propagator itself is exempt (local-fixpoint contract).
+            // Schedule watchers of every variable the run pruned, filtered
+            // by each watch's wake conditions: the running propagator itself
+            // is exempt (local-fixpoint contract), assignment-only watchers
+            // wake only when the domain collapsed to a singleton, and the
+            // changed-words mask must intersect the words the watcher cares
+            // about.
             let queue = &mut self.queue;
             let queued = &mut self.queued;
-            self.log.drain(|v| {
-                for &w in &prob.watchers[v] {
-                    if w != p && !queued[w as usize] {
-                        queued[w as usize] = true;
-                        queue.push_back(w);
+            self.log.drain(|v, mask, assigned| {
+                for w in &prob.watchers[v] {
+                    if w.prop != p
+                        && (assigned || !w.on_assign_only)
+                        && (w.mask & mask) != 0
+                        && !queued[w.prop as usize]
+                    {
+                        queued[w.prop as usize] = true;
+                        queue.push_back(w.prop);
                     }
                 }
             });

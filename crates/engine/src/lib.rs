@@ -31,8 +31,8 @@ pub mod state;
 pub use branch::{BranchKind, Brancher, ValSelect, VarSelect};
 pub use fixpoint::{Engine, PropOutcome, ScheduleSeed};
 pub use mode::SearchMode;
-pub use model::{CompiledProblem, CostEval, Model, Objective};
+pub use model::{CompiledProblem, CostEval, Model, Objective, Watch};
 pub use propag::{CustomPropagator, Propag};
-pub use state::{Failed, PropState};
+pub use state::{ChangeLog, Failed, PropState};
 
 pub use macs_domain::{bits, Store, StoreLayout, StoreView, Val, VarId, HEADER_WORDS};

@@ -14,6 +14,20 @@ use crate::branch::Brancher;
 use crate::propag::Propag;
 use crate::state::{Failed, PropState};
 
+/// One entry of a variable's watcher list: which propagator to wake, and
+/// under what conditions. `mask` is a changed-words filter over the
+/// variable's bitmap cell ([`bits::word_bit`] indexing): the
+/// propagator is scheduled only when a word it cares about
+/// changed. `on_assign_only` restricts the wake further to prunings that
+/// collapsed the domain to a singleton (see
+/// [`Propag::wake_filter`](crate::propag::Propag::wake_filter)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watch {
+    pub prop: u32,
+    pub mask: u64,
+    pub on_assign_only: bool,
+}
+
 /// Problem-specific objective evaluation for branch & bound when the cost is
 /// not a single decision variable (e.g. the QAP's quadratic objective).
 pub trait CostEval: Send + Sync + std::fmt::Debug {
@@ -180,11 +194,16 @@ impl Model {
 
         let mut watchers = vec![Vec::new(); layout.num_vars()];
         for (i, p) in self.props.iter().enumerate() {
+            let (mask, on_assign_only) = p.wake_filter(layout.words_per_var());
             let mut ws = p.watched(&self.objective);
             ws.sort_unstable();
             ws.dedup();
             for v in ws {
-                watchers[v].push(i as u32);
+                watchers[v].push(Watch {
+                    prop: i as u32,
+                    mask,
+                    on_assign_only,
+                });
             }
         }
 
@@ -206,8 +225,9 @@ pub struct CompiledProblem {
     pub name: String,
     pub layout: StoreLayout,
     pub props: Vec<Propag>,
-    /// `watchers[v]` = ids of propagators to reschedule when `v` is pruned.
-    pub watchers: Vec<Vec<u32>>,
+    /// `watchers[v]` = propagators to reschedule when `v` is pruned, each
+    /// with its wake filter (changed-words mask, assignment-only flag).
+    pub watchers: Vec<Vec<Watch>>,
     pub objective: Objective,
     pub brancher: Brancher,
     /// The root store (initial domains applied, not yet propagated).
@@ -272,7 +292,14 @@ mod tests {
             k: 3,
         });
         let p = m.compile();
-        assert_eq!(p.watchers[x], vec![0]);
+        assert_eq!(
+            p.watchers[x],
+            vec![Watch {
+                prop: 0,
+                mask: bits::all_words_mask(p.layout.words_per_var()),
+                on_assign_only: false,
+            }]
+        );
     }
 
     #[test]

@@ -94,6 +94,28 @@ impl Propag {
         }
     }
 
+    /// Wake-filtering metadata for this propagator's watches: the mask of
+    /// bitmap words whose change can make re-running it productive (w.r.t.
+    /// [`bits::word_bit`] indexing), and whether it only ever prunes in
+    /// response to a variable *becoming assigned*.
+    ///
+    /// `on_assign_only` is exact for [`Propag::NeqOffset`] and
+    /// [`Propag::AllDiffVal`]: both prune solely from singleton domains, so
+    /// a shrink that leaves a domain non-singleton cannot enable pruning
+    /// that was not already applied when an earlier singleton appeared
+    /// (stores entering propagation are at fixpoint w.r.t. their ancestors
+    /// — the same invariant `ScheduleSeed::Var` relies on). `NeqConst`
+    /// cares only about the word holding its forbidden value. Everything
+    /// else is woken on any change.
+    pub fn wake_filter(&self, words_per_var: usize) -> (u64, bool) {
+        let all = bits::all_words_mask(words_per_var);
+        match self {
+            Propag::NeqOffset { .. } | Propag::AllDiffVal { .. } => (all, true),
+            Propag::NeqConst { v, .. } => (bits::word_bit(*v as usize / 64), false),
+            _ => (all, false),
+        }
+    }
+
     /// Run the propagator to a local fixpoint.
     pub fn run(
         &self,
@@ -149,24 +171,31 @@ impl Propag {
 // ----- individual propagators ----------------------------------------------
 
 fn neq_offset(st: &mut PropState<'_>, x: VarId, y: VarId, c: i64) -> Result<(), Failed> {
-    loop {
-        let mut changed = false;
-        if let Some(vy) = st.value(y) {
-            let forbidden = vy as i64 + c;
-            if (0..=st.layout().max_value() as i64).contains(&forbidden) {
-                changed |= st.remove(x, forbidden as Val)?;
-            }
+    // One directed pass reaches the local fixpoint. If y is assigned,
+    // removing `vy + c` from x is all the pruning x ≠ y + c admits: should
+    // x *become* a singleton {vx} by that removal, the reverse direction
+    // would remove `vx − c` from the singleton {vy} — but `vx − c = vy`
+    // would mean `vx = vy + c`, the very value just removed from x, so the
+    // reverse pass is always a no-op (and a wipe-out of x already
+    // surfaced as `Err`). Symmetrically when only x is assigned. The old
+    // implementation looped until a verification pass saw no change,
+    // costing two extra singleton reads per run on the solver's most
+    // frequent propagator.
+    let max = st.layout().max_value() as i64;
+    if let Some(vy) = st.value(y) {
+        let forbidden = vy as i64 + c;
+        if (0..=max).contains(&forbidden) {
+            st.remove(x, forbidden as Val)?;
         }
-        if let Some(vx) = st.value(x) {
-            let forbidden = vx as i64 - c;
-            if (0..=st.layout().max_value() as i64).contains(&forbidden) {
-                changed |= st.remove(y, forbidden as Val)?;
-            }
-        }
-        if !changed {
-            return Ok(());
+        return Ok(());
+    }
+    if let Some(vx) = st.value(x) {
+        let forbidden = vx as i64 - c;
+        if (0..=max).contains(&forbidden) {
+            st.remove(y, forbidden as Val)?;
         }
     }
+    Ok(())
 }
 
 fn eq_offset(

@@ -6,7 +6,7 @@
 //! solution counts / optima), and (b) the T(1) baseline for speed-up and
 //! efficiency figures.
 
-use macs_domain::{Store, StoreView, Val};
+use macs_domain::{branch_var_of, StoreView, Val};
 
 use crate::fixpoint::{Engine, PropOutcome, ScheduleSeed};
 use crate::mode::SearchMode;
@@ -95,7 +95,7 @@ pub fn solve_seq(prob: &CompiledProblem, opts: &SeqOptions) -> SeqResult {
             }
         }
 
-        let seed = match Store::from_words(layout, &store).branch_var() {
+        let seed = match branch_var_of(&store) {
             Some(v) => ScheduleSeed::Var(v),
             None => ScheduleSeed::All,
         };

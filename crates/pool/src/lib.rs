@@ -15,8 +15,7 @@
 //! * the **private region** `[split, head)` is manipulated *only by the
 //!   owner*, so push/pop touch nothing but the head pointer — "without
 //!   mutual exclusion or conditional statements", as the paper puts it;
-//! * the **shared region** `[tail, split)` is visible to thieves; every
-//!   update of `split` or `tail` happens under the pool's lock;
+//! * the **shared region** `[tail, split)` is visible to thieves;
 //! * **release** moves `split` towards `head` (sharing the oldest private
 //!   work), **reacquire** moves it back towards `tail`, and a **steal**
 //!   advances `tail` (taking the oldest shared work — the largest
@@ -27,17 +26,39 @@
 //!   write stolen work **in place, directly to the head of the thief's
 //!   pool** — the paper's zero-copy response.
 //!
+//! # Lock-freedom
+//!
+//! The pool is lock-free: there is no mutex anywhere on it. `tail` and
+//! `split` are packed into **one** 64-bit word (`tail` low, `split` high),
+//! so every mutation of a shared-region boundary — release, reacquire,
+//! steal — is a single compare-and-swap on that word and the
+//! reacquire-vs-steal race (both shrinking the shared region from opposite
+//! ends) cannot double-grant a slot: whichever CAS lands second observes a
+//! changed word and retries. The owner's push/pop path touches only `head`
+//! (plain load + release store; no CAS, no fences beyond the store) —
+//! matching the paper's "no mutual exclusion" owner path. A thief copies
+//! the candidate slots into a private buffer *before* its CAS and delivers
+//! them only on success: once `tail` has moved past a slot the owner may
+//! reuse it, so reading after the claim would race the owner's next push.
+//! The full happens-before argument is spelled out in ARCHITECTURE.md.
+//!
+//! Positions are monotone and must stay below `2^32` over a pool's
+//! lifetime (4.3 G items per worker pool per run) so that the packed
+//! halves never wrap; `push` carries a debug assertion.
+//!
 //! The slots and metadata live in a [`Segment`], i.e. in simulated GPI
 //! global memory; all remote accesses go through the [`Interconnect`] cost
 //! model.
 
 use macs_gpi::{Interconnect, Segment};
-use std::sync::{Mutex, MutexGuard};
+
+mod locked;
+pub use locked::LockedPool;
 
 /// Metadata word offsets inside the pool segment.
 const META_HEAD: usize = 0;
-const META_SPLIT: usize = 1;
-const META_TAIL: usize = 2;
+/// Packed `tail` (low 32 bits) | `split` (high 32 bits).
+const META_TS: usize = 1;
 const META_REQ: usize = 3;
 const META_RESP: usize = 4;
 /// First slot word.
@@ -47,6 +68,16 @@ const META_WORDS: usize = 8;
 pub const RESP_PENDING: u64 = 0;
 /// `RESP` value meaning "steal failed, no work".
 pub const RESP_FAIL: u64 = u64::MAX;
+
+#[inline]
+const fn pack(tail: u64, split: u64) -> u64 {
+    tail | (split << 32)
+}
+
+#[inline]
+const fn unpack(ts: u64) -> (u64, u64) {
+    (ts & 0xffff_ffff, ts >> 32)
+}
 
 /// A snapshot of a pool's pointers and request word.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -79,11 +110,10 @@ impl PoolMeta {
     }
 }
 
-/// The split private/shared work pool of one worker.
+/// The split private/shared work pool of one worker (lock-free).
 #[derive(Debug)]
 pub struct SplitPool {
     seg: Segment,
-    lock: Mutex<()>,
     capacity: u64,
     mask: u64,
     slot_words: usize,
@@ -95,10 +125,13 @@ impl SplitPool {
     pub fn new(capacity: usize, slot_words: usize) -> Self {
         assert!(capacity > 0 && slot_words > 0);
         let capacity = capacity.next_power_of_two() as u64;
+        assert!(
+            capacity < u32::MAX as u64,
+            "capacity must fit the packed positions"
+        );
         let seg = Segment::new(META_WORDS + capacity as usize * slot_words);
         SplitPool {
             seg,
-            lock: Mutex::new(()),
             capacity,
             mask: capacity - 1,
             slot_words,
@@ -127,24 +160,24 @@ impl SplitPool {
         self.seg.load_notify(META_HEAD)
     }
 
+    /// Acquire-load of the packed `(tail, split)` word: a matching
+    /// release-CAS (the owner's `release`) publishes the slot contents of
+    /// everything it shared.
     #[inline]
-    fn split(&self) -> u64 {
-        self.seg.load_notify(META_SPLIT)
+    fn ts(&self) -> (u64, u64) {
+        unpack(self.seg.load_notify(META_TS))
     }
 
-    #[inline]
-    fn tail(&self) -> u64 {
-        self.seg.load_notify(META_TAIL)
-    }
-
-    /// Snapshot the pool pointers (local shared-memory read; not atomic as
-    /// a group — callers use it for heuristics, and re-validate under the
-    /// lock for correctness-critical decisions).
+    /// Snapshot the pool pointers (local shared-memory read; `tail`/`split`
+    /// are mutually consistent because they live in one word, `head` may be
+    /// momentarily newer — callers use the snapshot for heuristics and the
+    /// CAS protocol re-validates for correctness-critical decisions).
     pub fn meta(&self) -> PoolMeta {
+        let (tail, split) = self.ts();
         PoolMeta {
             head: self.head(),
-            split: self.split(),
-            tail: self.tail(),
+            split,
+            tail,
             req: self.seg.load_notify(META_REQ),
         }
     }
@@ -160,8 +193,8 @@ impl SplitPool {
     /// Number of stealable items (cheap, may be momentarily stale).
     #[inline]
     pub fn shared_len(&self) -> u64 {
-        let m = self.meta();
-        m.split.saturating_sub(m.tail)
+        let (tail, split) = self.ts();
+        split - tail
     }
 
     /// Number of owner-private items.
@@ -183,30 +216,37 @@ impl SplitPool {
         self.len() == 0
     }
 
-    // ----- owner operations (lock-free) --------------------------------------
+    // ----- owner operations (no CAS, no lock) --------------------------------
 
     /// Push one item at the head (owner only). Returns `false` if the ring
     /// is full; the caller keeps the item (the runtime spills to a local
     /// overflow stack).
+    ///
+    /// A momentarily stale `tail` is conservative (`≤` the true tail), so
+    /// the capacity check can refuse a push that would have fit but never
+    /// admits one that would overwrite an unstolen slot.
     pub fn push(&self, item: &[u64]) -> bool {
         debug_assert_eq!(item.len(), self.slot_words);
         let head = self.head();
-        let tail = self.tail(); // stale tail is conservative (≤ actual)
+        debug_assert!(head < u32::MAX as u64, "pool position budget exhausted");
+        let (tail, _) = self.ts();
         if head - tail >= self.capacity {
             return false;
         }
         self.seg.write_local(self.slot_off(head), item);
         // Publishing through head is enough for the owner; thieves only see
-        // items after `release` publishes `split`.
+        // items after `release` publishes them through the packed word.
         self.seg.store_notify(META_HEAD, head + 1);
         true
     }
 
-    /// Pop the newest private item into `dst` (owner only, lock-free).
+    /// Pop the newest private item into `dst` (owner only, CAS-free:
+    /// `split` is written only by the owner itself, so the private region
+    /// cannot shrink under it).
     pub fn pop_private(&self, dst: &mut [u64]) -> bool {
         debug_assert_eq!(dst.len(), self.slot_words);
         let head = self.head();
-        let split = self.split(); // split is written only by the owner
+        let (_, split) = self.ts();
         if head == split {
             return false;
         }
@@ -215,70 +255,94 @@ impl SplitPool {
         true
     }
 
-    // ----- split management (owner, locked) -----------------------------------
+    // ----- split management (owner, CAS) -----------------------------------
 
     /// Share up to `k` of the oldest private items: move `split` towards
     /// `head`. Returns how many items became shared. This is the paper's
     /// *release* operation, whose frequency ("work release interval") is
     /// the main tuning knob behind the MaCS(best) results.
+    ///
+    /// The release-ordered CAS publishes the slot contents written by the
+    /// owner's preceding pushes; a thief's acquire-load of the packed word
+    /// therefore sees complete items.
     pub fn release(&self, k: u64) -> u64 {
-        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        let head = self.head();
-        let split = self.split();
-        let m = k.min(head - split);
-        if m > 0 {
-            self.seg.store_notify(META_SPLIT, split + m);
+        loop {
+            let ts = self.seg.load_notify(META_TS);
+            let (tail, split) = unpack(ts);
+            let head = self.head();
+            let m = k.min(head - split);
+            if m == 0 {
+                return 0;
+            }
+            if self.seg.cas(META_TS, ts, pack(tail, split + m)).is_ok() {
+                return m;
+            }
+            // A thief moved tail concurrently; retry against the new word.
+            std::hint::spin_loop();
         }
-        m
     }
 
     /// Take back up to `k` of the newest shared items: move `split` towards
-    /// `tail`. Returns how many items became private again.
+    /// `tail`. Returns how many items became private again. Serialised
+    /// against concurrent steals by the CAS on the packed word: a steal
+    /// that claimed these slots first changes the word and this CAS
+    /// retries against the smaller shared region.
     pub fn reacquire(&self, k: u64) -> u64 {
-        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        let split = self.split();
-        let tail = self.tail();
-        let m = k.min(split - tail);
-        if m > 0 {
-            self.seg.store_notify(META_SPLIT, split - m);
+        loop {
+            let ts = self.seg.load_notify(META_TS);
+            let (tail, split) = unpack(ts);
+            let m = k.min(split - tail);
+            if m == 0 {
+                return 0;
+            }
+            if self.seg.cas(META_TS, ts, pack(tail, split - m)).is_ok() {
+                return m;
+            }
+            std::hint::spin_loop();
         }
-        m
     }
 
-    // ----- stealing (thief side, locked) ---------------------------------------
+    // ----- stealing (thief side, CAS) ---------------------------------------
 
     /// Steal up to `max` of the *oldest* shared items, feeding each to
     /// `sink`. Returns the number stolen (0 = failed steal). Local thieves
     /// call this directly; victims call it on their own pool to reserve
     /// work for a remote thief.
+    ///
+    /// The slots are copied out *before* the claiming CAS: once `tail`
+    /// moves, the owner's capacity check may admit pushes that reuse the
+    /// ring positions, so a post-claim read could tear. A failed CAS
+    /// discards the buffered copy and retries (nothing was claimed). The
+    /// copy cannot be stale on success: any overwrite of `[tail, tail+m)`
+    /// requires `tail` to advance first, which makes the CAS fail.
     pub fn steal(&self, max: u64, mut sink: impl FnMut(&[u64])) -> u64 {
         if max == 0 {
             return 0;
         }
-        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        self.steal_locked(max, &mut sink, &_g)
-    }
-
-    fn steal_locked(
-        &self,
-        max: u64,
-        sink: &mut impl FnMut(&[u64]),
-        _g: &MutexGuard<'_, ()>,
-    ) -> u64 {
-        let split = self.split();
-        let tail = self.tail();
-        let avail = split - tail;
-        let m = max.min(avail);
-        if m == 0 {
-            return 0;
+        let mut buf: Vec<u64> = Vec::new();
+        loop {
+            let ts = self.seg.load_notify(META_TS);
+            let (tail, split) = unpack(ts);
+            let m = max.min(split - tail);
+            if m == 0 {
+                return 0;
+            }
+            buf.resize(m as usize * self.slot_words, 0);
+            for i in 0..m {
+                let off = (i as usize) * self.slot_words;
+                self.seg.read_local(
+                    self.slot_off(tail + i),
+                    &mut buf[off..off + self.slot_words],
+                );
+            }
+            if self.seg.cas(META_TS, ts, pack(tail + m, split)).is_ok() {
+                for chunk in buf.chunks_exact(self.slot_words) {
+                    sink(chunk);
+                }
+                return m;
+            }
+            std::hint::spin_loop();
         }
-        let mut buf = vec![0u64; self.slot_words];
-        for i in 0..m {
-            self.seg.read_local(self.slot_off(tail + i), &mut buf);
-            sink(&buf);
-        }
-        self.seg.store_notify(META_TAIL, tail + m);
-        m
     }
 
     /// Steal up to half of the shared region (at least one item), the
@@ -520,6 +584,61 @@ mod tests {
         assert_eq!(buf, item(42, 2));
         assert!(thief.pop_private(&mut buf));
         assert_eq!(buf, item(41, 2));
+    }
+
+    #[test]
+    fn reacquire_races_steal_without_duplication() {
+        // One owner repeatedly releases then immediately reacquires while a
+        // thief hammers steal: every item must surface exactly once.
+        const ITEMS: u64 = 30_000;
+        let p = Arc::new(SplitPool::new(256, 1));
+        let stolen_sum = Arc::new(AtomicU64::new(0));
+        let stolen_cnt = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+        let thief = {
+            let p = Arc::clone(&p);
+            let sum = Arc::clone(&stolen_sum);
+            let cnt = Arc::clone(&stolen_cnt);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || loop {
+                let n = p.steal(3, |s| {
+                    sum.fetch_add(s[0], Ordering::Relaxed);
+                    cnt.fetch_add(1, Ordering::Relaxed);
+                });
+                if n == 0 && done.load(Ordering::Acquire) == 1 && p.shared_len() == 0 {
+                    break;
+                }
+                std::hint::spin_loop();
+            })
+        };
+        let mut buf = [0u64];
+        let (mut sum, mut cnt) = (0u64, 0u64);
+        let mut next = 0u64;
+        while next < ITEMS {
+            while next < ITEMS && p.push(&[next]) {
+                next += 1;
+            }
+            // Churn the split from both sides to race the thief's CAS.
+            p.release(8);
+            p.reacquire(4);
+            while p.pop_private(&mut buf) {
+                sum += buf[0];
+                cnt += 1;
+            }
+        }
+        p.release(u64::MAX);
+        done.store(1, Ordering::Release);
+        thief.join().unwrap();
+        while p.steal(64, |s| {
+            sum += s[0];
+            cnt += 1;
+        }) > 0
+        {}
+        assert_eq!(cnt + stolen_cnt.load(Ordering::Relaxed), ITEMS);
+        assert_eq!(
+            sum + stolen_sum.load(Ordering::Relaxed),
+            ITEMS * (ITEMS - 1) / 2
+        );
     }
 
     #[test]

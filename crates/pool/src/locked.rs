@@ -1,0 +1,190 @@
+//! The pre-lock-free pool, kept verbatim as a benchmark baseline.
+//!
+//! [`LockedPool`] is the mutex-guarded split pool this crate shipped before
+//! the lock-free rewrite: the owner path is already fence-free, but every
+//! `release` / `reacquire` / `steal` serialises on one `std::sync::Mutex`.
+//! `perf_record` measures steal latency against it so the lock-free win (and
+//! any regression) stays visible in the BENCH trajectory; it is not used on
+//! any solving path.
+
+use std::sync::{Mutex, MutexGuard};
+
+use macs_gpi::Segment;
+
+use crate::PoolMeta;
+
+const META_HEAD: usize = 0;
+const META_SPLIT: usize = 1;
+const META_TAIL: usize = 2;
+const META_WORDS: usize = 8;
+
+/// The mutex-guarded split pool (benchmark baseline only).
+#[derive(Debug)]
+pub struct LockedPool {
+    seg: Segment,
+    lock: Mutex<()>,
+    capacity: u64,
+    mask: u64,
+    slot_words: usize,
+}
+
+impl LockedPool {
+    /// A pool of at least `capacity` slots of `slot_words` words each.
+    pub fn new(capacity: usize, slot_words: usize) -> Self {
+        assert!(capacity > 0 && slot_words > 0);
+        let capacity = capacity.next_power_of_two() as u64;
+        let seg = Segment::new(META_WORDS + capacity as usize * slot_words);
+        LockedPool {
+            seg,
+            lock: Mutex::new(()),
+            capacity,
+            mask: capacity - 1,
+            slot_words,
+        }
+    }
+
+    #[inline]
+    fn slot_off(&self, pos: u64) -> usize {
+        META_WORDS + (pos & self.mask) as usize * self.slot_words
+    }
+
+    #[inline]
+    fn head(&self) -> u64 {
+        self.seg.load_notify(META_HEAD)
+    }
+
+    #[inline]
+    fn split(&self) -> u64 {
+        self.seg.load_notify(META_SPLIT)
+    }
+
+    #[inline]
+    fn tail(&self) -> u64 {
+        self.seg.load_notify(META_TAIL)
+    }
+
+    pub fn meta(&self) -> PoolMeta {
+        PoolMeta {
+            head: self.head(),
+            split: self.split(),
+            tail: self.tail(),
+            req: 0,
+        }
+    }
+
+    #[inline]
+    pub fn shared_len(&self) -> u64 {
+        let m = self.meta();
+        m.split.saturating_sub(m.tail)
+    }
+
+    #[inline]
+    pub fn private_len(&self) -> u64 {
+        let m = self.meta();
+        m.head.saturating_sub(m.split)
+    }
+
+    /// Push one item at the head (owner only, lock-free as before).
+    pub fn push(&self, item: &[u64]) -> bool {
+        debug_assert_eq!(item.len(), self.slot_words);
+        let head = self.head();
+        let tail = self.tail(); // stale tail is conservative (≤ actual)
+        if head - tail >= self.capacity {
+            return false;
+        }
+        self.seg.write_local(self.slot_off(head), item);
+        self.seg.store_notify(META_HEAD, head + 1);
+        true
+    }
+
+    /// Pop the newest private item into `dst` (owner only).
+    pub fn pop_private(&self, dst: &mut [u64]) -> bool {
+        debug_assert_eq!(dst.len(), self.slot_words);
+        let head = self.head();
+        let split = self.split();
+        if head == split {
+            return false;
+        }
+        self.seg.read_local(self.slot_off(head - 1), dst);
+        self.seg.store_notify(META_HEAD, head - 1);
+        true
+    }
+
+    /// Share up to `k` of the oldest private items (under the lock).
+    pub fn release(&self, k: u64) -> u64 {
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let head = self.head();
+        let split = self.split();
+        let m = k.min(head - split);
+        if m > 0 {
+            self.seg.store_notify(META_SPLIT, split + m);
+        }
+        m
+    }
+
+    /// Take back up to `k` of the newest shared items (under the lock).
+    pub fn reacquire(&self, k: u64) -> u64 {
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let split = self.split();
+        let tail = self.tail();
+        let m = k.min(split - tail);
+        if m > 0 {
+            self.seg.store_notify(META_SPLIT, split - m);
+        }
+        m
+    }
+
+    /// Steal up to `max` of the oldest shared items (under the lock).
+    pub fn steal(&self, max: u64, mut sink: impl FnMut(&[u64])) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.steal_locked(max, &mut sink, &_g)
+    }
+
+    fn steal_locked(
+        &self,
+        max: u64,
+        sink: &mut impl FnMut(&[u64]),
+        _g: &MutexGuard<'_, ()>,
+    ) -> u64 {
+        let split = self.split();
+        let tail = self.tail();
+        let avail = split - tail;
+        let m = max.min(avail);
+        if m == 0 {
+            return 0;
+        }
+        let mut buf = vec![0u64; self.slot_words];
+        for i in 0..m {
+            self.seg.read_local(self.slot_off(tail + i), &mut buf);
+            sink(&buf);
+        }
+        self.seg.store_notify(META_TAIL, tail + m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locked_pool_round_trip() {
+        let p = LockedPool::new(8, 1);
+        for i in 1..=4 {
+            assert!(p.push(&[i]));
+        }
+        assert_eq!(p.release(2), 2);
+        let mut got = vec![];
+        assert_eq!(p.steal(10, |s| got.push(s[0])), 2);
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(p.reacquire(5), 0);
+        let mut buf = [0u64];
+        assert!(p.pop_private(&mut buf));
+        assert_eq!(buf[0], 4);
+        assert_eq!(p.private_len(), 1);
+        assert_eq!(p.shared_len(), 0);
+    }
+}

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use macs_domain::{Store, StoreView, Val};
+use macs_domain::{branch_var_of, StoreView, Val};
 use macs_engine::{CompiledProblem, Engine, PropOutcome, ScheduleSeed};
 
 use crate::arena::StoreSlab;
@@ -57,6 +57,11 @@ pub struct SearchKernel<'a> {
     children: Vec<WorkItem>,
     slab: StoreSlab,
     timers: KernelTimers,
+    /// Whether [`KernelTimers`] are collected. On by default (the phase
+    /// aggregation in the processors depends on it); throughput harnesses
+    /// that don't read the timers can switch it off and save four
+    /// `Instant::now` calls per node.
+    timing: bool,
 }
 
 impl<'a> SearchKernel<'a> {
@@ -69,7 +74,15 @@ impl<'a> SearchKernel<'a> {
             children: Vec::new(),
             slab: StoreSlab::new(words),
             timers: KernelTimers::default(),
+            timing: true,
         }
+    }
+
+    /// Enable or disable phase-timer collection (see
+    /// [`SearchKernel::take_timers`]). With timing off, `take_timers`
+    /// returns zeros.
+    pub fn set_timing(&mut self, on: bool) {
+        self.timing = on;
     }
 
     /// The root work item of `prob` (a copy of the compiled root store).
@@ -126,24 +139,28 @@ impl<'a> SearchKernel<'a> {
         // Stores created by a split carry their branch variable in the
         // header; anything else (root, stolen stores of unknown history)
         // gets a full reschedule.
-        let seed = match Store::from_words(layout, buf).branch_var() {
+        let seed = match branch_var_of(buf) {
             Some(v) => ScheduleSeed::Var(v),
             None => ScheduleSeed::All,
         };
 
         // --- step 1: propagation ------------------------------------------
-        let t0 = Instant::now();
+        let t0 = self.timing.then(Instant::now);
         let outcome = self.engine.propagate(prob, buf, bound, seed);
-        self.timers.propagate += t0.elapsed();
+        if let Some(t0) = t0 {
+            self.timers.propagate += t0.elapsed();
+        }
         if outcome == PropOutcome::Failed {
             return StepOutcome::Failed;
         }
 
         // --- step 2: splitting (or a solution) -----------------------------
-        let t0 = Instant::now();
+        let t0 = self.timing.then(Instant::now);
         let var = prob.brancher.choose_var(layout, buf);
         let Some(var) = var else {
-            self.timers.split += t0.elapsed();
+            if let Some(t0) = t0 {
+                self.timers.split += t0.elapsed();
+            }
             // All variables assigned: a solution.
             let view = StoreView::new(layout, buf);
             let assignment = view.assignment().expect("complete assignment");
@@ -177,7 +194,9 @@ impl<'a> SearchKernel<'a> {
         for c in children.iter_mut() {
             c[1] = bound as u64;
         }
-        self.timers.split += t0.elapsed();
+        if let Some(t0) = t0 {
+            self.timers.split += t0.elapsed();
+        }
         debug_assert!(n >= 1);
         StepOutcome::Children(n)
     }
