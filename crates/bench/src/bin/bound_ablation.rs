@@ -14,9 +14,15 @@
 //! per-level delivery delay that shows up as stale-bound expansions;
 //! `periodic` is the stalest by far, and its refresh pulls scale with
 //! nodes processed rather than with improvements.
+//!
+//! `--xl` re-runs the esc16e cell on the depth-5/6 shapes at 64k cores
+//! and gates the PR-3 claim there: all policies still agree on the
+//! optimum, and hierarchical still spends fewer bound-update fabric
+//! messages than immediate (exit non-zero on divergence).
 
 use macs_bench::{
-    arg, core_series, deep_topo_for, maybe_help, qap_size_arg, shape_arg, sim_cp_macs,
+    arg, core_series, deep_topo_for, maybe_help, qap_size_arg, shape_arg, sim_cp_macs, xl_cells,
+    xl_scale,
 };
 use macs_problems::{golomb_ruler, qap::QapInstance, qap_model};
 use macs_search::BoundPolicy;
@@ -35,6 +41,7 @@ fn main() {
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::BoundPolicy,
             macs_bench::CommonFlag::Full,
+            macs_bench::CommonFlag::Xl,
         ],
     ));
     let qn = qap_size_arg("qn", 11);
@@ -106,6 +113,57 @@ fn main() {
         }
         println!();
     }
+    if xl_scale() {
+        println!("== 64k-core depth-5/6 cells (gated) ==");
+        for (name, topo) in xl_cells() {
+            let mut optima: Vec<i64> = Vec::new();
+            let mut msgs_by_policy: Vec<(BoundPolicy, u64)> = Vec::new();
+            for &policy in &policies {
+                let mut cfg = SimConfig::new(topo.clone());
+                cfg.costs = CostModel::paper_qap();
+                cfg.bound_policy = policy;
+                let r = sim_cp_macs(&qap, &cfg);
+                println!(
+                    "  {name} {:>22}: {:>11.3} ms  bound-msgs {:>10}  optimum {}",
+                    policy.to_string(),
+                    r.makespan_ns as f64 / 1e6,
+                    r.bound_msgs,
+                    r.incumbent
+                );
+                optima.push(r.incumbent);
+                msgs_by_policy.push((policy, r.bound_msgs));
+            }
+            if optima.windows(2).any(|w| w[0] != w[1]) {
+                eprintln!("GATE {name}: optimum mismatch across policies: {optima:?}");
+                ok = false;
+            }
+            // The PR-3 message-economy claim, pinned at depth and scale:
+            // one message per remote node *leader* must still beat one per
+            // off-node worker when there are 16k nodes of 4 cores.
+            let find = |want: BoundPolicy| {
+                msgs_by_policy
+                    .iter()
+                    .find(|(p, _)| *p == want)
+                    .map(|&(_, m)| m)
+            };
+            if let (Some(hier), Some(imm)) = (
+                find(BoundPolicy::Hierarchical),
+                find(BoundPolicy::Immediate),
+            ) {
+                if hier >= imm && imm > 0 {
+                    eprintln!(
+                        "GATE {name}: hierarchical sent {hier} bound msgs, immediate {imm} — \
+                         the hierarchy stopped paying at 64k cores"
+                    );
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            println!("  xl gates passed\n");
+        }
+    }
+
     if !ok {
         eprintln!("bound_ablation FAILED: policies disagree on the optimum");
         std::process::exit(1);

@@ -16,9 +16,13 @@
 //! * `adaptive` loses more than 10% makespan to `static` on any cell —
 //!   the CI guard that keeps the tuner from ever buying round trips with
 //!   wall-clock time.
+//!
+//! `--xl` re-runs the esc16e cell on the depth-5/6 shapes at 64k cores
+//! (one seed per policy) and applies the same two gates there.
 
 use macs_bench::{
     arg, chunk_policy_arg, full_scale, maybe_help, qap_size_arg, shape_arg, sim_cp_macs, usage,
+    xl_cells, xl_scale,
 };
 use macs_engine::CompiledProblem;
 use macs_gpi::MachineTopology;
@@ -49,6 +53,7 @@ fn main() {
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::ChunkPolicy,
             macs_bench::CommonFlag::Full,
+            macs_bench::CommonFlag::Xl,
         ],
     ));
     let full = full_scale();
@@ -175,6 +180,55 @@ fn main() {
         }
         println!();
     }
+    if xl_scale() {
+        println!("== 64k-core depth-5/6 cells: esc16e (gated, 1 seed) ==");
+        let (name, prob, costs) = &workloads[0];
+        for (cell_name, topo) in xl_cells() {
+            let mut cells: Vec<Cell> = Vec::new();
+            for &policy in &policies {
+                let mut cfg = SimConfig::new(topo.clone());
+                cfg.costs = *costs;
+                cfg.chunk_policy = policy;
+                let r = sim_cp_macs(prob, &cfg);
+                let cell = Cell {
+                    policy,
+                    ms: r.makespan_ns as f64 / 1e6,
+                    rtts: r.remote_round_trips() as f64,
+                    items_per_remote: r.items_per_remote_steal(),
+                    optimum: r.incumbent,
+                };
+                println!(
+                    "  {name} {cell_name} {:>15}: {:>11.3} ms  remote-rtts {:>9.0}  \
+                     items/steal {:>5.2}  optimum {}",
+                    cell.policy.to_string(),
+                    cell.ms,
+                    cell.rtts,
+                    cell.items_per_remote,
+                    cell.optimum
+                );
+                cells.push(cell);
+            }
+            if cells.iter().any(|c| c.optimum != cells[0].optimum) {
+                eprintln!("GATE {cell_name}: optimum mismatch across chunk policies");
+                ok = false;
+            }
+            let stat = cells.iter().find(|c| c.policy == ChunkPolicy::Static);
+            let adap = cells.iter().find(|c| c.policy == ChunkPolicy::Adaptive);
+            if let (Some(s), Some(a)) = (stat, adap) {
+                if a.ms > s.ms * 1.10 {
+                    eprintln!(
+                        "GATE {cell_name}: adaptive {:.3} ms vs static {:.3} ms (>10% worse)",
+                        a.ms, s.ms
+                    );
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            println!("  xl gates passed\n");
+        }
+    }
+
     if !ok {
         eprintln!(
             "chunk_ablation FAILED: optimum mismatch or adaptive lost >10% makespan to static"

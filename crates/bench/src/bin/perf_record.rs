@@ -1,17 +1,27 @@
-//! The PR-6 perf trajectory recorder: sequential node throughput
-//! (optimised kernel vs the frozen pre-PR reference), work-pool steal
-//! latency (lock-free vs mutex baseline), and propagation filter
-//! throughput — written to `BENCH_6.json` so later PRs can diff against
-//! the committed record.
+//! The perf trajectory recorder.
+//!
+//! Two trajectories live here:
+//!
+//! * the PR-6 record (`BENCH_6.json`, the default mode): sequential node
+//!   throughput (optimised kernel vs the frozen pre-PR reference),
+//!   work-pool steal latency (lock-free vs mutex baseline), and
+//!   propagation filter throughput;
+//! * the PR-8 record (`BENCH_8.json`, via `--sim`): simulator events/sec
+//!   and peak RSS per scale point — queens-14 at 4k→262k simulated cores
+//!   under both fabric models, plus esc16e\[11\] and UTS completeness
+//!   rows at 64k — with a same-seed determinism double-run at every
+//!   scale point (hard fail on any trace divergence).
 //!
 //! Modes:
 //!
 //! * default — measure everything (medians of `--runs` repetitions for
 //!   the throughput metrics) and write the JSON record;
 //! * `--check <file>` — measure, then compare the machine-independent
-//!   ratios (optimised/reference speed-ups) against a previously
-//!   committed record; exit 1 on a >10% regression. Absolute
-//!   nodes-per-second numbers are machine-dependent and are *not* gated.
+//!   ratios against a previously committed record; exit 1 on a >10%
+//!   regression. For the PR-6 record those are the optimised/reference
+//!   speed-ups; for `--sim` they are the events/sec ratios of each scale
+//!   point against the 4096-core base (how throughput *scales* is a
+//!   property of the event core; absolute events/sec is the host's).
 //!
 //! The node budgets restart the depth-first walk from the root if a tree
 //! is exhausted early; both kernels share the restart logic, so they
@@ -22,12 +32,15 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use macs_bench::reference::{RefEngine, RefKernel, RefStep};
-use macs_bench::{arg, maybe_help, usage};
+use macs_bench::{arg, maybe_help, sim_cp_macs, usage};
 use macs_domain::bits;
 use macs_engine::{CompiledProblem, Engine, ScheduleSeed};
 use macs_pool::{LockedPool, SplitPool};
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
+use macs_runtime::Topology;
 use macs_search::{LocalIncumbent, NoBound, SearchKernel, StepOutcome, WorkItem};
+use macs_sim::{simulate_macs, CostModel, FabricModel, SimConfig};
+use macs_uts::{TreeShape, UtsProcessor, SLOT_WORDS};
 
 // ---------------------------------------------------------------------------
 // sequential node throughput
@@ -356,18 +369,297 @@ fn json_number_after(text: &str, section: &str, key: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+// ---------------------------------------------------------------------------
+// the PR-8 simulator trajectory (--sim): events/sec + peak RSS per scale
+// ---------------------------------------------------------------------------
+
+/// Process-lifetime peak RSS in kB (`VmHWM`), 0 where /proc is absent.
+/// Monotone over the process: callers run scale points smallest-first so
+/// each reading approximates that point's own peak.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[derive(Debug)]
+struct SimPoint {
+    workload: &'static str,
+    cores: usize,
+    fabric: String,
+    nodes: u64,
+    events: u64,
+    events_per_sec: f64,
+    wall_s: f64,
+    makespan_ms: f64,
+    peak_rss_kb: u64,
+    peak_live_items: u64,
+    trace_hash: u64,
+    determinism_runs: u32,
+}
+
+impl SimPoint {
+    fn json(&self) -> String {
+        format!(
+            "{{\"workload\": \"{}\", \"cores\": {}, \"fabric\": \"{}\", \"nodes\": {}, \"events\": {}, \"events_per_sec\": {:.0}, \"wall_s\": {:.2}, \"makespan_ms\": {:.3}, \"peak_rss_kb\": {}, \"peak_live_items\": {}, \"trace_hash\": \"{:#018x}\", \"determinism_runs\": {}}}",
+            self.workload,
+            self.cores,
+            self.fabric,
+            self.nodes,
+            self.events,
+            self.events_per_sec,
+            self.wall_s,
+            self.makespan_ms,
+            self.peak_rss_kb,
+            self.peak_live_items,
+            self.trace_hash,
+            self.determinism_runs
+        )
+    }
+}
+
+/// Run queens-14 at `cores` under `fabric`, `runs`× with the same seed
+/// (every repetition must replay bit-identically — hard fail otherwise);
+/// events/sec is the best repetition's.
+fn sim_point(prob: &CompiledProblem, cores: usize, fabric: FabricModel, runs: u32) -> SimPoint {
+    let mut cfg = SimConfig::new(Topology::clustered(cores, 4));
+    cfg.costs = CostModel::paper_queens();
+    cfg.fabric = fabric;
+    let mut best: Option<SimPoint> = None;
+    let mut first: Option<(u64, u64)> = None;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let r = sim_cp_macs(prob, &cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        match first {
+            None => first = Some((r.trace_hash, r.digest())),
+            Some(f) => assert_eq!(
+                f,
+                (r.trace_hash, r.digest()),
+                "NON-DETERMINISTIC: queens-14 @ {cores} {fabric} diverged between same-seed runs"
+            ),
+        }
+        let p = SimPoint {
+            workload: "queens-14",
+            cores,
+            fabric: fabric.to_string(),
+            nodes: r.total_items(),
+            events: r.events,
+            events_per_sec: r.events as f64 / wall,
+            wall_s: wall,
+            makespan_ms: r.makespan_ns as f64 / 1e6,
+            peak_rss_kb: peak_rss_kb(),
+            peak_live_items: r.peak_live_items,
+            trace_hash: r.trace_hash,
+            determinism_runs: runs.max(1),
+        };
+        if best
+            .as_ref()
+            .map(|b| p.events_per_sec > b.events_per_sec)
+            .unwrap_or(true)
+        {
+            best = Some(p);
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn run_sim_trajectory(quick: bool, out_path: &str, check_path: &str) {
+    let base_cores = 4_096usize;
+    let scales: &[usize] = if quick {
+        &[4_096, 65_536]
+    } else {
+        &[4_096, 65_536, 131_072, 262_144]
+    };
+    let models = [
+        FabricModel::Latency,
+        "contention".parse::<FabricModel>().unwrap(),
+    ];
+    let q14 = queens(14, QueensModel::Pairwise);
+
+    let mut points: Vec<SimPoint> = Vec::new();
+    for &cores in scales {
+        for fabric in models {
+            // Same-seed double-run at every point pins determinism where
+            // the test suite stops (it covers up to 32k); the contention
+            // model is double-checked at the base point only — the big
+            // points' budget goes to the latency series the scaling
+            // ratios are gated on.
+            let runs = if fabric.is_contention() && cores > base_cores && !quick {
+                1
+            } else {
+                2
+            };
+            eprintln!("sim: queens-14 @ {cores} cores, {fabric} ({runs} run(s))...");
+            let p = sim_point(&q14, cores, fabric, runs);
+            eprintln!(
+                "     {:.0} events/s, wall {:.1}s, peak RSS {} MB",
+                p.events_per_sec,
+                p.wall_s,
+                p.peak_rss_kb / 1024
+            );
+            points.push(p);
+        }
+    }
+
+    // Scaling ratios: events/sec at each point over the same-model base.
+    // Machine-independent enough to gate: both sides move with the host.
+    let ratio_of = |fabric: &str, cores: usize| -> f64 {
+        let at = |c: usize| {
+            points
+                .iter()
+                .find(|p| p.fabric == fabric && p.cores == c)
+                .map(|p| p.events_per_sec)
+                .unwrap_or(0.0)
+        };
+        at(cores) / at(base_cores).max(1.0)
+    };
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for fabric in ["latency", "contention"] {
+        for &cores in &scales[1..] {
+            ratios.push((format!("{fabric}_{cores}_vs_base"), ratio_of(fabric, cores)));
+        }
+    }
+
+    // Completeness rows at 64k: the other two workload families the event
+    // core must carry (recorded, not gated — different cost models).
+    let mut completeness: Vec<SimPoint> = Vec::new();
+    if !quick {
+        eprintln!("sim: esc16e[11] @ 65536 cores (completeness row)...");
+        let esc = qap_model(&QapInstance::esc16e().sub_instance(11));
+        let mut cfg = SimConfig::new(Topology::clustered(65_536, 4));
+        cfg.costs = CostModel::paper_qap();
+        let t0 = Instant::now();
+        let r = sim_cp_macs(&esc, &cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        completeness.push(SimPoint {
+            workload: "esc16e11",
+            cores: 65_536,
+            fabric: "latency".into(),
+            nodes: r.total_items(),
+            events: r.events,
+            events_per_sec: r.events as f64 / wall,
+            wall_s: wall,
+            makespan_ms: r.makespan_ns as f64 / 1e6,
+            peak_rss_kb: peak_rss_kb(),
+            peak_live_items: r.peak_live_items,
+            trace_hash: r.trace_hash,
+            determinism_runs: 1,
+        });
+        eprintln!("sim: UTS binomial @ 65536 cores (completeness row)...");
+        let seed = 3u32;
+        let shape = TreeShape::medium_bin(seed);
+        let mut cfg = SimConfig::new(Topology::clustered(65_536, 4));
+        cfg.costs = CostModel::woodcrest_ib(1_500);
+        let t0 = Instant::now();
+        let r = simulate_macs(&cfg, SLOT_WORDS, &[UtsProcessor::root_item(seed)], |_| {
+            UtsProcessor::new(shape)
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        completeness.push(SimPoint {
+            workload: "uts-bin",
+            cores: 65_536,
+            fabric: "latency".into(),
+            nodes: r.total_items(),
+            events: r.events,
+            events_per_sec: r.events as f64 / wall,
+            wall_s: wall,
+            makespan_ms: r.makespan_ns as f64 / 1e6,
+            peak_rss_kb: peak_rss_kb(),
+            peak_live_items: r.peak_live_items,
+            trace_hash: r.trace_hash,
+            determinism_runs: 1,
+        });
+    }
+
+    for p in points.iter().chain(&completeness) {
+        println!(
+            "{:<10} @ {:>6} cores [{:<10}]: {:>9.0} events/s  wall {:>6.1}s  peak RSS {:>5} MB  ({} nodes)",
+            p.workload,
+            p.cores,
+            p.fabric,
+            p.events_per_sec,
+            p.wall_s,
+            p.peak_rss_kb / 1024,
+            p.nodes
+        );
+    }
+    for (k, v) in &ratios {
+        println!("scaling {k}: {v:.3}");
+    }
+
+    if !check_path.is_empty() {
+        let prev = std::fs::read_to_string(check_path)
+            .unwrap_or_else(|e| panic!("cannot read {check_path}: {e}"));
+        let mut failed = false;
+        for (key, measured) in &ratios {
+            let Some(recorded) = json_number_after(&prev, "scaling", key) else {
+                // Quick runs gate only the points they measured; a full
+                // record holds more ratio keys than a quick check needs.
+                eprintln!("check: no \"{key}\" under \"scaling\" in {check_path} (skipped)");
+                continue;
+            };
+            let floor = recorded * 0.9;
+            if *measured < floor {
+                eprintln!(
+                    "check FAILED: events/sec ratio {key} = {measured:.3} fell below 90% of the recorded {recorded:.3}"
+                );
+                failed = true;
+            } else {
+                eprintln!("check ok: {key} = {measured:.3} (recorded {recorded:.3})");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("sim check passed against {check_path}");
+        return;
+    }
+
+    let host_par = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = format!(
+        "{{\n  \"record\": \"BENCH_8\",\n  \"bin\": \"perf_record --sim\",\n  \"quick\": {quick},\n  \"host\": {{\n    \"available_parallelism\": {host_par},\n    \"note\": \"absolute events/sec and RSS are machine-dependent; the scaling ratios are the tracked trajectory. VmHWM is a process-lifetime high-water mark — points run smallest-first so each row approximates its own peak.\"\n  }},\n  \"scale_points\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        json.push_str(&format!("    {}{sep}\n", p.json()));
+    }
+    json.push_str("  ],\n  \"scaling\": {\n");
+    json.push_str(&format!("    \"base_cores\": {base_cores}"));
+    for (k, v) in &ratios {
+        json.push_str(&format!(",\n    \"{k}\": {v:.3}"));
+    }
+    json.push_str("\n  },\n  \"completeness_64k\": [\n");
+    for (i, p) in completeness.iter().enumerate() {
+        let sep = if i + 1 < completeness.len() { "," } else { "" };
+        json.push_str(&format!("    {}{sep}\n", p.json()));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let u = usage(
         "perf_record",
-        "records the PR-6 perf trajectory (BENCH_6.json): sequential node\nthroughput vs the frozen pre-PR kernel, lock-free vs mutex steal\nlatency, propagation filter throughput.",
+        "records the PR-6 perf trajectory (BENCH_6.json): sequential node\nthroughput vs the frozen pre-PR kernel, lock-free vs mutex steal\nlatency, propagation filter throughput. With --sim, records the PR-8\nsimulator trajectory instead (BENCH_8.json): events/sec + peak RSS per\nscale point, 4k to 262k simulated cores, with a same-seed determinism\ndouble-run at every point.",
         &[
-            ("--out <FILE>", "where to write the record [default: BENCH_6.json]"),
+            ("--out <FILE>", "where to write the record [default: BENCH_6.json,\nor BENCH_8.json with --sim]"),
             (
                 "--check <FILE>",
-                "measure, then fail (exit 1) if an optimised/reference\nspeed-up ratio regressed >10% against the recorded file",
+                "measure, then fail (exit 1) if a recorded ratio regressed\n>10%: optimised/reference speed-ups by default, per-scale-point\nevents/sec ratios vs the 4096-core base with --sim",
             ),
             ("--runs <N>", "repetitions per throughput metric (median) [default: 5]"),
-            ("--quick", "reduced node budgets and latency windows (CI smoke)"),
+            ("--quick", "reduced budgets: smaller node/latency windows, and with\n--sim only the 4k and 64k scale points (CI smoke)"),
+            ("--sim", "record the simulator scale trajectory (BENCH_8.json)"),
         ],
         &[],
     );
@@ -375,8 +667,17 @@ fn main() {
 
     let runs = arg("runs", 5usize).max(1);
     let quick = std::env::args().any(|a| a == "--quick");
-    let out_path = arg("out", "BENCH_6.json".to_string());
+    let sim = std::env::args().any(|a| a == "--sim");
+    let out_path = arg(
+        "out",
+        if sim { "BENCH_8.json" } else { "BENCH_6.json" }.to_string(),
+    );
     let check_path: String = arg("check", String::new());
+
+    if sim {
+        run_sim_trajectory(quick, &out_path, &check_path);
+        return;
+    }
 
     // Each propagation sample must cover tens of milliseconds (one
     // fixpoint is sub-microsecond) or a single descheduling skews the

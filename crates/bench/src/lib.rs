@@ -14,7 +14,7 @@ use macs_engine::CompiledProblem;
 use macs_gpi::{MachineTopology, Topology};
 use macs_runtime::{WorkerState, NUM_STATES};
 use macs_search::{BoundPolicy, ChunkPolicy};
-use macs_sim::{simulate_macs, simulate_paccs, SimConfig, SimReport};
+use macs_sim::{simulate_macs, simulate_paccs, FabricModel, SimConfig, SimReport};
 
 /// The cross-bin flags, defined once so their wording is identical in
 /// every bin's `--help` (before this helper each bin hand-rolled its
@@ -33,8 +33,12 @@ pub enum CommonFlag {
     /// `--chunk-policy static|distance[:base,factor]|adaptive` (via
     /// [`chunk_policy_arg`]).
     ChunkPolicy,
+    /// `--fabric latency|contention[:PS[,CTRL[,HDR]]]` (via [`fabric_arg`]).
+    Fabric,
     /// `--full` (via [`full_scale`] / [`core_series`]).
     Full,
+    /// `--xl` (via [`xl_scale`] / [`xl_cells`]).
+    Xl,
 }
 
 impl CommonFlag {
@@ -56,7 +60,15 @@ impl CommonFlag {
                 "--chunk-policy <P>",
                 "steal-chunk granularity for all backends: static,\ndistance[:base,factor] (reservation scales with the\nthief's topological distance) or adaptive",
             ),
+            CommonFlag::Fabric => (
+                "--fabric <F>",
+                "steal-plane message pricing for the simulator:\nlatency (flat per-ring) or contention[:PS[,CTRL[,HDR]]]\n(finite links, FIFO queueing) [default: latency]",
+            ),
             CommonFlag::Full => ("--full", "paper-scale series (up to 512 simulated cores)"),
+            CommonFlag::Xl => (
+                "--xl",
+                "64k-core cells on depth-5/6 shapes, with divergence\ngates (exit non-zero if the pinned shape inverts)",
+            ),
         }
     }
 }
@@ -112,6 +124,29 @@ pub fn deep_topo_for(cores: usize) -> MachineTopology {
         MachineTopology::try_new(&[cores / 8, 2, 4], 1).expect("valid deep shape")
     } else {
         topo_for(cores).into()
+    }
+}
+
+/// A depth-5 shape at `cores` total: `cores/32` pairs of node-pairs ×
+/// 2 × 2 × 2 sockets × 4 cores, fabric above level 3 (`node_prefix` 2) —
+/// so there are *two* remote ring levels and the distance-aware scan's
+/// nearest-remote-first order actually has a choice to make. Falls back
+/// to [`deep_topo_for`] when `cores` doesn't fill the shape.
+pub fn deep5_topo_for(cores: usize) -> MachineTopology {
+    if cores >= 64 && cores.is_multiple_of(32) {
+        MachineTopology::try_new(&[cores / 32, 2, 2, 2, 4], 2).expect("valid deep5 shape")
+    } else {
+        deep_topo_for(cores)
+    }
+}
+
+/// A depth-6 shape at `cores` total: one more intra-node level than
+/// [`deep5_topo_for`] (`cores/64` × 2 × 2 × 2 × 2 × 4, `node_prefix` 2).
+pub fn deep6_topo_for(cores: usize) -> MachineTopology {
+    if cores >= 128 && cores.is_multiple_of(64) {
+        MachineTopology::try_new(&[cores / 64, 2, 2, 2, 2, 4], 2).expect("valid deep6 shape")
+    } else {
+        deep5_topo_for(cores)
     }
 }
 
@@ -179,6 +214,29 @@ pub fn chunk_policy_arg() -> Option<ChunkPolicy> {
             };
             match v.parse::<ChunkPolicy>() {
                 Ok(p) => return Some(p),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `--fabric latency|contention[:PS[,CTRL[,HDR]]]` from the process
+/// arguments, if present. Malformed models exit with a readable message
+/// (exit code 2). See [`macs_sim::fabric`] for what each model prices.
+pub fn fabric_arg() -> Option<FabricModel> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--fabric" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--fabric needs a value: latency or contention[:PS[,CTRL[,HDR]]]");
+                std::process::exit(2);
+            };
+            match v.parse::<FabricModel>() {
+                Ok(m) => return Some(m),
                 Err(e) => {
                     eprintln!("{e}");
                     std::process::exit(2);
@@ -320,6 +378,23 @@ pub fn core_series() -> Vec<usize> {
     } else {
         vec![8, 16, 32, 64, 128]
     }
+}
+
+/// `--xl` switches the ablation bins to the 64k-core depth-5/6 cells
+/// where ring effects diverge (and arms their divergence gates).
+pub fn xl_scale() -> bool {
+    std::env::args().any(|a| a == "--xl")
+}
+
+/// The `--xl` cells: (label, 64k-core machine) on the depth-5 and
+/// depth-6 shapes. Ring effects that are noise at 512 cores — which
+/// remote ring a steal lands on, how far a bound broadcast fans out —
+/// separate cleanly here.
+pub fn xl_cells() -> Vec<(&'static str, MachineTopology)> {
+    vec![
+        ("deep5-64k", deep5_topo_for(65_536)),
+        ("deep6-64k", deep6_topo_for(65_536)),
+    ]
 }
 
 /// Print the Fig. 3/5-style worker-state breakdown, one row per core

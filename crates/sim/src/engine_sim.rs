@@ -1,7 +1,30 @@
 //! The discrete-event drivers: MaCS and PaCCS balancers in virtual time.
+//!
+//! # The event core, at scale
+//!
+//! The simulator is built to run 64k–262k virtual workers in minutes, so
+//! every per-event and per-worker cost is bounded:
+//!
+//! * **Indexed min-heap** (`EventHeap`): each worker has at most one
+//!   live event, keyed `(time, seq)` with a globally monotone sequence
+//!   id — a strict total order, so same-time events fire in schedule
+//!   order and every same-seed run replays bit-identically (the
+//!   `prop_determinism` suite pins this via the event-trace hash).
+//!   Rescheduling updates the worker's slot in place; no stale entries
+//!   accumulate, and pop order equals the old lazy-deletion heap's order
+//!   over live events.
+//! * **Slot arena** (`SlotArena`): work items live in one flat `u64`
+//!   buffer of fixed `slot_words` slots; pools and steal responses move
+//!   `u32` slot ids, not boxed allocations.
+//! * **Lazy rings**: victim rings are O(1) range views computed from the
+//!   topology's mixed-radix arithmetic ([`MachineTopology::peers_at`],
+//!   [`MachineTopology::node_ring_at`]) — materialising them per worker
+//!   would cost O(workers²) memory, tens of GB at 64k cores.
+//! * **Lazy processors**: a worker's real search kernel is only built on
+//!   the first node it actually expands; at 64k cores most workers never
+//!   touch the (small) tree.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use macs_runtime::{
@@ -10,8 +33,10 @@ use macs_runtime::{
     WorkerState,
 };
 use macs_search::{AdaptiveBatch, WorkBatch};
+use macs_topo::{NodeRing, PeerRing};
 
 use crate::cost::{CostModel, NodeCost};
+use crate::fabric::{FabricModel, NetFabric};
 use crate::incumbent::{BoundFabric, SimIncumbent};
 use crate::report::{SimReport, SimWorkerStats};
 
@@ -61,6 +86,10 @@ pub struct SimConfig {
     /// for PaCCS' controller hop). `Hierarchical` prices each delivery by
     /// its path through the topology instead.
     pub bound_delay_ns: Option<u64>,
+    /// How remote steal-plane messages are priced: flat per-ring latency,
+    /// or finite link capacity with FIFO queueing (steal storms pay
+    /// backpressure instead of flat latency). See [`FabricModel`].
+    pub fabric: FabricModel,
     pub seed: u64,
 }
 
@@ -79,6 +108,7 @@ impl SimConfig {
             remote_node_attempts: 2,
             bound_policy: BoundPolicy::Immediate,
             bound_delay_ns: None,
+            fabric: FabricModel::default(),
             seed: 0x51D,
         }
     }
@@ -90,39 +120,209 @@ impl SimConfig {
 }
 
 // ---------------------------------------------------------------------------
+// event heap
+// ---------------------------------------------------------------------------
+
+const ABSENT: u32 = u32::MAX;
+
+/// Indexed binary min-heap with one slot per worker, keyed by
+/// `(due instant, monotone sequence id)`. The sequence id is bumped on
+/// every schedule, so keys are unique and the pop order is a strict,
+/// reproducible total order; rescheduling a worker updates its key in
+/// place (O(log n)), which is the event-superseding rule the old
+/// epoch-tagged `BinaryHeap` expressed with lazy deletion.
+struct EventHeap {
+    /// Worker ids in heap order.
+    heap: Vec<u32>,
+    /// `pos[w]` = index of `w` in `heap`, or [`ABSENT`].
+    pos: Vec<u32>,
+    /// `key[w]` = (due time, sequence id) of `w`'s live event.
+    key: Vec<(u64, u64)>,
+}
+
+impl EventHeap {
+    fn new(n: usize) -> Self {
+        assert!(n < ABSENT as usize, "too many workers for the event heap");
+        EventHeap {
+            heap: Vec::with_capacity(n),
+            pos: vec![ABSENT; n],
+            key: vec![(0, 0); n],
+        }
+    }
+
+    #[inline]
+    fn less(&self, a: u32, b: u32) -> bool {
+        self.key[a as usize] < self.key[b as usize]
+    }
+
+    /// Insert or reschedule worker `w`'s (single) event.
+    fn schedule(&mut self, w: usize, t: u64, seq: u64) {
+        self.key[w] = (t, seq);
+        let i = self.pos[w];
+        if i == ABSENT {
+            let i = self.heap.len();
+            self.heap.push(w as u32);
+            self.pos[w] = i as u32;
+            self.sift_up(i);
+        } else {
+            let i = i as usize;
+            if !self.sift_up(i) {
+                self.sift_down(i);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let &w = self.heap.first()?;
+        let w = w as usize;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[w] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((self.key[w].0, w))
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+
+    fn sift_up(&mut self, mut i: usize) -> bool {
+        let mut moved = false;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.less(self.heap[i], self.heap[p]) {
+                self.swap(i, p);
+                i = p;
+                moved = true;
+            } else {
+                break;
+            }
+        }
+        moved
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < self.heap.len() && self.less(self.heap[r], self.heap[l]) {
+                r
+            } else {
+                l
+            };
+            if self.less(self.heap[c], self.heap[i]) {
+                self.swap(i, c);
+                i = c;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// slot arena
+// ---------------------------------------------------------------------------
+
+/// Arena of fixed-size work-item slots (`slot_words` `u64`s each — the
+/// `Processor` contract). Pools, mailboxes and steal batches move `u32`
+/// slot ids; the only copies are into a slot at stage time and out into
+/// the worker's in-hand buffer at adoption.
+struct SlotArena {
+    words: usize,
+    data: Vec<u64>,
+    free_ids: Vec<u32>,
+    live: u64,
+    peak: u64,
+}
+
+impl SlotArena {
+    fn new(words: usize) -> Self {
+        SlotArena {
+            words: words.max(1),
+            data: Vec::new(),
+            free_ids: Vec::new(),
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    fn alloc(&mut self, item: &[u64]) -> u32 {
+        assert!(item.len() <= self.words, "work item exceeds slot_words");
+        let id = match self.free_ids.pop() {
+            Some(id) => id,
+            None => {
+                let id = (self.data.len() / self.words) as u32;
+                assert!(id < ABSENT, "slot arena overflow");
+                self.data.resize(self.data.len() + self.words, 0);
+                id
+            }
+        };
+        let at = id as usize * self.words;
+        self.data[at..at + item.len()].copy_from_slice(item);
+        self.data[at + item.len()..at + self.words].fill(0);
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        id
+    }
+
+    #[inline]
+    fn get(&self, id: u32) -> &[u64] {
+        let at = id as usize * self.words;
+        &self.data[at..at + self.words]
+    }
+
+    #[inline]
+    fn release(&mut self, id: u32) {
+        self.live -= 1;
+        self.free_ids.push(id);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // virtual pool
 // ---------------------------------------------------------------------------
 
-/// A worker pool in simulator form: a deque (front = tail = oldest) plus
-/// the split index; the first `split` items are shared/stealable.
+/// A worker pool in simulator form: a deque of arena slot ids (front =
+/// tail = oldest) plus the split index; the first `split` items are
+/// shared/stealable.
 #[derive(Debug, Default)]
 struct VPool {
-    items: VecDeque<Box<[u64]>>,
+    ids: VecDeque<u32>,
     split: usize,
 }
 
 impl VPool {
-    fn push(&mut self, it: Box<[u64]>) {
-        self.items.push_back(it);
+    fn push(&mut self, id: u32) {
+        self.ids.push_back(id);
     }
 
-    fn pop_private(&mut self) -> Option<Box<[u64]>> {
-        if self.items.len() > self.split {
-            self.items.pop_back()
+    fn pop_private(&mut self) -> Option<u32> {
+        if self.ids.len() > self.split {
+            self.ids.pop_back()
         } else {
             None
         }
     }
 
     /// PaCCS-style pop (no split discipline).
-    fn pop_any(&mut self) -> Option<Box<[u64]>> {
-        let it = self.items.pop_back();
-        self.split = self.split.min(self.items.len());
+    fn pop_any(&mut self) -> Option<u32> {
+        let it = self.ids.pop_back();
+        self.split = self.split.min(self.ids.len());
         it
     }
 
     fn private(&self) -> usize {
-        self.items.len() - self.split
+        self.ids.len() - self.split
     }
 
     fn shared(&self) -> usize {
@@ -130,7 +330,7 @@ impl VPool {
     }
 
     fn len(&self) -> usize {
-        self.items.len()
+        self.ids.len()
     }
 
     fn release(&mut self, k: usize) -> usize {
@@ -146,17 +346,17 @@ impl VPool {
     }
 
     /// Steal the `m` oldest shared items.
-    fn steal(&mut self, max: usize) -> Vec<Box<[u64]>> {
+    fn steal(&mut self, max: usize) -> Vec<u32> {
         let m = max.min(self.split);
         self.split -= m;
-        self.items.drain(..m).collect()
+        self.ids.drain(..m).collect()
     }
 
     /// PaCCS-style steal: oldest items regardless of the split.
-    fn steal_any(&mut self, max: usize) -> Vec<Box<[u64]>> {
-        let m = max.min(self.items.len());
+    fn steal_any(&mut self, max: usize) -> Vec<u32> {
+        let m = max.min(self.ids.len());
         self.split = self.split.saturating_sub(m);
-        self.items.drain(..m).collect()
+        self.ids.drain(..m).collect()
     }
 }
 
@@ -164,13 +364,56 @@ impl VPool {
 // shared worker plumbing
 // ---------------------------------------------------------------------------
 
+/// A steal response travelling as arena slot ids: the id-level mirror of
+/// [`WorkBatch`] (whose `share_ceil`/`share_floor`/`thin_threshold`
+/// arithmetic the assembly sites still use).
+#[derive(Debug, Default)]
+struct SimBatch {
+    ids: Vec<u32>,
+    chunks: u32,
+}
+
+impl SimBatch {
+    fn from_chunk(ids: Vec<u32>) -> Self {
+        let chunks = if ids.is_empty() { 0 } else { 1 };
+        SimBatch { ids, chunks }
+    }
+
+    fn push_chunk(&mut self, ids: Vec<u32>) {
+        if !ids.is_empty() {
+            self.chunks += 1;
+            self.ids.extend(ids);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn chunks(&self) -> usize {
+        self.chunks as usize
+    }
+}
+
 enum Resp {
     /// A steal reply: the (possibly multi-chunk) batch and the serving
     /// victim, so the thief can account distance and affinity.
-    Work(WorkBatch, usize),
+    Work(SimBatch, usize),
     /// A refusal, with the refusing victim (the thief drops any affinity
     /// pinned to it, mirroring the threaded runtime).
     Fail(usize),
+}
+
+impl Resp {
+    fn victim(&self) -> usize {
+        match self {
+            Resp::Work(_, v) | Resp::Fail(v) => *v,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,15 +432,38 @@ enum Phase {
     },
 }
 
+/// Event-trace tag: phase discriminant plus its payload, mixed into the
+/// determinism trace hash.
+fn phase_tag(p: Phase) -> u64 {
+    match p {
+        Phase::Boot => 0,
+        Phase::Finish => 1,
+        Phase::ApplySteal { victim } => 2 | ((victim as u64) << 3),
+        Phase::Wait => 3,
+        Phase::Serve => 4,
+        Phase::Idle { round } => 5 | ((round as u64) << 3),
+    }
+}
+
+/// One FNV-1a step over a `u64`.
+#[inline]
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 struct SimSink<'a> {
-    staged: &'a mut Vec<Box<[u64]>>,
+    arena: &'a mut SlotArena,
+    staged: &'a mut Vec<u32>,
     solutions: &'a mut u64,
     cancelled: &'a mut bool,
 }
 
 impl WorkSink for SimSink<'_> {
     fn push(&mut self, item: &[u64]) {
-        self.staged.push(item.to_vec().into_boxed_slice());
+        self.staged.push(self.arena.alloc(item));
     }
     fn solution(&mut self) {
         *self.solutions += 1;
@@ -222,11 +488,17 @@ struct Win {
 
 struct VW<P: Processor> {
     pool: VPool,
-    current: Option<Box<[u64]>>,
-    staged: Vec<Box<[u64]>>,
+    /// The in-hand work item (`slot_words` long; live iff `has_cur`).
+    /// Kept as an owned buffer, not an arena slot: `process()` mutates it
+    /// in place while the sink allocates new slots from the same arena.
+    cur: Box<[u64]>,
+    has_cur: bool,
+    staged: Vec<u32>,
     staged_step: Step,
     staged_solutions: u64,
     staged_cancel: bool,
+    /// The real search kernel — built lazily on the first node this
+    /// worker expands (at 64k+ cores most workers never get one).
     proc: Option<P>,
     inc: Rc<SimIncumbent>,
     timers: PhaseTimers,
@@ -245,10 +517,6 @@ struct VW<P: Processor> {
     inbox: Option<Resp>,
     /// PaCCS: position in the victim sweep.
     sweep_pos: usize,
-    /// Event epoch: a scheduled event is live only if it carries the
-    /// worker's current epoch (lets us inject wake-ups for parked workers
-    /// without ever having two live events per worker).
-    epoch: u64,
     /// Last-successful-steal affinity per distance ring.
     vorder: VictimOrder,
     /// Response-batch tuner for [`ChunkPolicy::Adaptive`] (victim side).
@@ -259,15 +527,21 @@ struct VW<P: Processor> {
 // the simulator
 // ---------------------------------------------------------------------------
 
-struct Sim<'c, P: Processor> {
+struct Sim<'c, P: Processor, F: FnMut(usize) -> P> {
     cfg: &'c SimConfig,
     mode: SimMode,
     slot_words: usize,
+    factory: F,
     workers: Vec<VW<P>>,
-    heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    arena: SlotArena,
+    events: EventHeap,
+    /// Monotone event sequence — the deterministic tie-break.
     seq: u64,
     outstanding: i64,
     fabric: Rc<BoundFabric>,
+    /// The steal-plane message fabric (latency or contention pricing,
+    /// plus the conservation books).
+    net: NetFabric,
     /// The winner flag of a first-solution race, once raised.
     win: Option<Win>,
     /// Virtual instant at which each worker observes the winner flag
@@ -282,27 +556,19 @@ struct Sim<'c, P: Processor> {
     abandoned: u64,
     completed: u64,
     end_time: Option<u64>,
-    /// PaCCS victim sweep order per worker (nearest rings first).
-    sweeps: Vec<Vec<usize>>,
-    /// MaCS local victim rings per worker, nearest level first (flat
-    /// scan: one ring of all co-located peers).
-    local_rings: Vec<PerWorkerRings>,
-    /// MaCS remote victim *nodes* per worker, by distance ring (flat
-    /// scan: one ring of every other node).
-    node_rings: Vec<PerWorkerRings>,
+    /// Events dispatched (one per heap pop).
+    n_events: u64,
+    /// FNV-1a fold of `(t, worker, phase tag)` per dispatched event — the
+    /// bit-identical replay witness.
+    trace: u64,
 }
 
-/// One worker's victim rings, nearest first.
-type PerWorkerRings = Vec<Vec<usize>>;
-
-impl<'c, P: Processor> Sim<'c, P> {
+impl<'c, P: Processor, F: FnMut(usize) -> P> Sim<'c, P, F> {
     fn schedule(&mut self, wi: usize, t: u64, state: WorkerState, phase: Phase) {
         self.workers[wi].charge_state = state;
         self.workers[wi].phase = phase;
-        self.workers[wi].epoch += 1;
         self.seq += 1;
-        let epoch = self.workers[wi].epoch;
-        self.heap.push(Reverse((t, self.seq, wi, epoch)));
+        self.events.schedule(wi, t, self.seq);
     }
 
     /// Direct charge: `ns` of `state` at the worker's current instant.
@@ -331,41 +597,58 @@ impl<'c, P: Processor> Sim<'c, P> {
     /// schedule the Finish event.
     fn start_node(&mut self, wi: usize, now: u64) {
         let mut cost = self.node_cost(wi);
-        let w = &mut self.workers[wi];
         let node_id = self.cfg.topology.node_of(wi);
-        let inc = Rc::clone(&w.inc);
         let t_bound = now + cost;
-        inc.set_now(t_bound);
         // Stale-expansion reference, snapshotted *before* the node runs so
         // a solution this very step submits does not count its own
         // discovering expansion as stale.
         let ref_min = self.fabric.submitted_min(t_bound);
-        let buf = w.current.as_mut().expect("start_node without current");
         let t_real = std::time::Instant::now();
-        let step = {
-            let mut sink = SimSink {
-                staged: &mut w.staged,
-                solutions: &mut w.staged_solutions,
-                cancelled: &mut w.staged_cancel,
+        let (step, seen) = {
+            let Sim {
+                workers,
+                arena,
+                factory,
+                ..
+            } = self;
+            let w = &mut workers[wi];
+            let inc = Rc::clone(&w.inc);
+            inc.set_now(t_bound);
+            debug_assert!(w.has_cur, "start_node without current");
+            let step = {
+                let mut sink = SimSink {
+                    arena,
+                    staged: &mut w.staged,
+                    solutions: &mut w.staged_solutions,
+                    cancelled: &mut w.staged_cancel,
+                };
+                let mut ctx = ProcCtx::new(wi, node_id, &mut w.timers, &*inc, &mut sink);
+                w.proc
+                    .get_or_insert_with(|| factory(wi))
+                    .process(&mut w.cur, &mut ctx)
             };
-            let mut ctx = ProcCtx::new(wi, node_id, &mut w.timers, &*inc, &mut sink);
-            w.proc
-                .as_mut()
-                .expect("processor alive")
-                .process(buf, &mut ctx)
+            (step, inc.take_last_seen())
         };
         if let NodeCost::Measured { num, den } = self.cfg.costs.node {
             cost = (t_real.elapsed().as_nanos() as u64).max(50) * num / den.max(1);
         }
-        w.staged_step = step;
+        self.workers[wi].staged_step = step;
         // Wasted-work accounting: the node ran under a bound worse than
         // the best value already *submitted* somewhere — an expansion an
         // ideal zero-delay fabric might have pruned.
-        let seen = inc.take_last_seen();
         if seen > ref_min {
             self.workers[wi].stats.stale_bound_nodes += 1;
         }
         self.schedule(wi, now + cost, WorkerState::Working, Phase::Finish);
+    }
+
+    /// Copy an arena item into `wi`'s hand and free the slot.
+    fn adopt(&mut self, wi: usize, id: u32) {
+        let Sim { workers, arena, .. } = self;
+        let w = &mut workers[wi];
+        w.cur.copy_from_slice(arena.get(id));
+        w.has_cur = true;
+        arena.release(id);
     }
 
     /// Has `wi` seen the winner flag by virtual instant `t`?
@@ -401,13 +684,16 @@ impl<'c, P: Processor> Sim<'c, P> {
     /// abandon path of an observed win. Returns `true` if the whole
     /// computation just ended.
     fn drain_observed(&mut self, wi: usize, now: u64) -> bool {
-        let w = &mut self.workers[wi];
+        let Sim { workers, arena, .. } = self;
+        let w = &mut workers[wi];
         let n = w.pool.len() as i64;
-        w.pool.items.clear();
+        for id in w.pool.ids.drain(..) {
+            arena.release(id);
+        }
         w.pool.split = 0;
         self.outstanding -= n;
         self.abandoned += n as u64;
-        if self.workers[wi].current.take().is_some() {
+        if std::mem::take(&mut w.has_cur) {
             self.outstanding -= 1;
             self.abandoned += 1;
         }
@@ -440,7 +726,7 @@ impl<'c, P: Processor> Sim<'c, P> {
                 self.nodes_after_win += 1;
             }
         }
-        let staged: Vec<Box<[u64]>> = std::mem::take(&mut self.workers[wi].staged);
+        let staged: Vec<u32> = std::mem::take(&mut self.workers[wi].staged);
         if self.observed_win(wi, now) {
             // Children die before ever entering a pool; the unit in hand
             // completed if it was a leaf, and is abandoned mid-chain
@@ -448,22 +734,26 @@ impl<'c, P: Processor> Sim<'c, P> {
             let w = &mut self.workers[wi];
             w.stats.pushes += staged.len() as u64;
             self.abandoned += staged.len() as u64;
+            for id in staged {
+                self.arena.release(id);
+            }
+            let w = &mut self.workers[wi];
             if w.staged_step == Step::Leaf {
                 self.completed += 1;
             } else {
                 self.abandoned += 1;
             }
-            self.workers[wi].current = None;
+            w.has_cur = false;
             self.outstanding -= 1;
         } else {
             self.outstanding += staged.len() as i64;
             let w = &mut self.workers[wi];
-            for it in staged {
-                w.pool.push(it);
+            for id in staged {
+                w.pool.push(id);
                 w.stats.pushes += 1;
             }
             if w.staged_step == Step::Leaf {
-                w.current = None;
+                w.has_cur = false;
                 self.outstanding -= 1;
                 self.completed += 1;
             }
@@ -513,7 +803,7 @@ impl<'c, P: Processor> Sim<'c, P> {
             self.serve_requests_paccs(wi, &mut now);
         }
 
-        if self.workers[wi].current.is_some() {
+        if self.workers[wi].has_cur {
             self.start_node(wi, now);
         } else {
             self.enter_acquire(wi, now);
@@ -538,8 +828,8 @@ impl<'c, P: Processor> Sim<'c, P> {
         } else {
             self.workers[wi].pool.pop_any()
         };
-        if let Some(it) = popped {
-            self.workers[wi].current = Some(it);
+        if let Some(id) = popped {
+            self.adopt(wi, id);
             self.start_node(wi, now);
             return;
         }
@@ -548,8 +838,8 @@ impl<'c, P: Processor> Sim<'c, P> {
             self.charge(wi, WorkerState::Searching, release_ns, &mut now);
             let chunk = self.cfg.max_steal_chunk as usize;
             self.workers[wi].pool.reacquire(chunk);
-            if let Some(it) = self.workers[wi].pool.pop_private() {
-                self.workers[wi].current = Some(it);
+            if let Some(id) = self.workers[wi].pool.pop_private() {
+                self.adopt(wi, id);
                 self.start_node(wi, now);
                 return;
             }
@@ -566,11 +856,74 @@ impl<'c, P: Processor> Sim<'c, P> {
         self.schedule(wi, now + backoff, WorkerState::Idle, Phase::Idle { round });
     }
 
-    // ----- MaCS protocol ----------------------------------------------------
+    // ----- victim rings (lazy O(1) views) -----------------------------------
 
-    /// One-way latency between two workers, by how many remote rings the
-    /// message crosses. The flat scan is distance-blind (the original
-    /// single-tier fabric); distance-aware runs charge each further level.
+    /// Number of local victim rings `wi` scans, nearest level first (flat
+    /// scan: one ring of all co-located peers).
+    fn local_ring_count(&self) -> usize {
+        match self.cfg.scan_order {
+            ScanOrder::DistanceAware => self.cfg.topology.local_distance_max(),
+            ScanOrder::Flat => 1,
+        }
+    }
+
+    /// The `ri`-th local victim ring of `wi` — computed from the shape's
+    /// arithmetic, enumerating the same IDs in the same order as the
+    /// materialised rings [`ScanOrder::victim_rings`] builds for the
+    /// threaded runtime.
+    fn local_ring(&self, wi: usize, ri: usize) -> PeerRing {
+        let topo = &self.cfg.topology;
+        match self.cfg.scan_order {
+            ScanOrder::DistanceAware => topo.peers_at(wi, ri + 1),
+            ScanOrder::Flat => PeerRing::hole(topo.peers_of(wi), wi),
+        }
+    }
+
+    /// Number of remote node rings `wi` probes (flat scan: one ring of
+    /// every other node; none on single-node machines).
+    fn node_ring_count(&self) -> usize {
+        let topo = &self.cfg.topology;
+        if topo.nodes() <= 1 {
+            return 0;
+        }
+        match self.cfg.scan_order {
+            ScanOrder::DistanceAware => topo.node_prefix(),
+            ScanOrder::Flat => 1,
+        }
+    }
+
+    /// The `ri`-th remote node ring of `wi`, nearest first.
+    fn node_ring(&self, wi: usize, ri: usize) -> NodeRing {
+        let topo = &self.cfg.topology;
+        match self.cfg.scan_order {
+            ScanOrder::DistanceAware => topo.node_ring_at(wi, topo.local_distance_max() + 1 + ri),
+            ScanOrder::Flat => NodeRing::hole(0..topo.nodes(), topo.node_of(wi)),
+        }
+    }
+
+    /// The `pos`-th victim of `wi`'s PaCCS sweep: the distance rings
+    /// flattened nearest first (the paper's expanding neighbourhood),
+    /// computed on demand instead of materialised per worker.
+    fn sweep_victim(&self, wi: usize, pos: usize) -> Option<usize> {
+        let topo = &self.cfg.topology;
+        let mut p = pos;
+        for d in 1..=topo.levels() {
+            let ring = topo.peers_at(wi, d);
+            let n = ring.len();
+            if p < n {
+                return Some(ring.get(p));
+            }
+            p -= n;
+        }
+        None
+    }
+
+    // ----- message fabric ---------------------------------------------------
+
+    /// One-way propagation latency between two workers, by how many
+    /// remote rings the message crosses. The flat scan is distance-blind
+    /// (the original single-tier fabric); distance-aware runs charge each
+    /// further level.
     fn fabric_latency(&self, a: usize, b: usize) -> u64 {
         if self.cfg.scan_order == ScanOrder::Flat {
             return self.cfg.costs.remote_latency_ns;
@@ -581,6 +934,32 @@ impl<'c, P: Processor> Sim<'c, P> {
             .saturating_sub(topo.local_distance_max());
         self.cfg.costs.remote_latency_for(rank.max(1))
     }
+
+    /// Send a control message (request / refusal) from `a` to `b` at
+    /// `now`; returns the arrival instant (queueing-priced under
+    /// contention).
+    fn send_ctrl(&mut self, a: usize, b: usize, now: u64) -> u64 {
+        let prop = self.fabric_latency(a, b);
+        let topo = &self.cfg.topology;
+        let (fa, fb) = (topo.node_of(a), topo.node_of(b));
+        let bytes = self.net.params().ctrl_bytes;
+        self.net.send(fa, fb, bytes, prop, 0, now)
+    }
+
+    /// Send a work reply carrying `payload_bytes` from `a` to `b` at
+    /// `now`; under the flat model this is propagation + the per-byte
+    /// transfer cost, under contention the payload serialises on both
+    /// link directions.
+    fn send_payload(&mut self, a: usize, b: usize, payload_bytes: u64, now: u64) -> u64 {
+        let prop = self.fabric_latency(a, b);
+        let flat = self.cfg.costs.transfer_ns(payload_bytes);
+        let topo = &self.cfg.topology;
+        let (fa, fb) = (topo.node_of(a), topo.node_of(b));
+        let bytes = payload_bytes + self.net.params().header_bytes;
+        self.net.send(fa, fb, bytes, prop, flat, now)
+    }
+
+    // ----- MaCS protocol ----------------------------------------------------
 
     fn try_steal_macs(&mut self, wi: usize, mut now: u64) {
         // A won race leaves nothing worth stealing: the victims' owners
@@ -598,13 +977,13 @@ impl<'c, P: Processor> Sim<'c, P> {
         // no per-candidate allocation on this hottest of paths.
         let mut victim = None;
         let mut inspected = 0u64;
-        'local: for ri in 0..self.local_rings[wi].len() {
+        'local: for ri in 0..self.local_ring_count() {
             let d = ri + 1;
+            let ring = self.local_ring(wi, ri);
             match self.cfg.victim {
                 VictimSelect::Greedy => {
-                    let ring = &self.local_rings[wi][ri];
                     let rot = self.workers[wi].rng.below_usize(ring.len().max(1));
-                    for v in self.workers[wi].vorder.ring_order(ring, d, rot) {
+                    for v in self.workers[wi].vorder.ring_order(&ring, d, rot) {
                         inspected += 1;
                         // A single shared item can never be granted (the
                         // victim retains one): only ≥ 2 is viable surplus.
@@ -619,7 +998,7 @@ impl<'c, P: Processor> Sim<'c, P> {
                     // region (≥ 2 — one retained item is not stealable);
                     // only move a level out if the ring is dry.
                     let mut best = 1usize;
-                    for &v in &self.local_rings[wi][ri] {
+                    for v in ring.clone() {
                         inspected += 1;
                         let s = self.workers[v].pool.shared();
                         if s > best {
@@ -661,8 +1040,8 @@ impl<'c, P: Processor> Sim<'c, P> {
         // so the one-sided node scans are charged in one sum afterwards.
         let mut target = None;
         let mut probes = 0u64;
-        'rings: for ri in 0..self.node_rings[wi].len() {
-            let ring = &self.node_rings[wi][ri];
+        'rings: for ri in 0..self.node_ring_count() {
+            let ring = self.node_ring(wi, ri);
             if ring.is_empty() {
                 continue;
             }
@@ -671,7 +1050,7 @@ impl<'c, P: Processor> Sim<'c, P> {
             let rot = self.workers[wi].rng.below_usize(ring.len());
             for cand in self.workers[wi]
                 .vorder
-                .node_probe_order(&self.cfg.topology, ring, ring_d, rot)
+                .node_probe_order(&self.cfg.topology, &ring, ring_d, rot)
                 .take(attempts)
             {
                 probes += 1;
@@ -699,7 +1078,7 @@ impl<'c, P: Processor> Sim<'c, P> {
         if let Some(v) = target {
             let post_ns = self.cfg.costs.post_request_ns;
             self.charge(wi, WorkerState::FindRemote, post_ns, &mut now);
-            let arrival = now + self.fabric_latency(wi, v);
+            let arrival = self.send_ctrl(wi, v, now);
             self.workers[v].pending_req = Some((wi, arrival));
             // Park: the victim's response event will wake us.
             self.workers[wi].phase = Phase::Wait;
@@ -741,14 +1120,17 @@ impl<'c, P: Processor> Sim<'c, P> {
             let topo = &self.cfg.topology;
             self.workers[wi].vorder.record_success(topo, v);
         }
-        let w = &mut self.workers[wi];
-        w.stats.local_steals += 1;
-        w.stats.local_steal_items += items.len() as u64;
-        w.stats.steals_by_distance.record(d);
+        {
+            let w = &mut self.workers[wi];
+            w.stats.local_steals += 1;
+            w.stats.local_steal_items += items.len() as u64;
+            w.stats.steals_by_distance.record(d);
+        }
         let mut it = items.into_iter();
-        w.current = it.next();
+        let first = it.next().expect("non-empty steal");
+        self.adopt(wi, first);
         for rest in it {
-            w.pool.push(rest);
+            self.workers[wi].pool.push(rest);
         }
         self.start_node(wi, now);
     }
@@ -763,6 +1145,7 @@ impl<'c, P: Processor> Sim<'c, P> {
             return false;
         }
         self.workers[wi].pending_req = None;
+        self.net.deliver();
         let poll_ns = self.cfg.costs.poll_ns;
         self.charge(wi, WorkerState::Poll, poll_ns, now);
         self.workers[wi].stats.polls += 1;
@@ -784,7 +1167,7 @@ impl<'c, P: Processor> Sim<'c, P> {
             self.cfg.response_batch.max(1) as u64
         };
         let mut budget = chunk;
-        let mut batch = WorkBatch::default();
+        let mut batch = SimBatch::default();
         let mut proxy = false;
         let own_share =
             WorkBatch::share_ceil(self.workers[wi].pool.shared() as u64, budget) as usize;
@@ -829,11 +1212,10 @@ impl<'c, P: Processor> Sim<'c, P> {
 
         let resp_ns = self.cfg.costs.write_response_ns;
         self.charge(wi, WorkerState::Poll, resp_ns, now);
-        let reply_latency = self.fabric_latency(wi, thief);
         if batch.is_empty() {
             self.workers[wi].stats.requests_refused += 1;
+            let t = self.send_ctrl(wi, thief, *now);
             self.workers[thief].inbox = Some(Resp::Fail(wi));
-            let t = *now + reply_latency;
             self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
         } else {
             if self.cfg.chunk_policy.is_adaptive() {
@@ -850,7 +1232,7 @@ impl<'c, P: Processor> Sim<'c, P> {
                 self.workers[wi].stats.proxy_serves += 1;
             }
             let bytes = (batch.len() * self.slot_words * 8) as u64;
-            let t = *now + reply_latency + self.cfg.costs.transfer_ns(bytes);
+            let t = self.send_payload(wi, thief, bytes, *now);
             self.workers[thief].inbox = Some(Resp::Work(batch, wi));
             self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
         }
@@ -859,7 +1241,16 @@ impl<'c, P: Processor> Sim<'c, P> {
 
     fn wake_from_wait(&mut self, wi: usize, t: u64) {
         let mut now = t;
-        match self.workers[wi].inbox.take() {
+        let resp = self.workers[wi].inbox.take();
+        if let Some(r) = &resp {
+            // Conservation: the reply is consumed here. PaCCS also routes
+            // same-node replies through the mailbox (at poll latency) —
+            // those never entered the fabric.
+            if self.mode == SimMode::Macs || !self.cfg.topology.is_local(wi, r.victim()) {
+                self.net.deliver();
+            }
+        }
+        match resp {
             Some(Resp::Work(batch, _)) if self.observed_win(wi, t) => {
                 // The reply raced the winner flag and lost: the stolen
                 // items die on arrival (they stayed outstanding while in
@@ -870,6 +1261,9 @@ impl<'c, P: Processor> Sim<'c, P> {
                 self.workers[wi].stats.drain_steals += 1;
                 self.outstanding -= batch.len() as i64;
                 self.abandoned += batch.len() as u64;
+                for id in batch.ids {
+                    self.arena.release(id);
+                }
                 if self.outstanding == 0 {
                     self.end_time = Some(now);
                     return;
@@ -889,11 +1283,12 @@ impl<'c, P: Processor> Sim<'c, P> {
                     w.stats.remote_steals += 1;
                     w.stats.remote_steal_items += batch.len() as u64;
                     w.stats.steals_by_distance.record(d);
-                    let mut it = batch.into_iter();
-                    w.current = it.next();
-                    for rest in it {
-                        w.pool.push(rest);
-                    }
+                }
+                let mut it = batch.ids.into_iter();
+                let first = it.next().expect("non-empty work reply");
+                self.adopt(wi, first);
+                for rest in it {
+                    self.workers[wi].pool.push(rest);
                 }
                 self.start_node(wi, now);
             }
@@ -922,7 +1317,7 @@ impl<'c, P: Processor> Sim<'c, P> {
     /// Idle PaCCS agent: send the next steal request in neighbourhood
     /// order and park for the reply.
     fn sweep_paccs(&mut self, wi: usize, mut now: u64) {
-        let order_len = self.sweeps[wi].len();
+        let order_len = self.cfg.topology.total_workers() - 1;
         if order_len == 0 || self.observed_win(wi, now) {
             self.enter_idle(wi, now, 0);
             return;
@@ -934,17 +1329,16 @@ impl<'c, P: Processor> Sim<'c, P> {
             self.enter_idle(wi, now, 0);
             return;
         }
-        let v = self.sweeps[wi][pos];
+        let v = self.sweep_victim(wi, pos).expect("sweep position in range");
         let local = self.cfg.topology.is_local(wi, v);
         // Two-sided request: send cost + message latency.
         let send_ns = self.cfg.costs.post_request_ns / 2;
         self.charge(wi, WorkerState::FindRemote, send_ns, &mut now);
-        let lat = if local {
-            self.cfg.costs.poll_ns.max(200)
+        let arrival = if local {
+            now + self.cfg.costs.poll_ns.max(200)
         } else {
-            self.fabric_latency(wi, v)
+            self.send_ctrl(wi, v, now)
         };
-        let arrival = now + lat;
         self.workers[v].req_queue.push_back((wi, arrival));
         // A parked victim (itself blocked on a steal reply) would never
         // look at its queue: inject a service wake — the simulated
@@ -969,29 +1363,36 @@ impl<'c, P: Processor> Sim<'c, P> {
                 return;
             }
             self.workers[wi].req_queue.pop_front();
+            let local = self.cfg.topology.is_local(wi, thief);
+            if !local {
+                self.net.deliver();
+            }
             let poll_ns = self.cfg.costs.poll_ns;
             self.charge(wi, WorkerState::Poll, poll_ns, now);
             self.workers[wi].stats.polls += 1;
 
             let have = self.workers[wi].pool.len();
             let give = WorkBatch::share_floor(have as u64, self.chunk_cap(wi, thief)) as usize;
-            let local = self.cfg.topology.is_local(wi, thief);
-            let lat = if local {
-                self.cfg.costs.poll_ns.max(200)
-            } else {
-                self.fabric_latency(wi, thief)
-            };
             if give == 0 {
                 self.workers[wi].stats.requests_refused += 1;
+                let t = if local {
+                    *now + self.cfg.costs.poll_ns.max(200)
+                } else {
+                    self.send_ctrl(wi, thief, *now)
+                };
                 self.workers[thief].inbox = Some(Resp::Fail(wi));
-                self.schedule(thief, *now + lat, WorkerState::WaitRemote, Phase::Wait);
+                self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
             } else {
                 let items = self.workers[wi].pool.steal_any(give);
                 self.workers[wi].stats.requests_served += 1;
-                let batch = WorkBatch::from_items(items);
+                let batch = SimBatch::from_chunk(items);
                 self.workers[wi].stats.response_chunks += batch.chunks() as u64;
                 let bytes = (batch.len() * self.slot_words * 8) as u64;
-                let t = *now + lat + self.cfg.costs.transfer_ns(bytes);
+                let t = if local {
+                    *now + self.cfg.costs.poll_ns.max(200) + self.cfg.costs.transfer_ns(bytes)
+                } else {
+                    self.send_payload(wi, thief, bytes, *now)
+                };
                 // Classify on the thief when the reply arrives.
                 self.workers[thief].inbox = Some(Resp::Work(batch, wi));
                 self.schedule(thief, t, WorkerState::WaitRemote, Phase::Wait);
@@ -1004,18 +1405,19 @@ impl<'c, P: Processor> Sim<'c, P> {
     fn run(&mut self, roots: &[Vec<u64>]) {
         self.outstanding = roots.len() as i64;
         for r in roots {
-            self.workers[0].pool.push(r.clone().into_boxed_slice());
+            let id = self.arena.alloc(r);
+            self.workers[0].pool.push(id);
         }
         for wi in 0..self.workers.len() {
             self.schedule(wi, 0, WorkerState::Barrier, Phase::Boot);
         }
-        while let Some(Reverse((t, _, wi, epoch))) = self.heap.pop() {
+        while let Some((t, wi)) = self.events.pop() {
             if self.end_time.is_some() {
                 break;
             }
-            if epoch != self.workers[wi].epoch {
-                continue; // superseded event
-            }
+            self.n_events += 1;
+            let phase = self.workers[wi].phase;
+            self.trace = fnv1a(fnv1a(fnv1a(self.trace, t), wi as u64), phase_tag(phase));
             // Charge the interval since the worker's last instant to the
             // state it was parked/scheduled in.
             {
@@ -1024,7 +1426,7 @@ impl<'c, P: Processor> Sim<'c, P> {
                 w.stats.state_ns[w.charge_state as usize] += dt;
                 w.cursor = t;
             }
-            match self.workers[wi].phase {
+            match phase {
                 Phase::Boot => self.enter_acquire(wi, t),
                 Phase::Finish => {
                     if !self.finish_node(wi, t) {
@@ -1071,7 +1473,7 @@ impl<'c, P: Processor> Sim<'c, P> {
     /// From an idle wake: try to acquire again (pool may have refilled via
     /// an in-place response in MaCS, or we retry the steal paths).
     fn enter_acquire_or_retry(&mut self, wi: usize, now: u64, round: u32) {
-        if self.workers[wi].pool.len() > 0 || self.workers[wi].current.is_some() {
+        if self.workers[wi].pool.len() > 0 || self.workers[wi].has_cur {
             self.enter_acquire(wi, now);
             return;
         }
@@ -1102,6 +1504,30 @@ impl<'c, P: Processor> Sim<'c, P> {
             round: round.min(16),
         };
     }
+
+    /// Messages sitting unconsumed in mailboxes/queues at drain time —
+    /// the fabric's in-flight count (only messages that actually entered
+    /// the fabric: PaCCS same-node traffic never did).
+    fn undelivered(&self) -> u64 {
+        let topo = &self.cfg.topology;
+        let mut n = 0u64;
+        for (wi, w) in self.workers.iter().enumerate() {
+            if w.pending_req.is_some() {
+                n += 1;
+            }
+            for &(thief, _) in &w.req_queue {
+                if !topo.is_local(wi, thief) {
+                    n += 1;
+                }
+            }
+            if let Some(r) = &w.inbox {
+                if self.mode == SimMode::Macs || !topo.is_local(wi, r.victim()) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1113,7 +1539,7 @@ fn build_and_run<P, F>(
     mode: SimMode,
     slot_words: usize,
     roots: &[Vec<u64>],
-    mut factory: F,
+    factory: F,
 ) -> SimReport<P::Output>
 where
     P: Processor,
@@ -1135,16 +1561,18 @@ where
         &cfg.costs,
     ));
 
+    let words = slot_words.max(roots.iter().map(|r| r.len()).max().unwrap_or(0));
     let workers: Vec<VW<P>> = (0..n)
         .map(|wi| VW {
             vorder: VictimOrder::new(&cfg.topology, wi),
             pool: VPool::default(),
-            current: None,
+            cur: vec![0u64; words.max(1)].into_boxed_slice(),
+            has_cur: false,
             staged: Vec::new(),
             staged_step: Step::Leaf,
             staged_solutions: 0,
             staged_cancel: false,
-            proc: Some(factory(wi)),
+            proc: None,
             inc: Rc::new(SimIncumbent::new(Rc::clone(&fabric), wi)),
             timers: PhaseTimers::default(),
             stats: SimWorkerStats::default(),
@@ -1159,24 +1587,9 @@ where
             req_queue: VecDeque::new(),
             inbox: None,
             sweep_pos: 0,
-            epoch: 0,
             adaptive: AdaptiveBatch::starting_at(cfg.response_batch),
         })
         .collect();
-
-    let topo = &cfg.topology;
-    // PaCCS sweep order: the topology's distance rings flattened nearest
-    // first — socket peers, then node peers, then each remote ring (the
-    // paper's expanding neighbourhood, derived from the machine shape).
-    let sweeps: Vec<Vec<usize>> = (0..n)
-        .map(|wi| topo.rings(wi).into_iter().flatten().collect())
-        .collect();
-    // MaCS victim rings (local workers, remote nodes) per worker — built
-    // by the same helper the threaded runtime uses, so the sim models
-    // the identical machine.
-    let (local_rings, node_rings): (Vec<PerWorkerRings>, Vec<PerWorkerRings>) = (0..n)
-        .map(|wi| cfg.scan_order.victim_rings(topo, wi))
-        .unzip();
 
     // The winner flag of a first-solution race always travels the
     // hierarchical node-leader route, whatever bound policy is under
@@ -1192,11 +1605,14 @@ where
         cfg,
         mode,
         slot_words,
+        factory,
         workers,
-        heap: BinaryHeap::new(),
+        arena: SlotArena::new(words),
+        events: EventHeap::new(n),
         seq: 0,
         outstanding: 0,
         fabric: Rc::clone(&fabric),
+        net: NetFabric::new(cfg.fabric, cfg.topology.nodes()),
         win: None,
         win_seen: vec![u64::MAX; n],
         winner_fabric,
@@ -1204,9 +1620,8 @@ where
         abandoned: 0,
         completed: 0,
         end_time: None,
-        sweeps,
-        local_rings,
-        node_rings,
+        n_events: 0,
+        trace: 0xcbf2_9ce4_8422_2325,
     };
     sim.run(roots);
 
@@ -1217,10 +1632,19 @@ where
     let first_solution_ns = sim.win.map(|w| w.t);
     let (nodes_after_win, abandoned_items, completed_items) =
         (sim.nodes_after_win, sim.abandoned, sim.completed);
+    let fabric_report = sim.net.report(sim.undelivered());
+    let (events, trace_hash, peak_live_items) = (sim.n_events, sim.trace, sim.arena.peak);
+    let mut factory = sim.factory;
     let (stats, outputs): (Vec<_>, Vec<_>) = sim
         .workers
         .into_iter()
-        .map(|mut w| (w.stats.clone(), w.proc.take().expect("proc").finish()))
+        .enumerate()
+        .map(|(wi, mut w)| {
+            // Workers that never expanded a node get a transient
+            // processor just to produce their (empty) output.
+            let proc = w.proc.take().unwrap_or_else(|| factory(wi));
+            (w.stats.clone(), proc.finish())
+        })
         .unzip();
     SimReport {
         makespan_ns,
@@ -1233,6 +1657,10 @@ where
         nodes_after_win,
         abandoned_items,
         completed_items,
+        events,
+        trace_hash,
+        peak_live_items,
+        fabric: fabric_report,
     }
 }
 
@@ -1263,4 +1691,53 @@ where
     F: FnMut(usize) -> P,
 {
     build_and_run(cfg, SimMode::Paccs, slot_words, roots, factory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_heap_pops_in_key_order_with_reschedules() {
+        let mut h = EventHeap::new(8);
+        // Same time, schedule order breaks the tie.
+        for (seq, w) in [(1, 3usize), (2, 1), (3, 5)] {
+            h.schedule(w, 100, seq);
+        }
+        // Worker 1 rescheduled later: supersedes its first event.
+        h.schedule(1, 400, 4);
+        h.schedule(7, 50, 5);
+        let mut out = Vec::new();
+        while let Some((t, w)) = h.pop() {
+            out.push((t, w));
+        }
+        assert_eq!(out, vec![(50, 7), (100, 3), (100, 5), (400, 1)]);
+    }
+
+    #[test]
+    fn event_heap_reschedule_can_move_earlier() {
+        let mut h = EventHeap::new(4);
+        h.schedule(0, 1_000, 1);
+        h.schedule(1, 2_000, 2);
+        h.schedule(1, 10, 3); // decrease-key
+        assert_eq!(h.pop(), Some((10, 1)));
+        assert_eq!(h.pop(), Some((1_000, 0)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn slot_arena_recycles_slots() {
+        let mut a = SlotArena::new(4);
+        let x = a.alloc(&[1, 2, 3, 4]);
+        let y = a.alloc(&[5, 6, 7, 8]);
+        assert_eq!(a.get(x), &[1, 2, 3, 4]);
+        assert_eq!(a.get(y), &[5, 6, 7, 8]);
+        assert_eq!(a.peak, 2);
+        a.release(x);
+        let z = a.alloc(&[9, 9]); // short item zero-padded
+        assert_eq!(z, x, "freed slot reused");
+        assert_eq!(a.get(z), &[9, 9, 0, 0]);
+        assert_eq!(a.peak, 2, "peak unchanged by reuse");
+        assert_eq!(a.data.len(), 8, "no growth beyond two slots");
+    }
 }

@@ -1,0 +1,337 @@
+//! The steal-plane message fabric: flat per-ring latencies, or a
+//! contention model with per-link capacity and FIFO queueing.
+//!
+//! The original cost model charges every remote message a *fixed* one-way
+//! latency for its distance ring, however many messages share a link — so
+//! 10k thieves hammering one victim node all pay the same 2 µs, which is
+//! exactly the dishonesty Gent & McCreesh warn parallel-CP comparisons
+//! about. Under [`FabricModel::Contention`] each shared-memory node gets
+//! one *uplink* (egress) and one *downlink* (ingress) of finite capacity;
+//! a message serialises at `link_byte_ps` per byte on both, queues FIFO
+//! behind whatever the link is still transmitting, and only then pays the
+//! per-ring propagation delay. A steal storm therefore pays queueing
+//! delay that grows with the storm, not flat latency.
+//!
+//! The fabric also keeps conservation books — messages injected,
+//! delivered, and (at drain) in flight — which `prop_fabric` pins:
+//! `injected == delivered + in_flight` at every drain, and no link's
+//! queue can ever be deeper than `horizon / serialization + 1`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+
+/// Capacity parameters of one link direction under
+/// [`FabricModel::Contention`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContentionParams {
+    /// Serialization cost per byte on a node's uplink/downlink, in
+    /// picoseconds (667 ≙ ~1.5 GB/s, matching the flat model's
+    /// per-byte transfer cost).
+    pub link_byte_ps: u64,
+    /// Wire size of a control message (steal request / refusal), bytes.
+    pub ctrl_bytes: u64,
+    /// Per-message header added to payload replies, bytes.
+    pub header_bytes: u64,
+}
+
+impl Default for ContentionParams {
+    fn default() -> Self {
+        ContentionParams {
+            link_byte_ps: 667,
+            ctrl_bytes: 64,
+            header_bytes: 64,
+        }
+    }
+}
+
+/// How remote steal-plane messages are priced. Threaded through
+/// [`SimConfig`](crate::SimConfig); the `fabric_ablation` bin compares
+/// the two models head to head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FabricModel {
+    /// Fixed one-way latency per distance ring plus a flat per-byte
+    /// transfer cost — infinite link capacity (the PR 2–7 behaviour).
+    #[default]
+    Latency,
+    /// Finite per-node link capacity with FIFO queueing on each node's
+    /// uplink and downlink; propagation stays per-ring.
+    Contention(ContentionParams),
+}
+
+impl FabricModel {
+    pub fn is_contention(&self) -> bool {
+        matches!(self, FabricModel::Contention(_))
+    }
+}
+
+impl fmt::Display for FabricModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricModel::Latency => write!(f, "latency"),
+            FabricModel::Contention(p) => {
+                let d = ContentionParams::default();
+                if *p == d {
+                    write!(f, "contention")
+                } else {
+                    write!(
+                        f,
+                        "contention:{},{},{}",
+                        p.link_byte_ps, p.ctrl_bytes, p.header_bytes
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for FabricModel {
+    type Err = String;
+
+    /// `latency`, `contention`, or `contention:BYTE_PS[,CTRL[,HDR]]`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "latency" | "flat" => Ok(FabricModel::Latency),
+            "contention" => Ok(FabricModel::Contention(ContentionParams::default())),
+            _ => {
+                let rest = s
+                    .strip_prefix("contention:")
+                    .ok_or_else(|| format!("unknown fabric model {s:?}"))?;
+                let mut p = ContentionParams::default();
+                let mut it = rest.split(',');
+                let field = |v: Option<&str>, cur: u64| -> Result<u64, String> {
+                    match v {
+                        None => Ok(cur),
+                        Some(x) => x.parse().map_err(|_| format!("bad fabric field {x:?}")),
+                    }
+                };
+                p.link_byte_ps = field(it.next(), p.link_byte_ps)?;
+                p.ctrl_bytes = field(it.next(), p.ctrl_bytes)?;
+                p.header_bytes = field(it.next(), p.header_bytes)?;
+                if it.next().is_some() {
+                    return Err(format!("too many fabric fields in {s:?}"));
+                }
+                Ok(FabricModel::Contention(p))
+            }
+        }
+    }
+}
+
+/// One direction of a node's network attachment: busy-until horizon plus
+/// the departure times of in-queue messages (for depth accounting).
+#[derive(Clone, Debug, Default)]
+struct Link {
+    busy_until: u64,
+    departs: VecDeque<u64>,
+    max_depth: u64,
+}
+
+impl Link {
+    /// Enqueue a message of `ser_ns` serialization at `now`; returns
+    /// (departure instant, queueing wait).
+    fn enqueue(&mut self, now: u64, ser_ns: u64) -> (u64, u64) {
+        while self.departs.front().is_some_and(|&d| d <= now) {
+            self.departs.pop_front();
+        }
+        let start = self.busy_until.max(now);
+        let wait = start - now;
+        let dep = start + ser_ns;
+        self.busy_until = dep;
+        self.departs.push_back(dep);
+        self.max_depth = self.max_depth.max(self.departs.len() as u64);
+        (dep, wait)
+    }
+}
+
+/// Conservation and congestion counters, copied into the
+/// [`SimReport`](crate::SimReport) at drain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricReport {
+    /// Was the contention model active?
+    pub contention: bool,
+    /// Remote steal-plane messages handed to the fabric (requests,
+    /// refusals, work replies; bound dissemination is billed analytically
+    /// by the [`BoundFabric`](crate::BoundFabric) and counted in
+    /// `bound_msgs` instead).
+    pub injected: u64,
+    /// Messages consumed by their destination worker.
+    pub delivered: u64,
+    /// Messages still travelling (or sitting unread in a mailbox) when
+    /// the simulation drained: `injected == delivered + in_flight`.
+    pub in_flight: u64,
+    /// Deepest FIFO backlog any single link direction reached.
+    pub max_link_depth: u64,
+    /// Messages that had to wait behind an earlier transmission.
+    pub queued_msgs: u64,
+    /// Total virtual time spent queueing (the steal-storm bill).
+    pub total_queue_ns: u64,
+}
+
+/// The message fabric: prices every remote steal-plane message and keeps
+/// the conservation books. One instance per simulation.
+#[derive(Clone, Debug)]
+pub(crate) struct NetFabric {
+    model: FabricModel,
+    /// `links[2n]` = node `n`'s egress (uplink), `links[2n+1]` = ingress.
+    links: Vec<Link>,
+    injected: u64,
+    delivered: u64,
+    queued_msgs: u64,
+    total_queue_ns: u64,
+}
+
+impl NetFabric {
+    pub fn new(model: FabricModel, nodes: usize) -> Self {
+        let links = match model {
+            FabricModel::Latency => Vec::new(),
+            FabricModel::Contention(_) => vec![Link::default(); 2 * nodes],
+        };
+        NetFabric {
+            model,
+            links,
+            injected: 0,
+            delivered: 0,
+            queued_msgs: 0,
+            total_queue_ns: 0,
+        }
+    }
+
+    pub fn params(&self) -> ContentionParams {
+        match self.model {
+            FabricModel::Latency => ContentionParams::default(),
+            FabricModel::Contention(p) => p,
+        }
+    }
+
+    /// Price one remote message sent at `now`: `bytes` on the wire,
+    /// `prop_ns` of per-ring propagation, and `flat_extra_ns` the flat
+    /// model's per-byte transfer surcharge (zero for control messages).
+    /// Returns the arrival instant at the destination worker.
+    pub fn send(
+        &mut self,
+        from_node: usize,
+        to_node: usize,
+        bytes: u64,
+        prop_ns: u64,
+        flat_extra_ns: u64,
+        now: u64,
+    ) -> u64 {
+        self.injected += 1;
+        match self.model {
+            FabricModel::Latency => now + prop_ns + flat_extra_ns,
+            FabricModel::Contention(p) => {
+                let ser = p.link_byte_ps.saturating_mul(bytes) / 1000;
+                let (out, w1) = self.links[2 * from_node].enqueue(now, ser);
+                let at_ingress = out + prop_ns;
+                let (arrival, w2) = self.links[2 * to_node + 1].enqueue(at_ingress, ser);
+                let wait = w1 + w2;
+                if wait > 0 {
+                    self.queued_msgs += 1;
+                    self.total_queue_ns += wait;
+                }
+                arrival
+            }
+        }
+    }
+
+    /// Record a message consumed by its destination.
+    pub fn deliver(&mut self) {
+        self.delivered += 1;
+    }
+
+    /// Close the books: `undelivered` messages found still sitting in
+    /// mailboxes/queues at drain time.
+    pub fn report(&self, undelivered: u64) -> FabricReport {
+        debug_assert_eq!(self.injected, self.delivered + undelivered);
+        FabricReport {
+            contention: self.model.is_contention(),
+            injected: self.injected,
+            delivered: self.delivered,
+            in_flight: self.injected - self.delivered,
+            max_link_depth: self.links.iter().map(|l| l.max_depth).max().unwrap_or(0),
+            queued_msgs: self.queued_msgs,
+            total_queue_ns: self.total_queue_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_model_is_flat() {
+        let mut f = NetFabric::new(FabricModel::Latency, 4);
+        // Arrival is now + propagation + flat transfer, independent of load.
+        for _ in 0..100 {
+            assert_eq!(f.send(0, 1, 64, 2_000, 0, 10), 2_010);
+        }
+        let r = f.report(100);
+        assert_eq!(r.injected, 100);
+        assert_eq!(r.max_link_depth, 0);
+        assert_eq!(r.total_queue_ns, 0);
+    }
+
+    #[test]
+    fn contention_queues_fifo_behind_busy_links() {
+        let p = ContentionParams {
+            link_byte_ps: 1_000_000, // 1 µs per byte: easy arithmetic
+            ctrl_bytes: 64,
+            header_bytes: 0,
+        };
+        let mut f = NetFabric::new(FabricModel::Contention(p), 2);
+        // 10-byte message = 10 µs serialization per link direction.
+        let a1 = f.send(0, 1, 10, 500, 0, 0);
+        assert_eq!(a1, 10_000 + 500 + 10_000);
+        // Sent at the same instant: queues behind the first on both links.
+        let a2 = f.send(0, 1, 10, 500, 0, 0);
+        assert_eq!(a2, 20_000 + 500 + 10_000);
+        assert!(a2 > a1, "FIFO order preserved");
+        let r = f.report(2);
+        assert_eq!(r.queued_msgs, 1);
+        assert!(r.total_queue_ns > 0);
+        assert_eq!(r.max_link_depth, 2);
+    }
+
+    #[test]
+    fn storm_backpressure_grows_with_thieves() {
+        let p = ContentionParams::default();
+        let mut small = NetFabric::new(FabricModel::Contention(p), 8);
+        let mut big = NetFabric::new(FabricModel::Contention(p), 8);
+        // 10 vs 10_000 thieves all hitting node 0's ingress at t=0.
+        let last_small = (0..10)
+            .map(|s| small.send(1 + s % 7, 0, 64, 2_000, 0, 0))
+            .max();
+        let last_big = (0..10_000)
+            .map(|s| big.send(1 + s % 7, 0, 64, 2_000, 0, 0))
+            .max();
+        assert!(last_big.unwrap() > 10 * last_small.unwrap());
+        assert!(big.report(10_000).total_queue_ns > small.report(10).total_queue_ns);
+    }
+
+    #[test]
+    fn model_parses_and_displays() {
+        assert_eq!(
+            "latency".parse::<FabricModel>().unwrap(),
+            FabricModel::Latency
+        );
+        assert_eq!(
+            "contention".parse::<FabricModel>().unwrap(),
+            FabricModel::Contention(ContentionParams::default())
+        );
+        let m: FabricModel = "contention:1000,32,16".parse().unwrap();
+        match m {
+            FabricModel::Contention(p) => {
+                assert_eq!(
+                    (p.link_byte_ps, p.ctrl_bytes, p.header_bytes),
+                    (1000, 32, 16)
+                );
+            }
+            _ => panic!(),
+        }
+        assert_eq!(m.to_string(), "contention:1000,32,16");
+        assert_eq!(FabricModel::Latency.to_string(), "latency");
+        assert!("warp".parse::<FabricModel>().is_err());
+        assert!("contention:a".parse::<FabricModel>().is_err());
+    }
+}

@@ -15,7 +15,22 @@
 //! delay inflates COP trees — is a product of the simulated interleaving,
 //! not of scripted formulas, so the *shapes* of the paper's figures
 //! (speed-up, efficiency, Mnodes/s, overhead breakdowns, steal tables) can
-//! be reproduced at 512 virtual cores on a 2-core laptop.
+//! be reproduced at 512 virtual cores on a 2-core laptop — and
+//! extrapolated far past the paper's testbed: the event core (indexed
+//! min-heap keyed by `(time, monotone seq)`, arena-backed work items,
+//! lazy per-worker rings and processors) replays queens-14 at 65 536
+//! virtual cores in under a minute and reaches 262 144 cores in a few
+//! minutes of wall time. Same-seed runs are bit-identical at every
+//! scale: the heap key is a strict total order, and
+//! [`SimReport::digest`] folds every counter plus an event-trace hash
+//! so a single reordered event is detectable.
+//!
+//! The network is a [`FabricModel`] knob: `Latency` prices every hop
+//! with a fixed per-ring delay (infinite capacity), `Contention` gives
+//! each node a finite-bandwidth uplink and downlink with FIFO queueing,
+//! so steal storms pay queueing delay for the links they fight over.
+//! The fabric keeps conservation books (injected = delivered +
+//! in-flight) surfaced in [`FabricReport`].
 //!
 //! Two balancer models are provided:
 //! * [`simulate_macs`] — the MaCS protocol (split pools, one-sided
@@ -58,11 +73,13 @@
 
 pub mod cost;
 pub mod engine_sim;
+pub mod fabric;
 pub mod incumbent;
 pub mod report;
 
 pub use cost::{CostModel, NodeCost};
 pub use engine_sim::{simulate_macs, simulate_paccs, SimConfig, SimMode};
+pub use fabric::{ContentionParams, FabricModel, FabricReport};
 pub use incumbent::{BoundFabric, SimIncumbent};
 pub use macs_search::{BoundPolicy, ChunkPolicy, SearchMode};
 pub use report::{SimReport, SimWorkerStats};

@@ -3,6 +3,8 @@
 
 use macs_runtime::{StealHistogram, WorkerState, NUM_STATES};
 
+use crate::fabric::FabricReport;
+
 /// Per-virtual-worker counters and state times (virtual nanoseconds).
 #[derive(Clone, Debug, Default)]
 pub struct SimWorkerStats {
@@ -69,6 +71,19 @@ pub struct SimReport<O> {
     /// abandoned_items` — no unit is ever lost or double-counted, raced
     /// or not (the `prop_race` suite pins this).
     pub completed_items: u64,
+    /// Discrete events dispatched (one per event-heap pop) — the
+    /// numerator of the events/sec throughput `perf_record` tracks.
+    pub events: u64,
+    /// FNV-1a fold of `(time, worker, phase)` over every dispatched
+    /// event, in dispatch order. Two same-seed runs must produce the same
+    /// hash bit for bit — the determinism witness `prop_determinism`
+    /// pins at every scale point.
+    pub trace_hash: u64,
+    /// Peak number of work items simultaneously live in the slot arena
+    /// (pools + staged children + in-flight batches).
+    pub peak_live_items: u64,
+    /// Steal-plane message conservation and congestion counters.
+    pub fabric: FabricReport,
 }
 
 impl<O> SimReport<O> {
@@ -173,5 +188,66 @@ impl<O> SimReport<O> {
             t.2 += w.batched_responses;
         }
         t
+    }
+
+    /// One FNV-1a hash over *everything* deterministic in the report:
+    /// every counter, every per-worker stat, every state time, the steal
+    /// histograms, the fabric books and the event-trace hash. Two
+    /// same-seed runs must agree on this digest bit for bit (generic
+    /// outputs and wall-clock time are excluded — outputs are pinned
+    /// separately where comparable).
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.makespan_ns);
+        mix(self.incumbent as u64);
+        mix(self.bound_msgs);
+        mix(self.bound_updates);
+        mix(self.first_solution_ns.map(|t| t + 1).unwrap_or(0));
+        mix(self.nodes_after_win);
+        mix(self.abandoned_items);
+        mix(self.completed_items);
+        mix(self.events);
+        mix(self.trace_hash);
+        mix(self.peak_live_items);
+        mix(self.fabric.contention as u64);
+        mix(self.fabric.injected);
+        mix(self.fabric.delivered);
+        mix(self.fabric.in_flight);
+        mix(self.fabric.max_link_depth);
+        mix(self.fabric.queued_msgs);
+        mix(self.fabric.total_queue_ns);
+        for w in &self.workers {
+            mix(w.items);
+            mix(w.pushes);
+            mix(w.solutions);
+            mix(w.local_steals);
+            mix(w.local_steal_items);
+            mix(w.local_steal_failures);
+            mix(w.remote_steals);
+            mix(w.remote_steal_items);
+            mix(w.remote_steal_failures);
+            mix(w.releases);
+            mix(w.released_items);
+            mix(w.polls);
+            mix(w.requests_served);
+            mix(w.proxy_serves);
+            mix(w.requests_refused);
+            mix(w.drain_steals);
+            mix(w.response_chunks);
+            mix(w.batched_responses);
+            mix(w.stale_bound_nodes);
+            for &c in &w.steals_by_distance.counts {
+                mix(c);
+            }
+            for &ns in &w.state_ns {
+                mix(ns);
+            }
+        }
+        h
     }
 }

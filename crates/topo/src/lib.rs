@@ -86,5 +86,5 @@ pub mod machine;
 pub mod victim;
 
 pub use histogram::StealHistogram;
-pub use machine::{MachineTopology, PeerRing, TopoError, MAX_LEVELS};
-pub use victim::{ScanOrder, VictimOrder};
+pub use machine::{MachineTopology, NodeRing, PeerRing, TopoError, MAX_LEVELS};
+pub use victim::{Ring, ScanOrder, VictimOrder};

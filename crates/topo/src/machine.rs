@@ -318,6 +318,21 @@ impl MachineTopology {
             })
             .collect()
     }
+
+    /// The ring of remote *nodes* at worker distance exactly `d` from `w`
+    /// (`local_distance_max() < d <= levels`), as an O(1) view — the
+    /// node-ID image of [`peers_at`](Self::peers_at). Above the node
+    /// boundary every group is a whole number of nodes, so the two worker
+    /// ranges map to two node ranges.
+    pub fn node_ring_at(&self, w: usize, d: usize) -> NodeRing {
+        debug_assert!(d > self.local_distance_max() && d <= self.levels());
+        let ns = self.node_size().max(1);
+        let ring = self.peers_at(w, d);
+        NodeRing {
+            before: ring.before.start / ns..ring.before.end / ns,
+            after: ring.after.start / ns..ring.after.end / ns,
+        }
+    }
 }
 
 impl fmt::Display for MachineTopology {
@@ -337,6 +352,17 @@ pub struct PeerRing {
 }
 
 impl PeerRing {
+    /// The ring `range \ {hole}`: every worker in a contiguous range
+    /// except one. This is the *flat* local scan — all co-located peers
+    /// of `hole` in one ring — expressed without materialising it.
+    pub fn hole(range: Range<usize>, hole: usize) -> PeerRing {
+        debug_assert!(range.contains(&hole));
+        PeerRing {
+            before: range.start..hole,
+            after: hole + 1..range.end,
+        }
+    }
+
     /// Number of workers in the ring.
     pub fn len(&self) -> usize {
         (self.before.end - self.before.start) + (self.after.end - self.after.start)
@@ -356,6 +382,11 @@ impl PeerRing {
             self.after.start + (i - nb)
         }
     }
+
+    /// O(1) membership test.
+    pub fn contains(&self, w: usize) -> bool {
+        self.before.contains(&w) || self.after.contains(&w)
+    }
 }
 
 impl Iterator for PeerRing {
@@ -372,6 +403,65 @@ impl Iterator for PeerRing {
 }
 
 impl ExactSizeIterator for PeerRing {}
+
+/// O(1) view of a ring of remote *node* IDs: like [`PeerRing`], two
+/// contiguous ranges on either side of the excluded inner group.
+#[derive(Clone, Debug)]
+pub struct NodeRing {
+    pub(crate) before: Range<usize>,
+    pub(crate) after: Range<usize>,
+}
+
+impl NodeRing {
+    /// The ring `range \ {hole}` over node IDs: the flat remote scan
+    /// (every node but the caller's own) without materialising it.
+    pub fn hole(range: Range<usize>, hole: usize) -> NodeRing {
+        debug_assert!(range.contains(&hole));
+        NodeRing {
+            before: range.start..hole,
+            after: hole + 1..range.end,
+        }
+    }
+
+    /// Number of nodes in the ring.
+    pub fn len(&self) -> usize {
+        (self.before.end - self.before.start) + (self.after.end - self.after.start)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th node of the ring (ID order).
+    pub fn get(&self, i: usize) -> usize {
+        let nb = self.before.end - self.before.start;
+        if i < nb {
+            self.before.start + i
+        } else {
+            self.after.start + (i - nb)
+        }
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, n: usize) -> bool {
+        self.before.contains(&n) || self.after.contains(&n)
+    }
+}
+
+impl Iterator for NodeRing {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        self.before.next().or_else(|| self.after.next())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeRing {}
 
 #[cfg(test)]
 mod tests {
@@ -484,6 +574,45 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(msg.contains("10") && msg.contains("4"), "{msg}");
+    }
+
+    #[test]
+    fn node_ring_at_matches_node_rings() {
+        for (shape, prefix) in [
+            (vec![4usize, 2], 1usize),
+            (vec![2, 2, 2], 2),
+            (vec![3, 2, 4, 2], 2),
+            (vec![2, 3, 2, 2, 2], 3),
+        ] {
+            let t = MachineTopology::try_new(&shape, prefix).unwrap();
+            for w in (0..t.total_workers()).step_by(3) {
+                let eager = t.node_rings(w);
+                for (i, ring) in eager.iter().enumerate() {
+                    let d = t.local_distance_max() + 1 + i;
+                    let view = t.node_ring_at(w, d);
+                    assert_eq!(view.len(), ring.len());
+                    let got: Vec<usize> = view.clone().collect();
+                    assert_eq!(&got, ring, "w={w} d={d}");
+                    for (k, &n) in ring.iter().enumerate() {
+                        assert_eq!(view.get(k), n);
+                        assert!(view.contains(n));
+                    }
+                    assert!(!view.contains(t.node_of(w)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hole_rings_skip_exactly_the_hole() {
+        let peers = PeerRing::hole(4..9, 6);
+        assert_eq!(peers.clone().collect::<Vec<_>>(), vec![4, 5, 7, 8]);
+        assert_eq!(peers.len(), 4);
+        assert!(peers.contains(5) && !peers.contains(6));
+        assert_eq!(peers.get(2), 7);
+        let nodes = NodeRing::hole(0..4, 0);
+        assert_eq!(nodes.clone().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(!nodes.contains(0));
     }
 
     #[test]

@@ -1,6 +1,70 @@
 //! Distance-aware victim ordering with last-steal affinity.
 
-use crate::machine::MachineTopology;
+use crate::machine::{MachineTopology, NodeRing, PeerRing};
+
+/// An indexable set of victim candidates (worker or node IDs). The
+/// ordering machinery is generic over this so callers can scan either a
+/// materialised `Vec<usize>` (the threaded runtime, where rings are built
+/// once per OS thread) or an O(1) range view like [`PeerRing`] /
+/// [`NodeRing`] (the simulator, where materialising per-worker rings
+/// would cost O(workers²) memory at 10⁵+ simulated cores).
+pub trait Ring {
+    fn len(&self) -> usize;
+    /// The `i`-th member in ID order (`i < len()`).
+    fn get(&self, i: usize) -> usize;
+    fn contains(&self, v: usize) -> bool;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Ring for [usize] {
+    fn len(&self) -> usize {
+        <[usize]>::len(self)
+    }
+    fn get(&self, i: usize) -> usize {
+        self[i]
+    }
+    fn contains(&self, v: usize) -> bool {
+        <[usize]>::contains(self, &v)
+    }
+}
+
+impl Ring for Vec<usize> {
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+    fn get(&self, i: usize) -> usize {
+        self[i]
+    }
+    fn contains(&self, v: usize) -> bool {
+        Ring::contains(self.as_slice(), v)
+    }
+}
+
+impl Ring for PeerRing {
+    fn len(&self) -> usize {
+        PeerRing::len(self)
+    }
+    fn get(&self, i: usize) -> usize {
+        PeerRing::get(self, i)
+    }
+    fn contains(&self, v: usize) -> bool {
+        PeerRing::contains(self, v)
+    }
+}
+
+impl Ring for NodeRing {
+    fn len(&self) -> usize {
+        NodeRing::len(self)
+    }
+    fn get(&self, i: usize) -> usize {
+        NodeRing::get(self, i)
+    }
+    fn contains(&self, v: usize) -> bool {
+        NodeRing::contains(self, v)
+    }
+}
 
 /// How a thief orders its candidate victims.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -103,17 +167,17 @@ impl VictimOrder {
     /// Rank one ring of candidates: affinity first, then the ring rotated
     /// by `rot` (the caller passes a random rotation to avoid convoys),
     /// affinity not repeated. Returns candidates paired with distance `d`.
-    pub fn ring_order<'a>(
+    pub fn ring_order<'a, R: Ring + ?Sized>(
         &self,
-        ring: &'a [usize],
+        ring: &'a R,
         d: usize,
         rot: usize,
     ) -> impl Iterator<Item = usize> + 'a {
-        let warm = self.affinity_at(d).filter(|w| ring.contains(w));
+        let warm = self.affinity_at(d).filter(|&w| ring.contains(w));
         let n = ring.len();
         warm.into_iter().chain(
             (0..n)
-                .map(move |k| ring[(rot + k) % n.max(1)])
+                .map(move |k| ring.get((rot + k) % n.max(1)))
                 .filter(move |&v| Some(v) != warm),
         )
     }
@@ -144,21 +208,21 @@ impl VictimOrder {
     /// by `rot` with the warm node not repeated. Taking `k` candidates
     /// from this probes `k` distinct nodes — a duplicate random draw can
     /// never burn an attempt.
-    pub fn node_probe_order<'a>(
+    pub fn node_probe_order<'a, R: Ring + ?Sized>(
         &self,
         topo: &MachineTopology,
-        ring: &'a [usize],
+        ring: &'a R,
         d: usize,
         rot: usize,
     ) -> impl Iterator<Item = usize> + 'a {
         let warm = self
             .affinity_at(d)
             .map(|w| topo.node_of(w))
-            .filter(|n| ring.contains(n));
+            .filter(|&n| ring.contains(n));
         let n = ring.len();
         warm.into_iter().chain(
             (0..n)
-                .map(move |k| ring[(rot + k) % n.max(1)])
+                .map(move |k| ring.get((rot + k) % n.max(1)))
                 .filter(move |&v| Some(v) != warm),
         )
     }
@@ -254,6 +318,30 @@ mod tests {
             let mut sorted = order.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, ring);
+        }
+    }
+
+    #[test]
+    fn ring_order_agrees_across_ring_representations() {
+        let t = MachineTopology::try_new(&[2, 2, 2, 2], 2).unwrap();
+        let mut vo = VictimOrder::new(&t, 3);
+        vo.record_success(&t, 9);
+        for d in 1..=t.levels() {
+            let view = t.peers_at(3, d);
+            let slice: Vec<usize> = view.clone().collect();
+            for rot in 0..=slice.len() {
+                let by_view: Vec<usize> = vo.ring_order(&view, d, rot).collect();
+                let by_slice: Vec<usize> = vo.ring_order(slice.as_slice(), d, rot).collect();
+                assert_eq!(by_view, by_slice, "d={d} rot={rot}");
+            }
+        }
+        // Node probes too, against the eager node rings.
+        for (i, ring) in t.node_rings(3).iter().enumerate() {
+            let d = t.local_distance_max() + 1 + i;
+            let view = t.node_ring_at(3, d);
+            let by_view: Vec<usize> = vo.node_probe_order(&t, &view, d, 1).collect();
+            let by_slice: Vec<usize> = vo.node_probe_order(&t, ring.as_slice(), d, 1).collect();
+            assert_eq!(by_view, by_slice);
         }
     }
 
