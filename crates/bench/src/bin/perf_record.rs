@@ -10,7 +10,14 @@
 //!   and peak RSS per scale point — queens-14 at 4k→262k simulated cores
 //!   under both fabric models, plus esc16e\[11\] and UTS completeness
 //!   rows at 64k — with a same-seed determinism double-run at every
-//!   scale point (hard fail on any trace divergence).
+//!   scale point (hard fail on any trace divergence);
+//! * the PR-9 record (`BENCH_9.json`, via `--service`): the multi-tenant
+//!   solve service on the simulator backend — throughput and sojourn
+//!   percentiles per scale point under both lease policies, 32 → 512
+//!   simulated cores up to 64 tenants, with a same-seed determinism
+//!   double-run at every point. The tracked trajectory is the set of
+//!   elastic/static policy ratios, which live entirely in virtual time
+//!   and are therefore machine-independent.
 //!
 //! Modes:
 //!
@@ -39,6 +46,9 @@ use macs_pool::{LockedPool, SplitPool};
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
 use macs_runtime::Topology;
 use macs_search::{LocalIncumbent, NoBound, SearchKernel, StepOutcome, WorkItem};
+use macs_service::{
+    generate, JobScheduler, LeasePolicy, ServiceConfig, SimBackend, WorkloadConfig,
+};
 use macs_sim::{simulate_macs, CostModel, FabricModel, SimConfig};
 use macs_uts::{TreeShape, UtsProcessor, SLOT_WORDS};
 
@@ -647,19 +657,251 @@ fn run_sim_trajectory(quick: bool, out_path: &str, check_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
+// ---------------------------------------------------------------------------
+// the PR-9 service trajectory (--service): lease policies under load
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ServicePoint {
+    cores: usize,
+    tenants: usize,
+    jobs: usize,
+    policy: String,
+    completed: u64,
+    rejected: u64,
+    throughput_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_queue_depth: usize,
+    fairness: f64,
+    makespan_ms: f64,
+    wall_s: f64,
+    digest: u64,
+}
+
+impl ServicePoint {
+    fn json(&self) -> String {
+        format!(
+            "{{\"cores\": {}, \"tenants\": {}, \"jobs\": {}, \"policy\": \"{}\", \"completed\": {}, \"rejected\": {}, \"throughput_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_queue_depth\": {}, \"fairness\": {:.3}, \"makespan_ms\": {:.3}, \"wall_s\": {:.2}, \"digest\": \"{:#018x}\"}}",
+            self.cores,
+            self.tenants,
+            self.jobs,
+            self.policy,
+            self.completed,
+            self.rejected,
+            self.throughput_per_sec,
+            self.p50_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.max_queue_depth,
+            self.fairness,
+            self.makespan_ms,
+            self.wall_s,
+            self.digest
+        )
+    }
+}
+
+/// Serve one trace at one scale under one policy, twice with the same
+/// seed — the service simulator must replay bit-identically (hard fail
+/// otherwise) — and hard-gate the scheduler invariants and the oracle.
+fn service_point(
+    nodes: usize,
+    tenants: usize,
+    jobs: usize,
+    policy: LeasePolicy,
+    oracle: &mut macs_service::Oracle,
+) -> ServicePoint {
+    let cores_per_node = 4usize;
+    let trace = generate(&WorkloadConfig {
+        jobs,
+        tenants,
+        mean_interarrival_ns: 5_000,
+        seed: 0x9E1_5EED ^ ((nodes as u64) << 32) ^ jobs as u64,
+    });
+    let cfg = ServiceConfig {
+        nodes,
+        cores_per_node,
+        queue_cap: (jobs / 4).max(4),
+        policy,
+    };
+    let t0 = Instant::now();
+    let r = SimBackend::default().serve(&cfg, &trace);
+    let wall = t0.elapsed().as_secs_f64();
+    let replay = SimBackend::default().serve(&cfg, &trace);
+    assert_eq!(
+        r.digest(),
+        replay.digest(),
+        "NON-DETERMINISTIC: service @ {} cores {policy} diverged between same-seed runs",
+        nodes * cores_per_node
+    );
+    assert!(
+        r.violations.is_empty(),
+        "service @ {} cores {policy}: {:?}",
+        nodes * cores_per_node,
+        r.violations
+    );
+    for rec in r.records.iter().filter(|rec| !rec.rejected) {
+        oracle
+            .verify(rec.class, &rec.answer)
+            .unwrap_or_else(|e| panic!("service @ {nodes} nodes job {}: {e}", rec.id));
+    }
+    ServicePoint {
+        cores: nodes * cores_per_node,
+        tenants,
+        jobs,
+        policy: policy.to_string(),
+        completed: r.completed(),
+        rejected: r.rejected(),
+        throughput_per_sec: r.throughput_per_sec(),
+        p50_ns: r.sojourn_percentile_ns(50.0),
+        p99_ns: r.sojourn_percentile_ns(99.0),
+        p999_ns: r.sojourn_percentile_ns(99.9),
+        max_queue_depth: r.max_queue_depth,
+        fairness: r.fairness_ratio(),
+        makespan_ms: r.makespan_ns as f64 / 1e6,
+        wall_s: wall,
+        digest: r.digest(),
+    }
+}
+
+fn run_service_trajectory(quick: bool, out_path: &str, check_path: &str) {
+    // (nodes, tenants, jobs): 32 → 512 simulated cores; the last point is
+    // the 512-core × 64-tenant acceptance cell. Quick mode runs the end
+    // points of the same series — the cells must be identical to the full
+    // record's, or the (deterministic) ratios would differ by design.
+    let scales: &[(usize, usize, usize)] = if quick {
+        &[(8, 8, 32), (128, 64, 96)]
+    } else {
+        &[(8, 8, 32), (32, 16, 48), (128, 64, 96)]
+    };
+    let mut oracle = macs_service::Oracle::new();
+    let mut points: Vec<ServicePoint> = Vec::new();
+    for &(nodes, tenants, jobs) in scales {
+        for policy in [
+            LeasePolicy::Static {
+                nodes: (nodes / 4).max(1),
+            },
+            LeasePolicy::QueueDepth { min: 1, max: nodes },
+        ] {
+            eprintln!(
+                "service: {} cores, {tenants} tenants, {jobs} jobs, {policy}...",
+                nodes * 4
+            );
+            let p = service_point(nodes, tenants, jobs, policy, &mut oracle);
+            eprintln!(
+                "     {:.1} jobs/s, p99 {:.3} ms, {} rejected, wall {:.1}s",
+                p.throughput_per_sec,
+                p.p99_ns as f64 / 1e6,
+                p.rejected,
+                p.wall_s
+            );
+            points.push(p);
+        }
+    }
+
+    // The tracked trajectory: per-scale elastic/static ratios. Both sides
+    // are virtual-time quantities of a bit-deterministic simulation, so
+    // the ratios are machine-independent; the 10% check tolerance absorbs
+    // intentional cost-model drift, not noise.
+    let at = |cores: usize, elastic: bool| -> Option<&ServicePoint> {
+        points
+            .iter()
+            .find(|p| p.cores == cores && p.policy.starts_with("queue-depth") == elastic)
+    };
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for &(nodes, _, _) in scales {
+        let cores = nodes * 4;
+        if let (Some(s), Some(e)) = (at(cores, false), at(cores, true)) {
+            // Jobs the machine actually served: elastic admission over
+            // static admission (≥ 1 when elasticity absorbs the burst).
+            ratios.push((
+                format!("served_elastic_vs_static_{cores}"),
+                e.completed as f64 / (s.completed as f64).max(1.0),
+            ));
+            // Worst-case queueing: static peak depth over elastic.
+            ratios.push((
+                format!("queue_depth_static_vs_elastic_{cores}"),
+                s.max_queue_depth as f64 / (e.max_queue_depth as f64).max(1.0),
+            ));
+        }
+    }
+
+    for p in &points {
+        println!(
+            "{:>4} cores x {:>2} tenants [{:<18}]: {:>8.1} jobs/s  p99 {:>8.3} ms  queue {:>3}  rej {:>3}  wall {:>5.2}s",
+            p.cores,
+            p.tenants,
+            p.policy,
+            p.throughput_per_sec,
+            p.p99_ns as f64 / 1e6,
+            p.max_queue_depth,
+            p.rejected,
+            p.wall_s
+        );
+    }
+    for (k, v) in &ratios {
+        println!("ratio {k}: {v:.3}");
+    }
+
+    if !check_path.is_empty() {
+        let prev = std::fs::read_to_string(check_path)
+            .unwrap_or_else(|e| panic!("cannot read {check_path}: {e}"));
+        let mut failed = false;
+        for (key, measured) in &ratios {
+            let Some(recorded) = json_number_after(&prev, "ratios", key) else {
+                eprintln!("check: no \"{key}\" under \"ratios\" in {check_path} (skipped)");
+                continue;
+            };
+            let floor = recorded * 0.9;
+            if *measured < floor {
+                eprintln!(
+                    "check FAILED: service ratio {key} = {measured:.3} fell below 90% of the recorded {recorded:.3}"
+                );
+                failed = true;
+            } else {
+                eprintln!("check ok: {key} = {measured:.3} (recorded {recorded:.3})");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("service check passed against {check_path}");
+        return;
+    }
+
+    let mut json = format!(
+        "{{\n  \"record\": \"BENCH_9\",\n  \"bin\": \"perf_record --service\",\n  \"quick\": {quick},\n  \"note\": \"all throughput/sojourn/queue numbers are virtual-time quantities of the bit-deterministic service simulator; only wall_s is machine-dependent. The tracked trajectory is the elastic/static ratio set.\",\n  \"service_points\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        json.push_str(&format!("    {}{sep}\n", p.json()));
+    }
+    json.push_str("  ],\n  \"ratios\": {");
+    for (i, (k, v)) in ratios.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        json.push_str(&format!("{sep}\n    \"{k}\": {v:.3}"));
+    }
+    json.push_str("\n  }\n}\n");
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let u = usage(
         "perf_record",
-        "records the PR-6 perf trajectory (BENCH_6.json): sequential node\nthroughput vs the frozen pre-PR kernel, lock-free vs mutex steal\nlatency, propagation filter throughput. With --sim, records the PR-8\nsimulator trajectory instead (BENCH_8.json): events/sec + peak RSS per\nscale point, 4k to 262k simulated cores, with a same-seed determinism\ndouble-run at every point.",
+        "records the PR-6 perf trajectory (BENCH_6.json): sequential node\nthroughput vs the frozen pre-PR kernel, lock-free vs mutex steal\nlatency, propagation filter throughput. With --sim, records the PR-8\nsimulator trajectory instead (BENCH_8.json): events/sec + peak RSS per\nscale point, 4k to 262k simulated cores, with a same-seed determinism\ndouble-run at every point. With --service, records the PR-9 service\ntrajectory (BENCH_9.json): lease-policy throughput/sojourn ratios at\n32 to 512 simulated cores, determinism double-run at every point.",
         &[
-            ("--out <FILE>", "where to write the record [default: BENCH_6.json,\nor BENCH_8.json with --sim]"),
+            ("--out <FILE>", "where to write the record [default: BENCH_6.json,\nBENCH_8.json with --sim, BENCH_9.json with --service]"),
             (
                 "--check <FILE>",
-                "measure, then fail (exit 1) if a recorded ratio regressed\n>10%: optimised/reference speed-ups by default, per-scale-point\nevents/sec ratios vs the 4096-core base with --sim",
+                "measure, then fail (exit 1) if a recorded ratio regressed\n>10%: optimised/reference speed-ups by default, per-scale-point\nevents/sec ratios vs the 4096-core base with --sim, elastic/static\npolicy ratios with --service",
             ),
             ("--runs <N>", "repetitions per throughput metric (median) [default: 5]"),
-            ("--quick", "reduced budgets: smaller node/latency windows, and with\n--sim only the 4k and 64k scale points (CI smoke)"),
+            ("--quick", "reduced budgets: smaller node/latency windows; with --sim\nonly the 4k and 64k scale points, with --service only the 32- and\n512-core points (CI smoke)"),
             ("--sim", "record the simulator scale trajectory (BENCH_8.json)"),
+            ("--service", "record the multi-tenant service trajectory (BENCH_9.json)"),
         ],
         &[],
     );
@@ -668,12 +910,24 @@ fn main() {
     let runs = arg("runs", 5usize).max(1);
     let quick = std::env::args().any(|a| a == "--quick");
     let sim = std::env::args().any(|a| a == "--sim");
+    let service = std::env::args().any(|a| a == "--service");
     let out_path = arg(
         "out",
-        if sim { "BENCH_8.json" } else { "BENCH_6.json" }.to_string(),
+        if service {
+            "BENCH_9.json"
+        } else if sim {
+            "BENCH_8.json"
+        } else {
+            "BENCH_6.json"
+        }
+        .to_string(),
     );
     let check_path: String = arg("check", String::new());
 
+    if service {
+        run_service_trajectory(quick, &out_path, &check_path);
+        return;
+    }
     if sim {
         run_sim_trajectory(quick, &out_path, &check_path);
         return;

@@ -1,0 +1,253 @@
+//! Service ablation — static worker leases vs queue-depth elastic
+//! leases, on the simulator backend (the bit-deterministic execution of
+//! the scheduler, so every number here is a pin, not a sample):
+//!
+//! 1. **Scale series**: the same open-loop trace (Poisson arrivals,
+//!    log-normal service classes) served at 8 → 512 simulated cores
+//!    under both lease policies, reporting throughput, p50/p99/p999
+//!    sojourn, peak queue depth, rejection rate and cross-tenant
+//!    fairness per cell. The largest cell is the acceptance
+//!    configuration: 512 cores × 64 tenants, Static vs QueueDepth.
+//! 2. **Policy split**: under contention the elastic policy must
+//!    actually resize (otherwise the comparison tests nothing) and the
+//!    static one must never.
+//!
+//! Gates (exit non-zero): zero scheduler-invariant violations in every
+//! cell, every job accounted for (completed + rejected == submitted),
+//! every completed job's answer equal to the sequential oracle of its
+//! class, static leases never resizing, the elastic series resizing at
+//! least once, and — with `--check` — a same-seed double-run of every
+//! cell agreeing digest-for-digest.
+
+use std::time::Instant;
+
+use macs_bench::{arg, maybe_help, usage, CommonFlag};
+use macs_service::{
+    generate, JobScheduler, LeasePolicy, Oracle, ServiceConfig, ServiceReport, SimBackend,
+    WorkloadConfig,
+};
+
+/// One scale cell: machine shape, tenant count, trace size and pacing.
+struct Cell {
+    nodes: usize,
+    cores_per_node: usize,
+    tenants: usize,
+    jobs: usize,
+    mean_interarrival_ns: u64,
+}
+
+impl Cell {
+    fn cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+}
+
+/// 8 → 512 simulated cores. Tenants grow with the machine up to the
+/// 64-tenant acceptance cell; the arrival rate is held slightly above
+/// the small machines' drain rate so admission control and lease
+/// shrinking both engage, while the big machines show the headroom.
+fn cells(full: bool) -> Vec<Cell> {
+    let mut v = vec![
+        Cell {
+            nodes: 2,
+            cores_per_node: 4,
+            tenants: 4,
+            jobs: 24,
+            mean_interarrival_ns: 40_000,
+        },
+        Cell {
+            nodes: 8,
+            cores_per_node: 4,
+            tenants: 8,
+            jobs: 32,
+            mean_interarrival_ns: 20_000,
+        },
+        Cell {
+            nodes: 32,
+            cores_per_node: 4,
+            tenants: 16,
+            jobs: 48,
+            mean_interarrival_ns: 10_000,
+        },
+        Cell {
+            nodes: 128,
+            cores_per_node: 4,
+            tenants: 64,
+            jobs: 64,
+            mean_interarrival_ns: 5_000,
+        },
+    ];
+    if full {
+        // Paper-scale trace at the acceptance shape: a longer run of the
+        // same open-loop process, same machine.
+        v.push(Cell {
+            nodes: 128,
+            cores_per_node: 4,
+            tenants: 64,
+            jobs: 192,
+            mean_interarrival_ns: 5_000,
+        });
+    }
+    v
+}
+
+fn policies_for(cell: &Cell, only: Option<LeasePolicy>) -> Vec<LeasePolicy> {
+    match only {
+        Some(p) => vec![p],
+        None => vec![
+            LeasePolicy::Static {
+                nodes: (cell.nodes / 4).max(1),
+            },
+            LeasePolicy::QueueDepth {
+                min: 1,
+                max: cell.nodes,
+            },
+        ],
+    }
+}
+
+fn row(policy: &LeasePolicy, r: &ServiceReport) {
+    println!(
+        "  {:<18} {:>8.1} jobs/s  p50 {:>8.3} ms  p99 {:>8.3} ms  p999 {:>8.3} ms  \
+         queue {:>3}  rej {:>5.1}%  fair {:>6.2}  resizes {:>3}",
+        policy.to_string(),
+        r.throughput_per_sec(),
+        r.sojourn_percentile_ns(50.0) as f64 / 1e6,
+        r.sojourn_percentile_ns(99.0) as f64 / 1e6,
+        r.sojourn_percentile_ns(99.9) as f64 / 1e6,
+        r.max_queue_depth,
+        r.rejection_rate() * 100.0,
+        r.fairness_ratio(),
+        r.records.iter().map(|x| x.resizes as u64).sum::<u64>(),
+    );
+}
+
+/// The per-cell gates: invariants, accounting, oracle agreement.
+fn gate_cell(ok: &mut bool, cell: &str, jobs: usize, r: &ServiceReport, oracle: &mut Oracle) {
+    if !r.violations.is_empty() {
+        eprintln!(
+            "GATE {cell}: scheduler invariants violated: {:?}",
+            r.violations
+        );
+        *ok = false;
+    }
+    if r.completed() + r.rejected() != jobs as u64 {
+        eprintln!(
+            "GATE {cell}: {} completed + {} rejected != {jobs} submitted",
+            r.completed(),
+            r.rejected()
+        );
+        *ok = false;
+    }
+    for rec in r.records.iter().filter(|rec| !rec.rejected) {
+        if let Err(e) = oracle.verify(rec.class, &rec.answer) {
+            eprintln!("GATE {cell} job {}: {e}", rec.id);
+            *ok = false;
+        }
+    }
+}
+
+fn main() {
+    maybe_help(&usage(
+        "service_ablation",
+        "static vs queue-depth-elastic worker leases for the multi-tenant\nsolve service, on the deterministic simulator backend: one open-loop\ntrace per scale cell (8 to 512 simulated cores, up to 64 tenants),\nboth policies, reporting throughput, sojourn percentiles, queue depth,\nrejection rate and cross-tenant fairness. Exits non-zero if any\nscheduler invariant is violated, any answer disagrees with the\nsequential oracle, a static lease resizes, or the elastic series\nnever does.",
+        &[
+            (
+                "--lease-policy <P>",
+                "run only this policy: static[:NODES] or\nqueue-depth[:MIN,MAX] [default: both, machine-scaled]",
+            ),
+            (
+                "--check",
+                "CI mode: additionally replay every cell with the same seed\nand gate digest equality (the scheduler must be\nbit-deterministic end to end)",
+            ),
+            ("--seed <S>", "workload seed [default: 0x5EEDC]"),
+        ],
+        &[CommonFlag::Full],
+    ));
+    let t0 = Instant::now();
+    let check = std::env::args().any(|a| a == "--check");
+    let seed: u64 = arg("seed", 0x5EEDC);
+    let only: Option<LeasePolicy> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--lease-policy").map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--lease-policy needs static[:N] or queue-depth[:MIN,MAX]");
+                    std::process::exit(2);
+                })
+        })
+    };
+
+    let mut ok = true;
+    let mut oracle = Oracle::new();
+    let mut static_resizes = 0u64;
+    let mut elastic_resizes = 0u64;
+
+    println!("Service ablation — static vs queue-depth leases (simulator backend)\n");
+    for cell in cells(macs_bench::full_scale()) {
+        let trace = generate(&WorkloadConfig {
+            jobs: cell.jobs,
+            tenants: cell.tenants,
+            mean_interarrival_ns: cell.mean_interarrival_ns,
+            seed: seed ^ (cell.cores() as u64) ^ (cell.jobs as u64) << 32,
+        });
+        println!(
+            "{} cores ({}x{}), {} tenants, {} jobs, mean gap {} us:",
+            cell.cores(),
+            cell.nodes,
+            cell.cores_per_node,
+            cell.tenants,
+            cell.jobs,
+            cell.mean_interarrival_ns as f64 / 1e3,
+        );
+        for policy in policies_for(&cell, only) {
+            let cfg = ServiceConfig {
+                nodes: cell.nodes,
+                cores_per_node: cell.cores_per_node,
+                queue_cap: (cell.jobs / 4).max(4),
+                policy,
+            };
+            let label = format!("{}c/{policy}", cell.cores());
+            let r = SimBackend::default().serve(&cfg, &trace);
+            row(&policy, &r);
+            gate_cell(&mut ok, &label, cell.jobs, &r, &mut oracle);
+            if check {
+                let replay = SimBackend::default().serve(&cfg, &trace);
+                if replay.digest() != r.digest() {
+                    eprintln!("GATE {label}: same-seed replay diverged from the first run");
+                    ok = false;
+                }
+            }
+            let resizes: u64 = r.records.iter().map(|x| x.resizes as u64).sum();
+            match policy {
+                LeasePolicy::Static { .. } => static_resizes += resizes,
+                LeasePolicy::QueueDepth { .. } => elastic_resizes += resizes,
+            }
+        }
+        println!();
+    }
+
+    if static_resizes != 0 {
+        eprintln!("GATE policy split: static leases resized {static_resizes} times");
+        ok = false;
+    }
+    if only.is_none() && elastic_resizes == 0 {
+        eprintln!("GATE policy split: the elastic policy never resized anywhere in the series");
+        ok = false;
+    }
+
+    println!("wall clock: {:.1}s", t0.elapsed().as_secs_f64());
+    if !ok {
+        eprintln!("service_ablation FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "\nAll gates passed. Expected shape: identical answers under both\n\
+         policies (the lease only changes the schedule, never the result);\n\
+         on the small machines the elastic policy trades per-job width for\n\
+         lower p99 sojourn and queue depth under the arrival burst, and the\n\
+         static policy shows the cost of over-provisioned idle leases; the\n\
+         512-core x 64-tenant cell is the acceptance configuration."
+    );
+}

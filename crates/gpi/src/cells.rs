@@ -27,6 +27,21 @@ pub const CELL_CANCEL: usize = 3;
 /// start, `i64::MAX` = no winner yet; the first winner `fetch_min`s its
 /// time in, so concurrent solutions resolve to the earliest).
 pub const CELL_WIN_NS: usize = 4;
+/// Register index of the worker-set *lease width* (multi-tenant service
+/// runs): the number of workers — counted in the job's own dense worker
+/// ids — currently leased to this computation. A worker whose id is `>=`
+/// the width is **parked**: it stops expanding and stealing, publishes its
+/// pool and serves thieves until the width grows back over it or the job
+/// terminates. Single-tenant worlds never read this register.
+pub const CELL_LEASE: usize = 5;
+/// Register index of the parked-worker count (multi-tenant service runs):
+/// a worker increments it when it parks (see [`CELL_LEASE`]) and
+/// decrements it when the lease grows back over its id or the run ends.
+/// The scheduler reads it as the shrink handshake — a lease shrink has
+/// *taken effect* once this register reaches the number of out-of-lease
+/// workers, i.e. once they have all published their pools and stopped
+/// processing. Single-tenant worlds never touch this register.
+pub const CELL_PARKED: usize = 6;
 /// First register index free for application use.
 pub const CELL_USER: usize = 8;
 /// Base of the per-node bound-mirror block (hierarchical bound
@@ -55,6 +70,132 @@ pub const fn node_cancel_cell(node: usize, nodes: usize) -> usize {
     CELL_NODE_BOUND_BASE + nodes + node
 }
 
+/// One job's window into a shared register file.
+///
+/// A multi-tenant service co-schedules several solve jobs over one
+/// machine, and therefore over one global-memory register file. Every
+/// register a job's workers touch — the termination counter, the
+/// incumbent, the winner flag, the lease width, the per-node mirrors —
+/// must be private to that job, or tenants read each other's state. A
+/// `CellBlock` is that private window: a base offset plus a mirror
+/// capacity, with the *same internal layout* as the classic single-job
+/// register file (the root block at base 0 is bit-compatible with
+/// [`GlobalCells::with_node_mirrors`]).
+///
+/// Crucially the node-mirror registers are **lease-relative**: a job
+/// leased machine nodes `[7, 10)` addresses its mirrors as nodes `0..3`
+/// *of its own block*. Indexing mirrors by *machine* node in a shared
+/// file is exactly the cross-tenant leak the service layer must avoid:
+/// when a lease shrinks and the freed node is re-leased to another job,
+/// a machine-indexed mirror would hand the new tenant the old tenant's
+/// bound/winner values (see the `lease_relative_mirrors_isolate_tenants`
+/// test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellBlock {
+    base: usize,
+    nodes: usize,
+}
+
+impl CellBlock {
+    /// Registers reserved ahead of the mirror blocks (the well-known
+    /// `CELL_*` indices).
+    pub const HEADER: usize = CELL_USER;
+
+    /// Total registers a block with `nodes` mirror pairs occupies.
+    #[inline]
+    pub const fn size(nodes: usize) -> usize {
+        Self::HEADER + 2 * nodes
+    }
+
+    /// The classic single-job window at base 0 — the layout
+    /// [`GlobalCells::with_node_mirrors`] builds and every pre-service
+    /// world uses.
+    #[inline]
+    pub const fn root(nodes: usize) -> Self {
+        CellBlock { base: 0, nodes }
+    }
+
+    /// The `job`-th of a run of equally-sized blocks starting at
+    /// register 0 (how [`GlobalCells::with_job_blocks`] lays them out).
+    #[inline]
+    pub const fn for_job(job: usize, nodes: usize) -> Self {
+        CellBlock {
+            base: job * Self::size(nodes),
+            nodes,
+        }
+    }
+
+    /// Mirror capacity (in shared-memory nodes) of this block.
+    #[inline]
+    pub const fn mirror_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// First register past this block.
+    #[inline]
+    pub const fn end(&self) -> usize {
+        self.base + Self::size(self.nodes)
+    }
+
+    #[inline]
+    pub const fn outstanding(&self) -> usize {
+        self.base + CELL_OUTSTANDING
+    }
+
+    #[inline]
+    pub const fn incumbent(&self) -> usize {
+        self.base + CELL_INCUMBENT
+    }
+
+    #[inline]
+    pub const fn solutions(&self) -> usize {
+        self.base + CELL_SOLUTIONS
+    }
+
+    #[inline]
+    pub const fn cancel(&self) -> usize {
+        self.base + CELL_CANCEL
+    }
+
+    #[inline]
+    pub const fn win_ns(&self) -> usize {
+        self.base + CELL_WIN_NS
+    }
+
+    #[inline]
+    pub const fn lease(&self) -> usize {
+        self.base + CELL_LEASE
+    }
+
+    #[inline]
+    pub const fn parked(&self) -> usize {
+        self.base + CELL_PARKED
+    }
+
+    /// The bound mirror of this job's node `node` — **lease-relative**:
+    /// node 0 is the first node of the job's lease, wherever that lease
+    /// sits on the machine.
+    #[inline]
+    pub fn node_bound(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes, "mirror index beyond block capacity");
+        self.base + CELL_NODE_BOUND_BASE + node
+    }
+
+    /// The cancel/winner mirror of this job's node `node`
+    /// (lease-relative, directly after the bound mirrors).
+    #[inline]
+    pub fn node_cancel(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes, "mirror index beyond block capacity");
+        self.base + CELL_NODE_BOUND_BASE + self.nodes + node
+    }
+
+    /// Do two blocks overlap? (They never should — the allocator hands
+    /// out disjoint windows.)
+    pub fn overlaps(&self, other: &CellBlock) -> bool {
+        self.base < other.end() && other.base < self.end()
+    }
+}
+
 impl GlobalCells {
     pub fn new(count: usize) -> Self {
         let seg = Segment::new(count.max(CELL_USER));
@@ -67,14 +208,46 @@ impl GlobalCells {
     /// (`i64::MAX`), the winner cells to "no winner". This is how
     /// [`World`](crate::World) sizes its cells.
     pub fn with_node_mirrors(nodes: usize, min_cells: usize) -> Self {
-        let cells = GlobalCells::new(min_cells.max(CELL_NODE_BOUND_BASE + 2 * nodes));
-        cells.store_i64(CELL_INCUMBENT, i64::MAX);
-        cells.store_i64(CELL_WIN_NS, i64::MAX);
-        for n in 0..nodes {
-            cells.store_i64(node_bound_cell(n), i64::MAX);
-            cells.store(node_cancel_cell(n, nodes), 0);
+        let cells = GlobalCells::new(min_cells.max(CellBlock::size(nodes)));
+        cells.reset_block(CellBlock::root(nodes), u64::MAX);
+        cells
+    }
+
+    /// A register file holding `blocks` per-job windows of
+    /// `nodes_per_block` mirror pairs each (see [`CellBlock`]), every
+    /// block reset to its idle state. Multi-tenant services grab one
+    /// block per co-scheduled job with [`CellBlock::for_job`].
+    pub fn with_job_blocks(blocks: usize, nodes_per_block: usize) -> Self {
+        let cells = GlobalCells::new(blocks.max(1) * CellBlock::size(nodes_per_block));
+        for j in 0..blocks {
+            cells.reset_block(CellBlock::for_job(j, nodes_per_block), u64::MAX);
         }
         cells
+    }
+
+    /// Re-initialise one job window for a fresh computation: termination
+    /// counter and solution count to 0, incumbent and winner (root *and*
+    /// every mirror) to their "none" sentinels, cancel flags cleared, and
+    /// the lease register to `lease_workers`. Granting a recycled block
+    /// without this reset is how one tenant's bound would leak into the
+    /// next — the reset is part of the lease-grant protocol.
+    pub fn reset_block(&self, block: CellBlock, lease_workers: u64) {
+        assert!(
+            block.end() <= self.len(),
+            "cell block {block:?} beyond the register file ({} cells)",
+            self.len()
+        );
+        self.store_i64(block.outstanding(), 0);
+        self.store_i64(block.incumbent(), i64::MAX);
+        self.store(block.solutions(), 0);
+        self.store(block.cancel(), 0);
+        self.store_i64(block.win_ns(), i64::MAX);
+        self.store(block.lease(), lease_workers);
+        self.store(block.parked(), 0);
+        for n in 0..block.mirror_nodes() {
+            self.store_i64(block.node_bound(n), i64::MAX);
+            self.store(block.node_cancel(n), 0);
+        }
     }
 
     /// Number of registers.
@@ -173,6 +346,69 @@ mod tests {
         for nodes in 1..=5 {
             assert_eq!(node_cancel_cell(0, nodes), node_bound_cell(nodes - 1) + 1);
         }
+    }
+
+    #[test]
+    fn root_block_matches_legacy_layout() {
+        // `CellBlock::root` must address exactly the registers the classic
+        // constants name — the pre-service world layout is the job-0 block.
+        for nodes in 1..=5 {
+            let b = CellBlock::root(nodes);
+            assert_eq!(b.outstanding(), CELL_OUTSTANDING);
+            assert_eq!(b.incumbent(), CELL_INCUMBENT);
+            assert_eq!(b.solutions(), CELL_SOLUTIONS);
+            assert_eq!(b.cancel(), CELL_CANCEL);
+            assert_eq!(b.win_ns(), CELL_WIN_NS);
+            assert_eq!(b.lease(), CELL_LEASE);
+            assert_eq!(b.parked(), CELL_PARKED);
+            for n in 0..nodes {
+                assert_eq!(b.node_bound(n), node_bound_cell(n));
+                assert_eq!(b.node_cancel(n), node_cancel_cell(n, nodes));
+            }
+            assert_eq!(b.end(), CELL_NODE_BOUND_BASE + 2 * nodes);
+        }
+    }
+
+    #[test]
+    fn job_blocks_are_disjoint() {
+        let blocks: Vec<CellBlock> = (0..4).map(|j| CellBlock::for_job(j, 3)).collect();
+        for (i, a) in blocks.iter().enumerate() {
+            assert!(a.overlaps(a));
+            for b in &blocks[i + 1..] {
+                assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+                assert!(!b.overlaps(a));
+            }
+        }
+        // Adjacent blocks tile the file with no gap: the allocator can
+        // size the segment as blocks * size.
+        assert_eq!(blocks[0].end(), CellBlock::for_job(1, 3).outstanding());
+    }
+
+    #[test]
+    fn lease_relative_mirrors_isolate_tenants() {
+        // Two co-scheduled jobs whose leases both contain "their node 0"
+        // — on a machine-indexed mirror scheme (the old `node_bound_cell`
+        // global) the second tenant would read the first tenant's bound.
+        // Lease-relative blocks keep the mirrors disjoint.
+        let cells = GlobalCells::with_job_blocks(2, 2);
+        let a = CellBlock::for_job(0, 2);
+        let b = CellBlock::for_job(1, 2);
+
+        // Tenant A publishes a tight bound into its node-0 mirror.
+        cells.store_i64(a.node_bound(0), 42);
+        cells.store(a.node_cancel(0), 1);
+
+        // Tenant B's mirrors must still read idle.
+        assert_eq!(cells.load_i64(b.node_bound(0)), i64::MAX);
+        assert_eq!(cells.load(b.node_cancel(0)), 0);
+
+        // Recycling A's block for a new job wipes the old tenant's state.
+        cells.reset_block(a, 8);
+        assert_eq!(cells.load_i64(a.node_bound(0)), i64::MAX);
+        assert_eq!(cells.load(a.node_cancel(0)), 0);
+        assert_eq!(cells.load(a.lease()), 8);
+        // ... without touching B.
+        assert_eq!(cells.load(b.lease()), u64::MAX);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod segment;
 pub mod topology;
 
 pub use barrier::GpiBarrier;
-pub use cells::GlobalCells;
+pub use cells::{CellBlock, GlobalCells};
 pub use interconnect::{Interconnect, LatencyModel, TrafficCounters};
 pub use segment::Segment;
 pub use topology::Topology;
@@ -58,7 +58,16 @@ use std::sync::Arc;
 pub struct World {
     pub topology: MachineTopology,
     pub interconnect: Interconnect,
-    pub cells: GlobalCells,
+    pub cells: Arc<GlobalCells>,
+    /// This run's window into `cells` (see [`cells::CellBlock`]). For a
+    /// classic single-job world this is the root block, so the well-known
+    /// `CELL_*` indices keep working; a multi-tenant service hands each
+    /// co-scheduled job its own block of a shared register file.
+    pub block: CellBlock,
+    /// True when this world runs under a worker-set lease: workers poll
+    /// `block.lease()` and park themselves when the lease shrinks below
+    /// their id. Single-job worlds skip that poll entirely.
+    pub leased: bool,
     pub barrier: GpiBarrier,
     /// The run's epoch: every worker timestamps against this one instant,
     /// so cross-worker times (e.g. the first-solution winner time in
@@ -79,11 +88,45 @@ impl World {
     ) -> Arc<Self> {
         let topology = topology.into();
         let total = topology.total_workers();
-        let cells = GlobalCells::with_node_mirrors(topology.nodes(), cell_count);
+        let nodes = topology.nodes();
+        let cells = Arc::new(GlobalCells::with_node_mirrors(nodes, cell_count));
         Arc::new(World {
             topology,
             interconnect: Interconnect::new(latency),
             cells,
+            block: CellBlock::root(nodes),
+            leased: false,
+            barrier: GpiBarrier::new(total),
+            start: std::time::Instant::now(),
+        })
+    }
+
+    /// Build a *leased* world: a job-private view over a **shared**
+    /// register file, windowed to `block`. `topology` is the lease
+    /// sub-topology (the job's nodes renumbered from 0, inner shape
+    /// preserved), so every distance/ring computation stays meaningful
+    /// while the job's mirrors stay lease-relative inside its block.
+    /// The block is reset for a fresh run with the lease width set to
+    /// the sub-topology's full worker count.
+    pub fn leased_on(
+        topology: impl Into<MachineTopology>,
+        latency: LatencyModel,
+        cells: Arc<GlobalCells>,
+        block: CellBlock,
+    ) -> Arc<Self> {
+        let topology = topology.into();
+        let total = topology.total_workers();
+        assert!(
+            topology.nodes() <= block.mirror_nodes(),
+            "lease sub-topology has more nodes than the cell block mirrors"
+        );
+        cells.reset_block(block, total as u64);
+        Arc::new(World {
+            topology,
+            interconnect: Interconnect::new(latency),
+            cells,
+            block,
+            leased: true,
             barrier: GpiBarrier::new(total),
             start: std::time::Instant::now(),
         })

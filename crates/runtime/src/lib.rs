@@ -34,7 +34,7 @@ pub use config::{
 };
 pub use processor::{Incumbent, NoIncumbent, ProcCtx, Processor, Step, WorkSink};
 pub use rng::SplitMix64;
-pub use run::{run_parallel, RunReport};
+pub use run::{run_parallel, run_parallel_on, RunReport};
 pub use stats::{PhaseTimers, RaceRing, StateClock, WorkerState, WorkerStats, NUM_STATES};
 
 pub use macs_gpi::{

@@ -3,7 +3,6 @@
 
 use std::time::Duration;
 
-use macs_gpi::cells::{CELL_INCUMBENT, CELL_WIN_NS};
 use macs_gpi::interconnect::TrafficSnapshot;
 use macs_gpi::World;
 use macs_pool::SplitPool;
@@ -112,6 +111,47 @@ where
     F: Fn(usize) -> P + Sync,
     P::Output: Send,
 {
+    let pools = build_seeded_pools(cfg, slot_words, roots);
+    // The world is created last, just before the workers spawn, so its
+    // `start` instant is the one epoch for *both* the run's wall clock
+    // and the race's win timestamps — `first_solution ≤ wall` by
+    // construction, with no setup time leaking into either.
+    let world = World::new(cfg.topology.clone(), cfg.latency, 16);
+    run_on_pools(&world, cfg, pools, roots.len() as u64, factory)
+}
+
+/// [`run_parallel`] against a caller-supplied [`World`] — the multi-tenant
+/// entry point. The caller builds the world over the job's *lease
+/// sub-topology* (typically with [`World::leased_on`], windowing a shared
+/// register file to the job's own [`macs_gpi::CellBlock`]); `cfg.topology`
+/// must be that same sub-topology, since it drives the worker count and
+/// victim rings.
+pub fn run_parallel_on<P, F>(
+    world: &World,
+    cfg: &RuntimeConfig,
+    slot_words: usize,
+    roots: &[Vec<u64>],
+    factory: F,
+) -> RunReport<P::Output>
+where
+    P: Processor,
+    F: Fn(usize) -> P + Sync,
+    P::Output: Send,
+{
+    assert_eq!(
+        cfg.workers(),
+        world.topology.total_workers(),
+        "config topology must match the world's"
+    );
+    let pools = build_seeded_pools(cfg, slot_words, roots);
+    run_on_pools(world, cfg, pools, roots.len() as u64, factory)
+}
+
+fn build_seeded_pools(
+    cfg: &RuntimeConfig,
+    slot_words: usize,
+    roots: &[Vec<u64>],
+) -> Vec<SplitPool> {
     let n_workers = cfg.workers();
     assert!(!roots.is_empty(), "need at least one root work item");
     for r in roots {
@@ -135,17 +175,27 @@ where
             }
         }
     }
+    pools
+}
 
-    // The world is created last, just before the workers spawn, so its
-    // `start` instant is the one epoch for *both* the run's wall clock
-    // and the race's win timestamps — `first_solution ≤ wall` by
-    // construction, with no setup time leaking into either.
-    let world = World::new(cfg.topology.clone(), cfg.latency, 16);
-    term::init_outstanding(&world.cells, roots.len() as u64);
-    world.cells.store_i64(CELL_INCUMBENT, i64::MAX);
+fn run_on_pools<P, F>(
+    world: &World,
+    cfg: &RuntimeConfig,
+    pools: Vec<SplitPool>,
+    n_roots: u64,
+    factory: F,
+) -> RunReport<P::Output>
+where
+    P: Processor,
+    F: Fn(usize) -> P + Sync,
+    P::Output: Send,
+{
+    let n_workers = cfg.workers();
+    let block = world.block;
+    term::init_outstanding_at(&world.cells, block.outstanding(), n_roots);
+    world.cells.store_i64(block.incumbent(), i64::MAX);
     let mut results: Vec<(WorkerStats, P::Output)> = Vec::with_capacity(n_workers);
     std::thread::scope(|s| {
-        let world = &world;
         let pools = &pools[..];
         let factory = &factory;
         let handles: Vec<_> = (0..n_workers)
@@ -167,8 +217,8 @@ where
         "pools must be drained at termination"
     );
 
-    let incumbent = world.cells.load_i64(CELL_INCUMBENT);
-    let win_ns = world.cells.load_i64(CELL_WIN_NS);
+    let incumbent = world.cells.load_i64(block.incumbent());
+    let win_ns = world.cells.load_i64(block.win_ns());
     let (workers, outputs) = results.into_iter().unzip();
     RunReport {
         wall,
@@ -271,15 +321,16 @@ mod tests {
     #[test]
     fn multi_worker_single_node_agrees_with_sequential() {
         let cfg_seq = RuntimeConfig::single_node(1);
-        let (_, leaves1, sum1) = run_tree(&cfg_seq, 9, Some(3));
         let cfg = RuntimeConfig::single_node(4);
-        // Work distribution is timing-dependent; on a loaded host one
-        // worker can occasionally race through the whole tree alone, so
-        // allow a few attempts to observe stealing (counts must agree on
-        // every attempt).
+        // Work distribution is timing-dependent: on a loaded host one
+        // worker can race through a small tree before the other threads
+        // are even scheduled. Retry with a deeper tree each time — the
+        // widening race window makes a steal-free run vanishingly
+        // unlikely — while the counts must agree on every attempt.
         let mut stole = false;
-        for _ in 0..3 {
-            let (report, leaves4, sum4) = run_tree(&cfg, 9, Some(3));
+        for depth in 9..=13 {
+            let (_, leaves1, sum1) = run_tree(&cfg_seq, depth, Some(3));
+            let (report, leaves4, sum4) = run_tree(&cfg, depth, Some(3));
             assert_eq!(leaves4, leaves1);
             assert_eq!(sum4, sum1, "every leaf processed exactly once");
             let (ls, _, _, _) = report.steal_totals();
@@ -294,16 +345,23 @@ mod tests {
     #[test]
     fn hierarchical_topology_uses_remote_steals() {
         let cfg_seq = RuntimeConfig::single_node(1);
-        let (_, leaves1, sum1) = run_tree(&cfg_seq, 10, Some(3));
         let mut cfg = RuntimeConfig::clustered(4, 2); // 2 nodes × 2 cores
         cfg.poll = PollPolicy::Dynamic { min: 2, max: 64 };
-        let (report, leaves, sum) = run_tree(&cfg, 10, Some(3));
-        assert_eq!(leaves, leaves1);
-        assert_eq!(sum, sum1);
-        let (_, _, rs, _) = report.steal_totals();
-        assert!(rs > 0, "expected remote steals across nodes");
-        assert!(report.traffic.remote_reads > 0);
-        assert!(report.traffic.bytes_written > 0);
+        // As in the single-node agreement test: retry with a deeper tree
+        // until the off-node workers were scheduled in time to steal.
+        for depth in 10..=13 {
+            let (_, leaves1, sum1) = run_tree(&cfg_seq, depth, Some(3));
+            let (report, leaves, sum) = run_tree(&cfg, depth, Some(3));
+            assert_eq!(leaves, leaves1);
+            assert_eq!(sum, sum1);
+            let (_, _, rs, _) = report.steal_totals();
+            if rs > 0 {
+                assert!(report.traffic.remote_reads > 0);
+                assert!(report.traffic.bytes_written > 0);
+                return;
+            }
+        }
+        panic!("expected remote steals across nodes");
     }
 
     #[test]
@@ -422,6 +480,96 @@ mod tests {
         });
         let leaves: u64 = report.outputs.iter().map(|o| o.0).sum();
         assert_eq!(leaves, 5 * 2u64.pow(6));
+    }
+
+    #[test]
+    fn shrunken_lease_drains_and_agrees() {
+        use macs_gpi::cells::CellBlock;
+        use macs_gpi::GlobalCells;
+        use std::sync::Arc;
+
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 20, None);
+
+        // 4 workers on 2 nodes, but the lease is shrunk to 2 before the
+        // run even starts and never regrown: workers 2 and 3 must park
+        // immediately, and the active pair must be able to drain every
+        // item — including the last one in a parked pool (the retention
+        // waiver) — or the run would never terminate.
+        let cfg = RuntimeConfig::clustered(4, 2);
+        let nodes = cfg.topology.nodes();
+        let cells = Arc::new(GlobalCells::with_job_blocks(2, nodes));
+        let block = CellBlock::for_job(1, nodes);
+        let world = World::leased_on(cfg.topology.clone(), cfg.latency, Arc::clone(&cells), block);
+        cells.store(block.lease(), 2);
+        let report = run_parallel_on(&world, &cfg, 2, &[vec![0u64, 1u64]], |_w| TreeProc {
+            max_depth: 20,
+            uniform_branch: None,
+            leaves: 0,
+            checksum: 0,
+        });
+        let leaves: u64 = report.outputs.iter().map(|o| o.0).sum();
+        let sum = report.outputs.iter().fold(0u64, |a, o| a.wrapping_add(o.1));
+        assert_eq!(leaves, leaves1);
+        assert_eq!(sum, sum1);
+        let parks: u64 = report.workers.iter().map(|w| w.parks).sum();
+        assert!(parks >= 2, "both out-of-lease workers must park: {parks}");
+        // Parked workers never process items under a never-regrown lease.
+        assert_eq!(report.workers[2].items, 0);
+        assert_eq!(report.workers[3].items, 0);
+    }
+
+    #[test]
+    fn lease_regrow_resumes_parked_workers() {
+        use macs_gpi::cells::CellBlock;
+        use macs_gpi::GlobalCells;
+        use std::sync::Arc;
+
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 12, Some(3));
+
+        let cfg = RuntimeConfig::clustered(4, 2);
+        let nodes = cfg.topology.nodes();
+        let cells = Arc::new(GlobalCells::with_job_blocks(1, nodes));
+        let block = CellBlock::for_job(0, nodes);
+        let world = World::leased_on(cfg.topology.clone(), cfg.latency, Arc::clone(&cells), block);
+        cells.store(block.lease(), 2);
+        // Pre-arm the counter so the grower cannot mistake the not-yet-
+        // started run (reset leaves the counter at 0) for a finished one.
+        cells.store_i64(block.outstanding(), 1);
+        // Regrow the lease to the full width once the shrink handshake
+        // confirms both out-of-lease workers parked; they must resume and
+        // the totals must still be exact — no item lost or duplicated
+        // across the park/unpark edge. The handshake makes the test
+        // deterministic even on a single-core host: the regrow cannot
+        // outrace the parks it asserts on. If the run terminates first,
+        // the parked count drops back to 0 and the grower gives up.
+        let grower = {
+            let cells = Arc::clone(&cells);
+            std::thread::spawn(move || loop {
+                if cells.load_i64(block.parked()) >= 2 {
+                    cells.store(block.lease(), 4);
+                    return true;
+                }
+                if cells.load_i64(block.outstanding()) == 0 {
+                    return false; // run ended before both parks were seen
+                }
+                std::thread::yield_now();
+            })
+        };
+        let report = run_parallel_on(&world, &cfg, 2, &[vec![0u64, 1u64]], |_w| TreeProc {
+            max_depth: 12,
+            uniform_branch: Some(3),
+            leaves: 0,
+            checksum: 0,
+        });
+        grower.join().unwrap();
+        let leaves: u64 = report.outputs.iter().map(|o| o.0).sum();
+        let sum = report.outputs.iter().fold(0u64, |a, o| a.wrapping_add(o.1));
+        assert_eq!(leaves, leaves1);
+        assert_eq!(sum, sum1);
+        let parks: u64 = report.workers.iter().map(|w| w.parks).sum();
+        assert!(parks >= 2, "workers 2 and 3 parked before the regrow");
     }
 
     #[test]

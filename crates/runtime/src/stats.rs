@@ -201,6 +201,10 @@ pub struct WorkerStats {
     /// First-solution races: items this worker discarded unprocessed
     /// (in hand or pooled) once it observed the winner flag.
     pub abandoned_items: u64,
+    /// Leased runs: times this worker parked because the lease width
+    /// shrank below its id (it published its pool and served thieves
+    /// until regrown or terminated).
+    pub parks: u64,
 }
 
 impl WorkerStats {
@@ -232,6 +236,7 @@ impl WorkerStats {
             batched_responses: 0,
             nodes_after_win: 0,
             abandoned_items: 0,
+            parks: 0,
         }
     }
 }

@@ -28,6 +28,10 @@ use macs_gpi::{GlobalCells, Interconnect};
 pub struct TermHandle<'a> {
     cells: &'a GlobalCells,
     ic: &'a Interconnect,
+    /// Register holding this run's counter ([`CELL_OUTSTANDING`] for a
+    /// classic single-job run; a job-block offset in multi-tenant runs, so
+    /// co-scheduled jobs terminate independently).
+    cell: usize,
     /// Workers off node 0 pay the interconnect for counter RMWs.
     remote: bool,
     /// Locally batched (negative) delta not yet applied globally.
@@ -37,9 +41,22 @@ pub struct TermHandle<'a> {
 
 impl<'a> TermHandle<'a> {
     pub fn new(cells: &'a GlobalCells, ic: &'a Interconnect, remote: bool, batch: u32) -> Self {
+        Self::new_at(cells, ic, remote, batch, CELL_OUTSTANDING)
+    }
+
+    /// A handle on the counter in register `cell` instead of the root
+    /// [`CELL_OUTSTANDING`].
+    pub fn new_at(
+        cells: &'a GlobalCells,
+        ic: &'a Interconnect,
+        remote: bool,
+        batch: u32,
+        cell: usize,
+    ) -> Self {
         TermHandle {
             cells,
             ic,
+            cell,
             remote,
             pending: 0,
             batch: -(batch.max(1) as i64),
@@ -54,9 +71,9 @@ impl<'a> TermHandle<'a> {
         }
         if self.remote {
             self.cells
-                .fetch_add_i64_remote(self.ic, CELL_OUTSTANDING, n as i64);
+                .fetch_add_i64_remote(self.ic, self.cell, n as i64);
         } else {
-            self.cells.fetch_add_i64(CELL_OUTSTANDING, n as i64);
+            self.cells.fetch_add_i64(self.cell, n as i64);
         }
     }
 
@@ -74,9 +91,9 @@ impl<'a> TermHandle<'a> {
         if self.pending != 0 {
             if self.remote {
                 self.cells
-                    .fetch_add_i64_remote(self.ic, CELL_OUTSTANDING, self.pending);
+                    .fetch_add_i64_remote(self.ic, self.cell, self.pending);
             } else {
-                self.cells.fetch_add_i64(CELL_OUTSTANDING, self.pending);
+                self.cells.fetch_add_i64(self.cell, self.pending);
             }
             self.pending = 0;
         }
@@ -86,18 +103,23 @@ impl<'a> TermHandle<'a> {
     #[inline]
     pub fn finished(&self) -> bool {
         debug_assert_eq!(self.pending, 0, "flush before checking termination");
-        self.cells.load_i64(CELL_OUTSTANDING) == 0
+        self.cells.load_i64(self.cell) == 0
     }
 
     /// Current global value (diagnostics).
     pub fn outstanding(&self) -> i64 {
-        self.cells.load_i64(CELL_OUTSTANDING)
+        self.cells.load_i64(self.cell)
     }
 }
 
 /// Initialise the counter for a run with `roots` initial items.
 pub fn init_outstanding(cells: &GlobalCells, roots: u64) {
-    cells.store_i64(CELL_OUTSTANDING, roots as i64);
+    init_outstanding_at(cells, CELL_OUTSTANDING, roots);
+}
+
+/// Initialise the counter in register `cell` (job-block runs).
+pub fn init_outstanding_at(cells: &GlobalCells, cell: usize, roots: u64) {
+    cells.store_i64(cell, roots as i64);
 }
 
 #[cfg(test)]

@@ -5,10 +5,7 @@
 use std::cell::Cell;
 use std::time::Instant;
 
-use macs_gpi::cells::{
-    node_bound_cell, node_cancel_cell, CELL_CANCEL, CELL_INCUMBENT, CELL_WIN_NS,
-};
-use macs_gpi::{GlobalCells, Interconnect, ScanOrder, VictimOrder, World};
+use macs_gpi::{CellBlock, GlobalCells, Interconnect, ScanOrder, VictimOrder, World};
 use macs_pool::{SplitPool, RESP_FAIL, RESP_PENDING};
 use macs_search::{AdaptiveBatch, BoundPolicy, RefreshGate, WorkBatch};
 
@@ -33,7 +30,7 @@ const LEADER_REFRESH: u32 = 8;
 /// Under [`BoundPolicy::Hierarchical`] the fabric read is hoisted to the
 /// node-leader level of the broadcast tree
 /// ([`macs_search::BroadcastTree`]): every node has a mirror register in
-/// its own partition ([`node_bound_cell`]); submitters `fetch_min` both
+/// its own partition (`node_bound_cell`); submitters `fetch_min` both
 /// their mirror (local) and the root (fabric), members read only the
 /// mirror (local), and the node's leader — alone — refreshes the mirror
 /// from the root every `LEADER_REFRESH` items. The pull cadence is the
@@ -45,7 +42,10 @@ pub struct GlobalIncumbent<'a> {
     /// Does reaching the root register cross the fabric?
     remote: bool,
     policy: BoundPolicy,
-    /// This worker's node-mirror register.
+    /// This run's root-incumbent register (job-block relative).
+    root_cell: usize,
+    /// This worker's node-mirror register (job-block relative, so
+    /// co-scheduled jobs on one machine node never share a mirror).
     node_cell: usize,
     /// Node leaders own the mirror-refresh duty.
     leader: bool,
@@ -59,6 +59,7 @@ impl<'a> GlobalIncumbent<'a> {
         ic: &'a Interconnect,
         remote: bool,
         policy: BoundPolicy,
+        block: CellBlock,
         node: usize,
         leader: bool,
     ) -> Self {
@@ -67,7 +68,8 @@ impl<'a> GlobalIncumbent<'a> {
             ic,
             remote,
             policy,
-            node_cell: node_bound_cell(node),
+            root_cell: block.incumbent(),
+            node_cell: block.node_bound(node),
             leader,
             cache: Cell::new(i64::MAX),
             gate: RefreshGate::new(),
@@ -76,9 +78,9 @@ impl<'a> GlobalIncumbent<'a> {
 
     fn reload(&self) -> i64 {
         let v = if self.remote {
-            self.cells.load_i64_remote(self.ic, CELL_INCUMBENT)
+            self.cells.load_i64_remote(self.ic, self.root_cell)
         } else {
-            self.cells.load_i64(CELL_INCUMBENT)
+            self.cells.load_i64(self.root_cell)
         };
         self.cache.set(v);
         v
@@ -116,9 +118,9 @@ impl Incumbent for GlobalIncumbent<'_> {
         }
         let prev = if self.remote {
             self.cells
-                .fetch_min_i64_remote(self.ic, CELL_INCUMBENT, value)
+                .fetch_min_i64_remote(self.ic, self.root_cell, value)
         } else {
-            self.cells.fetch_min_i64(CELL_INCUMBENT, value)
+            self.cells.fetch_min_i64(self.root_cell, value)
         };
         self.cache.set(value.min(self.cache.get()));
         value < prev
@@ -164,21 +166,21 @@ impl WorkSink for PoolSink<'_, '_> {
     /// refreshes (see [`Worker::winner_raised`]).
     fn cancel(&mut self) {
         let cells = &self.world.cells;
-        let nodes = self.world.topology.nodes();
+        let block = self.world.block;
         if self.remote {
             cells.fetch_min_i64_remote(
                 &self.world.interconnect,
-                CELL_WIN_NS,
+                block.win_ns(),
                 self.world.elapsed_ns(),
             );
         } else {
-            cells.fetch_min_i64(CELL_WIN_NS, self.world.elapsed_ns());
+            cells.fetch_min_i64(block.win_ns(), self.world.elapsed_ns());
         }
-        cells.store(node_cancel_cell(self.node, nodes), 1);
+        cells.store(block.node_cancel(self.node), 1);
         if self.remote {
             self.world.interconnect.charge_write(8);
         }
-        cells.store(CELL_CANCEL, 1);
+        cells.store(block.cancel(), 1);
     }
 }
 
@@ -262,17 +264,19 @@ impl<'a, P: Processor> Worker<'a, P> {
             processor,
             stats: WorkerStats::new(id, node),
             rng: SplitMix64::for_worker(cfg.seed, id),
-            term: TermHandle::new(
+            term: TermHandle::new_at(
                 &world.cells,
                 &world.interconnect,
                 cfg.charge_termination && remote_from_zero,
                 cfg.term_flush_batch,
+                world.block.outstanding(),
             ),
             incumbent: GlobalIncumbent::new(
                 &world.cells,
                 &world.interconnect,
                 remote_from_zero,
                 cfg.bound_policy,
+                world.block,
                 node,
                 leader,
             ),
@@ -286,7 +290,7 @@ impl<'a, P: Processor> Worker<'a, P> {
             local_rings,
             node_rings,
             victim_order,
-            cancel_mirror: node_cancel_cell(node, topo.nodes()),
+            cancel_mirror: world.block.node_cancel(node),
             leader,
             remote: remote_from_zero,
             since_winner_refresh: 0,
@@ -306,6 +310,86 @@ impl<'a, P: Processor> Worker<'a, P> {
         )
     }
 
+    // ----- worker-set leases (multi-tenant service runs) --------------------
+
+    /// The job's current lease width in workers (`u64::MAX` when this
+    /// world is not leased — every worker is always in-lease). A local
+    /// load: the lease register sits in the job's own cell block.
+    #[inline]
+    fn lease_width(&self) -> u64 {
+        if self.world.leased {
+            self.world.cells.load(self.world.block.lease())
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Is this worker parked — outside the job's current lease?
+    #[inline]
+    fn lease_parked(&self) -> bool {
+        self.world.leased && (self.id as u64) >= self.world.cells.load(self.world.block.lease())
+    }
+
+    /// How many shared items worker `w`'s pool must retain under lease
+    /// width `lease`. In-lease victims keep one item (the PR-5 retention
+    /// clamp, so a granted steal never idles the victim); a parked victim
+    /// retains nothing — it will not process work anyway, and waiving the
+    /// clamp is what lets active workers drain a shrunken lease's pools
+    /// down to the last item instead of deadlocking on it.
+    #[inline]
+    fn retained(w: usize, lease: u64) -> u64 {
+        u64::from((w as u64) < lease)
+    }
+
+    /// Parked: publish everything we hold, serve thieves, and wait until
+    /// the lease grows back over our id (`true`) or the job terminates
+    /// (`false`). The pool keeps draining monotonically — overflow spill
+    /// re-enters the ring as thieves free slots, and every private item
+    /// is released — so parked work is always visible to active workers.
+    fn park_until_leased(&mut self) -> bool {
+        self.stats.parks += 1;
+        // Announce the park: the scheduler's shrink handshake watches this
+        // register to learn when every out-of-lease worker has actually
+        // stopped (pool published, processing ceased).
+        self.world.cells.fetch_add_i64(self.world.block.parked(), 1);
+        let resumed = self.park_wait();
+        self.world
+            .cells
+            .fetch_add_i64(self.world.block.parked(), -1);
+        resumed
+    }
+
+    fn park_wait(&mut self) -> bool {
+        let mut idle_rounds: u32 = 0;
+        loop {
+            self.stats.clock.set(WorkerState::Releasing);
+            while !self.overflow.is_empty() {
+                if self.my_pool.push(self.overflow.last().unwrap()) {
+                    self.overflow.pop();
+                } else {
+                    break;
+                }
+            }
+            let private = self.my_pool.private_len();
+            if private > 0 {
+                self.stats.releases += 1;
+                self.stats.released_items += self.my_pool.release(private);
+            }
+            self.stats.clock.set(WorkerState::Idle);
+            self.term.flush();
+            if self.term.finished() {
+                return false;
+            }
+            self.serve_request();
+            if !self.lease_parked() {
+                return true;
+            }
+            self.stats.clock.set(WorkerState::Idle);
+            Self::backoff(idle_rounds);
+            idle_rounds = idle_rounds.saturating_add(1);
+        }
+    }
+
     /// The worker main loop (paper §IV: propagate/split under `process`,
     /// plus release, poll and restore around it).
     pub fn run(mut self) -> (WorkerStats, P::Output) {
@@ -316,6 +400,24 @@ impl<'a, P: Processor> Worker<'a, P> {
         loop {
             if !have && !self.restore() {
                 break; // global termination
+            }
+            if self.lease_parked() {
+                // The lease shrank below our id. Hand the in-hand item
+                // back (it is already counted outstanding, so a plain
+                // push keeps the termination invariant — an active worker
+                // will steal and finish it), publish the pool, and serve
+                // thieves until regrown or terminated. At this point
+                // `current` always holds an item: either `have` was true
+                // or `restore` just acquired one.
+                if !self.my_pool.push(&self.current) {
+                    self.overflow.push(self.current.clone().into_boxed_slice());
+                    self.stats.overflow_spills += 1;
+                }
+                have = false;
+                if self.park_until_leased() {
+                    continue;
+                }
+                break; // the job terminated while we were parked
             }
             if self.winner_raised() {
                 // Cooperative cancellation: discard the item in hand and
@@ -368,7 +470,7 @@ impl<'a, P: Processor> Worker<'a, P> {
             return true;
         }
         if !self.cfg.mode.is_race() {
-            return self.world.cells.load(CELL_CANCEL) != 0;
+            return self.world.cells.load(self.world.block.cancel()) != 0;
         }
         if self.world.cells.load(self.cancel_mirror) != 0 {
             return true;
@@ -380,7 +482,7 @@ impl<'a, P: Processor> Worker<'a, P> {
                 if self.remote {
                     self.world.interconnect.charge_read(8);
                 }
-                if self.world.cells.load(CELL_CANCEL) != 0 {
+                if self.world.cells.load(self.world.block.cancel()) != 0 {
                     self.world.cells.store(self.cancel_mirror, 1);
                     return true;
                 }
@@ -401,9 +503,9 @@ impl<'a, P: Processor> Worker<'a, P> {
         let win_ns = if self.remote {
             self.world
                 .cells
-                .load_i64_remote(&self.world.interconnect, CELL_WIN_NS)
+                .load_i64_remote(&self.world.interconnect, self.world.block.win_ns())
         } else {
-            self.world.cells.load_i64(CELL_WIN_NS)
+            self.world.cells.load_i64(self.world.block.win_ns())
         };
         self.stats.nodes_after_win = self.race_ring.count_after(win_ns);
     }
@@ -490,7 +592,7 @@ impl<'a, P: Processor> Worker<'a, P> {
     /// computation terminated.
     fn restore(&mut self) -> bool {
         self.stats.clock.set(WorkerState::Searching);
-        if self.acquire_local() {
+        if !self.lease_parked() && self.acquire_local() {
             return true;
         }
         let mut idle_rounds: u32 = 0;
@@ -499,8 +601,14 @@ impl<'a, P: Processor> Worker<'a, P> {
             // for: stop raiding other pools (their owners will discard
             // that work anyway) and just drain towards termination. The
             // check also keeps idle node leaders refreshing the winner
-            // mirror for their busy peers.
-            if self.winner_raised() {
+            // mirror for their busy peers. A parked worker likewise stops
+            // raiding — work it stole would sit unprocessed in an
+            // out-of-lease pool — and waits out the lease instead.
+            if self.lease_parked() {
+                if !self.park_until_leased() {
+                    return false;
+                }
+            } else if self.winner_raised() {
                 self.on_win_observed();
             } else {
                 // Local steal from a co-located worker.
@@ -527,7 +635,7 @@ impl<'a, P: Processor> Worker<'a, P> {
             Self::backoff(idle_rounds);
             idle_rounds = idle_rounds.saturating_add(1);
             self.stats.clock.set(WorkerState::Searching);
-            if self.acquire_local() {
+            if !self.lease_parked() && self.acquire_local() {
                 return true;
             }
         }
@@ -559,11 +667,14 @@ impl<'a, P: Processor> Worker<'a, P> {
         self.stats.clock.set(WorkerState::Searching);
         // Walk the rings nearest level first (affinity victim ahead of its
         // ring); within a ring apply the configured selection heuristic.
-        let pools = self.pools;
-        let rng = &mut self.rng;
         // The surplus estimate discounts the item the victim must retain:
         // a pool with a single shared item can never be granted from, so
-        // scanning it would only buy a failed steal.
+        // scanning it would only buy a failed steal. Parked victims
+        // (outside the current lease) retain nothing — their last item is
+        // fair game, or a shrunken lease could never drain.
+        let lease = self.lease_width();
+        let pools = self.pools;
+        let rng = &mut self.rng;
         let victim = match self.cfg.victim_select {
             VictimSelect::Greedy => {
                 // First victim with visible surplus, scanning each ring
@@ -571,14 +682,20 @@ impl<'a, P: Processor> Worker<'a, P> {
                 self.victim_order.pick_first(
                     &self.local_rings,
                     |n| rng.below_usize(n),
-                    |w| pools[w].shared_len().saturating_sub(1),
+                    |w| {
+                        pools[w]
+                            .shared_len()
+                            .saturating_sub(Self::retained(w, lease))
+                    },
                 )
             }
             VictimSelect::MaxSteal => {
                 // Inspect every candidate of the nearest non-empty ring,
                 // pick the largest shared region.
                 self.victim_order.pick_max(&self.local_rings, |w| {
-                    pools[w].shared_len().saturating_sub(1)
+                    pools[w]
+                        .shared_len()
+                        .saturating_sub(Self::retained(w, lease))
                 })
             }
         };
@@ -668,15 +785,19 @@ impl<'a, P: Processor> Worker<'a, P> {
                 .take(attempts)
             {
                 let mut best: Option<(u64, usize)> = None;
+                let lease = self.lease_width();
                 for w in topo.workers_on(cand_node) {
                     let meta = self.pools[w].meta_remote(ic);
                     // Skip pools with a pending request (mailbox busy) and
                     // pools with a single shared item — the retention
                     // clamp makes them unservable, so posting there buys a
-                    // guaranteed-refused round trip.
+                    // guaranteed-refused round trip. A parked victim
+                    // retains nothing, so even its last item is worth the
+                    // request.
                     if meta.req == 0 {
                         let s = meta.shared_len();
-                        if s > 1 && best.map(|(b, _)| s > b).unwrap_or(true) {
+                        if s > Self::retained(w, lease) && best.map(|(b, _)| s > b).unwrap_or(true)
+                        {
                             best = Some((s, w));
                         }
                     }
@@ -787,6 +908,7 @@ impl<'a, P: Processor> Worker<'a, P> {
         };
         let reply_cap = free.min(cap);
         let mut budget = reply_cap;
+        let lease = self.lease_width();
 
         self.steal_flat.clear();
         let flat = &mut self.steal_flat;
@@ -795,9 +917,15 @@ impl<'a, P: Processor> Worker<'a, P> {
         let mut n = 0u64;
 
         // Chunk 1: our own shared region (shrinking it from the tail, as
-        // the paper describes the reservation).
+        // the paper describes the reservation). A parked server gives its
+        // whole region away — it is not coming back for it.
         if budget > 0 {
-            let own_half = WorkBatch::share_ceil(self.my_pool.shared_len(), budget);
+            let shared = self.my_pool.shared_len();
+            let own_half = if Self::retained(self.id, lease) == 0 {
+                shared.min(budget)
+            } else {
+                WorkBatch::share_ceil(shared, budget)
+            };
             let got = self
                 .my_pool
                 .steal(own_half, |item| flat.extend_from_slice(item));
@@ -830,14 +958,19 @@ impl<'a, P: Processor> Worker<'a, P> {
             let cand = peers
                 .filter(|&w| w != self.id && w != thief && !taken.contains(&w))
                 .map(|w| (self.pools[w].shared_len(), w))
-                // s > 1: a lone shared item cannot be granted (retention).
-                .filter(|&(s, _)| s > 1)
+                // A lone shared item cannot be granted from an in-lease
+                // pool (retention) but drains freely from a parked one.
+                .filter(|&(s, w)| s > Self::retained(w, lease))
                 .max();
             let Some((shared, w)) = cand else {
                 break;
             };
             taken.push(w);
-            let half = WorkBatch::share_ceil(shared, budget);
+            let half = if Self::retained(w, lease) == 0 {
+                shared.min(budget)
+            } else {
+                WorkBatch::share_ceil(shared, budget)
+            };
             let got = self.pools[w].steal(half, |item| flat.extend_from_slice(item));
             if got > 0 {
                 chunks += 1;

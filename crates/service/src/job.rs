@@ -1,0 +1,143 @@
+//! Job identity and the sequential oracle.
+//!
+//! Every job the service runs is also solvable by the single-threaded
+//! engine, and its class's sequential answer is a pure function of the
+//! instance — so the oracle is computed once per class and every
+//! completed job is checked against it. Enumeration classes must agree
+//! on the solution count, optimisation classes on the best cost; a
+//! scheduler that loses work items, cancels the wrong job or crosses two
+//! tenants' cell blocks fails this check before any statistical metric
+//! moves.
+
+use macs_engine::seq::{solve_seq, SeqOptions};
+use macs_engine::CompiledProblem;
+
+use crate::workload::{build_class, class_is_optimisation, CLASS_NAMES, NUM_CLASSES};
+
+/// One job of the open-loop trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    pub id: u64,
+    pub tenant: usize,
+    /// Index into the service-class table (see [`crate::workload`]).
+    pub class: usize,
+    /// Virtual arrival instant (nanoseconds from trace start).
+    pub arrival_ns: u64,
+    /// Per-job solver seed (victim selection inside the job's lease).
+    pub seed: u64,
+}
+
+/// What a finished job reported — the slice of the solve the oracle can
+/// check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobAnswer {
+    pub solutions: u64,
+    pub nodes: u64,
+    pub best_cost: Option<i64>,
+}
+
+/// Per-class sequential reference answers, computed lazily and cached —
+/// the trace may hold hundreds of jobs but only [`NUM_CLASSES`] distinct
+/// instances.
+pub struct Oracle {
+    answers: [Option<JobAnswer>; NUM_CLASSES],
+    problems: [Option<CompiledProblem>; NUM_CLASSES],
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle::new()
+    }
+}
+
+impl Oracle {
+    pub fn new() -> Self {
+        Oracle {
+            answers: [None; NUM_CLASSES],
+            problems: [const { None }; NUM_CLASSES],
+        }
+    }
+
+    /// The compiled problem for `class` (built once, then shared).
+    pub fn problem(&mut self, class: usize) -> &CompiledProblem {
+        self.problems[class].get_or_insert_with(|| build_class(class))
+    }
+
+    /// The sequential answer for `class` (solved once, then cached).
+    pub fn answer(&mut self, class: usize) -> JobAnswer {
+        if let Some(a) = self.answers[class] {
+            return a;
+        }
+        let seq = {
+            let prob = self.problem(class);
+            solve_seq(prob, &SeqOptions::default())
+        };
+        let a = JobAnswer {
+            solutions: seq.solutions,
+            nodes: seq.nodes,
+            best_cost: seq.best_cost,
+        };
+        self.answers[class] = Some(a);
+        a
+    }
+
+    /// Check a completed job's answer against the class oracle.
+    /// Optimisation classes must reproduce the optimal cost; enumeration
+    /// classes the exact solution count. (Node counts legitimately differ
+    /// in parallel branch-and-bound — a better-travelled incumbent prunes
+    /// differently — so they are reported but not gated.)
+    pub fn verify(&mut self, class: usize, got: &JobAnswer) -> Result<(), String> {
+        let want = self.answer(class);
+        if class_is_optimisation(class) {
+            if got.best_cost != want.best_cost {
+                return Err(format!(
+                    "class {}: best cost {:?} != sequential optimum {:?}",
+                    CLASS_NAMES[class], got.best_cost, want.best_cost
+                ));
+            }
+        } else if got.solutions != want.solutions {
+            return Err(format!(
+                "class {}: {} solutions != sequential count {}",
+                CLASS_NAMES[class], got.solutions, want.solutions
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_caches_and_detects_divergence() {
+        let mut oracle = Oracle::new();
+        let want = oracle.answer(0);
+        assert_eq!(want.solutions, 92, "queens-8 has 92 solutions");
+        // Cached: same answer, no recompute drift.
+        assert_eq!(oracle.answer(0), want);
+        assert!(oracle.verify(0, &want).is_ok());
+        let wrong = JobAnswer {
+            solutions: want.solutions + 1,
+            ..want
+        };
+        assert!(oracle.verify(0, &wrong).is_err());
+    }
+
+    #[test]
+    fn optimisation_oracle_gates_on_cost_not_nodes() {
+        let mut oracle = Oracle::new();
+        let want = oracle.answer(1);
+        assert!(want.best_cost.is_some(), "golomb-7 is an optimisation");
+        let other_nodes = JobAnswer {
+            nodes: want.nodes * 2,
+            ..want
+        };
+        assert!(oracle.verify(1, &other_nodes).is_ok());
+        let wrong_cost = JobAnswer {
+            best_cost: want.best_cost.map(|c| c + 1),
+            ..want
+        };
+        assert!(oracle.verify(1, &wrong_cost).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Worker-set leases: contiguous, node-aligned slices of the machine.
+//!
+//! A lease is the unit the scheduler hands a job: a run of whole
+//! shared-memory nodes, never a fraction of one, so every job's workers
+//! share their node-local mirrors and victim rings without crossing a
+//! tenant boundary. Leases are contiguous in node id so the sub-topology
+//! handed to the runtime keeps a meaningful distance metric, and so a
+//! shrunken lease can later grow back over its own trailing nodes without
+//! fragmenting the ledger.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One job's slice of the machine: nodes `first_node .. first_node +
+/// nodes`, each contributing `cores_per_node` workers. `max_nodes` is the
+/// original grant — a lease may shrink below it and later grow back, but
+/// never beyond (the threaded backend sizes the job's world, and thus its
+/// OS threads, at the grant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lease {
+    pub job: u64,
+    pub first_node: usize,
+    pub nodes: usize,
+    pub max_nodes: usize,
+    pub cores_per_node: usize,
+}
+
+impl Lease {
+    /// Workers currently inside the lease.
+    pub fn workers(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Workers of the original grant (the job's thread count).
+    pub fn max_workers(&self) -> usize {
+        self.max_nodes * self.cores_per_node
+    }
+
+    /// Machine node ids this lease currently occupies.
+    pub fn node_range(&self) -> std::ops::Range<usize> {
+        self.first_node..self.first_node + self.nodes
+    }
+
+    /// True if two leases share a machine node.
+    pub fn overlaps(&self, other: &Lease) -> bool {
+        self.first_node < other.first_node + other.nodes
+            && other.first_node < self.first_node + self.nodes
+    }
+}
+
+/// Per-node ownership ledger. Claims are first-fit over contiguous free
+/// runs; shrink releases a lease's trailing nodes, grow reclaims them if
+/// still free. Every mutation rechecks the one invariant that matters:
+/// no machine node is ever owned by two jobs.
+#[derive(Clone, Debug)]
+pub struct LeaseLedger {
+    /// `owner[n]` = job currently holding machine node `n`.
+    owner: Vec<Option<u64>>,
+    cores_per_node: usize,
+}
+
+impl LeaseLedger {
+    pub fn new(total_nodes: usize, cores_per_node: usize) -> Self {
+        assert!(total_nodes > 0 && cores_per_node > 0);
+        LeaseLedger {
+            owner: vec![None; total_nodes],
+            cores_per_node,
+        }
+    }
+
+    pub fn total_nodes(&self) -> usize {
+        self.owner.len()
+    }
+
+    pub fn free_nodes(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_none()).count()
+    }
+
+    /// Longest contiguous free run (the widest claim that can succeed).
+    pub fn largest_free_run(&self) -> usize {
+        let mut best = 0;
+        let mut run = 0;
+        for o in &self.owner {
+            if o.is_none() {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
+
+    /// First-fit claim of `nodes` contiguous free nodes for `job`.
+    pub fn claim(&mut self, job: u64, nodes: usize) -> Option<Lease> {
+        if nodes == 0 || nodes > self.owner.len() {
+            return None;
+        }
+        let mut start = 0;
+        while start + nodes <= self.owner.len() {
+            match self.owner[start..start + nodes]
+                .iter()
+                .position(|o| o.is_some())
+            {
+                Some(p) => start += p + 1,
+                None => {
+                    for o in &mut self.owner[start..start + nodes] {
+                        *o = Some(job);
+                    }
+                    return Some(Lease {
+                        job,
+                        first_node: start,
+                        nodes,
+                        max_nodes: nodes,
+                        cores_per_node: self.cores_per_node,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Release every node `job` holds.
+    pub fn free(&mut self, job: u64) {
+        for o in &mut self.owner {
+            if *o == Some(job) {
+                *o = None;
+            }
+        }
+    }
+
+    /// Shrink `lease` to `new_nodes`, releasing its trailing nodes.
+    /// Returns the updated lease; `new_nodes` must be `1..=lease.nodes`.
+    pub fn shrink(&mut self, lease: &Lease, new_nodes: usize) -> Lease {
+        assert!(new_nodes >= 1 && new_nodes <= lease.nodes, "bad shrink");
+        for n in lease.first_node + new_nodes..lease.first_node + lease.nodes {
+            debug_assert_eq!(self.owner[n], Some(lease.job));
+            self.owner[n] = None;
+        }
+        Lease {
+            nodes: new_nodes,
+            ..*lease
+        }
+    }
+
+    /// Grow `lease` back toward `new_nodes` by reclaiming its own trailing
+    /// nodes. Only nodes still free are reclaimed, and never past the
+    /// original grant; the achieved width is returned.
+    pub fn grow(&mut self, lease: &Lease, new_nodes: usize) -> Lease {
+        let want = new_nodes.min(lease.max_nodes);
+        let mut nodes = lease.nodes;
+        while nodes < want {
+            let n = lease.first_node + nodes;
+            if self.owner[n].is_some() {
+                break;
+            }
+            self.owner[n] = Some(lease.job);
+            nodes += 1;
+        }
+        Lease { nodes, ..*lease }
+    }
+
+    /// Panic message if two jobs own one node (structurally impossible
+    /// with `Option<u64>` owners — kept as the ledger's self-check that
+    /// a set of leases handed out is mutually disjoint).
+    pub fn check_disjoint(&self, leases: &[Lease]) -> Result<(), String> {
+        for (i, a) in leases.iter().enumerate() {
+            for b in &leases[i + 1..] {
+                if a.overlaps(b) {
+                    return Err(format!(
+                        "leases overlap: job {} [{:?}] vs job {} [{:?}]",
+                        a.job,
+                        a.node_range(),
+                        b.job,
+                        b.node_range()
+                    ));
+                }
+            }
+            for n in a.node_range() {
+                if self.owner[n] != Some(a.job) {
+                    return Err(format!(
+                        "ledger out of sync: node {n} owned by {:?}, lease says job {}",
+                        self.owner[n], a.job
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How wide a lease the scheduler grants, and whether running jobs are
+/// resized as load changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeasePolicy {
+    /// Every job gets exactly `nodes` nodes and keeps them until it
+    /// finishes. No resizes: the queue absorbs all load variation.
+    Static { nodes: usize },
+    /// Grant width follows the queue: an empty queue grants `max` nodes,
+    /// a deep queue narrows grants toward `min`, and when the machine is
+    /// full with work still queued, the widest running job is shrunk to
+    /// admit the head of the queue. When the queue drains, running jobs
+    /// grow back over their own freed nodes.
+    QueueDepth { min: usize, max: usize },
+}
+
+impl LeasePolicy {
+    /// Nodes to request for the next dispatch given the current queue
+    /// depth (the dispatching job included).
+    pub fn grant(&self, queue_depth: usize) -> usize {
+        match *self {
+            LeasePolicy::Static { nodes } => nodes,
+            LeasePolicy::QueueDepth { min, max } => {
+                // Halve the grant per queued job beyond the first:
+                // depth 1 -> max, 2 -> max/2, 3 -> max/4 ... floor min.
+                let d = queue_depth.saturating_sub(1).min(63) as u32;
+                (max >> d).max(min)
+            }
+        }
+    }
+
+    /// Narrowest width a running job may be shrunk to (`None` = never
+    /// shrink).
+    pub fn shrink_floor(&self) -> Option<usize> {
+        match *self {
+            LeasePolicy::Static { .. } => None,
+            LeasePolicy::QueueDepth { min, .. } => Some(min),
+        }
+    }
+}
+
+impl fmt::Display for LeasePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LeasePolicy::Static { nodes } => write!(f, "static:{nodes}"),
+            LeasePolicy::QueueDepth { min, max } => write!(f, "queue-depth:{min},{max}"),
+        }
+    }
+}
+
+impl FromStr for LeasePolicy {
+    type Err = String;
+
+    /// `static[:N]` or `queue-depth[:MIN,MAX]` (defaults: `static:1`,
+    /// `queue-depth:1,4`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (head, args) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        match head {
+            "static" => {
+                let nodes = match args {
+                    None => 1,
+                    Some(a) => a
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad static width {a:?}"))?,
+                };
+                if nodes == 0 {
+                    return Err("static lease width must be >= 1".into());
+                }
+                Ok(LeasePolicy::Static { nodes })
+            }
+            "queue-depth" => {
+                let (min, max) = match args {
+                    None => (1, 4),
+                    Some(a) => {
+                        let (lo, hi) = a
+                            .split_once(',')
+                            .ok_or_else(|| format!("expected MIN,MAX, got {a:?}"))?;
+                        (
+                            lo.parse::<usize>()
+                                .map_err(|_| format!("bad min width {lo:?}"))?,
+                            hi.parse::<usize>()
+                                .map_err(|_| format!("bad max width {hi:?}"))?,
+                        )
+                    }
+                };
+                if min == 0 || max < min {
+                    return Err(format!("need 1 <= min <= max, got {min},{max}"));
+                }
+                Ok(LeasePolicy::QueueDepth { min, max })
+            }
+            other => Err(format!(
+                "unknown lease policy {other:?} (want static[:N] or queue-depth[:MIN,MAX])"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_claims_are_disjoint_and_contiguous() {
+        let mut ledger = LeaseLedger::new(8, 4);
+        let a = ledger.claim(1, 3).unwrap();
+        let b = ledger.claim(2, 2).unwrap();
+        let c = ledger.claim(3, 3).unwrap();
+        assert_eq!((a.first_node, a.nodes), (0, 3));
+        assert_eq!((b.first_node, b.nodes), (3, 2));
+        assert_eq!((c.first_node, c.nodes), (5, 3));
+        assert!(ledger.claim(4, 1).is_none());
+        ledger.check_disjoint(&[a, b, c]).unwrap();
+        assert_eq!(a.workers(), 12);
+    }
+
+    #[test]
+    fn free_reopens_the_hole_and_claim_reuses_it() {
+        let mut ledger = LeaseLedger::new(6, 2);
+        let a = ledger.claim(1, 2).unwrap();
+        let _b = ledger.claim(2, 4).unwrap();
+        ledger.free(a.job);
+        assert_eq!(ledger.free_nodes(), 2);
+        let c = ledger.claim(3, 2).unwrap();
+        assert_eq!(c.first_node, 0);
+        assert!(ledger.claim(4, 1).is_none());
+    }
+
+    #[test]
+    fn shrink_frees_trailing_nodes_and_grow_reclaims_them() {
+        let mut ledger = LeaseLedger::new(8, 4);
+        let a = ledger.claim(1, 6).unwrap();
+        let a = ledger.shrink(&a, 2);
+        assert_eq!(a.nodes, 2);
+        assert_eq!(a.max_nodes, 6);
+        assert_eq!(ledger.free_nodes(), 6);
+        // A second tenant takes part of the freed run ...
+        let b = ledger.claim(2, 3).unwrap();
+        assert_eq!(b.first_node, 2);
+        // ... so the regrow stops at the tenant boundary.
+        let a = ledger.grow(&a, 6);
+        assert_eq!(a.nodes, 2);
+        ledger.free(b.job);
+        let a = ledger.grow(&a, 6);
+        assert_eq!(a.nodes, 6);
+        // Never past the original grant.
+        let a = ledger.grow(&a, 99);
+        assert_eq!(a.nodes, 6);
+        ledger.check_disjoint(&[a]).unwrap();
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for s in ["static:1", "static:4", "queue-depth:1,4", "queue-depth:2,8"] {
+            let p: LeasePolicy = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert_eq!(
+            "static".parse::<LeasePolicy>().unwrap(),
+            LeasePolicy::Static { nodes: 1 }
+        );
+        assert_eq!(
+            "queue-depth".parse::<LeasePolicy>().unwrap(),
+            LeasePolicy::QueueDepth { min: 1, max: 4 }
+        );
+        assert!("static:0".parse::<LeasePolicy>().is_err());
+        assert!("queue-depth:3,2".parse::<LeasePolicy>().is_err());
+        assert!("fair-share".parse::<LeasePolicy>().is_err());
+    }
+
+    #[test]
+    fn queue_depth_grant_narrows_with_load() {
+        let p = LeasePolicy::QueueDepth { min: 1, max: 8 };
+        assert_eq!(p.grant(0), 8);
+        assert_eq!(p.grant(1), 8);
+        assert_eq!(p.grant(2), 4);
+        assert_eq!(p.grant(3), 2);
+        assert_eq!(p.grant(4), 1);
+        assert_eq!(p.grant(100), 1);
+        let s = LeasePolicy::Static { nodes: 2 };
+        assert_eq!(s.grant(0), 2);
+        assert_eq!(s.grant(100), 2);
+        assert_eq!(s.shrink_floor(), None);
+        assert_eq!(p.shrink_floor(), Some(1));
+    }
+}

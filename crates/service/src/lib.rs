@@ -1,0 +1,46 @@
+//! Multi-tenant solve service: a job scheduler with worker leases above
+//! the MaCS runtime and simulator.
+//!
+//! The paper's runtime solves one problem on the whole machine. This
+//! crate turns that machine into a *service*: N concurrent solve jobs
+//! from different tenants share one
+//! [`MachineTopology`](macs_topo::MachineTopology), each holding a contiguous,
+//! node-aligned **worker-set lease** that can grow and shrink as load
+//! changes, behind admission control and a bounded request queue.
+//!
+//! The layering mirrors the rest of the repo:
+//!
+//! * [`lease`] — the lease ledger (contiguous node-aligned first-fit)
+//!   and the [`LeasePolicy`] knob (`static[:N]` vs
+//!   `queue-depth[:MIN,MAX]`);
+//! * [`workload`] — seeded open-loop trace generation: Poisson
+//!   arrivals, log-normal service classes drawn from the problem zoo;
+//! * [`sched`] — the backend-independent [`SchedCore`] state machine
+//!   and the [`JobScheduler`] trait, with job-conservation and
+//!   lease-disjointness invariants rechecked at every transition;
+//! * [`sim_backend`] — the scheduler as a discrete-event source: each
+//!   job's solve is itself simulated, bit-deterministically, and
+//!   resizes rescale the job fluidly in worker-ns;
+//! * [`threaded_backend`] — the same decisions executed on real
+//!   threads: each job runs in a [`macs_gpi::World`] windowed onto a
+//!   shared cell file, and lease changes park/unpark live workers
+//!   through the GPI lease/parked cells;
+//! * [`job`] / [`report`] — per-job records, the sequential oracle and
+//!   the service-level metrics (throughput, sojourn percentiles, queue
+//!   depth, rejection rate, cross-tenant fairness).
+
+pub mod job;
+pub mod lease;
+pub mod report;
+pub mod sched;
+pub mod sim_backend;
+pub mod threaded_backend;
+pub mod workload;
+
+pub use job::{JobAnswer, JobSpec, Oracle};
+pub use lease::{Lease, LeaseLedger, LeasePolicy};
+pub use report::{JobRecord, ServiceReport};
+pub use sched::{Action, JobScheduler, SchedCore, ServiceConfig};
+pub use sim_backend::SimBackend;
+pub use threaded_backend::ThreadedBackend;
+pub use workload::{generate, WorkloadConfig, CLASS_NAMES, NUM_CLASSES};

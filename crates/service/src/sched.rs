@@ -1,0 +1,368 @@
+//! The backend-independent scheduler core.
+//!
+//! Everything a scheduler *decides* — admission, queueing, lease grants,
+//! shrinks and regrows — lives here as a deterministic state machine;
+//! the two backends only differ in how they *execute* the resulting
+//! [`Action`]s (virtual events vs. real threads parking on GPI cells).
+//! Because the decisions are shared, a scheduling bug shows up
+//! identically in the bit-deterministic simulator, where the property
+//! suite can pin it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use macs_topo::MachineTopology;
+
+use crate::job::JobSpec;
+use crate::lease::{Lease, LeaseLedger, LeasePolicy};
+use crate::report::ServiceReport;
+
+/// Static shape of the service: the machine, the admission bound and the
+/// lease policy.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Shared-memory nodes in the machine.
+    pub nodes: usize,
+    /// Workers per node (leases are node-aligned, so this is the lease
+    /// granularity in workers).
+    pub cores_per_node: usize,
+    /// Admission control: arrivals beyond this many waiting jobs are
+    /// rejected outright (bounded request queue).
+    pub queue_cap: usize,
+    /// Lease sizing policy.
+    pub policy: LeasePolicy,
+}
+
+impl ServiceConfig {
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        ServiceConfig {
+            nodes,
+            cores_per_node,
+            queue_cap: 16,
+            policy: LeasePolicy::Static { nodes: 1 },
+        }
+    }
+
+    pub fn total_workers(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// The whole machine as a two-level topology (what a single-tenant
+    /// run would use; leases hand out sub-ranges of it).
+    pub fn machine(&self) -> MachineTopology {
+        MachineTopology::try_new(&[self.nodes, self.cores_per_node], 1)
+            .expect("service machine shape")
+    }
+
+    /// The sub-topology of one lease: its nodes renumbered from zero,
+    /// inner shape preserved.
+    pub fn lease_topology(&self, lease: &Lease) -> MachineTopology {
+        MachineTopology::try_new(&[lease.nodes, self.cores_per_node], 1)
+            .expect("lease sub-topology shape")
+    }
+}
+
+/// What the core tells a backend to do. Backends apply actions in order;
+/// the core has already updated its own books.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Queue full — bounce the job.
+    Reject(JobSpec),
+    /// Dispatch `job` onto `lease` now.
+    Start { job: JobSpec, lease: Lease },
+    /// Narrow a running job's lease (preempting its trailing nodes).
+    /// `lease` is the post-shrink state.
+    Shrink { lease: Lease },
+    /// Widen a running job's lease back over freed nodes. `lease` is the
+    /// post-grow state.
+    Grow { lease: Lease },
+}
+
+/// Monotone job-flow counters; their conservation law is the suite's
+/// first invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+}
+
+/// The deterministic scheduler state machine.
+#[derive(Clone, Debug)]
+pub struct SchedCore {
+    cfg: ServiceConfig,
+    ledger: LeaseLedger,
+    queue: VecDeque<JobSpec>,
+    /// Running jobs and their *current* leases (updated on resize).
+    running: BTreeMap<u64, Lease>,
+    pub counters: Counters,
+    pub max_queue_depth: usize,
+    /// Invariant violations observed so far (empty on a correct core —
+    /// the checks run after every transition, not just at drain).
+    pub violations: Vec<String>,
+}
+
+impl SchedCore {
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let ledger = LeaseLedger::new(cfg.nodes, cfg.cores_per_node);
+        SchedCore {
+            cfg,
+            ledger,
+            queue: VecDeque::new(),
+            running: BTreeMap::new(),
+            counters: Counters::default(),
+            max_queue_depth: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    pub fn cfg(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    pub fn lease_of(&self, job: u64) -> Option<&Lease> {
+        self.running.get(&job)
+    }
+
+    /// True once every submitted job is accounted for and nothing is
+    /// queued or running.
+    pub fn drained(&self) -> bool {
+        self.queue.is_empty() && self.running.is_empty()
+    }
+
+    /// A job arrives: admit or reject, then dispatch whatever now fits.
+    pub fn arrive(&mut self, job: JobSpec) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.counters.submitted += 1;
+        if self.queue.len() >= self.cfg.queue_cap {
+            self.counters.rejected += 1;
+            out.push(Action::Reject(job));
+        } else {
+            self.queue.push_back(job);
+            self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+        }
+        self.dispatch(&mut out);
+        self.check();
+        out
+    }
+
+    /// A running job finished: free its lease, dispatch from the queue,
+    /// and regrow survivors if the queue drained.
+    pub fn complete(&mut self, job: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.counters.completed += 1;
+        if self.running.remove(&job).is_none() {
+            self.violations
+                .push(format!("completion for job {job} which was not running"));
+        }
+        self.ledger.free(job);
+        self.dispatch(&mut out);
+        self.regrow(&mut out);
+        self.check();
+        out
+    }
+
+    /// Drain the queue head-first: claim a lease as wide as the policy
+    /// grants (narrower if the machine is fragmented), and under an
+    /// elastic policy shrink the widest running job when the machine is
+    /// full with work still waiting. Each shrink frees at least one node,
+    /// so the loop always terminates.
+    fn dispatch(&mut self, out: &mut Vec<Action>) {
+        while let Some(head) = self.queue.front().copied() {
+            let want = self.cfg.policy.grant(self.queue.len()).min(self.cfg.nodes);
+            let granted = (1..=want).rev().find_map(|w| self.ledger.claim(head.id, w));
+            if let Some(lease) = granted {
+                self.queue.pop_front();
+                self.running.insert(head.id, lease);
+                out.push(Action::Start { job: head, lease });
+                continue;
+            }
+            let Some(floor) = self.cfg.policy.shrink_floor() else {
+                break;
+            };
+            // Widest running job above the floor; ties broken towards the
+            // oldest job (BTreeMap order makes this deterministic).
+            let victim = self
+                .running
+                .values()
+                .filter(|l| l.nodes > floor)
+                .max_by_key(|l| (l.nodes, std::cmp::Reverse(l.job)))
+                .copied();
+            let Some(v) = victim else {
+                break;
+            };
+            let shrunk = self.ledger.shrink(&v, (v.nodes / 2).max(floor));
+            self.running.insert(shrunk.job, shrunk);
+            out.push(Action::Shrink { lease: shrunk });
+        }
+    }
+
+    /// Queue empty under an elastic policy: let shrunken jobs grow back
+    /// over their own freed nodes (never past the original grant, never
+    /// into another tenant's lease).
+    fn regrow(&mut self, out: &mut Vec<Action>) {
+        if self.cfg.policy.shrink_floor().is_none() || !self.queue.is_empty() {
+            return;
+        }
+        let jobs: Vec<u64> = self.running.keys().copied().collect();
+        for job in jobs {
+            let l = self.running[&job];
+            if l.nodes < l.max_nodes {
+                let grown = self.ledger.grow(&l, l.max_nodes);
+                if grown.nodes != l.nodes {
+                    self.running.insert(job, grown);
+                    out.push(Action::Grow { lease: grown });
+                }
+            }
+        }
+    }
+
+    /// Recheck every scheduler invariant; failures are recorded, not
+    /// panicked, so a property suite can surface all of them at once.
+    pub fn check(&mut self) {
+        let c = self.counters;
+        let accounted =
+            c.rejected + c.completed + self.queue.len() as u64 + self.running.len() as u64;
+        if c.submitted != accounted {
+            self.violations.push(format!(
+                "job conservation broken: submitted {} != rejected {} + completed {} + queued {} + running {}",
+                c.submitted,
+                c.rejected,
+                c.completed,
+                self.queue.len(),
+                self.running.len()
+            ));
+        }
+        let leases: Vec<Lease> = self.running.values().copied().collect();
+        if let Err(e) = self.ledger.check_disjoint(&leases) {
+            self.violations.push(e);
+        }
+        let held: usize = leases.iter().map(|l| l.nodes).sum();
+        if held + self.ledger.free_nodes() != self.cfg.nodes {
+            self.violations.push(format!(
+                "ledger drift: {held} held + {} free != {} machine nodes",
+                self.ledger.free_nodes(),
+                self.cfg.nodes
+            ));
+        }
+    }
+}
+
+/// One scheduler, two executions: the threaded runtime (leases park and
+/// unpark real workers through their job's GPI cell block) and the
+/// discrete-event simulator (leases rescale a fluid job in worker-ns,
+/// bit-deterministically).
+pub trait JobScheduler {
+    fn backend_name(&self) -> &'static str;
+
+    /// Run the whole trace to drain and report.
+    fn serve(&mut self, cfg: &ServiceConfig, trace: &[JobSpec]) -> ServiceReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            tenant: id as usize % 2,
+            class: 0,
+            arrival_ns: id * 10,
+            seed: id | 1,
+        }
+    }
+
+    fn cfg(policy: LeasePolicy) -> ServiceConfig {
+        ServiceConfig {
+            nodes: 4,
+            cores_per_node: 2,
+            queue_cap: 2,
+            policy,
+        }
+    }
+
+    #[test]
+    fn static_policy_queues_and_rejects_at_the_cap() {
+        let mut core = SchedCore::new(cfg(LeasePolicy::Static { nodes: 2 }));
+        // Two jobs fill the machine (2 + 2 nodes), two more queue, the
+        // fifth bounces off the cap.
+        let mut starts = 0;
+        let mut rejects = 0;
+        for id in 0..5 {
+            for a in core.arrive(spec(id)) {
+                match a {
+                    Action::Start { .. } => starts += 1,
+                    Action::Reject(_) => rejects += 1,
+                    other => panic!("static policy resized: {other:?}"),
+                }
+            }
+        }
+        assert_eq!((starts, rejects), (2, 1));
+        assert_eq!(core.queue_depth(), 2);
+        assert!(core.violations.is_empty(), "{:?}", core.violations);
+        // Completions drain the queue in arrival order.
+        let acts = core.complete(0);
+        assert!(matches!(
+            acts[..],
+            [Action::Start {
+                job: JobSpec { id: 2, .. },
+                ..
+            }]
+        ));
+        for id in [1, 2, 3, 4] {
+            core.complete(id);
+        }
+        // Job 4 was rejected, so completing it breaks conservation — the
+        // core must notice.
+        assert!(!core.violations.is_empty());
+    }
+
+    #[test]
+    fn queue_depth_policy_shrinks_to_admit_and_regrows_on_drain() {
+        let mut core = SchedCore::new(cfg(LeasePolicy::QueueDepth { min: 1, max: 4 }));
+        // First arrival gets the whole machine.
+        let acts = core.arrive(spec(0));
+        assert!(
+            matches!(&acts[..], [Action::Start { lease, .. }] if lease.nodes == 4),
+            "{acts:?}"
+        );
+        // Second arrival: machine full, job 0 shrinks, job 1 starts.
+        let acts = core.arrive(spec(1));
+        let mut saw_shrink = false;
+        let mut saw_start = false;
+        for a in &acts {
+            match a {
+                Action::Shrink { lease } => {
+                    assert_eq!(lease.job, 0);
+                    assert!(lease.nodes < 4);
+                    saw_shrink = true;
+                }
+                Action::Start { job, .. } => {
+                    assert_eq!(job.id, 1);
+                    saw_start = true;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_shrink && saw_start, "{acts:?}");
+        assert!(core.violations.is_empty(), "{:?}", core.violations);
+        // Job 1 finishes with an empty queue: job 0 grows back.
+        let acts = core.complete(1);
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::Grow { lease }
+                if lease.job == 0 && lease.nodes == 4)),
+            "{acts:?}"
+        );
+        core.complete(0);
+        assert!(core.drained());
+        assert!(core.violations.is_empty(), "{:?}", core.violations);
+    }
+}

@@ -1,0 +1,241 @@
+//! The simulator execution of the service: a nested discrete-event
+//! simulation, bit-deterministic end to end.
+//!
+//! The outer DES replays the arrival trace against [`SchedCore`]. When a
+//! job starts, its *entire solve* is simulated inline by the engine-level
+//! simulator at the granted lease width — that inner run fixes both the
+//! job's answer (solutions / best cost, checkable against the sequential
+//! oracle) and its total work in **worker-nanoseconds** (`makespan ×
+//! width`). While the job runs, that work drains at a rate equal to its
+//! current lease width; a shrink or grow rescales the drain rate
+//! fluidly, with the completion event superseded by epoch (the classic
+//! malleable-task model — re-simulating mid-run at the new width would
+//! cost another full inner run per resize for no extra fidelity at the
+//! service level). Outer events are keyed `(time, sequence)`, so the
+//! event order — and with it every timestamp, counter and digest — is a
+//! pure function of the trace.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use macs_core::CpProcessor;
+use macs_engine::CompiledProblem;
+use macs_sim::{simulate_macs, SimConfig};
+
+use crate::job::{JobAnswer, JobSpec};
+use crate::report::{JobRecord, ServiceReport};
+use crate::sched::{Action, JobScheduler, SchedCore, ServiceConfig};
+use crate::workload::{build_class, class_is_optimisation, class_mode, NUM_CLASSES};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Index into the trace.
+    Arrive(u32),
+    /// Epoch-guarded completion: stale epochs (superseded by a resize)
+    /// are ignored.
+    Done { job: u64, epoch: u32 },
+}
+
+/// Fluid state of one running job.
+#[derive(Clone, Copy, Debug)]
+struct RunState {
+    /// Worker-ns of solve work still to drain.
+    remaining: u64,
+    /// Current drain rate (lease width in workers).
+    width: u64,
+    /// Instant of the last remaining/width update.
+    since_ns: u64,
+    epoch: u32,
+    /// Worker-ns already drained (the tenant's bill so far).
+    billed: u64,
+}
+
+/// The simulator backend. Inner per-job runs use the default simulator
+/// cost model; `seed` perturbs only the *service* (it is XORed into each
+/// job's own seed), so two backends serving the same trace still solve
+/// identical instances.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimBackend {
+    pub seed: u64,
+}
+
+impl SimBackend {
+    /// Run one job's whole solve at `workers` wide; returns the answer
+    /// and the total work in worker-ns, plus the inner report digest.
+    fn solve_job(
+        &self,
+        cfg: &ServiceConfig,
+        prob: &CompiledProblem,
+        job: &JobSpec,
+        lease_nodes: usize,
+    ) -> (JobAnswer, u64, u64) {
+        let topo = macs_topo::MachineTopology::try_new(&[lease_nodes, cfg.cores_per_node], 1)
+            .expect("lease sub-topology");
+        let mut sim = SimConfig::new(topo);
+        sim.seed = job.seed ^ self.seed;
+        let mode = class_mode(job.class);
+        let report = simulate_macs(
+            &sim,
+            prob.layout.store_words(),
+            &[prob.root.as_words().to_vec()],
+            |_| CpProcessor::new(prob, 1, mode),
+        );
+        let answer = JobAnswer {
+            solutions: report.total_solutions(),
+            nodes: report.total_items(),
+            best_cost: (class_is_optimisation(job.class) && report.incumbent != i64::MAX)
+                .then_some(report.incumbent),
+        };
+        let workers = (lease_nodes * cfg.cores_per_node) as u64;
+        // At least one worker-ns, so a degenerate instant solve still
+        // schedules a completion strictly after its start.
+        let work = report.makespan_ns.saturating_mul(workers).max(1);
+        (answer, work, report.digest())
+    }
+}
+
+impl JobScheduler for SimBackend {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn serve(&mut self, cfg: &ServiceConfig, trace: &[JobSpec]) -> ServiceReport {
+        let mut core = SchedCore::new(cfg.clone());
+        let mut problems: [Option<CompiledProblem>; NUM_CLASSES] = [const { None }; NUM_CLASSES];
+        let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |heap: &mut BinaryHeap<_>, t: u64, ev: Ev| {
+            heap.push(Reverse((t, seq, ev)));
+            seq += 1;
+        };
+        for (i, job) in trace.iter().enumerate() {
+            push(&mut heap, job.arrival_ns, Ev::Arrive(i as u32));
+        }
+
+        let mut records: Vec<JobRecord> = trace
+            .iter()
+            .map(|j| JobRecord {
+                id: j.id,
+                tenant: j.tenant,
+                class: j.class,
+                arrival_ns: j.arrival_ns,
+                start_ns: 0,
+                finish_ns: 0,
+                rejected: false,
+                lease_nodes: 0,
+                workers: 0,
+                resizes: 0,
+                worker_ns: 0,
+                answer: JobAnswer::default(),
+                sim_digest: 0,
+            })
+            .collect();
+        let index_of: HashMap<u64, usize> =
+            trace.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
+        let mut run: HashMap<u64, RunState> = HashMap::new();
+        let mut makespan = 0u64;
+
+        while let Some(Reverse((now, _, ev))) = heap.pop() {
+            let actions = match ev {
+                Ev::Arrive(i) => core.arrive(trace[i as usize]),
+                Ev::Done { job, epoch } => {
+                    let Some(state) = run.get(&job) else { continue };
+                    if state.epoch != epoch {
+                        continue; // superseded by a resize
+                    }
+                    let state = run.remove(&job).unwrap();
+                    let rec = &mut records[index_of[&job]];
+                    rec.finish_ns = now;
+                    rec.worker_ns = state.billed + state.remaining;
+                    makespan = makespan.max(now);
+                    core.complete(job)
+                }
+            };
+            for action in actions {
+                match action {
+                    Action::Reject(job) => {
+                        let rec = &mut records[index_of[&job.id]];
+                        rec.rejected = true;
+                        rec.start_ns = now;
+                        rec.finish_ns = now;
+                    }
+                    Action::Start { job, lease } => {
+                        let prob =
+                            problems[job.class].get_or_insert_with(|| build_class(job.class));
+                        let (answer, work, digest) = self.solve_job(cfg, prob, &job, lease.nodes);
+                        let width = lease.workers() as u64;
+                        run.insert(
+                            job.id,
+                            RunState {
+                                remaining: work,
+                                width,
+                                since_ns: now,
+                                epoch: 0,
+                                billed: 0,
+                            },
+                        );
+                        let rec = &mut records[index_of[&job.id]];
+                        rec.start_ns = now;
+                        rec.lease_nodes = lease.nodes;
+                        rec.workers = width as usize;
+                        rec.answer = answer;
+                        rec.sim_digest = digest;
+                        let done = now + work.div_ceil(width);
+                        push(
+                            &mut heap,
+                            done,
+                            Ev::Done {
+                                job: job.id,
+                                epoch: 0,
+                            },
+                        );
+                    }
+                    Action::Shrink { lease } | Action::Grow { lease } => {
+                        let Some(state) = run.get_mut(&lease.job) else {
+                            core.violations
+                                .push(format!("resize for job {} not running", lease.job));
+                            continue;
+                        };
+                        // Drain the elapsed interval at the old width,
+                        // then rebase at the new one.
+                        let drained = (now - state.since_ns).saturating_mul(state.width);
+                        let drained = drained.min(state.remaining);
+                        state.remaining -= drained;
+                        state.billed += drained;
+                        state.width = (lease.workers() as u64).max(1);
+                        state.since_ns = now;
+                        state.epoch += 1;
+                        let rec = &mut records[index_of[&lease.job]];
+                        rec.resizes += 1;
+                        let done = now + state.remaining.div_ceil(state.width);
+                        push(
+                            &mut heap,
+                            done,
+                            Ev::Done {
+                                job: lease.job,
+                                epoch: state.epoch,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        if !core.drained() {
+            core.violations.push(format!(
+                "trace ended with {} queued and {} running jobs",
+                core.queue_depth(),
+                core.running_count()
+            ));
+        }
+        core.check();
+        ServiceReport {
+            backend: self.backend_name(),
+            records,
+            tenants: trace.iter().map(|j| j.tenant + 1).max().unwrap_or(0),
+            max_queue_depth: core.max_queue_depth,
+            makespan_ns: makespan,
+            violations: core.violations,
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The threaded execution of the service: real workers, real leases.
+//!
+//! All co-scheduled jobs share **one** [`GlobalCells`] register file.
+//! Each job gets a [`CellBlock`] window (its own termination counter,
+//! incumbent, cancel flag and per-node mirrors) plus a [`World`] over its
+//! lease *sub-topology*, so a job's workers see a machine that starts at
+//! node 0 no matter where the lease physically sits — tenant isolation
+//! is the block windowing, checked by the gpi layer's tests.
+//!
+//! Lease changes go through the block's lease cell: a shrink writes the
+//! new width and then waits on the parked-count handshake (each worker
+//! whose id falls outside the width publishes its pool, hands back its
+//! in-flight item and announces itself in [`CellBlock::parked`]), so by
+//! the time the scheduler reuses the freed nodes the old tenant has
+//! actually stopped computing on them. A grow just writes the wider
+//! width back; parked workers notice and rejoin on their own.
+
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use macs_core::CpProcessor;
+use macs_engine::CompiledProblem;
+use macs_gpi::{CellBlock, GlobalCells, LatencyModel, World};
+use macs_runtime::{run_parallel_on, RuntimeConfig};
+
+use crate::job::{JobAnswer, JobSpec};
+use crate::report::{JobRecord, ServiceReport};
+use crate::sched::{Action, JobScheduler, SchedCore, ServiceConfig};
+use crate::workload::{build_class, class_is_optimisation, class_mode, NUM_CLASSES};
+
+/// A running job as the scheduler thread sees it.
+struct ActiveJob {
+    slot: usize,
+    block: CellBlock,
+    /// Workers of the original grant (the world's thread count; shrinks
+    /// park a suffix of them, grows un-park — the count never rises).
+    grant_workers: u64,
+    /// Current lease width in workers.
+    width: u64,
+    /// Wall instant of the last width change (worker-ns billing).
+    since: Instant,
+    billed_worker_ns: u64,
+    resizes: u32,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// The threaded backend. `time_scale` compresses the trace's virtual
+/// arrival times into wall time (wall gap = virtual gap ÷ scale); a
+/// large scale releases the trace as fast as the scheduler can drain
+/// it, which is what the tests use — wall timings on a shared host are
+/// measurements, not pins (the simulator backend is the pinned one).
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedBackend {
+    pub time_scale: u64,
+}
+
+impl Default for ThreadedBackend {
+    fn default() -> Self {
+        ThreadedBackend { time_scale: 1 }
+    }
+}
+
+/// Everything the scheduler thread mutates while executing actions —
+/// one place, so the arrival path and the completion path apply
+/// decisions identically.
+struct Exec<'a> {
+    cfg: &'a ServiceConfig,
+    cells: Arc<GlobalCells>,
+    free_slots: Vec<usize>,
+    problems: [Option<Arc<CompiledProblem>>; NUM_CLASSES],
+    tx: mpsc::Sender<(u64, JobAnswer)>,
+    records: Vec<JobRecord>,
+    index_of: HashMap<u64, usize>,
+    active: HashMap<u64, ActiveJob>,
+    t0: Instant,
+    makespan: u64,
+}
+
+impl Exec<'_> {
+    fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    fn problem(&mut self, class: usize) -> Arc<CompiledProblem> {
+        self.problems[class]
+            .get_or_insert_with(|| Arc::new(build_class(class)))
+            .clone()
+    }
+
+    fn apply(&mut self, core: &mut SchedCore, actions: Vec<Action>) {
+        for action in actions {
+            let now = self.now_ns();
+            match action {
+                Action::Reject(job) => {
+                    let rec = &mut self.records[self.index_of[&job.id]];
+                    rec.rejected = true;
+                    rec.start_ns = now;
+                    rec.finish_ns = now;
+                }
+                Action::Start { job, lease } => self.start(job, lease, now),
+                Action::Shrink { lease } | Action::Grow { lease } => {
+                    self.resize(core, lease.job, lease.workers() as u64)
+                }
+            }
+        }
+    }
+
+    fn start(&mut self, job: JobSpec, lease: crate::lease::Lease, now: u64) {
+        let slot = self.free_slots.pop().expect("a free cell block per node");
+        let block = CellBlock::for_job(slot, self.cfg.nodes);
+        let topo = self.cfg.lease_topology(&lease);
+        let world = World::leased_on(
+            topo.clone(),
+            LatencyModel::zero(),
+            self.cells.clone(),
+            block,
+        );
+        let rt = RuntimeConfig {
+            topology: topo,
+            seed: job.seed,
+            mode: class_mode(job.class),
+            ..RuntimeConfig::default()
+        };
+        let prob = self.problem(job.class);
+        let tx = self.tx.clone();
+        let optimisation = class_is_optimisation(job.class);
+        let job_id = job.id;
+        let handle = std::thread::spawn(move || {
+            let report = run_parallel_on(
+                &world,
+                &rt,
+                prob.layout.store_words(),
+                &[CpProcessor::root_item(&prob)],
+                |_| CpProcessor::new(&prob, 1, rt.mode),
+            );
+            let answer = JobAnswer {
+                solutions: report.outputs.iter().map(|o| o.solutions).sum(),
+                nodes: report.outputs.iter().map(|o| o.nodes).sum(),
+                best_cost: (optimisation && report.incumbent != i64::MAX)
+                    .then_some(report.incumbent),
+            };
+            // A dead receiver just means the service tore down early.
+            let _ = tx.send((job_id, answer));
+        });
+        let rec = &mut self.records[self.index_of[&job.id]];
+        rec.start_ns = now;
+        rec.lease_nodes = lease.nodes;
+        rec.workers = lease.workers();
+        self.active.insert(
+            job.id,
+            ActiveJob {
+                slot,
+                block,
+                grant_workers: lease.workers() as u64,
+                width: lease.workers() as u64,
+                since: Instant::now(),
+                billed_worker_ns: 0,
+                resizes: 0,
+                handle,
+            },
+        );
+    }
+
+    /// Resize a running job's lease through its lease cell. Shrinks wait
+    /// (bounded) for the parked-count handshake: the capacity is only
+    /// considered released once the displaced workers have stopped
+    /// processing. A job racing its own completion may never park, so
+    /// termination also satisfies the wait.
+    fn resize(&mut self, core: &mut SchedCore, job: u64, new_workers: u64) {
+        let Some(a) = self.active.get_mut(&job) else {
+            core.violations
+                .push(format!("resize for job {job} which is not running"));
+            return;
+        };
+        let new_width = new_workers.min(a.grant_workers);
+        a.billed_worker_ns += (a.since.elapsed().as_nanos() as u64).saturating_mul(a.width);
+        a.since = Instant::now();
+        let shrinking = new_width < a.width;
+        a.width = new_width;
+        a.resizes += 1;
+        self.cells.store(a.block.lease(), new_width);
+        if shrinking {
+            let expect = (a.grant_workers - new_width) as i64;
+            let deadline = Instant::now() + Duration::from_millis(200);
+            while Instant::now() < deadline {
+                if self.cells.load_i64(a.block.parked()) >= expect
+                    || self.cells.load_i64(a.block.outstanding()) == 0
+                {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// A job's worker threads finished: close its record, recycle its
+    /// slot, and run whatever the core decides next (dispatches,
+    /// regrows) through the same apply path.
+    fn complete(&mut self, core: &mut SchedCore, job_id: u64, answer: JobAnswer) {
+        let now = self.now_ns();
+        let a = self
+            .active
+            .remove(&job_id)
+            .expect("completion from an active job");
+        a.handle.join().expect("job thread panicked");
+        self.free_slots.push(a.slot);
+        let rec = &mut self.records[self.index_of[&job_id]];
+        rec.finish_ns = now;
+        rec.answer = answer;
+        rec.resizes = a.resizes;
+        rec.worker_ns =
+            a.billed_worker_ns + (a.since.elapsed().as_nanos() as u64).saturating_mul(a.width);
+        self.makespan = self.makespan.max(now);
+        let follow = core.complete(job_id);
+        self.apply(core, follow);
+    }
+}
+
+impl JobScheduler for ThreadedBackend {
+    fn backend_name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn serve(&mut self, cfg: &ServiceConfig, trace: &[JobSpec]) -> ServiceReport {
+        // One block per machine node: leases are node-aligned, so at
+        // most `nodes` jobs run concurrently; every block mirrors the
+        // full node count so any lease width fits any slot.
+        let cells = Arc::new(GlobalCells::with_job_blocks(cfg.nodes, cfg.nodes));
+        let (tx, rx) = mpsc::channel::<(u64, JobAnswer)>();
+        let mut core = SchedCore::new(cfg.clone());
+        let scale = self.time_scale.max(1);
+        let mut exec = Exec {
+            cfg,
+            cells,
+            free_slots: (0..cfg.nodes).rev().collect(),
+            problems: [const { None }; NUM_CLASSES],
+            tx,
+            records: trace
+                .iter()
+                .map(|j| JobRecord {
+                    id: j.id,
+                    tenant: j.tenant,
+                    class: j.class,
+                    // Records live in the wall time base: the arrival is
+                    // the instant the trace made the job *due*.
+                    arrival_ns: j.arrival_ns / scale,
+                    start_ns: 0,
+                    finish_ns: 0,
+                    rejected: false,
+                    lease_nodes: 0,
+                    workers: 0,
+                    resizes: 0,
+                    worker_ns: 0,
+                    answer: JobAnswer::default(),
+                    sim_digest: 0,
+                })
+                .collect(),
+            index_of: trace.iter().enumerate().map(|(i, j)| (j.id, i)).collect(),
+            active: HashMap::new(),
+            t0: Instant::now(),
+            makespan: 0,
+        };
+        let mut next = 0usize; // next trace index to deliver
+
+        loop {
+            // Deliver every arrival that is due.
+            let now = exec.now_ns();
+            while next < trace.len() && trace[next].arrival_ns / scale <= now {
+                let acts = core.arrive(trace[next]);
+                exec.apply(&mut core, acts);
+                next += 1;
+            }
+            if next >= trace.len() && exec.active.is_empty() {
+                break;
+            }
+
+            // Sleep until the next arrival is due or a completion lands.
+            let wait = if next < trace.len() {
+                let due = trace[next].arrival_ns / scale;
+                Duration::from_nanos(due.saturating_sub(exec.now_ns()).max(1))
+            } else {
+                Duration::from_millis(50)
+            };
+            match rx.recv_timeout(wait) {
+                Ok((job_id, answer)) => exec.complete(&mut core, job_id, answer),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("scheduler holds a sender")
+                }
+            }
+        }
+
+        if !core.drained() {
+            core.violations.push(format!(
+                "trace ended with {} queued and {} running jobs",
+                core.queue_depth(),
+                core.running_count()
+            ));
+        }
+        core.check();
+        ServiceReport {
+            backend: self.backend_name(),
+            records: exec.records,
+            tenants: trace.iter().map(|j| j.tenant + 1).max().unwrap_or(0),
+            max_queue_depth: core.max_queue_depth,
+            makespan_ns: exec.makespan,
+            violations: core.violations,
+        }
+    }
+}

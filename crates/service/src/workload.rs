@@ -1,0 +1,192 @@
+//! Open-loop workload generation: Poisson arrivals over a log-normal
+//! service-size mix drawn from the repo's problem zoo.
+//!
+//! The trace is generated up front from one seed, so both backends (and
+//! any two same-seed runs) see the identical sequence of jobs — the
+//! scheduler, not the workload, is the thing under test. Arrivals are
+//! open-loop: inter-arrival gaps are exponential and independent of
+//! service completions, so queue growth under overload is visible
+//! instead of self-throttled.
+
+use macs_engine::CompiledProblem;
+use macs_problems::{
+    coloring_model, golomb_ruler, qap_model, queens, ColoringInstance, QapInstance, QueensModel,
+};
+use macs_search::SearchMode;
+
+use crate::job::JobSpec;
+
+/// The service classes, smallest expected work first. Class identity maps
+/// a log-normal service-size draw onto a concrete instance, so the mix is
+/// dominated by small jobs with a heavy tail of big ones — the shape an
+/// open service actually sees.
+pub const CLASS_NAMES: [&str; 4] = ["queens-8", "golomb-7", "myciel3-k4", "esc16e-9"];
+
+/// Number of service classes.
+pub const NUM_CLASSES: usize = CLASS_NAMES.len();
+
+/// Compile the instance behind class `c`. Callers cache the result — one
+/// compiled problem serves every job of the class (stores are copied per
+/// run, the compiled model is immutable).
+pub fn build_class(c: usize) -> CompiledProblem {
+    match c {
+        0 => queens(8, QueensModel::Pairwise),
+        1 => golomb_ruler(7, 25),
+        2 => coloring_model(&ColoringInstance::myciel3(), 4),
+        3 => qap_model(&QapInstance::esc16e().sub_instance(9)),
+        _ => panic!("no service class {c}"),
+    }
+}
+
+/// Search mode for class `c`: enumeration classes run exhaustive,
+/// optimisation classes run branch-and-bound (also exhaustive — the mode
+/// split only matters for first-solution races, which the service does
+/// not schedule because their oracle is not a scalar).
+pub fn class_mode(_c: usize) -> SearchMode {
+    SearchMode::Exhaustive
+}
+
+/// True if class `c` is an optimisation instance (oracle = best cost)
+/// rather than an enumeration (oracle = solution count).
+pub fn class_is_optimisation(c: usize) -> bool {
+    matches!(c, 1 | 3)
+}
+
+/// Open-loop trace parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Jobs in the trace.
+    pub jobs: usize,
+    /// Tenants sharing the service (round-robin-free: drawn uniformly).
+    pub tenants: usize,
+    /// Mean inter-arrival gap in virtual nanoseconds (Poisson process).
+    pub mean_interarrival_ns: u64,
+    /// Trace seed: arrivals, class draws and tenant draws all derive from
+    /// it, as do the per-job solver seeds.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            jobs: 32,
+            tenants: 4,
+            mean_interarrival_ns: 200_000,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// SplitMix64 — the repo's standard cheap deterministic generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1] — never 0, so `ln` is safe.
+    pub fn next_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn next_normal(&mut self) -> f64 {
+        let u1 = self.next_unit();
+        let u2 = self.next_unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Generate the trace: exponential inter-arrival gaps, log-normal
+/// service-size draws bucketed into the class table (small classes
+/// common, the big QAP tail rare), uniform tenant assignment, and one
+/// derived solver seed per job.
+pub fn generate(cfg: &WorkloadConfig) -> Vec<JobSpec> {
+    assert!(cfg.tenants > 0, "need at least one tenant");
+    let mut rng = SplitMix64(cfg.seed ^ 0x0A02_BDBF_7BB3_C0A7);
+    let mut t = 0u64;
+    let mut trace = Vec::with_capacity(cfg.jobs);
+    for id in 0..cfg.jobs as u64 {
+        let gap = -rng.next_unit().ln() * cfg.mean_interarrival_ns as f64;
+        t = t.saturating_add(gap as u64);
+        // Log-normal(0, 1) service size; the bucket thresholds put
+        // roughly 36/30/26/8 percent of jobs in the four classes.
+        let size = rng.next_normal().exp();
+        let class = if size < 0.7 {
+            0
+        } else if size < 1.5 {
+            1
+        } else if size < 4.0 {
+            2
+        } else {
+            3
+        };
+        let tenant = (rng.next_u64() % cfg.tenants as u64) as usize;
+        let seed = rng.next_u64() | 1;
+        trace.push(JobSpec {
+            id,
+            tenant,
+            class,
+            arrival_ns: t,
+            seed,
+        });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            jobs: 200,
+            tenants: 8,
+            mean_interarrival_ns: 1_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_different_seed_different_trace() {
+        let a = generate(&cfg(1));
+        let b = generate(&cfg(1));
+        let c = generate(&cfg(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_classes_cover_the_table() {
+        let trace = generate(&cfg(0x1234));
+        let mut seen = [false; NUM_CLASSES];
+        for w in trace.windows(2) {
+            assert!(w[0].arrival_ns <= w[1].arrival_ns);
+        }
+        for j in &trace {
+            assert!(j.class < NUM_CLASSES);
+            assert!(j.tenant < 8);
+            seen[j.class] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 draws should hit every class");
+    }
+
+    #[test]
+    fn class_table_is_consistent() {
+        for (c, name) in CLASS_NAMES.iter().enumerate() {
+            let prob = build_class(c);
+            assert!(prob.layout.store_words() > 0);
+            assert_eq!(
+                class_is_optimisation(c),
+                prob.objective.is_some(),
+                "class {c} ({name}) optimisation flag must match its model",
+            );
+        }
+    }
+}

@@ -49,6 +49,7 @@ pub use macs_pool as pool;
 pub use macs_problems as problems;
 pub use macs_runtime as runtime;
 pub use macs_search as search;
+pub use macs_service as service;
 pub use macs_sim as sim;
 pub use macs_topo as topo;
 pub use macs_uts as uts;
@@ -74,6 +75,10 @@ pub mod prelude {
     pub use macs_search::{
         IncumbentSource, LocalIncumbent, SearchKernel, SearchMode, StepOutcome, StoreSlab,
         WorkBatch,
+    };
+    pub use macs_service::{
+        JobScheduler, LeasePolicy, ServiceConfig, ServiceReport, SimBackend, ThreadedBackend,
+        WorkloadConfig,
     };
     pub use macs_sim::{simulate_macs, simulate_paccs, CostModel, SimConfig};
     pub use macs_topo::{MachineTopology, ScanOrder, StealHistogram, TopoError, VictimOrder};

@@ -144,3 +144,77 @@ fn threaded_and_paccs_race_histograms_exclude_drains() {
         &pcfg.topology,
     );
 }
+
+/// Multi-tenant cell: two jobs co-scheduled on one shared register file,
+/// one of them under a shrunken lease. The histogram invariant must hold
+/// *per job* — a steal can never cross a lease boundary, so each
+/// tenant's per-distance counts must sum to exactly its own successful
+/// steals, and a lease that shrinks must still account for every steal
+/// that drained the parked victims' pools.
+#[test]
+fn cotenant_histograms_conserve_steals_when_a_lease_shrinks() {
+    use macs::gpi::{CellBlock, GlobalCells, World};
+    use macs::runtime::run_parallel_on;
+
+    let prob = queens(9, QueensModel::Pairwise);
+    let words = prob.layout.store_words();
+    let root = prob.root.as_words().to_vec();
+    let topo = MachineTopology::try_new(&[4, 2], 1).unwrap(); // 4 nodes x 2 cores
+    let cells = std::sync::Arc::new(GlobalCells::with_job_blocks(2, 4));
+
+    let run_job = |job: usize, lease_workers: u64| {
+        let block = CellBlock::for_job(job, 4);
+        let world = World::leased_on(topo.clone(), LatencyModel::zero(), cells.clone(), block);
+        // Tenant 0's lease shrinks before its workers clear the start
+        // barrier: workers 4..8 park immediately and their pools drain
+        // through the retention waiver.
+        if lease_workers < 8 {
+            cells.store(block.lease(), lease_workers);
+        }
+        let rt = RuntimeConfig {
+            topology: topo.clone(),
+            seed: 0xA11 + job as u64,
+            ..Default::default()
+        };
+        run_parallel_on(&world, &rt, words, std::slice::from_ref(&root), |_| {
+            CpProcessor::new(&prob, 0, SearchMode::Exhaustive)
+        })
+    };
+
+    let (shrunk, full) = std::thread::scope(|s| {
+        let a = s.spawn(|| run_job(0, 4));
+        let b = s.spawn(|| run_job(1, 8));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    for (label, report) in [("shrunk tenant", &shrunk), ("full tenant", &full)] {
+        // Per-worker conservation: every successful steal lands in the
+        // distance histogram exactly once, parked victims included.
+        let mut hist = StealHistogram::new();
+        for w in &report.workers {
+            assert_eq!(
+                w.steals_by_distance.total(),
+                w.local_steals + w.remote_steals,
+                "{label}: worker {} histogram out of step",
+                w.id
+            );
+            hist.merge(&w.steals_by_distance);
+        }
+        let (ls, _, rs, _) = report.steal_totals();
+        check_histogram(label, &hist, ls + rs, &topo);
+        // No cross-tenant leak: a stray cancel or bound write from the
+        // co-tenant's block would truncate the enumeration.
+        let solutions: u64 = report.outputs.iter().map(|o| o.solutions).sum();
+        assert_eq!(solutions, 352, "{label}: queens-9 enumeration truncated");
+    }
+    // The shrink really happened: every shut-out worker parked at least
+    // once and processed nothing.
+    let parks: u64 = shrunk.workers.iter().map(|w| w.parks).sum();
+    assert!(
+        parks >= 4,
+        "expected all 4 shut-out workers to park, got {parks}"
+    );
+    for w in &shrunk.workers[4..] {
+        assert_eq!(w.items, 0, "parked worker {} processed items", w.id);
+    }
+}
