@@ -11,7 +11,10 @@ fn main() {
         "ablation_polling",
         "dynamic polling ablation: fixed vs adaptive request-polling\nintervals, their poll counts and scaling cost (§V).",
         &[("--n <N>", "queens size [default: 12]"), ("--cores <N>", "simulated cores [default: 64]")],
-        &[],
+        &[
+            macs_bench::CommonFlag::CostModel,
+            macs_bench::CommonFlag::DetectTopo,
+        ],
     ));
     let n: usize = arg("n", 12);
     let cores: usize = arg("cores", 64);
@@ -33,6 +36,7 @@ fn main() {
     ] {
         let mut cfg = SimConfig::new(topo_for(cores));
         cfg.costs = CostModel::paper_queens();
+        macs_bench::apply_host_overrides(&mut cfg);
         cfg.poll = policy;
         let r = sim_cp_macs(&prob, &cfg);
         let polls: u64 = r.workers.iter().map(|w| w.polls).sum();

@@ -15,7 +15,10 @@ fn main() {
             ("--n <N>", "queens size [default: 12]"),
             ("--cores <N>", "simulated cores [default: 64]"),
         ],
-        &[],
+        &[
+            macs_bench::CommonFlag::CostModel,
+            macs_bench::CommonFlag::DetectTopo,
+        ],
     ));
     let n: usize = arg("n", 12);
     let cores: usize = arg("cores", 64);
@@ -23,6 +26,9 @@ fn main() {
 
     let mut base_cfg = SimConfig::new(topo_for(1));
     base_cfg.costs = CostModel::paper_queens();
+    if let Some(m) = macs_bench::cost_model_arg() {
+        base_cfg.costs = m;
+    }
     let base_s = sim_cp_macs(&prob, &base_cfg).makespan_ns as f64 / 1e9;
 
     println!("Release-interval ablation, queens-{n} @ {cores} simulated cores\n");
@@ -33,6 +39,7 @@ fn main() {
     for interval in [1u32, 4, 16, 32, 128] {
         let mut cfg = SimConfig::new(topo_for(cores));
         cfg.costs = CostModel::paper_queens();
+        macs_bench::apply_host_overrides(&mut cfg);
         cfg.release = ReleasePolicy {
             interval,
             ..ReleasePolicy::default()

@@ -11,7 +11,10 @@ fn main() {
         "ablation_victim",
         "local victim selection ablation: the cheap greedy heuristic vs\nthe better-informed, costlier max-steal (§IV).",
         &[("--n <N>", "queens size [default: 12]")],
-        &[],
+        &[
+            macs_bench::CommonFlag::CostModel,
+            macs_bench::CommonFlag::DetectTopo,
+        ],
     ));
     let n: usize = arg("n", 12);
     let prob = queens(n, QueensModel::Pairwise);
@@ -27,6 +30,7 @@ fn main() {
         ] {
             let mut cfg = SimConfig::new(topo_for(cores));
             cfg.costs = CostModel::paper_queens();
+            macs_bench::apply_host_overrides(&mut cfg);
             cfg.victim = sel;
             let r = sim_cp_macs(&prob, &cfg);
             let (lo, lf, _, _) = r.steal_totals();

@@ -40,6 +40,8 @@ fn main() {
         &[
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::BoundPolicy,
+            macs_bench::CommonFlag::CostModel,
+            macs_bench::CommonFlag::DetectTopo,
             macs_bench::CommonFlag::Full,
             macs_bench::CommonFlag::Xl,
         ],
@@ -79,6 +81,7 @@ fn main() {
                 for seed in 1..=seeds {
                     let mut cfg = SimConfig::new(topo.clone());
                     cfg.costs = costs;
+                    macs_bench::apply_host_overrides(&mut cfg);
                     cfg.bound_policy = policy;
                     cfg.seed = seed;
                     let r = sim_cp_macs(prob, &cfg);
@@ -121,6 +124,7 @@ fn main() {
             for &policy in &policies {
                 let mut cfg = SimConfig::new(topo.clone());
                 cfg.costs = CostModel::paper_qap();
+                macs_bench::apply_host_overrides(&mut cfg);
                 cfg.bound_policy = policy;
                 let r = sim_cp_macs(&qap, &cfg);
                 println!(

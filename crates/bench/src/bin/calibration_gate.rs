@@ -1,0 +1,258 @@
+//! calibration_gate — does the calibrated simulator predict this
+//! machine?
+//!
+//! Runs the same two workloads (a queens instance and an `esc16e`
+//! sub-instance) twice at every width of the host's 2–32-core prefix:
+//! once *threaded* on the real cores (pinned, via the detected CPU map)
+//! and once *simulated* on the same sub-topology under the loaded cost
+//! model. Both sides reduce to a speedup curve relative to the smallest
+//! width, and the gate bounds the relative error between the curves:
+//!
+//! ```text
+//! err(p) = | S_sim(p) / S_thr(p) − 1 |        S(p) = T(w₀) / T(p)
+//! ```
+//!
+//! Comparing *curves* rather than absolute times is deliberate: the
+//! simulator charges virtual nanoseconds per protocol step, so its
+//! absolute makespan tracks the calibrated `node` cost, but the shape of
+//! the scaling curve is what the model exists to predict (which width
+//! stops paying off, where release overhead bites). The default bound of
+//! 0.50 is generous because the threaded side runs on whatever else the
+//! host is doing; a calibrated model on an idle machine lands well
+//! inside it, an uncalibrated model on a mismatched machine does not.
+//!
+//! Exit status: 0 inside the bound with matching answers; 1 on a curve
+//! breach or on any answer mismatch (solution counts, QAP optimum) —
+//! wrong answers are a bug, not noise. Machines with fewer than 4
+//! usable cores produce a single-point curve and gate answers only.
+
+use std::time::Instant;
+
+use macs_bench::{arg, cost_model_arg, maybe_help, sim_cp_macs, CommonFlag};
+use macs_core::{solve_parallel, SolverConfig};
+use macs_engine::CompiledProblem;
+use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
+use macs_runtime::{DetectedMachine, MachineTopology};
+use macs_sim::SimConfig;
+
+fn usage_text() -> String {
+    macs_bench::usage(
+        "calibration_gate",
+        "gate the calibrated simulator against threaded runs on this\nhost's real cores: relative speedup-curve error at the 2-32-core\nprefix, plus exact answer checks.",
+        &[
+            (
+                "--bound <E>",
+                "maximum relative speedup-curve error [default: 0.5]",
+            ),
+            (
+                "--runs <R>",
+                "threaded repetitions per width, median taken\n[default: 3; 1 with --quick]",
+            ),
+            (
+                "--quick",
+                "smaller instances, widths capped at 8 (CI smoke)",
+            ),
+            (
+                "--cores <N>",
+                "pretend the host has N cores (threads oversubscribe and\nwrap the CPU map): answer checks stay exact, the curve\nerror only means something up to the real core count",
+            ),
+        ],
+        &[CommonFlag::CostModel],
+    )
+}
+
+/// The detected shape's `p`-core prefix as a topology of its own:
+/// innermost levels are kept whole while they divide `p`, the first
+/// partial level is truncated, and anything inexpressible falls back to
+/// flat. One host stays one node (`node_prefix` 0).
+fn prefix_topo(shape: &[usize], p: usize) -> MachineTopology {
+    let mut dims: Vec<usize> = Vec::new();
+    let mut rem = p;
+    for &e in shape.iter().rev() {
+        if rem <= e {
+            dims.push(rem);
+            rem = 1;
+            break;
+        }
+        if !rem.is_multiple_of(e) {
+            return MachineTopology::flat(p);
+        }
+        dims.push(e);
+        rem /= e;
+    }
+    if rem != 1 {
+        return MachineTopology::flat(p);
+    }
+    dims.reverse();
+    MachineTopology::try_new(&dims, 0).unwrap_or_else(|_| MachineTopology::flat(p))
+}
+
+struct Point {
+    width: usize,
+    thr_ns: u64,
+    sim_ns: u64,
+    thr_solutions: u64,
+    sim_solutions: u64,
+    thr_best: Option<i64>,
+    sim_best: Option<i64>,
+}
+
+/// Threaded + simulated run of `prob` at width `p` on the machine's
+/// prefix; threaded wall time is the median of `runs` repetitions.
+fn run_point(
+    machine: &DetectedMachine,
+    model: macs_sim::CostModel,
+    prob: &CompiledProblem,
+    p: usize,
+    runs: usize,
+) -> Point {
+    let topo = prefix_topo(machine.topo.shape(), p);
+
+    let mut cfg = SolverConfig::with_workers(p);
+    cfg.runtime.topology = topo.clone();
+    cfg.runtime.pin_threads = true;
+    // Wraps when `--cores` oversubscribes past the detected CPUs.
+    cfg.runtime.cpu_map = Some(
+        (0..p)
+            .map(|w| machine.cpus[w % machine.cpus.len()])
+            .collect(),
+    );
+    let mut thr_ns = Vec::with_capacity(runs);
+    let mut outcome = solve_parallel(prob, &cfg); // warm-up + answer
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        outcome = solve_parallel(prob, &cfg);
+        thr_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    thr_ns.sort_unstable();
+
+    let sim = SimConfig::new(topo).with_cost_model(model);
+    let report = sim_cp_macs(prob, &sim);
+
+    Point {
+        width: p,
+        thr_ns: thr_ns[thr_ns.len() / 2].max(1),
+        sim_ns: report.makespan_ns.max(1),
+        thr_solutions: outcome.solutions,
+        sim_solutions: report.total_solutions(),
+        thr_best: outcome.best_cost,
+        sim_best: (report.incumbent != i64::MAX).then_some(report.incumbent),
+    }
+}
+
+/// Gate one workload's curve; pushes failure messages instead of
+/// exiting so every row still prints. `is_opt` switches the answer
+/// check: satisfaction compares exact solution counts, optimisation
+/// compares the optimum only ("solutions" there counts incumbent
+/// improvements, which legitimately depend on search order).
+fn gate_curve(name: &str, points: &[Point], bound: f64, is_opt: bool, failures: &mut Vec<String>) {
+    println!("== {name} ==");
+    println!(
+        "{:>6} {:>10} {:>10} {:>7} {:>7} {:>8}",
+        "width", "thr_ms", "sim_ms", "S_thr", "S_sim", "rel.err"
+    );
+    let base = &points[0];
+    for pt in points {
+        let s_thr = base.thr_ns as f64 / pt.thr_ns as f64;
+        let s_sim = base.sim_ns as f64 / pt.sim_ns as f64;
+        let err = (s_sim / s_thr - 1.0).abs();
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>7.2} {:>7.2} {:>8.3}",
+            pt.width,
+            pt.thr_ns as f64 / 1e6,
+            pt.sim_ns as f64 / 1e6,
+            s_thr,
+            s_sim,
+            err
+        );
+        if err > bound {
+            failures.push(format!(
+                "{name}: width {} speedup-curve error {err:.3} exceeds bound {bound}",
+                pt.width
+            ));
+        }
+        if !is_opt && pt.thr_solutions != pt.sim_solutions {
+            failures.push(format!(
+                "{name}: width {} solution count mismatch (threaded {}, simulated {})",
+                pt.width, pt.thr_solutions, pt.sim_solutions
+            ));
+        }
+        if is_opt && pt.thr_best != pt.sim_best {
+            failures.push(format!(
+                "{name}: width {} optimum mismatch (threaded {:?}, simulated {:?})",
+                pt.width, pt.thr_best, pt.sim_best
+            ));
+        }
+    }
+}
+
+fn main() {
+    maybe_help(&usage_text());
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bound: f64 = arg("bound", 0.5);
+    let runs: usize = arg("runs", if quick { 1 } else { 3 });
+    let model = match cost_model_arg() {
+        Some(m) => m,
+        None => {
+            println!("note: no --cost-model given; gating the built-in default constants");
+            macs_sim::CostModel::default()
+        }
+    };
+
+    let machine = match macs_runtime::detect_machine() {
+        Ok(m) => m,
+        Err(e) => {
+            println!("topology detection failed ({e}); using the flat fallback");
+            DetectedMachine::flat_fallback()
+        }
+    };
+    let cores = arg("cores", machine.topo.total_workers());
+    let cap = if quick { 8 } else { 32 };
+    let widths: Vec<usize> = [2usize, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&w| w <= cores && w <= cap)
+        .collect();
+    let shape: Vec<String> = machine.topo.shape().iter().map(|e| e.to_string()).collect();
+    println!(
+        "machine: shape {} ({cores} cores), gating widths {widths:?}, bound {bound}",
+        shape.join("x"),
+    );
+    if widths.is_empty() {
+        println!("fewer than 2 usable cores: nothing to gate, passing vacuously");
+        return;
+    }
+
+    let workloads: Vec<(String, CompiledProblem, bool)> = vec![
+        (
+            format!("queens-{}", if quick { 9 } else { 12 }),
+            queens(if quick { 9 } else { 12 }, QueensModel::Pairwise),
+            false,
+        ),
+        (
+            format!("esc16e[{}]", if quick { 8 } else { 9 }),
+            qap_model(&QapInstance::esc16e().sub_instance(if quick { 8 } else { 9 })),
+            true,
+        ),
+    ];
+
+    let mut failures = Vec::new();
+    for (name, prob, is_opt) in &workloads {
+        let points: Vec<Point> = widths
+            .iter()
+            .map(|&p| run_point(&machine, model, prob, p, runs))
+            .collect();
+        gate_curve(name, &points, bound, *is_opt, &mut failures);
+    }
+
+    if failures.is_empty() {
+        println!(
+            "calibration gate: PASS ({} widths x 2 workloads)",
+            widths.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("calibration gate: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -52,6 +52,8 @@ fn main() {
         &[
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::ChunkPolicy,
+            macs_bench::CommonFlag::CostModel,
+            macs_bench::CommonFlag::DetectTopo,
             macs_bench::CommonFlag::Full,
             macs_bench::CommonFlag::Xl,
         ],
@@ -114,6 +116,7 @@ fn main() {
                     for seed in 1..=seeds {
                         let mut cfg = SimConfig::new(topo.clone());
                         cfg.costs = *costs;
+                        macs_bench::apply_host_overrides(&mut cfg);
                         cfg.chunk_policy = policy;
                         cfg.seed = seed;
                         let r = sim_cp_macs(prob, &cfg);
@@ -188,6 +191,7 @@ fn main() {
             for &policy in &policies {
                 let mut cfg = SimConfig::new(topo.clone());
                 cfg.costs = *costs;
+                macs_bench::apply_host_overrides(&mut cfg);
                 cfg.chunk_policy = policy;
                 let r = sim_cp_macs(prob, &cfg);
                 let cell = Cell {

@@ -34,6 +34,7 @@ use macs_sim::{CostModel, FabricModel, SimConfig, SimReport};
 fn cfg_for(cores: usize, costs: CostModel, fabric: FabricModel) -> SimConfig {
     let mut cfg = SimConfig::new(Topology::clustered(cores.max(4), 4));
     cfg.costs = costs;
+    macs_bench::apply_host_overrides(&mut cfg);
     cfg.fabric = fabric;
     if let Some(c) = chunk_policy_arg() {
         cfg.chunk_policy = c;
@@ -113,6 +114,8 @@ fn main() {
         &[
             CommonFlag::Fabric,
             CommonFlag::ChunkPolicy,
+            CommonFlag::CostModel,
+            CommonFlag::DetectTopo,
             CommonFlag::Full,
             CommonFlag::Xl,
         ],

@@ -39,9 +39,10 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use macs_bench::reference::{RefEngine, RefKernel, RefStep};
-use macs_bench::{arg, maybe_help, sim_cp_macs, usage};
+use macs_bench::{arg, cost_model_arg, maybe_help, sim_cp_macs, usage};
 use macs_domain::bits;
 use macs_engine::{CompiledProblem, Engine, ScheduleSeed};
+use macs_gpi::MachineTopology;
 use macs_pool::{LockedPool, SplitPool};
 use macs_problems::{qap::QapInstance, qap_model, queens, QueensModel};
 use macs_runtime::Topology;
@@ -658,6 +659,134 @@ fn run_sim_trajectory(quick: bool, out_path: &str, check_path: &str) {
 }
 
 // ---------------------------------------------------------------------------
+// the PR-10 calibration trajectory (--calibration): calibrated vs default
+// ---------------------------------------------------------------------------
+
+/// The calibrated model the record is pinned against: a real artifact of
+/// running the `calibrate` bin on a dev host, committed next to the bin.
+/// `--cost-model` overrides it.
+const COMMITTED_MODEL: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/data/calibrated_host.cost");
+
+#[derive(Debug)]
+struct CalPoint {
+    workload: &'static str,
+    cores: usize,
+    default_ms: f64,
+    calibrated_ms: f64,
+    s_default: f64,
+    s_calibrated: f64,
+    err: f64,
+}
+
+/// Simulate `prob` at every width of the 2–32-core prefix under both the
+/// default constants and the calibrated model; the tracked numbers are
+/// the per-width relative errors between the two speedup curves. All
+/// quantities are virtual-time outputs of the bit-deterministic
+/// simulator, so the record is machine-independent and the check
+/// tolerance absorbs intentional cost-charging changes, not noise.
+fn run_calibration_trajectory(quick: bool, out_path: &str, check_path: &str) {
+    let model_path: String = std::env::args()
+        .skip_while(|a| a != "--cost-model")
+        .nth(1)
+        .unwrap_or_else(|| COMMITTED_MODEL.to_string());
+    let calibrated = cost_model_arg().unwrap_or_else(|| {
+        CostModel::load(std::path::Path::new(COMMITTED_MODEL))
+            .unwrap_or_else(|e| panic!("cannot load the committed model: {e}"))
+    });
+    let default = CostModel::default();
+    let widths: &[usize] = if quick { &[2, 8] } else { &[2, 4, 8, 16, 32] };
+    let workloads: Vec<(&'static str, CompiledProblem)> = vec![
+        ("queens11", queens(11, QueensModel::Pairwise)),
+        ("esc16e9", qap_model(&QapInstance::esc16e().sub_instance(9))),
+    ];
+
+    let mut points: Vec<CalPoint> = Vec::new();
+    for (name, prob) in &workloads {
+        let mut rows: Vec<(usize, u64, u64)> = Vec::new();
+        for &p in widths {
+            // The host-shaped case: one shared-memory node, flat.
+            let topo = MachineTopology::flat(p);
+            let def = sim_cp_macs(prob, &SimConfig::new(topo.clone()).with_cost_model(default));
+            let cal = sim_cp_macs(prob, &SimConfig::new(topo).with_cost_model(calibrated));
+            rows.push((p, def.makespan_ns.max(1), cal.makespan_ns.max(1)));
+        }
+        let (_, base_def, base_cal) = rows[0];
+        for (p, def_ns, cal_ns) in rows {
+            let s_default = base_def as f64 / def_ns as f64;
+            let s_calibrated = base_cal as f64 / cal_ns as f64;
+            points.push(CalPoint {
+                workload: name,
+                cores: p,
+                default_ms: def_ns as f64 / 1e6,
+                calibrated_ms: cal_ns as f64 / 1e6,
+                s_default,
+                s_calibrated,
+                err: (s_calibrated / s_default - 1.0).abs(),
+            });
+        }
+    }
+
+    for p in &points {
+        println!(
+            "{:<10} @ {:>2} cores: default {:>9.3} ms  calibrated {:>9.3} ms  S {:>5.2} vs {:>5.2}  err {:.3}",
+            p.workload, p.cores, p.default_ms, p.calibrated_ms, p.s_default, p.s_calibrated, p.err
+        );
+    }
+
+    if !check_path.is_empty() {
+        let prev = std::fs::read_to_string(check_path)
+            .unwrap_or_else(|e| panic!("cannot read {check_path}: {e}"));
+        let mut failed = false;
+        for p in &points {
+            let key = format!("err_{}_{}", p.workload, p.cores);
+            let Some(recorded) = json_number_after(&prev, "calibration", &key) else {
+                eprintln!("check: no \"{key}\" under \"calibration\" in {check_path} (skipped)");
+                continue;
+            };
+            // The sim is bit-deterministic: same code + same models give
+            // the recorded error exactly. The tolerance is headroom for
+            // intentional cost-charging changes that shift both curves.
+            if (p.err - recorded).abs() > 0.05 {
+                eprintln!(
+                    "check FAILED: curve error {key} = {:.3} drifted from the recorded {recorded:.3} by more than 0.05",
+                    p.err
+                );
+                failed = true;
+            } else {
+                eprintln!("check ok: {key} = {:.3} (recorded {recorded:.3})", p.err);
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("calibration check passed against {check_path}");
+        return;
+    }
+
+    let mut json = format!(
+        "{{\n  \"record\": \"BENCH_10\",\n  \"bin\": \"perf_record --calibration\",\n  \"quick\": {quick},\n  \"model\": \"{model_path}\",\n  \"note\": \"speedup curves of the simulator under the committed calibrated model vs the built-in defaults, per width of a flat 2-32-core host prefix; every number is virtual-time and bit-deterministic, so the record is machine-independent. err = |S_cal/S_def - 1| per point.\",\n  \"points\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"cores\": {}, \"makespan_default_ms\": {:.3}, \"makespan_calibrated_ms\": {:.3}, \"speedup_default\": {:.3}, \"speedup_calibrated\": {:.3}, \"err\": {:.3}}}{sep}\n",
+            p.workload, p.cores, p.default_ms, p.calibrated_ms, p.s_default, p.s_calibrated, p.err
+        ));
+    }
+    json.push_str("  ],\n  \"calibration\": {");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        json.push_str(&format!(
+            "{sep}\n    \"err_{}_{}\": {:.3}",
+            p.workload, p.cores, p.err
+        ));
+    }
+    json.push_str("\n  }\n}\n");
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}
+
+// ---------------------------------------------------------------------------
 // the PR-9 service trajectory (--service): lease policies under load
 // ---------------------------------------------------------------------------
 
@@ -725,6 +854,7 @@ fn service_point(
         cores_per_node,
         queue_cap: (jobs / 4).max(4),
         policy,
+        cost_model: Default::default(),
     };
     let t0 = Instant::now();
     let r = SimBackend::default().serve(&cfg, &trace);
@@ -891,19 +1021,20 @@ fn run_service_trajectory(quick: bool, out_path: &str, check_path: &str) {
 fn main() {
     let u = usage(
         "perf_record",
-        "records the PR-6 perf trajectory (BENCH_6.json): sequential node\nthroughput vs the frozen pre-PR kernel, lock-free vs mutex steal\nlatency, propagation filter throughput. With --sim, records the PR-8\nsimulator trajectory instead (BENCH_8.json): events/sec + peak RSS per\nscale point, 4k to 262k simulated cores, with a same-seed determinism\ndouble-run at every point. With --service, records the PR-9 service\ntrajectory (BENCH_9.json): lease-policy throughput/sojourn ratios at\n32 to 512 simulated cores, determinism double-run at every point.",
+        "records the PR-6 perf trajectory (BENCH_6.json): sequential node\nthroughput vs the frozen pre-PR kernel, lock-free vs mutex steal\nlatency, propagation filter throughput. With --sim, records the PR-8\nsimulator trajectory instead (BENCH_8.json): events/sec + peak RSS per\nscale point, 4k to 262k simulated cores, with a same-seed determinism\ndouble-run at every point. With --service, records the PR-9 service\ntrajectory (BENCH_9.json): lease-policy throughput/sojourn ratios at\n32 to 512 simulated cores, determinism double-run at every point. With\n--calibration, records the PR-10 trajectory (BENCH_10.json): the\nsimulator's speedup curves under the committed calibrated cost model\nvs the built-in defaults, per width of a flat 2-32-core host prefix.",
         &[
-            ("--out <FILE>", "where to write the record [default: BENCH_6.json,\nBENCH_8.json with --sim, BENCH_9.json with --service]"),
+            ("--out <FILE>", "where to write the record [default: BENCH_6.json,\nBENCH_8.json with --sim, BENCH_9.json with --service,\nBENCH_10.json with --calibration]"),
             (
                 "--check <FILE>",
-                "measure, then fail (exit 1) if a recorded ratio regressed\n>10%: optimised/reference speed-ups by default, per-scale-point\nevents/sec ratios vs the 4096-core base with --sim, elastic/static\npolicy ratios with --service",
+                "measure, then fail (exit 1) if a recorded ratio regressed\n>10%: optimised/reference speed-ups by default, per-scale-point\nevents/sec ratios vs the 4096-core base with --sim, elastic/static\npolicy ratios with --service, per-width curve errors (absolute\ndrift > 0.05) with --calibration",
             ),
             ("--runs <N>", "repetitions per throughput metric (median) [default: 5]"),
-            ("--quick", "reduced budgets: smaller node/latency windows; with --sim\nonly the 4k and 64k scale points, with --service only the 32- and\n512-core points (CI smoke)"),
+            ("--quick", "reduced budgets: smaller node/latency windows; with --sim\nonly the 4k and 64k scale points, with --service only the 32- and\n512-core points, with --calibration only the 2- and 8-core widths\n(CI smoke)"),
             ("--sim", "record the simulator scale trajectory (BENCH_8.json)"),
             ("--service", "record the multi-tenant service trajectory (BENCH_9.json)"),
+            ("--calibration", "record the calibrated-vs-default curve trajectory\n(BENCH_10.json); --cost-model overrides the committed model"),
         ],
-        &[],
+        &[macs_bench::CommonFlag::CostModel],
     );
     maybe_help(&u);
 
@@ -911,9 +1042,12 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let sim = std::env::args().any(|a| a == "--sim");
     let service = std::env::args().any(|a| a == "--service");
+    let calibration = std::env::args().any(|a| a == "--calibration");
     let out_path = arg(
         "out",
-        if service {
+        if calibration {
+            "BENCH_10.json"
+        } else if service {
             "BENCH_9.json"
         } else if sim {
             "BENCH_8.json"
@@ -924,6 +1058,10 @@ fn main() {
     );
     let check_path: String = arg("check", String::new());
 
+    if calibration {
+        run_calibration_trajectory(quick, &out_path, &check_path);
+        return;
+    }
     if service {
         run_service_trajectory(quick, &out_path, &check_path);
         return;

@@ -40,6 +40,8 @@ fn main() {
             macs_bench::CommonFlag::Mode,
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::ChunkPolicy,
+            macs_bench::CommonFlag::CostModel,
+            macs_bench::CommonFlag::DetectTopo,
             macs_bench::CommonFlag::Full,
         ],
     ));
@@ -97,6 +99,7 @@ fn main() {
                     for seed in 1..=seeds {
                         let mut cfg = SimConfig::new(topo.clone());
                         cfg.costs = CostModel::paper_queens();
+                        macs_bench::apply_host_overrides(&mut cfg);
                         cfg.seed = seed;
                         if let Some(c) = chunk_policy_arg() {
                             cfg.chunk_policy = c;

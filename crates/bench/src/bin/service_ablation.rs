@@ -162,7 +162,7 @@ fn main() {
             ),
             ("--seed <S>", "workload seed [default: 0x5EEDC]"),
         ],
-        &[CommonFlag::Full],
+        &[CommonFlag::CostModel, CommonFlag::Full],
     ));
     let t0 = Instant::now();
     let check = std::env::args().any(|a| a == "--check");
@@ -207,6 +207,7 @@ fn main() {
                 cores_per_node: cell.cores_per_node,
                 queue_cap: (cell.jobs / 4).max(4),
                 policy,
+                cost_model: macs_bench::cost_model_arg().unwrap_or_default(),
             };
             let label = format!("{}c/{policy}", cell.cores());
             let r = SimBackend::default().serve(&cfg, &trace);

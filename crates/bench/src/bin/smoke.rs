@@ -79,6 +79,7 @@ fn drive(
     if let Some(c) = chunk {
         cfg.chunk_policy = c;
     }
+    macs_bench::apply_host_overrides(&mut cfg);
     let sim = sim_cp_macs_mode(prob, &cfg, mode);
     let psim = sim_cp_paccs_mode(prob, &cfg, mode);
     // Raced satisfaction runs must hand back a *verifiable* winner.
@@ -138,6 +139,8 @@ fn main() {
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::BoundPolicy,
             macs_bench::CommonFlag::ChunkPolicy,
+            macs_bench::CommonFlag::CostModel,
+            macs_bench::CommonFlag::DetectTopo,
         ],
     ));
     // The hierarchical matrix entry: 3-level by default, CI also passes

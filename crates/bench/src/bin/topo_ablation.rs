@@ -37,6 +37,8 @@ fn usage_text() -> String {
             macs_bench::CommonFlag::Shape,
             macs_bench::CommonFlag::BoundPolicy,
             macs_bench::CommonFlag::ChunkPolicy,
+            macs_bench::CommonFlag::CostModel,
+            macs_bench::CommonFlag::DetectTopo,
             macs_bench::CommonFlag::Full,
             macs_bench::CommonFlag::Xl,
         ],
@@ -46,6 +48,7 @@ fn usage_text() -> String {
 fn deep_cfg(cores: usize) -> SimConfig {
     let mut cfg = SimConfig::new(deep_topo_for(cores));
     cfg.costs = CostModel::paper_queens();
+    macs_bench::apply_host_overrides(&mut cfg);
     if let Some(p) = bound_policy_arg() {
         cfg.bound_policy = p;
     }
@@ -122,6 +125,7 @@ fn main() {
             for seed in 1..=5u64 {
                 let mut cfg = SimConfig::new(topo.clone());
                 cfg.costs = costs;
+                macs_bench::apply_host_overrides(&mut cfg);
                 cfg.response_batch = batch;
                 cfg.seed = seed;
                 if let Some(p) = bound_policy_arg() {

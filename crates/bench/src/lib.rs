@@ -14,7 +14,7 @@ use macs_engine::CompiledProblem;
 use macs_gpi::{MachineTopology, Topology};
 use macs_runtime::{WorkerState, NUM_STATES};
 use macs_search::{BoundPolicy, ChunkPolicy};
-use macs_sim::{simulate_macs, simulate_paccs, FabricModel, SimConfig, SimReport};
+use macs_sim::{simulate_macs, simulate_paccs, CostModel, FabricModel, SimConfig, SimReport};
 
 /// The cross-bin flags, defined once so their wording is identical in
 /// every bin's `--help` (before this helper each bin hand-rolled its
@@ -35,6 +35,10 @@ pub enum CommonFlag {
     ChunkPolicy,
     /// `--fabric latency|contention[:PS[,CTRL[,HDR]]]` (via [`fabric_arg`]).
     Fabric,
+    /// `--cost-model <path>` (via [`cost_model_arg`]).
+    CostModel,
+    /// `--detect-topo` (via [`detect_topo_flag`]).
+    DetectTopo,
     /// `--full` (via [`full_scale`] / [`core_series`]).
     Full,
     /// `--xl` (via [`xl_scale`] / [`xl_cells`]).
@@ -63,6 +67,14 @@ impl CommonFlag {
             CommonFlag::Fabric => (
                 "--fabric <F>",
                 "steal-plane message pricing for the simulator:\nlatency (flat per-ring) or contention[:PS[,CTRL[,HDR]]]\n(finite links, FIFO queueing) [default: latency]",
+            ),
+            CommonFlag::CostModel => (
+                "--cost-model <path>",
+                "load the simulator's protocol costs from a\n`macs-cost-model v1` file (see the calibrate bin)\ninstead of the built-in paper constants",
+            ),
+            CommonFlag::DetectTopo => (
+                "--detect-topo",
+                "simulate this host's detected topology (Linux\nsysfs; flat fallback elsewhere) instead of the\ndeclared shapes",
             ),
             CommonFlag::Full => ("--full", "paper-scale series (up to 512 simulated cores)"),
             CommonFlag::Xl => (
@@ -245,6 +257,56 @@ pub fn fabric_arg() -> Option<FabricModel> {
         }
     }
     None
+}
+
+/// `--cost-model <path>` from the process arguments, if present: the
+/// calibrated [`CostModel`] to run the simulator with (typically the
+/// file the `calibrate` bin emitted). Unreadable or malformed files
+/// exit with the codec's typed message (exit code 2).
+pub fn cost_model_arg() -> Option<CostModel> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--cost-model" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--cost-model needs a path to a `macs-cost-model v1` file");
+                std::process::exit(2);
+            };
+            match CostModel::load(std::path::Path::new(v)) {
+                Ok(m) => return Some(m),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `--detect-topo` from the process arguments: this host's detected
+/// [`MachineTopology`] (sysfs on Linux, flat `available_parallelism`
+/// fallback elsewhere — detection never fails, see
+/// `MachineTopology::detect`).
+pub fn detect_topo_flag() -> Option<MachineTopology> {
+    if std::env::args().any(|a| a == "--detect-topo") {
+        Some(MachineTopology::detect())
+    } else {
+        None
+    }
+}
+
+/// Apply the host-binding overrides to a built [`SimConfig`]: a
+/// `--cost-model` file replaces the built-in constants and
+/// `--detect-topo` replaces the declared shape with this host's. Bins
+/// call this at every `SimConfig` construction site so one flag reaches
+/// every cell of a sweep.
+pub fn apply_host_overrides(cfg: &mut SimConfig) {
+    if let Some(m) = cost_model_arg() {
+        cfg.costs = m;
+    }
+    if let Some(t) = detect_topo_flag() {
+        cfg.topology = t;
+    }
 }
 
 /// Print `usage` and exit 0 when `--help`/`-h` was passed. Harness bins

@@ -47,7 +47,8 @@ pub use topology::Topology;
 // The N-level machine model this layer's `Topology` is a 2-level alias
 // of; re-exported so runtime/sim/paccs share one set of topology types.
 pub use macs_topo::{
-    MachineTopology, PeerRing, ScanOrder, StealHistogram, TopoError, VictimOrder, MAX_LEVELS,
+    detect_machine, DetectedMachine, MachineTopology, PeerRing, ScanOrder, StealHistogram,
+    TopoError, VictimOrder, MAX_LEVELS,
 };
 
 use std::sync::Arc;

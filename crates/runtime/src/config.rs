@@ -199,6 +199,16 @@ pub struct RuntimeConfig {
     /// bookkeeping asynchronously, so charging a synchronous fabric round
     /// trip per push would overstate that cost by orders of magnitude.
     pub charge_termination: bool,
+    /// Pin each worker thread to one OS CPU (`sched_setaffinity`; a
+    /// graceful no-op off-Linux). Off by default — calibration and the
+    /// `calibration_gate` turn it on so threaded latencies describe the
+    /// cores they claim.
+    pub pin_threads: bool,
+    /// Worker → OS CPU map used when `pin_threads` is set: worker `w`
+    /// pins to `cpu_map[w]` (typically
+    /// [`DetectedMachine::cpus`](macs_gpi::DetectedMachine), which skips
+    /// hyperthread siblings). `None` = identity (worker `w` → CPU `w`).
+    pub cpu_map: Option<Vec<u32>>,
 }
 
 impl RuntimeConfig {
@@ -253,6 +263,8 @@ impl Default for RuntimeConfig {
             seed: 0x5EED,
             term_flush_batch: 64,
             charge_termination: false,
+            pin_threads: false,
+            cpu_map: None,
         }
     }
 }

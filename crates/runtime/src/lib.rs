@@ -21,6 +21,7 @@
 //! * per-worker [`stats`] mirror the paper's worker-state taxonomy
 //!   (Fig. 3/5) and steal accounting (Tables I/II).
 
+pub mod affinity;
 pub mod config;
 pub mod processor;
 pub mod rng;
@@ -29,6 +30,7 @@ pub mod stats;
 pub mod term;
 pub mod worker;
 
+pub use affinity::pin_current_thread;
 pub use config::{
     BoundPolicy, ChunkPolicy, PollPolicy, ReleasePolicy, RuntimeConfig, SeedMode, VictimSelect,
 };
@@ -38,6 +40,6 @@ pub use run::{run_parallel, run_parallel_on, RunReport};
 pub use stats::{PhaseTimers, RaceRing, StateClock, WorkerState, WorkerStats, NUM_STATES};
 
 pub use macs_gpi::{
-    Interconnect, LatencyModel, MachineTopology, ScanOrder, StealHistogram, TopoError, Topology,
-    VictimOrder, MAX_LEVELS,
+    detect_machine, DetectedMachine, Interconnect, LatencyModel, MachineTopology, ScanOrder,
+    StealHistogram, TopoError, Topology, VictimOrder, MAX_LEVELS,
 };

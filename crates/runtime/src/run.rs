@@ -201,6 +201,16 @@ where
         let handles: Vec<_> = (0..n_workers)
             .map(|w| {
                 s.spawn(move || {
+                    if cfg.pin_threads {
+                        // Worker w → cpu_map[w] (or CPU w when no map).
+                        // Failure means "run unpinned" — a cgroup cpuset
+                        // or non-Linux host must not kill the run.
+                        let cpu = match &cfg.cpu_map {
+                            Some(map) => map.get(w).copied().unwrap_or(w as u32),
+                            None => w as u32,
+                        };
+                        crate::affinity::pin_current_thread(cpu);
+                    }
                     let processor = factory(w);
                     Worker::new(w, cfg, world, pools, processor).run()
                 })
@@ -316,6 +326,22 @@ mod tests {
         // Interior nodes: (3^8 − 1) / 2 … plus the leaves.
         let interior = (3u64.pow(8) - 1) / 2;
         assert_eq!(report.total_items(), interior + 3u64.pow(8));
+    }
+
+    #[test]
+    fn pinned_run_agrees_with_unpinned() {
+        // pin_threads changes where threads run, never what they compute
+        // — and a cpu_map shorter than the worker count or full of
+        // nonsense CPUs must degrade to "unpinned", not crash.
+        let cfg_seq = RuntimeConfig::single_node(1);
+        let (_, leaves1, sum1) = run_tree(&cfg_seq, 9, Some(3));
+        let mut cfg = RuntimeConfig::single_node(4);
+        cfg.pin_threads = true;
+        let (_, leaves4, sum4) = run_tree(&cfg, 9, Some(3));
+        assert_eq!((leaves4, sum4), (leaves1, sum1));
+        cfg.cpu_map = Some(vec![0, 9999]); // short + out of range
+        let (_, leaves4, sum4) = run_tree(&cfg, 9, Some(3));
+        assert_eq!((leaves4, sum4), (leaves1, sum1));
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct ServiceConfig {
     pub queue_cap: usize,
     /// Lease sizing policy.
     pub policy: LeasePolicy,
+    /// Cost model for the simulator backend's inner per-job runs (the
+    /// virtual worker-ns every bill is denominated in). Load a
+    /// calibrated model here and the BENCH_9-style sojourn numbers
+    /// become predictions instead of internally-consistent fictions.
+    pub cost_model: macs_sim::CostModel,
 }
 
 impl ServiceConfig {
@@ -39,6 +44,7 @@ impl ServiceConfig {
             cores_per_node,
             queue_cap: 16,
             policy: LeasePolicy::Static { nodes: 1 },
+            cost_model: macs_sim::CostModel::default(),
         }
     }
 
@@ -286,6 +292,7 @@ mod tests {
             cores_per_node: 2,
             queue_cap: 2,
             policy,
+            cost_model: Default::default(),
         }
     }
 

@@ -50,10 +50,11 @@ struct RunState {
     billed: u64,
 }
 
-/// The simulator backend. Inner per-job runs use the default simulator
-/// cost model; `seed` perturbs only the *service* (it is XORed into each
-/// job's own seed), so two backends serving the same trace still solve
-/// identical instances.
+/// The simulator backend. Inner per-job runs use the service config's
+/// cost model (default, or a calibrated one loaded via
+/// `ServiceConfig::cost_model`); `seed` perturbs only the *service* (it
+/// is XORed into each job's own seed), so two backends serving the same
+/// trace still solve identical instances.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimBackend {
     pub seed: u64,
@@ -71,7 +72,7 @@ impl SimBackend {
     ) -> (JobAnswer, u64, u64) {
         let topo = macs_topo::MachineTopology::try_new(&[lease_nodes, cfg.cores_per_node], 1)
             .expect("lease sub-topology");
-        let mut sim = SimConfig::new(topo);
+        let mut sim = SimConfig::new(topo).with_cost_model(cfg.cost_model);
         sim.seed = job.seed ^ self.seed;
         let mode = class_mode(job.class);
         let report = simulate_macs(

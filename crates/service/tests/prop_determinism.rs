@@ -26,6 +26,7 @@ fn serve(nodes: usize, cores: usize, seed: u64) -> ServiceReport {
         cores_per_node: cores,
         queue_cap: 8,
         policy: LeasePolicy::QueueDepth { min: 1, max: 8 },
+        cost_model: Default::default(),
     };
     SimBackend::default().serve(&cfg, &trace)
 }

@@ -12,6 +12,7 @@ fn small_cfg(policy: LeasePolicy) -> ServiceConfig {
         cores_per_node: 2,
         queue_cap: 8,
         policy,
+        cost_model: Default::default(),
     }
 }
 

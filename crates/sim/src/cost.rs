@@ -1,7 +1,32 @@
-//! Virtual-time cost model for the simulator.
+//! Virtual-time cost model for the simulator — and the text codec that
+//! makes it a loadable artifact.
+//!
+//! Until PR 10 every cost below was a hand-invented constant. The
+//! `calibrate` bin (macs-bench) now measures a real machine and emits a
+//! model file; [`CostModel::load`] / [`CostModel::save`] and the
+//! `FromStr`/`Display` pair
+//! round-trip it. The codec is hand-rolled `key = value` text (this
+//! workspace builds offline — no serde):
+//!
+//! ```text
+//! macs-cost-model v1
+//! # comments and blank lines are ignored
+//! node = fixed:2000,20        # or measured:NUM,DEN
+//! pool_op_ns = 60
+//! ...
+//! ```
+//!
+//! Every field is required (a model that silently falls back to a
+//! default for a missing latency would defeat calibration); unknown
+//! keys, duplicates, and negative values are typed
+//! [`CostModelError`]s.
+
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
 
 /// How the processing time of one node (propagate + split) is charged.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NodeCost {
     /// Fixed mean with ±`jitter_pct`% deterministic jitter (reproducible
     /// runs; the default).
@@ -22,7 +47,7 @@ impl NodeCost {
 /// paper's testbed class: dual-socket Woodcrest nodes (the ~6.4 µs/node
 /// implied by 40 Mnodes/s on 256 cores for queens-17) on InfiniBand DDR
 /// (~2 µs one-way small-message latency).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CostModel {
     pub node: NodeCost,
     /// Pool push/pop (head pointer manipulation).
@@ -54,8 +79,17 @@ pub struct CostModel {
     /// distance-`d` local steal costs
     /// `steal_local_ns + (d − 1) × cross_level_ns`.
     pub cross_level_ns: u64,
-    /// Transfer cost per byte, in picoseconds (667 ≙ ~1.5 GB/s).
+    /// Transfer cost per byte, in picoseconds (667 ≙ ~1.5 GB/s). The
+    /// *single* per-byte rate: the contention fabric's link
+    /// serialization derives from it too, unless a
+    /// [`ContentionParams`](crate::ContentionParams) override is given
+    /// explicitly — a loaded model can never disagree with itself across
+    /// the latency and contention paths.
     pub byte_ps: u64,
+    /// Wire size of a control message (steal request / refusal), bytes.
+    pub ctrl_bytes: u64,
+    /// Per-message header added to payload replies, bytes.
+    pub header_bytes: u64,
     /// Initial idle backoff (doubles per round, capped ×64).
     pub idle_backoff_ns: u64,
 }
@@ -84,6 +118,8 @@ impl CostModel {
             // Cross-socket steal premium (QPI hop + coherence misses).
             cross_level_ns: 150,
             byte_ps: 667,
+            ctrl_bytes: 64,
+            header_bytes: 64,
             idle_backoff_ns: 500,
         }
     }
@@ -126,6 +162,276 @@ impl CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel::woodcrest_ib(2_000)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The codec.
+
+/// First line of every model file; the version suffix lets the format
+/// evolve without silently misreading old files.
+const HEADER: &str = "macs-cost-model v1";
+
+/// Why a cost-model file could not be read or parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CostModelError {
+    /// The first non-blank line is not `macs-cost-model v1`.
+    MissingHeader,
+    /// A line is not `key = value` (nor a comment/blank).
+    BadLine { line: usize, text: String },
+    /// A key this version does not know.
+    UnknownKey { line: usize, key: String },
+    /// The same key given twice.
+    DuplicateKey { line: usize, key: String },
+    /// A value that does not parse for its key.
+    BadValue {
+        line: usize,
+        key: String,
+        value: String,
+    },
+    /// A latency/size that parses but is negative — never meaningful.
+    NegativeValue {
+        line: usize,
+        key: String,
+        value: String,
+    },
+    /// A required key never appeared (a model must be total: silently
+    /// defaulting a missing latency would defeat calibration).
+    MissingField { key: &'static str },
+    /// The file could not be read or written.
+    Io { path: String, detail: String },
+}
+
+impl fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModelError::MissingHeader => {
+                write!(f, "cost model file must start with {HEADER:?}")
+            }
+            CostModelError::BadLine { line, text } => {
+                write!(f, "line {line}: expected `key = value`, got {text:?}")
+            }
+            CostModelError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown cost-model key {key:?}")
+            }
+            CostModelError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: duplicate key {key:?}")
+            }
+            CostModelError::BadValue { line, key, value } => {
+                write!(f, "line {line}: bad value {value:?} for {key}")
+            }
+            CostModelError::NegativeValue { line, key, value } => {
+                write!(f, "line {line}: negative value {value} for {key}")
+            }
+            CostModelError::MissingField { key } => {
+                write!(f, "cost model is missing required key {key:?}")
+            }
+            CostModelError::Io { path, detail } => write!(f, "cost model {path}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CostModelError {}
+
+/// The numeric (plain `u64`) fields, in canonical emit order. `node` is
+/// handled separately (it is an enum).
+const NUMERIC_KEYS: [&str; 15] = [
+    "pool_op_ns",
+    "release_ns",
+    "steal_local_ns",
+    "per_item_ns",
+    "poll_ns",
+    "find_remote_ns",
+    "post_request_ns",
+    "write_response_ns",
+    "remote_latency_ns",
+    "level_hop_factor",
+    "cross_level_ns",
+    "byte_ps",
+    "ctrl_bytes",
+    "header_bytes",
+    "idle_backoff_ns",
+];
+
+impl CostModel {
+    fn numeric(&self, key: &str) -> u64 {
+        match key {
+            "pool_op_ns" => self.pool_op_ns,
+            "release_ns" => self.release_ns,
+            "steal_local_ns" => self.steal_local_ns,
+            "per_item_ns" => self.per_item_ns,
+            "poll_ns" => self.poll_ns,
+            "find_remote_ns" => self.find_remote_ns,
+            "post_request_ns" => self.post_request_ns,
+            "write_response_ns" => self.write_response_ns,
+            "remote_latency_ns" => self.remote_latency_ns,
+            "level_hop_factor" => self.level_hop_factor,
+            "cross_level_ns" => self.cross_level_ns,
+            "byte_ps" => self.byte_ps,
+            "ctrl_bytes" => self.ctrl_bytes,
+            "header_bytes" => self.header_bytes,
+            "idle_backoff_ns" => self.idle_backoff_ns,
+            _ => unreachable!("numeric() called with unknown key {key}"),
+        }
+    }
+
+    fn set_numeric(&mut self, key: &str, v: u64) {
+        match key {
+            "pool_op_ns" => self.pool_op_ns = v,
+            "release_ns" => self.release_ns = v,
+            "steal_local_ns" => self.steal_local_ns = v,
+            "per_item_ns" => self.per_item_ns = v,
+            "poll_ns" => self.poll_ns = v,
+            "find_remote_ns" => self.find_remote_ns = v,
+            "post_request_ns" => self.post_request_ns = v,
+            "write_response_ns" => self.write_response_ns = v,
+            "remote_latency_ns" => self.remote_latency_ns = v,
+            "level_hop_factor" => self.level_hop_factor = v,
+            "cross_level_ns" => self.cross_level_ns = v,
+            "byte_ps" => self.byte_ps = v,
+            "ctrl_bytes" => self.ctrl_bytes = v,
+            "header_bytes" => self.header_bytes = v,
+            "idle_backoff_ns" => self.idle_backoff_ns = v,
+            _ => unreachable!("set_numeric() called with unknown key {key}"),
+        }
+    }
+
+    /// Read a model file from disk (the `calibrate` output, or a
+    /// hand-edited scenario).
+    pub fn load(path: &Path) -> Result<CostModel, CostModelError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CostModelError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        text.parse()
+    }
+
+    /// Write the canonical emit (the `Display` form) to disk.
+    pub fn save(&self, path: &Path) -> Result<(), CostModelError> {
+        std::fs::write(path, self.to_string()).map_err(|e| CostModelError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for CostModel {
+    /// The canonical emit: header, `node`, then every numeric field in
+    /// `NUMERIC_KEYS` order. `parse(emit(m)) == m` for every model.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{HEADER}")?;
+        match self.node {
+            NodeCost::Fixed { ns, jitter_pct } => writeln!(f, "node = fixed:{ns},{jitter_pct}")?,
+            NodeCost::Measured { num, den } => writeln!(f, "node = measured:{num},{den}")?,
+        }
+        for key in NUMERIC_KEYS {
+            writeln!(f, "{key} = {}", self.numeric(key))?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse a non-negative integer no wider than `max`, distinguishing
+/// "negative" from "unparseable" for the error taxonomy.
+fn parse_value(line: usize, key: &str, value: &str, max: u64) -> Result<u64, CostModelError> {
+    let bad = || CostModelError::BadValue {
+        line,
+        key: key.to_string(),
+        value: value.to_string(),
+    };
+    let n: i128 = value.trim().parse().map_err(|_| bad())?;
+    if n < 0 {
+        return Err(CostModelError::NegativeValue {
+            line,
+            key: key.to_string(),
+            value: value.trim().to_string(),
+        });
+    }
+    if n > max as i128 {
+        return Err(bad());
+    }
+    Ok(n as u64)
+}
+
+impl FromStr for CostModel {
+    type Err = CostModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut lines = s.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+        match lines.find(|(_, l)| !l.is_empty() && !l.starts_with('#')) {
+            Some((_, l)) if l == HEADER => {}
+            _ => return Err(CostModelError::MissingHeader),
+        }
+
+        let mut model = CostModel::default();
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut node_seen = false;
+        for (line, text) in lines {
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let text = text.split('#').next().unwrap().trim();
+            let Some((key, value)) = text.split_once('=') else {
+                return Err(CostModelError::BadLine {
+                    line,
+                    text: text.to_string(),
+                });
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key == "node" {
+                if node_seen {
+                    return Err(CostModelError::DuplicateKey {
+                        line,
+                        key: key.to_string(),
+                    });
+                }
+                node_seen = true;
+                let bad = || CostModelError::BadValue {
+                    line,
+                    key: key.to_string(),
+                    value: value.to_string(),
+                };
+                let (kind, args) = value.split_once(':').ok_or_else(bad)?;
+                let (a, b) = args.split_once(',').ok_or_else(bad)?;
+                model.node = match kind.trim() {
+                    "fixed" => NodeCost::Fixed {
+                        ns: parse_value(line, "node.ns", a, u64::MAX)?,
+                        jitter_pct: parse_value(line, "node.jitter_pct", b, 100)? as u8,
+                    },
+                    "measured" => NodeCost::Measured {
+                        num: parse_value(line, "node.num", a, u64::MAX)?,
+                        den: parse_value(line, "node.den", b, u64::MAX)?.max(1),
+                    },
+                    _ => return Err(bad()),
+                };
+                continue;
+            }
+            let Some(&canon) = NUMERIC_KEYS.iter().find(|&&k| k == key) else {
+                return Err(CostModelError::UnknownKey {
+                    line,
+                    key: key.to_string(),
+                });
+            };
+            if seen.contains(&canon) {
+                return Err(CostModelError::DuplicateKey {
+                    line,
+                    key: key.to_string(),
+                });
+            }
+            seen.push(canon);
+            let v = parse_value(line, key, value, u64::MAX)?;
+            model.set_numeric(canon, v);
+        }
+
+        if !node_seen {
+            return Err(CostModelError::MissingField { key: "node" });
+        }
+        for key in NUMERIC_KEYS {
+            if !seen.contains(&key) {
+                return Err(CostModelError::MissingField { key });
+            }
+        }
+        Ok(model)
     }
 }
 

@@ -35,7 +35,7 @@ use macs_runtime::{
 use macs_search::{AdaptiveBatch, WorkBatch};
 use macs_topo::{NodeRing, PeerRing};
 
-use crate::cost::{CostModel, NodeCost};
+use crate::cost::{CostModel, CostModelError, NodeCost};
 use crate::fabric::{FabricModel, NetFabric};
 use crate::incumbent::{BoundFabric, SimIncumbent};
 use crate::report::{SimReport, SimWorkerStats};
@@ -116,6 +116,22 @@ impl SimConfig {
     /// The paper's cluster shape at `total` virtual cores (4 per node).
     pub fn paper_cluster(total: usize) -> Self {
         SimConfig::new(Topology::clustered(total, 4))
+    }
+
+    /// Replace the cost model with one loaded from a `calibrate`-emitted
+    /// (or hand-written) model file. Every consumer — node charging,
+    /// steal pricing, the contention fabric's wire constants, bound
+    /// propagation — reads from the loaded model; nothing falls back to
+    /// the built-in constants.
+    pub fn load_cost_model(&mut self, path: &std::path::Path) -> Result<(), CostModelError> {
+        self.costs = CostModel::load(path)?;
+        Ok(())
+    }
+
+    /// Builder form of [`SimConfig::load_cost_model`].
+    pub fn with_cost_model(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
     }
 }
 
@@ -1612,7 +1628,7 @@ where
         seq: 0,
         outstanding: 0,
         fabric: Rc::clone(&fabric),
-        net: NetFabric::new(cfg.fabric, cfg.topology.nodes()),
+        net: NetFabric::new(cfg.fabric, cfg.topology.nodes(), &cfg.costs),
         win: None,
         win_seen: vec![u64::MAX; n],
         winner_fabric,

@@ -21,26 +21,45 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::str::FromStr;
 
-/// Capacity parameters of one link direction under
-/// [`FabricModel::Contention`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+use crate::cost::CostModel;
+
+/// Capacity *overrides* for [`FabricModel::Contention`]. Every `None`
+/// field resolves from the run's [`CostModel`] — `byte_ps`,
+/// `ctrl_bytes`, `header_bytes` — so the contention fabric and the flat
+/// latency path price bytes from one source of truth and a loaded model
+/// can never disagree with itself. (Before PR 10 this struct carried its
+/// own copies of all three defaults; a calibrated `byte_ps` would have
+/// silently left the contention links at the old constant.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ContentionParams {
     /// Serialization cost per byte on a node's uplink/downlink, in
-    /// picoseconds (667 ≙ ~1.5 GB/s, matching the flat model's
-    /// per-byte transfer cost).
+    /// picoseconds; `None` = the cost model's `byte_ps`.
+    pub link_byte_ps: Option<u64>,
+    /// Wire size of a control message, bytes; `None` = the cost model's
+    /// `ctrl_bytes`.
+    pub ctrl_bytes: Option<u64>,
+    /// Per-message header added to payload replies, bytes; `None` = the
+    /// cost model's `header_bytes`.
+    pub header_bytes: Option<u64>,
+}
+
+/// The fully-resolved wire parameters a simulation actually runs with:
+/// the cost model's values with any [`ContentionParams`] overrides
+/// applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireParams {
     pub link_byte_ps: u64,
-    /// Wire size of a control message (steal request / refusal), bytes.
     pub ctrl_bytes: u64,
-    /// Per-message header added to payload replies, bytes.
     pub header_bytes: u64,
 }
 
-impl Default for ContentionParams {
-    fn default() -> Self {
-        ContentionParams {
-            link_byte_ps: 667,
-            ctrl_bytes: 64,
-            header_bytes: 64,
+impl ContentionParams {
+    /// Apply the overrides to a cost model's wire constants.
+    pub fn resolve(&self, costs: &CostModel) -> WireParams {
+        WireParams {
+            link_byte_ps: self.link_byte_ps.unwrap_or(costs.byte_ps),
+            ctrl_bytes: self.ctrl_bytes.unwrap_or(costs.ctrl_bytes),
+            header_bytes: self.header_bytes.unwrap_or(costs.header_bytes),
         }
     }
 }
@@ -70,16 +89,25 @@ impl fmt::Display for FabricModel {
         match self {
             FabricModel::Latency => write!(f, "latency"),
             FabricModel::Contention(p) => {
-                let d = ContentionParams::default();
-                if *p == d {
-                    write!(f, "contention")
-                } else {
-                    write!(
-                        f,
-                        "contention:{},{},{}",
-                        p.link_byte_ps, p.ctrl_bytes, p.header_bytes
-                    )
+                if *p == ContentionParams::default() {
+                    return write!(f, "contention");
                 }
+                // Positional emit, trailing unset fields trimmed; an
+                // unset field between set ones prints empty
+                // (`contention:,32`), which `FromStr` reads back as
+                // `None` — round-trip by construction.
+                let fields = [p.link_byte_ps, p.ctrl_bytes, p.header_bytes];
+                let last = fields.iter().rposition(|f| f.is_some()).unwrap();
+                write!(f, "contention:")?;
+                for (i, field) in fields[..=last].iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    if let Some(v) = field {
+                        write!(f, "{v}")?;
+                    }
+                }
+                Ok(())
             }
         }
     }
@@ -88,7 +116,9 @@ impl fmt::Display for FabricModel {
 impl FromStr for FabricModel {
     type Err = String;
 
-    /// `latency`, `contention`, or `contention:BYTE_PS[,CTRL[,HDR]]`.
+    /// `latency`, `contention`, or `contention:BYTE_PS[,CTRL[,HDR]]` —
+    /// an empty positional field (e.g. `contention:,32`) leaves that
+    /// parameter to the cost model.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "latency" | "flat" => Ok(FabricModel::Latency),
@@ -99,15 +129,18 @@ impl FromStr for FabricModel {
                     .ok_or_else(|| format!("unknown fabric model {s:?}"))?;
                 let mut p = ContentionParams::default();
                 let mut it = rest.split(',');
-                let field = |v: Option<&str>, cur: u64| -> Result<u64, String> {
-                    match v {
-                        None => Ok(cur),
-                        Some(x) => x.parse().map_err(|_| format!("bad fabric field {x:?}")),
+                let field = |v: Option<&str>| -> Result<Option<u64>, String> {
+                    match v.map(str::trim) {
+                        None | Some("") => Ok(None),
+                        Some(x) => x
+                            .parse()
+                            .map(Some)
+                            .map_err(|_| format!("bad fabric field {x:?}")),
                     }
                 };
-                p.link_byte_ps = field(it.next(), p.link_byte_ps)?;
-                p.ctrl_bytes = field(it.next(), p.ctrl_bytes)?;
-                p.header_bytes = field(it.next(), p.header_bytes)?;
+                p.link_byte_ps = field(it.next())?;
+                p.ctrl_bytes = field(it.next())?;
+                p.header_bytes = field(it.next())?;
                 if it.next().is_some() {
                     return Err(format!("too many fabric fields in {s:?}"));
                 }
@@ -172,6 +205,9 @@ pub struct FabricReport {
 #[derive(Clone, Debug)]
 pub(crate) struct NetFabric {
     model: FabricModel,
+    /// Wire constants resolved against the run's cost model (the single
+    /// source of truth for per-byte pricing and message sizes).
+    wire: WireParams,
     /// `links[2n]` = node `n`'s egress (uplink), `links[2n+1]` = ingress.
     links: Vec<Link>,
     injected: u64,
@@ -181,13 +217,14 @@ pub(crate) struct NetFabric {
 }
 
 impl NetFabric {
-    pub fn new(model: FabricModel, nodes: usize) -> Self {
-        let links = match model {
-            FabricModel::Latency => Vec::new(),
-            FabricModel::Contention(_) => vec![Link::default(); 2 * nodes],
+    pub fn new(model: FabricModel, nodes: usize, costs: &CostModel) -> Self {
+        let (links, wire) = match model {
+            FabricModel::Latency => (Vec::new(), ContentionParams::default().resolve(costs)),
+            FabricModel::Contention(p) => (vec![Link::default(); 2 * nodes], p.resolve(costs)),
         };
         NetFabric {
             model,
+            wire,
             links,
             injected: 0,
             delivered: 0,
@@ -196,11 +233,8 @@ impl NetFabric {
         }
     }
 
-    pub fn params(&self) -> ContentionParams {
-        match self.model {
-            FabricModel::Latency => ContentionParams::default(),
-            FabricModel::Contention(p) => p,
-        }
+    pub fn params(&self) -> WireParams {
+        self.wire
     }
 
     /// Price one remote message sent at `now`: `bytes` on the wire,
@@ -219,8 +253,8 @@ impl NetFabric {
         self.injected += 1;
         match self.model {
             FabricModel::Latency => now + prop_ns + flat_extra_ns,
-            FabricModel::Contention(p) => {
-                let ser = p.link_byte_ps.saturating_mul(bytes) / 1000;
+            FabricModel::Contention(_) => {
+                let ser = self.wire.link_byte_ps.saturating_mul(bytes) / 1000;
                 let (out, w1) = self.links[2 * from_node].enqueue(now, ser);
                 let at_ingress = out + prop_ns;
                 let (arrival, w2) = self.links[2 * to_node + 1].enqueue(at_ingress, ser);
@@ -261,7 +295,7 @@ mod tests {
 
     #[test]
     fn latency_model_is_flat() {
-        let mut f = NetFabric::new(FabricModel::Latency, 4);
+        let mut f = NetFabric::new(FabricModel::Latency, 4, &CostModel::default());
         // Arrival is now + propagation + flat transfer, independent of load.
         for _ in 0..100 {
             assert_eq!(f.send(0, 1, 64, 2_000, 0, 10), 2_010);
@@ -275,11 +309,11 @@ mod tests {
     #[test]
     fn contention_queues_fifo_behind_busy_links() {
         let p = ContentionParams {
-            link_byte_ps: 1_000_000, // 1 µs per byte: easy arithmetic
-            ctrl_bytes: 64,
-            header_bytes: 0,
+            link_byte_ps: Some(1_000_000), // 1 µs per byte: easy arithmetic
+            ctrl_bytes: Some(64),
+            header_bytes: Some(0),
         };
-        let mut f = NetFabric::new(FabricModel::Contention(p), 2);
+        let mut f = NetFabric::new(FabricModel::Contention(p), 2, &CostModel::default());
         // 10-byte message = 10 µs serialization per link direction.
         let a1 = f.send(0, 1, 10, 500, 0, 0);
         assert_eq!(a1, 10_000 + 500 + 10_000);
@@ -296,8 +330,9 @@ mod tests {
     #[test]
     fn storm_backpressure_grows_with_thieves() {
         let p = ContentionParams::default();
-        let mut small = NetFabric::new(FabricModel::Contention(p), 8);
-        let mut big = NetFabric::new(FabricModel::Contention(p), 8);
+        let costs = CostModel::default();
+        let mut small = NetFabric::new(FabricModel::Contention(p), 8, &costs);
+        let mut big = NetFabric::new(FabricModel::Contention(p), 8, &costs);
         // 10 vs 10_000 thieves all hitting node 0's ingress at t=0.
         let last_small = (0..10)
             .map(|s| small.send(1 + s % 7, 0, 64, 2_000, 0, 0))
@@ -324,7 +359,7 @@ mod tests {
             FabricModel::Contention(p) => {
                 assert_eq!(
                     (p.link_byte_ps, p.ctrl_bytes, p.header_bytes),
-                    (1000, 32, 16)
+                    (Some(1000), Some(32), Some(16))
                 );
             }
             _ => panic!(),
@@ -333,5 +368,21 @@ mod tests {
         assert_eq!(FabricModel::Latency.to_string(), "latency");
         assert!("warp".parse::<FabricModel>().is_err());
         assert!("contention:a".parse::<FabricModel>().is_err());
+
+        // Partial overrides: unset fields stay on the cost model, and
+        // Display/FromStr round-trip every combination.
+        for s in ["contention:1000", "contention:,32", "contention:,,16"] {
+            let m: FabricModel = s.parse().unwrap();
+            assert_eq!(m.to_string(), s, "positional round-trip");
+            assert_eq!(m.to_string().parse::<FabricModel>().unwrap(), m);
+        }
+        let costs = CostModel::default();
+        let FabricModel::Contention(p) = "contention:,32".parse().unwrap() else {
+            panic!()
+        };
+        let w = p.resolve(&costs);
+        assert_eq!(w.link_byte_ps, costs.byte_ps, "unset → cost model");
+        assert_eq!(w.ctrl_bytes, 32, "set → override");
+        assert_eq!(w.header_bytes, costs.header_bytes);
     }
 }

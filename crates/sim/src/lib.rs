@@ -77,9 +77,9 @@ pub mod fabric;
 pub mod incumbent;
 pub mod report;
 
-pub use cost::{CostModel, NodeCost};
+pub use cost::{CostModel, CostModelError, NodeCost};
 pub use engine_sim::{simulate_macs, simulate_paccs, SimConfig, SimMode};
-pub use fabric::{ContentionParams, FabricModel, FabricReport};
+pub use fabric::{ContentionParams, FabricModel, FabricReport, WireParams};
 pub use incumbent::{BoundFabric, SimIncumbent};
 pub use macs_search::{BoundPolicy, ChunkPolicy, SearchMode};
 pub use report::{SimReport, SimWorkerStats};

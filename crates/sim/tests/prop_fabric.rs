@@ -50,8 +50,9 @@ fn assert_conservation<O>(r: &SimReport<O>, what: &str) {
         // Depth bound: every queued message occupies at least one control
         // message's serialization on its link, and all of it inside the
         // run's horizon — so depth can never exceed horizon/ser + 1.
-        let p = ContentionParams::default();
-        let ser = (p.link_byte_ps * p.ctrl_bytes / 1000).max(1);
+        // Wire constants resolve from the cost model the storms run with.
+        let w = ContentionParams::default().resolve(&CostModel::paper_queens());
+        let ser = (w.link_byte_ps * w.ctrl_bytes / 1000).max(1);
         let bound = r.makespan_ns / ser + 1;
         assert!(
             r.fabric.max_link_depth <= bound,
@@ -143,7 +144,7 @@ fn contention_parameters_scale_the_pressure() {
     // A 100× slower link must produce at least as much queueing delay as
     // the default — the knob actually reaches the model.
     let slow = FabricModel::Contention(ContentionParams {
-        link_byte_ps: 66_700,
+        link_byte_ps: Some(66_700),
         ..ContentionParams::default()
     });
     let fast = storm(SimMode::Macs, 2_048, "contention".parse().unwrap(), 0x51D);

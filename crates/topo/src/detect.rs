@@ -1,0 +1,360 @@
+//! Topology discovery: parse Linux sysfs into a [`MachineTopology`].
+//!
+//! Every shape in this codebase so far was hand-declared. This module
+//! reads the machine the process is actually running on —
+//! `/sys/devices/system/cpu/cpu*/topology/{physical_package_id,core_id}`
+//! for the package/core layout and `/sys/devices/system/node/node*` for
+//! the NUMA domains — and builds the mixed-radix shape the rest of the
+//! stack already understands, plus the worker → OS-CPU map that thread
+//! pinning and the `calibrate` harness need.
+//!
+//! The parser takes the sysfs *root* as a parameter so committed fixture
+//! trees exercise every path offline (see `crates/topo/tests/`); the
+//! real entry points pass `/sys`. All failures are typed [`TopoError`]s —
+//! a malformed or missing file can never panic — and the convenience
+//! [`MachineTopology::detect`] falls back to a flat shape when sysfs is
+//! absent or unparseable (non-Linux hosts, containers with a masked
+//! `/sys`).
+//!
+//! Conventions:
+//!
+//! * **Hyperthread siblings are deduplicated**: one worker per *physical*
+//!   core (same `(package, core_id)` pair), pinned to the lowest-numbered
+//!   sibling CPU. The paper's model — and every cost in the simulator —
+//!   is per core, not per hardware thread.
+//! * **The whole host is one shared-memory node** (`node_prefix = 0`):
+//!   NUMA domains and packages become *levels* of the shape, so
+//!   `distance()` separates same-package from cross-package from
+//!   cross-NUMA steals, but nothing on one host crosses the GPI fabric.
+//! * Levels of extent 1 are elided (a 1-package 8-core laptop detects as
+//!   the flat shape `[8]`, not `[1, 1, 8]`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::machine::{MachineTopology, TopoError};
+
+/// A detected machine: the shape plus the worker → OS-CPU assignment
+/// (worker `w` runs on CPU `cpus[w]`, the lowest-numbered hyperthread
+/// sibling of its physical core).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectedMachine {
+    pub topo: MachineTopology,
+    pub cpus: Vec<u32>,
+}
+
+impl DetectedMachine {
+    /// The fallback when sysfs is unavailable: a flat shape of
+    /// `std::thread::available_parallelism()` workers (1 if even that is
+    /// unknown) with the identity CPU map.
+    pub fn flat_fallback() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        DetectedMachine {
+            topo: MachineTopology::flat(n),
+            cpus: (0..n as u32).collect(),
+        }
+    }
+}
+
+/// Detect the host machine from `/sys`. Errors are typed; callers who
+/// just want *a* shape use [`MachineTopology::detect`] instead.
+pub fn detect_machine() -> Result<DetectedMachine, TopoError> {
+    detect_machine_at(Path::new("/sys"))
+}
+
+/// Detect a machine from a sysfs tree rooted at `root` (the testable
+/// entry point: fixture trees stand in for `/sys`).
+pub fn detect_machine_at(root: &Path) -> Result<DetectedMachine, TopoError> {
+    let cpu_dir = root.join("devices/system/cpu");
+    let cpu_ids = numbered_entries(&cpu_dir, "cpu")?;
+    if cpu_ids.is_empty() {
+        return Err(TopoError::NoCpus);
+    }
+
+    // NUMA domains, if the tree has any: CPU → node from each node's
+    // cpulist. Memory-only nodes (empty cpulist) are skipped.
+    let node_of_cpu = numa_map(root)?;
+
+    // One worker per physical core: dedup hyperthread siblings by
+    // (package, core_id), keeping the lowest-numbered CPU.
+    // (numa, package, core_id) -> representative cpu
+    let mut cores: Vec<(u32, i64, i64, u32)> = Vec::new();
+    for &cpu in &cpu_ids {
+        let topo = cpu_dir.join(format!("cpu{cpu}/topology"));
+        let pkg = read_id(&topo.join("physical_package_id"))?;
+        let core = read_id(&topo.join("core_id"))?;
+        let numa = match &node_of_cpu {
+            Some(map) => *map.iter().find(|(c, _)| *c == cpu).map(|(_, n)| n).ok_or(
+                TopoError::SysfsParse {
+                    path: format!("{}/devices/system/node", root.display()),
+                    value: format!("cpu{cpu} missing from every node's cpulist"),
+                },
+            )?,
+            None => 0,
+        };
+        match cores
+            .iter_mut()
+            .find(|(n, p, c, _)| *n == numa && *p == pkg && *c == core)
+        {
+            Some(entry) => entry.3 = entry.3.min(cpu),
+            None => cores.push((numa, pkg, core, cpu)),
+        }
+    }
+
+    // Dense worker IDs follow (numa, package, core) order, which is the
+    // mixed-radix digit order of the shape built below.
+    cores.sort_unstable();
+
+    // Regularity: every NUMA domain holds the same number of packages,
+    // every package the same number of cores — otherwise the mixed-radix
+    // shape cannot describe the machine.
+    let numa_count = count_distinct(cores.iter().map(|c| c.0));
+    let mut pkgs_per_numa = Vec::new();
+    let mut cores_per_pkg = Vec::new();
+    {
+        let mut i = 0;
+        while i < cores.len() {
+            let numa = cores[i].0;
+            let mut pkgs = 0usize;
+            while i < cores.len() && cores[i].0 == numa {
+                let pkg = cores[i].1;
+                let mut n = 0usize;
+                while i < cores.len() && cores[i].0 == numa && cores[i].1 == pkg {
+                    n += 1;
+                    i += 1;
+                }
+                cores_per_pkg.push(n);
+                pkgs += 1;
+            }
+            pkgs_per_numa.push(pkgs);
+        }
+    }
+    if pkgs_per_numa.iter().any(|&p| p != pkgs_per_numa[0]) {
+        return Err(TopoError::IrregularLayout {
+            detail: format!("packages per NUMA node differ: {pkgs_per_numa:?}"),
+        });
+    }
+    if cores_per_pkg.iter().any(|&c| c != cores_per_pkg[0]) {
+        return Err(TopoError::IrregularLayout {
+            detail: format!("cores per package differ: {cores_per_pkg:?}"),
+        });
+    }
+
+    // Shape levels outermost-first, extent-1 levels elided; the whole
+    // host is one shared-memory node (`node_prefix = 0`).
+    let mut shape = Vec::new();
+    if numa_count > 1 {
+        shape.push(numa_count);
+    }
+    if pkgs_per_numa[0] > 1 {
+        shape.push(pkgs_per_numa[0]);
+    }
+    shape.push(cores_per_pkg[0]);
+    let topo = MachineTopology::try_new(&shape, 0)?;
+    debug_assert_eq!(topo.total_workers(), cores.len());
+    Ok(DetectedMachine {
+        topo,
+        cpus: cores.into_iter().map(|c| c.3).collect(),
+    })
+}
+
+impl MachineTopology {
+    /// The host machine's shape, or the flat fallback when sysfs is
+    /// unavailable or unparseable. Never fails; use
+    /// [`detect_machine`] to see *why* detection fell back, and for the
+    /// worker → CPU map.
+    pub fn detect() -> MachineTopology {
+        detect_machine()
+            .map(|d| d.topo)
+            .unwrap_or_else(|_| DetectedMachine::flat_fallback().topo)
+    }
+}
+
+/// Numeric suffixes of `prefix<N>` entries under `dir`, sorted. A missing
+/// directory is a [`TopoError::SysfsRead`].
+fn numbered_entries(dir: &Path, prefix: &str) -> Result<Vec<u32>, TopoError> {
+    let entries = fs::read_dir(dir).map_err(|_| TopoError::SysfsRead {
+        path: dir.display().to_string(),
+    })?;
+    let mut ids = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix(prefix)) else {
+            continue;
+        };
+        if !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(id) = rest.parse() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// `(cpu, numa node)` pairs from `devices/system/node/node*/cpulist`, or
+/// `None` when the tree has no node directory at all (no NUMA
+/// information — treat as one domain).
+#[allow(clippy::type_complexity)]
+fn numa_map(root: &Path) -> Result<Option<Vec<(u32, u32)>>, TopoError> {
+    let node_dir = root.join("devices/system/node");
+    if !node_dir.is_dir() {
+        return Ok(None);
+    }
+    let nodes = numbered_entries(&node_dir, "node")?;
+    if nodes.is_empty() {
+        return Ok(None);
+    }
+    let mut map = Vec::new();
+    for node in nodes {
+        let path = node_dir.join(format!("node{node}/cpulist"));
+        let list = read_trim(&path)?;
+        for cpu in parse_cpulist(&list, &path)? {
+            map.push((cpu, node));
+        }
+    }
+    Ok(Some(map))
+}
+
+/// Parse a sysfs cpulist (`0-3,8,10-11`); empty lists are legal
+/// (memory-only NUMA nodes).
+fn parse_cpulist(list: &str, path: &Path) -> Result<Vec<u32>, TopoError> {
+    let bad = |value: &str| TopoError::SysfsParse {
+        path: path.display().to_string(),
+        value: value.to_string(),
+    };
+    let mut cpus = Vec::new();
+    for tok in list.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        match tok.split_once('-') {
+            Some((a, b)) => {
+                let a: u32 = a.trim().parse().map_err(|_| bad(tok))?;
+                let b: u32 = b.trim().parse().map_err(|_| bad(tok))?;
+                if a > b {
+                    return Err(bad(tok));
+                }
+                cpus.extend(a..=b);
+            }
+            None => cpus.push(tok.parse().map_err(|_| bad(tok))?),
+        }
+    }
+    Ok(cpus)
+}
+
+fn read_trim(path: &Path) -> Result<String, TopoError> {
+    fs::read_to_string(path)
+        .map(|s| s.trim().to_string())
+        .map_err(|_| TopoError::SysfsRead {
+            path: path.display().to_string(),
+        })
+}
+
+/// A topology id file: non-negative integer (sysfs reports `-1` for
+/// "unknown", which detection treats as unparseable — the caller falls
+/// back to the flat shape).
+fn read_id(path: &Path) -> Result<i64, TopoError> {
+    let v = read_trim(path)?;
+    let id: i64 = v.parse().map_err(|_| TopoError::SysfsParse {
+        path: path.display().to_string(),
+        value: v.clone(),
+    })?;
+    if id < 0 {
+        return Err(TopoError::SysfsParse {
+            path: path.display().to_string(),
+            value: v,
+        });
+    }
+    Ok(id)
+}
+
+fn count_distinct(it: impl Iterator<Item = u32>) -> usize {
+    let mut seen: Vec<u32> = it.collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Build a synthetic sysfs tree describing `numa × packages × cores`
+/// physical cores with `threads` hyperthread siblings each, under
+/// `root`. Sibling CPUs are enumerated the way Linux does: all first
+/// threads, then all second threads. Used by the fixture/property tests
+/// and usable by downstream harnesses to fabricate machines.
+pub fn write_fixture_tree(
+    root: &Path,
+    numa: usize,
+    packages: usize,
+    cores: usize,
+    threads: usize,
+) -> std::io::Result<PathBuf> {
+    let cpu_dir = root.join("devices/system/cpu");
+    let phys = numa * packages * cores;
+    for t in 0..threads.max(1) {
+        for p in 0..numa * packages {
+            for c in 0..cores {
+                let cpu = t * phys + p * cores + c;
+                let topo = cpu_dir.join(format!("cpu{cpu}/topology"));
+                fs::create_dir_all(&topo)?;
+                fs::write(topo.join("physical_package_id"), format!("{p}\n"))?;
+                fs::write(topo.join("core_id"), format!("{c}\n"))?;
+            }
+        }
+    }
+    if numa > 1 {
+        let per_numa = packages * cores;
+        for n in 0..numa {
+            let dir = root.join(format!("devices/system/node/node{n}"));
+            fs::create_dir_all(&dir)?;
+            let mut ranges: Vec<String> =
+                vec![format!("{}-{}", n * per_numa, (n + 1) * per_numa - 1)];
+            for t in 1..threads {
+                ranges.push(format!(
+                    "{}-{}",
+                    t * phys + n * per_numa,
+                    t * phys + (n + 1) * per_numa - 1
+                ));
+            }
+            fs::write(dir.join("cpulist"), format!("{}\n", ranges.join(",")))?;
+        }
+    }
+    Ok(root.to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_parses_ranges_and_singles() {
+        let p = Path::new("x");
+        assert_eq!(
+            parse_cpulist("0-3,8,10-11", p).unwrap(),
+            vec![0, 1, 2, 3, 8, 10, 11]
+        );
+        assert_eq!(parse_cpulist("", p).unwrap(), Vec::<u32>::new());
+        assert_eq!(parse_cpulist("5", p).unwrap(), vec![5]);
+        assert!(parse_cpulist("3-1", p).is_err());
+        assert!(parse_cpulist("a-b", p).is_err());
+    }
+
+    #[test]
+    fn fallback_is_flat_with_identity_map() {
+        let d = DetectedMachine::flat_fallback();
+        assert_eq!(d.topo.levels(), 1);
+        assert_eq!(d.topo.nodes(), 1);
+        assert_eq!(d.cpus.len(), d.topo.total_workers());
+        assert_eq!(d.cpus.first(), Some(&0));
+    }
+
+    #[test]
+    fn detect_never_panics() {
+        // Whatever the host looks like, detect() hands back *a* machine.
+        let t = MachineTopology::detect();
+        assert!(t.total_workers() >= 1);
+        assert_eq!(t.nodes(), 1, "one host = one shared-memory node");
+    }
+}

@@ -81,10 +81,12 @@
 //! # Ok::<(), macs_topo::TopoError>(())
 //! ```
 
+pub mod detect;
 pub mod histogram;
 pub mod machine;
 pub mod victim;
 
+pub use detect::{detect_machine, detect_machine_at, DetectedMachine};
 pub use histogram::StealHistogram;
 pub use machine::{MachineTopology, NodeRing, PeerRing, TopoError, MAX_LEVELS};
 pub use victim::{Ring, ScanOrder, VictimOrder};

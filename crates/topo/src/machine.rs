@@ -25,6 +25,15 @@ pub enum TopoError {
     /// `clustered(total, cores_per_node)` needs `total` divisible by the
     /// node size.
     NotDivisible { total: usize, cores_per_node: usize },
+    /// Topology detection could not read a sysfs file or directory.
+    SysfsRead { path: String },
+    /// Topology detection read a sysfs file it could not make sense of.
+    SysfsParse { path: String, value: String },
+    /// The detected core layout is not a uniform mixed-radix shape
+    /// (e.g. sockets with differing core counts).
+    IrregularLayout { detail: String },
+    /// The sysfs tree lists no CPUs at all.
+    NoCpus,
 }
 
 impl fmt::Display for TopoError {
@@ -52,6 +61,14 @@ impl fmt::Display for TopoError {
                 f,
                 "worker count {total} not a multiple of node size {cores_per_node}"
             ),
+            TopoError::SysfsRead { path } => write!(f, "cannot read sysfs entry {path}"),
+            TopoError::SysfsParse { path, value } => {
+                write!(f, "cannot parse sysfs entry {path}: {value:?}")
+            }
+            TopoError::IrregularLayout { detail } => {
+                write!(f, "machine layout is not mixed-radix: {detail}")
+            }
+            TopoError::NoCpus => write!(f, "sysfs tree lists no CPUs"),
         }
     }
 }

@@ -1,0 +1,167 @@
+//! The sysfs parser against committed fixture trees (correct shapes,
+//! hyperthread dedup, typed errors on malformed/missing entries — never a
+//! panic) plus a seeded property test that `detect`-built machines
+//! satisfy the same index-math invariants `prop_topo` pins for
+//! hand-declared shapes.
+
+use std::path::{Path, PathBuf};
+
+use macs_topo::detect::write_fixture_tree;
+use macs_topo::{detect_machine_at, MachineTopology, TopoError};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn two_socket_four_core_detects_two_levels() {
+    let m = detect_machine_at(&fixture("two_socket")).unwrap();
+    assert_eq!(m.topo.shape(), &[2, 4]);
+    assert_eq!(m.topo.node_prefix(), 0, "one host = one shared-memory node");
+    assert_eq!(m.cpus, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    // Same-socket steals are distance 1, cross-socket distance 2.
+    assert_eq!(m.topo.distance(0, 1), 1);
+    assert_eq!(m.topo.distance(0, 4), 2);
+    assert!(m.topo.is_local(0, 4), "still shared memory");
+}
+
+#[test]
+fn single_package_detects_flat() {
+    let m = detect_machine_at(&fixture("flat_one")).unwrap();
+    assert_eq!(m.topo.shape(), &[4], "extent-1 levels are elided");
+    assert_eq!(m.topo.max_distance(), 1);
+    assert_eq!(m.cpus, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn hyperthread_siblings_dedup_to_physical_cores() {
+    // 8 CPUs, but 2 packages × 2 cores × 2 threads: 4 workers, each
+    // pinned to the lowest-numbered sibling.
+    let m = detect_machine_at(&fixture("hyperthread")).unwrap();
+    assert_eq!(m.topo.shape(), &[2, 2]);
+    assert_eq!(m.cpus, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn numa_nodes_become_the_outer_level() {
+    // 2 NUMA domains × 1 package × 4 cores: the package level (extent 1)
+    // is elided, the NUMA split survives as the outer level.
+    let m = detect_machine_at(&fixture("numa")).unwrap();
+    assert_eq!(m.topo.shape(), &[2, 4]);
+    assert_eq!(m.topo.distance(0, 4), 2, "cross-NUMA is the far ring");
+}
+
+#[test]
+fn malformed_and_missing_files_are_typed_errors() {
+    match detect_machine_at(&fixture("malformed")) {
+        Err(TopoError::SysfsParse { value, .. }) => assert_eq!(value, "banana"),
+        other => panic!("expected SysfsParse, got {other:?}"),
+    }
+    assert!(matches!(
+        detect_machine_at(&fixture("missing")),
+        Err(TopoError::SysfsRead { .. })
+    ));
+    assert!(matches!(
+        detect_machine_at(&fixture("empty")),
+        Err(TopoError::NoCpus)
+    ));
+    assert!(matches!(
+        detect_machine_at(&fixture("irregular")),
+        Err(TopoError::IrregularLayout { .. })
+    ));
+    // A root that simply isn't a sysfs tree (the non-Linux / masked-/sys
+    // case) is an error too, not a panic.
+    assert!(matches!(
+        detect_machine_at(Path::new("/definitely/not/sysfs")),
+        Err(TopoError::SysfsRead { .. })
+    ));
+}
+
+/// SplitMix64 — the same deterministic stream the other property suites
+/// use.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Shapes built by `detect` from random synthetic sysfs trees satisfy
+/// the `prop_topo` index-math invariants: coords roundtrip, distance is
+/// the ultrametric prefix measure, rings partition the machine.
+#[test]
+fn detected_shapes_satisfy_index_math_invariants() {
+    let base = std::env::temp_dir().join(format!("macs-detect-prop-{}", std::process::id()));
+    let mut rng = Rng(0xDE7EC7);
+    for case in 0..40 {
+        let numa = 1 + rng.below(3);
+        let packages = 1 + rng.below(3);
+        let cores = 1 + rng.below(4);
+        let threads = 1 + rng.below(2);
+        let root = base.join(format!("case{case}"));
+        write_fixture_tree(&root, numa, packages, cores, threads).unwrap();
+        let m = detect_machine_at(&root).unwrap();
+        std::fs::remove_dir_all(&root).ok();
+
+        let total = numa * packages * cores;
+        let t = &m.topo;
+        assert_eq!(t.total_workers(), total, "one worker per physical core");
+        assert_eq!(m.cpus.len(), total);
+        // Outer levels of extent 1 are elided; only the innermost (cores
+        // per package) may legitimately be 1.
+        let outer = &t.shape()[..t.levels() - 1];
+        assert!(outer.iter().all(|&e| e > 1), "elided extent-1 outer level");
+        assert_eq!(t.nodes(), 1);
+
+        // prop_topo invariants on the detected shape.
+        for _ in 0..32 {
+            let a = rng.below(total);
+            let b = rng.below(total);
+            let c = t.coords(a);
+            assert_eq!(t.worker_at(&c), a, "coords → id roundtrip");
+            let d = t.distance(a, b);
+            assert_eq!(d, t.distance(b, a), "symmetry");
+            assert_eq!(d == 0, a == b, "identity");
+            let common = c
+                .iter()
+                .zip(t.coords(b).iter())
+                .take_while(|(x, y)| x == y)
+                .count();
+            assert_eq!(d, t.levels() - common, "definitional distance");
+        }
+        let w = rng.below(total);
+        let mut seen = vec![0u32; total];
+        seen[w] += 1;
+        for (i, ring) in t.rings(w).iter().enumerate() {
+            for &p in ring {
+                assert_eq!(t.distance(w, p), i + 1, "ring index = distance");
+                seen[p] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "rings partition the machine");
+
+        // The CPU map is strictly increasing within a package: dense
+        // worker order follows (numa, package, core) order.
+        for pair in m.cpus.windows(2) {
+            assert_ne!(pair[0], pair[1], "no CPU pinned twice");
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn detect_convenience_always_yields_a_machine() {
+    let t = MachineTopology::detect();
+    assert!(t.total_workers() >= 1);
+}

@@ -98,6 +98,7 @@ fn sim_cells_hold_every_scheduler_invariant() {
                 cores_per_node: cores,
                 queue_cap: 2 + seed as usize % 4,
                 policy,
+                cost_model: Default::default(),
             };
             let report = SimBackend::default().serve(&cfg, &trace);
             let label = format!("sim seed {seed} {policy}");
@@ -128,6 +129,7 @@ fn threaded_cells_hold_every_scheduler_invariant() {
                 cores_per_node: 2,
                 queue_cap: 3,
                 policy,
+                cost_model: Default::default(),
             };
             let mut backend = ThreadedBackend {
                 time_scale: 1 << 16,
@@ -155,6 +157,7 @@ fn queue_depth_policy_resizes_where_static_never_does() {
         cores_per_node: 4,
         queue_cap: 24,
         policy,
+        cost_model: Default::default(),
     };
     let stat = SimBackend::default().serve(&cfg(LeasePolicy::Static { nodes: 2 }), &trace);
     let elas =
@@ -186,6 +189,7 @@ fn rejections_appear_exactly_when_the_queue_cap_binds() {
         cores_per_node: 2,
         queue_cap: cap,
         policy: LeasePolicy::Static { nodes: 1 },
+        cost_model: Default::default(),
     };
     let tight = SimBackend::default().serve(&cfg(4), &trace);
     assert!(tight.violations.is_empty(), "{:?}", tight.violations);
